@@ -1,0 +1,55 @@
+// Ablation (§4.2) — extended ISA: re-prices the measured ISR workload with
+// the dedicated short-datapath instructions the thesis proposes, reporting
+// the CPU-load reduction against the pipeline-unit gate cost.
+#include "bench_common.hpp"
+
+#include "cpu/ext_isa.hpp"
+
+int main() {
+  using namespace drmp;
+  using namespace drmp::bench;
+  using est::Table;
+
+  std::cout << "=== Ablation: extended instruction-set architecture "
+               "(thesis §4.2) ===\n\n";
+
+  Table cat({"Instruction", "Native instr", "Extended instr", "Uses/packet",
+             "Gate cost"});
+  for (const auto& e : cpu::ext_isa_catalog()) {
+    cat.add_row({e.name, std::to_string(e.native_instr), std::to_string(e.extended_instr),
+                 std::to_string(e.uses_per_packet), std::to_string(e.gate_cost)});
+  }
+  cat.print(std::cout);
+
+  const auto s = cpu::ext_isa_summary();
+  std::cout << "\nshort-datapath work per packet event: " << s.native_instr_per_packet
+            << " native instr -> " << s.extended_instr_per_packet
+            << " extended instr (" << Table::num(s.speedup(), 1) << "x) for "
+            << s.total_gate_cost << " added gates\n\n";
+
+  // Measured ISR workload under 3-mode traffic, re-priced.
+  Testbench tb;
+  run_three_mode_tx(tb, 3, 1000);
+  const auto& cpu = tb.device().cpu();
+  const double busy_native = 100.0 * cpu.busy_fraction();
+  // Average ISR body ~ (busy cycles / invocations) scaled by the clock
+  // ratio; the extended ISA collapses the datapath share of each handler.
+  const double per_isr_instr =
+      static_cast<double>(cpu.busy_cycles()) / static_cast<double>(cpu.isr_invocations()) *
+      (cpu.config().cpu_freq_hz / cpu.config().arch_freq_hz);
+  const double repriced = cpu::reprice_isr(static_cast<u32>(per_isr_instr));
+  const double busy_ext = busy_native * repriced / per_isr_instr;
+
+  Table t({"ISA", "Avg ISR cost (instr)", "CPU busy (%)",
+           "Min CPU clock for 3 modes (MHz, 70% headroom)"});
+  t.add_row({"native RISC", Table::num(per_isr_instr, 0), Table::num(busy_native, 3),
+             Table::num(busy_native / 100.0 * 40.0 / 0.7, 2)});
+  t.add_row({"with extended ISA", Table::num(repriced, 0), Table::num(busy_ext, 3),
+             Table::num(busy_ext / 100.0 * 40.0 / 0.7, 2)});
+  t.print(std::cout);
+  std::cout << "\nReading: the extended instructions shave the short datapath "
+               "work out of each handler, letting the protocol-control CPU "
+               "clock (and voltage) drop further — the §4.2 proposal "
+               "quantified.\n";
+  return 0;
+}

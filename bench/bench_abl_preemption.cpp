@@ -1,0 +1,92 @@
+// Ablation (§4.1.1) — run-to-completion handlers (thesis prototype) vs the
+// proposed pre-emptive priority mechanism ("an interrupt from a higher
+// priority protocol would pre-empt another mode's interrupt handler").
+// Runs the identical three-mode transmit workload under both CPU policies and
+// compares per-mode worst-case ISR dispatch latency and CPU cost.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace drmp;
+  using namespace drmp::bench;
+  using est::Table;
+
+  std::cout << "=== Ablation: run-to-completion vs pre-emptive ISR dispatch "
+               "(thesis 4.1.1) ===\n\n";
+
+  struct Run {
+    const char* label;
+    bool preemptive;
+    std::array<double, kNumModes> worst_us{};
+    double busy_pct = 0.0;
+    u64 preemptions = 0;
+    u64 isrs = 0;
+  };
+  std::array<Run, 2> runs{Run{"run-to-completion (prototype)", false, {}, 0, 0, 0},
+                          Run{"pre-emptive priority (proposed)", true, {}, 0, 0, 0}};
+
+  for (auto& run : runs) {
+    DrmpConfig cfg = DrmpConfig::standard_three_mode();
+    cfg.cpu_preemptive = run.preemptive;
+    Testbench tb(cfg);
+    run_three_mode_tx(tb, 4, 1200);
+    const auto& cpu = tb.device().cpu();
+    for (std::size_t i = 0; i < kNumModes; ++i) {
+      run.worst_us[i] =
+          tb.device().timebase().cycles_to_us(cpu.max_dispatch_latency(mode_from_index(i)));
+    }
+    run.busy_pct = 100.0 * cpu.busy_fraction();
+    run.preemptions = cpu.preemptions();
+    run.isrs = cpu.isr_invocations();
+  }
+
+  Table t({"CPU policy", "worst dispatch A (us)", "worst B (us)", "worst C (us)",
+           "CPU busy (%)", "pre-emptions", "ISRs"});
+  for (const auto& run : runs) {
+    t.add_row({run.label, Table::num(run.worst_us[0], 2), Table::num(run.worst_us[1], 2),
+               Table::num(run.worst_us[2], 2), Table::num(run.busy_pct, 2),
+               std::to_string(run.preemptions), std::to_string(run.isrs)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading: the DRMP's handlers are so brief (the 4.1.1 brevity "
+               "requirement) that both policies give near-identical latency on "
+               "the real workload — the prototype can ship without pre-emption."
+               "\n\n";
+
+  // Counterfactual: if the handlers were NOT brief (a design that partitions
+  // more work to software, e.g. doing the datapath ops of 4.2 in the ISR),
+  // pre-emption becomes the only way mode A keeps its deadline.
+  std::cout << "--- Counterfactual: heavyweight handlers (800 instr, ~the ext-ISA "
+               "ops of 4.2 done in software) ---\n";
+  Table t2({"CPU policy", "worst dispatch A (us)", "A deadline (SIFS 10 us)"});
+  for (const bool preemptive : {false, true}) {
+    sim::Scheduler sched(200e6);
+    cpu::CpuModel::Config cc;
+    cc.cpu_freq_hz = 40e6;
+    cc.arch_freq_hz = 200e6;
+    cc.preemptive = preemptive;
+    cpu::CpuModel cpu(cc);
+    sched.add(cpu, "cpu");
+    for (Mode m : {Mode::A, Mode::B, Mode::C}) {
+      cpu.set_handler(m, [](const cpu::IsrContext&) { return 800u; });
+    }
+    // Saturating interleave: B and C fire every 3000 cycles, A every 7000.
+    for (u32 k = 0; k < 40; ++k) {
+      sched.run_until([&] { return false; }, 1500);
+      cpu.raise_hw_interrupt(Mode::B, 1, 0);
+      sched.run_until([&] { return false; }, 1500);
+      cpu.raise_hw_interrupt(Mode::C, 1, 0);
+      if (k % 2 == 1) cpu.raise_hw_interrupt(Mode::A, 1, 0);
+    }
+    sched.run_until([&] { return !cpu.busy(); }, 4'000'000);
+    const double worst_a_us = sim::TimeBase(200e6).cycles_to_us(cpu.max_dispatch_latency(Mode::A));
+    t2.add_row({preemptive ? "pre-emptive priority" : "run-to-completion",
+                Table::num(worst_a_us, 2), worst_a_us <= 10.0 ? "met" : "MISSED"});
+  }
+  t2.print(std::cout);
+  std::cout << "\nReading: with ~20 us handlers a run-to-completion CPU misses "
+               "mode A's SIFS-class deadline; pre-emption restores it. This is "
+               "the quantitative case for either handler brevity + extended "
+               "ISA (the thesis route) or the 4.1.1 priority mechanism.\n";
+  return 0;
+}

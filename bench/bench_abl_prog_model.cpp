@@ -1,0 +1,52 @@
+// Ablation (Fig. 4.1) — programming-model alternatives: the thesis's
+// interrupt-driven protocol control vs a conventional scheduler/OS-kernel
+// model. Measures the DRMP's realized ISR profile and models the scheduler
+// alternative's overhead on the same event trace.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace drmp;
+  using namespace drmp::bench;
+  using est::Table;
+
+  std::cout << "=== Ablation: interrupt-driven vs scheduler-based protocol "
+               "control (thesis Fig. 4.1) ===\n\n";
+
+  Testbench tb;
+  run_three_mode_tx(tb, 3, 1000);
+  const auto& cpu = tb.device().cpu();
+  const double busy_us = tb.device().timebase().cycles_to_us(cpu.busy_cycles());
+  const u64 invocations = cpu.isr_invocations();
+  const double per_isr_us = busy_us / static_cast<double>(invocations);
+  const double dispatch_worst_us =
+      tb.device().timebase().cycles_to_us(cpu.max_dispatch_latency());
+
+  // Scheduler model: every event wakes the kernel: context switch into the
+  // scheduler (~120 instr), run queue management (~80 instr), context switch
+  // into the protocol process (~120 instr), plus a 1 ms tick even when idle.
+  const double cpu_mhz = cpu.config().cpu_freq_hz / 1e6;
+  const double sched_overhead_us = (120.0 + 80.0 + 120.0) / cpu_mhz;
+  const double sched_busy_us =
+      busy_us + static_cast<double>(invocations) * sched_overhead_us;
+  const double sim_ms = tb.scheduler().now_us() / 1000.0;
+  const double tick_us = sim_ms * (50.0 / cpu_mhz);  // 1 kHz tick, ~50 instr.
+
+  Table t({"Model", "CPU busy (us)", "Events", "Avg cost/event (us)",
+           "Worst dispatch latency (us)"});
+  t.add_row({"interrupt-driven (DRMP, measured)", Table::num(busy_us, 1),
+             std::to_string(invocations), Table::num(per_isr_us, 2),
+             Table::num(dispatch_worst_us, 2)});
+  t.add_row({"scheduler/OS kernel (modelled)", Table::num(sched_busy_us + tick_us, 1),
+             std::to_string(invocations), Table::num(per_isr_us + sched_overhead_us, 2),
+             Table::num(dispatch_worst_us + sched_overhead_us, 2)});
+  t.print(std::cout);
+
+  std::cout << "\nReading: the interrupt-driven model keeps each handler "
+               "invocation to a few microseconds on a 40 MHz core, so three "
+               "concurrent protocol state machines fit with "
+            << Table::num(100.0 * cpu.busy_fraction(), 2)
+            << "% CPU utilization; a scheduler-based design roughly doubles "
+               "the per-event cost and adds idle ticks — the rationale for "
+               "Fig. 4.1(b) (§4.1).\n";
+  return 0;
+}

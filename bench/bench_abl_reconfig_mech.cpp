@@ -1,0 +1,44 @@
+// Ablation (§3.6.2.2) — CS-RFU vs MA-RFU reconfiguration: measured latency
+// of the two mechanisms and the packet-by-packet switching cost under
+// alternating-protocol traffic.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace drmp;
+  using namespace drmp::bench;
+  using est::Table;
+
+  std::cout << "=== Ablation: context-switch vs memory-access reconfiguration "
+               "(thesis §3.6.2.2) ===\n\n";
+
+  // Alternate WiFi and WiMAX packets so the crypto MA-RFU and the CS-RFUs
+  // reconfigure on every packet.
+  Testbench tb;
+  for (int i = 0; i < 3; ++i) {
+    tb.send_async(Mode::A, make_payload(600, static_cast<u8>(i)));
+    tb.send_async(Mode::B, make_payload(600, static_cast<u8>(i + 50)));
+  }
+  tb.wait_tx_count(Mode::A, 3, 4'000'000'000ull);
+  tb.wait_tx_count(Mode::B, 3, 4'000'000'000ull);
+
+  Table t({"RFU", "Mechanism", "Reconfig count", "Total cycles", "Avg cycles/switch"});
+  for (const rfu::Rfu* r : tb.device().rfus()) {
+    if (r->reconfig_count() == 0) continue;
+    t.add_row({r->name(),
+               r->mechanism() == rfu::ReconfigMech::ContextSwitch ? "context-switch"
+                                                                  : "memory-access",
+               std::to_string(r->reconfig_count()), std::to_string(r->reconfig_cycles()),
+               est::Table::num(static_cast<double>(r->reconfig_cycles()) /
+                                   static_cast<double>(r->reconfig_count()),
+                               1)});
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nReading: CS-RFUs switch in ~2 cycles (10 ns @200 MHz); the "
+         "crypto MA-RFU pays tens of cycles to stream its key schedule — "
+         "both orders of magnitude below the milliseconds of FPGA "
+         "bitstream reconfiguration the thesis contrasts against (§2.1), and "
+         "negligible against packet air times. This is why packet-by-packet "
+         "reconfiguration is affordable.\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// §3.6.3 / §5.5 — The single packet bus as the throughput bottleneck: drive
+// increasing offered load (packets per mode, back to back) and report bus
+// utilization and per-mode wait time. The thesis claims a single bus
+// suffices for 3 concurrent modes at ~20 Mbps each at 200 MHz.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace drmp;
+  using namespace drmp::bench;
+  using est::Table;
+
+  std::cout << "=== Bus bandwidth headroom (thesis §3.6.3) ===\n\n";
+  Table t({"Packets/mode", "Sim time (ms)", "Bus util (%)", "Wait A (us)",
+           "Wait B (us)", "Wait C (us)", "All delivered"});
+  for (u32 n : {1u, 2u, 4u, 8u}) {
+    Testbench tb;
+    run_three_mode_tx(tb, n, 1500);
+    const auto& tbase = tb.device().timebase();
+    const double util = 100.0 * static_cast<double>(tb.device().bus().busy_cycles()) /
+                        static_cast<double>(tb.device().bus().total_cycles());
+    const bool all = tb.tx_successes(Mode::A) == n && tb.tx_successes(Mode::B) == n &&
+                     tb.tx_successes(Mode::C) == n;
+    t.add_row({std::to_string(n), Table::num(tb.scheduler().now_us() / 1000.0, 2),
+               Table::num(util, 3),
+               Table::num(tbase.cycles_to_us(tb.device().bus().mode_wait_cycles(Mode::A)), 1),
+               Table::num(tbase.cycles_to_us(tb.device().bus().mode_wait_cycles(Mode::B)), 1),
+               Table::num(tbase.cycles_to_us(tb.device().bus().mode_wait_cycles(Mode::C)), 1),
+               all ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: even at sustained back-to-back traffic on all three "
+               "modes the 32-bit single bus at 200 MHz (6.4 Gbps raw) runs at "
+               "a few percent utilization — the protocols' aggregate ~50 Mbps "
+               "line rate is the limiter, confirming §3.6.3's single-bus "
+               "adequacy claim (the crossover would come with much faster "
+               "protocols, where the thesis proposes multi-/segmented buses).\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Shared infrastructure for the bench binaries that regenerate the paper's
+// tables and figures (thesis Chs. 5-6). Each binary prints the same rows /
+// series the paper reports; see EXPERIMENTS.md for the paper-vs-measured
+// record.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "drmp/testbench.hpp"
+#include "est/report.hpp"
+
+namespace drmp::bench {
+
+/// Samples system activity every cycle into trace channels so the bench can
+/// render the waveforms of Figs. 5.1-5.7 (the Simulink-scope stand-in).
+/// Register it last so it observes the completed cycle.
+class Probe : public sim::Clockable {
+ public:
+  explicit Probe(Testbench& tb) : tb_(tb) {}
+
+  void tick() override {
+    const Cycle now = tb_.scheduler().now();
+    auto& tr = tb_.device().trace();
+    auto& dev = tb_.device();
+    tr.channel("cpu").record(now, dev.cpu().busy() ? 1 : 0);
+    tr.channel("bus").record(now, dev.bus().grant().kind == hw::PacketBus::MasterKind::None
+                                      ? 0
+                                      : static_cast<int>(index(grant_mode())) + 1);
+    for (const rfu::Rfu* r : dev.rfus()) {
+      tr.channel("rfu." + r->name()).record(now, r->busy() ? (r->reconfiguring() ? 2 : 1) : 0);
+    }
+    for (std::size_t i = 0; i < kNumModes; ++i) {
+      if (!tb_.config().modes[i].enabled) continue;
+      const Mode m = mode_from_index(i);
+      tr.channel("medium." + std::string(to_string(m)))
+          .record(now, tb_.medium(m).busy() ? 1 : 0);
+      tr.channel("txbuf." + std::string(to_string(m)))
+          .record(now, static_cast<i64>(dev.tx_buffer(m).depth()));
+    }
+    tr.channel("eh").record(now, 0);  // Placeholder kept for channel ordering.
+  }
+
+  /// Registers the probe with the testbench scheduler.
+  static Probe& attach(Testbench& tb) {
+    static thread_local std::vector<std::unique_ptr<Probe>> keep;
+    keep.push_back(std::make_unique<Probe>(tb));
+    tb.scheduler().add(*keep.back(), "probe");
+    return *keep.back();
+  }
+
+ private:
+  Mode grant_mode() const {
+    const auto& g = tb_.device().bus().grant();
+    return g.kind == hw::PacketBus::MasterKind::Irc ? g.mode : g.mode;
+  }
+  Testbench& tb_;
+};
+
+inline Bytes make_payload(std::size_t n, u8 seed = 1) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<u8>(i * 3 + seed);
+  return b;
+}
+
+/// Prints the ASCII waveform of the standard entity set over [from, to).
+inline void print_waveform(Testbench& tb, Cycle from, Cycle to,
+                           const std::vector<std::string>& extra = {}) {
+  std::vector<std::string> chans = {"cpu", "bus"};
+  for (const rfu::Rfu* r : tb.device().rfus()) chans.push_back("rfu." + r->name());
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    if (tb.config().modes[i].enabled) {
+      chans.push_back("medium." + std::string(to_string(mode_from_index(i))));
+    }
+  }
+  for (const auto& e : extra) chans.push_back(e);
+  std::cout << "time axis: " << std::fixed << std::setprecision(1)
+            << tb.device().timebase().cycles_to_us(from) << " us .. "
+            << tb.device().timebase().cycles_to_us(to)
+            << " us   ('.'=idle, 1=busy, 2=reconfiguring; bus column = holding mode)\n";
+  std::cout << tb.device().trace().ascii_waveform(chans, from, to, 110);
+}
+
+/// Prints the busy-time table (Tables 5.1 / 5.2 format): entity, busy us,
+/// busy % over the window.
+inline void print_busy_table(Testbench& tb, Cycle from, Cycle to, const std::string& title) {
+  const auto& tbs = tb.device().timebase();
+  est::Table t({"Entity", "Busy (us)", "Busy (%)"});
+  auto add = [&](const std::string& name, Cycle busy) {
+    const double pct = 100.0 * static_cast<double>(busy) / static_cast<double>(to - from);
+    t.add_row({name, est::Table::num(tbs.cycles_to_us(busy)), est::Table::num(pct)});
+  };
+  auto& tr = tb.device().trace();
+  add("CPU", tr.channel("cpu").active_cycles(from, to));
+  add("Packet bus", tr.channel("bus").active_cycles(from, to));
+  for (const rfu::Rfu* r : tb.device().rfus()) {
+    add("RFU " + r->name(), tr.channel("rfu." + r->name()).active_cycles(from, to));
+  }
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    if (!tb.config().modes[i].enabled) continue;
+    const Mode m = mode_from_index(i);
+    add("Medium " + std::string(to_string(m)) + " (" +
+            mac::to_string(tb.config().modes[i].ident.proto) + ")",
+        tr.channel("medium." + std::string(to_string(m))).active_cycles(from, to));
+  }
+  std::cout << title << "  (window " << est::Table::num(tbs.cycles_to_us(to - from), 1)
+            << " us)\n";
+  t.print(std::cout);
+}
+
+/// Standard three-mode transmit scenario used by several benches.
+inline void run_three_mode_tx(Testbench& tb, u32 packets_per_mode, std::size_t msdu_bytes) {
+  for (u32 p = 0; p < packets_per_mode; ++p) {
+    tb.send_async(Mode::A, make_payload(msdu_bytes, static_cast<u8>(p)));
+    tb.send_async(Mode::B, make_payload(msdu_bytes, static_cast<u8>(p + 40)));
+    tb.send_async(Mode::C, make_payload(msdu_bytes, static_cast<u8>(p + 80)));
+  }
+  tb.wait_tx_count(Mode::A, packets_per_mode, 4'000'000'000ull);
+  tb.wait_tx_count(Mode::B, packets_per_mode, 4'000'000'000ull);
+  tb.wait_tx_count(Mode::C, packets_per_mode, 4'000'000'000ull);
+}
+
+}  // namespace drmp::bench

@@ -1,0 +1,38 @@
+// Fig. 5.9 — Packet transmission at 50 MHz: the paper's low-clock run,
+// showing the architecture still meets the protocol constraints with the
+// clock (and hence power) reduced fourfold — the §5.5.2 frequency argument.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace drmp;
+  using namespace drmp::bench;
+
+  std::cout << "=== Fig 5.9: Packet Transmission at 50 MHz ===\n\n";
+  DrmpConfig cfg = DrmpConfig::standard_three_mode();
+  cfg.arch_freq_hz = 50e6;
+  cfg.cpu_freq_hz = 20e6;
+  Testbench tb(cfg);
+
+  const auto out = tb.send_and_wait(Mode::A, make_payload(1500), 4'000'000'000ull);
+  std::cout << "architecture clock: 50 MHz, CPU 20 MHz\n";
+  std::cout << "  tx completed=" << out.completed << " success=" << out.success
+            << " end-to-end latency=" << est::Table::num(out.latency_us, 1) << " us\n";
+
+  const u64 sent_before = tb.device().phy_tx(Mode::A)->frames_sent();
+  const auto delivered = tb.inject_and_wait(Mode::A, make_payload(400), 9, 4'000'000'000ull);
+  tb.run_until([&] { return tb.device().phy_tx(Mode::A)->frames_sent() > sent_before; },
+               40'000'000);
+  const Cycle rx_end = tb.device().rx_rfu().last_rx_end();
+  const Cycle ack_start = tb.device().phy_tx(Mode::A)->last_tx_start();
+  const double turnaround_us = tb.device().timebase().cycles_to_us(ack_start - rx_end);
+  std::cout << "  rx delivered=" << delivered.has_value()
+            << "  ACK turnaround=" << est::Table::num(turnaround_us, 2)
+            << " us (SIFS budget 10 us) -> "
+            << (turnaround_us >= 10.0 && turnaround_us < 12.0 ? "constraint MET" : "CHECK")
+            << "\n";
+  std::cout << "\nReading: at a quarter of the prototype clock the DRMP still "
+               "meets WiFi's timing — the slack at 200 MHz (Fig. 5.8) is real "
+               "frequency headroom (thesis §5.5.2). See bench_freq_sweep for "
+               "the full curve and the breaking point.\n";
+  return 0;
+}

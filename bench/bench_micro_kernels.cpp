@@ -1,0 +1,99 @@
+// Micro-benchmarks (google-benchmark) of the datapath kernels inside the
+// RFUs: CRC engines, RC4/AES/DES, frame codecs. These pin the host-side
+// compute cost of the simulation and document the kernels' relative weights
+// (mirroring the per-word stall ratios used in the RFU timing model).
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes128.hpp"
+#include "crypto/crc.hpp"
+#include "crypto/des.hpp"
+#include "crypto/rc4.hpp"
+#include "mac/wifi_frames.hpp"
+
+namespace {
+
+using namespace drmp;
+
+Bytes payload(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<u8>(i * 7 + 3);
+  return b;
+}
+
+void BM_Crc32(benchmark::State& state) {
+  const Bytes data = payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Crc32::compute(data));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(1500);
+
+void BM_Crc16(benchmark::State& state) {
+  const Bytes data = payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Crc16Ccitt::compute(data));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc16)->Arg(24);
+
+void BM_Rc4(benchmark::State& state) {
+  const Bytes key = payload(16);
+  Bytes data = payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    crypto::Rc4 rc4(key);
+    rc4.process(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Rc4)->Arg(1500);
+
+void BM_Aes128Ctr(benchmark::State& state) {
+  const Bytes key = payload(16);
+  const Bytes nonce(16, 0x55);
+  Bytes data = payload(static_cast<std::size_t>(state.range(0)));
+  crypto::Aes128 aes(key);
+  for (auto _ : state) {
+    aes.ctr_process(nonce, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Aes128Ctr)->Arg(1500);
+
+void BM_DesCbc(benchmark::State& state) {
+  const Bytes key = payload(8);
+  const Bytes iv = payload(8);
+  Bytes data = payload(static_cast<std::size_t>(state.range(0)));
+  crypto::Des des(key);
+  for (auto _ : state) {
+    des.cbc_encrypt(iv, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DesCbc)->Arg(1496);
+
+void BM_WifiBuildMpdu(benchmark::State& state) {
+  mac::wifi::DataHeader h;
+  const Bytes body = payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mac::wifi::build_data_mpdu(h, body));
+  }
+}
+BENCHMARK(BM_WifiBuildMpdu)->Arg(1500);
+
+void BM_WifiParseMpdu(benchmark::State& state) {
+  mac::wifi::DataHeader h;
+  const Bytes mpdu = mac::wifi::build_data_mpdu(h, payload(1500));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mac::wifi::parse_data_mpdu(mpdu));
+  }
+}
+BENCHMARK(BM_WifiParseMpdu);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// §6.2 — Power-efficiency improvements ablation: the DRMP's power with each
+// technique the thesis discusses (clock gating, power shut-off, DVFS)
+// enabled in turn, using measured activity factors.
+#include "bench_common.hpp"
+
+#include "est/power.hpp"
+
+int main() {
+  using namespace drmp;
+  using namespace drmp::est;
+  using namespace drmp::bench;
+
+  std::cout << "=== Power-saving techniques ablation (thesis §6.2) ===\n\n";
+
+  Testbench tb;
+  run_three_mode_tx(tb, 3, 1000);
+  const double total = static_cast<double>(tb.scheduler().now());
+  std::map<std::string, double> activity;
+  for (const rfu::Rfu* r : tb.device().rfus()) {
+    auto it = drmp_rfu_blocks().find(r->name());
+    if (it != drmp_rfu_blocks().end()) {
+      activity[it->second.name] = static_cast<double>(r->busy_cycles()) / total;
+    }
+  }
+  activity["cpu_core"] = tb.device().cpu().busy_fraction();
+  activity["packet_bus+arbiter"] =
+      static_cast<double>(tb.device().bus().busy_cycles()) / total;
+
+  const Design d = drmp_design();
+  const Process p;
+  Table t({"Configuration", "Dynamic (mW)", "Leakage (mW)", "Total (mW)",
+           "vs baseline"});
+  double base_total = 0.0;
+  auto row = [&](const std::string& name, PowerTechniques tech) {
+    const auto pw = estimate_power(d, p, 200e6, activity, 0.02, tech);
+    if (base_total == 0.0) base_total = pw.total_mw();
+    t.add_row({name, Table::num(pw.dynamic_mw, 2), Table::num(pw.leakage_mw, 2),
+               Table::num(pw.total_mw(), 2),
+               Table::num(100.0 * pw.total_mw() / base_total, 1) + "%"});
+  };
+  row("none (free-running clocks)", {});
+  {
+    PowerTechniques tech;
+    tech.clock_gating = true;
+    row("+ clock gating", tech);
+  }
+  {
+    PowerTechniques tech;
+    tech.clock_gating = true;
+    tech.power_shutoff = true;
+    row("+ power shut-off (PSO)", tech);
+  }
+  {
+    PowerTechniques tech;
+    tech.clock_gating = true;
+    tech.power_shutoff = true;
+    tech.dvfs = true;
+    tech.dvfs_freq_scale = 0.25;  // 50 MHz still meets timing (Fig. 5.9).
+    row("+ DVFS to 50 MHz", tech);
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: the measured >99% slack lets gating collapse the "
+               "dynamic power, PSO the leakage, and the Fig. 5.9 headroom "
+               "allows DVFS on top — the §6.2 chain reproduced "
+               "quantitatively.\n";
+  return 0;
+}

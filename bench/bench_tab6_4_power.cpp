@@ -1,0 +1,70 @@
+// Table 6.4 — Power of MAC Implementations: activity-based power using the
+// *measured* busy fractions from the cycle simulation as the per-block
+// activity factors (the paper's methodology: simulation slack -> power).
+#include "bench_common.hpp"
+
+#include "baseline/conventional.hpp"
+#include "est/power.hpp"
+
+int main() {
+  using namespace drmp;
+  using namespace drmp::est;
+  using namespace drmp::bench;
+
+  std::cout << "=== Table 6.4: Power of MAC Implementations ===\n\n";
+
+  // Measure activity under sustained 3-mode traffic.
+  Testbench tb;
+  run_three_mode_tx(tb, 3, 1000);
+  const double total = static_cast<double>(tb.scheduler().now());
+  std::map<std::string, double> activity;
+  const auto& rfu_blocks = drmp_rfu_blocks();
+  for (const rfu::Rfu* r : tb.device().rfus()) {
+    auto it = rfu_blocks.find(r->name());
+    if (it != rfu_blocks.end()) {
+      activity[it->second.name] = static_cast<double>(r->busy_cycles()) / total;
+    }
+  }
+  activity["cpu_core"] = tb.device().cpu().busy_fraction();
+  activity["packet_bus+arbiter"] =
+      static_cast<double>(tb.device().bus().busy_cycles()) / total;
+
+  const Process p;
+  const baseline::ConventionalTriMac conv;
+  const Design drmp_d = drmp_design();
+
+  // Conventional MACs: clock gating but always-on (each IP must stay live
+  // for its protocol); ~8% default activity for accelerators.
+  PowerTechniques conv_tech;
+  conv_tech.clock_gating = true;
+  const auto p_wifi = estimate_power(conv.wifi, p, 120e6, {}, 0.08, conv_tech);
+  const auto p_uwb = estimate_power(conv.uwb, p, 120e6, {}, 0.08, conv_tech);
+  const auto p_wimax = estimate_power(conv.wimax, p, 160e6, {}, 0.08, conv_tech);
+
+  // DRMP at 200 MHz with measured activity + gating + PSO.
+  PowerTechniques drmp_tech;
+  drmp_tech.clock_gating = true;
+  drmp_tech.power_shutoff = true;
+  const auto p_drmp = estimate_power(drmp_d, p, 200e6, activity, 0.02, drmp_tech);
+
+  Table t({"Implementation", "f (MHz)", "Dynamic (mW)", "Leakage (mW)", "Total (mW)"});
+  auto row = [&](const std::string& n, double f, const PowerBreakdown& b) {
+    t.add_row({n, Table::num(f / 1e6, 0), Table::num(b.dynamic_mw, 2),
+               Table::num(b.leakage_mw, 2), Table::num(b.total_mw(), 2)});
+  };
+  row(conv.wifi.name(), 120e6, p_wifi);
+  row(conv.uwb.name(), 120e6, p_uwb);
+  row(conv.wimax.name(), 160e6, p_wimax);
+  t.add_row({"SUM of 3 conventional MACs", "-", "-", "-",
+             Table::num(p_wifi.total_mw() + p_uwb.total_mw() + p_wimax.total_mw(), 2)});
+  row("DRMP (measured activity, gating+PSO)", 200e6, p_drmp);
+  t.print(std::cout);
+
+  std::cout << "\nDRMP power saving vs three always-on conventional MACs: "
+            << Table::num(100.0 * (1.0 - p_drmp.total_mw() /
+                                             (p_wifi.total_mw() + p_uwb.total_mw() +
+                                              p_wimax.total_mw())),
+                          1)
+            << "% — driven by the measured idle slack (Fig. 6.1).\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 6.5 — Estimates for the DRMP: the composed block-level budget of the
+// DRMP itself (gates, SRAM, area, and the per-block power at measured
+// activity), i.e. the paper's final architecture estimate.
+#include "bench_common.hpp"
+
+#include "est/power.hpp"
+
+int main() {
+  using namespace drmp;
+  using namespace drmp::est;
+  using namespace drmp::bench;
+
+  std::cout << "=== Table 6.5: Estimates for the DRMP ===\n\n";
+
+  // Measured activity from a sustained run.
+  Testbench tb;
+  run_three_mode_tx(tb, 3, 1000);
+  const double total = static_cast<double>(tb.scheduler().now());
+  std::map<std::string, double> activity;
+  for (const rfu::Rfu* r : tb.device().rfus()) {
+    auto it = drmp_rfu_blocks().find(r->name());
+    if (it != drmp_rfu_blocks().end()) {
+      activity[it->second.name] = static_cast<double>(r->busy_cycles()) / total;
+    }
+  }
+  activity["cpu_core"] = tb.device().cpu().busy_fraction();
+  activity["packet_bus+arbiter"] =
+      static_cast<double>(tb.device().bus().busy_cycles()) / total;
+
+  const Design d = drmp_design();
+  const Process p;
+  PowerTechniques tech;
+  tech.clock_gating = true;
+  tech.power_shutoff = true;
+
+  Table t({"Block", "Gates", "SRAM (bits)", "Activity (%)", "Power (mW)"});
+  for (const auto& b : d.blocks()) {
+    double alpha = 0.02;
+    auto it = activity.find(b.name);
+    if (it != activity.end()) alpha = it->second;
+    Design single(b.name, {b});
+    const auto pw = estimate_power(single, p, 200e6, activity, 0.02, tech);
+    t.add_row({b.name, Table::gates(b.gates), std::to_string(b.sram_bits),
+               Table::num(100.0 * alpha, 3), Table::num(pw.total_mw(), 3)});
+  }
+  const auto pw_total = estimate_power(d, p, 200e6, activity, 0.02, tech);
+  t.add_row({"TOTAL", Table::gates(d.total_gates()), std::to_string(d.total_sram_bits()),
+             "-", Table::num(pw_total.total_mw(), 2)});
+  t.print(std::cout);
+  std::cout << "\narea @" << p.name << ": " << Table::num(d.area_mm2(p), 2)
+            << " mm^2; power at 200 MHz with measured activity + gating/PSO: "
+            << Table::num(pw_total.total_mw(), 1)
+            << " mW — hand-held-compatible (thesis §6.1.4)\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Lossy-link demo: run WiFi traffic over a channel that corrupts frames on
+// the air (the Medium's fault injector), and watch the MAC's redundancy
+// machinery — HCS/FCS checks, ACK timeouts, retries with contention-window
+// growth, and the RTS/CTS handshake — recover every MSDU.
+//
+//   $ ./lossy_link
+#include <cstdio>
+#include <random>
+
+#include "drmp/testbench.hpp"
+#include "mac/wifi_ctrl.hpp"
+
+int main() {
+  using namespace drmp;
+
+  DrmpConfig cfg = DrmpConfig::standard_three_mode();
+  cfg.modes[0].ident.rts_threshold = 800;  // Large MSDUs reserve the medium.
+  Testbench tb(cfg);
+
+  // Corrupt ~25% of data-sized frames with a deterministic PRNG; leave the
+  // short control frames (ACK/CTS) clean so the demo isolates the data path.
+  std::mt19937 rng(2026);
+  tb.medium(Mode::A).tamper = [&rng](Bytes& f) {
+    if (f.size() < 64 || (rng() % 100) >= 25) return false;
+    f[rng() % f.size()] ^= static_cast<u8>(1u << (rng() % 8));
+    return true;
+  };
+
+  std::printf("sending 8 MSDUs (400..1800 B) over a channel with ~25%% frame "
+              "corruption...\n\n");
+  u32 sent = 0;
+  for (u32 i = 0; i < 8; ++i) {
+    const std::size_t size = 400 + 200 * i;
+    Bytes msdu(size);
+    for (std::size_t j = 0; j < size; ++j) msdu[j] = static_cast<u8>(j * 3 + i);
+    const auto out = tb.send_and_wait(Mode::A, msdu, 8'000'000'000ull);
+    std::printf("  MSDU %u (%4zu B): %-7s retries=%u latency=%8.1f us\n", i, size,
+                out.success ? "OK" : "FAILED", out.retries, out.latency_us);
+    if (out.success) ++sent;
+  }
+
+  const auto& ctrl = static_cast<ctrl::WifiCtrl&>(tb.device().protocol_ctrl(Mode::A));
+  std::printf("\nlink summary:\n");
+  std::printf("  delivered           : %u / 8\n", sent);
+  std::printf("  frames corrupted    : %llu\n",
+              static_cast<unsigned long long>(tb.medium(Mode::A).tampered_frames()));
+  std::printf("  peer ACKs sent      : %llu\n",
+              static_cast<unsigned long long>(tb.peer(Mode::A).acks_sent()));
+  std::printf("  RTS sent / CTS rcvd : %u / %u (handshake above %u B)\n",
+              ctrl.rts_sent, ctrl.cts_received, cfg.modes[0].ident.rts_threshold);
+  std::printf("  rx frames dropped by redundancy checks: %u\n",
+              tb.device().event_handler().rx_bad_frames(Mode::A));
+  std::printf("\nEvery corrupted frame was caught by a CRC and repaired by a "
+              "retry - the MAC-layer argument of thesis 2.3.1.\n");
+  return 0;
+}

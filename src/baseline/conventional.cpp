@@ -1,0 +1,146 @@
+#include "baseline/conventional.hpp"
+
+#include <algorithm>
+
+#include "crypto/aes128.hpp"
+#include "crypto/des.hpp"
+#include "crypto/rc4.hpp"
+#include "mac/uwb_frames.hpp"
+#include "mac/wifi_frames.hpp"
+#include "mac/wimax_frames.hpp"
+
+namespace drmp::baseline {
+
+namespace {
+
+Bytes encrypt_msdu(const GoldenTxParams& p, Bytes data) {
+  switch (p.proto) {
+    case mac::Protocol::WiFi: {
+      Bytes iv_key;
+      iv_key.push_back(static_cast<u8>(p.seq));
+      iv_key.push_back(static_cast<u8>(p.seq >> 8));
+      iv_key.push_back(static_cast<u8>(p.seq >> 16));
+      iv_key.insert(iv_key.end(), p.key.begin(), p.key.end());
+      crypto::Rc4 rc4(iv_key);
+      rc4.process(data);
+      return data;
+    }
+    case mac::Protocol::Uwb: {
+      crypto::Aes128 aes(p.key);
+      u8 nonce[16] = {};
+      for (int i = 0; i < 4; ++i) nonce[i] = static_cast<u8>(p.seq >> (8 * i));
+      aes.ctr_process(std::span<const u8>(nonce, 16), data);
+      return data;
+    }
+    case mac::Protocol::WiMax: {
+      crypto::Des des(p.key);
+      u8 iv[8] = {};
+      for (int i = 0; i < 4; ++i) iv[i] = static_cast<u8>(p.cid >> (8 * i));
+      const std::size_t whole = data.size() - data.size() % 8;
+      des.cbc_encrypt(std::span<const u8>(iv, 8), std::span<u8>(data.data(), whole));
+      return data;
+    }
+  }
+  return data;
+}
+
+}  // namespace
+
+std::vector<Bytes> golden_tx_frames(const GoldenTxParams& p, const Bytes& msdu) {
+  std::vector<Bytes> frames;
+  const Bytes enc = encrypt_msdu(p, msdu);
+  // WiMAX sends the whole (packed/unfragmented) payload in one MPDU here.
+  const u32 thr = p.proto == mac::Protocol::WiMax
+                      ? static_cast<u32>(std::max<std::size_t>(enc.size(), 1))
+                      : p.frag_threshold;
+  const u32 nfrags = std::max<u32>(1, (static_cast<u32>(enc.size()) + thr - 1) / thr);
+  for (u32 k = 0; k < nfrags; ++k) {
+    const std::size_t begin = static_cast<std::size_t>(k) * thr;
+    const std::size_t end = std::min<std::size_t>(begin + thr, enc.size());
+    const std::span<const u8> slice(enc.data() + begin, end - begin);
+    switch (p.proto) {
+      case mac::Protocol::WiFi: {
+        mac::wifi::DataHeader h;
+        h.fc.type = mac::wifi::FrameType::Data;
+        h.fc.more_frag = (k + 1 < nfrags);
+        h.fc.protected_frame = true;
+        h.duration_us = 150;  // NAV convention shared with the DRMP control sw.
+        h.addr1 = mac::MacAddr::from_u64(p.dst_addr);
+        h.addr2 = mac::MacAddr::from_u64(p.src_addr);
+        h.addr3 = mac::MacAddr::from_u64(p.dst_addr);
+        h.seq_num = static_cast<u16>(p.seq);
+        h.frag_num = static_cast<u8>(k);
+        frames.push_back(mac::wifi::build_data_mpdu(h, slice));
+        break;
+      }
+      case mac::Protocol::Uwb: {
+        mac::uwb::Header h;
+        h.type = mac::uwb::FrameType::Data;
+        h.ack_policy = mac::uwb::AckPolicy::ImmAck;
+        h.sec = true;
+        h.pnid = p.pnid;
+        h.dest_id = p.dest_id;
+        h.src_id = p.src_id;
+        h.msdu_num = static_cast<u16>(p.seq & 0x1FF);
+        h.frag_num = static_cast<u8>(k);
+        h.last_frag_num = static_cast<u8>(nfrags - 1);
+        h.stream_index = 1;
+        frames.push_back(mac::uwb::build_data_frame(h, slice));
+        break;
+      }
+      case mac::Protocol::WiMax: {
+        frames.push_back(
+            mac::wimax::build_mpdu(p.cid, {}, slice, /*with_crc=*/true, /*encrypted=*/true));
+        break;
+      }
+    }
+  }
+  return frames;
+}
+
+std::optional<Bytes> golden_rx_msdu(const GoldenTxParams& p,
+                                    const std::vector<Bytes>& frames) {
+  Bytes enc;
+  for (const auto& f : frames) {
+    switch (p.proto) {
+      case mac::Protocol::WiFi: {
+        const auto parsed = mac::wifi::parse_data_mpdu(f);
+        if (!parsed || !parsed->hcs_ok || !parsed->fcs_ok) return std::nullopt;
+        enc.insert(enc.end(), parsed->body.begin(), parsed->body.end());
+        break;
+      }
+      case mac::Protocol::Uwb: {
+        const auto parsed = mac::uwb::parse_frame(f);
+        if (!parsed || !parsed->hcs_ok || !parsed->fcs_ok) return std::nullopt;
+        enc.insert(enc.end(), parsed->body.begin(), parsed->body.end());
+        break;
+      }
+      case mac::Protocol::WiMax: {
+        const auto parsed = mac::wimax::parse_mpdu(f);
+        if (!parsed || !parsed->hcs_ok || (parsed->crc_present && !parsed->crc_ok)) {
+          return std::nullopt;
+        }
+        enc.insert(enc.end(), parsed->payload.begin(), parsed->payload.end());
+        break;
+      }
+    }
+  }
+  // Decrypt (all three ciphers are symmetric in these modes except DES-CBC,
+  // which has a proper decrypt path).
+  switch (p.proto) {
+    case mac::Protocol::WiFi:
+    case mac::Protocol::Uwb:
+      return encrypt_msdu(p, std::move(enc));
+    case mac::Protocol::WiMax: {
+      crypto::Des des(p.key);
+      u8 iv[8] = {};
+      for (int i = 0; i < 4; ++i) iv[i] = static_cast<u8>(p.cid >> (8 * i));
+      const std::size_t whole = enc.size() - enc.size() % 8;
+      des.cbc_decrypt(std::span<const u8>(iv, 8), std::span<u8>(enc.data(), whole));
+      return enc;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace drmp::baseline

@@ -1,0 +1,64 @@
+// Conventional implementation baseline (thesis §4.4.1 / Fig. 4.6): "a
+// hardware/software partitioned approach ... The control logic is
+// implemented in a CPU, while a fixed-logic hardware accelerator implements
+// the datapath operations. Each MAC implementation is a separate IP."
+//
+// A multi-standard device then needs *three* such IPs, each with its own
+// CPU, accelerators and memories. This model composes the three
+// single-protocol designs (gate catalog, est/gates.hpp) and provides a
+// functional golden path (codec + crypto in plain software) the DRMP's
+// hardware datapath is differential-tested against.
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "est/gates.hpp"
+#include "mac/protocol.hpp"
+
+namespace drmp::baseline {
+
+/// The three-IP conventional device (gate/area composition).
+struct ConventionalTriMac {
+  est::Design wifi = est::conventional_wifi_mac();
+  est::Design uwb = est::conventional_uwb_mac();
+  est::Design wimax = est::conventional_wimax_mac();
+
+  u32 total_gates() const {
+    return wifi.total_gates() + uwb.total_gates() + wimax.total_gates();
+  }
+  u32 total_sram_bits() const {
+    return wifi.total_sram_bits() + uwb.total_sram_bits() + wimax.total_sram_bits();
+  }
+  double area_mm2(const est::Process& p) const {
+    return wifi.area_mm2(p) + uwb.area_mm2(p) + wimax.area_mm2(p);
+  }
+};
+
+/// Golden functional reference: produces the exact on-air MPDU bytes a
+/// correct transmitter must emit for a given MSDU (encrypt + fragment +
+/// header + HCS + FCS), used to differential-test the DRMP datapath.
+struct GoldenTxParams {
+  mac::Protocol proto;
+  Bytes key;
+  u32 seq = 0;
+  u32 frag_threshold = 1024;
+  // WiFi addressing.
+  u64 src_addr = 0;
+  u64 dst_addr = 0;
+  // UWB addressing.
+  u16 pnid = 0;
+  u8 src_id = 0;
+  u8 dest_id = 0;
+  // WiMAX.
+  u16 cid = 0;
+};
+
+std::vector<Bytes> golden_tx_frames(const GoldenTxParams& p, const Bytes& msdu);
+
+/// Golden receive: recovers the MSDU from the on-air frames (or nullopt if
+/// any redundancy check fails).
+std::optional<Bytes> golden_rx_msdu(const GoldenTxParams& p,
+                                    const std::vector<Bytes>& frames);
+
+}  // namespace drmp::baseline

@@ -1,0 +1,63 @@
+// Full-software MAC baseline (thesis §2.1): "Panic et al. estimate that a
+// processor will need to run at 1 GHz to keep up with the real-time
+// requirements of a WiFi MAC."
+//
+// This model counts the CPU instructions a pure-software MAC spends per
+// packet — running the *actual* algorithms (RC4/AES/DES, CRCs, header
+// assembly) on a cycle-cost-instrumented byte processor — and derives the
+// clock frequency required to meet each protocol's real-time constraints
+// (SIFS-bounded ACK turnaround, line-rate sustained throughput).
+#pragma once
+
+#include "common/types.hpp"
+#include "mac/protocol.hpp"
+
+namespace drmp::baseline {
+
+/// Per-packet software cost breakdown, in CPU instructions.
+struct SwCostBreakdown {
+  u64 crypto = 0;
+  u64 crc = 0;
+  u64 header = 0;
+  u64 frag = 0;
+  u64 control = 0;
+  u64 copies = 0;
+  u64 total() const { return crypto + crc + header + frag + control + copies; }
+};
+
+/// Instruction-cost parameters of the modelled embedded core (ARM-class,
+/// load/store, no crypto ISA extensions).
+struct SwCostParams {
+  double instr_per_byte_rc4 = 8.0;
+  double instr_per_byte_aes = 28.0;   // T-table software AES.
+  double instr_per_byte_des = 45.0;
+  double instr_per_byte_crc = 5.0;    // Table-driven, per CRC pass.
+  double instr_per_byte_copy = 2.0;
+  double instr_header = 400.0;        // Build/parse + state machine step.
+  double instr_control_per_frame = 900.0;
+  /// ISR entry/exit with cache refill on the critical turnaround path.
+  double instr_isr_entry = 1500.0;
+  /// Fraction of SIFS actually available to the MAC software: the RF/PHY
+  /// receive pipeline and the transmit ramp-up consume the rest.
+  double sifs_budget_fraction = 0.5;
+  double cpi = 1.4;                   // Cycles per instruction.
+};
+
+/// Computes the software cost of processing one MPDU of `payload_bytes`
+/// in the given protocol (transmit path: encrypt + CRC x2 + header + copy).
+SwCostBreakdown sw_cost_per_mpdu(mac::Protocol proto, std::size_t payload_bytes,
+                                 const SwCostParams& params = {});
+
+struct SwFrequencyResult {
+  double throughput_mhz;   ///< Clock needed to sustain line rate.
+  double turnaround_mhz;   ///< Clock needed to parse+ACK within SIFS.
+  double required_mhz;     ///< max of the two.
+};
+
+/// Required CPU frequency for a full-software MAC of the protocol
+/// (the §2.1 argument; WiFi lands near 1 GHz with these parameters).
+SwFrequencyResult sw_required_frequency(mac::Protocol proto,
+                                        std::size_t payload_bytes = 1500,
+                                        const SwCostParams& params = {});
+
+}  // namespace drmp::baseline

@@ -1,0 +1,94 @@
+// Fundamental fixed-width types and byte/word packing helpers used across the
+// DRMP code base. The hardware model is a 32-bit word architecture (thesis
+// §3.6.1: "The output from the tables is compatible with the 32-bit hardware
+// architecture"), so Word is the unit of the packet memory and packet bus.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace drmp {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/// One 32-bit architecture word (packet memory / packet bus width).
+using Word = u32;
+
+/// Simulation time unit: one cycle of the architecture clock.
+using Cycle = u64;
+
+/// Byte buffer used for frames and payloads throughout the MAC layers.
+using Bytes = std::vector<u8>;
+
+/// Protocol mode slots. The DRMP serves up to three concurrent protocol
+/// modes (thesis §1.3); they are referred to as modes A, B and C.
+enum class Mode : u8 { A = 0, B = 1, C = 2 };
+
+inline constexpr std::size_t kNumModes = 3;
+
+constexpr std::size_t index(Mode m) noexcept { return static_cast<std::size_t>(m); }
+
+constexpr Mode mode_from_index(std::size_t i) noexcept { return static_cast<Mode>(i); }
+
+inline const char* to_string(Mode m) noexcept {
+  switch (m) {
+    case Mode::A: return "A";
+    case Mode::B: return "B";
+    case Mode::C: return "C";
+  }
+  return "?";
+}
+
+/// Number of 32-bit words needed to hold n bytes.
+constexpr std::size_t words_for_bytes(std::size_t n) noexcept { return (n + 3) / 4; }
+
+/// Pack a little-endian byte stream into 32-bit words (zero padded).
+std::vector<Word> pack_words(std::span<const u8> bytes);
+
+/// Unpack `nbytes` bytes out of a little-endian word stream.
+Bytes unpack_bytes(std::span<const Word> words, std::size_t nbytes);
+
+/// 16-bit little-endian store/load helpers for frame codecs.
+inline void put_le16(Bytes& b, u16 v) {
+  b.push_back(static_cast<u8>(v & 0xFF));
+  b.push_back(static_cast<u8>(v >> 8));
+}
+inline void put_le32(Bytes& b, u32 v) {
+  b.push_back(static_cast<u8>(v & 0xFF));
+  b.push_back(static_cast<u8>((v >> 8) & 0xFF));
+  b.push_back(static_cast<u8>((v >> 16) & 0xFF));
+  b.push_back(static_cast<u8>((v >> 24) & 0xFF));
+}
+inline u16 get_le16(std::span<const u8> b, std::size_t off) {
+  return static_cast<u16>(b[off] | (b[off + 1] << 8));
+}
+inline u32 get_le32(std::span<const u8> b, std::size_t off) {
+  return static_cast<u32>(b[off]) | (static_cast<u32>(b[off + 1]) << 8) |
+         (static_cast<u32>(b[off + 2]) << 16) | (static_cast<u32>(b[off + 3]) << 24);
+}
+
+inline std::vector<Word> pack_words(std::span<const u8> bytes) {
+  std::vector<Word> out(words_for_bytes(bytes.size()), 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    out[i / 4] |= static_cast<Word>(bytes[i]) << (8 * (i % 4));
+  }
+  return out;
+}
+
+inline Bytes unpack_bytes(std::span<const Word> words, std::size_t nbytes) {
+  Bytes out;
+  out.reserve(nbytes);
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    out.push_back(static_cast<u8>(words[i / 4] >> (8 * (i % 4))));
+  }
+  return out;
+}
+
+}  // namespace drmp

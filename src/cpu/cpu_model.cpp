@@ -1,0 +1,120 @@
+#include "cpu/cpu_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace drmp::cpu {
+
+void CpuModel::raise_hw_interrupt(Mode m, u32 event, Word param) {
+  pending_.push_back(PendingIsr{m, IsrContext{IsrCause::HwInterrupt, event, param}, now_});
+}
+
+void CpuModel::set_timer(Mode m, u32 timer_id, Cycle delay) {
+  cancel_timer(m, timer_id);
+  timers_.push_back(Timer{m, timer_id, now_ + delay});
+}
+
+void CpuModel::cancel_timer(Mode m, u32 timer_id) {
+  timers_.erase(std::remove_if(timers_.begin(), timers_.end(),
+                               [&](const Timer& t) { return t.mode == m && t.id == timer_id; }),
+                timers_.end());
+}
+
+void CpuModel::post_host_request(Mode m, u32 request_id, Word param) {
+  pending_.push_back(PendingIsr{m, IsrContext{IsrCause::HostRequest, request_id, param}, now_});
+}
+
+std::size_t CpuModel::best_pending() const {
+  std::size_t best = pending_.size();
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (best == pending_.size() || index(pending_[i].mode) < index(pending_[best].mode)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void CpuModel::dispatch(const PendingIsr& job, bool is_preemption) {
+  max_dispatch_latency_ = std::max(max_dispatch_latency_, now_ - job.posted_at);
+  auto& per_mode = mode_max_latency_[index(job.mode)];
+  per_mode = std::max(per_mode, now_ - job.posted_at);
+
+  Handler& h = handlers_[index(job.mode)];
+  u32 instr = cfg_.isr_overhead_instr;
+  if (is_preemption) instr += cfg_.preempt_overhead_instr / 2;
+  if (h) {
+    instr += h(job.ctx);
+  }
+  const Cycle cost = std::max<Cycle>(1, instr_to_arch_cycles(instr));
+  busy_until_ = now_ + cost;
+  running_ = job.mode;
+  ++isr_count_;
+}
+
+void CpuModel::tick() {
+  // Expire timers into the pending queue.
+  for (std::size_t i = 0; i < timers_.size();) {
+    if (timers_[i].fire_at <= now_) {
+      pending_.push_back(
+          PendingIsr{timers_[i].mode, IsrContext{IsrCause::Timer, timers_[i].id, 0}, now_});
+      timers_.erase(timers_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  const bool was_busy = busy();
+  if (stats_ != nullptr) {
+    if (busy_stat_ == nullptr) busy_stat_ = &stats_->busy("cpu");
+    busy_stat_->sample(was_busy);
+  }
+  if (was_busy) {
+    ++busy_cycles_;
+    if (running_) ++mode_cycles_[index(*running_)];
+  }
+
+  // Completion: the running handler's budget is spent — pop back into the
+  // handler that it pre-empted, if any (innermost-last nesting stack).
+  if (!was_busy && running_) {
+    if (!suspended_.empty()) {
+      const Suspended s = suspended_.back();
+      suspended_.pop_back();
+      running_ = s.mode;
+      // Restoring the parked frame costs the restore half of the overhead.
+      busy_until_ =
+          now_ + s.remaining +
+          std::max<Cycle>(1, instr_to_arch_cycles(cfg_.preempt_overhead_instr / 2));
+      ++now_;
+      return;
+    }
+    running_.reset();
+  }
+
+  if (cfg_.preemptive && running_ && !pending_.empty()) {
+    // Mid-handler pre-emption (§4.1.1): a strictly higher-priority mode's
+    // request parks the running handler and runs immediately.
+    const std::size_t b = best_pending();
+    if (index(pending_[b].mode) < index(*running_)) {
+      suspended_.push_back(Suspended{*running_, busy_until_ - now_});
+      ++preemption_count_;
+      const PendingIsr job = pending_[b];
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(b));
+      dispatch(job, /*is_preemption=*/true);
+      ++now_;
+      return;
+    }
+  }
+
+  if (!busy() && !pending_.empty()) {
+    // Idle dispatch: highest-priority pending ISR first (priority ordering in
+    // the queue; mode A highest, matching the bus arbiter convention).
+    const std::size_t b = best_pending();
+    const PendingIsr job = pending_[b];
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(b));
+    dispatch(job, /*is_preemption=*/false);
+  }
+
+  ++now_;
+}
+
+}  // namespace drmp::cpu

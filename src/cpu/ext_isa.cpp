@@ -1,0 +1,44 @@
+#include "cpu/ext_isa.hpp"
+
+#include <algorithm>
+
+namespace drmp::cpu {
+
+const std::vector<ExtInstr>& ext_isa_catalog() {
+  static const std::vector<ExtInstr> catalog = {
+      // Header-field mask-compare: address filtering, type dispatch.
+      {"maskcmp.field", 8, 1, 4, 450},
+      // Bit-field extract/insert across byte lanes (seq|frag packing).
+      {"bfx.hdr", 6, 1, 3, 380},
+      // Saturating modulo-increment for sequence counters.
+      {"modinc", 5, 1, 1, 220},
+      // Address match against a small CAM of known stations/CIDs.
+      {"cam.match", 14, 2, 2, 900},
+      // Inter-frame-space countdown compare (timer arming arithmetic).
+      {"ifs.arm", 9, 2, 2, 350},
+      // Checksum residue compare (status-word triage).
+      {"residue.chk", 4, 1, 2, 150},
+  };
+  return catalog;
+}
+
+ExtIsaSummary ext_isa_summary() {
+  ExtIsaSummary s;
+  for (const auto& e : ext_isa_catalog()) {
+    s.native_instr_per_packet += e.native_instr * e.uses_per_packet;
+    s.extended_instr_per_packet += e.extended_instr * e.uses_per_packet;
+    s.total_gate_cost += e.gate_cost;
+  }
+  return s;
+}
+
+u32 reprice_isr(u32 isr_instr) {
+  const auto s = ext_isa_summary();
+  if (isr_instr <= s.native_instr_per_packet) {
+    return std::max(1u, isr_instr * s.extended_instr_per_packet /
+                            std::max(1u, s.native_instr_per_packet));
+  }
+  return isr_instr - s.native_instr_per_packet + s.extended_instr_per_packet;
+}
+
+}  // namespace drmp::cpu

@@ -1,0 +1,56 @@
+// Extended Instruction Set Architecture model (thesis §4.2).
+//
+// "The operations that are not suitable for RHCP because they are not large
+// enough for a coarse-grained RFU, or not similar enough in different
+// protocols, and not suitable for software implementation on the native
+// architecture because they will take too many instructions, will have a
+// dedicated instruction in the CPU's ISA."
+//
+// This module catalogs those short datapath operations (masking, comparison,
+// filtering, field extraction) with their native-ISA and extended-ISA
+// instruction costs, and can re-price an ISR instruction budget to quantify
+// the benefit — the §4.2 exploration the thesis defers to future work.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace drmp::cpu {
+
+/// One candidate extended instruction.
+struct ExtInstr {
+  std::string name;
+  u32 native_instr;    ///< Cost on the base RISC ISA.
+  u32 extended_instr;  ///< Cost with the dedicated pipeline unit (usually 1-2).
+  u32 uses_per_packet; ///< Typical invocations per MAC packet event.
+  u32 gate_cost;       ///< Added pipeline-unit gates.
+};
+
+/// The catalog derived from the three protocols' control-flow analysis
+/// (§2.3.2.2: masking/comparison/filtering are protocol-specific and short).
+const std::vector<ExtInstr>& ext_isa_catalog();
+
+struct ExtIsaSummary {
+  u32 native_instr_per_packet = 0;
+  u32 extended_instr_per_packet = 0;
+  u32 total_gate_cost = 0;
+  double speedup() const {
+    return extended_instr_per_packet == 0
+               ? 0.0
+               : static_cast<double>(native_instr_per_packet) /
+                     static_cast<double>(extended_instr_per_packet);
+  }
+};
+
+/// Sums the catalog into per-packet ISR instruction counts for both ISAs.
+ExtIsaSummary ext_isa_summary();
+
+/// Re-prices an ISR instruction count: `isr_instr` contains
+/// `native_instr_per_packet` worth of short datapath work that the extended
+/// ISA collapses; the remainder (control flow proper) is untouched.
+u32 reprice_isr(u32 isr_instr);
+
+}  // namespace drmp::cpu

@@ -1,0 +1,40 @@
+// AES-128 (FIPS-197) — "Advanced Encryption Standard" used by WiFi (802.11i),
+// WiMAX and UWB (thesis §2.3.2.1, commonality #17c). The Crypto RFU's AES
+// configuration state wraps this block cipher in CTR mode (the payload-
+// confidentiality part of CCM, which all three standards build on).
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace drmp::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+
+  explicit Aes128(std::span<const u8> key) { rekey(key); }
+
+  /// Runs the key schedule for a new 16-byte key.
+  void rekey(std::span<const u8> key);
+
+  /// Encrypts one 16-byte block in place.
+  void encrypt_block(std::span<u8> block) const;
+
+  /// Decrypts one 16-byte block in place.
+  void decrypt_block(std::span<u8> block) const;
+
+  /// CTR-mode keystream application (encrypt == decrypt). `nonce` is the
+  /// initial 16-byte counter block; the low 4 bytes are the big-endian block
+  /// counter starting at 0.
+  void ctr_process(std::span<const u8> nonce, std::span<u8> data) const;
+
+ private:
+  // 11 round keys of 16 bytes each.
+  std::array<std::array<u8, 16>, 11> round_keys_{};
+};
+
+}  // namespace drmp::crypto

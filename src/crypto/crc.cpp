@@ -1,0 +1,90 @@
+#include "crypto/crc.hpp"
+
+#include <array>
+
+namespace drmp::crypto {
+namespace {
+
+constexpr std::array<u32, 256> make_crc32_table() {
+  std::array<u32, 256> t{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr std::array<u16, 256> make_crc16_table() {
+  std::array<u16, 256> t{};
+  for (u16 i = 0; i < 256; ++i) {
+    u16 c = static_cast<u16>(i << 8);
+    for (int k = 0; k < 8; ++k) {
+      c = static_cast<u16>((c & 0x8000) ? ((c << 1) ^ 0x1021) : (c << 1));
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr std::array<u8, 256> make_crc8_table() {
+  std::array<u8, 256> t{};
+  for (u16 i = 0; i < 256; ++i) {
+    u8 c = static_cast<u8>(i);
+    for (int k = 0; k < 8; ++k) {
+      c = static_cast<u8>((c & 0x80) ? ((c << 1) ^ 0x07) : (c << 1));
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+const auto kCrc32Table = make_crc32_table();
+const auto kCrc16Table = make_crc16_table();
+const auto kCrc8Table = make_crc8_table();
+
+}  // namespace
+
+void Crc32::update(u8 byte) noexcept {
+  state_ = kCrc32Table[(state_ ^ byte) & 0xFFu] ^ (state_ >> 8);
+}
+
+void Crc32::update(std::span<const u8> bytes) noexcept {
+  for (u8 b : bytes) update(b);
+}
+
+u32 Crc32::compute(std::span<const u8> bytes) noexcept {
+  Crc32 c;
+  c.update(bytes);
+  return c.value();
+}
+
+void Crc16Ccitt::update(u8 byte) noexcept {
+  state_ = static_cast<u16>(kCrc16Table[((state_ >> 8) ^ byte) & 0xFFu] ^ (state_ << 8));
+}
+
+void Crc16Ccitt::update(std::span<const u8> bytes) noexcept {
+  for (u8 b : bytes) update(b);
+}
+
+u16 Crc16Ccitt::compute(std::span<const u8> bytes) noexcept {
+  Crc16Ccitt c;
+  c.update(bytes);
+  return c.value();
+}
+
+void Crc8::update(u8 byte) noexcept { state_ = kCrc8Table[state_ ^ byte]; }
+
+void Crc8::update(std::span<const u8> bytes) noexcept {
+  for (u8 b : bytes) update(b);
+}
+
+u8 Crc8::compute(std::span<const u8> bytes) noexcept {
+  Crc8 c;
+  c.update(bytes);
+  return c.value();
+}
+
+}  // namespace drmp::crypto

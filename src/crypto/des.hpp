@@ -1,0 +1,59 @@
+// DES / 3DES — "WiMAX uses Triple Data Encryption Standard (3DES) for passing
+// keys ... DES is used for data encryption" (thesis §2.3.2.1, commonality
+// #17b). The Crypto RFU's DES configuration state wraps this block cipher in
+// CBC mode as IEEE 802.16 (DES-CBC) does for payload confidentiality.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace drmp::crypto {
+
+class Des {
+ public:
+  static constexpr std::size_t kBlockSize = 8;
+  static constexpr std::size_t kKeySize = 8;
+
+  explicit Des(std::span<const u8> key) { rekey(key); }
+
+  /// Runs the 16-round key schedule for an 8-byte key (parity bits ignored).
+  void rekey(std::span<const u8> key);
+
+  void encrypt_block(std::span<u8> block) const;
+  void decrypt_block(std::span<u8> block) const;
+
+  /// CBC-mode encryption / decryption over whole blocks (data size must be a
+  /// multiple of 8; callers pad beforehand as 802.16 does).
+  void cbc_encrypt(std::span<const u8> iv, std::span<u8> data) const;
+  void cbc_decrypt(std::span<const u8> iv, std::span<u8> data) const;
+
+ private:
+  u64 process(u64 block, bool decrypt) const;
+
+  std::array<u64, 16> subkeys_{};
+};
+
+/// 3DES (EDE) with a 24-byte key, used for key exchange in 802.16.
+class TripleDes {
+ public:
+  explicit TripleDes(std::span<const u8> key24)
+      : k1_(key24.subspan(0, 8)), k2_(key24.subspan(8, 8)), k3_(key24.subspan(16, 8)) {}
+
+  void encrypt_block(std::span<u8> block) const {
+    k1_.encrypt_block(block);
+    k2_.decrypt_block(block);
+    k3_.encrypt_block(block);
+  }
+  void decrypt_block(std::span<u8> block) const {
+    k3_.decrypt_block(block);
+    k2_.encrypt_block(block);
+    k1_.decrypt_block(block);
+  }
+
+ private:
+  Des k1_, k2_, k3_;
+};
+
+}  // namespace drmp::crypto

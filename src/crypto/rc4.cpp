@@ -1,0 +1,25 @@
+#include "crypto/rc4.hpp"
+
+#include <utility>
+
+namespace drmp::crypto {
+
+void Rc4::rekey(std::span<const u8> key) {
+  for (unsigned i = 0; i < 256; ++i) s_[i] = static_cast<u8>(i);
+  u8 j = 0;
+  for (unsigned i = 0; i < 256; ++i) {
+    j = static_cast<u8>(j + s_[i] + key[i % key.size()]);
+    std::swap(s_[i], s_[j]);
+  }
+  i_ = 0;
+  j_ = 0;
+}
+
+u8 Rc4::next() noexcept {
+  i_ = static_cast<u8>(i_ + 1);
+  j_ = static_cast<u8>(j_ + s_[i_]);
+  std::swap(s_[i_], s_[j_]);
+  return s_[static_cast<u8>(s_[i_] + s_[j_])];
+}
+
+}  // namespace drmp::crypto

@@ -1,0 +1,33 @@
+// RC4 stream cipher — "WiFi uses RSA's RC4 encryption" (thesis §2.3.2.1,
+// commonality #17a); used by the Crypto RFU's WEP configuration state.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace drmp::crypto {
+
+class Rc4 {
+ public:
+  explicit Rc4(std::span<const u8> key) { rekey(key); }
+
+  /// Re-initializes the keystream with a new key (KSA).
+  void rekey(std::span<const u8> key);
+
+  /// Next keystream byte (PRGA).
+  u8 next() noexcept;
+
+  /// XOR-encrypts/decrypts in place (RC4 is symmetric).
+  void process(std::span<u8> data) noexcept {
+    for (u8& b : data) b ^= next();
+  }
+
+ private:
+  std::array<u8, 256> s_{};
+  u8 i_ = 0;
+  u8 j_ = 0;
+};
+
+}  // namespace drmp::crypto

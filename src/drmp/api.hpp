@@ -1,0 +1,127 @@
+// The DRMP programming API (thesis §4.1.2, Figs. 4.2-4.4).
+//
+// "The platform should have a clear Application Programming Interface that
+// allows programmers to use the available hardware resources for MAC
+// implementation" (§3.2.2). The API mirrors the pseudo-C++ of Fig. 4.2/4.3:
+// a ProtocolState object per mode holding the state carried across
+// interrupt-handler invocations, and a cDRMP object whose
+// Request_RHCP_Service formats a super-op-code into the memory-mapped
+// interface registers and rings the doorbell.
+#pragma once
+
+#include <vector>
+
+#include "hw/ctrl_layout.hpp"
+#include "hw/memory_map.hpp"
+#include "hw/packet_memory.hpp"
+#include "irc/task_handler.hpp"
+#include "mac/protocol.hpp"
+
+namespace drmp::api {
+
+/// Fig. 4.2 — "A ProtocolState Class object maintains the state of a
+/// protocol for use across interrupt-calls."
+struct ProtocolState {
+  u32 my_state = 0;                     ///< Protocol state-machine variable.
+  u8 my_id = 0;                         ///< Protocol ID (1, 2 or 3).
+  u32 base_pointer = 0;                 ///< Base address in packet memory.
+  u32 fragmentation_threshold = 1024;   ///< Bytes per fragment (word-aligned).
+  u32 MacHdrLng = 0;                    ///< Size of header.
+  u32 PGSIZE = hw::kPageWords * 4;      ///< Page size in packet memory.
+  u32 rx_pdu_count = 0;                 ///< Received packet count.
+  u32 tx_pdu_count = 0;                 ///< Transmitted packet count.
+  u32 psdu_size = 0;                    ///< Size of packet to be sent.
+  u32 fragments_total = 0;
+  u32 fragments_counter = 0;
+  u32 next_fragment_size = 0;
+  u32 last_fragment_size = 0;
+  u32 retry_count = 0;   ///< Per-fragment retry counter (resets on each ACK).
+  u32 msdu_retries = 0;  ///< Cumulative retries across the whole MSDU.
+  u32 seq_num = 0;
+  // Fixed base address and page size make these pointers static (Fig. 4.2).
+  u32 msdu_pointer = 0;   ///< Pointer to the packet to be sent (Raw page).
+  u32 epointer = 0;       ///< Pointer to data to be encrypted.
+  u32 fpointer = 0;       ///< Pointer to data to be fragmented.
+};
+
+/// High-level command codes (Fig. 4.3: "the programmer will simply choose one
+/// of the many command codes ... The command codes are provided as part of
+/// the API, and correspond to a particular service request for the hardware
+/// co-processor.").
+enum class Command : u8 {
+  // WiFi.
+  kWifiPrepareTx,    ///< args: []             -> SeqAssign (seq becomes the WEP IV).
+  kWifiEncrypt,      ///< args: [iv]           -> RC4 encrypt Raw -> Crypt.
+  kWifiTxFragment,   ///< args: [frag_idx, threshold, retry] -> frag+asm+hcs+csma+tx.
+  kWifiSendRts,      ///< args: [retry] -> csma + tx of the CPU-built RTS (Scratch page).
+  kWifiTxFragmentPcf,///< args: [frag_idx, threshold] -> frag+asm+hcs+pcf+tx (polled).
+  kWifiSendNull,     ///< args: [] -> hcs + pcf + tx of the CPU-built Null header.
+  kWifiRxCheck,      ///< args: [src_key, seq_frag] -> SeqCheck duplicate detection.
+  kWifiRxExtract,    ///< args: [first_frag]   -> extract body + defrag append.
+  kWifiRxFinish,     ///< args: [iv]           -> RC4 decrypt of reassembly.
+  // UWB.
+  kUwbPrepareTx,     ///< args: []             -> SeqAssign (MSDU number = nonce).
+  kUwbEncrypt,       ///< args: [nonce_lo, nonce_hi] -> AES-CTR Raw -> Crypt.
+  kUwbTxFragment,    ///< args: [frag_idx, threshold, slot_offset_us, slot_period_us].
+  kUwbTxFragmentCap, ///< args: [frag_idx, threshold, retry] — CAP (CSMA) access.
+  kUwbRxExtract,     ///< args: [first_frag].
+  kUwbRxFinish,      ///< args: [nonce_lo, nonce_hi].
+  // WiMAX.
+  kWimaxClassify,    ///< args: [meta].
+  kWimaxArqTag,      ///< args: [cid] -> ArqTag only (probe the window; no side effects).
+  kWimaxEncryptPack, ///< args: [iv, pack_flag, first_flag] -> DES + optional pack append.
+  kWimaxTxMpdu,      ///< args: [slot_offset_us, frame_period_us, with_crc, use_pack_page].
+  kWimaxRxExtract,   ///< args: [] -> extract payload region.
+  kWimaxRxSingle,    ///< args: [iv] -> decrypt single-SDU payload.
+  kWimaxRxSdu,       ///< args: [index, iv] -> unpack SDU + decrypt.
+  kWimaxArqFeedback, ///< args: [cid, cumulative_bsn].
+};
+
+/// Fig. 4.3 — cDRMP: "contains the state of all three protocol modes as
+/// ProtocolState variables, and the API-function used to request Hardware
+/// Service."
+class cDRMP {
+ public:
+  explicit cDRMP(hw::PacketMemory* mem) : mem_(mem) {
+    PSA.my_id = 1;
+    PSB.my_id = 2;
+    PSC.my_id = 3;
+    PSA.base_pointer = hw::page_base(Mode::A, hw::Page::Ctrl);
+    PSB.base_pointer = hw::page_base(Mode::B, hw::Page::Ctrl);
+    PSC.base_pointer = hw::page_base(Mode::C, hw::Page::Ctrl);
+  }
+
+  ProtocolState PSA;
+  ProtocolState PSB;
+  ProtocolState PSC;
+
+  ProtocolState& ps(Mode m) {
+    switch (m) {
+      case Mode::A: return PSA;
+      case Mode::B: return PSB;
+      case Mode::C: return PSC;
+    }
+    return PSA;
+  }
+
+  /// Expands a command code into its op-code sequence (the device-driver
+  /// body of Fig. 4.3's switch).
+  static std::vector<irc::OpCall> expand(Mode mode, Command cmd,
+                                         const std::vector<Word>& args);
+
+  /// Formats the super-op-code into the interface registers and rings the
+  /// doorbell (Table 3.2 software->hardware path). Returns the request tag.
+  /// Also returns the instruction-count estimate for the CPU cost model.
+  u32 Request_RHCP_Service(Mode mode, Command cmd, const std::vector<Word>& args,
+                           u32* instr_cost = nullptr);
+
+  /// Low-level variant taking an explicit op list.
+  u32 Request_RHCP_Service_Ops(Mode mode, std::vector<irc::OpCall> ops,
+                               u32* instr_cost = nullptr);
+
+ private:
+  hw::PacketMemory* mem_;
+  u32 next_tag_ = 1;
+};
+
+}  // namespace drmp::api

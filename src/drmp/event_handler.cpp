@@ -1,0 +1,244 @@
+#include "drmp/event_handler.hpp"
+
+#include "mac/uwb_frames.hpp"
+#include "mac/wifi_frames.hpp"
+#include "rfu/rfu_ids.hpp"
+
+namespace drmp {
+
+using hw::CtrlWord;
+using hw::ctrl_status_addr;
+using hw::Page;
+using hw::page_base;
+using irc::IrqEvent;
+using irc::OpCall;
+using rfu::Op;
+
+void EventHandler::submit_drain(Mode m) {
+  const auto& id = env_.idents[index(m)];
+  const u32 mode_idx = static_cast<u32>(index(m));
+  const u32 rx = page_base(m, Page::Rx);
+  const u32 fcs_ok = ctrl_status_addr(m, CtrlWord::kFcsOk);
+  const u32 status_base = ctrl_status_addr(m, static_cast<CtrlWord>(0));
+
+  irc::ServiceRequest req;
+  req.from_cpu = false;
+  switch (id.proto) {
+    case mac::Protocol::WiFi:
+      req.ops = {
+          {Op::RxDrainWifi, {rx, mode_idx, 1, fcs_ok}},
+          {Op::ParseWifi, {rx, status_base}},
+      };
+      break;
+    case mac::Protocol::Uwb: {
+      // Header-only frames (Imm-ACK) carry no FCS.
+      const bool has_fcs =
+          env_.rx_bufs[index(m)]->frame_bytes() > mac::uwb::kImmAckBytes;
+      req.ops = {
+          {Op::RxDrainUwb, {rx, mode_idx, has_fcs ? 1u : 0u, fcs_ok}},
+          {Op::ParseUwb, {rx, status_base}},
+      };
+      break;
+    }
+    case mac::Protocol::WiMax:
+      // The optional CRC is validated by the parse (CI-dependent).
+      req.ops = {
+          {Op::RxDrainWimax, {rx, mode_idx, 0, fcs_ok}},
+          {Op::ParseWimax, {rx, status_base}},
+      };
+      break;
+  }
+  tag_[index(m)] = env_.irc->submit(m, std::move(req));
+  st_[index(m)] = St::WaitDrain;
+}
+
+void EventHandler::evaluate_frame(Mode m) {
+  const auto& id = env_.idents[index(m)];
+  const bool parse_ok = status(m, CtrlWord::kParseOk) != 0;
+  const bool hcs_ok = status(m, CtrlWord::kHcsOk) != 0;
+  const bool fcs_ok = status(m, CtrlWord::kFcsOk) != 0;
+  ++handled_[index(m)];
+
+  if (!parse_ok || !hcs_ok || !fcs_ok) {
+    // Bad redundancy: drop silently (no ACK — the transmitter will retry).
+    ++bad_[index(m)];
+    st_[index(m)] = St::Idle;
+    return;
+  }
+
+  switch (id.proto) {
+    case mac::Protocol::WiFi: {
+      const Word type_word = status(m, CtrlWord::kFrameType);
+      const auto type = static_cast<mac::wifi::FrameType>(type_word >> 8);
+      const auto subtype = static_cast<mac::wifi::Subtype>(type_word & 0xFF);
+      if (type == mac::wifi::FrameType::Control && subtype == mac::wifi::Subtype::Ack) {
+        if (raise_irq) raise_irq(m, IrqEvent::RxAckInd, ctrl::kAckParamAck);
+        st_[index(m)] = St::Idle;  // Control frame: Rx page free immediately.
+        return;
+      }
+      if (type == mac::wifi::FrameType::Control && subtype == mac::wifi::Subtype::Cts) {
+        // CTS addressed to this station unblocks the protocol control's
+        // RTS/CTS handshake (param distinguishes it from a data ACK).
+        const u64 ra = static_cast<u64>(status(m, CtrlWord::kDstLo)) |
+                       (static_cast<u64>(status(m, CtrlWord::kDstHi)) << 32);
+        if (ra == id.self_addr && raise_irq) raise_irq(m, IrqEvent::RxAckInd, ctrl::kAckParamCts);
+        st_[index(m)] = St::Idle;
+        return;
+      }
+      if (type == mac::wifi::FrameType::Control &&
+          (subtype == mac::wifi::Subtype::CfEnd ||
+           subtype == mac::wifi::Subtype::CfEndAck)) {
+        // End of the contention-free period (PCF): notify the protocol
+        // control, carrying any piggybacked CF-Ack (§2.3.2.1 #11).
+        if (raise_irq) {
+          raise_irq(m, IrqEvent::RxInd,
+                    subtype == mac::wifi::Subtype::CfEndAck ? ctrl::kRxParamCfEndAck
+                                                            : ctrl::kRxParamCfEnd);
+        }
+        st_[index(m)] = St::Idle;
+        return;
+      }
+      if (type == mac::wifi::FrameType::Control && subtype == mac::wifi::Subtype::Rts) {
+        // Autonomous CTS after SIFS via the AckRfu — the same time-critical
+        // path as the ACK; the CPU never sees the RTS (§3.5).
+        const u64 ra = static_cast<u64>(status(m, CtrlWord::kDstLo)) |
+                       (static_cast<u64>(status(m, CtrlWord::kDstHi)) << 32);
+        if (ra != id.self_addr) {
+          st_[index(m)] = St::Idle;  // Not for us: NAV only (no response).
+          return;
+        }
+        irc::ServiceRequest req;
+        req.from_cpu = false;
+        req.ops = {{Op::CtsGenWifi,
+                    {status(m, CtrlWord::kSrcLo), status(m, CtrlWord::kSrcHi),
+                     static_cast<u32>(index(m)), page_base(m, Page::Ack)}}};
+        tag_[index(m)] = env_.irc->submit(m, std::move(req));
+        st_[index(m)] = St::WaitCtsGen;
+        return;
+      }
+      if (type == mac::wifi::FrameType::Management &&
+          subtype == mac::wifi::Subtype::Beacon) {
+        // Passive scanning / synchronization (§2.3.2.1 #13/#15): beacons are
+        // broadcast, never ACKed; the management plane (CPU) records them.
+        if (raise_irq) raise_irq(m, IrqEvent::RxInd, ctrl::kRxParamBeacon);
+        st_[index(m)] = St::WaitRelease;  // CPU reads the body, then releases.
+        return;
+      }
+      if (type == mac::wifi::FrameType::Data) {
+        // Address filter: only frames addressed to this station are ACKed.
+        const u64 dst = static_cast<u64>(status(m, CtrlWord::kDstLo)) |
+                        (static_cast<u64>(status(m, CtrlWord::kDstHi)) << 32);
+        if (dst != id.self_addr) {
+          st_[index(m)] = St::Idle;
+          return;
+        }
+        if (subtype == mac::wifi::Subtype::CfPoll ||
+            subtype == mac::wifi::Subtype::CfAckCfPoll) {
+          // PCF poll: the protocol control answers it (data or Null) after
+          // SIFS; polls are never ACKed with ACK frames (§2.3.2.1 #5).
+          if (raise_irq) {
+            raise_irq(m, IrqEvent::RxInd,
+                      subtype == mac::wifi::Subtype::CfAckCfPoll
+                          ? ctrl::kRxParamCfPollAck
+                          : ctrl::kRxParamCfPoll);
+          }
+          st_[index(m)] = St::Idle;  // Polls carry no payload to hold.
+          return;
+        }
+        if (subtype != mac::wifi::Subtype::Data) {
+          st_[index(m)] = St::Idle;  // Null or other no-payload subtypes.
+          return;
+        }
+        // Autonomous ACK after SIFS — the time-critical path (§3.5).
+        irc::ServiceRequest req;
+        req.from_cpu = false;
+        req.ops = {{Op::AckGenWifi,
+                    {status(m, CtrlWord::kSrcLo), status(m, CtrlWord::kSrcHi),
+                     static_cast<u32>(index(m)), page_base(m, Page::Ack)}}};
+        tag_[index(m)] = env_.irc->submit(m, std::move(req));
+        st_[index(m)] = St::WaitAckGen;
+        return;
+      }
+      st_[index(m)] = St::Idle;
+      return;
+    }
+    case mac::Protocol::Uwb: {
+      const auto type = static_cast<mac::uwb::FrameType>(status(m, CtrlWord::kFrameType));
+      if (type == mac::uwb::FrameType::ImmAck) {
+        if (raise_irq) raise_irq(m, IrqEvent::RxAckInd, 0);
+        st_[index(m)] = St::Idle;
+        return;
+      }
+      if (type == mac::uwb::FrameType::Data) {
+        const Word dst = status(m, CtrlWord::kDstLo);
+        if (dst != id.dev_id) {
+          st_[index(m)] = St::Idle;
+          return;
+        }
+        if (status(m, CtrlWord::kAckPolicy) != 0) {
+          irc::ServiceRequest req;
+          req.from_cpu = false;
+          req.ops = {{Op::AckGenUwb,
+                      {status(m, CtrlWord::kSrcLo), id.dev_id,
+                       static_cast<u32>(index(m)), page_base(m, Page::Ack)}}};
+          tag_[index(m)] = env_.irc->submit(m, std::move(req));
+          st_[index(m)] = St::WaitAckGen;
+          return;
+        }
+        if (raise_irq) raise_irq(m, IrqEvent::RxInd, 0);
+        st_[index(m)] = St::WaitRelease;
+        return;
+      }
+      st_[index(m)] = St::Idle;
+      return;
+    }
+    case mac::Protocol::WiMax: {
+      // Both data MPDUs and ARQ feedback go to the CPU; WiMAX uses no ACK
+      // frames ("for WiMAX their role is limited", §2.3.2.1 #10).
+      if (raise_irq) raise_irq(m, IrqEvent::RxInd, 0);
+      st_[index(m)] = St::WaitRelease;
+      return;
+    }
+  }
+}
+
+void EventHandler::on_request_complete(Mode m, u32 tag) {
+  if (tag != tag_[index(m)]) return;
+  switch (st_[index(m)]) {
+    case St::WaitDrain:
+      evaluate_frame(m);
+      return;
+    case St::WaitAckGen:
+      ++acked_[index(m)];
+      if (raise_irq) raise_irq(m, IrqEvent::RxInd, 0);
+      st_[index(m)] = St::WaitRelease;
+      return;
+    case St::WaitCtsGen:
+      // CTS staged; the RTS itself carries nothing for the CPU.
+      ++cts_[index(m)];
+      st_[index(m)] = St::Idle;
+      return;
+    default:
+      return;
+  }
+}
+
+void EventHandler::release(Mode m) {
+  if (st_[index(m)] == St::WaitRelease) st_[index(m)] = St::Idle;
+}
+
+void EventHandler::tick() {
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    if (!env_.enabled[i]) continue;
+    if (env_.stats != nullptr) {
+      if (busy_stat_ == nullptr) busy_stat_ = &env_.stats->busy("event_handler");
+      busy_stat_->sample(st_[i] != St::Idle);
+    }
+    if (st_[i] == St::Idle && env_.rx_bufs[i] != nullptr &&
+        env_.rx_bufs[i]->frame_ready()) {
+      submit_drain(mode_from_index(i));
+    }
+  }
+}
+
+}  // namespace drmp

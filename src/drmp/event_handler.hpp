@@ -1,0 +1,74 @@
+// The Event Handler (thesis §3.6.6): "a simple block that interprets Rx
+// events. If a packet is to be received, it formats a service request. A
+// service request to the IRC can thus originate from either the CPU or the
+// Event-handler."
+//
+// Per mode it watches the Rx translational buffer; on a completed frame it
+// submits the autonomous receive chain (drain + redundancy check + header
+// parse), evaluates the results, triggers the AckRfu for frames that demand
+// an immediate acknowledgement — all "without the software being aware of
+// it" (§3.5) — and only then interrupts the CPU.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "hw/ctrl_layout.hpp"
+#include "hw/packet_memory.hpp"
+#include "irc/irc.hpp"
+#include "mac/ctrl_common.hpp"
+#include "phy/buffers.hpp"
+#include "sim/scheduler.hpp"
+
+namespace drmp {
+
+class EventHandler : public sim::Clockable {
+ public:
+  struct Env {
+    irc::Irc* irc = nullptr;
+    hw::PacketMemory* mem = nullptr;
+    std::array<phy::RxBuffer*, kNumModes> rx_bufs{};
+    std::array<ctrl::ModeIdentity, kNumModes> idents{};
+    std::array<bool, kNumModes> enabled{};
+    const sim::TimeBase* tb = nullptr;
+    sim::StatsRegistry* stats = nullptr;
+  };
+
+  explicit EventHandler(Env env) : env_(std::move(env)) {}
+
+  /// Raise-interrupt hook (device wires it to the CPU model + IRC mirror).
+  std::function<void(Mode, irc::IrqEvent, Word)> raise_irq;
+
+  /// Routed by the device from Irc::on_complete for event-handler requests.
+  void on_request_complete(Mode m, u32 tag);
+
+  /// The CPU's protocol control releases the Rx page after consuming it.
+  void release(Mode m);
+
+  void tick() override;
+
+  u32 rx_bad_frames(Mode m) const { return bad_[index(m)]; }
+  u32 rx_acks_generated(Mode m) const { return acked_[index(m)]; }
+  u32 rx_frames_handled(Mode m) const { return handled_[index(m)]; }
+  u32 rx_ctss_generated(Mode m) const { return cts_[index(m)]; }
+
+ private:
+  enum class St : u8 { Idle, WaitDrain, WaitAckGen, WaitCtsGen, WaitRelease };
+
+  void submit_drain(Mode m);
+  void evaluate_frame(Mode m);
+  Word status(Mode m, hw::CtrlWord w) const {
+    return env_.mem->cpu_read(hw::ctrl_status_addr(m, w));
+  }
+
+  Env env_;
+  std::array<St, kNumModes> st_{St::Idle, St::Idle, St::Idle};
+  std::array<u32, kNumModes> tag_{};
+  std::array<u32, kNumModes> bad_{};
+  std::array<u32, kNumModes> acked_{};
+  std::array<u32, kNumModes> handled_{};
+  std::array<u32, kNumModes> cts_{};
+  sim::BusyCounter* busy_stat_ = nullptr;  ///< Cached per-tick stats sink.
+};
+
+}  // namespace drmp

@@ -1,0 +1,191 @@
+#include "drmp/testbench.hpp"
+
+#include <cassert>
+
+#include "crypto/aes128.hpp"
+#include "crypto/des.hpp"
+#include "crypto/rc4.hpp"
+#include "mac/uwb_frames.hpp"
+#include "mac/wifi_frames.hpp"
+#include "mac/wimax_frames.hpp"
+
+namespace drmp {
+
+namespace {
+constexpr int kPeerStationBase = 100;
+}
+
+Testbench::Testbench(DrmpConfig cfg) : cfg_(std::move(cfg)) {
+  sched_ = std::make_unique<sim::Scheduler>(cfg_.arch_freq_hz);
+  const sim::TimeBase tb(cfg_.arch_freq_hz);
+
+  // Media first (their now() leads the rest of the cycle).
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    if (!cfg_.modes[i].enabled) continue;
+    media_[i] = std::make_unique<phy::Medium>(cfg_.modes[i].ident.proto, tb);
+    sched_->add(*media_[i], "medium." + std::string(to_string(mode_from_index(i))));
+  }
+
+  device_ = std::make_unique<DrmpDevice>(*sched_, cfg_, /*station_id=*/1);
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    if (!cfg_.modes[i].enabled) continue;
+    device_->attach_medium(mode_from_index(i), media_[i].get());
+  }
+
+  // Scripted peers.
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    if (!cfg_.modes[i].enabled) continue;
+    peers_[i] = std::make_unique<phy::ScriptedPeer>(*media_[i], device_->timebase(),
+                                                    kPeerStationBase + static_cast<int>(i));
+    peers_[i]->set_wifi_addr(mac::MacAddr::from_u64(cfg_.modes[i].ident.peer_addr));
+    peers_[i]->set_uwb_ids(cfg_.modes[i].ident.pnid, cfg_.modes[i].ident.peer_dev_id);
+    sched_->add(*peers_[i], "peer." + std::string(to_string(mode_from_index(i))));
+  }
+
+  device_->on_tx_complete = [this](Mode m, bool ok, u32 retries) {
+    ++tx_done_[index(m)];
+    if (ok) ++tx_ok_[index(m)];
+    last_retries_[index(m)] = retries;
+    tx_latencies_us_[index(m)].push_back(
+        device_->timebase().cycles_to_us(sched_->now() - tx_start_cycle_[index(m)]));
+  };
+  device_->on_deliver = [this](Mode m, const Bytes& msdu) {
+    delivered_[index(m)].push_back(msdu);
+  };
+}
+
+void Testbench::send_async(Mode m, Bytes msdu) {
+  if (tx_start_cycle_[index(m)] == 0) tx_start_cycle_[index(m)] = sched_->now();
+  device_->host_send(m, std::move(msdu));
+}
+
+Testbench::TxOutcome Testbench::send_and_wait(Mode m, Bytes msdu, Cycle max_cycles) {
+  TxOutcome out;
+  const u32 done_before = tx_done_[index(m)];
+  const u32 ok_before = tx_ok_[index(m)];
+  out.start_cycle = sched_->now();
+  tx_start_cycle_[index(m)] = sched_->now();
+  device_->host_send(m, std::move(msdu));
+  out.completed =
+      sched_->run_until([&] { return tx_done_[index(m)] > done_before; }, max_cycles);
+  out.end_cycle = sched_->now();
+  out.success = out.completed && tx_ok_[index(m)] > ok_before;
+  out.retries = last_retries_[index(m)];
+  out.latency_us = device_->timebase().cycles_to_us(out.end_cycle - out.start_cycle);
+  return out;
+}
+
+bool Testbench::wait_tx_count(Mode m, u32 n, Cycle max_cycles) {
+  return sched_->run_until([&] { return tx_done_[index(m)] >= n; }, max_cycles);
+}
+
+std::vector<Bytes> Testbench::make_peer_frames(Mode m, const Bytes& msdu_plain,
+                                               u32 seq) const {
+  const auto& mc = cfg_.modes[index(m)];
+  std::vector<Bytes> frames;
+  const u32 thr = mc.ident.frag_threshold;
+
+  // Encrypt the whole MSDU exactly as the device-side transmit flow does.
+  Bytes enc = msdu_plain;
+  switch (mc.ident.proto) {
+    case mac::Protocol::WiFi: {
+      Bytes iv_key;
+      iv_key.push_back(static_cast<u8>(seq));
+      iv_key.push_back(static_cast<u8>(seq >> 8));
+      iv_key.push_back(static_cast<u8>(seq >> 16));
+      iv_key.insert(iv_key.end(), mc.key.begin(), mc.key.end());
+      crypto::Rc4 rc4(iv_key);
+      rc4.process(enc);
+      break;
+    }
+    case mac::Protocol::Uwb: {
+      crypto::Aes128 aes(mc.key);
+      u8 nonce[16] = {};
+      for (int i = 0; i < 4; ++i) nonce[i] = static_cast<u8>(seq >> (8 * i));
+      aes.ctr_process(std::span<const u8>(nonce, 16), enc);
+      break;
+    }
+    case mac::Protocol::WiMax: {
+      crypto::Des des(mc.key);
+      const u32 cid = mc.ident.basic_cid;
+      u8 iv[8] = {};
+      for (int i = 0; i < 4; ++i) iv[i] = static_cast<u8>(cid >> (8 * i));
+      const std::size_t whole = enc.size() - enc.size() % 8;
+      des.cbc_encrypt(std::span<const u8>(iv, 8), std::span<u8>(enc.data(), whole));
+      break;
+    }
+  }
+
+  // WiMAX: one MPDU carries the whole payload (no fragmentation here).
+  const u32 eff_thr = mc.ident.proto == mac::Protocol::WiMax
+                          ? static_cast<u32>(std::max<std::size_t>(enc.size(), 1))
+                          : thr;
+  const u32 nfrags =
+      std::max<u32>(1, (static_cast<u32>(enc.size()) + eff_thr - 1) / eff_thr);
+  for (u32 k = 0; k < nfrags; ++k) {
+    const std::size_t begin = static_cast<std::size_t>(k) * eff_thr;
+    const std::size_t end = std::min<std::size_t>(begin + eff_thr, enc.size());
+    const std::span<const u8> slice(enc.data() + begin, end - begin);
+    switch (mc.ident.proto) {
+      case mac::Protocol::WiFi: {
+        mac::wifi::DataHeader h;
+        h.fc.type = mac::wifi::FrameType::Data;
+        h.fc.more_frag = (k + 1 < nfrags);
+        h.fc.protected_frame = true;
+        h.addr1 = mac::MacAddr::from_u64(mc.ident.self_addr);   // To the device.
+        h.addr2 = mac::MacAddr::from_u64(mc.ident.peer_addr);   // From the peer.
+        h.addr3 = h.addr2;
+        h.seq_num = static_cast<u16>(seq);
+        h.frag_num = static_cast<u8>(k);
+        frames.push_back(mac::wifi::build_data_mpdu(h, slice));
+        break;
+      }
+      case mac::Protocol::Uwb: {
+        mac::uwb::Header h;
+        h.type = mac::uwb::FrameType::Data;
+        h.ack_policy = mac::uwb::AckPolicy::ImmAck;
+        h.sec = true;
+        h.pnid = mc.ident.pnid;
+        h.dest_id = mc.ident.dev_id;
+        h.src_id = mc.ident.peer_dev_id;
+        h.msdu_num = static_cast<u16>(seq & 0x1FF);
+        h.frag_num = static_cast<u8>(k);
+        h.last_frag_num = static_cast<u8>(nfrags - 1);
+        frames.push_back(mac::uwb::build_data_frame(h, slice));
+        break;
+      }
+      case mac::Protocol::WiMax: {
+        frames.push_back(mac::wimax::build_mpdu(mc.ident.basic_cid, {}, slice,
+                                                /*with_crc=*/true, /*encrypted=*/true));
+        break;
+      }
+    }
+  }
+  return frames;
+}
+
+Bytes Testbench::make_arq_feedback(u32 cumulative_bsn) const {
+  Bytes payload;
+  put_le32(payload, cumulative_bsn);
+  return mac::wimax::build_mpdu(ctrl::kArqFeedbackCid, {}, payload, /*with_crc=*/true,
+                                /*encrypted=*/false);
+}
+
+std::optional<Bytes> Testbench::inject_and_wait(Mode m, const Bytes& msdu_plain, u32 seq,
+                                                Cycle max_cycles) {
+  const auto frames = make_peer_frames(m, msdu_plain, seq);
+  const std::size_t before = delivered_[index(m)].size();
+  Cycle at = sched_->now() + 10;
+  for (const auto& f : frames) {
+    peers_[index(m)]->inject_frame(f, at);
+    // Fragments are spaced by the frame air time plus protocol gaps; the
+    // peer serializes them on the medium anyway.
+    at += media_[index(m)]->frame_air_cycles(f.size()) + 4000;
+  }
+  const bool got = sched_->run_until(
+      [&] { return delivered_[index(m)].size() > before; }, max_cycles);
+  if (!got) return std::nullopt;
+  return delivered_[index(m)].back();
+}
+
+}  // namespace drmp

@@ -1,0 +1,130 @@
+#include "est/gates.hpp"
+
+namespace drmp::est {
+
+u32 Design::total_gates() const {
+  u32 g = 0;
+  for (const auto& b : blocks_) g += b.gates;
+  return g;
+}
+
+u32 Design::total_sram_bits() const {
+  u32 s = 0;
+  for (const auto& b : blocks_) s += b.sram_bits;
+  return s;
+}
+
+double Design::area_mm2(const Process& p) const {
+  const double logic = static_cast<double>(total_gates()) * p.um2_per_gate;
+  const double mem = static_cast<double>(total_sram_bits()) * p.um2_per_sram_bit;
+  return (logic + mem) / 1e6;
+}
+
+// ---------------------------------------------------------------- Catalog
+//
+// Gate counts are NAND2-equivalents anchored to published figures of the
+// era (2005-2008): ARM7TDMI-class core ~70-100k gates; AES-128 cores
+// 20-30k; DES ~15k; RC4 ~10k; CRC engines 1-3k; 802.11 MAC accelerators
+// (Panic et al.) ~200k gates total with CPU; 802.16 MAC SoCs ~350k.
+
+namespace {
+
+Block cpu_core(u32 gates = 90'000) { return {"cpu_core", gates, 16 * 1024 * 8}; }
+
+}  // namespace
+
+Design conventional_wifi_mac() {
+  return Design("WiFi MAC (conventional)",
+                {
+                    cpu_core(80'000),
+                    {"tx_rx_fsm", 18'000, 0},
+                    {"crc32_fcs", 2'800, 0},
+                    {"crc16_hcs", 1'500, 0},
+                    {"wep_rc4", 11'000, 2048},
+                    {"aes_ccmp", 24'000, 1024},
+                    {"frag_defrag", 7'500, 0},
+                    {"backoff_timer", 5'200, 0},
+                    {"host_dma_if", 9'000, 0},
+                    {"phy_if", 4'000, 0},
+                    {"buffers_sram", 2'000, 64 * 1024 * 8},
+                });
+}
+
+Design conventional_uwb_mac() {
+  return Design("UWB MAC (conventional)",
+                {
+                    cpu_core(70'000),
+                    {"tx_rx_fsm", 16'000, 0},
+                    {"crc32_fcs", 2'800, 0},
+                    {"crc16_hcs", 1'500, 0},
+                    {"aes_ccm", 26'000, 1024},
+                    {"frag_defrag", 7'000, 0},
+                    {"superframe_timer", 6'500, 0},
+                    {"imm_ack_gen", 3'500, 0},
+                    {"host_dma_if", 9'000, 0},
+                    {"phy_if", 4'500, 0},
+                    {"buffers_sram", 2'000, 48 * 1024 * 8},
+                });
+}
+
+Design conventional_wimax_mac() {
+  return Design("WiMAX MAC (conventional)",
+                {
+                    cpu_core(100'000),
+                    {"tx_rx_fsm", 22'000, 0},
+                    {"crc32", 2'800, 0},
+                    {"crc8_hcs", 900, 0},
+                    {"des_3des", 16'000, 1024},
+                    {"aes", 24'000, 1024},
+                    {"pack_frag", 12'000, 0},
+                    {"arq_engine", 15'000, 4096},
+                    {"classifier", 8'000, 8192},
+                    {"scheduler_tdd", 11'000, 0},
+                    {"host_dma_if", 9'000, 0},
+                    {"phy_if", 5'000, 0},
+                    {"buffers_sram", 2'000, 96 * 1024 * 8},
+                });
+}
+
+const std::map<std::string, Block>& drmp_rfu_blocks() {
+  // The DRMP's coarse-grained, function-specific RFUs. Each carries a small
+  // reconfiguration overhead (interface logic + context registers) over the
+  // equivalent fixed block — the price of flexibility the thesis accepts in
+  // exchange for sharing the unit across three protocols (§3.6.2).
+  static const std::map<std::string, Block> blocks = {
+      {"crypto", {"rfu_crypto(RC4/AES/DES)", 34'000, 4096}},
+      {"hdr_check", {"rfu_hdr_check(CRC16/8)", 2'600, 128}},
+      {"fcs", {"rfu_fcs(CRC32+snoop)", 4'200, 256}},
+      {"frag", {"rfu_frag", 4'800, 128}},
+      {"defrag", {"rfu_defrag", 4'800, 128}},
+      {"header", {"rfu_header(asm/parse)", 13'000, 1024}},
+      {"tx", {"rfu_tx_fsm", 7'500, 256}},
+      {"rx", {"rfu_rx_fsm", 7'500, 256}},
+      {"ack", {"rfu_ack_gen", 4'000, 128}},
+      {"backoff", {"rfu_access_timing", 6'800, 256}},
+      {"pack", {"rfu_pack", 6'000, 128}},
+      {"arq", {"rfu_arq", 12'000, 4096}},
+      {"classifier", {"rfu_classifier", 5'500, 8192}},
+      {"seq", {"rfu_seq", 2'200, 512}},
+  };
+  return blocks;
+}
+
+Design drmp_design() {
+  std::vector<Block> blocks = {
+      cpu_core(80'000),  // One CPU replaces three (§1.3).
+      {"irc(7 controllers+tables)", 14'000, 2048},
+      {"packet_bus+arbiter", 3'500, 0},
+      {"trigger_logic", 1'200, 0},
+      {"event_handler", 3'000, 0},
+      {"tx_rx_buffers", 3'600, 3 * 8 * 1024 * 8},
+      {"packet_memory", 1'000, 76 * 1024 * 8},
+      {"reconfig_memory", 500, 8 * 1024 * 8},
+      {"phy_if_wrappers", 6'000, 0},
+      {"host_dma_if", 9'000, 0},
+  };
+  for (const auto& [k, b] : drmp_rfu_blocks()) blocks.push_back(b);
+  return Design("DRMP", std::move(blocks));
+}
+
+}  // namespace drmp::est

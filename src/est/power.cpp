@@ -1,0 +1,43 @@
+#include "est/power.hpp"
+
+#include <algorithm>
+
+namespace drmp::est {
+
+double dvfs_voltage(double vdd_nominal, double freq_scale) {
+  const double v = vdd_nominal * (0.4 + 0.6 * freq_scale);
+  return std::max(v, 0.6 * vdd_nominal);
+}
+
+PowerBreakdown estimate_power(const Design& d, const Process& p, double f_hz,
+                              const std::map<std::string, double>& activity,
+                              double default_activity, PowerTechniques tech) {
+  PowerBreakdown out;
+  const double f = tech.dvfs ? f_hz * tech.dvfs_freq_scale : f_hz;
+  const double vdd = tech.dvfs ? dvfs_voltage(p.vdd, tech.dvfs_freq_scale) : p.vdd;
+
+  for (const auto& b : d.blocks()) {
+    double alpha = default_activity;
+    auto it = activity.find(b.name);
+    if (it != activity.end()) alpha = it->second;
+
+    // Without clock gating the clock tree toggles regardless of work:
+    // effective switching activity has a fixed floor.
+    const double eff_alpha = tech.clock_gating ? alpha : std::max(alpha, 0.25);
+
+    const double cap = static_cast<double>(b.gates) * p.cap_per_gate_f +
+                       static_cast<double>(b.sram_bits) * 0.05e-15;
+    out.dynamic_mw += eff_alpha * cap * vdd * vdd * f * 1e3;
+
+    double leak = static_cast<double>(b.gates) * p.leak_per_gate_w;
+    if (tech.power_shutoff) {
+      // Power-gated blocks leak only while powered; 10% always-on floor
+      // (retention + wake logic).
+      leak *= std::max(alpha, 0.10);
+    }
+    out.leakage_mw += leak * 1e3 * (vdd / p.vdd) * (vdd / p.vdd);
+  }
+  return out;
+}
+
+}  // namespace drmp::est

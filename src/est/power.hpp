@@ -1,0 +1,42 @@
+// Activity-based power model (thesis §6.1-6.2, Tables 6.4-6.5).
+//
+// P_dyn = alpha * C_eff * Vdd^2 * f summed over blocks, plus leakage.
+// The activity factor alpha per block comes from the *measured busy
+// fractions of the cycle-accurate simulation* — reproducing the paper's
+// argument chain: large time slack (Fig. 6.1) -> clock gating / power
+// shut-off / DVFS (§6.2) -> hand-held-compatible power.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "est/gates.hpp"
+
+namespace drmp::est {
+
+/// Power-management technique set (§6.2 discusses clock gating, PSO/power
+/// shut-off and DVFS as the techniques the DRMP's idle slack enables).
+struct PowerTechniques {
+  bool clock_gating = false;  ///< Dynamic power scales with busy fraction.
+  bool power_shutoff = false; ///< Leakage scales with busy fraction (+10% floor).
+  bool dvfs = false;          ///< Voltage tracks the minimum viable frequency.
+  double dvfs_freq_scale = 1.0;  ///< f_min / f_nominal when dvfs is on.
+};
+
+struct PowerBreakdown {
+  double dynamic_mw = 0.0;
+  double leakage_mw = 0.0;
+  double total_mw() const { return dynamic_mw + leakage_mw; }
+};
+
+/// Computes the power of a design at frequency `f_hz`, with per-block
+/// activity factors (default activity used when a block has no entry).
+PowerBreakdown estimate_power(const Design& d, const Process& p, double f_hz,
+                              const std::map<std::string, double>& activity,
+                              double default_activity, PowerTechniques tech = {});
+
+/// Voltage scaling rule of thumb for DVFS: V ~ V_nom * (0.4 + 0.6 * f/f_nom),
+/// clamped to >= 0.6 * V_nom.
+double dvfs_voltage(double vdd_nominal, double freq_scale);
+
+}  // namespace drmp::est

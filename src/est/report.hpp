@@ -1,0 +1,28 @@
+// Tabular report formatting for the Chapter-6 bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace drmp::est {
+
+/// A simple fixed-width text table (the benches print the same rows the
+/// paper's tables report).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+  void print(std::ostream& os) const;
+
+  static std::string num(double v, int precision = 2);
+  static std::string gates(u32 g);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace drmp::est

@@ -1,0 +1,172 @@
+#include "hw/bus.hpp"
+
+namespace drmp::hw {
+
+PacketBus::PacketBus(PacketMemory& mem, sim::StatsRegistry* stats)
+    : mem_(mem), stats_(stats) {}
+
+void PacketBus::request_for_irc(Mode m) {
+  auto& r = requests_[index(m)];
+  if (recorder_ != nullptr && !r.active) recorder_->on_request(m, total_cycles_);
+  r.active = true;
+  r.for_rfu = false;
+  r.rfu_id = 0xFF;
+}
+
+void PacketBus::request_for_rfu(Mode m, u8 rfu_id) {
+  auto& r = requests_[index(m)];
+  if (recorder_ != nullptr && !r.active) recorder_->on_request(m, total_cycles_);
+  r.active = true;
+  r.for_rfu = true;
+  r.rfu_id = rfu_id;
+}
+
+void PacketBus::release(Mode m) {
+  assert(override_stack_.empty() &&
+         "bus released by IRC while a grant override is outstanding");
+  if (recorder_ != nullptr && requests_[index(m)].active) {
+    recorder_->on_release(m, total_cycles_);
+  }
+  requests_[index(m)] = ModeRequest{};
+}
+
+Word PacketBus::read(u32 addr) {
+  assert(grant_.kind != MasterKind::None && "bus read without a master");
+  assert(!accessed_this_cycle_ && "second bus access in one cycle");
+  accessed_this_cycle_ = true;
+  if (recorder_ != nullptr) {
+    recorder_->on_access(grant_origin_mode(), total_cycles_, /*rfu_region=*/false);
+  }
+  return mem_.read(addr);
+}
+
+void PacketBus::write(u32 addr, Word data) {
+  assert(grant_.kind != MasterKind::None && "bus write without a master");
+  assert(!accessed_this_cycle_ && "second bus access in one cycle");
+  accessed_this_cycle_ = true;
+  if (recorder_ != nullptr) {
+    const bool rfu_region = addr == kOverrideAddr || triggers_.decodes(addr);
+    recorder_->on_access(grant_origin_mode(), total_cycles_, rfu_region);
+  }
+
+  if (addr == kOverrideAddr) {
+    // Grant Override Logic (thesis §3.6.5): only the current RFU master may
+    // override. Writing another RFU's id delegates the bus to that slave;
+    // writing its own id (or 0xFF) hands the bus back to the saved master.
+    assert(grant_.kind == MasterKind::Rfu && "only an RFU master can override the grant");
+    const u8 target = static_cast<u8>(data);
+    if (target == grant_.rfu_id || target == 0xFF) {
+      assert(!override_stack_.empty() && "override return without a saved master");
+      grant_ = override_stack_.back();
+      override_stack_.pop_back();
+    } else {
+      override_stack_.push_back(grant_);
+      grant_ = Grant{MasterKind::Rfu, grant_.mode, target};
+    }
+    return;
+  }
+
+  if (triggers_.decode_write(addr, data)) {
+    return;  // Write decoded as an RFU trigger; not a memory write.
+  }
+  mem_.write(addr, data);
+}
+
+Mode PacketBus::grant_origin_mode() const {
+  // Which mode's request produced the current grant (for statistics).
+  if (grant_.kind == MasterKind::Irc) return grant_.mode;
+  if (grant_.kind == MasterKind::Rfu) {
+    // Find the mode whose delegated RFU is the master (or, for an override
+    // slave, the mode that installed the original master).
+    const u8 master = override_stack_.empty() ? grant_.rfu_id : override_stack_.front().rfu_id;
+    for (std::size_t i = 0; i < kNumModes; ++i) {
+      const auto& r = requests_[i];
+      if (r.active && r.for_rfu && r.rfu_id == master) return mode_from_index(i);
+    }
+  }
+  return grant_.mode;
+}
+
+void PacketBus::arbitrate() {
+  // Keep the current grant while its originating request is still active
+  // (non-preemptive time-multiplexing, §3.6.3).
+  if (grant_.kind != MasterKind::None) {
+    bool still_active = false;
+    for (std::size_t i = 0; i < kNumModes; ++i) {
+      const auto& r = requests_[i];
+      if (!r.active) continue;
+      const Mode m = mode_from_index(i);
+      if (!r.for_rfu && grant_.kind == MasterKind::Irc && grant_.mode == m) still_active = true;
+      if (r.for_rfu &&
+          ((grant_.kind == MasterKind::Rfu) ||
+           (grant_.kind == MasterKind::Irc && grant_.mode == m))) {
+        // During the grant-delay window the IRC of mode m holds the bus; once
+        // delegated, the RFU (or its override slave) holds it.
+        still_active = true;
+      }
+    }
+    if (still_active) {
+      // Grant Delay Logic: promote IRC-held grant to the requested RFU once
+      // the RFU's trigger has been observed (Fig. 3.12).
+      for (std::size_t i = 0; i < kNumModes; ++i) {
+        const auto& r = requests_[i];
+        const Mode m = mode_from_index(i);
+        if (r.active && r.for_rfu && grant_.kind == MasterKind::Irc && grant_.mode == m &&
+            triggers_.triggered_flag(r.rfu_id)) {
+          triggers_.clear_triggered_flag(r.rfu_id);
+          grant_ = Grant{MasterKind::Rfu, m, r.rfu_id};
+        }
+      }
+      return;
+    }
+    grant_ = Grant{};
+    override_stack_.clear();
+  }
+
+  // New arbitration: fixed priority, mode A highest (§3.6.4).
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    const auto& r = requests_[i];
+    if (!r.active) continue;
+    const Mode m = mode_from_index(i);
+    if (!r.for_rfu) {
+      grant_ = Grant{MasterKind::Irc, m, 0xFF};
+    } else if (triggers_.triggered_flag(r.rfu_id)) {
+      triggers_.clear_triggered_flag(r.rfu_id);
+      grant_ = Grant{MasterKind::Rfu, m, r.rfu_id};
+    } else {
+      // Request on behalf of a not-yet-triggered RFU: grant the IRC so it can
+      // perform the trigger (delay semantics).
+      grant_ = Grant{MasterKind::Irc, m, 0xFF};
+    }
+    break;
+  }
+}
+
+void PacketBus::tick() {
+  // Account the cycle that just completed.
+  ++total_cycles_;
+  if (accessed_this_cycle_) ++busy_cycles_;
+  if (stats_ != nullptr) {
+    if (busy_stat_ == nullptr) busy_stat_ = &stats_->busy("packet_bus");
+    busy_stat_->sample(accessed_this_cycle_);
+  }
+  accessed_this_cycle_ = false;
+
+  arbitrate();
+
+  // Hold/wait accounting for the cycle now starting (post-arbitration, so
+  // the very first granted cycle does not count as contention).
+  if (grant_.kind != MasterKind::None) {
+    ++mode_hold_cycles_[index(grant_origin_mode())];
+  }
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    const auto& r = requests_[i];
+    if (r.active) {
+      const Mode m = mode_from_index(i);
+      const bool owns = (grant_.kind != MasterKind::None) && (grant_origin_mode() == m);
+      if (!owns) ++mode_wait_cycles_[i];
+    }
+  }
+}
+
+}  // namespace drmp::hw

@@ -1,0 +1,52 @@
+// Layout of each mode's Ctrl page (Page::Ctrl). The Ctrl page is the shared
+// blackboard between the CPU protocol control (which only ever touches
+// header/control data, thesis §3.5), the header/parse RFUs (which deposit
+// parsed fields and verify results) and the Event Handler (which reads them
+// to format autonomous service requests, §3.6.6).
+#pragma once
+
+#include "common/types.hpp"
+#include "hw/memory_map.hpp"
+
+namespace drmp::hw {
+
+/// Status/parse word slots at the start of the Ctrl page payload.
+enum class CtrlWord : u32 {
+  kHcsOk = 0,
+  kFcsOk = 1,
+  kParseOk = 2,
+  kFrameType = 3,   ///< Protocol-specific frame type / subtype code.
+  kSeq = 4,         ///< Sequence number (WiFi seq / UWB MSDU num / WiMAX FSN).
+  kFrag = 5,        ///< Fragment number.
+  kMoreFrag = 6,    ///< More-fragments flag / UWB last_frag_num.
+  kRetry = 7,
+  kSrcLo = 8,       ///< Transmitter address, low 32 bits (WiFi) / ids.
+  kSrcHi = 9,       ///< Transmitter address, high 16 bits.
+  kBodyLen = 10,
+  kAckPolicy = 11,  ///< 1 if the received frame requests an ACK.
+  kCid = 12,        ///< WiMAX connection id (classifier output / parsed).
+  kPackCount = 13,  ///< WiMAX: number of packed SDUs.
+  kDupFlag = 14,    ///< SeqRfu duplicate-detection result.
+  kSeqOut = 15,     ///< SeqRfu assigned sequence number.
+  kArqOut = 16,     ///< ArqRfu output (assigned BSN / newly-acked count).
+  kCryptParam = 17, ///< Scratch for control software.
+  kDstLo = 18,      ///< Receiver address, low 32 bits (address filtering).
+  kDstHi = 19,      ///< Receiver address, high 16 bits.
+};
+
+/// Header-template mini-page: the CPU writes the prepared per-fragment MAC
+/// header here (length word + data words), and the Header RFU assembles the
+/// MPDU from it. Placed after the status words within the Ctrl page payload.
+inline constexpr u32 kHdrTmplWordOffset = 24;
+
+constexpr u32 ctrl_status_addr(Mode m, CtrlWord w) {
+  return page_base(m, Page::Ctrl) + kPageDataOffset + static_cast<u32>(w);
+}
+
+/// Address usable as a page base (length word + payload) for the header
+/// template inside the Ctrl page.
+constexpr u32 ctrl_hdr_tmpl_addr(Mode m) {
+  return page_base(m, Page::Ctrl) + kPageDataOffset + kHdrTmplWordOffset - kPageDataOffset;
+}
+
+}  // namespace drmp::hw

@@ -1,0 +1,96 @@
+#include "hw/memory_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace drmp::hw {
+
+MemoryManager::MemoryManager(Config cfg) : cfg_(cfg) {
+  assert(cfg_.block_words > 0);
+  free_.push_back(Extent{0, cfg_.pool_words});
+}
+
+u32 MemoryManager::round_up_blocks(u32 bytes) const {
+  const u32 words = (bytes + 3) / 4;
+  const u32 blocks = (words + cfg_.block_words - 1) / cfg_.block_words;
+  return std::max<u32>(1, blocks) * cfg_.block_words;
+}
+
+std::optional<u32> MemoryManager::alloc(Mode m, u32 bytes) {
+  housekeeping_ += cfg_.alloc_cost_cycles;
+  const u32 span = round_up_blocks(bytes);
+
+  const u32 quota = cfg_.mode_quota_words[index(m)];
+  if (quota != 0 && mode_words_[index(m)] + span > quota) {
+    ++failed_;
+    return std::nullopt;
+  }
+
+  // First fit over the sorted free list.
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i].span < span) continue;
+    const u32 base = free_[i].base;
+    if (free_[i].span == span) {
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      free_[i].base += span;
+      free_[i].span -= span;
+    }
+    const u32 handle = next_handle_++;
+    regions_.emplace(handle, Region{m, base, span});
+    words_in_use_ += span;
+    mode_words_[index(m)] += span;
+    high_water_ = std::max(high_water_, words_in_use_);
+    ++allocs_;
+    return handle;
+  }
+  ++failed_;
+  return std::nullopt;
+}
+
+bool MemoryManager::free(u32 handle) {
+  const auto it = regions_.find(handle);
+  if (it == regions_.end()) return false;  // Unknown or double free.
+  housekeeping_ += cfg_.free_cost_cycles;
+
+  const Region r = it->second;
+  regions_.erase(it);
+  words_in_use_ -= r.span;
+  mode_words_[index(r.mode)] -= r.span;
+
+  // Insert sorted and coalesce with both neighbours. (The insert may
+  // reallocate, so take begin() only afterwards.)
+  const auto pos = std::lower_bound(
+      free_.begin(), free_.end(), r.base,
+      [](const Extent& e, u32 base) { return e.base < base; });
+  const auto inserted = free_.insert(pos, Extent{r.base, r.span});
+  const std::size_t i = static_cast<std::size_t>(inserted - free_.begin());
+  if (i + 1 < free_.size() && free_[i].base + free_[i].span == free_[i + 1].base) {
+    free_[i].span += free_[i + 1].span;
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+  }
+  if (i > 0 && free_[i - 1].base + free_[i - 1].span == free_[i].base) {
+    free_[i - 1].span += free_[i].span;
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  ++frees_;
+  return true;
+}
+
+u32 MemoryManager::base_word(u32 handle) const { return regions_.at(handle).base; }
+
+u32 MemoryManager::span_words(u32 handle) const { return regions_.at(handle).span; }
+
+u32 MemoryManager::largest_free_extent_words() const {
+  u32 best = 0;
+  for (const Extent& e : free_) best = std::max(best, e.span);
+  return best;
+}
+
+u32 MemoryManager::free_words() const {
+  u32 sum = 0;
+  for (const Extent& e : free_) sum += e.span;
+  return sum;
+}
+
+}  // namespace drmp::hw

@@ -1,0 +1,87 @@
+// The packet memory's map (thesis Fig. 3.9):
+//   * CPU interface registers (service-request doorbells + super-op-code
+//     buffers, one block per mode; interrupt-source registers),
+//   * one address per RFU used to pass arguments / trigger it,
+//   * a reserved override address for the master/slave grant hand-off,
+//   * per-mode pages, fixed-size, one page per processing stage, so "the
+//     starting address of packet-data at various stages is completely fixed,
+//     and the RHCP's IRC or the CPU are relieved from any memory-management
+//     tasks" (thesis §3.6.3).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace drmp::hw {
+
+// ---- CPU interface registers --------------------------------------------
+inline constexpr u32 kIfaceRegsBase = 0x0000;
+inline constexpr u32 kIfaceRegsPerMode = 0x20;
+/// Doorbell: CPU writes the number of super-op-code words ready; the IRC
+/// In-Interface clears it when the request is accepted.
+inline constexpr u32 kDoorbellOffset = 0x00;
+/// Super-op-code buffer (op/nargs words followed by argument words).
+inline constexpr u32 kSopBufOffset = 0x02;
+inline constexpr u32 kSopBufWords = kIfaceRegsPerMode - kSopBufOffset;
+
+constexpr u32 iface_base(Mode m) noexcept {
+  return kIfaceRegsBase + kIfaceRegsPerMode * static_cast<u32>(m);
+}
+
+// ---- Interrupt registers --------------------------------------------------
+/// Bitmask of modes with a pending interrupt (bit i = mode i).
+inline constexpr u32 kIrqSourceReg = 0x0060;
+/// Per-mode event-code register, read by the ISR to find the cause.
+inline constexpr u32 kIrqEventReg0 = 0x0061;  // +1 per mode
+/// Per-mode event-payload register (e.g. rx byte count).
+inline constexpr u32 kIrqParamReg0 = 0x0064;  // +1 per mode
+
+// ---- RFU trigger addresses ------------------------------------------------
+inline constexpr u32 kRfuTriggerBase = 0x0080;
+inline constexpr u32 kMaxRfus = 32;
+/// Reserved address: the current bus-master RFU writes the slave RFU's id
+/// here to hand the bus over (Grant Override Logic, thesis §3.6.5), and
+/// writes it again to hand the bus back.
+inline constexpr u32 kOverrideAddr = 0x00FF;
+
+constexpr u32 rfu_trigger_addr(u8 rfu_id) noexcept { return kRfuTriggerBase + rfu_id; }
+constexpr bool is_rfu_trigger_addr(u32 addr) noexcept {
+  return addr >= kRfuTriggerBase && addr < kRfuTriggerBase + kMaxRfus;
+}
+
+// ---- Per-mode pages --------------------------------------------------------
+inline constexpr u32 kModePagesBase = 0x0100;
+/// 640 words = 2560 bytes per page; larger than the biggest MPDU of the three
+/// protocols (2346 B for 802.11), per the worst-case page sizing of §3.6.3.
+inline constexpr u32 kPageWords = 640;
+inline constexpr u32 kPagesPerMode = 10;
+
+/// Processing stages; each has a fixed page (thesis: "each page corresponding
+/// to a certain stage the data is in while it is being processed, e.g.
+/// post-fragmentation, post-encryption etc."). Transmit and receive flows use
+/// disjoint pages so one mode can overlap them.
+enum class Page : u8 {
+  Ctrl = 0,       ///< Protocol state / header template, CPU-visible.
+  Raw = 1,        ///< MSDU from the host, pre-processing.
+  Crypt = 2,      ///< Post-encryption payload.
+  Tx = 3,         ///< Assembled MPDU awaiting transmission.
+  Rx = 4,         ///< Received MPDU.
+  Defrag = 5,     ///< Reassembly buffer.
+  Scratch = 6,    ///< Transmit-side intermediate (fragment slice, packing).
+  Ack = 7,        ///< Auto-generated control frames (ACKs).
+  RxScratch = 8,  ///< Receive-side intermediate (extracted body).
+  RxOut = 9,      ///< Delivered MSDU (post-decrypt).
+};
+
+constexpr u32 page_base(Mode m, Page p) noexcept {
+  return kModePagesBase +
+         (static_cast<u32>(m) * kPagesPerMode + static_cast<u32>(p)) * kPageWords;
+}
+
+inline constexpr u32 kMemWords = kModePagesBase + kNumModes * kPagesPerMode * kPageWords;
+
+// Page payload layout: word 0 holds the byte length, payload starts at word 1.
+inline constexpr u32 kPageLenOffset = 0;
+inline constexpr u32 kPageDataOffset = 1;
+inline constexpr u32 kPagePayloadBytes = (kPageWords - kPageDataOffset) * 4;
+
+}  // namespace drmp::hw

@@ -1,0 +1,42 @@
+// Dual-port packet memory (thesis §3.6.3, memory option 3 of Table 3.5):
+// port A serves the packet bus (RFUs / IRC), port B gives the CPU direct
+// access so "one mode may be accessing packet-data in the RHCP ... while
+// another mode may be reading header data and carrying out control operations
+// through the CPU".
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "hw/memory_map.hpp"
+#include "sim/stats.hpp"
+
+namespace drmp::hw {
+
+class PacketMemory {
+ public:
+  PacketMemory() : words_(kMemWords, 0) {}
+
+  // ---- Port A (packet bus) ----
+  Word read(u32 addr) const { return words_.at(addr); }
+  void write(u32 addr, Word data) { words_.at(addr) = data; }
+
+  // ---- Port B (CPU direct access) ----
+  Word cpu_read(u32 addr) const { return words_.at(addr); }
+  void cpu_write(u32 addr, Word data) { words_.at(addr) = data; }
+
+  // ---- Page helpers (byte-level view used by software models & tests) ----
+  void write_page_bytes(Mode m, Page p, std::span<const u8> bytes);
+  Bytes read_page_bytes(Mode m, Page p) const;
+  u32 page_byte_len(Mode m, Page p) const { return words_.at(page_base(m, p) + kPageLenOffset); }
+  void set_page_byte_len(Mode m, Page p, u32 len) {
+    words_.at(page_base(m, p) + kPageLenOffset) = len;
+  }
+
+  std::size_t size_words() const noexcept { return words_.size(); }
+
+ private:
+  std::vector<Word> words_;
+};
+
+}  // namespace drmp::hw

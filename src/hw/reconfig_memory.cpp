@@ -1,0 +1,14 @@
+#include "hw/reconfig_memory.hpp"
+
+namespace drmp::hw {
+
+void ReconfigMemory::load_blob(u8 rfu_id, u8 state, std::vector<Word> words) {
+  blobs_[key(rfu_id, state)] = std::move(words);
+}
+
+u32 ReconfigMemory::blob_len(u8 rfu_id, u8 state) const {
+  auto it = blobs_.find(key(rfu_id, state));
+  return it == blobs_.end() ? 0 : static_cast<u32>(it->second.size());
+}
+
+}  // namespace drmp::hw

@@ -1,0 +1,34 @@
+// Reconfiguration memory (thesis §3.6.3): a separate physical memory with its
+// own bus holding the configuration data of Memory-Access RFUs, "so that one
+// RFU can configure itself while another RFU carries out operation on the
+// packet data". The single Reconfiguration Controller means the reconfig bus
+// never sees contention (§3.6.4), so a simple word store suffices; the MA-RFU
+// reconfiguration latency is blob-length words at one word per cycle.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace drmp::hw {
+
+class ReconfigMemory {
+ public:
+  /// Loads a configuration blob for (rfu, state) at start-up (thesis §3.4:
+  /// "Start-up configuration will be external").
+  void load_blob(u8 rfu_id, u8 state, std::vector<Word> words);
+
+  bool has_blob(u8 rfu_id, u8 state) const { return blobs_.count(key(rfu_id, state)) != 0; }
+
+  /// Number of words an MA-RFU must stream to switch into `state`.
+  u32 blob_len(u8 rfu_id, u8 state) const;
+
+  const std::vector<Word>& blob(u8 rfu_id, u8 state) const { return blobs_.at(key(rfu_id, state)); }
+
+ private:
+  static u16 key(u8 rfu_id, u8 state) { return static_cast<u16>((rfu_id << 8) | state); }
+  std::map<u16, std::vector<Word>> blobs_;
+};
+
+}  // namespace drmp::hw

@@ -1,0 +1,21 @@
+#include "hw/trigger.hpp"
+
+namespace drmp::hw {
+
+bool RfuTriggerLogic::decode_write(u32 addr, Word data) {
+  if (!is_rfu_trigger_addr(addr)) return false;
+  const u8 id = static_cast<u8>(addr - kRfuTriggerBase);
+  latched_[id].push_back(data);
+  triggered_flag_[id] = true;
+  return true;
+}
+
+std::optional<Word> RfuTriggerLogic::take(u8 rfu_id) {
+  auto& q = latched_[rfu_id];
+  if (q.empty()) return std::nullopt;
+  const Word w = q.front();
+  q.pop_front();
+  return w;
+}
+
+}  // namespace drmp::hw

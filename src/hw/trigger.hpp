@@ -1,0 +1,47 @@
+// RFU Trigger Logic (thesis §3.6.5, Fig. 3.13): decodes the packet address
+// bus and generates a primary trigger for an RFU when the corresponding
+// address is asserted with write-enable. "It then calculates the ID of the
+// addressed RFU by calculating the offset of the asserted address from a
+// known base-address."
+//
+// Each trigger carries the word on the data bus: the TH_M "asserts its
+// address on the packet-address-bus, which generates a trigger for the RFU,
+// and the argument on the data-bus" (§3.6.1.2 step 7). Triggers are latched
+// per-RFU until the RFU consumes them on its clock edge.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <optional>
+
+#include "common/types.hpp"
+#include "hw/memory_map.hpp"
+
+namespace drmp::hw {
+
+class RfuTriggerLogic {
+ public:
+  /// Called by the bus on every write. Returns true if the address decoded
+  /// to an RFU trigger (the write is then *not* a memory write).
+  bool decode_write(u32 addr, Word data);
+
+  /// Pure address-range predicate (no side effects): would a write to `addr`
+  /// decode as an RFU trigger?
+  static bool decodes(u32 addr) { return is_rfu_trigger_addr(addr); }
+
+  /// RFU-side: consume the oldest pending trigger, if any.
+  std::optional<Word> take(u8 rfu_id);
+
+  bool pending(u8 rfu_id) const { return !latched_[rfu_id].empty(); }
+
+  /// True once the RFU has been triggered at least once since the flag was
+  /// last cleared; used by the bus Grant Delay Logic (Fig. 3.12).
+  bool triggered_flag(u8 rfu_id) const { return triggered_flag_[rfu_id]; }
+  void clear_triggered_flag(u8 rfu_id) { triggered_flag_[rfu_id] = false; }
+
+ private:
+  std::array<std::deque<Word>, kMaxRfus> latched_{};
+  std::array<bool, kMaxRfus> triggered_flag_{};
+};
+
+}  // namespace drmp::hw

@@ -1,0 +1,104 @@
+// The Interface and Reconfiguration Controller (thesis §3.6.1, Fig. 3.4) —
+// "a combination of interacting controllers ... an Interface Controller and a
+// Reconfiguration Controller. The IC has two interface modules: one that
+// receives the service requests from the CPU, and the other that interrupts
+// the MPU. The control task of the IC is delegated to three Task Handlers."
+//
+// Service requests arrive either from the CPU (super-op-codes written to the
+// memory-mapped interface registers, Table 3.2) or from the Event Handler
+// ("A service request to the IRC can thus originate from either the CPU or
+// the Event-handler. The source of the request is transparent to the IRC",
+// §3.6.6).
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "hw/bus.hpp"
+#include "hw/packet_memory.hpp"
+#include "irc/reconf_controller.hpp"
+#include "irc/task_handler.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace drmp::irc {
+
+/// Interrupt event codes written to the per-mode event register.
+enum class IrqEvent : u8 {
+  None = 0,
+  ReqDone = 1,   ///< A CPU-originated service request completed.
+  RxInd = 2,     ///< A data frame was received, checked and parsed.
+  RxAckInd = 3,  ///< An ACK/control frame was received.
+  RxBad = 4,     ///< A frame failed its redundancy checks (for statistics).
+};
+
+class Irc : public sim::Clockable {
+ public:
+  struct Env {
+    hw::PacketBus* bus = nullptr;
+    hw::PacketMemory* mem = nullptr;  ///< Interface-register access (direct).
+    sim::StatsRegistry* stats = nullptr;
+    sim::TraceRecorder* trace = nullptr;
+  };
+
+  explicit Irc(Env env);
+
+  /// Registers an RFU with the pool (id taken from the unit).
+  void register_rfu(rfu::Rfu* unit);
+
+  /// Direct submission path (Event Handler, tests). Returns the request tag.
+  u32 submit(Mode mode, ServiceRequest req);
+
+  /// Completion notification: invoked when any request finishes.
+  std::function<void(Mode, const ServiceRequest&)> on_complete;
+
+  /// Interrupt generator: pending-interrupt line to the CPU. The CPU model
+  /// reads the source registers via its own port and calls irq_ack.
+  bool irq_line() const noexcept { return !irq_queue_.empty(); }
+  struct IrqInfo {
+    Mode mode;
+    IrqEvent event;
+    Word param;
+  };
+  /// CPU-side: pop the oldest pending interrupt (reads + clears the
+  /// memory-mapped source registers).
+  IrqInfo irq_take();
+  void irq_raise(Mode mode, IrqEvent ev, Word param = 0);
+
+  void tick() override;
+
+  TaskHandler& handler(Mode m) { return *handlers_[index(m)]; }
+  ReconfController& rc() { return *rc_; }
+  RfuTable& rfu_table() { return rfut_; }
+  const OpCodeTable& op_code_table() const { return oct_; }
+  std::array<rfu::Rfu*, hw::kMaxRfus>& rfu_pool() { return rfus_; }
+
+  std::size_t queued_requests(Mode m) const { return pending_[index(m)].size(); }
+
+ private:
+  void poll_doorbells();
+  void dispatch();
+
+  Env env_;
+  OpCodeTable oct_;
+  RfuTable rfut_;
+  TableMutex oct_mutex_;
+  TableMutex rfut_mutex_;
+  std::array<rfu::Rfu*, hw::kMaxRfus> rfus_{};
+  std::unique_ptr<ReconfController> rc_;
+  std::array<std::unique_ptr<TaskHandler>, kNumModes> handler_storage_;
+  std::array<TaskHandler*, kNumModes> handlers_{};
+
+  std::array<std::deque<ServiceRequest>, kNumModes> pending_;
+  std::deque<IrqInfo> irq_queue_;
+  u32 next_tag_ = 1;
+};
+
+/// Serializes a ServiceRequest into the mode's interface-register block
+/// (what the device-driver side of the API does, Table 3.2) — used by the
+/// CPU model; the In-Interface parses it back.
+void write_super_op_code(hw::PacketMemory& mem, Mode mode, const ServiceRequest& req);
+
+}  // namespace drmp::irc

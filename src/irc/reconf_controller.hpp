@@ -1,0 +1,61 @@
+// The Reconfiguration Controller (thesis §3.6.1.2, Fig. 3.7): "There is just
+// one instance of this controller in the IRC because only one RFU can be
+// configured at a time." It triggers an RFU to switch configuration (the
+// CS/MA mechanism is transparent to it), waits for RDONE, then updates the
+// rfu_table.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "irc/tables.hpp"
+#include "rfu/rfu.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+
+namespace drmp::irc {
+
+class ReconfController : public sim::Clockable {
+ public:
+  /// Statechart states (Fig. 3.7).
+  enum class State : u8 { Idle = 0, Wait4Oct, TriggerRcnfgWait, Wait4Rfut, UpdateRfut };
+
+  struct Env {
+    OpCodeTable* oct = nullptr;
+    RfuTable* rfut = nullptr;
+    TableMutex* oct_mutex = nullptr;
+    TableMutex* rfut_mutex = nullptr;
+    std::array<rfu::Rfu*, hw::kMaxRfus>* rfus = nullptr;
+    sim::StatsRegistry* stats = nullptr;
+  };
+
+  explicit ReconfController(Env env) : env_(env) {}
+
+  /// TH_R submits a reconfiguration request; one outstanding per mode.
+  void submit(Mode mode, u8 rfu_id, u8 target_state);
+
+  /// TH_R polls for (and consumes) the RC_DONE event of its request.
+  bool take_done(Mode mode);
+
+  State state() const noexcept { return state_; }
+  u64 reconfigs_performed() const noexcept { return count_; }
+  void tick() override;
+
+ private:
+  struct Request {
+    u8 rfu_id;
+    u8 target_state;
+  };
+
+  Env env_;
+  State state_ = State::Idle;
+  std::array<std::optional<Request>, kNumModes> pending_{};
+  std::array<bool, kNumModes> done_{};
+  Mode serving_ = Mode::A;
+  u64 count_ = 0;
+  /// Cached stats sinks (string-keyed lookup is too hot for the tick path).
+  sim::BusyCounter* busy_stat_ = nullptr;
+  sim::StateOccupancy* occ_stat_ = nullptr;
+};
+
+}  // namespace drmp::irc

@@ -1,0 +1,99 @@
+#include "irc/tables.hpp"
+
+namespace drmp::irc {
+
+using rfu::Op;
+namespace cfg = rfu::cfg;
+
+OpCodeTable::OpCodeTable() {
+  // Crypto (MA-RFU; one state per cipher).
+  add(Op::EncryptRc4, {rfu::kCryptoRfu, cfg::kCryptoRc4, 4, false});
+  add(Op::DecryptRc4, {rfu::kCryptoRfu, cfg::kCryptoRc4, 4, false});
+  add(Op::EncryptAes, {rfu::kCryptoRfu, cfg::kCryptoAes, 4, false});
+  add(Op::DecryptAes, {rfu::kCryptoRfu, cfg::kCryptoAes, 4, false});
+  add(Op::EncryptDes, {rfu::kCryptoRfu, cfg::kCryptoDes, 4, false});
+  add(Op::DecryptDes, {rfu::kCryptoRfu, cfg::kCryptoDes, 4, false});
+  // Header check.
+  add(Op::HcsAppend16, {rfu::kHdrCheckRfu, cfg::kHcsCrc16, 2, false});
+  add(Op::HcsVerify16, {rfu::kHdrCheckRfu, cfg::kHcsCrc16, 3, false});
+  add(Op::HcsPatch8, {rfu::kHdrCheckRfu, cfg::kHcsCrc8, 1, false});
+  add(Op::HcsVerify8, {rfu::kHdrCheckRfu, cfg::kHcsCrc8, 2, false});
+  // FCS.
+  add(Op::FcsAppend, {rfu::kFcsRfu, cfg::kFcsCrc32, 1, false});
+  add(Op::FcsVerify, {rfu::kFcsRfu, cfg::kFcsCrc32, 2, false});
+  // Fragmentation.
+  add(Op::FragmentWifi, {rfu::kFragRfu, cfg::kProtoWifi, 4, false});
+  add(Op::FragmentUwb, {rfu::kFragRfu, cfg::kProtoUwb, 4, false});
+  add(Op::FragmentWimax, {rfu::kFragRfu, cfg::kProtoWimax, 4, false});
+  add(Op::DefragAppendWifi, {rfu::kDefragRfu, cfg::kProtoWifi, 3, false});
+  add(Op::DefragAppendUwb, {rfu::kDefragRfu, cfg::kProtoUwb, 3, false});
+  add(Op::DefragAppendWimax, {rfu::kDefragRfu, cfg::kProtoWimax, 3, false});
+  // Assembly / parse.
+  add(Op::AssembleWifi, {rfu::kHeaderRfu, cfg::kProtoWifi, 3, false});
+  add(Op::AssembleUwb, {rfu::kHeaderRfu, cfg::kProtoUwb, 3, false});
+  add(Op::AssembleWimax, {rfu::kHeaderRfu, cfg::kProtoWimax, 3, false});
+  add(Op::ParseWifi, {rfu::kHeaderRfu, cfg::kProtoWifi, 2, false});
+  add(Op::ParseUwb, {rfu::kHeaderRfu, cfg::kProtoUwb, 2, false});
+  add(Op::ParseWimax, {rfu::kHeaderRfu, cfg::kProtoWimax, 2, false});
+  add(Op::ExtractWifi, {rfu::kHeaderRfu, cfg::kProtoWifi, 2, false});
+  add(Op::ExtractUwb, {rfu::kHeaderRfu, cfg::kProtoUwb, 2, false});
+  add(Op::ExtractWimax, {rfu::kHeaderRfu, cfg::kProtoWimax, 2, false});
+  // Tx / Rx.
+  add(Op::TxFrameWifi, {rfu::kTxRfu, cfg::kProtoWifi, 3, false});
+  add(Op::TxFrameUwb, {rfu::kTxRfu, cfg::kProtoUwb, 3, false});
+  add(Op::TxFrameWimax, {rfu::kTxRfu, cfg::kProtoWimax, 3, false});
+  add(Op::RxDrainWifi, {rfu::kRxRfu, cfg::kProtoWifi, 4, false});
+  add(Op::RxDrainUwb, {rfu::kRxRfu, cfg::kProtoUwb, 4, false});
+  add(Op::RxDrainWimax, {rfu::kRxRfu, cfg::kProtoWimax, 4, false});
+  // ACK generation.
+  add(Op::AckGenWifi, {rfu::kAckRfu, cfg::kProtoWifi, 4, false});
+  add(Op::AckGenUwb, {rfu::kAckRfu, cfg::kProtoUwb, 4, false});
+  add(Op::CtsGenWifi, {rfu::kAckRfu, cfg::kProtoWifi, 4, false});
+  // Channel access (detached: no bus held while counting).
+  add(Op::CsmaAccessWifi, {rfu::kBackoffRfu, cfg::kAccessCsmaWifi, 2, true});
+  add(Op::CsmaAccessUwb, {rfu::kBackoffRfu, cfg::kAccessCsmaUwb, 2, true});
+  add(Op::TdmaAccessWimax, {rfu::kBackoffRfu, cfg::kAccessTdmaWimax, 3, true});
+  add(Op::TdmaAccessUwb, {rfu::kBackoffRfu, cfg::kAccessTdmaUwb, 3, true});
+  add(Op::PcfRespondWifi, {rfu::kBackoffRfu, cfg::kAccessPcfWifi, 1, true});
+  // WiMAX packing.
+  add(Op::PackAppend, {rfu::kPackRfu, cfg::kDefaultState, 4, false});
+  add(Op::PackExtract, {rfu::kPackRfu, cfg::kDefaultState, 4, false});
+  // WiMAX ARQ.
+  add(Op::ArqTag, {rfu::kArqRfu, cfg::kDefaultState, 2, false});
+  add(Op::ArqFeedback, {rfu::kArqRfu, cfg::kDefaultState, 3, false});
+  // Classification.
+  add(Op::Classify, {rfu::kClassifierRfu, cfg::kDefaultState, 2, false});
+  // Sequencing.
+  add(Op::SeqAssign, {rfu::kSeqRfu, cfg::kDefaultState, 2, false});
+  add(Op::SeqCheck, {rfu::kSeqRfu, cfg::kDefaultState, 4, false});
+}
+
+bool RfuTable::queue_waiter(u8 rfu_id, QueueEntry q) {
+  auto& e = entries_.at(rfu_id);
+  if (!e.qreq1) {
+    e.qreq1 = q;
+    return true;
+  }
+  if (!e.qreq2) {
+    e.qreq2 = q;
+    return true;
+  }
+  return false;
+}
+
+std::optional<QueueEntry> RfuTable::pop_waiter(u8 rfu_id) {
+  auto& e = entries_.at(rfu_id);
+  if (!e.qreq1) return std::nullopt;
+  if (policy_ == QueuePolicy::Priority && e.qreq2 &&
+      e.qreq2->priority < e.qreq1->priority) {
+    auto q = e.qreq2;
+    e.qreq2.reset();
+    return q;
+  }
+  auto q = e.qreq1;
+  e.qreq1 = e.qreq2;
+  e.qreq2.reset();
+  return q;
+}
+
+}  // namespace drmp::irc

@@ -1,0 +1,119 @@
+// The IRC's two look-up tables (thesis §3.6.1.1):
+//
+//   * op_code_table (Table 3.3) — static: op-code -> {rfu_id, reconf_state,
+//     nargs}. "Hardwired at fabrication time ... best implemented in Flash /
+//     EEPROM so that it can be updated by a designer at compile time."
+//   * rfu_table (Table 3.4) — dynamic: rfu_id -> {c_state, nstates, in_use,
+//     Qreq1/Qreq2}. Held in a separate physical memory near the IRC so one
+//     mode can look up tables while another uses the packet memory.
+//
+// Contention on the tables is handled "by using mutex variables that a
+// task-handler asserts when it is reading a table" (§3.6.4).
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "common/types.hpp"
+#include "hw/memory_map.hpp"
+#include "rfu/rfu_ids.hpp"
+
+namespace drmp::irc {
+
+struct OpCodeEntry {
+  u8 rfu_id = 0;
+  u8 reconf_state = 0;
+  u8 nargs = 0;
+  /// RFUs flagged detached execute without holding the packet bus.
+  bool detached = false;
+};
+
+class OpCodeTable {
+ public:
+  OpCodeTable();
+
+  bool contains(rfu::Op op) const { return entries_[static_cast<u8>(op)].has_value(); }
+  const OpCodeEntry& lookup(rfu::Op op) const { return *entries_[static_cast<u8>(op)]; }
+
+ private:
+  void add(rfu::Op op, OpCodeEntry e) { entries_[static_cast<u8>(op)] = e; }
+  std::array<std::optional<OpCodeEntry>, 256> entries_{};
+};
+
+/// Which of a mode's two task-handler controllers queued on an RFU.
+enum class ThKind : u8 { ThR = 0, ThM = 1 };
+
+struct QueueEntry {
+  Mode mode;
+  ThKind kind;
+  /// Request priority (Table 3.4's PrQreq1/PrQreq2 fields, 2 bits; lower
+  /// value = more urgent, matching the bus arbiter's mode-A-highest rule).
+  /// "Not used in the prototype" — honoured only under QueuePolicy::Priority.
+  u8 priority = 0;
+};
+
+struct RfuTableEntry {
+  u8 c_state = 0;   ///< 0 = uninitialized (Table 3.4).
+  u8 nstates = 0;
+  bool in_use = false;
+  Mode owner = Mode::A;
+  /// Reservation placed by the owning mode's TH_R while it reconfigures the
+  /// RFU ahead of its TH_M's use.
+  bool reserved_by_thr = false;
+  /// "Two requests can be queued, served on a first-come first-served basis
+  /// in the prototype" (Table 3.4, Qreq1/Qreq2).
+  std::optional<QueueEntry> qreq1;
+  std::optional<QueueEntry> qreq2;
+};
+
+class RfuTable {
+ public:
+  /// How a freed RFU picks among queued waiters. Fcfs is the thesis
+  /// prototype ("served on a first-come first-served basis"); Priority
+  /// activates the PrQreq fields that the prototype leaves unused.
+  enum class QueuePolicy : u8 { Fcfs, Priority };
+
+  RfuTableEntry& entry(u8 rfu_id) { return entries_.at(rfu_id); }
+  const RfuTableEntry& entry(u8 rfu_id) const { return entries_.at(rfu_id); }
+
+  void set_queue_policy(QueuePolicy p) noexcept { policy_ = p; }
+  QueuePolicy queue_policy() const noexcept { return policy_; }
+
+  /// Queues a waiter; returns false if both queue slots are occupied.
+  bool queue_waiter(u8 rfu_id, QueueEntry q);
+
+  /// Pops the next queued waiter: oldest under Fcfs, most urgent (ties to
+  /// the older request) under Priority.
+  std::optional<QueueEntry> pop_waiter(u8 rfu_id);
+
+ private:
+  std::array<RfuTableEntry, hw::kMaxRfus> entries_{};
+  QueuePolicy policy_ = QueuePolicy::Fcfs;
+};
+
+/// A single-owner mutex register. Owners are small ids (task handlers, RC).
+class TableMutex {
+ public:
+  bool try_lock(u8 owner) {
+    if (locked_) return owner_ == owner;
+    locked_ = true;
+    owner_ = owner;
+    return true;
+  }
+  void unlock(u8 owner) {
+    if (locked_ && owner_ == owner) locked_ = false;
+  }
+  bool locked() const noexcept { return locked_; }
+
+ private:
+  bool locked_ = false;
+  u8 owner_ = 0;
+};
+
+/// Mutex owner ids: TH_R of mode m = 2m, TH_M of mode m = 2m+1, RC = 6.
+constexpr u8 mutex_owner(Mode m, ThKind k) {
+  return static_cast<u8>(2 * static_cast<u8>(m) + static_cast<u8>(k));
+}
+inline constexpr u8 kMutexOwnerRc = 6;
+
+}  // namespace drmp::irc

@@ -1,0 +1,157 @@
+// Per-mode Task Handler (thesis §3.6.1): "The control task of the IC is
+// delegated to three Task Handlers (TH), one for each of the three protocol
+// modes ... Each of these task handlers is composed of a task-handler for
+// reconfiguration (TH_R), and a task-handler for MAC operations (TH_M)."
+//
+// The two controllers run concurrently over the same service request: TH_R
+// walks the op-codes ahead, reserving and reconfiguring RFUs via the RC;
+// TH_M executes them in order — looking up the tables under mutexes,
+// queueing/sleeping on busy RFUs, passing arguments over the packet bus and
+// waiting for DONE. State names follow Figs. 3.5/3.6 so the state-occupancy
+// statistics reproduce Fig. 5.12 directly.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "hw/bus.hpp"
+#include "irc/reconf_controller.hpp"
+#include "irc/tables.hpp"
+#include "rfu/rfu.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace drmp::irc {
+
+/// One op-code call within a super-op-code.
+struct OpCall {
+  rfu::Op op;
+  std::vector<Word> args;
+};
+
+/// A decoded super-op-code: "One software request may consist of multiple
+/// op-codes, and hence the request may be termed a super-op-code" (§3.6.1.2).
+struct ServiceRequest {
+  std::vector<OpCall> ops;
+  bool from_cpu = true;  ///< false: originated by the Event Handler.
+  u32 tag = 0;
+};
+
+/// TH_R statechart states (Fig. 3.5).
+enum class ThRState : u8 {
+  Idle = 0,
+  Wait4Oct,
+  Wait4Rfut,
+  Sleep,
+  UseRfut1,
+  Wait4Rc,
+  UseRcWait,
+  Wait4Rfut2,
+  UseRfut2,
+};
+
+/// TH_M statechart states (Fig. 3.6).
+enum class ThMState : u8 {
+  Idle = 0,
+  Wait4Oct,
+  Wait4Rfut,
+  Sleep1,  ///< RFU held / being prepared by the same mode's TH_R.
+  Sleep2,  ///< RFU in use by another mode (queued in the rfu_table).
+  UseRfut1,
+  Wait4Pbus,
+  UsePbus,
+  Wait4RfuDone,
+  Wait4Rfut2,
+  UseRfut2,
+};
+
+const char* to_string(ThRState s);
+const char* to_string(ThMState s);
+
+class TaskHandler;
+
+struct ThEnv {
+  OpCodeTable* oct = nullptr;
+  RfuTable* rfut = nullptr;
+  TableMutex* oct_mutex = nullptr;
+  TableMutex* rfut_mutex = nullptr;
+  ReconfController* rc = nullptr;
+  hw::PacketBus* bus = nullptr;
+  std::array<rfu::Rfu*, hw::kMaxRfus>* rfus = nullptr;
+  std::array<TaskHandler*, kNumModes>* handlers = nullptr;  ///< WAKE routing.
+  sim::StatsRegistry* stats = nullptr;
+  sim::TraceRecorder* trace = nullptr;
+};
+
+class TaskHandler : public sim::Clockable {
+ public:
+  TaskHandler(Mode mode, ThEnv env) : mode_(mode), env_(env) {}
+
+  Mode mode() const noexcept { return mode_; }
+  bool idle() const noexcept { return !active_; }
+
+  /// Accepts a new service request (the In-Interface dispatches here).
+  void start(ServiceRequest req);
+
+  /// WAKE signal: another mode's TH_M released an RFU we queued on.
+  void wake(ThKind kind);
+
+  /// Invoked when the last op-code of the request completes.
+  std::function<void(Mode, const ServiceRequest&)> on_complete;
+
+  void tick() override;
+
+  ThRState thr_state() const noexcept { return thr_state_; }
+  ThMState thm_state() const noexcept { return thm_state_; }
+  u64 requests_completed() const noexcept { return completed_; }
+
+ private:
+  void tick_thr();
+  void tick_thm();
+  /// TH_R finished preparing op `idx` (reconfig done or not needed).
+  void thr_clear_op(std::size_t idx);
+  /// TH_M found a stale configuration; hand the op back to TH_R.
+  void thm_request_redo(std::size_t idx);
+  void release_rfu_and_wake(u8 rfu_id);
+  void complete_request();
+
+  Mode mode_;
+  ThEnv env_;
+
+  // Shared request context.
+  ServiceRequest req_;
+  bool active_ = false;
+  std::vector<bool> thr_cleared_;
+  u64 completed_ = 0;
+
+  // TH_R context.
+  ThRState thr_state_ = ThRState::Idle;
+  std::deque<std::size_t> thr_queue_;  ///< Op indices awaiting preparation.
+  std::size_t thr_cur_ = 0;
+  OpCodeEntry thr_entry_{};
+  bool thr_woken_ = false;
+
+  // TH_M context.
+  ThMState thm_state_ = ThMState::Idle;
+  bool thm_started_ = false;  ///< GO_THM received from TH_R.
+  std::size_t thm_idx_ = 0;
+  OpCodeEntry thm_entry_{};
+  bool thm_woken_ = false;
+  u32 pbus_seq_ = 0;
+
+  // Cached per-tick instrumentation sinks (string-keyed lookups are far too
+  // hot for a per-cycle path).
+  struct Sinks {
+    sim::StateOccupancy* thr_occ = nullptr;
+    sim::StateOccupancy* thm_occ = nullptr;
+    sim::BusyCounter* thr_busy = nullptr;
+    sim::BusyCounter* thm_busy = nullptr;
+    sim::TraceChannel* thr_chan = nullptr;
+    sim::TraceChannel* thm_chan = nullptr;
+    bool ready = false;
+  } sinks_;
+};
+
+}  // namespace drmp::irc

@@ -1,0 +1,125 @@
+// Shared scaffolding for the per-protocol control software (thesis Ch. 4):
+// the interrupt-driven protocol state machines that run on the CPU model.
+// "The interrupt-handler for a protocol mode loads the current state of the
+// protocol state-machine when invoked. It then runs the state-machine to the
+// next state, where it either requests service from the Hardware
+// Co-processor, or — if it is a terminal state — returns results to the
+// application processor" (§4.1).
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "cpu/cpu_model.hpp"
+#include "drmp/api.hpp"
+#include "hw/packet_memory.hpp"
+#include "mac/protocol.hpp"
+#include "sim/clock.hpp"
+
+namespace drmp::ctrl {
+
+/// Host (application-processor) request ids.
+inline constexpr u32 kHostTxRequest = 1;
+
+/// Software timer ids.
+inline constexpr u32 kAckTimeoutTimer = 1;
+inline constexpr u32 kRetryBackoffTimer = 2;
+inline constexpr u32 kCtsTimeoutTimer = 3;
+
+/// RxAckInd interrupt param values: which WiFi control frame arrived.
+inline constexpr Word kAckParamAck = 0;
+inline constexpr Word kAckParamCts = 1;
+
+/// RxInd interrupt param values (WiFi PCF, §2.3.2.1 #5/#8/#11).
+inline constexpr Word kRxParamData = 0;       ///< Normal data delivered upward.
+inline constexpr Word kRxParamCfPoll = 2;     ///< CF-Poll (no piggyback ack).
+inline constexpr Word kRxParamCfPollAck = 3;  ///< CF-Ack + CF-Poll.
+inline constexpr Word kRxParamCfEnd = 4;      ///< CF-End.
+inline constexpr Word kRxParamCfEndAck = 5;   ///< CF-End + CF-Ack.
+inline constexpr Word kRxParamBeacon = 6;     ///< Beacon (passive scanning).
+
+/// Per-mode identity / medium parameters from the device configuration.
+struct ModeIdentity {
+  mac::Protocol proto = mac::Protocol::WiFi;
+  u64 self_addr = 0;   ///< WiFi MAC address.
+  u64 peer_addr = 0;   ///< Default destination.
+  u16 pnid = 0;        ///< UWB piconet id.
+  u8 dev_id = 0;       ///< UWB device id.
+  u8 peer_dev_id = 0;  ///< UWB destination device id.
+  u16 basic_cid = 0;   ///< WiMAX connection id fallback.
+  double tdma_offset_us = 0.0;
+  double tdma_period_us = 0.0;
+  u32 frag_threshold = 1024;  ///< Bytes; must be word-aligned.
+  /// WiFi RTS/CTS handshake threshold (§2.3.2.2 #10): MSDUs of this many
+  /// bytes or more are preceded by an RTS. 0 disables the handshake (the
+  /// thesis prototype's setting).
+  u32 rts_threshold = 0;
+  /// WiFi PCF (§2.3.2.1 #5/#8): as a CF-pollable station, transmit only when
+  /// polled by the point coordinator; uplink data is acknowledged by the
+  /// piggybacked CF-Ack on the next poll (#11). Off = plain DCF.
+  bool pcf_poll_mode = false;
+  /// UWB: use the contention access period (CSMA) instead of a CTA slot.
+  bool uwb_use_cap = false;
+};
+
+/// WiMAX ARQ-feedback frames are addressed to this reserved CID.
+inline constexpr u16 kArqFeedbackCid = 0xFEED;
+
+struct CtrlEnv {
+  Mode mode = Mode::A;
+  ModeIdentity ident;
+  api::cDRMP* api = nullptr;
+  hw::PacketMemory* mem = nullptr;
+  cpu::CpuModel* cpu = nullptr;
+  const sim::TimeBase* tb = nullptr;
+};
+
+/// Base class for the three protocol controllers.
+class ProtocolCtrl {
+ public:
+  explicit ProtocolCtrl(CtrlEnv env) : env_(std::move(env)) {}
+  virtual ~ProtocolCtrl() = default;
+
+  /// The mode's interrupt handler body; returns the instruction count
+  /// executed (fed to the CPU cost model).
+  virtual u32 on_isr(const cpu::IsrContext& ctx) = 0;
+
+  /// Host side: enqueue an MSDU for transmission (DMA into the Raw page
+  /// happens when the controller starts on it) and interrupt the CPU.
+  void host_enqueue(Bytes msdu) {
+    tx_queue_.push_back(std::move(msdu));
+    env_.cpu->post_host_request(env_.mode, kHostTxRequest);
+  }
+
+  /// Upward delivery of a reassembled, decrypted MSDU.
+  std::function<void(const Bytes&)> on_deliver;
+  /// Transmission outcome report to the application.
+  std::function<void(bool success, u32 retries)> on_tx_complete;
+  /// Ask the Event Handler to free the Rx page for the next frame.
+  std::function<void()> rx_release;
+
+  // ---- Statistics ----
+  u32 tx_ok = 0;
+  u32 tx_failed = 0;
+  u32 rx_delivered = 0;
+  u32 rx_duplicates = 0;
+
+ protected:
+  Word read_status(hw::CtrlWord w) const {
+    return env_.mem->cpu_read(hw::ctrl_status_addr(env_.mode, w));
+  }
+  void write_hdr_template(const Bytes& hdr) {
+    // The header template is a mini-page inside the Ctrl page payload.
+    const u32 base = hw::ctrl_hdr_tmpl_addr(env_.mode);
+    env_.mem->cpu_write(base + hw::kPageLenOffset, static_cast<Word>(hdr.size()));
+    const auto words = pack_words(hdr);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      env_.mem->cpu_write(base + hw::kPageDataOffset + static_cast<u32>(i), words[i]);
+    }
+  }
+
+  CtrlEnv env_;
+  std::deque<Bytes> tx_queue_;
+};
+
+}  // namespace drmp::ctrl

@@ -1,0 +1,8 @@
+#include "mac/frame.hpp"
+
+// Header-only helpers; TU anchors the build target.
+namespace drmp::mac {
+namespace {
+[[maybe_unused]] const MacAddr kAnchor{};
+}
+}  // namespace drmp::mac

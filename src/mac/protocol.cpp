@@ -1,0 +1,51 @@
+#include "mac/protocol.hpp"
+
+namespace drmp::mac {
+
+ProtocolTiming timing_for(Protocol p) {
+  switch (p) {
+    case Protocol::WiFi:
+      // IEEE 802.11b DSSS PHY timing.
+      return ProtocolTiming{
+          .sifs_us = 10.0,
+          .difs_us = 50.0,
+          .slot_us = 20.0,
+          .cw_min = 31,
+          .cw_max = 1023,
+          .line_rate_bps = 11e6,
+          .frame_us = 0.0,
+          .ack_timeout_us = 300.0,
+          .max_retries = 7,
+      };
+    case Protocol::WiMax:
+      // IEEE 802.16-2004, 5 ms TDD frame; contention only for BW requests.
+      return ProtocolTiming{
+          .sifs_us = 0.0,
+          .difs_us = 0.0,
+          .slot_us = 0.0,
+          .cw_min = 0,
+          .cw_max = 0,
+          .line_rate_bps = 20e6,
+          .frame_us = 5000.0,
+          .ack_timeout_us = 10000.0,  // ARQ feedback expected within ~2 frames.
+          .max_retries = 4,
+      };
+    case Protocol::Uwb:
+      // IEEE 802.15.3-2003 base rate 22 Mbps; SIFS 10 us, superframe ~65 ms
+      // max (we default to a short 8 ms superframe for simulation economy).
+      return ProtocolTiming{
+          .sifs_us = 10.0,
+          .difs_us = 10.0,  // BIFS ~ SIFS in the CAP.
+          .slot_us = 8.0,
+          .cw_min = 7,
+          .cw_max = 63,
+          .line_rate_bps = 22e6,
+          .frame_us = 8000.0,
+          .ack_timeout_us = 300.0,
+          .max_retries = 3,
+      };
+  }
+  return {};
+}
+
+}  // namespace drmp::mac

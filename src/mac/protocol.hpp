@@ -1,0 +1,40 @@
+// Protocol identities and MAC timing parameters for the three standards the
+// DRMP prototype targets (thesis §1.2): WiFi (IEEE 802.11), WiMAX (IEEE
+// 802.16) and UWB / High-rate WPAN (IEEE 802.15.3).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace drmp::mac {
+
+enum class Protocol : u8 { WiFi = 0, WiMax = 1, Uwb = 2 };
+
+inline const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::WiFi: return "WiFi(802.11)";
+    case Protocol::WiMax: return "WiMAX(802.16)";
+    case Protocol::Uwb: return "UWB(802.15.3)";
+  }
+  return "?";
+}
+
+/// MAC-level timing constants. Values follow the base standards of the era
+/// the thesis studies (802.11b DSSS, 802.15.3-2003, 802.16-2004).
+struct ProtocolTiming {
+  double sifs_us;       ///< Short inter-frame space (ACK turnaround budget).
+  double difs_us;       ///< DIFS (WiFi) / backoff IFS (UWB CAP); 0 if unused.
+  double slot_us;       ///< Contention slot time; 0 if unused.
+  u32 cw_min;           ///< Min contention window (slots); 0 if unused.
+  u32 cw_max;           ///< Max contention window (slots).
+  double line_rate_bps; ///< PHY payload rate the MAC must sustain.
+  double frame_us;      ///< TDD frame period (WiMAX) / superframe (UWB); 0 if n/a.
+  double ack_timeout_us;///< How long a transmitter waits for an ACK.
+  u32 max_retries;      ///< Retry limit before the MPDU is dropped.
+};
+
+ProtocolTiming timing_for(Protocol p);
+
+/// Broadcast / reserved addressing constants.
+inline constexpr u16 kUwbBroadcastDevId = 0xFF;
+
+}  // namespace drmp::mac

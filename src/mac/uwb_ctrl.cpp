@@ -1,0 +1,205 @@
+#include "mac/uwb_ctrl.hpp"
+
+#include "irc/irc.hpp"
+
+namespace drmp::ctrl {
+
+using api::Command;
+using hw::CtrlWord;
+using hw::Page;
+using irc::IrqEvent;
+
+namespace {
+constexpr u32 kSmallBody = 30;
+}
+
+Bytes UwbCtrl::build_fragment_header(u32 frag_idx, bool retry) const {
+  auto& ps = env_.api->ps(env_.mode);
+  mac::uwb::Header h;
+  h.type = mac::uwb::FrameType::Data;
+  h.ack_policy = mac::uwb::AckPolicy::ImmAck;
+  h.sec = true;
+  h.retry = retry;
+  h.pnid = env_.ident.pnid;
+  h.dest_id = env_.ident.peer_dev_id;
+  h.src_id = env_.ident.dev_id;
+  h.msdu_num = static_cast<u16>(ps.seq_num & 0x1FF);
+  h.frag_num = static_cast<u8>(frag_idx);
+  h.last_frag_num = static_cast<u8>(ps.fragments_total - 1);
+  h.stream_index = 1;
+  return h.encode();
+}
+
+u32 UwbCtrl::start_next_msdu() {
+  auto& ps = env_.api->ps(env_.mode);
+  if (tx_queue_.empty() || ps.my_state != kIdle) return 0;
+  const Bytes msdu = std::move(tx_queue_.front());
+  tx_queue_.pop_front();
+  env_.mem->write_page_bytes(env_.mode, Page::Raw, msdu);
+  ps.psdu_size = static_cast<u32>(msdu.size());
+  const u32 thr = env_.ident.frag_threshold;
+  ps.fragmentation_threshold = thr;
+  ps.fragments_total = std::max<u32>(1, (ps.psdu_size + thr - 1) / thr);
+  ps.fragments_counter = 0;
+  ps.retry_count = 0;
+  ps.msdu_retries = 0;
+  ps.MacHdrLng = mac::uwb::kHdrBytes;
+  u32 cost = 0;
+  tx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kUwbPrepareTx, {}, &cost);
+  ps.my_state = kSeqAssigned;
+  return kSmallBody + cost;
+}
+
+u32 UwbCtrl::send_fragment(u32 frag_idx, bool retry) {
+  auto& ps = env_.api->ps(env_.mode);
+  write_hdr_template(build_fragment_header(frag_idx, retry));
+  u32 cost = 0;
+  if (env_.ident.uwb_use_cap) {
+    // Contention access period: CSMA with the UWB backoff parameters.
+    tx_tag_ = env_.api->Request_RHCP_Service(
+        env_.mode, Command::kUwbTxFragmentCap,
+        {frag_idx, ps.fragmentation_threshold, ps.retry_count}, &cost);
+  } else {
+    tx_tag_ = env_.api->Request_RHCP_Service(
+        env_.mode, Command::kUwbTxFragment,
+        {frag_idx, ps.fragmentation_threshold,
+         static_cast<Word>(env_.ident.tdma_offset_us),
+         static_cast<Word>(env_.ident.tdma_period_us)},
+        &cost);
+  }
+  ps.my_state = kSending;
+  return kSmallBody + 36 + cost;
+}
+
+u32 UwbCtrl::handle_req_done(u32 tag) {
+  auto& ps = env_.api->ps(env_.mode);
+  u32 cost = 0;
+  if (tag == tx_tag_) {
+    switch (ps.my_state) {
+      case kSeqAssigned: {
+        ps.seq_num = read_status(CtrlWord::kSeqOut);
+        tx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kUwbEncrypt,
+                                                 {ps.seq_num, 0}, &cost);
+        ps.my_state = kEncrypting;
+        return kSmallBody + cost;
+      }
+      case kEncrypting:
+        return send_fragment(0, false);
+      case kSending: {
+        const auto t = mac::timing_for(mac::Protocol::Uwb);
+        // The TDMA wait is part of the hardware request; the ACK timeout must
+        // cover a whole superframe period plus turnaround.
+        env_.cpu->set_timer(
+            env_.mode, kAckTimeoutTimer,
+            env_.tb->us_to_cycles(env_.ident.tdma_period_us + t.ack_timeout_us));
+        ps.my_state = kWaitAck;
+        return kSmallBody;
+      }
+      default:
+        return kSmallBody;
+    }
+  }
+  if (tag == rx_tag_) {
+    switch (rx_phase_) {
+      case RxPhase::Extract: {
+        if (rx_release) rx_release();
+        if (rx_more_frag_) {
+          rx_phase_ = RxPhase::Idle;
+          return kSmallBody;
+        }
+        rx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kUwbRxFinish,
+                                                 {rx_seq_, 0}, &cost);
+        rx_phase_ = RxPhase::Finish;
+        return kSmallBody + cost;
+      }
+      case RxPhase::Finish: {
+        auto msdu = env_.mem->read_page_bytes(env_.mode, Page::RxOut);
+        ++rx_delivered;
+        ++ps.rx_pdu_count;
+        if (on_deliver) on_deliver(msdu);
+        rx_phase_ = RxPhase::Idle;
+        return kSmallBody + 10;
+      }
+      default:
+        return kSmallBody;
+    }
+  }
+  return kSmallBody;
+}
+
+u32 UwbCtrl::handle_ack_ind() {
+  auto& ps = env_.api->ps(env_.mode);
+  if (ps.my_state != kWaitAck) return kSmallBody;
+  env_.cpu->cancel_timer(env_.mode, kAckTimeoutTimer);
+  ps.retry_count = 0;
+  ++ps.fragments_counter;
+  if (ps.fragments_counter < ps.fragments_total) {
+    return send_fragment(ps.fragments_counter, false);
+  }
+  ++ps.tx_pdu_count;
+  ++tx_ok;
+  ps.my_state = kIdle;
+  if (on_tx_complete) on_tx_complete(true, ps.msdu_retries);
+  return kSmallBody + start_next_msdu();
+}
+
+u32 UwbCtrl::handle_ack_timeout() {
+  auto& ps = env_.api->ps(env_.mode);
+  if (ps.my_state != kWaitAck) return kSmallBody;
+  ++ps.retry_count;
+  ++ps.msdu_retries;
+  const auto t = mac::timing_for(mac::Protocol::Uwb);
+  if (ps.retry_count > t.max_retries) {
+    ++tx_failed;
+    ps.my_state = kIdle;
+    if (on_tx_complete) on_tx_complete(false, ps.msdu_retries);
+    return kSmallBody + start_next_msdu();
+  }
+  return send_fragment(ps.fragments_counter, true);
+}
+
+u32 UwbCtrl::handle_rx_ind() {
+  rx_seq_ = read_status(CtrlWord::kSeq);
+  rx_frag_ = read_status(CtrlWord::kFrag);
+  const u32 last_frag = read_status(CtrlWord::kMoreFrag);
+  rx_more_frag_ = last_frag != 0;
+  const u32 src = read_status(CtrlWord::kSrcLo);
+  // Software duplicate filter (9-bit MSDU number + fragment).
+  const u32 key = (src << 16) | (rx_seq_ << 7) | rx_frag_;
+  const bool retry = read_status(CtrlWord::kRetry) != 0;
+  if (retry && key == last_rx_key_) {
+    ++rx_duplicates;
+    if (rx_release) rx_release();
+    return kSmallBody;
+  }
+  last_rx_key_ = key;
+  u32 cost = 0;
+  rx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kUwbRxExtract,
+                                           {rx_frag_ == 0 ? 1u : 0u}, &cost);
+  rx_phase_ = RxPhase::Extract;
+  return kSmallBody + cost;
+}
+
+u32 UwbCtrl::on_isr(const cpu::IsrContext& ctx) {
+  switch (ctx.cause) {
+    case cpu::IsrCause::HostRequest:
+      return start_next_msdu();
+    case cpu::IsrCause::Timer:
+      if (ctx.event == kAckTimeoutTimer) return handle_ack_timeout();
+      return kSmallBody;
+    case cpu::IsrCause::HwInterrupt:
+      switch (static_cast<IrqEvent>(ctx.event)) {
+        case IrqEvent::ReqDone:
+          return handle_req_done(ctx.param);
+        case IrqEvent::RxInd:
+          return handle_rx_ind();
+        case IrqEvent::RxAckInd:
+          return handle_ack_ind();
+        default:
+          return kSmallBody;
+      }
+  }
+  return kSmallBody;
+}
+
+}  // namespace drmp::ctrl

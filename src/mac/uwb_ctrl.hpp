@@ -1,0 +1,45 @@
+// UWB (IEEE 802.15.3) protocol control. Data flows in contention-free CTA
+// slots of the superframe (TDMA), payloads are AES-protected, fragments carry
+// the MSDU-number / fragment-number / last-fragment-number triple, and the
+// Imm-ACK policy requires the peer's ACK one SIFS after each frame (thesis
+// §2.3.2.1: superframes #8, Imm-ACK #10, device ids #9).
+#pragma once
+
+#include "mac/ctrl_common.hpp"
+#include "mac/uwb_frames.hpp"
+
+namespace drmp::ctrl {
+
+class UwbCtrl final : public ProtocolCtrl {
+ public:
+  explicit UwbCtrl(CtrlEnv env) : ProtocolCtrl(std::move(env)) {}
+
+  u32 on_isr(const cpu::IsrContext& ctx) override;
+
+  enum TxState : u32 {
+    kIdle = 0,
+    kSeqAssigned,
+    kEncrypting,
+    kSending,
+    kWaitAck,
+  };
+
+ private:
+  u32 start_next_msdu();
+  u32 send_fragment(u32 frag_idx, bool retry);
+  u32 handle_req_done(u32 tag);
+  u32 handle_rx_ind();
+  u32 handle_ack_ind();
+  u32 handle_ack_timeout();
+  Bytes build_fragment_header(u32 frag_idx, bool retry) const;
+
+  u32 tx_tag_ = 0;
+  u32 rx_tag_ = 0;
+  enum class RxPhase : u8 { Idle, Extract, Finish } rx_phase_ = RxPhase::Idle;
+  bool rx_more_frag_ = false;
+  u32 rx_seq_ = 0;
+  u32 rx_frag_ = 0;
+  u32 last_rx_key_ = 0xFFFFFFFF;  ///< Software duplicate filter (src|seq|frag).
+};
+
+}  // namespace drmp::ctrl

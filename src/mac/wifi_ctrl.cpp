@@ -1,0 +1,454 @@
+#include "mac/wifi_ctrl.hpp"
+
+#include <algorithm>
+
+#include "irc/irc.hpp"
+
+namespace drmp::ctrl {
+
+using api::Command;
+using hw::CtrlWord;
+using hw::Page;
+using irc::IrqEvent;
+
+namespace {
+/// Instruction-count estimates for handler bodies (the short, per-packet
+/// control operations of §4.1.1).
+constexpr u32 kSmallBody = 30;
+}  // namespace
+
+u32 WifiCtrl::send_fragment_pcf(u32 frag_idx, bool retry) {
+  // Polled transmission: identical header/datapath, contention-free access.
+  auto& ps = env_.api->ps(env_.mode);
+  write_hdr_template(build_fragment_header(frag_idx, retry));
+  u32 cost = 0;
+  tx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kWifiTxFragmentPcf,
+                                           {frag_idx, ps.fragmentation_threshold}, &cost);
+  ps.my_state = kSendingPcf;
+  ++polls_answered_with_data;
+  return kSmallBody + 40 /* header build */ + cost;
+}
+
+u32 WifiCtrl::send_null_pcf() {
+  // Polled with nothing to send: answer with a Null data frame so the point
+  // coordinator can move on. All header — the CPU may build it.
+  mac::wifi::DataHeader h;
+  h.fc.type = mac::wifi::FrameType::Data;
+  h.fc.subtype = mac::wifi::Subtype::Null;
+  h.addr1 = mac::MacAddr::from_u64(env_.ident.peer_addr);
+  h.addr2 = mac::MacAddr::from_u64(env_.ident.self_addr);
+  h.addr3 = mac::MacAddr::from_u64(env_.ident.peer_addr);
+  Bytes image = h.encode();
+  image.resize(image.size() + mac::wifi::kHcsBytes, 0);  // HCS slot; patched
+                                                         // by HcsAppend16.
+  env_.mem->write_page_bytes(env_.mode, Page::Scratch, image);
+  u32 cost = 0;
+  env_.api->Request_RHCP_Service(env_.mode, Command::kWifiSendNull, {}, &cost);
+  ++polls_answered_with_null;
+  return kSmallBody + 20 /* header build */ + cost;
+}
+
+u32 WifiCtrl::consume_cf_ack() {
+  // Books the ack only — the caller decides the single follow-on request
+  // (the interface registers hold one outstanding request per mode, so an
+  // ISR must never issue two).
+  auto& ps = env_.api->ps(env_.mode);
+  ++cf_acks_received;
+  ps.retry_count = 0;
+  ++ps.fragments_counter;
+  if (ps.fragments_counter >= ps.fragments_total) {
+    ++ps.tx_pdu_count;
+    ++tx_ok;
+    ps.my_state = kIdle;
+    if (on_tx_complete) on_tx_complete(true, ps.msdu_retries);
+    return 0;
+  }
+  ps.my_state = kAwaitPoll;  // Next fragment goes out on the next poll.
+  return 0;
+}
+
+u32 WifiCtrl::handle_cf_poll(bool piggyback_ack) {
+  auto& ps = env_.api->ps(env_.mode);
+  if (ps.my_state == kWaitCfAck) {
+    if (piggyback_ack) {
+      consume_cf_ack();
+      // The same poll also invites the next transmission: the next prepared
+      // fragment, or — with a fresh MSDU queued — its prepare pass (the AP
+      // tolerates silence for this poll), or a Null frame.
+      if (ps.my_state == kAwaitPoll) {
+        return kSmallBody + send_fragment_pcf(ps.fragments_counter, false);
+      }
+      if (!tx_queue_.empty()) return kSmallBody + start_next_msdu();
+      return kSmallBody + send_null_pcf();
+    }
+    // Poll without CF-Ack: the previous fragment was lost — retransmit.
+    ++ps.retry_count;
+    ++ps.msdu_retries;
+    const auto t = mac::timing_for(mac::Protocol::WiFi);
+    if (ps.retry_count > t.max_retries) {
+      ++tx_failed;
+      ps.my_state = kIdle;
+      if (on_tx_complete) on_tx_complete(false, ps.msdu_retries);
+      if (!tx_queue_.empty()) return kSmallBody + start_next_msdu();
+      return kSmallBody + send_null_pcf();
+    }
+    return send_fragment_pcf(ps.fragments_counter, true);
+  }
+  if (ps.my_state == kAwaitPoll) {
+    return send_fragment_pcf(ps.fragments_counter, false);
+  }
+  if (ps.my_state == kIdle && env_.ident.pcf_poll_mode) {
+    if (!tx_queue_.empty()) return kSmallBody + start_next_msdu();
+    return send_null_pcf();
+  }
+  return kSmallBody;  // Mid-prepare or mid-DCF exchange: no CFP response.
+}
+
+u32 WifiCtrl::handle_cfp_end(bool piggyback_ack) {
+  auto& ps = env_.api->ps(env_.mode);
+  if (ps.my_state == kWaitCfAck) {
+    if (piggyback_ack) {
+      consume_cf_ack();
+      // Prepare the next queued MSDU for the following CFP.
+      if (ps.my_state == kIdle && !tx_queue_.empty()) {
+        return kSmallBody + start_next_msdu();
+      }
+      return kSmallBody;
+    }
+    // CFP closed without the ack: retry when the next CFP polls us.
+    ++ps.retry_count;
+    ++ps.msdu_retries;
+    ps.my_state = kAwaitPoll;
+  }
+  return kSmallBody;
+}
+
+Bytes WifiCtrl::build_fragment_header(u32 frag_idx, bool retry) const {
+  auto& ps = env_.api->ps(env_.mode);
+  mac::wifi::DataHeader h;
+  h.fc.type = mac::wifi::FrameType::Data;
+  h.fc.subtype = mac::wifi::Subtype::Data;
+  h.fc.more_frag = (frag_idx + 1 < ps.fragments_total);
+  h.fc.retry = retry;
+  h.fc.protected_frame = true;
+  h.addr1 = mac::MacAddr::from_u64(env_.ident.peer_addr);
+  h.addr2 = mac::MacAddr::from_u64(env_.ident.self_addr);
+  h.addr3 = mac::MacAddr::from_u64(env_.ident.peer_addr);
+  h.seq_num = static_cast<u16>(ps.seq_num);
+  h.frag_num = static_cast<u8>(frag_idx);
+  // Duration: rough NAV — ACK time + SIFS (control-plane arithmetic).
+  h.duration_us = 150;
+  return h.encode();
+}
+
+u32 WifiCtrl::start_next_msdu() {
+  auto& ps = env_.api->ps(env_.mode);
+  if (tx_queue_.empty() || ps.my_state != kIdle) return 0;
+  // Host DMA: the MSDU lands in the Raw page without CPU involvement.
+  const Bytes msdu = std::move(tx_queue_.front());
+  tx_queue_.pop_front();
+  env_.mem->write_page_bytes(env_.mode, Page::Raw, msdu);
+  ps.psdu_size = static_cast<u32>(msdu.size());
+  const u32 thr = env_.ident.frag_threshold;
+  ps.fragmentation_threshold = thr;
+  ps.fragments_total = (ps.psdu_size + thr - 1) / thr;
+  if (ps.fragments_total == 0) ps.fragments_total = 1;
+  ps.fragments_counter = 0;
+  ps.retry_count = 0;
+  ps.msdu_retries = 0;
+  ps.MacHdrLng = mac::wifi::kHdrBytes;
+  u32 cost = 0;
+  tx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kWifiPrepareTx, {}, &cost);
+  ps.my_state = kSeqAssigned;
+  return kSmallBody + cost;
+}
+
+u32 WifiCtrl::send_fragment(u32 frag_idx, bool retry) {
+  auto& ps = env_.api->ps(env_.mode);
+  write_hdr_template(build_fragment_header(frag_idx, retry));
+  u32 cost = 0;
+  tx_tag_ = env_.api->Request_RHCP_Service(
+      env_.mode, Command::kWifiTxFragment,
+      {frag_idx, ps.fragmentation_threshold, ps.retry_count}, &cost);
+  ps.my_state = kSending;
+  return kSmallBody + 40 /* header build */ + cost;
+}
+
+bool WifiCtrl::use_rts() const {
+  const auto& ps = env_.api->ps(env_.mode);
+  return env_.ident.rts_threshold != 0 && ps.psdu_size >= env_.ident.rts_threshold;
+}
+
+u32 WifiCtrl::send_rts() {
+  // The RTS is pure header data, so the CPU may build it (Fig. 3.9: "The CPU
+  // would however only access the header data"); it lands in the Scratch
+  // page and the RHCP appends the FCS, contends and transmits.
+  auto& ps = env_.api->ps(env_.mode);
+  const auto t = mac::timing_for(mac::Protocol::WiFi);
+  // NAV covers CTS + first fragment + ACK with their SIFS gaps.
+  const double frag_air_us =
+      (static_cast<double>(std::min(ps.psdu_size, ps.fragmentation_threshold)) + 30.0) *
+      8.0 / t.line_rate_bps * 1e6;
+  const double nav_us = 3.0 * t.sifs_us +
+                        (mac::wifi::kCtsBytes + mac::wifi::kAckBytes) * 8.0 /
+                            t.line_rate_bps * 1e6 +
+                        frag_air_us;
+  const Bytes rts = mac::wifi::build_rts(
+      mac::MacAddr::from_u64(env_.ident.peer_addr),
+      mac::MacAddr::from_u64(env_.ident.self_addr),
+      static_cast<u16>(std::min(nav_us, 65535.0)));
+  // Strip the FCS the codec appended: TxFrameWifi recomputes it on the way
+  // out (append-FCS flag), keeping the FCS path in hardware.
+  Bytes image(rts.begin(), rts.end() - static_cast<std::ptrdiff_t>(mac::wifi::kFcsBytes));
+  env_.mem->write_page_bytes(env_.mode, Page::Scratch, image);
+  u32 cost = 0;
+  tx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kWifiSendRts,
+                                           {ps.retry_count}, &cost);
+  ps.my_state = kSendingRts;
+  ++rts_sent;
+  return kSmallBody + 30 /* frame build */ + cost;
+}
+
+u32 WifiCtrl::handle_req_done(u32 tag) {
+  auto& ps = env_.api->ps(env_.mode);
+  u32 cost = 0;
+  if (tag == tx_tag_) {
+    switch (ps.my_state) {
+      case kSeqAssigned: {
+        ps.seq_num = read_status(CtrlWord::kSeqOut);
+        tx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kWifiEncrypt,
+                                                 {ps.seq_num}, &cost);
+        ps.my_state = kEncrypting;
+        return kSmallBody + cost;
+      }
+      case kEncrypting:
+        if (env_.ident.pcf_poll_mode) {
+          // CF-pollable station: hold the prepared MSDU for the next poll.
+          ps.my_state = kAwaitPoll;
+          return kSmallBody;
+        }
+        // Large MSDUs reserve the medium with an RTS first (§2.3.2.2 #10).
+        return use_rts() ? send_rts() : send_fragment(0, false);
+      case kSendingRts: {
+        // RTS staged; arm the CTS timeout (worst-case access + RTS air +
+        // SIFS + CTS air, mirroring the ACK-timeout arithmetic).
+        const auto t = mac::timing_for(mac::Protocol::WiFi);
+        const double rts_air_us =
+            static_cast<double>(mac::wifi::kRtsBytes) * 8.0 / t.line_rate_bps * 1e6;
+        const double cts_air_us =
+            static_cast<double>(mac::wifi::kCtsBytes) * 8.0 / t.line_rate_bps * 1e6;
+        u64 cw = (static_cast<u64>(t.cw_min) + 1) << std::min<u32>(ps.retry_count, 16);
+        cw = std::min<u64>(cw - 1, t.cw_max);
+        const double access_us = t.difs_us + static_cast<double>(cw) * t.slot_us;
+        const double timeout_us =
+            access_us + rts_air_us + t.sifs_us + cts_air_us + t.ack_timeout_us;
+        env_.cpu->set_timer(env_.mode, kCtsTimeoutTimer, env_.tb->us_to_cycles(timeout_us));
+        ps.my_state = kWaitCts;
+        return kSmallBody + 15;
+      }
+      case kSendingPcf:
+        // Polled fragment staged; the piggybacked CF-Ack on the point
+        // coordinator's next poll (or the CF-End) acknowledges it — no ACK
+        // timer in the contention-free period.
+        ps.my_state = kWaitCfAck;
+        return kSmallBody;
+      case kSending: {
+        // Fragment staged for the air; arm the ACK timeout. The timer starts
+        // at staging, so it must cover the worst-case channel access (DIFS +
+        // the full contention window at the current retry count), the
+        // fragment's air time, SIFS and the ACK air time (Fig. 4.7 timing).
+        const auto t = mac::timing_for(mac::Protocol::WiFi);
+        const u32 frag_bytes =
+            std::min(ps.fragmentation_threshold,
+                     ps.psdu_size - ps.fragments_counter * ps.fragmentation_threshold);
+        const double mpdu_bytes = static_cast<double>(frag_bytes) + 30.0;
+        const double air_us = mpdu_bytes * 8.0 / t.line_rate_bps * 1e6;
+        u64 cw = (static_cast<u64>(t.cw_min) + 1) << std::min<u32>(ps.retry_count, 16);
+        cw = std::min<u64>(cw - 1, t.cw_max);
+        const double access_us = t.difs_us + static_cast<double>(cw) * t.slot_us;
+        const double ack_air_us = 14.0 * 8.0 / t.line_rate_bps * 1e6;
+        const double timeout_us =
+            access_us + air_us + t.sifs_us + ack_air_us + t.ack_timeout_us;
+        env_.cpu->set_timer(env_.mode, kAckTimeoutTimer, env_.tb->us_to_cycles(timeout_us));
+        ps.my_state = kWaitAck;
+        return kSmallBody + 15;
+      }
+      default:
+        return kSmallBody;
+    }
+  }
+  if (tag == rx_tag_) {
+    switch (rx_phase_) {
+      case RxPhase::Check: {
+        const bool dup = read_status(CtrlWord::kDupFlag) != 0;
+        if (dup) {
+          ++rx_duplicates;
+          rx_phase_ = RxPhase::Idle;
+          if (rx_release) rx_release();
+          return kSmallBody;
+        }
+        rx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kWifiRxExtract,
+                                                 {rx_frag_ == 0 ? 1u : 0u}, &cost);
+        rx_phase_ = RxPhase::Extract;
+        return kSmallBody + cost;
+      }
+      case RxPhase::Extract: {
+        if (rx_release) rx_release();  // Rx page consumed.
+        if (rx_more_frag_) {
+          rx_phase_ = RxPhase::Idle;  // Await the next fragment.
+          return kSmallBody;
+        }
+        rx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kWifiRxFinish,
+                                                 {rx_seq_}, &cost);
+        rx_phase_ = RxPhase::Finish;
+        return kSmallBody + cost;
+      }
+      case RxPhase::Finish: {
+        auto msdu = env_.mem->read_page_bytes(env_.mode, Page::RxOut);
+        ++rx_delivered;
+        ++ps.rx_pdu_count;
+        if (on_deliver) on_deliver(msdu);
+        rx_phase_ = RxPhase::Idle;
+        return kSmallBody + 10;
+      }
+      default:
+        return kSmallBody;
+    }
+  }
+  return kSmallBody;
+}
+
+u32 WifiCtrl::handle_ack_ind(Word param) {
+  auto& ps = env_.api->ps(env_.mode);
+  if (param == kAckParamCts) {
+    // CTS: the handshake completed — release the data fragment.
+    if (ps.my_state != kWaitCts) return kSmallBody;  // Stray/late CTS.
+    env_.cpu->cancel_timer(env_.mode, kCtsTimeoutTimer);
+    ++cts_received;
+    return send_fragment(ps.fragments_counter, ps.retry_count != 0);
+  }
+  if (ps.my_state != kWaitAck) return kSmallBody;  // Stray/late ACK.
+  env_.cpu->cancel_timer(env_.mode, kAckTimeoutTimer);
+  ps.retry_count = 0;
+  ++ps.fragments_counter;
+  if (ps.fragments_counter < ps.fragments_total) {
+    return send_fragment(ps.fragments_counter, false);
+  }
+  // Terminal state: report success to the application processor (Fig. 4.7).
+  ++ps.tx_pdu_count;
+  ++tx_ok;
+  ps.my_state = kIdle;
+  if (on_tx_complete) on_tx_complete(true, ps.msdu_retries);
+  return kSmallBody + start_next_msdu();
+}
+
+u32 WifiCtrl::handle_ack_timeout() {
+  auto& ps = env_.api->ps(env_.mode);
+  if (ps.my_state != kWaitAck) return kSmallBody;
+  ++ps.retry_count;
+  ++ps.msdu_retries;
+  const auto t = mac::timing_for(mac::Protocol::WiFi);
+  if (ps.retry_count > t.max_retries) {
+    ++tx_failed;
+    ps.my_state = kIdle;
+    if (on_tx_complete) on_tx_complete(false, ps.msdu_retries);
+    return kSmallBody + start_next_msdu();
+  }
+  // Data retries re-reserve the medium when the handshake is active.
+  return use_rts() ? send_rts() : send_fragment(ps.fragments_counter, true);
+}
+
+u32 WifiCtrl::handle_cts_timeout() {
+  auto& ps = env_.api->ps(env_.mode);
+  if (ps.my_state != kWaitCts) return kSmallBody;
+  ++ps.retry_count;
+  ++ps.msdu_retries;
+  const auto t = mac::timing_for(mac::Protocol::WiFi);
+  if (ps.retry_count > t.max_retries) {
+    ++tx_failed;
+    ps.my_state = kIdle;
+    if (on_tx_complete) on_tx_complete(false, ps.msdu_retries);
+    return kSmallBody + start_next_msdu();
+  }
+  return send_rts();  // Re-contend with the grown window.
+}
+
+u32 WifiCtrl::handle_beacon() {
+  // Passive scanning (§2.3.2.1 #15): record the BSS. Beacons are management
+  // frames, so their body is control-plane data the CPU may read (like the
+  // WiMAX ARQ feedback payload).
+  const u64 bssid = static_cast<u64>(read_status(CtrlWord::kSrcLo)) |
+                    (static_cast<u64>(read_status(CtrlWord::kSrcHi)) << 32);
+  const Bytes frame = env_.mem->read_page_bytes(env_.mode, Page::Rx);
+  const std::size_t body_off = mac::wifi::kHdrBytes + mac::wifi::kHcsBytes;
+  std::optional<mac::wifi::BeaconBody> body;
+  if (frame.size() >= body_off + mac::wifi::kFcsBytes) {
+    body = mac::wifi::BeaconBody::decode(
+        std::span<const u8>(frame.data() + body_off,
+                            frame.size() - body_off - mac::wifi::kFcsBytes));
+  }
+  if (rx_release) rx_release();
+  if (!body) return kSmallBody;
+  for (auto& bss : scan_) {
+    if (bss.bssid == bssid) {
+      bss.last_timestamp_us = body->timestamp_us;
+      bss.interval_us = body->interval_us;
+      ++bss.beacons;
+      return kSmallBody + 10;
+    }
+  }
+  scan_.push_back(BssInfo{bssid, body->timestamp_us, body->interval_us, 1});
+  return kSmallBody + 10;
+}
+
+u32 WifiCtrl::handle_rx_ind(Word param) {
+  // PCF events ride the RxInd line with distinguishing params (the poll and
+  // CF-End frames carry nothing for the receive datapath).
+  if (param == kRxParamCfPoll || param == kRxParamCfPollAck) {
+    return handle_cf_poll(param == kRxParamCfPollAck);
+  }
+  if (param == kRxParamCfEnd || param == kRxParamCfEndAck) {
+    return handle_cfp_end(param == kRxParamCfEndAck);
+  }
+  if (param == kRxParamBeacon) {
+    return handle_beacon();
+  }
+  // The Event Handler has drained, checked, parsed and ACKed the frame; the
+  // parse fields sit in the Ctrl status words.
+  rx_seq_ = read_status(CtrlWord::kSeq);
+  rx_frag_ = read_status(CtrlWord::kFrag);
+  rx_more_frag_ = read_status(CtrlWord::kMoreFrag) != 0;
+  const u32 src_key = read_status(CtrlWord::kSrcLo);
+  u32 cost = 0;
+  rx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kWifiRxCheck,
+                                           {src_key, (rx_seq_ << 4) | rx_frag_}, &cost);
+  rx_phase_ = RxPhase::Check;
+  return kSmallBody + cost;
+}
+
+u32 WifiCtrl::on_isr(const cpu::IsrContext& ctx) {
+  switch (ctx.cause) {
+    case cpu::IsrCause::HostRequest:
+      return start_next_msdu();
+    case cpu::IsrCause::Timer:
+      if (ctx.event == kAckTimeoutTimer) return handle_ack_timeout();
+      if (ctx.event == kCtsTimeoutTimer) return handle_cts_timeout();
+      return kSmallBody;
+    case cpu::IsrCause::HwInterrupt: {
+      switch (static_cast<IrqEvent>(ctx.event)) {
+        case IrqEvent::ReqDone:
+          return handle_req_done(ctx.param);
+        case IrqEvent::RxInd:
+          return handle_rx_ind(ctx.param);
+        case IrqEvent::RxAckInd:
+          return handle_ack_ind(ctx.param);
+        case IrqEvent::RxBad:
+        default:
+          return kSmallBody;
+      }
+    }
+  }
+  return kSmallBody;
+}
+
+}  // namespace drmp::ctrl

@@ -1,0 +1,88 @@
+// WiFi (IEEE 802.11 DCF) protocol control — the interrupt-driven state
+// machine of thesis Figs. 4.7-4.9, which the prototype simulations of Ch. 5
+// exercise. Transmit: sequence assignment, WEP(RC4) encryption, per-fragment
+// assemble/HCS/CSMA-CA/transmit, ACK await with retry and CW growth.
+// Receive: duplicate detection, body extraction, reassembly, decryption and
+// delivery (the ACK itself was already sent autonomously by the AckRfu).
+#pragma once
+
+#include <vector>
+
+#include "mac/ctrl_common.hpp"
+#include "mac/wifi_frames.hpp"
+
+namespace drmp::ctrl {
+
+class WifiCtrl final : public ProtocolCtrl {
+ public:
+  explicit WifiCtrl(CtrlEnv env) : ProtocolCtrl(std::move(env)) {}
+
+  u32 on_isr(const cpu::IsrContext& ctx) override;
+
+  /// Protocol state-machine states (ProtocolState::my_state).
+  enum TxState : u32 {
+    kIdle = 0,
+    kSeqAssigned,   ///< Waiting for SeqAssign request completion.
+    kEncrypting,    ///< Waiting for encryption completion.
+    kSending,       ///< Fragment request in flight (frag+asm+hcs+csma+tx).
+    kWaitAck,       ///< Frame staged; awaiting the peer's ACK.
+    kSendingRts,    ///< RTS request in flight (csma+tx of the Scratch frame).
+    kWaitCts,       ///< RTS staged; awaiting the peer's CTS (§2.3.2.2 #10).
+    kAwaitPoll,     ///< PCF: MSDU prepared, waiting for a CF-Poll.
+    kSendingPcf,    ///< PCF: polled fragment in flight (frag+asm+hcs+pcf+tx).
+    kWaitCfAck,     ///< PCF: fragment sent, awaiting the piggybacked CF-Ack.
+  };
+
+  TxState tx_state() const {
+    return static_cast<TxState>(env_.api->ps(env_.mode).my_state);
+  }
+
+  // ---- Statistics (RTS/CTS handshake) ----
+  u32 rts_sent = 0;
+  u32 cts_received = 0;
+  // ---- Statistics (PCF) ----
+  u32 polls_answered_with_data = 0;
+  u32 polls_answered_with_null = 0;
+  u32 cf_acks_received = 0;
+
+  // ---- Passive scanning (§2.3.2.1 #13/#15) ----
+  /// One discovered BSS, accumulated from received beacons.
+  struct BssInfo {
+    u64 bssid = 0;
+    u64 last_timestamp_us = 0;
+    u16 interval_us = 0;
+    u32 beacons = 0;
+  };
+  const std::vector<BssInfo>& scan_results() const { return scan_; }
+
+ private:
+  u32 start_next_msdu();
+  u32 send_fragment(u32 frag_idx, bool retry);
+  u32 send_rts();
+  bool use_rts() const;
+  u32 send_fragment_pcf(u32 frag_idx, bool retry);
+  u32 send_null_pcf();
+  u32 handle_cf_poll(bool piggyback_ack);
+  u32 handle_cfp_end(bool piggyback_ack);
+  u32 handle_beacon();
+  /// Books the piggybacked CF-Ack for the in-flight fragment; returns the
+  /// instruction cost of any follow-on work it triggers.
+  u32 consume_cf_ack();
+  u32 handle_req_done(u32 tag);
+  u32 handle_rx_ind(Word param);
+  u32 handle_ack_ind(Word param);
+  u32 handle_ack_timeout();
+  u32 handle_cts_timeout();
+  Bytes build_fragment_header(u32 frag_idx, bool retry) const;
+
+  // Pending request tags for correlation.
+  u32 tx_tag_ = 0;
+  u32 rx_tag_ = 0;
+  enum class RxPhase : u8 { Idle, Check, Extract, Finish } rx_phase_ = RxPhase::Idle;
+  bool rx_more_frag_ = false;
+  u32 rx_seq_ = 0;
+  u32 rx_frag_ = 0;
+  std::vector<BssInfo> scan_;
+};
+
+}  // namespace drmp::ctrl

@@ -1,0 +1,231 @@
+#include "mac/wimax_ctrl.hpp"
+
+#include "irc/irc.hpp"
+
+namespace drmp::ctrl {
+
+using api::Command;
+using hw::CtrlWord;
+using hw::Page;
+using irc::IrqEvent;
+
+namespace {
+constexpr u32 kSmallBody = 30;
+}
+
+Bytes WimaxCtrl::build_gmh_template() const {
+  mac::wimax::GenericMacHeader h;
+  h.ec = true;
+  h.cid = tx_cid_;
+  h.ci = true;  // CRC-32 appended.
+  if (packing_) h.type |= mac::wimax::kTypePacking;
+  // LEN = GMH + payload + CRC; payload size known to the control software.
+  h.len = static_cast<u16>(mac::wimax::kGmhBytes + pending_payload_bytes_ +
+                           mac::wimax::kCrcBytes);
+  Bytes gmh = h.encode();
+  gmh[5] = 0;  // HCS placeholder; patched by the HdrCheck RFU (HcsPatch8).
+  return gmh;
+}
+
+u32 WimaxCtrl::start_next_msdu() {
+  auto& ps = env_.api->ps(env_.mode);
+  if (tx_queue_.empty() || ps.my_state != kIdle) return 0;
+  // Decide on packing: two small MSDUs queued back-to-back share one MPDU.
+  packing_ = tx_queue_.size() >= 2 && tx_queue_[0].size() <= kPackLimit &&
+             tx_queue_[1].size() <= kPackLimit;
+  packed_count_ = 0;
+  const Bytes msdu = std::move(tx_queue_.front());
+  tx_queue_.pop_front();
+  env_.mem->write_page_bytes(env_.mode, Page::Raw, msdu);
+  ps.psdu_size = static_cast<u32>(msdu.size());
+  ps.MacHdrLng = mac::wimax::kGmhBytes;
+  u32 cost = 0;
+  // Classify the flow to a CID (flow meta: 1 = data service).
+  tx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kWimaxClassify, {1}, &cost);
+  ps.my_state = kClassifying;
+  return kSmallBody + cost;
+}
+
+u32 WimaxCtrl::send_mpdu() {
+  auto& ps = env_.api->ps(env_.mode);
+  // Compute the payload size the GMH LEN field must carry.
+  const Page body_page = packing_ ? Page::Scratch : Page::Crypt;
+  pending_payload_bytes_ = env_.mem->page_byte_len(env_.mode, body_page);
+  write_hdr_template(build_gmh_template());
+  u32 cost = 0;
+  tx_tag_ = env_.api->Request_RHCP_Service(
+      env_.mode, Command::kWimaxTxMpdu,
+      {static_cast<Word>(env_.ident.tdma_offset_us),
+       static_cast<Word>(env_.ident.tdma_period_us), 1 /* with CRC */,
+       packing_ ? 1u : 0u},
+      &cost);
+  ps.my_state = kSending;
+  return kSmallBody + 30 + cost;
+}
+
+u32 WimaxCtrl::handle_req_done(u32 tag) {
+  auto& ps = env_.api->ps(env_.mode);
+  u32 cost = 0;
+  if (tag == tx_tag_) {
+    switch (ps.my_state) {
+      case kClassifying: {
+        const Word cid = read_status(CtrlWord::kCid);
+        tx_cid_ = (cid == 0xFFFFFFFF) ? env_.ident.basic_cid : static_cast<u16>(cid);
+        // Probe the ARQ window first; the datapath pass only runs once the
+        // tag is granted, so a window-full stall has no side effects.
+        tx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kWimaxArqTag,
+                                                 {tx_cid_}, &cost);
+        ps.my_state = kTagging;
+        return kSmallBody + cost;
+      }
+      case kTagging: {
+        // BSN assigned (window-full handling: retry after one frame).
+        const Word bsn = read_status(CtrlWord::kArqOut);
+        if (bsn == 0xFFFFFFFF) {
+          env_.cpu->set_timer(env_.mode, kRetryBackoffTimer,
+                              env_.tb->us_to_cycles(env_.ident.tdma_period_us));
+          return kSmallBody;
+        }
+        tx_tag_ = env_.api->Request_RHCP_Service(
+            env_.mode, Command::kWimaxEncryptPack,
+            {tx_cid_ /* DES IV = CID */, packing_ ? 1u : 0u,
+             packed_count_ == 0 ? 1u : 0u},
+            &cost);
+        ps.my_state = kPreparing;
+        return kSmallBody + cost;
+      }
+      case kPreparing: {
+        ++packed_count_;
+        if (packing_ && packed_count_ < 2 && !tx_queue_.empty()) {
+          // DMA the second small MSDU and run its tag+prepare pass.
+          const Bytes next = std::move(tx_queue_.front());
+          tx_queue_.pop_front();
+          env_.mem->write_page_bytes(env_.mode, Page::Raw, next);
+          tx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kWimaxArqTag,
+                                                   {tx_cid_}, &cost);
+          ps.my_state = kTagging;
+          return kSmallBody + cost;
+        }
+        return send_mpdu();
+      }
+      case kSending: {
+        // One completion report per MSDU carried (a packed MPDU carries two)
+        // so the host contract stays one host_send -> one outcome, matching
+        // the WiFi/UWB controllers. WiMAX reports "handed to the TDD frame";
+        // ARQ closes the loop later.
+        const u32 sdus = std::max<u32>(1, packed_count_);
+        ps.tx_pdu_count += sdus;
+        tx_ok += sdus;
+        ps.my_state = kIdle;
+        if (on_tx_complete) {
+          for (u32 k = 0; k < sdus; ++k) on_tx_complete(true, 0);
+        }
+        return kSmallBody + start_next_msdu();
+      }
+      default:
+        return kSmallBody;
+    }
+  }
+  if (tag == rx_tag_) {
+    switch (rx_phase_) {
+      case RxPhase::Extract: {
+        if (rx_release) rx_release();
+        if (rx_cid_ == kArqFeedbackCid) {
+          // ARQ feedback payload: 4-byte cumulative BSN (management data —
+          // control-plane, so the CPU may read it).
+          const Bytes fb = env_.mem->read_page_bytes(env_.mode, Page::RxScratch);
+          const u32 bsn = fb.size() >= 4 ? get_le32(fb, 0) : 0;
+          arq_tag_ = env_.api->Request_RHCP_Service(
+              env_.mode, Command::kWimaxArqFeedback, {env_.ident.basic_cid, bsn}, &cost);
+          rx_phase_ = RxPhase::Idle;
+          return kSmallBody + cost;
+        }
+        if (rx_packed_) {
+          rx_sdu_index_ = 0;
+          rx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kWimaxRxSdu,
+                                                   {rx_sdu_index_, rx_cid_}, &cost);
+          rx_phase_ = RxPhase::Sdu;
+        } else {
+          rx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kWimaxRxSingle,
+                                                   {rx_cid_}, &cost);
+          rx_phase_ = RxPhase::Single;
+        }
+        return kSmallBody + cost;
+      }
+      case RxPhase::Single: {
+        auto& psr = env_.api->ps(env_.mode);
+        auto msdu = env_.mem->read_page_bytes(env_.mode, Page::RxOut);
+        ++rx_delivered;
+        ++psr.rx_pdu_count;
+        if (on_deliver) on_deliver(msdu);
+        rx_phase_ = RxPhase::Idle;
+        return kSmallBody + 10;
+      }
+      case RxPhase::Sdu: {
+        const Word sh = read_status(CtrlWord::kPackCount);
+        if (sh == 0xFFFFFFFF) {
+          rx_phase_ = RxPhase::Idle;  // No more packed SDUs.
+          return kSmallBody;
+        }
+        auto msdu = env_.mem->read_page_bytes(env_.mode, Page::RxOut);
+        ++rx_delivered;
+        ++ps.rx_pdu_count;
+        if (on_deliver) on_deliver(msdu);
+        ++rx_sdu_index_;
+        rx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kWimaxRxSdu,
+                                                 {rx_sdu_index_, rx_cid_}, &cost);
+        return kSmallBody + 10 + cost;
+      }
+      default:
+        return kSmallBody;
+    }
+  }
+  if (tag == arq_tag_) {
+    arq_blocks_acked += read_status(CtrlWord::kArqOut);
+    return kSmallBody;
+  }
+  return kSmallBody;
+}
+
+u32 WimaxCtrl::handle_rx_ind() {
+  rx_cid_ = static_cast<u16>(read_status(CtrlWord::kCid));
+  const Word type = read_status(CtrlWord::kFrameType);
+  rx_packed_ = (type & mac::wimax::kTypePacking) != 0;
+  u32 cost = 0;
+  rx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kWimaxRxExtract, {}, &cost);
+  rx_phase_ = RxPhase::Extract;
+  return kSmallBody + cost;
+}
+
+u32 WimaxCtrl::on_isr(const cpu::IsrContext& ctx) {
+  switch (ctx.cause) {
+    case cpu::IsrCause::HostRequest:
+      return start_next_msdu();
+    case cpu::IsrCause::Timer: {
+      if (ctx.event == kRetryBackoffTimer) {
+        // Retry the stalled ARQ tag — the probe alone, so the repeated
+        // attempts leave no datapath side effects.
+        auto& ps = env_.api->ps(env_.mode);
+        if (ps.my_state == kTagging) {
+          u32 cost = 0;
+          tx_tag_ = env_.api->Request_RHCP_Service(env_.mode, Command::kWimaxArqTag,
+                                                   {tx_cid_}, &cost);
+          return kSmallBody + cost;
+        }
+      }
+      return kSmallBody;
+    }
+    case cpu::IsrCause::HwInterrupt:
+      switch (static_cast<IrqEvent>(ctx.event)) {
+        case IrqEvent::ReqDone:
+          return handle_req_done(ctx.param);
+        case IrqEvent::RxInd:
+          return handle_rx_ind();
+        default:
+          return kSmallBody;
+      }
+  }
+  return kSmallBody;
+}
+
+}  // namespace drmp::ctrl

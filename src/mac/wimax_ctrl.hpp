@@ -1,0 +1,54 @@
+// WiMAX (IEEE 802.16) protocol control — the WiMAX-unique machinery the
+// thesis enumerates in §2.3.2.2: CID classification (#5/#9), packing of
+// multiple MSDUs into one MPDU (#1), the ARQ state machine (#3), optional
+// CRC, and TDD frame scheduling (#4/#11). Payloads are DES-protected per SDU
+// (subheaders stay in the clear).
+#pragma once
+
+#include "mac/ctrl_common.hpp"
+#include "mac/wimax_frames.hpp"
+
+namespace drmp::ctrl {
+
+class WimaxCtrl final : public ProtocolCtrl {
+ public:
+  explicit WimaxCtrl(CtrlEnv env) : ProtocolCtrl(std::move(env)) {}
+
+  u32 on_isr(const cpu::IsrContext& ctx) override;
+
+  enum TxState : u32 {
+    kIdle = 0,
+    kClassifying,
+    kTagging,        ///< ARQ window probe in flight (retried while full).
+    kPreparing,      ///< Encrypt (+ pack append) in flight, tag granted.
+    kSending,        ///< Assemble/HCS/TDMA/Tx in flight.
+  };
+
+  /// MSDUs at or under this size are packed two-per-MPDU when queued
+  /// back-to-back (packing showcase).
+  static constexpr std::size_t kPackLimit = 256;
+
+  u32 arq_blocks_acked = 0;
+
+ private:
+  u32 start_next_msdu();
+  u32 handle_req_done(u32 tag);
+  u32 handle_rx_ind();
+  u32 send_mpdu();
+  Bytes build_gmh_template() const;
+
+  u32 tx_tag_ = 0;
+  u32 rx_tag_ = 0;
+  u32 arq_tag_ = 0;
+  enum class RxPhase : u8 { Idle, Extract, Single, Sdu } rx_phase_ = RxPhase::Idle;
+  bool rx_packed_ = false;
+  u32 rx_sdu_index_ = 0;
+  u16 rx_cid_ = 0;
+
+  u16 tx_cid_ = 0;
+  bool packing_ = false;
+  u32 packed_count_ = 0;
+  std::size_t pending_payload_bytes_ = 0;
+};
+
+}  // namespace drmp::ctrl

@@ -1,0 +1,132 @@
+#include "mac/wimax_frames.hpp"
+
+#include "crypto/crc.hpp"
+
+namespace drmp::mac::wimax {
+namespace {
+
+Bytes encode_gmh_fields(const GenericMacHeader& h) {
+  Bytes out;
+  out.push_back(static_cast<u8>((h.ec ? 0x40 : 0x00) | (h.type & 0x3F)));
+  out.push_back(static_cast<u8>((h.ci ? 0x40 : 0x00) | ((h.eks & 0x3) << 4) |
+                                ((h.len >> 8) & 0x07)));
+  out.push_back(static_cast<u8>(h.len & 0xFF));
+  out.push_back(static_cast<u8>(h.cid >> 8));
+  out.push_back(static_cast<u8>(h.cid & 0xFF));
+  return out;
+}
+
+}  // namespace
+
+Bytes GenericMacHeader::encode() const {
+  Bytes out = encode_gmh_fields(*this);
+  out.push_back(crypto::Crc8::compute(out));
+  return out;
+}
+
+std::optional<GenericMacHeader> GenericMacHeader::decode(std::span<const u8> gmh,
+                                                         bool* hcs_ok) {
+  if (gmh.size() < kGmhBytes) return std::nullopt;
+  if ((gmh[0] & 0x80) != 0) return std::nullopt;  // HT=1 (BW request) unsupported.
+  GenericMacHeader h;
+  h.ec = (gmh[0] & 0x40) != 0;
+  h.type = gmh[0] & 0x3F;
+  h.ci = (gmh[1] & 0x40) != 0;
+  h.eks = (gmh[1] >> 4) & 0x3;
+  h.len = static_cast<u16>(((gmh[1] & 0x07) << 8) | gmh[2]);
+  h.cid = static_cast<u16>((gmh[3] << 8) | gmh[4]);
+  if (hcs_ok != nullptr) {
+    *hcs_ok = (gmh[5] == crypto::Crc8::compute(gmh.subspan(0, 5)));
+  }
+  return h;
+}
+
+Bytes build_mpdu(u16 cid, const FragSubheader& frag, std::span<const u8> payload,
+                 bool with_crc, bool encrypted, u8 eks) {
+  GenericMacHeader h;
+  h.ec = encrypted;
+  h.eks = eks;
+  h.cid = cid;
+  h.ci = with_crc;
+  const bool has_frag = frag.fc != FragState::Unfragmented || frag.fsn != 0;
+  if (has_frag) h.type |= kTypeFragmentation;
+  const std::size_t total = kGmhBytes + (has_frag ? 1 : 0) + payload.size() +
+                            (with_crc ? kCrcBytes : 0);
+  h.len = static_cast<u16>(total);
+
+  Bytes out = h.encode();
+  if (has_frag) out.push_back(frag.encode());
+  out.insert(out.end(), payload.begin(), payload.end());
+  if (with_crc) {
+    const u32 crc = crypto::Crc32::compute(out);
+    put_le32(out, crc);
+  }
+  return out;
+}
+
+Bytes build_packed_mpdu(u16 cid, const std::vector<PackedSdu>& sdus, bool with_crc,
+                        bool encrypted, u8 eks) {
+  GenericMacHeader h;
+  h.ec = encrypted;
+  h.eks = eks;
+  h.cid = cid;
+  h.ci = with_crc;
+  h.type |= kTypePacking;
+  std::size_t total = kGmhBytes + (with_crc ? kCrcBytes : 0);
+  for (const auto& s : sdus) total += 2 + s.payload.size();
+  h.len = static_cast<u16>(total);
+
+  Bytes out = h.encode();
+  for (const auto& s : sdus) {
+    PackSubheader sh = s.sh;
+    sh.len = static_cast<u16>(s.payload.size());
+    put_le16(out, sh.encode());
+    out.insert(out.end(), s.payload.begin(), s.payload.end());
+  }
+  if (with_crc) {
+    const u32 crc = crypto::Crc32::compute(out);
+    put_le32(out, crc);
+  }
+  return out;
+}
+
+std::optional<ParsedMpdu> parse_mpdu(std::span<const u8> mpdu) {
+  if (mpdu.size() < kGmhBytes) return std::nullopt;
+  ParsedMpdu p;
+  const auto h = GenericMacHeader::decode(mpdu.subspan(0, kGmhBytes), &p.hcs_ok);
+  if (!h) return std::nullopt;
+  p.gmh = *h;
+  // Bound the untrusted length field both ways: a len below the header size
+  // would underflow the payload span (fuzz-found).
+  if (p.gmh.len < kGmhBytes || p.gmh.len > mpdu.size()) return std::nullopt;
+  std::span<const u8> rest = mpdu.subspan(kGmhBytes, p.gmh.len - kGmhBytes);
+
+  p.crc_present = p.gmh.ci;
+  if (p.crc_present) {
+    if (rest.size() < kCrcBytes) return std::nullopt;
+    const u32 crc = get_le32(rest, rest.size() - kCrcBytes);
+    p.crc_ok =
+        (crc == crypto::Crc32::compute(mpdu.subspan(0, p.gmh.len - kCrcBytes)));
+    rest = rest.subspan(0, rest.size() - kCrcBytes);
+  }
+
+  if (p.gmh.type & kTypePacking) {
+    ByteReader r(rest);
+    while (r.remaining() >= 2) {
+      PackedSdu s;
+      s.sh = PackSubheader::decode(r.u16le());
+      if (s.sh.len > r.remaining()) return std::nullopt;
+      s.payload = r.bytes(s.sh.len);
+      p.packed.push_back(std::move(s));
+    }
+  } else if (p.gmh.type & kTypeFragmentation) {
+    if (rest.empty()) return std::nullopt;
+    p.frag = FragSubheader::decode(rest[0]);
+    p.payload.assign(rest.begin() + 1, rest.end());
+  } else {
+    p.payload.assign(rest.begin(), rest.end());
+  }
+  return p;
+}
+
+}  // namespace drmp::mac::wimax

@@ -1,0 +1,104 @@
+// IEEE 802.16 (WiMAX) frame codec subset.
+//
+// Generic MAC header (6 bytes, 802.16-2004 §6.3.2.1.1):
+//   byte 0: HT(1)=0 | EC(1) | Type(6)   (Type bits flag subheaders)
+//   byte 1: rsv(1) | CI(1) | EKS(2) | rsv(1) | LEN[10:8](3)
+//   byte 2: LEN[7:0]
+//   byte 3..4: CID (16 bits)
+//   byte 5: HCS — CRC-8 over bytes 0..4 ("for WiMAX its an 8-bit sequence",
+//           thesis §2.3.2.1 #1)
+//
+// Subset of the per-PDU machinery the thesis calls out as WiMAX-unique
+// (§2.3.2.2): packing of multiple MSDUs into one MPDU (#1), ARQ (#3),
+// Connection IDs (#5), optional CRC (#2 of commonalities: "for WiMAX its
+// optional", signalled by the CI bit).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mac/frame.hpp"
+
+namespace drmp::mac::wimax {
+
+inline constexpr std::size_t kGmhBytes = 6;
+inline constexpr std::size_t kCrcBytes = 4;
+inline constexpr std::size_t kMaxMpduBytes = 2047;  // 11-bit LEN field.
+
+/// Type-field subheader indication bits (subset).
+inline constexpr u8 kTypeFragmentation = 0x04;
+inline constexpr u8 kTypePacking = 0x02;
+inline constexpr u8 kTypeArqFeedback = 0x10;
+
+/// Fragmentation control states (FC field).
+enum class FragState : u8 { Unfragmented = 0, Last = 1, First = 2, Middle = 3 };
+
+struct GenericMacHeader {
+  bool ec = false;   ///< Encryption control.
+  u8 type = 0;       ///< Subheader indication bits.
+  bool ci = false;   ///< CRC indicator (CRC-32 appended when set).
+  u8 eks = 0;        ///< Encryption key sequence.
+  u16 len = 0;       ///< Total MPDU length incl. header and CRC (11 bits).
+  u16 cid = 0;       ///< Connection identifier.
+
+  Bytes encode() const;  ///< 6 bytes including the computed HCS.
+  /// Decodes 6 bytes; hcs_ok reports whether the CRC-8 matched.
+  static std::optional<GenericMacHeader> decode(std::span<const u8> gmh, bool* hcs_ok);
+  bool operator==(const GenericMacHeader&) const = default;
+};
+
+/// Fragmentation subheader (1 byte): FC(2) | FSN(6).
+struct FragSubheader {
+  FragState fc = FragState::Unfragmented;
+  u8 fsn = 0;  ///< 6-bit fragment sequence number.
+  u8 encode() const { return static_cast<u8>((static_cast<u8>(fc) << 6) | (fsn & 0x3F)); }
+  static FragSubheader decode(u8 v) {
+    return FragSubheader{static_cast<FragState>(v >> 6), static_cast<u8>(v & 0x3F)};
+  }
+  bool operator==(const FragSubheader&) const = default;
+};
+
+/// Packing subheader (2 bytes): FC(2) | FSN(3) | LEN(11).
+struct PackSubheader {
+  FragState fc = FragState::Unfragmented;
+  u8 fsn = 0;
+  u16 len = 0;  ///< Length of the packed SDU fragment that follows.
+  u16 encode() const {
+    return static_cast<u16>((static_cast<u16>(fc) << 14) | ((fsn & 0x7) << 11) | (len & 0x7FF));
+  }
+  static PackSubheader decode(u16 v) {
+    return PackSubheader{static_cast<FragState>(v >> 14), static_cast<u8>((v >> 11) & 0x7),
+                         static_cast<u16>(v & 0x7FF)};
+  }
+  bool operator==(const PackSubheader&) const = default;
+};
+
+/// A packed SDU block inside an MPDU.
+struct PackedSdu {
+  PackSubheader sh;
+  Bytes payload;
+};
+
+/// Builds an MPDU carrying a single (possibly fragmented) payload.
+Bytes build_mpdu(u16 cid, const FragSubheader& frag, std::span<const u8> payload,
+                 bool with_crc, bool encrypted = false, u8 eks = 0);
+
+/// Builds an MPDU packing several SDU fragments (thesis §2.3.2.2 #1).
+Bytes build_packed_mpdu(u16 cid, const std::vector<PackedSdu>& sdus, bool with_crc,
+                        bool encrypted = false, u8 eks = 0);
+
+struct ParsedMpdu {
+  GenericMacHeader gmh;
+  bool hcs_ok = false;
+  bool crc_present = false;
+  bool crc_ok = false;
+  // Exactly one of the following is populated depending on gmh.type.
+  std::optional<FragSubheader> frag;
+  std::vector<PackedSdu> packed;
+  Bytes payload;  ///< Single-payload case.
+};
+
+std::optional<ParsedMpdu> parse_mpdu(std::span<const u8> mpdu);
+
+}  // namespace drmp::mac::wimax

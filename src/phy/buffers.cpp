@@ -1,0 +1,8 @@
+#include "phy/buffers.hpp"
+
+// Header-only; TU anchors the build target.
+namespace drmp::phy {
+namespace {
+[[maybe_unused]] const TxBuffer kAnchor{};
+}
+}  // namespace drmp::phy

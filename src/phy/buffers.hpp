@@ -1,0 +1,102 @@
+// Translational buffers at the MAC-PHY boundary (thesis §3.6.6, Fig. 3.15).
+//
+// "These buffers translate between 1) 32 bit data words of the architecture
+// and data width required by the PHY (e.g. byte-wide transfer in case of
+// WiFi); and 2) architecture frequency and protocol frequency." Each buffer
+// is controlled by two interacting asynchronous state machines: the DRMP side
+// runs at architecture frequency and word width (the Tx/Rx RFUs burst frames
+// in and out quickly, leaving the co-processor free for other modes), the PHY
+// side at protocol frequency and byte width.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace drmp::phy {
+
+/// A frame staged for transmission.
+struct TxFrameEntry {
+  Bytes bytes;
+  /// Earliest architecture cycle at which the PHY may start sending it
+  /// (channel-access grant for data, rx-end + SIFS for ACKs).
+  Cycle earliest_start = 0;
+};
+
+/// Transmission buffer: DRMP side pushes words at architecture rate, PHY side
+/// drains bytes at protocol rate (drain handled by PhyTx).
+class TxBuffer {
+ public:
+  // ---- DRMP side (word-wide, architecture frequency) ----
+  void begin_frame() { staging_.clear(); }
+  void push_word(Word w) {
+    for (int i = 0; i < 4; ++i) staging_.push_back(static_cast<u8>(w >> (8 * i)));
+  }
+  void push_byte(u8 b) { staging_.push_back(b); }
+  void end_frame(std::size_t nbytes, Cycle earliest_start) {
+    staging_.resize(nbytes);
+    queue_.push_back(TxFrameEntry{std::move(staging_), earliest_start});
+    staging_ = {};
+  }
+
+  // ---- PHY side ----
+  bool frame_pending() const noexcept { return !queue_.empty(); }
+  const TxFrameEntry& front() const { return queue_.front(); }
+  TxFrameEntry pop() {
+    TxFrameEntry e = std::move(queue_.front());
+    queue_.pop_front();
+    return e;
+  }
+
+  std::size_t depth() const noexcept { return queue_.size(); }
+
+ private:
+  Bytes staging_;
+  std::deque<TxFrameEntry> queue_;
+};
+
+/// A frame received from the PHY.
+struct RxFrameEntry {
+  Bytes bytes;
+  Cycle rx_end_cycle = 0;  ///< When the last byte arrived (SIFS reference).
+};
+
+/// Reception buffer: PHY side deposits whole frames as their last byte
+/// arrives; DRMP side (RxRfu) drains words at architecture rate.
+class RxBuffer {
+ public:
+  // ---- PHY side ----
+  void deliver(Bytes frame, Cycle rx_end_cycle) {
+    queue_.push_back(RxFrameEntry{std::move(frame), rx_end_cycle});
+  }
+
+  // ---- DRMP side ----
+  bool frame_ready() const noexcept { return !queue_.empty(); }
+  std::size_t frame_bytes() const { return queue_.front().bytes.size(); }
+  Cycle frame_rx_end() const { return queue_.front().rx_end_cycle; }
+
+  /// Reads the i-th word of the frame at the head of the queue.
+  Word peek_word(std::size_t word_idx) const {
+    Word w = 0;
+    const Bytes& b = queue_.front().bytes;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::size_t idx = word_idx * 4 + i;
+      if (idx < b.size()) w |= static_cast<Word>(b[idx]) << (8 * i);
+    }
+    return w;
+  }
+
+  RxFrameEntry pop() {
+    RxFrameEntry e = std::move(queue_.front());
+    queue_.pop_front();
+    return e;
+  }
+
+  std::size_t depth() const noexcept { return queue_.size(); }
+
+ private:
+  std::deque<RxFrameEntry> queue_;
+};
+
+}  // namespace drmp::phy

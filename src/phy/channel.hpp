@@ -1,0 +1,120 @@
+// Scripted remote peer: the traffic generator / responder at the far end of
+// each medium. It stands in for the remote station of the paper's
+// transmission/reception experiments — acknowledging data frames after SIFS
+// and injecting scripted downlink frames for the reception runs.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mac/protocol.hpp"
+#include "mac/frame.hpp"
+#include "phy/phy_model.hpp"
+#include "sim/clock.hpp"
+
+namespace drmp::phy {
+
+class ScriptedPeer : public MediumClient, public sim::Clockable {
+ public:
+  ScriptedPeer(Medium& medium, const sim::TimeBase& tb, int self_id);
+
+  // ---- Behaviour switches ----
+  /// Acknowledge received data frames after SIFS (on by default for WiFi and
+  /// UWB; WiMAX uses ARQ feedback frames instead).
+  void set_auto_ack(bool v) { auto_ack_ = v; }
+  /// Answer WiFi RTS frames with a CTS after SIFS (on by default).
+  void set_auto_cts(bool v) { auto_cts_ = v; }
+  /// Drop every n-th data frame without acknowledging (loss injection for
+  /// retry-path tests). 0 disables.
+  void set_drop_every(u32 n) { drop_every_ = n; }
+
+  /// WiFi identity used when forging ACKs.
+  void set_wifi_addr(const mac::MacAddr& a) { wifi_addr_ = a; }
+  /// UWB identity.
+  void set_uwb_ids(u16 pnid, u8 dev_id) {
+    pnid_ = pnid;
+    uwb_dev_id_ = dev_id;
+  }
+
+  /// Schedules a raw frame for transmission at (not before) `at_cycle`.
+  void inject_frame(Bytes frame, Cycle at_cycle);
+
+  // ---- Point-coordinator role (WiFi PCF, §2.3.2.1 #5/#8/#11) ----
+  /// Starts a contention-free period: `polls` CF-Polls to `station`,
+  /// `interval_us` apart, the first at `start_at`; data received during the
+  /// CFP is acknowledged by piggybacking CF-Ack on the next poll (or the
+  /// closing CF-End). No ACK frames are sent during the CFP.
+  void begin_cfp(Cycle start_at, u32 polls, double interval_us,
+                 const mac::MacAddr& station);
+  bool cfp_active() const noexcept { return cfp_polls_left_ > 0 || cfp_end_pending_; }
+  u64 cfp_data_received() const noexcept { return cfp_data_rx_; }
+  u64 cfp_nulls_received() const noexcept { return cfp_nulls_rx_; }
+  u64 cfp_polls_sent() const noexcept { return cfp_polls_sent_; }
+
+  // ---- Beaconing AP role (WiFi passive scanning, §2.3.2.1 #13/#15) ----
+  /// Broadcasts `count` beacons, `interval_us` apart, the first at
+  /// `start_at`; the TSF timestamp advances with the medium clock.
+  void start_beacons(Cycle start_at, u32 count, double interval_us);
+  u64 beacons_sent() const noexcept { return beacons_sent_; }
+
+  // ---- Introspection for tests/benches ----
+  const std::vector<Bytes>& received_data_frames() const { return received_; }
+  u64 acks_sent() const noexcept { return acks_sent_; }
+  u64 frames_dropped() const noexcept { return dropped_; }
+  u64 rts_received() const noexcept { return rts_seen_; }
+  u64 ctss_sent() const noexcept { return ctss_sent_; }
+
+  // MediumClient:
+  void on_frame(const Bytes& frame, Cycle rx_end_cycle, int source) override;
+  // Clockable:
+  void tick() override;
+
+ private:
+  void schedule_tx(Bytes frame, Cycle earliest);
+  void cfp_tick();
+
+  Medium& medium_;
+  const sim::TimeBase& tb_;
+  int self_id_;
+  bool auto_ack_ = true;
+  bool auto_cts_ = true;
+  u32 drop_every_ = 0;
+  u32 data_seen_ = 0;
+  u64 acks_sent_ = 0;
+  u64 dropped_ = 0;
+  u64 rts_seen_ = 0;
+  u64 ctss_sent_ = 0;
+  mac::MacAddr wifi_addr_ = mac::MacAddr::from_u64(0x0A0B0C0D0E0Full);
+  u16 pnid_ = 0xBEEF;
+  u8 uwb_dev_id_ = 2;
+
+  struct Pending {
+    Bytes frame;
+    Cycle earliest;
+  };
+  std::deque<Pending> pending_tx_;
+  std::vector<Bytes> received_;
+
+  // Point-coordinator state.
+  u32 cfp_polls_left_ = 0;
+  bool cfp_end_pending_ = false;
+  bool cfp_ack_pending_ = false;
+  Cycle cfp_next_poll_ = 0;
+  Cycle cfp_interval_ = 0;
+  mac::MacAddr cfp_station_{};
+  u64 cfp_data_rx_ = 0;
+  u64 cfp_nulls_rx_ = 0;
+  u64 cfp_polls_sent_ = 0;
+
+  // Beaconing state.
+  u32 beacons_left_ = 0;
+  Cycle next_beacon_ = 0;
+  Cycle beacon_interval_ = 0;
+  u16 beacon_interval_us_ = 0;
+  u16 beacon_seq_ = 0;
+  u64 beacons_sent_ = 0;
+};
+
+}  // namespace drmp::phy

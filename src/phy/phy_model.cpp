@@ -1,0 +1,43 @@
+#include "phy/phy_model.hpp"
+
+#include <cassert>
+
+namespace drmp::phy {
+
+Cycle Medium::begin_tx(Bytes frame, int source) {
+  assert(!busy() && "collision: begin_tx on a busy medium");
+  const Cycle end = now_ + frame_air_cycles(frame.size());
+  tx_end_ = end;
+  in_flight_.push_back(InFlight{std::move(frame), end, source});
+  return end;
+}
+
+void Medium::tick() {
+  if (busy()) ++busy_cycles_;
+  ++now_;
+  // Deliver frames whose last byte has now arrived.
+  for (std::size_t i = 0; i < in_flight_.size();) {
+    if (in_flight_[i].end <= now_) {
+      if (tamper && tamper(in_flight_[i].frame)) ++tampered_;
+      for (MediumClient* c : clients_) {
+        c->on_frame(in_flight_[i].frame, in_flight_[i].end, in_flight_[i].source);
+      }
+      in_flight_.erase(in_flight_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void PhyTx::tick() {
+  if (!buf_.frame_pending()) return;
+  const TxFrameEntry& f = buf_.front();
+  if (medium_.now() < f.earliest_start) return;
+  if (medium_.busy()) return;
+  TxFrameEntry e = buf_.pop();
+  last_tx_start_ = medium_.now();
+  last_tx_end_ = medium_.begin_tx(std::move(e.bytes), source_id_);
+  ++frames_sent_;
+}
+
+}  // namespace drmp::phy

@@ -1,0 +1,140 @@
+// PHY substrate: a shared medium per protocol band plus per-device PHY
+// transmit/receive pipes running at the protocol line rate.
+//
+// The paper's testbed drives the DRMP model with PHY interface signals for
+// three protocols (Fig. 3.3); radio hardware is outside its scope too — the
+// Simulink testbench generated and consumed PHY byte streams. This model does
+// the same: frames occupy the medium for len*8/line_rate seconds, carrier
+// sense (CCA) is exposed for the CSMA/CA access RFU, and attached clients
+// receive each frame when its last byte arrives.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mac/protocol.hpp"
+#include "phy/buffers.hpp"
+#include "sim/clock.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+
+namespace drmp::phy {
+
+class Medium;
+
+/// Anything that can receive frames from a medium.
+class MediumClient {
+ public:
+  virtual ~MediumClient() = default;
+  /// Called when a frame's last byte arrives. `source` identifies the sender
+  /// so clients can ignore their own transmissions.
+  virtual void on_frame(const Bytes& frame, Cycle rx_end_cycle, int source) = 0;
+};
+
+/// One wireless channel (band) shared by all stations of one protocol mode.
+/// Collision-free by construction: begin_tx asserts the medium is idle (the
+/// paper's single-station-plus-peer experiments are collision-free as well).
+class Medium : public sim::Clockable {
+ public:
+  Medium(mac::Protocol proto, const sim::TimeBase& tb)
+      : proto_(proto), byte_cycles_(tb.arch_freq() * 8.0 / timing().line_rate_bps) {}
+
+  void attach(MediumClient& c) { clients_.push_back(&c); }
+
+  mac::Protocol protocol() const noexcept { return proto_; }
+  const mac::ProtocolTiming& timing() const {
+    static thread_local mac::ProtocolTiming t;
+    t = mac::timing_for(proto_);
+    return t;
+  }
+
+  bool busy() const noexcept { return now_ < tx_end_; }
+  Cycle now() const noexcept { return now_; }
+  /// Cycles the medium has been continuously idle (for DIFS checks).
+  Cycle idle_for() const noexcept { return busy() ? 0 : now_ - tx_end_; }
+
+  /// Cycles one byte occupies on air.
+  double byte_cycles() const noexcept { return byte_cycles_; }
+  Cycle frame_air_cycles(std::size_t nbytes) const {
+    return static_cast<Cycle>(byte_cycles_ * static_cast<double>(nbytes) + 0.5);
+  }
+
+  /// Starts a transmission; returns the cycle at which it completes.
+  Cycle begin_tx(Bytes frame, int source);
+
+  void tick() override;
+
+  Cycle busy_cycles() const noexcept { return busy_cycles_; }
+
+  /// Fault injector: invoked on each frame as its last byte arrives, before
+  /// delivery to the clients; return true if the frame was modified. Models
+  /// on-air corruption ("higher chances of data corruption/distortion during
+  /// transmission", thesis §2.3.1) for the redundancy-check failure paths.
+  std::function<bool(Bytes&)> tamper;
+  u64 tampered_frames() const noexcept { return tampered_; }
+
+ private:
+  struct InFlight {
+    Bytes frame;
+    Cycle end;
+    int source;
+  };
+
+  mac::Protocol proto_;
+  double byte_cycles_;
+  Cycle now_ = 0;
+  Cycle tx_end_ = 0;
+  std::vector<MediumClient*> clients_;
+  std::vector<InFlight> in_flight_;
+  Cycle busy_cycles_ = 0;
+  u64 tampered_ = 0;
+};
+
+/// Device-side PHY transmitter: the PHY-side FSM of the Tx translational
+/// buffer (Fig. 3.15b). Watches the TxBuffer, and when a staged frame's
+/// earliest-start has passed and the medium is idle, puts it on the air.
+class PhyTx : public sim::Clockable {
+ public:
+  PhyTx(TxBuffer& buf, Medium& medium, int source_id)
+      : buf_(buf), medium_(medium), source_id_(source_id) {}
+
+  void tick() override;
+
+  /// Number of frames fully handed to the medium.
+  u64 frames_sent() const noexcept { return frames_sent_; }
+  Cycle last_tx_start() const noexcept { return last_tx_start_; }
+  Cycle last_tx_end() const noexcept { return last_tx_end_; }
+  bool transmitting() const noexcept { return medium_.now() < last_tx_end_; }
+
+ private:
+  TxBuffer& buf_;
+  Medium& medium_;
+  int source_id_;
+  u64 frames_sent_ = 0;
+  Cycle last_tx_start_ = 0;
+  Cycle last_tx_end_ = 0;
+};
+
+/// Device-side PHY receiver: deposits frames addressed over this medium into
+/// the RxBuffer (PHY-side FSM of the Rx translational buffer).
+class PhyRx : public MediumClient {
+ public:
+  PhyRx(RxBuffer& buf, int self_id) : buf_(buf), self_id_(self_id) {}
+
+  void on_frame(const Bytes& frame, Cycle rx_end_cycle, int source) override {
+    if (source == self_id_) return;
+    buf_.deliver(frame, rx_end_cycle);
+    ++frames_received_;
+  }
+
+  u64 frames_received() const noexcept { return frames_received_; }
+
+ private:
+  RxBuffer& buf_;
+  int self_id_;
+  u64 frames_received_ = 0;
+};
+
+}  // namespace drmp::phy

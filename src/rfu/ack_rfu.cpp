@@ -1,0 +1,74 @@
+#include "rfu/ack_rfu.hpp"
+
+#include <cassert>
+
+#include "hw/memory_map.hpp"
+#include "mac/protocol.hpp"
+#include "mac/uwb_frames.hpp"
+#include "mac/wifi_frames.hpp"
+
+namespace drmp::rfu {
+
+void AckRfu::on_execute(Op op) {
+  stage_ = 0;
+  mode_idx_ = args_.at(2);
+  ack_page_ = args_.at(3);
+  assert(mode_idx_ < kNumModes);
+  assert(buffers_[mode_idx_] != nullptr && "AckRfu not wired to buffers");
+
+  switch (op) {
+    case Op::AckGenWifi: {
+      assert(c_state_ == cfg::kProtoWifi);
+      const u64 ra = static_cast<u64>(args_.at(0)) |
+                     (static_cast<u64>(args_.at(1)) << 32);
+      out_bytes_ = mac::wifi::build_ack(mac::MacAddr::from_u64(ra));
+      sifs_us_ = mac::timing_for(mac::Protocol::WiFi).sifs_us;
+      break;
+    }
+    case Op::CtsGenWifi: {
+      // CTS back to the RTS transmitter — same autonomous SIFS-deadline path
+      // as the ACK (the CPU never sees the RTS, §3.5).
+      assert(c_state_ == cfg::kProtoWifi);
+      const u64 ra = static_cast<u64>(args_.at(0)) |
+                     (static_cast<u64>(args_.at(1)) << 32);
+      out_bytes_ = mac::wifi::build_cts(mac::MacAddr::from_u64(ra));
+      sifs_us_ = mac::timing_for(mac::Protocol::WiFi).sifs_us;
+      ++ctss_;
+      break;
+    }
+    case Op::AckGenUwb: {
+      assert(c_state_ == cfg::kProtoUwb);
+      const u16 pnid = static_cast<u16>(args_.at(0) >> 16);
+      const u8 src_of_data = static_cast<u8>(args_.at(0) & 0xFF);
+      const u8 self_id = static_cast<u8>(args_.at(1) & 0xFF);
+      out_bytes_ = mac::uwb::build_imm_ack(pnid, src_of_data, self_id);
+      sifs_us_ = mac::timing_for(mac::Protocol::Uwb).sifs_us;
+      break;
+    }
+    default:
+      assert(false && "AckRfu: unknown op");
+  }
+  // Stage the frame image in the Ack page (audit trail + realistic bus cost).
+  q_write_page(ack_page_);
+}
+
+bool AckRfu::work_step() {
+  switch (stage_) {
+    case 0: {
+      if (!io_step()) return false;
+      // Push the ACK into the Tx buffer with the SIFS-aligned start time.
+      phy::TxBuffer& buf = *buffers_[mode_idx_];
+      buf.begin_frame();
+      for (u8 b : out_bytes_) buf.push_byte(b);
+      const Cycle sifs = tb_ != nullptr ? tb_->us_to_cycles(sifs_us_) : 0;
+      const Cycle rx_end = rx_ != nullptr ? rx_->last_rx_end() : 0;
+      buf.end_frame(out_bytes_.size(), rx_end + sifs);
+      ++acks_;
+      return true;
+    }
+    default:
+      return true;
+  }
+}
+
+}  // namespace drmp::rfu

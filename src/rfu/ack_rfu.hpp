@@ -1,0 +1,56 @@
+// ACK-generation RFU — the autonomous, time-critical acknowledgement path:
+// "A proposed ACK-generating hardware functional unit means that even
+// acknowledgment frames can be sent without involving the CPU" (thesis §3.5),
+// essential for the Immediate-ACK policy of IEEE 802.15.3 whose SIFS deadline
+// a software path could not guarantee.
+//
+// Builds the ACK frame in the mode's Ack page, then stages it in the Tx
+// translational buffer with an earliest-start of rx_end + SIFS.
+#pragma once
+
+#include <array>
+
+#include "phy/buffers.hpp"
+#include "rfu/rx_rfu.hpp"
+#include "rfu/streaming.hpp"
+
+namespace drmp::rfu {
+
+class AckRfu final : public StreamingRfu {
+ public:
+  explicit AckRfu(Env env) : StreamingRfu(kAckRfu, "ack", ReconfigMech::ContextSwitch, env) {}
+
+  void wire(RxRfu* rx, std::array<phy::TxBuffer*, kNumModes> buffers,
+            const sim::TimeBase* tb) {
+    rx_ = rx;
+    buffers_ = buffers;
+    tb_ = tb;
+  }
+
+  /// Total control frames staged (ACKs + CTSs).
+  u64 acks_generated() const noexcept { return acks_; }
+  /// CTS responses among them (RTS/CTS handshake, §2.3.2.2 #10).
+  u64 ctss_generated() const noexcept { return ctss_; }
+
+ protected:
+  // Ops:
+  //   AckGenWifi [ra_lo, ra_hi, mode_idx, ack_page] — ACK to transmitter RA.
+  //   CtsGenWifi [ra_lo, ra_hi, mode_idx, ack_page] — CTS to RTS sender RA.
+  //   AckGenUwb  [pnid_src, dest_id, mode_idx, ack_page] — Imm-ACK.
+  void on_execute(Op op) override;
+  bool work_step() override;
+
+ private:
+  int stage_ = 0;
+  u32 mode_idx_ = 0;
+  u32 ack_page_ = 0;
+  double sifs_us_ = 10.0;
+  u64 acks_ = 0;
+  u64 ctss_ = 0;
+
+  RxRfu* rx_ = nullptr;
+  std::array<phy::TxBuffer*, kNumModes> buffers_{};
+  const sim::TimeBase* tb_ = nullptr;
+};
+
+}  // namespace drmp::rfu

@@ -1,0 +1,69 @@
+#include "rfu/arq_rfu.hpp"
+
+#include <cassert>
+
+namespace drmp::rfu {
+
+std::vector<Word> ArqRfu::make_config_blob(u32 window_size, u32 modulus, u32 retry_limit) {
+  std::vector<Word> blob = {window_size, modulus, retry_limit};
+  while (blob.size() < 10) blob.push_back(0);
+  return blob;
+}
+
+void ArqRfu::on_reconfigured(u8 /*state*/, const std::vector<Word>& blob) {
+  if (blob.size() >= 2) {
+    window_size_ = blob[0];
+    modulus_ = blob[1];
+  }
+  windows_.clear();
+}
+
+void ArqRfu::on_execute(Op op) {
+  stage_ = 0;
+  const u16 cid = static_cast<u16>(args_.at(0));
+  auto& w = windows_[cid];
+  switch (op) {
+    case Op::ArqTag: {
+      status_addr_ = args_.at(1);
+      const u32 in_flight = (w.next_bsn + modulus_ - w.window_start) % modulus_;
+      if (in_flight >= window_size_) {
+        status_word_ = 0xFFFFFFFFu;  // Window full.
+      } else {
+        status_word_ = w.next_bsn;
+        w.next_bsn = (w.next_bsn + 1) % modulus_;
+      }
+      break;
+    }
+    case Op::ArqFeedback: {
+      const u32 cumulative = args_.at(1);
+      status_addr_ = args_.at(2);
+      // Slide window_start forward to `cumulative` (mod modulus), bounded by
+      // the in-flight range.
+      u32 acked = 0;
+      while (w.window_start != w.next_bsn && w.window_start != cumulative % modulus_) {
+        w.window_start = (w.window_start + 1) % modulus_;
+        ++acked;
+      }
+      if (w.window_start == cumulative % modulus_) {
+        // Cumulative BSN itself is the next expected; nothing more to do.
+      }
+      status_word_ = acked;
+      break;
+    }
+    default:
+      assert(false && "ArqRfu: unknown op");
+  }
+  q_stall(4);  // Window bookkeeping latency.
+}
+
+bool ArqRfu::work_step() {
+  if (stage_ == 0) {
+    if (!io_step()) return false;
+    stage_ = 1;
+  }
+  if (!bus_granted() || !bus_free()) return false;
+  bus_write(status_addr_, status_word_);
+  return true;
+}
+
+}  // namespace drmp::rfu

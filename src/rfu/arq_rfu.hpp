@@ -1,0 +1,55 @@
+// ARQ RFU — "Automatic Repeat Request is a unique operation performed in
+// WiMAX and involves a separate state-machine" (thesis §2.3.2.2 #3). A
+// Memory-Access RFU whose configuration blob carries the window parameters.
+// Keeps per-connection (CID) transmit windows: assigns block sequence numbers
+// on transmit and slides the window on cumulative feedback, reporting
+// retransmission needs to the CPU via status words.
+#pragma once
+
+#include <map>
+
+#include "rfu/streaming.hpp"
+
+namespace drmp::rfu {
+
+class ArqRfu final : public StreamingRfu {
+ public:
+  explicit ArqRfu(Env env) : StreamingRfu(kArqRfu, "arq", ReconfigMech::MemoryAccess, env) {}
+
+  u8 nstates() const override { return 1; }
+
+  /// Configuration blob: [window_size, bsn_modulus, retry_limit, padding...].
+  static std::vector<Word> make_config_blob(u32 window_size = 16, u32 modulus = 64,
+                                            u32 retry_limit = 4);
+
+  struct CidState {
+    u32 next_bsn = 0;      ///< Next BSN to assign.
+    u32 window_start = 0;  ///< Oldest unacknowledged BSN.
+  };
+  const CidState* cid_state(u16 cid) const {
+    auto it = windows_.find(cid);
+    return it == windows_.end() ? nullptr : &it->second;
+  }
+  u32 window_size() const noexcept { return window_size_; }
+
+ protected:
+  // Ops:
+  //   ArqTag      [cid, status_addr] — status := assigned BSN, or 0xFFFFFFFF
+  //                if the window is full (transmit must stall).
+  //   ArqFeedback [cid, cumulative_bsn, status_addr] — acknowledge all blocks
+  //                with BSN < cumulative_bsn; status := newly acked count.
+  void on_execute(Op op) override;
+  bool work_step() override;
+  void on_reconfigured(u8 new_state, const std::vector<Word>& blob) override;
+
+ private:
+  int stage_ = 0;
+  u32 status_addr_ = 0;
+  Word status_word_ = 0;
+
+  u32 window_size_ = 16;
+  u32 modulus_ = 64;
+  std::map<u16, CidState> windows_;
+};
+
+}  // namespace drmp::rfu

@@ -1,0 +1,107 @@
+#include "rfu/backoff_rfu.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace drmp::rfu {
+
+u16 BackoffRfu::lfsr_next() {
+  // 16-bit Fibonacci LFSR (taps 16,14,13,11) — a hardware-faithful PRNG.
+  const u16 bit = static_cast<u16>(((lfsr_ >> 0) ^ (lfsr_ >> 2) ^ (lfsr_ >> 3) ^
+                                    (lfsr_ >> 5)) & 1u);
+  lfsr_ = static_cast<u16>((lfsr_ >> 1) | (bit << 15));
+  return lfsr_;
+}
+
+void BackoffRfu::on_execute(Op op) {
+  mode_idx_ = args_.at(0);
+  assert(mode_idx_ < kNumModes);
+  phy::Medium* medium = media_[mode_idx_];
+  assert(medium != nullptr && tb_ != nullptr && "BackoffRfu not wired");
+  const auto& t = medium->timing();
+  wait_cycles_ = 0;
+
+  switch (op) {
+    case Op::CsmaAccessWifi:
+    case Op::CsmaAccessUwb: {
+      assert(c_state_ == cfg::kAccessCsmaWifi || c_state_ == cfg::kAccessCsmaUwb);
+      const u32 retry = args_.at(1);
+      // CW doubles per retry: CW = min(cw_max, (cw_min+1)*2^retry - 1).
+      u64 cw = (static_cast<u64>(t.cw_min) + 1) << std::min<u32>(retry, 16);
+      cw = std::min<u64>(cw - 1, t.cw_max);
+      backoff_slots_ = static_cast<u32>(lfsr_next() % (cw + 1));
+      ifs_cycles_ = tb_->us_to_cycles(t.difs_us);
+      slot_cycles_ = tb_->us_to_cycles(t.slot_us);
+      ifs_progress_ = 0;
+      slot_progress_ = 0;
+      access_phase_ = AccessPhase::Ifs;
+      break;
+    }
+    case Op::PcfRespondWifi: {
+      // Contention-free response: the point coordinator's poll just ended, so
+      // transmit as soon as the medium has been idle for SIFS — no DIFS, no
+      // backoff (§2.3.2.1 #5).
+      assert(c_state_ == cfg::kAccessPcfWifi);
+      ifs_cycles_ = tb_->us_to_cycles(t.sifs_us);
+      access_phase_ = AccessPhase::SifsResponse;
+      break;
+    }
+    case Op::TdmaAccessWimax:
+    case Op::TdmaAccessUwb: {
+      assert(c_state_ == cfg::kAccessTdmaWimax || c_state_ == cfg::kAccessTdmaUwb);
+      const double offset_us = static_cast<double>(args_.at(1));
+      const double period_us = static_cast<double>(args_.at(2));
+      const Cycle period = tb_->us_to_cycles(period_us);
+      const Cycle offset = tb_->us_to_cycles(offset_us);
+      const Cycle now = medium->now();
+      // Next slot boundary at k*period + offset strictly after `now`.
+      const Cycle base = (period == 0) ? now : (now / period) * period;
+      tdma_target_ = base + offset;
+      if (tdma_target_ <= now) tdma_target_ += period;
+      access_phase_ = AccessPhase::TdmaWait;
+      break;
+    }
+    default:
+      assert(false && "BackoffRfu: unknown op");
+  }
+}
+
+bool BackoffRfu::work_step() {
+  phy::Medium& medium = *media_[mode_idx_];
+  ++wait_cycles_;
+  switch (access_phase_) {
+    case AccessPhase::Ifs: {
+      // The channel must be idle continuously for the IFS.
+      if (medium.busy()) {
+        ifs_progress_ = 0;
+        return false;
+      }
+      if (++ifs_progress_ < ifs_cycles_) return false;
+      if (backoff_slots_ == 0) return true;
+      access_phase_ = AccessPhase::Backoff;
+      slot_progress_ = 0;
+      return false;
+    }
+    case AccessPhase::Backoff: {
+      // Decrement one slot per slot-time of idle medium; freeze while busy
+      // (and re-wait the IFS, per DCF).
+      if (medium.busy()) {
+        access_phase_ = AccessPhase::Ifs;
+        ifs_progress_ = 0;
+        return false;
+      }
+      if (++slot_progress_ >= slot_cycles_) {
+        slot_progress_ = 0;
+        if (--backoff_slots_ == 0) return true;
+      }
+      return false;
+    }
+    case AccessPhase::TdmaWait:
+      return medium.now() >= tdma_target_;
+    case AccessPhase::SifsResponse:
+      return !medium.busy() && medium.idle_for() >= ifs_cycles_;
+  }
+  return false;
+}
+
+}  // namespace drmp::rfu

@@ -1,0 +1,70 @@
+// Channel-access RFU — the medium-access timing engine. Configuration states
+// cover the access mechanisms the thesis's protocol analysis identified
+// (§2.3.2.1 #4-#6): CSMA/CA (WiFi DCF; UWB CAP with a different backoff), and
+// TDM access (WiMAX UL/DL frames; UWB contention-free CTAs).
+//
+// It executes *detached* from the packet bus: after the IRC triggers it, it
+// counts IFS/backoff slots (or waits for the TDMA slot boundary) against the
+// medium's carrier-sense signal, asserting DONE when the channel is won. The
+// bus is free for other modes meanwhile — this is the concurrency the
+// three-mode experiments rely on.
+#pragma once
+
+#include <array>
+
+#include "phy/phy_model.hpp"
+#include "rfu/rfu.hpp"
+
+namespace drmp::rfu {
+
+class BackoffRfu final : public Rfu {
+ public:
+  explicit BackoffRfu(Env env)
+      : Rfu(kBackoffRfu, "backoff", ReconfigMech::ContextSwitch, env) {}
+
+  u8 nstates() const override { return 5; }
+  bool detached_execution() const override { return true; }
+
+  void wire(std::array<phy::Medium*, kNumModes> media, const sim::TimeBase* tb) {
+    media_ = media;
+    tb_ = tb;
+  }
+
+  /// Deterministic PRNG seed (LFSR) so simulations are reproducible.
+  void seed(u16 s) { lfsr_ = s == 0 ? 0xACE1u : s; }
+
+  Cycle last_wait_cycles() const noexcept { return wait_cycles_; }
+
+ protected:
+  // Ops:
+  //   CsmaAccess{Wifi,Uwb} [mode_idx, retry_count]
+  //   TdmaAccess{Wimax,Uwb} [mode_idx, slot_offset_us, slot_period_us]
+  //   PcfRespondWifi [mode_idx] — grant once the medium has been idle for
+  //   SIFS (the polled station's contention-free response, §2.3.2.1 #5).
+  void on_execute(Op op) override;
+  bool work_step() override;
+
+ private:
+  u16 lfsr_next();
+
+  enum class AccessPhase : u8 {
+    Ifs,
+    Backoff,
+    TdmaWait,
+    SifsResponse,
+  } access_phase_ = AccessPhase::Ifs;
+  u32 mode_idx_ = 0;
+  Cycle ifs_cycles_ = 0;
+  Cycle ifs_progress_ = 0;
+  Cycle slot_cycles_ = 0;
+  u32 backoff_slots_ = 0;
+  Cycle slot_progress_ = 0;
+  Cycle tdma_target_ = 0;
+  Cycle wait_cycles_ = 0;
+
+  u16 lfsr_ = 0xACE1u;
+  std::array<phy::Medium*, kNumModes> media_{};
+  const sim::TimeBase* tb_ = nullptr;
+};
+
+}  // namespace drmp::rfu

@@ -1,0 +1,53 @@
+#include "rfu/classifier_rfu.hpp"
+
+#include <cassert>
+
+namespace drmp::rfu {
+
+std::vector<Word> ClassifierRfu::make_config_blob(const std::vector<Rule>& rules) {
+  std::vector<Word> blob;
+  blob.push_back(static_cast<Word>(rules.size()));
+  for (const Rule& r : rules) {
+    blob.push_back(r.meta);
+    blob.push_back(r.cid);
+  }
+  return blob;
+}
+
+void ClassifierRfu::on_reconfigured(u8 /*state*/, const std::vector<Word>& blob) {
+  rules_.clear();
+  if (blob.empty()) return;
+  const u32 n = blob[0];
+  for (u32 i = 0; i < n && 2 + 2 * i <= blob.size(); ++i) {
+    rules_.push_back(Rule{blob[1 + 2 * i], static_cast<u16>(blob[2 + 2 * i])});
+  }
+}
+
+void ClassifierRfu::on_execute(Op op) {
+  assert(op == Op::Classify);
+  (void)op;
+  stage_ = 0;
+  const u32 meta = args_.at(0);
+  status_addr_ = args_.at(1);
+  status_word_ = 0xFFFFFFFFu;
+  for (const Rule& r : rules_) {
+    if (r.meta == meta) {
+      status_word_ = r.cid;
+      break;
+    }
+  }
+  // Associative-lookup latency grows with the rule table.
+  q_stall(1 + static_cast<Cycle>(rules_.size() / 4));
+}
+
+bool ClassifierRfu::work_step() {
+  if (stage_ == 0) {
+    if (!io_step()) return false;
+    stage_ = 1;
+  }
+  if (!bus_granted() || !bus_free()) return false;
+  bus_write(status_addr_, status_word_);
+  return true;
+}
+
+}  // namespace drmp::rfu

@@ -1,0 +1,42 @@
+// Classifier RFU — "A Classifier is required in WiMAX only, to determine
+// which packet should go to which CID" (thesis §2.3.2.2 #9). A Memory-Access
+// RFU whose configuration blob is the classification rule table mapping a
+// flow descriptor (service type / priority word) to a connection id.
+#pragma once
+
+#include <vector>
+
+#include "rfu/streaming.hpp"
+
+namespace drmp::rfu {
+
+class ClassifierRfu final : public StreamingRfu {
+ public:
+  explicit ClassifierRfu(Env env)
+      : StreamingRfu(kClassifierRfu, "classifier", ReconfigMech::MemoryAccess, env) {}
+
+  u8 nstates() const override { return 1; }
+
+  struct Rule {
+    u32 meta;  ///< Flow descriptor to match.
+    u16 cid;   ///< Connection id.
+  };
+
+  /// Configuration blob: [n_rules, meta0, cid0, meta1, cid1, ...].
+  static std::vector<Word> make_config_blob(const std::vector<Rule>& rules);
+
+ protected:
+  // Op: Classify [meta_word, status_addr] — status := matched CID, or
+  // 0xFFFFFFFF when no rule matches (the CPU then uses the basic CID).
+  void on_execute(Op op) override;
+  bool work_step() override;
+  void on_reconfigured(u8 new_state, const std::vector<Word>& blob) override;
+
+ private:
+  int stage_ = 0;
+  u32 status_addr_ = 0;
+  Word status_word_ = 0;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace drmp::rfu

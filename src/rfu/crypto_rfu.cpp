@@ -1,0 +1,126 @@
+#include "rfu/crypto_rfu.hpp"
+
+#include <cassert>
+
+namespace drmp::rfu {
+
+std::vector<Word> CryptoRfu::make_config_blob(u8 state, std::span<const u8> key) {
+  std::vector<Word> blob;
+  blob.push_back(static_cast<Word>(key.size()));
+  const auto packed = pack_words(key);
+  blob.insert(blob.end(), packed.begin(), packed.end());
+  // Pad with schedule words to model the real configuration-data volume.
+  std::size_t target = 0;
+  switch (state) {
+    case cfg::kCryptoRc4: target = 8; break;   // Key + small state seed.
+    case cfg::kCryptoAes: target = 48; break;  // 11 round keys ~ 44 words.
+    case cfg::kCryptoDes: target = 36; break;  // 16 subkeys ~ 32 words.
+    default: target = blob.size(); break;
+  }
+  while (blob.size() < target) blob.push_back(0xC0F1Du ^ static_cast<Word>(blob.size()));
+  return blob;
+}
+
+Cycle CryptoRfu::stall_per_word(u8 state) {
+  switch (state) {
+    case cfg::kCryptoRc4: return 2;
+    case cfg::kCryptoAes: return 4;
+    case cfg::kCryptoDes: return 6;
+    default: return 1;
+  }
+}
+
+void CryptoRfu::on_reconfigured(u8 /*new_state*/, const std::vector<Word>& blob) {
+  key_.clear();
+  if (blob.empty()) return;
+  const u32 key_len = blob[0];
+  const std::span<const Word> key_words(blob.data() + 1, words_for_bytes(key_len));
+  key_ = unpack_bytes(key_words, key_len);
+}
+
+void CryptoRfu::on_execute(Op op) {
+  assert(!key_.empty() && "CryptoRfu used before key configuration");
+  stage_ = 0;
+  src_ = args_.at(0);
+  dst_ = args_.at(1);
+  nonce_lo_ = args_.size() > 2 ? args_.at(2) : 0;
+  nonce_hi_ = args_.size() > 3 ? args_.at(3) : 0;
+  switch (op) {
+    case Op::EncryptRc4:
+    case Op::EncryptAes:
+    case Op::EncryptDes:
+      decrypt_ = false;
+      break;
+    case Op::DecryptRc4:
+    case Op::DecryptAes:
+    case Op::DecryptDes:
+      decrypt_ = true;
+      break;
+    default:
+      assert(false && "CryptoRfu: unknown op");
+  }
+  q_read_page(src_);
+}
+
+void CryptoRfu::transform() {
+  Bytes data = in_bytes_;
+  switch (c_state_) {
+    case cfg::kCryptoRc4: {
+      // WEP-style: per-packet IV prepended to the key.
+      Bytes iv_key;
+      iv_key.push_back(static_cast<u8>(nonce_lo_));
+      iv_key.push_back(static_cast<u8>(nonce_lo_ >> 8));
+      iv_key.push_back(static_cast<u8>(nonce_lo_ >> 16));
+      iv_key.insert(iv_key.end(), key_.begin(), key_.end());
+      crypto::Rc4 rc4(iv_key);
+      rc4.process(data);  // Symmetric: same path for decrypt.
+      break;
+    }
+    case cfg::kCryptoAes: {
+      crypto::Aes128 aes(key_);
+      u8 nonce[16] = {};
+      for (int i = 0; i < 4; ++i) nonce[i] = static_cast<u8>(nonce_lo_ >> (8 * i));
+      for (int i = 0; i < 4; ++i) nonce[4 + i] = static_cast<u8>(nonce_hi_ >> (8 * i));
+      aes.ctr_process(std::span<const u8>(nonce, 16), data);  // CTR: symmetric.
+      break;
+    }
+    case cfg::kCryptoDes: {
+      // DES-CBC over whole blocks; the tail bytes (< 8) are passed through in
+      // the clear, as 802.16 leaves sub-block residue handling to the SA
+      // (simplification documented in DESIGN.md).
+      crypto::Des des(key_);
+      u8 iv[8];
+      for (int i = 0; i < 4; ++i) iv[i] = static_cast<u8>(nonce_lo_ >> (8 * i));
+      for (int i = 0; i < 4; ++i) iv[4 + i] = static_cast<u8>(nonce_hi_ >> (8 * i));
+      const std::size_t whole = data.size() - data.size() % 8;
+      const std::span<u8> body(data.data(), whole);
+      if (decrypt_) {
+        des.cbc_decrypt(std::span<const u8>(iv, 8), body);
+      } else {
+        des.cbc_encrypt(std::span<const u8>(iv, 8), body);
+      }
+      break;
+    }
+    default:
+      assert(false && "CryptoRfu: not configured");
+  }
+  out_bytes_ = std::move(data);
+}
+
+bool CryptoRfu::work_step() {
+  switch (stage_) {
+    case 0:
+      if (!io_step()) return false;
+      transform();
+      q_stall(static_cast<Cycle>(words_for_bytes(in_bytes_.size())) * stall_per_word(c_state_));
+      q_write_page(dst_);
+      stage_ = 1;
+      return false;
+    case 1:
+      return io_step();
+    default:
+      return true;
+  }
+}
+
+}  // namespace drmp::rfu

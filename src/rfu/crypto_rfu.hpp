@@ -1,0 +1,52 @@
+// Crypto RFU — the encryption engine shared by the three protocol modes
+// (thesis §2.3.2.1 #17): RC4 (WiFi WEP), AES-128 CTR (UWB and 802.11i),
+// DES-CBC (WiMAX). It is a Memory-Access RFU: switching cipher requires
+// streaming the key material / schedule from the reconfiguration memory,
+// which is what makes its reconfiguration latency non-trivial and worth
+// overlapping with MAC work (§3.6.1).
+#pragma once
+
+#include <memory>
+
+#include "crypto/aes128.hpp"
+#include "crypto/des.hpp"
+#include "crypto/rc4.hpp"
+#include "rfu/streaming.hpp"
+
+namespace drmp::rfu {
+
+class CryptoRfu final : public StreamingRfu {
+ public:
+  explicit CryptoRfu(Env env)
+      : StreamingRfu(kCryptoRfu, "crypto", ReconfigMech::MemoryAccess, env) {}
+
+  u8 nstates() const override { return 3; }
+
+  /// Builds the configuration blob for a cipher state: word 0 = key byte
+  /// count, then the key bytes, padded with schedule words so the MA
+  /// reconfiguration cost reflects the real key-schedule size.
+  static std::vector<Word> make_config_blob(u8 state, std::span<const u8> key);
+
+  /// Per-word compute stall cycles of each cipher state (coarse-grained
+  /// datapath throughput model).
+  static Cycle stall_per_word(u8 state);
+
+ protected:
+  // Ops: Encrypt*/Decrypt* [src_page, dst_page, nonce_lo, nonce_hi].
+  void on_execute(Op op) override;
+  bool work_step() override;
+  void on_reconfigured(u8 new_state, const std::vector<Word>& blob) override;
+
+ private:
+  void transform();
+
+  int stage_ = 0;
+  bool decrypt_ = false;
+  u32 src_ = 0;
+  u32 dst_ = 0;
+  u32 nonce_lo_ = 0;
+  u32 nonce_hi_ = 0;
+  Bytes key_;
+};
+
+}  // namespace drmp::rfu

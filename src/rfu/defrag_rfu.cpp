@@ -1,0 +1,38 @@
+#include "rfu/defrag_rfu.hpp"
+
+#include <cassert>
+
+#include "hw/memory_map.hpp"
+
+namespace drmp::rfu {
+
+void DefragRfu::on_execute(Op op) {
+  assert(op == Op::DefragAppendWifi || op == Op::DefragAppendUwb ||
+         op == Op::DefragAppendWimax);
+  (void)op;
+  stage_ = 0;
+  src_ = args_.at(0);
+  dst_ = args_.at(1);
+  reset_ = args_.at(2) != 0;
+  q_read_words(dst_ + hw::kPageLenOffset, 1);
+  q_read_page(src_);
+}
+
+bool DefragRfu::work_step() {
+  switch (stage_) {
+    case 0: {
+      if (!io_step()) return false;
+      dst_len_ = reset_ ? 0 : in_words_.at(0);
+      assert(dst_len_ % 4 == 0 && "reassembly offset must be word-aligned");
+      out_bytes_ = in_bytes_;  // Source fragment payload.
+      q_patch_bytes(dst_, dst_len_);
+      q_write_len(dst_, dst_len_ + static_cast<u32>(out_bytes_.size()));
+      stage_ = 1;
+      return false;
+    }
+    default:
+      return io_step();
+  }
+}
+
+}  // namespace drmp::rfu

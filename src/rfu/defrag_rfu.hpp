@@ -1,0 +1,33 @@
+// Defragmentation (reassembly) RFU — the receive-side counterpart of the
+// fragmentation unit. Appends a received fragment's payload to the mode's
+// reassembly page; the CPU protocol control decides when the MSDU is complete
+// (it tracks fragment numbers via the parsed header fields).
+#pragma once
+
+#include "rfu/streaming.hpp"
+
+namespace drmp::rfu {
+
+class DefragRfu final : public StreamingRfu {
+ public:
+  explicit DefragRfu(Env env)
+      : StreamingRfu(kDefragRfu, "defrag", ReconfigMech::ContextSwitch, env) {}
+
+ protected:
+  // Ops: DefragAppend{Wifi,Uwb,Wimax} [src_page, dst_page, reset_flag].
+  // With reset_flag the destination is cleared first (first fragment).
+  // Appends the source page payload at the current destination length; all
+  // non-final fragments are threshold-sized (word-aligned), so the append
+  // offset is always word-aligned.
+  void on_execute(Op op) override;
+  bool work_step() override;
+
+ private:
+  int stage_ = 0;
+  u32 src_ = 0;
+  u32 dst_ = 0;
+  bool reset_ = false;
+  u32 dst_len_ = 0;
+};
+
+}  // namespace drmp::rfu

@@ -1,0 +1,51 @@
+#include "rfu/frag_rfu.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hw/memory_map.hpp"
+
+namespace drmp::rfu {
+
+void FragRfu::on_execute(Op op) {
+  assert(op == Op::FragmentWifi || op == Op::FragmentUwb || op == Op::FragmentWimax);
+  (void)op;
+  stage_ = 0;
+  src_ = args_.at(0);
+  dst_ = args_.at(1);
+  threshold_ = args_.at(2);
+  index_ = args_.at(3);
+  assert(threshold_ % 4 == 0 && "fragment threshold must be word-aligned");
+  // Read the source length first to bound the slice.
+  q_read_words(src_ + hw::kPageLenOffset, 1);
+}
+
+bool FragRfu::work_step() {
+  switch (stage_) {
+    case 0: {
+      if (!io_step()) return false;
+      const u32 len = in_words_.at(0);
+      const u32 begin = std::min(threshold_ * index_, len);
+      const u32 end = std::min(begin + threshold_, len);
+      slice_bytes_ = end - begin;
+      const u32 first_word = begin / 4;
+      const u32 nwords = static_cast<u32>(words_for_bytes(slice_bytes_));
+      if (nwords > 0) {
+        q_read_words(src_ + hw::kPageDataOffset + first_word, nwords);
+      }
+      stage_ = 1;
+      return false;
+    }
+    case 1: {
+      if (!io_step()) return false;
+      out_bytes_ = unpack_bytes(in_words_, slice_bytes_);
+      q_write_page(dst_);
+      stage_ = 2;
+      return false;
+    }
+    default:
+      return io_step();
+  }
+}
+
+}  // namespace drmp::rfu

@@ -1,0 +1,35 @@
+// Fragmentation RFU — fragmentation "is carried out by all three protocols"
+// (thesis §2.3.2.1 #3). The CPU keeps the fragmentation bookkeeping in its
+// ProtocolState (fragments_total, next_fragment_size — Fig. 4.2) and asks the
+// RFU for one fragment slice per service request, so the RFU stays a pure
+// streaming datapath unit.
+#pragma once
+
+#include "rfu/streaming.hpp"
+
+namespace drmp::rfu {
+
+class FragRfu final : public StreamingRfu {
+ public:
+  explicit FragRfu(Env env)
+      : StreamingRfu(kFragRfu, "frag", ReconfigMech::ContextSwitch, env) {}
+
+ protected:
+  // Ops: Fragment{Wifi,Uwb,Wimax} [src_page, dst_page, threshold_bytes,
+  // frag_index]. Copies bytes [k*thr, min((k+1)*thr, len)) of the source page
+  // payload into the destination page. `threshold_bytes` must be a multiple
+  // of 4 (the CPU-side API enforces this; word-aligned slices keep the
+  // streaming unit trivial).
+  void on_execute(Op op) override;
+  bool work_step() override;
+
+ private:
+  int stage_ = 0;
+  u32 src_ = 0;
+  u32 dst_ = 0;
+  u32 threshold_ = 0;
+  u32 index_ = 0;
+  u32 slice_bytes_ = 0;
+};
+
+}  // namespace drmp::rfu

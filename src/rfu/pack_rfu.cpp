@@ -1,0 +1,97 @@
+#include "rfu/pack_rfu.hpp"
+
+#include <cassert>
+
+#include "hw/memory_map.hpp"
+#include "mac/wimax_frames.hpp"
+
+namespace drmp::rfu {
+
+void PackRfu::on_execute(Op op) {
+  stage_ = 0;
+  src_ = args_.at(0);
+  dst_ = args_.at(1);
+  param_ = args_.at(2);
+  if (op == Op::PackAppend) {
+    extract_ = false;
+    reset_ = args_.at(3) != 0;
+    q_read_words(dst_ + hw::kPageLenOffset, 1);
+    q_read_page(src_);
+  } else {
+    assert(op == Op::PackExtract);
+    extract_ = true;
+    status_addr_ = args_.at(3);
+    q_read_page(src_);
+  }
+}
+
+bool PackRfu::work_step() {
+  if (!extract_) {
+    switch (stage_) {
+      case 0: {
+        if (!io_step()) return false;
+        dst_len_ = reset_ ? 0 : in_words_.at(0);
+        // Build subheader + payload block. Blocks are not word-aligned in
+        // general; pad the *destination offset* to word alignment so the
+        // streaming patch stays aligned (the real unit is byte-addressed;
+        // alignment padding is stripped by the length bookkeeping below).
+        mac::wimax::PackSubheader sh = mac::wimax::PackSubheader::decode(
+            static_cast<u16>(param_ & 0xFFFF));
+        sh.len = static_cast<u16>(in_bytes_.size());
+        out_bytes_.clear();
+        put_le16(out_bytes_, sh.encode());
+        out_bytes_.insert(out_bytes_.end(), in_bytes_.begin(), in_bytes_.end());
+        // Blocks are byte-packed (wire format matches the 802.16 codec); the
+        // patch path read-modify-writes the boundary words.
+        q_patch_bytes(dst_, dst_len_);
+        q_write_len(dst_, dst_len_ + static_cast<u32>(out_bytes_.size()));
+        stage_ = 1;
+        return false;
+      }
+      default:
+        return io_step();
+    }
+  }
+  // Extract path.
+  switch (stage_) {
+    case 0: {
+      if (!io_step()) return false;
+      // Walk the byte-packed blocks.
+      std::size_t off = 0;
+      u32 idx = 0;
+      bool found = false;
+      mac::wimax::PackSubheader sh;
+      Bytes payload;
+      while (off + 2 <= in_bytes_.size()) {
+        sh = mac::wimax::PackSubheader::decode(get_le16(in_bytes_, off));
+        const std::size_t body_at = off + 2;
+        if (body_at + sh.len > in_bytes_.size()) break;
+        if (idx == param_) {
+          payload.assign(in_bytes_.begin() + static_cast<std::ptrdiff_t>(body_at),
+                         in_bytes_.begin() + static_cast<std::ptrdiff_t>(body_at + sh.len));
+          found = true;
+          break;
+        }
+        off += 2 + sh.len;
+        ++idx;
+      }
+      status_word_ = found ? sh.encode() : 0xFFFFFFFFu;
+      out_bytes_ = std::move(payload);
+      if (found) q_write_page(dst_);
+      stage_ = 1;
+      return false;
+    }
+    case 1: {
+      if (!io_step()) return false;
+      stage_ = 2;
+      [[fallthrough]];
+    }
+    default: {
+      if (!bus_granted() || !bus_free()) return false;
+      bus_write(status_addr_, status_word_);
+      return true;
+    }
+  }
+}
+
+}  // namespace drmp::rfu

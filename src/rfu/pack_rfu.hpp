@@ -1,0 +1,40 @@
+// Packing RFU — "Packaging of multiple MSDUs in a single MPDU is done only in
+// WiMAX" (thesis §2.3.2.2 #1). Accumulates packed-SDU blocks (2-byte packing
+// subheader + payload) into a staging page on transmit, and extracts the
+// i-th packed SDU on receive.
+#pragma once
+
+#include "rfu/streaming.hpp"
+
+namespace drmp::rfu {
+
+class PackRfu final : public StreamingRfu {
+ public:
+  explicit PackRfu(Env env) : StreamingRfu(kPackRfu, "pack", ReconfigMech::ContextSwitch, env) {}
+
+  u8 nstates() const override { return 1; }
+
+ protected:
+  // Ops:
+  //   PackAppend  [src_page, dst_page, fc_fsn_word, reset_flag]
+  //       fc_fsn_word: FC in bits[15:14], FSN in bits[13:11] (PackSubheader
+  //       encoding sans length, which the RFU fills from the source page).
+  //   PackExtract [src_page, dst_page, index, status_addr]
+  //       Copies the index-th packed SDU payload to dst; writes its
+  //       subheader word to status_addr (0xFFFFFFFF if out of range).
+  void on_execute(Op op) override;
+  bool work_step() override;
+
+ private:
+  int stage_ = 0;
+  bool extract_ = false;
+  u32 src_ = 0;
+  u32 dst_ = 0;
+  u32 param_ = 0;
+  bool reset_ = false;
+  u32 status_addr_ = 0;
+  u32 dst_len_ = 0;
+  Word status_word_ = 0;
+};
+
+}  // namespace drmp::rfu

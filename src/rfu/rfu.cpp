@@ -1,0 +1,100 @@
+#include "rfu/rfu.hpp"
+
+#include <cassert>
+
+namespace drmp::rfu {
+
+Rfu::Rfu(u8 id, std::string name, ReconfigMech mech, Env env)
+    : env_(env), id_(id), name_(std::move(name)), mech_(mech) {}
+
+void Rfu::rc_configure(u8 new_state) {
+  assert(phase_ == Phase::Idle && "reconfiguration of a busy RFU");
+  phase_ = Phase::Reconfiguring;
+  pending_state_ = new_state;
+  rdone_ = false;
+  if (mech_ == ReconfigMech::ContextSwitch) {
+    // "RFUs implementing the context-switching reconfiguration mechanism
+    // will be configured simply by switching the control signal RC_cnfgst
+    // ... albeit much quicker (in 1-2 clock cycles)" (§3.6.2.2).
+    reconfig_remaining_ = 2;
+  } else {
+    // MA-RFU: one word per cycle from the reconfiguration memory, plus one
+    // cycle of address setup.
+    const u32 len = env_.rmem != nullptr ? env_.rmem->blob_len(id_, new_state) : 0;
+    reconfig_remaining_ = 1 + len;
+  }
+  ++reconfig_count_;
+}
+
+void Rfu::on_secondary_trigger(u8 /*master_id*/, Word /*data*/, u8 /*nbytes*/) {
+  // Default: RFU has no slave role (secondary trigger not wired, Fig. 3.8).
+}
+
+void Rfu::tick() {
+  slave_step();
+
+  const bool was_busy = phase_ != Phase::Idle;
+  if (env_.stats != nullptr) {
+    if (busy_stat_ == nullptr) busy_stat_ = &env_.stats->busy("rfu." + name_);
+    busy_stat_->sample(was_busy);
+  }
+  if (was_busy) ++busy_cycles_;
+
+  switch (phase_) {
+    case Phase::Reconfiguring: {
+      ++reconfig_cycles_;
+      if (--reconfig_remaining_ == 0) {
+        c_state_ = pending_state_;
+        static const std::vector<Word> kEmpty;
+        const std::vector<Word>* blob = &kEmpty;
+        if (mech_ == ReconfigMech::MemoryAccess && env_.rmem != nullptr &&
+            env_.rmem->has_blob(id_, c_state_)) {
+          blob = &env_.rmem->blob(id_, c_state_);
+        }
+        on_reconfigured(c_state_, *blob);
+        rdone_ = true;
+        phase_ = Phase::Idle;
+      }
+      return;
+    }
+    case Phase::Idle: {
+      // A pending primary trigger starts argument collection; the first word
+      // is the command word (op + nargs).
+      if (auto w = env_.bus->triggers().take(id_)) {
+        command_word_ = *w;
+        current_op_ = command_op(*w);
+        expected_args_ = command_nargs(*w);
+        args_.clear();
+        phase_ = Phase::CollectArgs;
+        // Fall through to collect any further trigger in this same cycle? No:
+        // one trigger per bus cycle by construction.
+      }
+      return;
+    }
+    case Phase::CollectArgs: {
+      // One trigger per bus cycle: each is either the next argument or — once
+      // all arguments are latched — the execute command ("the same trigger
+      // can be used to signal argument-ready as well as start-execution",
+      // §3.6.1.2 step 9).
+      if (auto w = env_.bus->triggers().take(id_)) {
+        if (args_.size() < expected_args_) {
+          args_.push_back(*w);
+        } else {
+          phase_ = Phase::Running;
+          ++exec_count_;
+          on_execute(current_op_);
+        }
+      }
+      return;
+    }
+    case Phase::Running: {
+      if (work_step()) {
+        done_ = true;
+        phase_ = Phase::Idle;
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace drmp::rfu

@@ -1,0 +1,127 @@
+// Reconfigurable Functional Unit base class (thesis §3.6.2).
+//
+// Standardized RFU interface (Fig. 3.8): primary trigger (via the packet-bus
+// address decode), optional secondary trigger (hard-wired master/slave
+// lines), RC_en/RC_cnfgst from the Reconfiguration Controller, DONE and
+// RDONE outputs, packet-bus mastership and (for MA-RFUs) reconfiguration-bus
+// access.
+//
+// Two reconfiguration mechanisms (§3.6.2.2), transparent to the RC:
+//   * CS-RFU  — context switch, RDONE after 1-2 cycles;
+//   * MA-RFU  — streams its configuration blob from the reconfiguration
+//               memory at one word per cycle, then RDONE.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hw/bus.hpp"
+#include "hw/reconfig_memory.hpp"
+#include "rfu/rfu_ids.hpp"
+#include "sim/clock.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+
+namespace drmp::rfu {
+
+enum class ReconfigMech : u8 { ContextSwitch, MemoryAccess };
+
+class Rfu : public sim::Clockable {
+ public:
+  struct Env {
+    hw::PacketBus* bus = nullptr;
+    hw::ReconfigMemory* rmem = nullptr;
+    sim::StatsRegistry* stats = nullptr;
+    const sim::TimeBase* timebase = nullptr;
+  };
+
+  Rfu(u8 id, std::string name, ReconfigMech mech, Env env);
+  ~Rfu() override = default;
+
+  u8 id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  ReconfigMech mechanism() const noexcept { return mech_; }
+
+  // ---- IRC-facing signals ----
+  bool done() const noexcept { return done_; }
+  void clear_done() noexcept { done_ = false; }
+  bool rdone() const noexcept { return rdone_; }
+  void clear_rdone() noexcept { rdone_ = false; }
+  u8 config_state() const noexcept { return c_state_; }
+  bool busy() const noexcept { return phase_ != Phase::Idle; }
+  bool reconfiguring() const noexcept { return phase_ == Phase::Reconfiguring; }
+
+  /// Number of valid configuration states (rfu_table 'nstates' field).
+  virtual u8 nstates() const { return 3; }
+
+  /// True for RFUs that execute without holding the packet bus (e.g. the
+  /// channel-access timer); the TH_M releases the bus after triggering them.
+  virtual bool detached_execution() const { return false; }
+
+  /// RC interface: RC_en + RC_cnfgst (starts the reconfiguration).
+  void rc_configure(u8 new_state);
+
+  /// Hard-wired secondary trigger from a master RFU (thesis §3.6.5 option c).
+  virtual void on_secondary_trigger(u8 master_id, Word data, u8 nbytes);
+
+  void tick() final;
+
+  // ---- Instrumentation ----
+  Cycle busy_cycles() const noexcept { return busy_cycles_; }
+  Cycle reconfig_cycles() const noexcept { return reconfig_cycles_; }
+  u64 reconfig_count() const noexcept { return reconfig_count_; }
+  u64 exec_count() const noexcept { return exec_count_; }
+
+ protected:
+  /// Runs every cycle regardless of phase — used by RFUs with a hard-wired
+  /// slave role (e.g. the FCS engine finishing a master's stream after a
+  /// grant override) whose slave work is independent of the primary-trigger
+  /// state machine.
+  virtual void slave_step() {}
+
+  /// Called when the execute trigger fires (arguments latched in args_).
+  virtual void on_execute(Op op) = 0;
+  /// One cycle of work while running; return true when the task is complete.
+  virtual bool work_step() = 0;
+  /// Called when a reconfiguration completes; the blob (possibly empty for
+  /// CS-RFUs) is the configuration data just loaded.
+  virtual void on_reconfigured(u8 /*new_state*/, const std::vector<Word>& /*blob*/) {}
+
+  // Bus helpers for subclasses.
+  bool bus_granted() const { return env_.bus->granted_rfu(id_); }
+  bool bus_free() const { return env_.bus->can_access(); }
+  Word bus_read(u32 addr) { return env_.bus->read(addr); }
+  void bus_write(u32 addr, Word w) { env_.bus->write(addr, w); }
+
+  Env env_;
+  Op current_op_ = Op::Nop;
+  std::vector<Word> args_;
+  u8 c_state_ = 0;
+
+ private:
+  enum class Phase : u8 { Idle, CollectArgs, Running, Reconfiguring };
+
+  u8 id_;
+  std::string name_;
+  ReconfigMech mech_;
+
+  Phase phase_ = Phase::Idle;
+  u8 expected_args_ = 0;
+  Word command_word_ = 0;
+
+  u8 pending_state_ = 0;
+  Cycle reconfig_remaining_ = 0;
+
+  bool done_ = false;
+  bool rdone_ = false;
+
+  Cycle busy_cycles_ = 0;
+  Cycle reconfig_cycles_ = 0;
+  u64 reconfig_count_ = 0;
+  u64 exec_count_ = 0;
+  /// Cached stats sink (string-keyed lookup is too hot for the tick path).
+  sim::BusyCounter* busy_stat_ = nullptr;
+};
+
+}  // namespace drmp::rfu

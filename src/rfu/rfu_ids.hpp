@@ -1,0 +1,138 @@
+// RFU identities, configuration states and the op-code vocabulary.
+//
+// "An op-code corresponds to a request for service from an RFU in a
+// particular reconfiguration state" (thesis §3.6.1.2). The static mapping
+// op-code -> (rfu_id, reconf_state, nargs) lives in the IRC's op_code_table
+// (irc/tables.cpp); the enums here are shared by the IRC, the RFUs and the
+// software API.
+//
+// The RFU set realizes Table 4.1 ("RFUs expected to be used for WiFi, WiMAX
+// and UWB"), derived with the partitioning procedure of §3.6.2.3: start from
+// the WiFi 'seed' set, then split/add units as WiMAX and UWB are introduced.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace drmp::rfu {
+
+// ---- RFU ids (addresses are kRfuTriggerBase + id) ----
+enum RfuId : u8 {
+  kCryptoRfu = 2,      // MA-RFU: RC4 / AES / DES states (key schedule = config data).
+  kHdrCheckRfu = 3,    // CS-RFU: CRC-16-CCITT (WiFi+UWB) / CRC-8 (WiMAX).
+  kFcsRfu = 4,         // CS-RFU: CRC-32 engine; slave-snoops Tx/Rx streams.
+  kFragRfu = 5,        // CS-RFU: fragmentation slicer.
+  kDefragRfu = 6,      // CS-RFU: reassembly.
+  kHeaderRfu = 7,      // MA-RFU: MPDU assembly / header parsing per protocol.
+  kTxRfu = 8,          // CS-RFU: transmission state machine (master of FCS slave).
+  kRxRfu = 9,          // CS-RFU: reception state machine (master of FCS slave).
+  kAckRfu = 10,        // CS-RFU: autonomous ACK generation (time-critical path).
+  kBackoffRfu = 11,    // CS-RFU: channel access timing (CSMA/CA and TDMA).
+  kPackRfu = 12,       // CS-RFU: WiMAX packing/unpacking.
+  kArqRfu = 13,        // MA-RFU: WiMAX ARQ window engine.
+  kClassifierRfu = 14, // MA-RFU: WiMAX CID classifier.
+  kSeqRfu = 15,        // CS-RFU: sequence numbering / duplicate detection.
+};
+
+inline constexpr u8 kRfuIdFirst = 2;
+inline constexpr u8 kRfuIdLast = 15;
+
+// ---- Configuration states (per RFU; 0 always means "uninitialized") ----
+namespace cfg {
+// CryptoRfu
+inline constexpr u8 kCryptoRc4 = 1;
+inline constexpr u8 kCryptoAes = 2;
+inline constexpr u8 kCryptoDes = 3;
+// HdrCheckRfu
+inline constexpr u8 kHcsCrc16 = 1;  // Shared by WiFi and UWB (identical HCS).
+inline constexpr u8 kHcsCrc8 = 2;   // WiMAX.
+// FcsRfu
+inline constexpr u8 kFcsCrc32 = 1;  // Shared by all three protocols.
+// FragRfu / DefragRfu / HeaderRfu / TxRfu / RxRfu / AckRfu: per-protocol states.
+inline constexpr u8 kProtoWifi = 1;
+inline constexpr u8 kProtoUwb = 2;
+inline constexpr u8 kProtoWimax = 3;
+// BackoffRfu
+inline constexpr u8 kAccessCsmaWifi = 1;
+inline constexpr u8 kAccessCsmaUwb = 2;
+inline constexpr u8 kAccessTdmaWimax = 3;
+inline constexpr u8 kAccessTdmaUwb = 4;
+inline constexpr u8 kAccessPcfWifi = 5;
+// PackRfu / ArqRfu / ClassifierRfu / SeqRfu
+inline constexpr u8 kDefaultState = 1;
+}  // namespace cfg
+
+// ---- Op-codes (8-bit, key of the op_code_table) ----
+enum class Op : u8 {
+  Nop = 0,
+  // Crypto.
+  EncryptRc4 = 0x10,
+  DecryptRc4 = 0x11,
+  EncryptAes = 0x12,
+  DecryptAes = 0x13,
+  EncryptDes = 0x14,
+  DecryptDes = 0x15,
+  // Header check sequence.
+  HcsAppend16 = 0x20,
+  HcsVerify16 = 0x21,
+  HcsPatch8 = 0x22,   // WiMAX GMH byte 5 (in-header HCS).
+  HcsVerify8 = 0x23,
+  // Frame check sequence.
+  FcsAppend = 0x28,
+  FcsVerify = 0x29,
+  // Fragmentation / reassembly.
+  FragmentWifi = 0x30,
+  FragmentUwb = 0x31,
+  FragmentWimax = 0x32,
+  DefragAppendWifi = 0x34,
+  DefragAppendUwb = 0x35,
+  DefragAppendWimax = 0x36,
+  // MPDU assembly / header parse.
+  AssembleWifi = 0x40,
+  AssembleUwb = 0x41,
+  AssembleWimax = 0x42,
+  ParseWifi = 0x44,
+  ParseUwb = 0x45,
+  ParseWimax = 0x46,
+  ExtractWifi = 0x48,  // Copy the MPDU body (sans header/HCS/FCS) to a page.
+  ExtractUwb = 0x49,
+  ExtractWimax = 0x4A,
+  // Transmission / reception.
+  TxFrameWifi = 0x50,
+  TxFrameUwb = 0x51,
+  TxFrameWimax = 0x52,
+  RxDrainWifi = 0x54,
+  RxDrainUwb = 0x55,
+  RxDrainWimax = 0x56,
+  // Acknowledgement generation (autonomous, time-critical).
+  AckGenWifi = 0x58,
+  AckGenUwb = 0x59,
+  CtsGenWifi = 0x5A,  // CTS response to a received RTS (§2.3.2.2 #10).
+  // Channel access timing.
+  CsmaAccessWifi = 0x60,
+  CsmaAccessUwb = 0x61,
+  TdmaAccessWimax = 0x62,
+  TdmaAccessUwb = 0x63,
+  PcfRespondWifi = 0x64,  // SIFS-spaced response to a CF-Poll (§2.3.2.1 #5).
+  // WiMAX packing.
+  PackAppend = 0x68,
+  PackExtract = 0x69,
+  // WiMAX ARQ.
+  ArqTag = 0x70,
+  ArqFeedback = 0x71,
+  // WiMAX classification.
+  Classify = 0x78,
+  // Sequence numbers.
+  SeqAssign = 0x7C,
+  SeqCheck = 0x7D,
+};
+
+/// Command word placed on the data bus with the first trigger of a service
+/// delegation: op in bits [7:0], number of following argument words in
+/// [15:8].
+constexpr Word make_command_word(Op op, u8 nargs) {
+  return static_cast<Word>(static_cast<u8>(op)) | (static_cast<Word>(nargs) << 8);
+}
+constexpr Op command_op(Word w) { return static_cast<Op>(w & 0xFF); }
+constexpr u8 command_nargs(Word w) { return static_cast<u8>((w >> 8) & 0xFF); }
+
+}  // namespace drmp::rfu

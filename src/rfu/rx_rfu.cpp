@@ -1,0 +1,63 @@
+#include "rfu/rx_rfu.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hw/memory_map.hpp"
+
+namespace drmp::rfu {
+
+void RxRfu::on_execute(Op op) {
+  assert(op == Op::RxDrainWifi || op == Op::RxDrainUwb || op == Op::RxDrainWimax);
+  (void)op;
+  stage_ = 0;
+  dst_ = args_.at(0);
+  mode_idx_ = args_.at(1);
+  check_fcs_ = (args_.at(2) & 1) != 0;
+  status_addr_ = args_.at(3);
+  assert(mode_idx_ < kNumModes);
+  assert(buffers_[mode_idx_] != nullptr && "RxRfu not wired to buffers");
+}
+
+bool RxRfu::work_step() {
+  phy::RxBuffer& buf = *buffers_[mode_idx_];
+  switch (stage_) {
+    case 0: {  // Latch the frame size, write the destination length word.
+      assert(buf.frame_ready() && "RxDrain delegated with no frame pending");
+      if (!bus_granted() || !bus_free()) return false;
+      len_ = static_cast<u32>(buf.frame_bytes());
+      nwords_ = static_cast<u32>(words_for_bytes(len_));
+      widx_ = 0;
+      bus_write(dst_ + hw::kPageLenOffset, len_);
+      if (check_fcs_ && fcs_ != nullptr) fcs_->slave_reset(id());
+      stage_ = 1;
+      return false;
+    }
+    case 1: {  // Stream words buffer -> memory; slave snoops each word.
+      if (widx_ < nwords_) {
+        if (!bus_granted() || !bus_free()) return false;
+        const Word w = buf.peek_word(widx_);
+        bus_write(dst_ + hw::kPageDataOffset + widx_, w);
+        if (check_fcs_ && fcs_ != nullptr) {
+          const u32 valid = std::min<u32>(4, len_ - widx_ * 4);
+          fcs_->on_secondary_trigger(id(), w, static_cast<u8>(valid));
+        }
+        ++widx_;
+        return false;
+      }
+      const auto entry = buf.pop();
+      last_rx_end_ = entry.rx_end_cycle;
+      ++frames_;
+      stage_ = 2;
+      return false;
+    }
+    default: {  // Write the FCS status word.
+      if (!bus_granted() || !bus_free()) return false;
+      const bool ok = !check_fcs_ || (fcs_ != nullptr && fcs_->slave_crc(id()) == kCrc32Residue);
+      bus_write(status_addr_, ok ? 1 : 0);
+      return true;
+    }
+  }
+}
+
+}  // namespace drmp::rfu

@@ -1,0 +1,44 @@
+#include "rfu/seq_rfu.hpp"
+
+#include <cassert>
+
+namespace drmp::rfu {
+
+void SeqRfu::on_execute(Op op) {
+  stage_ = 0;
+  const u32 mode = args_.at(0);
+  assert(mode < kNumModes);
+  switch (op) {
+    case Op::SeqAssign: {
+      status_addr_ = args_.at(1);
+      status_word_ = counters_[mode];
+      counters_[mode] = (counters_[mode] + 1) % moduli_[mode];
+      break;
+    }
+    case Op::SeqCheck: {
+      const u32 src_key = args_.at(1);
+      const u32 seq_frag = args_.at(2);
+      status_addr_ = args_.at(3);
+      auto& cache = last_seen_[mode];
+      auto it = cache.find(src_key);
+      status_word_ = (it != cache.end() && it->second == seq_frag) ? 1 : 0;
+      cache[src_key] = seq_frag;
+      break;
+    }
+    default:
+      assert(false && "SeqRfu: unknown op");
+  }
+  q_stall(2);
+}
+
+bool SeqRfu::work_step() {
+  if (stage_ == 0) {
+    if (!io_step()) return false;
+    stage_ = 1;
+  }
+  if (!bus_granted() || !bus_free()) return false;
+  bus_write(status_addr_, status_word_);
+  return true;
+}
+
+}  // namespace drmp::rfu

@@ -1,0 +1,43 @@
+// Sequence-number RFU — "Sequencing is done by all three protocols to keep
+// track of MPDUs and their fragments. They all use modulo-x style counters"
+// (thesis §2.3.2.1 #18). Assigns transmit sequence numbers per mode and
+// performs receive-side duplicate detection against a per-source cache.
+#pragma once
+
+#include <array>
+#include <map>
+
+#include "rfu/streaming.hpp"
+
+namespace drmp::rfu {
+
+class SeqRfu final : public StreamingRfu {
+ public:
+  explicit SeqRfu(Env env) : StreamingRfu(kSeqRfu, "seq", ReconfigMech::ContextSwitch, env) {}
+
+  u8 nstates() const override { return 1; }
+
+  /// Sequence modulus per mode (4096 for WiFi's 12-bit field, 512 for UWB's
+  /// 9-bit MSDU number, 64 for the WiMAX FSN). Set at device assembly.
+  void set_modulus(std::size_t mode_idx, u32 modulus) { moduli_[mode_idx] = modulus; }
+
+ protected:
+  // Ops:
+  //   SeqAssign [mode_idx, status_addr] — status := next sequence number.
+  //   SeqCheck  [mode_idx, src_key, seq_frag_word, status_addr]
+  //       status := 1 if (src_key, seq, frag) was already seen (duplicate).
+  void on_execute(Op op) override;
+  bool work_step() override;
+
+ private:
+  int stage_ = 0;
+  u32 status_addr_ = 0;
+  Word status_word_ = 0;
+
+  std::array<u32, kNumModes> counters_{};
+  std::array<u32, kNumModes> moduli_{4096, 4096, 4096};
+  /// (mode, src_key) -> last seen seq|frag word.
+  std::array<std::map<u32, u32>, kNumModes> last_seen_;
+};
+
+}  // namespace drmp::rfu

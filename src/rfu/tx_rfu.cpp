@@ -1,0 +1,94 @@
+#include "rfu/tx_rfu.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hw/memory_map.hpp"
+
+namespace drmp::rfu {
+
+void TxRfu::on_execute(Op op) {
+  assert(op == Op::TxFrameWifi || op == Op::TxFrameUwb || op == Op::TxFrameWimax);
+  (void)op;
+  stage_ = 0;
+  src_ = args_.at(0);
+  mode_idx_ = args_.at(1);
+  append_fcs_ = (args_.at(2) & 1) != 0;
+  assert(mode_idx_ < kNumModes);
+  assert(buffers_[mode_idx_] != nullptr && "TxRfu not wired to buffers");
+}
+
+bool TxRfu::work_step() {
+  phy::TxBuffer& buf = *buffers_[mode_idx_];
+  switch (stage_) {
+    case 0: {  // Read the page length; reset the slave's snoop context.
+      if (!bus_granted() || !bus_free()) return false;
+      len_ = bus_read(src_ + hw::kPageLenOffset);
+      nwords_ = static_cast<u32>(words_for_bytes(len_));
+      widx_ = 0;
+      if (append_fcs_ && fcs_ != nullptr) fcs_->slave_reset(id());
+      buf.begin_frame();
+      stage_ = 1;
+      return false;
+    }
+    case 1: {  // Stream payload words to the buffer; slave snoops each word.
+      if (widx_ < nwords_) {
+        if (!bus_granted() || !bus_free()) return false;
+        const Word w = bus_read(src_ + hw::kPageDataOffset + widx_);
+        const u32 valid = std::min<u32>(4, len_ - widx_ * 4);
+        for (u32 i = 0; i < valid; ++i) {
+          buf.push_byte(static_cast<u8>(w >> (8 * i)));
+        }
+        if (append_fcs_ && fcs_ != nullptr) {
+          fcs_->on_secondary_trigger(id(), w, static_cast<u8>(valid));
+        }
+        ++widx_;
+        return false;
+      }
+      if (!append_fcs_) {
+        buf.end_frame(len_, 0 /* channel access already granted */);
+        ++frames_;
+        return true;
+      }
+      // Ask the slave to append the snooped FCS, then hand the bus over.
+      if (!bus_granted() || !bus_free()) return false;
+      fcs_->slave_request_append(id(), src_, len_);
+      bus_write(hw::kOverrideAddr, kFcsRfu);
+      stage_ = 2;
+      return false;
+    }
+    case 2: {  // Wait for the slave to write the FCS and hand the bus back.
+      if (fcs_->slave_busy()) return false;
+      // Re-read the words covering the appended FCS bytes [len_, len_+4).
+      widx_ = len_ / 4;
+      nwords_ = static_cast<u32>(words_for_bytes(len_ + 4));
+      stage_ = 3;
+      return false;
+    }
+    case 3: {  // Stream the FCS tail into the buffer.
+      if (widx_ < nwords_) {
+        if (!bus_granted() || !bus_free()) return false;
+        const Word w = bus_read(src_ + hw::kPageDataOffset + widx_);
+        // Bytes before len_ in the boundary word were already pushed; the
+        // buffer end_frame() truncation plus byte-exact re-push below keeps
+        // the stream correct: we only push the bytes in [len_, len_+4).
+        const u32 word_base = widx_ * 4;
+        for (u32 i = 0; i < 4; ++i) {
+          const u32 off = word_base + i;
+          if (off >= len_ && off < len_ + 4) {
+            buf.push_byte(static_cast<u8>(w >> (8 * i)));
+          }
+        }
+        ++widx_;
+        return false;
+      }
+      buf.end_frame(len_ + 4, 0);
+      ++frames_;
+      return true;
+    }
+    default:
+      return true;
+  }
+}
+
+}  // namespace drmp::rfu

@@ -1,0 +1,53 @@
+// Transmission RFU — the transmit state machine that streams an assembled
+// MPDU from the packet memory into the mode's translational Tx buffer at
+// architecture speed (thesis §3.6.6), while the hard-wired FCS slave snoops
+// every word to accumulate the CRC-32 on the fly (footnote 10 / §3.6.5).
+// After the last payload word it hands the bus to the slave via the grant
+// override so the slave appends the FCS, then streams the final bytes and
+// marks the frame end.
+#pragma once
+
+#include <array>
+
+#include "phy/buffers.hpp"
+#include "rfu/crc_rfus.hpp"
+#include "rfu/streaming.hpp"
+
+namespace drmp::rfu {
+
+class TxRfu final : public StreamingRfu {
+ public:
+  explicit TxRfu(Env env) : StreamingRfu(kTxRfu, "tx", ReconfigMech::ContextSwitch, env) {}
+
+  /// Hard-wired connections (set at device assembly).
+  void wire(FcsRfu* fcs_slave, std::array<phy::TxBuffer*, kNumModes> buffers,
+            const sim::TimeBase* tb) {
+    fcs_ = fcs_slave;
+    buffers_ = buffers;
+    tb_ = tb;
+  }
+
+  u64 frames_streamed() const noexcept { return frames_; }
+
+ protected:
+  // Ops: TxFrame{Wifi,Uwb,Wimax} [src_page, mode_idx, opts]
+  //   opts bit0: append FCS via the slave (WiFi/UWB always, WiMAX iff CI).
+  void on_execute(Op op) override;
+  bool work_step() override;
+
+ private:
+  int stage_ = 0;
+  u32 src_ = 0;
+  u32 mode_idx_ = 0;
+  bool append_fcs_ = false;
+  u32 len_ = 0;
+  u32 widx_ = 0;
+  u32 nwords_ = 0;
+  u64 frames_ = 0;
+
+  FcsRfu* fcs_ = nullptr;
+  std::array<phy::TxBuffer*, kNumModes> buffers_{};
+  const sim::TimeBase* tb_ = nullptr;
+};
+
+}  // namespace drmp::rfu

@@ -1,0 +1,9 @@
+#include "sim/clock.hpp"
+
+// TimeBase and DerivedClock are header-only; this TU anchors the component in
+// the build so link errors surface immediately if the header breaks.
+namespace drmp::sim {
+namespace {
+[[maybe_unused]] const TimeBase kAnchor{200e6};
+}
+}  // namespace drmp::sim

@@ -1,0 +1,34 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+namespace drmp::sim {
+
+void Scheduler::add(Clockable& c, std::string name) {
+  components_.push_back(&c);
+  names_.push_back(std::move(name));
+}
+
+void Scheduler::step() {
+  for (Clockable* c : components_) {
+    c->tick();
+  }
+  ++now_;
+}
+
+void Scheduler::run_cycles(Cycle n) {
+  for (Cycle i = 0; i < n; ++i) {
+    step();
+  }
+}
+
+bool Scheduler::run_until(const std::function<bool()>& done, Cycle max_cycles) {
+  const Cycle limit = now_ + max_cycles;
+  while (now_ < limit) {
+    if (done()) return true;
+    step();
+  }
+  return done();
+}
+
+}  // namespace drmp::sim

@@ -1,0 +1,57 @@
+// Cycle-stepped simulation scheduler.
+//
+// The DRMP prototype was modelled in Simulink at "cycle-approximate"
+// abstraction (thesis Ch. 5). This kernel reproduces that abstraction: every
+// registered component exposes tick(), invoked once per architecture-clock
+// cycle in registration order. Components communicate through plain member
+// state sampled at tick boundaries; a fixed deterministic tick order replaces
+// Simulink's dataflow ordering.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/clock.hpp"
+
+namespace drmp::sim {
+
+/// Anything driven by the architecture clock.
+class Clockable {
+ public:
+  virtual ~Clockable() = default;
+  virtual void tick() = 0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(Hz arch_freq) : timebase_(arch_freq) {}
+
+  /// Registers a component; tick order equals registration order.
+  void add(Clockable& c, std::string name);
+
+  /// Advances the simulation by n architecture cycles.
+  void run_cycles(Cycle n);
+
+  /// Runs until `done()` returns true or `max_cycles` elapse (whichever is
+  /// first). Returns true iff the predicate fired.
+  bool run_until(const std::function<bool()>& done, Cycle max_cycles);
+
+  Cycle now() const noexcept { return now_; }
+  const TimeBase& timebase() const noexcept { return timebase_; }
+  double now_us() const noexcept { return timebase_.cycles_to_us(now_); }
+
+  std::size_t component_count() const noexcept { return components_.size(); }
+  const std::string& component_name(std::size_t i) const { return names_[i]; }
+
+ private:
+  void step();
+
+  TimeBase timebase_;
+  Cycle now_ = 0;
+  std::vector<Clockable*> components_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace drmp::sim

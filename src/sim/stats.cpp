@@ -1,0 +1,8 @@
+#include "sim/stats.hpp"
+
+// All collectors are header-only; this TU anchors the build target.
+namespace drmp::sim {
+namespace {
+[[maybe_unused]] const BusyCounter kAnchor{};
+}
+}  // namespace drmp::sim

@@ -1,0 +1,101 @@
+// Statistics collectors backing the paper's evaluation artefacts:
+//   * BusyCounter        -> Tables 5.1 / 5.2 (busy time of entities)
+//   * StateOccupancy     -> Fig. 5.12 (state occupation in the task handler)
+//   * LatencyStats       -> Figs. 5.8-5.10 (per-packet timing / constraints)
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace drmp::sim {
+
+/// Counts cycles during which an entity reports itself busy.
+class BusyCounter {
+ public:
+  void sample(bool busy) noexcept {
+    ++total_;
+    if (busy) ++busy_;
+  }
+  Cycle busy_cycles() const noexcept { return busy_; }
+  Cycle total_cycles() const noexcept { return total_; }
+  double busy_fraction() const noexcept {
+    return total_ == 0 ? 0.0 : static_cast<double>(busy_) / static_cast<double>(total_);
+  }
+  void reset() noexcept { busy_ = total_ = 0; }
+
+ private:
+  Cycle busy_ = 0;
+  Cycle total_ = 0;
+};
+
+/// Per-state cycle histogram for a finite-state controller.
+class StateOccupancy {
+ public:
+  void sample(int state) { ++cycles_[state]; }
+  Cycle cycles_in(int state) const {
+    auto it = cycles_.find(state);
+    return it == cycles_.end() ? 0 : it->second;
+  }
+  Cycle total() const {
+    Cycle t = 0;
+    for (const auto& [s, c] : cycles_) t += c;
+    return t;
+  }
+  const std::map<int, Cycle>& table() const noexcept { return cycles_; }
+  void reset() { cycles_.clear(); }
+
+ private:
+  std::map<int, Cycle> cycles_;
+};
+
+/// Simple scalar series with summary statistics (latencies, slacks).
+class LatencyStats {
+ public:
+  void add(double v) { values_.push_back(v); }
+  std::size_t count() const noexcept { return values_.size(); }
+  double min() const { return values_.empty() ? 0 : *std::min_element(values_.begin(), values_.end()); }
+  double max() const { return values_.empty() ? 0 : *std::max_element(values_.begin(), values_.end()); }
+  double mean() const {
+    if (values_.empty()) return 0;
+    double s = 0;
+    for (double v : values_) s += v;
+    return s / static_cast<double>(values_.size());
+  }
+  double percentile(double p) const {
+    if (values_.empty()) return 0;
+    std::vector<double> v = values_;
+    std::sort(v.begin(), v.end());
+    const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+    return v[idx];
+  }
+  const std::vector<double>& values() const noexcept { return values_; }
+  void reset() { values_.clear(); }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Registry of named busy counters; entities register themselves so bench
+/// binaries can print the whole Table 5.1/5.2 row set generically.
+class StatsRegistry {
+ public:
+  BusyCounter& busy(const std::string& name) { return busy_[name]; }
+  StateOccupancy& occupancy(const std::string& name) { return occ_[name]; }
+  const std::map<std::string, BusyCounter>& all_busy() const noexcept { return busy_; }
+  const std::map<std::string, StateOccupancy>& all_occupancy() const noexcept { return occ_; }
+  void reset() {
+    for (auto& [k, v] : busy_) v.reset();
+    for (auto& [k, v] : occ_) v.reset();
+  }
+
+ private:
+  std::map<std::string, BusyCounter> busy_;
+  std::map<std::string, StateOccupancy> occ_;
+};
+
+}  // namespace drmp::sim

@@ -1,0 +1,70 @@
+// Signal tracing: the cycle-approximate equivalent of the Simulink scopes the
+// thesis uses for Figs. 5.1-5.9. Components publish named integer channels;
+// the recorder stores change events and can render ASCII timing diagrams and
+// CSV series for the bench harnesses.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace drmp::sim {
+
+/// A change event on one channel.
+struct TraceEvent {
+  Cycle cycle;
+  i64 value;
+};
+
+class TraceChannel {
+ public:
+  explicit TraceChannel(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Records `value` at `cycle` if it differs from the last recorded value.
+  void record(Cycle cycle, i64 value);
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+
+  /// Value of the channel at `cycle` (last change at or before it).
+  std::optional<i64> value_at(Cycle cycle) const;
+
+  /// Total cycles in [from, to) during which the channel held a non-zero
+  /// value. Used for busy-time accounting (Tables 5.1/5.2).
+  Cycle active_cycles(Cycle from, Cycle to) const;
+
+ private:
+  std::string name_;
+  std::vector<TraceEvent> events_;
+};
+
+class TraceRecorder {
+ public:
+  /// Returns (creating on first use) the channel with the given name.
+  TraceChannel& channel(const std::string& name);
+
+  bool has_channel(const std::string& name) const { return channels_.count(name) != 0; }
+
+  const TraceChannel& channel_const(const std::string& name) const { return channels_.at(name); }
+
+  std::vector<std::string> channel_names() const;
+
+  /// Renders an ASCII waveform of the selected channels over [from, to),
+  /// sampled into `width` columns. Non-zero values print as their value digit
+  /// (mod 10) or '#', zero prints as '.'. This is the textual stand-in for
+  /// the Simulink scope screenshots in the paper.
+  std::string ascii_waveform(const std::vector<std::string>& names, Cycle from, Cycle to,
+                             std::size_t width = 100) const;
+
+  /// CSV dump: cycle,<ch1>,<ch2>,... at every change point.
+  std::string csv(const std::vector<std::string>& names, Cycle from, Cycle to) const;
+
+ private:
+  std::map<std::string, TraceChannel> channels_;
+};
+
+}  // namespace drmp::sim

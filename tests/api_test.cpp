@@ -1,0 +1,98 @@
+// API-layer tests (thesis §4.1.2): command-code expansion against the
+// op_code_table contract, super-op-code serialization, and the ProtocolState
+// object of Fig. 4.2.
+#include <gtest/gtest.h>
+
+#include "drmp/api.hpp"
+#include "hw/packet_memory.hpp"
+#include "irc/irc.hpp"
+#include "irc/tables.hpp"
+
+namespace drmp::api {
+namespace {
+
+TEST(ProtocolStateTest, ModeObjectsInitialized) {
+  hw::PacketMemory mem;
+  cDRMP drmp(&mem);
+  EXPECT_EQ(drmp.PSA.my_id, 1);
+  EXPECT_EQ(drmp.PSB.my_id, 2);
+  EXPECT_EQ(drmp.PSC.my_id, 3);
+  EXPECT_EQ(drmp.ps(Mode::B).my_id, 2);
+  // Fixed base pointers per Fig. 4.2.
+  EXPECT_EQ(drmp.PSA.base_pointer, hw::page_base(Mode::A, hw::Page::Ctrl));
+  EXPECT_EQ(drmp.PSA.PGSIZE, hw::kPageWords * 4);
+}
+
+TEST(CommandExpansion, EveryExpandedOpExistsInOpCodeTable) {
+  // The device-driver layer may only emit op-codes the IRC can decode, with
+  // exactly the argument count the op_code_table declares.
+  const irc::OpCodeTable oct;
+  const std::vector<Word> a4 = {0, 0, 0, 0};
+  for (int c = 0; c <= static_cast<int>(Command::kWimaxArqFeedback); ++c) {
+    const auto cmd = static_cast<Command>(c);
+    for (Mode m : {Mode::A, Mode::B, Mode::C}) {
+      const auto ops = cDRMP::expand(m, cmd, a4);
+      ASSERT_FALSE(ops.empty()) << "command " << c;
+      for (const auto& call : ops) {
+        ASSERT_TRUE(oct.contains(call.op))
+            << "command " << c << " emits unknown op " << static_cast<int>(call.op);
+        EXPECT_EQ(call.args.size(), oct.lookup(call.op).nargs)
+            << "command " << c << " op " << static_cast<int>(call.op);
+      }
+    }
+  }
+}
+
+TEST(CommandExpansion, WifiTxFragmentChainsTheFivePhases) {
+  const auto ops = cDRMP::expand(Mode::A, Command::kWifiTxFragment, {0, 1024, 0});
+  ASSERT_EQ(ops.size(), 5u);
+  EXPECT_EQ(ops[0].op, rfu::Op::FragmentWifi);
+  EXPECT_EQ(ops[1].op, rfu::Op::AssembleWifi);
+  EXPECT_EQ(ops[2].op, rfu::Op::HcsAppend16);
+  EXPECT_EQ(ops[3].op, rfu::Op::CsmaAccessWifi);
+  EXPECT_EQ(ops[4].op, rfu::Op::TxFrameWifi);
+}
+
+TEST(CommandExpansion, PageAddressesAreModeLocal) {
+  const auto a = cDRMP::expand(Mode::A, Command::kWifiEncrypt, {7});
+  const auto c = cDRMP::expand(Mode::C, Command::kWifiEncrypt, {7});
+  // Source page argument differs by the per-mode page stride.
+  EXPECT_NE(a[0].args[0], c[0].args[0]);
+  EXPECT_EQ(a[0].args[0], hw::page_base(Mode::A, hw::Page::Raw));
+  EXPECT_EQ(c[0].args[0], hw::page_base(Mode::C, hw::Page::Raw));
+}
+
+TEST(RequestService, SerializesAndRingsDoorbell) {
+  hw::PacketMemory mem;
+  cDRMP drmp(&mem);
+  u32 cost = 0;
+  const u32 tag = drmp.Request_RHCP_Service(Mode::B, Command::kWifiPrepareTx, {}, &cost);
+  EXPECT_GT(tag, 0u);
+  EXPECT_GT(cost, 0u);
+  const u32 base = hw::iface_base(Mode::B);
+  EXPECT_GT(mem.cpu_read(base + hw::kDoorbellOffset), 0u);  // Doorbell rung.
+  // Header word: 1 op, tag in the upper bits.
+  const Word head = mem.cpu_read(base + hw::kSopBufOffset);
+  EXPECT_EQ(head & 0xFF, 1u);
+  EXPECT_EQ(head >> 8, tag);
+}
+
+TEST(RequestService, CostGrowsWithArgumentVolume) {
+  hw::PacketMemory mem;
+  cDRMP drmp(&mem);
+  u32 small = 0, large = 0;
+  drmp.Request_RHCP_Service(Mode::A, Command::kWifiPrepareTx, {}, &small);
+  drmp.Request_RHCP_Service(Mode::A, Command::kWifiTxFragment, {0, 1024, 0}, &large);
+  EXPECT_GT(large, small);
+}
+
+TEST(RequestService, TagsAreMonotonic) {
+  hw::PacketMemory mem;
+  cDRMP drmp(&mem);
+  const u32 t1 = drmp.Request_RHCP_Service(Mode::A, Command::kWifiPrepareTx, {});
+  const u32 t2 = drmp.Request_RHCP_Service(Mode::A, Command::kWifiPrepareTx, {});
+  EXPECT_GT(t2, t1);
+}
+
+}  // namespace
+}  // namespace drmp::api

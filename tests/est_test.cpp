@@ -1,0 +1,164 @@
+// Estimation-library tests: gate/area composition, the activity-based power
+// model's monotonicity properties, and the software-baseline shapes the
+// paper's Chapter-2/6 arguments rest on.
+#include <gtest/gtest.h>
+
+#include "baseline/conventional.hpp"
+#include "baseline/software_mac.hpp"
+#include "est/gates.hpp"
+#include "est/power.hpp"
+
+namespace drmp::est {
+namespace {
+
+TEST(Gates, DesignTotalsAreSums) {
+  Design d("t", {{"a", 100, 10}, {"b", 200, 20}});
+  EXPECT_EQ(d.total_gates(), 300u);
+  EXPECT_EQ(d.total_sram_bits(), 30u);
+}
+
+TEST(Gates, AreaGrowsWithGatesAndSram) {
+  const Process p;
+  Design small("s", {{"a", 1000, 0}});
+  Design big("b", {{"a", 2000, 0}});
+  Design mem("m", {{"a", 1000, 100000}});
+  EXPECT_GT(big.area_mm2(p), small.area_mm2(p));
+  EXPECT_GT(mem.area_mm2(p), small.area_mm2(p));
+}
+
+TEST(Gates, DrmpSmallerThanThreeConventionalMacs) {
+  // The paper's headline resource claim (Table 6.2 shape).
+  const baseline::ConventionalTriMac conv;
+  const Design d = drmp_design();
+  EXPECT_LT(d.total_gates(), conv.total_gates());
+  // But larger than any single conventional MAC (flexibility overhead).
+  EXPECT_GT(d.total_gates(), conv.wifi.total_gates() / 2);
+  const Process p;
+  EXPECT_LT(d.area_mm2(p), conv.area_mm2(p));
+}
+
+TEST(Gates, RfuCatalogCoversAllSimulatorRfus) {
+  const auto& blocks = drmp_rfu_blocks();
+  for (const char* name : {"crypto", "hdr_check", "fcs", "frag", "defrag", "header",
+                           "tx", "rx", "ack", "backoff", "pack", "arq", "classifier",
+                           "seq"}) {
+    EXPECT_TRUE(blocks.count(name)) << name;
+  }
+}
+
+TEST(Power, DynamicScalesWithFrequency) {
+  const Design d = drmp_design();
+  const Process p;
+  const auto p100 = estimate_power(d, p, 100e6, {}, 0.1, {});
+  const auto p200 = estimate_power(d, p, 200e6, {}, 0.1, {});
+  EXPECT_NEAR(p200.dynamic_mw / p100.dynamic_mw, 2.0, 0.01);
+  EXPECT_NEAR(p200.leakage_mw, p100.leakage_mw, 1e-9);  // Leakage: f-independent.
+}
+
+TEST(Power, ClockGatingReducesDynamicAtLowActivity) {
+  const Design d = drmp_design();
+  const Process p;
+  PowerTechniques gated;
+  gated.clock_gating = true;
+  const auto free_run = estimate_power(d, p, 200e6, {}, 0.01, {});
+  const auto gated_run = estimate_power(d, p, 200e6, {}, 0.01, gated);
+  EXPECT_LT(gated_run.dynamic_mw, free_run.dynamic_mw * 0.2);
+}
+
+TEST(Power, PsoCutsLeakageProportionallyToActivity) {
+  const Design d = drmp_design();
+  const Process p;
+  PowerTechniques pso;
+  pso.power_shutoff = true;
+  const auto base = estimate_power(d, p, 200e6, {}, 0.01, {});
+  const auto with_pso = estimate_power(d, p, 200e6, {}, 0.01, pso);
+  EXPECT_LT(with_pso.leakage_mw, base.leakage_mw * 0.15);
+  EXPECT_GT(with_pso.leakage_mw, 0.0);  // Retention floor.
+}
+
+TEST(Power, DvfsScalesVoltageAndFrequency) {
+  const Design d = drmp_design();
+  const Process p;
+  PowerTechniques dvfs;
+  dvfs.clock_gating = true;
+  dvfs.dvfs = true;
+  dvfs.dvfs_freq_scale = 0.25;
+  PowerTechniques gating_only;
+  gating_only.clock_gating = true;
+  const auto base = estimate_power(d, p, 200e6, {}, 0.1, gating_only);
+  const auto scaled = estimate_power(d, p, 200e6, {}, 0.1, dvfs);
+  // f/4 and V down -> well below a quarter of the dynamic power.
+  EXPECT_LT(scaled.dynamic_mw, base.dynamic_mw * 0.25);
+}
+
+TEST(Power, DvfsVoltageClampedAtFloor) {
+  EXPECT_DOUBLE_EQ(dvfs_voltage(1.2, 1.0), 1.2);
+  EXPECT_GE(dvfs_voltage(1.2, 0.01), 0.6 * 1.2);
+  EXPECT_LT(dvfs_voltage(1.2, 0.5), 1.2);
+}
+
+// ------------------------------------------------------- software baseline
+
+TEST(SwBaseline, WifiNeedsGigahertzClassCpu) {
+  // Thesis §2.1 (Panic et al.): ~1 GHz for a software WiFi MAC.
+  const auto f = baseline::sw_required_frequency(mac::Protocol::WiFi, 1500);
+  EXPECT_GT(f.required_mhz, 500.0);
+  EXPECT_LT(f.required_mhz, 2000.0);
+}
+
+TEST(SwBaseline, TurnaroundBoundDominatesForSifsProtocols) {
+  const auto wifi = baseline::sw_required_frequency(mac::Protocol::WiFi, 1500);
+  EXPECT_GT(wifi.turnaround_mhz, wifi.throughput_mhz);
+  const auto wimax = baseline::sw_required_frequency(mac::Protocol::WiMax, 1500);
+  EXPECT_EQ(wimax.turnaround_mhz, 0.0);  // No SIFS-ACK in WiMAX.
+}
+
+TEST(SwBaseline, CryptoDominatesSoftwareCost) {
+  for (auto proto : {mac::Protocol::WiMax, mac::Protocol::Uwb}) {
+    const auto c = baseline::sw_cost_per_mpdu(proto, 1500);
+    EXPECT_GT(c.crypto, c.total() / 2) << mac::to_string(proto);
+  }
+}
+
+TEST(SwBaseline, CostScalesWithPayload) {
+  const auto small = baseline::sw_cost_per_mpdu(mac::Protocol::WiFi, 100);
+  const auto large = baseline::sw_cost_per_mpdu(mac::Protocol::WiFi, 1500);
+  EXPECT_GT(large.total(), small.total() * 5);
+}
+
+// --------------------------------------------------------- golden baseline
+
+TEST(GoldenBaseline, TxRxRoundTripAllProtocols) {
+  for (auto proto : {mac::Protocol::WiFi, mac::Protocol::WiMax, mac::Protocol::Uwb}) {
+    baseline::GoldenTxParams gp;
+    gp.proto = proto;
+    gp.key = Bytes(proto == mac::Protocol::WiMax ? 8 : 16, 0x3C);
+    gp.seq = 11;
+    gp.frag_threshold = 512;
+    gp.src_addr = 1;
+    gp.dst_addr = 2;
+    gp.pnid = 3;
+    gp.src_id = 4;
+    gp.dest_id = 5;
+    gp.cid = 6;
+    Bytes msdu(1200);
+    for (std::size_t i = 0; i < msdu.size(); ++i) msdu[i] = static_cast<u8>(i * 7);
+    const auto frames = baseline::golden_tx_frames(gp, msdu);
+    EXPECT_GE(frames.size(), 1u);
+    const auto back = baseline::golden_rx_msdu(gp, frames);
+    ASSERT_TRUE(back.has_value()) << mac::to_string(proto);
+    EXPECT_EQ(*back, msdu) << mac::to_string(proto);
+  }
+}
+
+TEST(GoldenBaseline, CorruptionDetected) {
+  baseline::GoldenTxParams gp;
+  gp.proto = mac::Protocol::WiFi;
+  gp.key = Bytes(16, 1);
+  auto frames = baseline::golden_tx_frames(gp, Bytes(200, 9));
+  frames[0][40] ^= 1;
+  EXPECT_FALSE(baseline::golden_rx_msdu(gp, frames).has_value());
+}
+
+}  // namespace
+}  // namespace drmp::est

@@ -1,0 +1,52 @@
+// Extended-ISA model tests (thesis §4.2).
+#include <gtest/gtest.h>
+
+#include "cpu/ext_isa.hpp"
+
+namespace drmp::cpu {
+namespace {
+
+TEST(ExtIsa, CatalogEntriesAreWellFormed) {
+  for (const auto& e : ext_isa_catalog()) {
+    EXPECT_GT(e.native_instr, e.extended_instr) << e.name;
+    EXPECT_GE(e.extended_instr, 1u) << e.name;
+    EXPECT_GT(e.uses_per_packet, 0u) << e.name;
+    EXPECT_GT(e.gate_cost, 0u) << e.name;
+  }
+}
+
+TEST(ExtIsa, SummarySumsCatalog) {
+  const auto s = ext_isa_summary();
+  u32 native = 0, ext = 0, gates = 0;
+  for (const auto& e : ext_isa_catalog()) {
+    native += e.native_instr * e.uses_per_packet;
+    ext += e.extended_instr * e.uses_per_packet;
+    gates += e.gate_cost;
+  }
+  EXPECT_EQ(s.native_instr_per_packet, native);
+  EXPECT_EQ(s.extended_instr_per_packet, ext);
+  EXPECT_EQ(s.total_gate_cost, gates);
+  EXPECT_GT(s.speedup(), 2.0);  // Worth the silicon, per §4.2's premise.
+}
+
+TEST(ExtIsa, RepriceReducesButNeverZeroes) {
+  const auto s = ext_isa_summary();
+  // A big ISR keeps its control-flow share.
+  const u32 big = s.native_instr_per_packet + 500;
+  EXPECT_EQ(reprice_isr(big), 500 + s.extended_instr_per_packet);
+  // A small ISR scales proportionally and stays >= 1.
+  EXPECT_GE(reprice_isr(5), 1u);
+  EXPECT_LT(reprice_isr(s.native_instr_per_packet), s.native_instr_per_packet);
+}
+
+TEST(ExtIsa, RepriceMonotonic) {
+  u32 prev = 0;
+  for (u32 n : {1u, 10u, 50u, 100u, 200u, 1000u}) {
+    const u32 r = reprice_isr(n);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+}  // namespace
+}  // namespace drmp::cpu

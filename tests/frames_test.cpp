@@ -1,0 +1,266 @@
+// MAC frame codec tests: round-trips, redundancy checks, error detection,
+// and the cross-protocol overlaps the thesis's analysis identified.
+#include <gtest/gtest.h>
+
+#include "crypto/crc.hpp"
+#include "mac/protocol.hpp"
+#include "mac/uwb_frames.hpp"
+#include "mac/wifi_frames.hpp"
+#include "mac/wimax_frames.hpp"
+
+namespace drmp::mac {
+namespace {
+
+Bytes payload(std::size_t n, u8 seed = 1) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<u8>(i * 13 + seed);
+  return b;
+}
+
+// ------------------------------------------------------------------ WiFi
+
+TEST(WifiFrames, FrameControlRoundTrip) {
+  wifi::FrameControl fc;
+  fc.type = wifi::FrameType::Data;
+  fc.more_frag = true;
+  fc.retry = true;
+  fc.protected_frame = true;
+  EXPECT_EQ(wifi::FrameControl::decode(fc.encode()), fc);
+}
+
+TEST(WifiFrames, DataMpduRoundTrip) {
+  wifi::DataHeader h;
+  h.addr1 = MacAddr::from_u64(0x0A0B0C0D0E0Full);
+  h.addr2 = MacAddr::from_u64(0x112233445566ull);
+  h.addr3 = h.addr1;
+  h.seq_num = 1234;
+  h.frag_num = 5;
+  const Bytes body = payload(321);
+  const Bytes mpdu = wifi::build_data_mpdu(h, body);
+  EXPECT_EQ(mpdu.size(), wifi::kHdrBytes + wifi::kHcsBytes + body.size() + wifi::kFcsBytes);
+
+  const auto parsed = wifi::parse_data_mpdu(mpdu);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->hcs_ok);
+  EXPECT_TRUE(parsed->fcs_ok);
+  EXPECT_EQ(parsed->hdr, h);
+  EXPECT_EQ(parsed->body, body);
+}
+
+TEST(WifiFrames, CorruptedHeaderFailsHcsOnly) {
+  wifi::DataHeader h;
+  h.seq_num = 7;
+  Bytes mpdu = wifi::build_data_mpdu(h, payload(64));
+  mpdu[4] ^= 0xFF;  // Corrupt addr1.
+  const auto parsed = wifi::parse_data_mpdu(mpdu);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->hcs_ok);
+  EXPECT_FALSE(parsed->fcs_ok);  // FCS covers the header too.
+}
+
+TEST(WifiFrames, CorruptedBodyFailsFcsButNotHcs) {
+  wifi::DataHeader h;
+  Bytes mpdu = wifi::build_data_mpdu(h, payload(64));
+  mpdu[wifi::kHdrBytes + wifi::kHcsBytes + 10] ^= 0x01;
+  const auto parsed = wifi::parse_data_mpdu(mpdu);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->hcs_ok);
+  EXPECT_FALSE(parsed->fcs_ok);
+}
+
+TEST(WifiFrames, AckFrameRecognized) {
+  const MacAddr ra = MacAddr::from_u64(0xAABBCCDDEEFFull);
+  const Bytes ack = wifi::build_ack(ra);
+  EXPECT_EQ(ack.size(), wifi::kAckBytes);
+  EXPECT_TRUE(wifi::is_ack(ack, ra));
+  EXPECT_FALSE(wifi::is_ack(ack, MacAddr::from_u64(1)));
+}
+
+TEST(WifiFrames, TooShortFrameRejected) {
+  EXPECT_FALSE(wifi::parse_data_mpdu(payload(10)).has_value());
+}
+
+// ------------------------------------------------------------------- UWB
+
+TEST(UwbFrames, HeaderRoundTrip) {
+  uwb::Header h;
+  h.type = uwb::FrameType::Data;
+  h.ack_policy = uwb::AckPolicy::ImmAck;
+  h.sec = true;
+  h.pnid = 0xBEEF;
+  h.dest_id = 2;
+  h.src_id = 1;
+  h.msdu_num = 300;
+  h.frag_num = 3;
+  h.last_frag_num = 7;
+  h.stream_index = 5;
+  EXPECT_EQ(uwb::Header::decode(h.encode()), h);
+}
+
+TEST(UwbFrames, DataFrameRoundTrip) {
+  uwb::Header h;
+  h.type = uwb::FrameType::Data;
+  h.msdu_num = 99;
+  const Bytes body = payload(500);
+  const Bytes f = uwb::build_data_frame(h, body);
+  const auto parsed = uwb::parse_frame(f);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->hcs_ok);
+  EXPECT_TRUE(parsed->fcs_ok);
+  EXPECT_EQ(parsed->hdr, h);
+  EXPECT_EQ(parsed->body, body);
+}
+
+TEST(UwbFrames, ImmAckIsHeaderOnly) {
+  const Bytes ack = uwb::build_imm_ack(0xBEEF, 1, 2);
+  EXPECT_EQ(ack.size(), uwb::kImmAckBytes);
+  const auto parsed = uwb::parse_frame(ack);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->hcs_ok);
+  EXPECT_TRUE(parsed->fcs_ok);
+  EXPECT_EQ(parsed->hdr.type, uwb::FrameType::ImmAck);
+  EXPECT_TRUE(parsed->body.empty());
+}
+
+TEST(UwbFrames, WifiAndUwbShareTheSameHcs) {
+  // Thesis §2.3.2.1 #1: "For WiFi and UWB, it is the exact same 16-bit CRC."
+  const Bytes data = payload(24);
+  EXPECT_EQ(crypto::Crc16Ccitt::compute(data), crypto::Crc16Ccitt::compute(data));
+  // The deeper claim: both codecs use Crc16Ccitt — verified by computing the
+  // HCS fields directly.
+  wifi::DataHeader wh;
+  const Bytes wifi_mpdu = wifi::build_data_mpdu(wh, {});
+  const u16 wifi_hcs = get_le16(wifi_mpdu, wifi::kHdrBytes);
+  EXPECT_EQ(wifi_hcs, crypto::Crc16Ccitt::compute(
+                          std::span<const u8>(wifi_mpdu.data(), wifi::kHdrBytes)));
+  uwb::Header uh;
+  const Bytes uwb_f = uwb::build_data_frame(uh, {});
+  const u16 uwb_hcs = get_le16(uwb_f, uwb::kHdrBytes);
+  EXPECT_EQ(uwb_hcs, crypto::Crc16Ccitt::compute(
+                         std::span<const u8>(uwb_f.data(), uwb::kHdrBytes)));
+}
+
+// ----------------------------------------------------------------- WiMAX
+
+TEST(WimaxFrames, GmhRoundTripWithHcs) {
+  wimax::GenericMacHeader h;
+  h.ec = true;
+  h.ci = true;
+  h.eks = 2;
+  h.len = 1234;
+  h.cid = 0xABCD;
+  const Bytes gmh = h.encode();
+  ASSERT_EQ(gmh.size(), wimax::kGmhBytes);
+  bool hcs_ok = false;
+  const auto d = wimax::GenericMacHeader::decode(gmh, &hcs_ok);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(hcs_ok);
+  EXPECT_EQ(*d, h);
+}
+
+TEST(WimaxFrames, GmhHcsDetectsCorruption) {
+  wimax::GenericMacHeader h;
+  h.cid = 0x1111;
+  h.len = 100;
+  Bytes gmh = h.encode();
+  gmh[3] ^= 0x10;
+  bool hcs_ok = true;
+  (void)wimax::GenericMacHeader::decode(gmh, &hcs_ok);
+  EXPECT_FALSE(hcs_ok);
+}
+
+TEST(WimaxFrames, SingleMpduRoundTripWithCrc) {
+  const Bytes body = payload(777);
+  const Bytes mpdu = wimax::build_mpdu(0x1234, {}, body, /*with_crc=*/true);
+  const auto p = wimax::parse_mpdu(mpdu);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->hcs_ok);
+  EXPECT_TRUE(p->crc_present);
+  EXPECT_TRUE(p->crc_ok);
+  EXPECT_EQ(p->gmh.cid, 0x1234);
+  EXPECT_EQ(p->payload, body);
+}
+
+TEST(WimaxFrames, CrcIsOptional) {
+  // Thesis §2.3.2.1 #2: "Frame Check Sequence ... For WiMAX it's optional."
+  const Bytes mpdu = wimax::build_mpdu(7, {}, payload(100), /*with_crc=*/false);
+  const auto p = wimax::parse_mpdu(mpdu);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(p->crc_present);
+  EXPECT_EQ(p->payload.size(), 100u);
+}
+
+TEST(WimaxFrames, FragmentedMpduCarriesSubheader) {
+  wimax::FragSubheader fs;
+  fs.fc = wimax::FragState::Middle;
+  fs.fsn = 11;
+  const Bytes mpdu = wimax::build_mpdu(9, fs, payload(64), true);
+  const auto p = wimax::parse_mpdu(mpdu);
+  ASSERT_TRUE(p.has_value());
+  ASSERT_TRUE(p->frag.has_value());
+  EXPECT_EQ(*p->frag, fs);
+  EXPECT_EQ(p->payload.size(), 64u);
+}
+
+TEST(WimaxFrames, PackedMpduRoundTrip) {
+  std::vector<wimax::PackedSdu> sdus;
+  for (int i = 0; i < 3; ++i) {
+    wimax::PackedSdu s;
+    s.sh.fc = wimax::FragState::Unfragmented;
+    s.sh.fsn = static_cast<u8>(i);
+    s.payload = payload(50 + 17 * static_cast<std::size_t>(i), static_cast<u8>(i));
+    sdus.push_back(s);
+  }
+  const Bytes mpdu = wimax::build_packed_mpdu(0x2222, sdus, true);
+  const auto p = wimax::parse_mpdu(mpdu);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->hcs_ok);
+  EXPECT_TRUE(p->crc_ok);
+  ASSERT_EQ(p->packed.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(p->packed[static_cast<std::size_t>(i)].payload, sdus[static_cast<std::size_t>(i)].payload);
+  }
+}
+
+TEST(WimaxFrames, LenFieldBoundsEnforced) {
+  // 11-bit LEN: an MPDU longer than the field allows must be rejected by
+  // parse when the length lies.
+  const Bytes mpdu = wimax::build_mpdu(1, {}, payload(10), false);
+  Bytes truncated(mpdu.begin(), mpdu.begin() + 5);
+  EXPECT_FALSE(wimax::parse_mpdu(truncated).has_value());
+}
+
+// -------------------------------------------------------- protocol timing
+
+TEST(ProtocolTiming, WifiDcfConstants) {
+  const auto t = timing_for(Protocol::WiFi);
+  EXPECT_DOUBLE_EQ(t.sifs_us, 10.0);
+  EXPECT_DOUBLE_EQ(t.difs_us, 50.0);
+  EXPECT_DOUBLE_EQ(t.slot_us, 20.0);
+  EXPECT_EQ(t.cw_min, 31u);
+}
+
+TEST(ProtocolTiming, AllRatesPositive) {
+  for (auto p : {Protocol::WiFi, Protocol::WiMax, Protocol::Uwb}) {
+    EXPECT_GT(timing_for(p).line_rate_bps, 0.0);
+  }
+}
+
+// Parameterized round-trip sweep across payload sizes (property-style).
+class WifiMpduSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WifiMpduSweep, RoundTripAtSize) {
+  wifi::DataHeader h;
+  h.seq_num = static_cast<u16>(GetParam());
+  const Bytes body = payload(GetParam());
+  const auto parsed = wifi::parse_data_mpdu(wifi::build_data_mpdu(h, body));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->hcs_ok && parsed->fcs_ok);
+  EXPECT_EQ(parsed->body, body);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WifiMpduSweep,
+                         ::testing::Values(0, 1, 3, 4, 63, 64, 65, 512, 1024, 1500, 2304));
+
+}  // namespace
+}  // namespace drmp::mac

@@ -1,0 +1,199 @@
+// MemoryManager tests (thesis §3.6.3's "intermediate memory-manager module"
+// option): allocation/free invariants, coalescing, quotas, double-free
+// guard, and a randomized property sweep checking conservation and
+// non-overlap across thousands of operations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "hw/memory_manager.hpp"
+
+namespace drmp::hw {
+namespace {
+
+MemoryManager::Config small_cfg() {
+  MemoryManager::Config c;
+  c.pool_words = 1024;
+  c.block_words = 64;
+  return c;
+}
+
+TEST(MemoryManagerTest, AllocRoundsUpToBlocks) {
+  MemoryManager mm(small_cfg());
+  const auto h = mm.alloc(Mode::A, 1);  // 1 byte -> 1 word -> 1 block.
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(mm.span_words(*h), 64u);
+  const auto h2 = mm.alloc(Mode::A, 64 * 4 + 1);  // Just over one block.
+  ASSERT_TRUE(h2.has_value());
+  EXPECT_EQ(mm.span_words(*h2), 128u);
+  EXPECT_EQ(mm.words_in_use(), 192u);
+}
+
+TEST(MemoryManagerTest, RegionsNeverOverlap) {
+  MemoryManager mm(small_cfg());
+  std::vector<u32> handles;
+  for (int i = 0; i < 16; ++i) {
+    const auto h = mm.alloc(Mode::A, 256);  // 64-word regions fill the pool.
+    ASSERT_TRUE(h.has_value()) << "allocation " << i;
+    handles.push_back(*h);
+  }
+  EXPECT_FALSE(mm.alloc(Mode::A, 1).has_value());  // Pool exhausted.
+  std::vector<std::pair<u32, u32>> spans;
+  for (u32 h : handles) spans.emplace_back(mm.base_word(h), mm.span_words(h));
+  std::sort(spans.begin(), spans.end());
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_GE(spans[i].first, spans[i - 1].first + spans[i - 1].second)
+        << "regions " << i - 1 << " and " << i << " overlap";
+  }
+}
+
+TEST(MemoryManagerTest, FreeCoalescesNeighbours) {
+  MemoryManager mm(small_cfg());
+  const auto a = mm.alloc(Mode::A, 256);
+  const auto b = mm.alloc(Mode::A, 256);
+  const auto c = mm.alloc(Mode::A, 256);
+  ASSERT_TRUE(a && b && c);
+  // Free the middle, then the first, then the last: the free list must end
+  // as a single extent covering the whole pool.
+  EXPECT_TRUE(mm.free(*b));
+  EXPECT_EQ(mm.free_extent_count(), 2u);  // Hole + tail.
+  EXPECT_TRUE(mm.free(*a));
+  EXPECT_EQ(mm.free_extent_count(), 2u);  // [a+b] + tail.
+  EXPECT_TRUE(mm.free(*c));
+  EXPECT_EQ(mm.free_extent_count(), 1u);
+  EXPECT_EQ(mm.largest_free_extent_words(), 1024u);
+  EXPECT_EQ(mm.words_in_use(), 0u);
+}
+
+TEST(MemoryManagerTest, DoubleFreeRejected) {
+  MemoryManager mm(small_cfg());
+  const auto h = mm.alloc(Mode::B, 100);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_TRUE(mm.free(*h));
+  EXPECT_FALSE(mm.free(*h));
+  EXPECT_FALSE(mm.free(0xDEAD));
+  EXPECT_EQ(mm.frees(), 1u);
+}
+
+TEST(MemoryManagerTest, ModeQuotaEnforced) {
+  MemoryManager::Config c = small_cfg();
+  c.mode_quota_words[index(Mode::C)] = 128;
+  MemoryManager mm(c);
+  const auto h1 = mm.alloc(Mode::C, 256);  // 64 words, fits.
+  ASSERT_TRUE(h1.has_value());
+  const auto h2 = mm.alloc(Mode::C, 256);  // 128 words total, at quota.
+  ASSERT_TRUE(h2.has_value());
+  EXPECT_FALSE(mm.alloc(Mode::C, 1).has_value());  // Over quota.
+  EXPECT_EQ(mm.failed_allocs(), 1u);
+  // Another mode is unaffected.
+  EXPECT_TRUE(mm.alloc(Mode::A, 256).has_value());
+  // Freeing restores headroom.
+  EXPECT_TRUE(mm.free(*h1));
+  EXPECT_TRUE(mm.alloc(Mode::C, 1).has_value());
+}
+
+TEST(MemoryManagerTest, HousekeepingCostAccrues) {
+  MemoryManager::Config c = small_cfg();
+  c.alloc_cost_cycles = 4;
+  c.free_cost_cycles = 2;
+  MemoryManager mm(c);
+  const auto h = mm.alloc(Mode::A, 100);
+  ASSERT_TRUE(h.has_value());
+  mm.free(*h);
+  // A failed alloc is still charged (the lookup happened).
+  MemoryManager::Config tiny = c;
+  tiny.pool_words = 64;
+  MemoryManager mm2(tiny);
+  const auto big = mm2.alloc(Mode::A, 10'000);
+  EXPECT_FALSE(big.has_value());
+  EXPECT_EQ(mm.housekeeping_cycles(), 6u);
+  EXPECT_EQ(mm2.housekeeping_cycles(), 4u);
+}
+
+TEST(MemoryManagerTest, HighWaterTracksPeakNotCurrent) {
+  MemoryManager mm(small_cfg());
+  const auto a = mm.alloc(Mode::A, 256 * 4);  // 256 words.
+  const auto b = mm.alloc(Mode::B, 256 * 4);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(mm.high_water_words(), 512u);
+  mm.free(*a);
+  mm.free(*b);
+  EXPECT_EQ(mm.words_in_use(), 0u);
+  EXPECT_EQ(mm.high_water_words(), 512u);
+}
+
+TEST(MemoryManagerTest, FragmentationCanBlockLargeAlloc) {
+  // Alternate-free pattern leaves holes: conservation holds but a large
+  // contiguous request fails — the cost of a dynamic scheme the fixed paging
+  // never pays, reported honestly by largest_free_extent.
+  MemoryManager mm(small_cfg());
+  std::vector<u32> hs;
+  for (int i = 0; i < 16; ++i) {
+    const auto h = mm.alloc(Mode::A, 256);
+    ASSERT_TRUE(h.has_value());
+    hs.push_back(*h);
+  }
+  for (std::size_t i = 0; i < hs.size(); i += 2) EXPECT_TRUE(mm.free(hs[i]));
+  EXPECT_EQ(mm.free_words(), 512u);
+  EXPECT_EQ(mm.largest_free_extent_words(), 64u);
+  EXPECT_FALSE(mm.alloc(Mode::A, 128 * 4).has_value());  // Needs 128 contiguous.
+  EXPECT_TRUE(mm.alloc(Mode::A, 64 * 4).has_value());    // A hole fits this.
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property sweep: conservation, non-overlap, coalescing.
+// ---------------------------------------------------------------------------
+
+class MemMgrPropertyTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(MemMgrPropertyTest, RandomAllocFreeKeepsInvariants) {
+  std::mt19937 rng(GetParam());
+  MemoryManager::Config c;
+  c.pool_words = 8192;
+  c.block_words = 32;
+  MemoryManager mm(c);
+  std::vector<u32> live;
+  std::uniform_int_distribution<u32> size_dist(1, 3000);
+
+  for (int step = 0; step < 4000; ++step) {
+    const bool do_alloc = live.empty() || (rng() % 100) < 55;
+    if (do_alloc) {
+      const Mode m = mode_from_index(rng() % kNumModes);
+      if (const auto h = mm.alloc(m, size_dist(rng))) live.push_back(*h);
+    } else {
+      const std::size_t i = rng() % live.size();
+      ASSERT_TRUE(mm.free(live[i]));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+
+    // Conservation: free + allocated == pool.
+    ASSERT_EQ(mm.free_words() + mm.words_in_use(), c.pool_words);
+    // Per-mode attribution sums to the total.
+    u32 mode_sum = 0;
+    for (std::size_t mi = 0; mi < kNumModes; ++mi) {
+      mode_sum += mm.mode_words(mode_from_index(mi));
+    }
+    ASSERT_EQ(mode_sum, mm.words_in_use());
+  }
+
+  // Non-overlap over the survivors.
+  std::vector<std::pair<u32, u32>> spans;
+  for (u32 h : live) spans.emplace_back(mm.base_word(h), mm.span_words(h));
+  std::sort(spans.begin(), spans.end());
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    ASSERT_GE(spans[i].first, spans[i - 1].first + spans[i - 1].second);
+  }
+
+  // Free everything: the pool must coalesce back to one extent.
+  for (u32 h : live) ASSERT_TRUE(mm.free(h));
+  EXPECT_EQ(mm.free_extent_count(), 1u);
+  EXPECT_EQ(mm.largest_free_extent_words(), c.pool_words);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemMgrPropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 99991u));
+
+}  // namespace
+}  // namespace drmp::hw

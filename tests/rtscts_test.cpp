@@ -1,0 +1,251 @@
+// RTS/CTS handshake tests (§2.3.2.2 #10: "A Request-to-send/Clear-to-send
+// handshake option is only present in WiFi"): codec round-trips, the
+// transmit-side handshake state machine (send RTS, await CTS, recover from
+// CTS loss), and the receive-side autonomous CTS path through the Event
+// Handler and AckRfu — including on a two-DRMP link.
+#include <gtest/gtest.h>
+
+#include "drmp/device.hpp"
+#include "drmp/testbench.hpp"
+#include "mac/wifi_ctrl.hpp"
+#include "mac/wifi_frames.hpp"
+
+namespace drmp {
+namespace {
+
+Bytes payload(std::size_t n, u8 seed = 1) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<u8>(i * 7 + seed);
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Codec.
+// ---------------------------------------------------------------------------
+
+TEST(WifiRtsCtsCodec, RtsRoundTrip) {
+  const auto ra = mac::MacAddr::from_u64(0x0102030405ull);
+  const auto ta = mac::MacAddr::from_u64(0x0A0B0C0D0E0Full);
+  const Bytes rts = mac::wifi::build_rts(ra, ta, 312);
+  ASSERT_EQ(rts.size(), mac::wifi::kRtsBytes);
+  const auto p = mac::wifi::parse_control(rts);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->fc.type, mac::wifi::FrameType::Control);
+  EXPECT_EQ(p->fc.subtype, mac::wifi::Subtype::Rts);
+  EXPECT_EQ(p->duration_us, 312u);
+  EXPECT_EQ(p->ra, ra);
+  EXPECT_EQ(p->ta, ta);
+  EXPECT_TRUE(p->fcs_ok);
+}
+
+TEST(WifiRtsCtsCodec, CtsRoundTrip) {
+  const auto ra = mac::MacAddr::from_u64(0x0A0B0C0D0E0Full);
+  const Bytes cts = mac::wifi::build_cts(ra, 100);
+  ASSERT_EQ(cts.size(), mac::wifi::kCtsBytes);
+  const auto p = mac::wifi::parse_control(cts);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->fc.subtype, mac::wifi::Subtype::Cts);
+  EXPECT_EQ(p->ra, ra);
+  EXPECT_EQ(p->ta, mac::MacAddr{});  // No TA in the short form.
+  EXPECT_TRUE(p->fcs_ok);
+}
+
+TEST(WifiRtsCtsCodec, ParseControlAcceptsAckToo) {
+  const auto ra = mac::MacAddr::from_u64(0x42);
+  const auto p = mac::wifi::parse_control(mac::wifi::build_ack(ra));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->fc.subtype, mac::wifi::Subtype::Ack);
+}
+
+TEST(WifiRtsCtsCodec, ParseControlRejectsWrongSizesAndTypes) {
+  EXPECT_FALSE(mac::wifi::parse_control(Bytes(13)).has_value());
+  EXPECT_FALSE(mac::wifi::parse_control(Bytes(21)).has_value());
+  // A 14-byte buffer whose frame-control is a data frame.
+  Bytes fake(14, 0);
+  EXPECT_FALSE(mac::wifi::parse_control(fake).has_value());
+}
+
+TEST(WifiRtsCtsCodec, BitFlipBreaksFcs) {
+  Bytes rts = mac::wifi::build_rts(mac::MacAddr::from_u64(1),
+                                   mac::MacAddr::from_u64(2), 10);
+  rts[5] ^= 0x40;
+  const auto p = mac::wifi::parse_control(rts);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(p->fcs_ok);
+}
+
+// ---------------------------------------------------------------------------
+// Transmit side: handshake against the scripted peer.
+// ---------------------------------------------------------------------------
+
+DrmpConfig rts_config(u32 threshold) {
+  DrmpConfig cfg = DrmpConfig::standard_three_mode();
+  cfg.modes[0].ident.rts_threshold = threshold;
+  return cfg;
+}
+
+TEST(RtsCtsTx, LargeMsduUsesHandshakeAndSucceeds) {
+  Testbench tb(rts_config(500));
+  const auto out = tb.send_and_wait(Mode::A, payload(900), 600'000'000);
+  ASSERT_TRUE(out.completed);
+  EXPECT_TRUE(out.success);
+  EXPECT_EQ(tb.peer(Mode::A).rts_received(), 1u);
+  EXPECT_EQ(tb.peer(Mode::A).ctss_sent(), 1u);
+  ASSERT_EQ(tb.peer(Mode::A).received_data_frames().size(), 1u);
+  auto& ctrl = static_cast<ctrl::WifiCtrl&>(tb.device().protocol_ctrl(Mode::A));
+  EXPECT_EQ(ctrl.rts_sent, 1u);
+  EXPECT_EQ(ctrl.cts_received, 1u);
+}
+
+TEST(RtsCtsTx, SmallMsduSkipsHandshake) {
+  Testbench tb(rts_config(500));
+  const auto out = tb.send_and_wait(Mode::A, payload(200), 600'000'000);
+  ASSERT_TRUE(out.completed);
+  EXPECT_TRUE(out.success);
+  EXPECT_EQ(tb.peer(Mode::A).rts_received(), 0u);
+  auto& ctrl = static_cast<ctrl::WifiCtrl&>(tb.device().protocol_ctrl(Mode::A));
+  EXPECT_EQ(ctrl.rts_sent, 0u);
+}
+
+TEST(RtsCtsTx, ZeroThresholdDisablesHandshake) {
+  Testbench tb(rts_config(0));
+  const auto out = tb.send_and_wait(Mode::A, payload(2000), 600'000'000);
+  ASSERT_TRUE(out.completed);
+  EXPECT_TRUE(out.success);
+  EXPECT_EQ(tb.peer(Mode::A).rts_received(), 0u);
+}
+
+TEST(RtsCtsTx, CtsLossRetriesRtsWithBackoff) {
+  Testbench tb(rts_config(500));
+  tb.peer(Mode::A).set_auto_cts(false);
+  // Run until the peer has absorbed two RTS attempts, then restore CTS.
+  tb.send_async(Mode::A, payload(900));
+  ASSERT_TRUE(tb.run_until([&] { return tb.peer(Mode::A).rts_received() >= 2; },
+                           2'000'000'000ull));
+  tb.peer(Mode::A).set_auto_cts(true);
+  ASSERT_TRUE(tb.wait_tx_count(Mode::A, 1, 2'000'000'000ull));
+  EXPECT_EQ(tb.tx_successes(Mode::A), 1u);
+  auto& ctrl = static_cast<ctrl::WifiCtrl&>(tb.device().protocol_ctrl(Mode::A));
+  EXPECT_GE(ctrl.rts_sent, 3u);
+  EXPECT_EQ(ctrl.cts_received, 1u);
+}
+
+TEST(RtsCtsTx, PersistentCtsLossExhaustsRetries) {
+  Testbench tb(rts_config(500));
+  tb.peer(Mode::A).set_auto_cts(false);
+  const auto out = tb.send_and_wait(Mode::A, payload(900), 4'000'000'000ull);
+  ASSERT_TRUE(out.completed);
+  EXPECT_FALSE(out.success);
+  const auto max_retries = mac::timing_for(mac::Protocol::WiFi).max_retries;
+  auto& ctrl = static_cast<ctrl::WifiCtrl&>(tb.device().protocol_ctrl(Mode::A));
+  EXPECT_EQ(ctrl.rts_sent, max_retries + 1);
+  EXPECT_EQ(tb.peer(Mode::A).received_data_frames().size(), 0u)
+      << "no data may fly without a CTS";
+}
+
+TEST(RtsCtsTx, FragmentedMsduReservesOncePerBurst) {
+  DrmpConfig cfg = rts_config(500);
+  cfg.modes[0].ident.frag_threshold = 512;
+  Testbench tb(cfg);
+  const auto out = tb.send_and_wait(Mode::A, payload(1500), 2'000'000'000ull);
+  ASSERT_TRUE(out.completed);
+  EXPECT_TRUE(out.success);
+  EXPECT_EQ(tb.peer(Mode::A).received_data_frames().size(), 3u);
+  // One reservation before the burst (documented simplification: the burst
+  // itself is protected by per-fragment ACKs).
+  EXPECT_EQ(tb.peer(Mode::A).rts_received(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Receive side: autonomous CTS via Event Handler + AckRfu.
+// ---------------------------------------------------------------------------
+
+TEST(RtsCtsRx, RtsAddressedHereGetsAutonomousCts) {
+  Testbench tb;
+  const auto& id = tb.config().modes[0].ident;
+  const Bytes rts = mac::wifi::build_rts(mac::MacAddr::from_u64(id.self_addr),
+                                         mac::MacAddr::from_u64(id.peer_addr), 200);
+  const u64 phy_sent_before = tb.device().phy_tx(Mode::A)->frames_sent();
+  tb.peer(Mode::A).inject_frame(rts, tb.scheduler().now() + 100);
+  ASSERT_TRUE(tb.run_until(
+      [&] { return tb.device().ack_rfu().ctss_generated() >= 1; }, 200'000'000ull));
+  EXPECT_EQ(tb.device().event_handler().rx_ctss_generated(Mode::A), 0u)
+      << "counter increments only after the CTS is staged";
+  ASSERT_TRUE(tb.run_until(
+      [&] { return tb.device().phy_tx(Mode::A)->frames_sent() > phy_sent_before; },
+      200'000'000ull))
+      << "CTS must actually reach the air";
+  EXPECT_EQ(tb.device().event_handler().rx_ctss_generated(Mode::A), 1u);
+  // The CPU never saw the RTS: no ISR beyond the host/queue baseline fired.
+  auto& ctrl = static_cast<ctrl::WifiCtrl&>(tb.device().protocol_ctrl(Mode::A));
+  EXPECT_EQ(ctrl.rx_delivered, 0u);
+}
+
+TEST(RtsCtsRx, RtsForAnotherStationIsIgnored) {
+  Testbench tb;
+  const auto& id = tb.config().modes[0].ident;
+  const Bytes rts = mac::wifi::build_rts(mac::MacAddr::from_u64(0xDEADBEEF),
+                                         mac::MacAddr::from_u64(id.peer_addr), 200);
+  tb.peer(Mode::A).inject_frame(rts, tb.scheduler().now() + 100);
+  tb.run_cycles(2'000'000);  // ~10 ms sim: far beyond the CTS deadline.
+  EXPECT_EQ(tb.device().ack_rfu().ctss_generated(), 0u);
+}
+
+TEST(RtsCtsRx, CorruptedRtsIsDroppedByFcsCheck) {
+  Testbench tb;
+  const auto& id = tb.config().modes[0].ident;
+  Bytes rts = mac::wifi::build_rts(mac::MacAddr::from_u64(id.self_addr),
+                                   mac::MacAddr::from_u64(id.peer_addr), 200);
+  rts[6] ^= 0x01;  // Flip an RA bit: FCS now fails.
+  tb.peer(Mode::A).inject_frame(rts, tb.scheduler().now() + 100);
+  tb.run_cycles(2'000'000);  // ~10 ms sim: far beyond the CTS deadline.
+  EXPECT_EQ(tb.device().ack_rfu().ctss_generated(), 0u);
+  EXPECT_GE(tb.device().event_handler().rx_bad_frames(Mode::A), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Two complete DRMP devices: hardware CTS answers hardware RTS.
+// ---------------------------------------------------------------------------
+
+TEST(RtsCtsTwoDevice, FullHandshakeAcrossRealLink) {
+  sim::Scheduler sched(200e6);
+  sim::TimeBase tbase(200e6);
+  DrmpConfig cfg1 = DrmpConfig::standard_three_mode();
+  cfg1.modes[0].ident.rts_threshold = 400;
+  DrmpConfig cfg2 = DrmpConfig::standard_three_mode();
+  std::swap(cfg2.modes[0].ident.self_addr, cfg2.modes[0].ident.peer_addr);
+  cfg2.backoff_seed = 0xBEEF;
+
+  phy::Medium medium(mac::Protocol::WiFi, tbase);
+  sched.add(medium, "medium");
+  DrmpDevice dev1(sched, cfg1, 1);
+  DrmpDevice dev2(sched, cfg2, 2);
+  dev1.attach_medium(Mode::A, &medium);
+  dev2.attach_medium(Mode::A, &medium);
+
+  std::vector<Bytes> delivered;
+  dev2.on_deliver = [&](Mode, const Bytes& b) { delivered.push_back(b); };
+  u32 done = 0;
+  bool ok = false;
+  dev1.on_tx_complete = [&](Mode, bool success, u32) {
+    ++done;
+    ok = success;
+  };
+
+  const Bytes msdu = payload(800);
+  dev1.host_send(Mode::A, msdu);
+  ASSERT_TRUE(sched.run_until([&] { return done > 0; }, 800'000'000ull));
+  ASSERT_EQ(done, 1u);
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], msdu);
+  // dev2's hardware answered the RTS without CPU involvement.
+  EXPECT_EQ(dev2.ack_rfu().ctss_generated(), 1u);
+  EXPECT_EQ(dev2.event_handler().rx_ctss_generated(Mode::A), 1u);
+  auto& c1 = static_cast<ctrl::WifiCtrl&>(dev1.protocol_ctrl(Mode::A));
+  EXPECT_EQ(c1.rts_sent, 1u);
+  EXPECT_EQ(c1.cts_received, 1u);
+}
+
+}  // namespace
+}  // namespace drmp

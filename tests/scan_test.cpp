@@ -1,0 +1,111 @@
+// Passive-scanning tests (§2.3.2.1 #13 "WiFi and UWB ... use beacon frames
+// to synchronize themselves", #15 "Scanning is done by all MACs before
+// joining ... passive scanning"): the scripted peer beacons as an AP, the
+// station's management plane accumulates BSS records, and beacons are never
+// acknowledged nor disturb data traffic.
+#include <gtest/gtest.h>
+
+#include "drmp/testbench.hpp"
+#include "mac/wifi_ctrl.hpp"
+#include "mac/wifi_frames.hpp"
+
+namespace drmp {
+namespace {
+
+Bytes payload(std::size_t n, u8 seed = 1) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<u8>(i * 9 + seed);
+  return b;
+}
+
+ctrl::WifiCtrl& wifi(Testbench& tb) {
+  return static_cast<ctrl::WifiCtrl&>(tb.device().protocol_ctrl(Mode::A));
+}
+
+TEST(ScanTest, BeaconCodecRoundTrip) {
+  mac::wifi::BeaconBody body;
+  body.timestamp_us = 0x0123456789ABull;
+  body.interval_us = 10240;
+  const auto bssid = mac::MacAddr::from_u64(0x0A0B0C0D0E0Full);
+  const Bytes frame = mac::wifi::build_beacon(bssid, 7, body);
+  const auto p = mac::wifi::parse_data_mpdu(frame);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hdr.fc.type, mac::wifi::FrameType::Management);
+  EXPECT_EQ(p->hdr.fc.subtype, mac::wifi::Subtype::Beacon);
+  EXPECT_EQ(p->hdr.addr2, bssid);
+  EXPECT_TRUE(p->hcs_ok);
+  EXPECT_TRUE(p->fcs_ok);
+  const auto decoded = mac::wifi::BeaconBody::decode(p->body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, body);
+}
+
+TEST(ScanTest, PassiveScanDiscoversTheAp) {
+  Testbench tb;
+  tb.peer(Mode::A).start_beacons(tb.scheduler().now() + 1000, 3, 500.0);
+  ASSERT_TRUE(tb.run_until([&] { return wifi(tb).scan_results().size() >= 1 &&
+                                        wifi(tb).scan_results()[0].beacons >= 3; },
+                           600'000'000ull));
+  const auto& scan = wifi(tb).scan_results();
+  ASSERT_EQ(scan.size(), 1u);
+  EXPECT_EQ(scan[0].bssid, tb.config().modes[0].ident.peer_addr);
+  EXPECT_EQ(scan[0].beacons, 3u);
+  EXPECT_EQ(scan[0].interval_us, 500u);
+  EXPECT_GT(scan[0].last_timestamp_us, 0u);
+}
+
+TEST(ScanTest, BeaconsAreNeverAcked) {
+  Testbench tb;
+  tb.peer(Mode::A).start_beacons(tb.scheduler().now() + 1000, 2, 400.0);
+  ASSERT_TRUE(tb.run_until(
+      [&] { return !wifi(tb).scan_results().empty() &&
+                   wifi(tb).scan_results()[0].beacons >= 2; },
+      600'000'000ull));
+  EXPECT_EQ(tb.device().ack_rfu().acks_generated(), 0u);
+}
+
+TEST(ScanTest, TimestampsAdvanceAcrossBeacons) {
+  Testbench tb;
+  tb.peer(Mode::A).start_beacons(tb.scheduler().now() + 1000, 2, 800.0);
+  ASSERT_TRUE(tb.run_until(
+      [&] { return !wifi(tb).scan_results().empty() &&
+                   wifi(tb).scan_results()[0].beacons >= 1; },
+      600'000'000ull));
+  const u64 first = wifi(tb).scan_results()[0].last_timestamp_us;
+  ASSERT_TRUE(tb.run_until(
+      [&] { return wifi(tb).scan_results()[0].beacons >= 2; }, 600'000'000ull));
+  const u64 second = wifi(tb).scan_results()[0].last_timestamp_us;
+  // The TSF advanced by roughly the beacon interval (§2.3.2.1 #13 sync).
+  EXPECT_GT(second, first);
+  EXPECT_NEAR(static_cast<double>(second - first), 800.0, 120.0);
+}
+
+TEST(ScanTest, ScanningDoesNotDisturbTraffic) {
+  Testbench tb;
+  tb.peer(Mode::A).start_beacons(tb.scheduler().now() + 1000, 5, 300.0);
+  const auto out = tb.send_and_wait(Mode::A, payload(600), 2'000'000'000ull);
+  ASSERT_TRUE(out.completed);
+  EXPECT_TRUE(out.success);
+  ASSERT_TRUE(tb.run_until(
+      [&] { return !wifi(tb).scan_results().empty() &&
+                   wifi(tb).scan_results()[0].beacons >= 5; },
+      2'000'000'000ull));
+  EXPECT_EQ(tb.delivered(Mode::A).size(), 0u);  // Beacons never deliver upward.
+}
+
+TEST(ScanTest, CorruptedBeaconIsDropped) {
+  Testbench tb;
+  mac::wifi::BeaconBody body;
+  body.timestamp_us = 42;
+  body.interval_us = 100;
+  Bytes beacon = mac::wifi::build_beacon(
+      mac::MacAddr::from_u64(tb.config().modes[0].ident.peer_addr), 0, body);
+  beacon[30] ^= 0x08;  // Body bit: FCS fails.
+  tb.peer(Mode::A).inject_frame(beacon, tb.scheduler().now() + 10);
+  tb.run_cycles(2'000'000);
+  EXPECT_TRUE(wifi(tb).scan_results().empty());
+  EXPECT_GE(tb.device().event_handler().rx_bad_frames(Mode::A), 1u);
+}
+
+}  // namespace
+}  // namespace drmp

@@ -1,0 +1,122 @@
+// Simulation-kernel tests: scheduler determinism, derived clocks, trace
+// bookkeeping, statistics collectors.
+#include <gtest/gtest.h>
+
+#include "sim/clock.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace drmp::sim {
+namespace {
+
+class Counter : public Clockable {
+ public:
+  void tick() override { ++ticks; }
+  Cycle ticks = 0;
+};
+
+TEST(Scheduler, RunsRegisteredComponentsEveryCycle) {
+  Scheduler s(200e6);
+  Counter a, b;
+  s.add(a, "a");
+  s.add(b, "b");
+  s.run_cycles(100);
+  EXPECT_EQ(a.ticks, 100u);
+  EXPECT_EQ(b.ticks, 100u);
+  EXPECT_EQ(s.now(), 100u);
+}
+
+TEST(Scheduler, RunUntilStopsAtPredicate) {
+  Scheduler s(200e6);
+  Counter a;
+  s.add(a, "a");
+  EXPECT_TRUE(s.run_until([&] { return a.ticks >= 42; }, 1000));
+  EXPECT_EQ(a.ticks, 42u);
+}
+
+TEST(Scheduler, RunUntilTimesOut) {
+  Scheduler s(200e6);
+  Counter a;
+  s.add(a, "a");
+  EXPECT_FALSE(s.run_until([&] { return false; }, 50));
+  EXPECT_EQ(s.now(), 50u);
+}
+
+TEST(TimeBase, CycleConversionsAt200MHz) {
+  TimeBase tb(200e6);
+  EXPECT_EQ(tb.us_to_cycles(10.0), 2000u);       // SIFS = 10 us.
+  EXPECT_DOUBLE_EQ(tb.cycles_to_us(2000), 10.0);
+  EXPECT_EQ(tb.ns_to_cycles(5.0), 1u);           // One cycle = 5 ns.
+}
+
+TEST(DerivedClock, FractionalDividerLongRunAccuracy) {
+  // 11 Mbps byte clock from a 200 MHz master: 1.375 M edges/s.
+  TimeBase tb(200e6);
+  DerivedClock byte_clk(200e6, 11e6 / 8.0);
+  u64 edges = 0;
+  const u64 cycles = 2'000'000;  // 10 ms.
+  for (u64 i = 0; i < cycles; ++i) edges += byte_clk.advance();
+  // 10 ms * 1.375 MHz = 13750 edges.
+  EXPECT_NEAR(static_cast<double>(edges), 13750.0, 1.0);
+}
+
+TEST(Trace, ActiveCyclesAndValueAt) {
+  TraceChannel ch("x");
+  ch.record(0, 0);
+  ch.record(10, 3);
+  ch.record(20, 0);
+  ch.record(30, 1);
+  EXPECT_EQ(ch.active_cycles(0, 40), 10u + 10u);
+  EXPECT_EQ(ch.value_at(5).value(), 0);
+  EXPECT_EQ(ch.value_at(15).value(), 3);
+  EXPECT_EQ(ch.value_at(25).value(), 0);
+  EXPECT_EQ(ch.value_at(35).value(), 1);
+}
+
+TEST(Trace, RecordCollapsesDuplicates) {
+  TraceChannel ch("x");
+  ch.record(0, 5);
+  ch.record(1, 5);
+  ch.record(2, 5);
+  EXPECT_EQ(ch.events().size(), 1u);
+}
+
+TEST(Trace, AsciiWaveformRenders) {
+  TraceRecorder rec;
+  rec.channel("sig").record(0, 0);
+  rec.channel("sig").record(50, 1);
+  rec.channel("sig").record(75, 0);
+  const std::string wf = rec.ascii_waveform({"sig"}, 0, 100, 20);
+  EXPECT_NE(wf.find("sig"), std::string::npos);
+  EXPECT_NE(wf.find('1'), std::string::npos);
+  EXPECT_NE(wf.find('.'), std::string::npos);
+}
+
+TEST(Stats, BusyCounterFraction) {
+  BusyCounter c;
+  for (int i = 0; i < 100; ++i) c.sample(i < 25);
+  EXPECT_DOUBLE_EQ(c.busy_fraction(), 0.25);
+}
+
+TEST(Stats, StateOccupancyTotals) {
+  StateOccupancy occ;
+  for (int i = 0; i < 10; ++i) occ.sample(0);
+  for (int i = 0; i < 5; ++i) occ.sample(2);
+  EXPECT_EQ(occ.cycles_in(0), 10u);
+  EXPECT_EQ(occ.cycles_in(2), 5u);
+  EXPECT_EQ(occ.cycles_in(7), 0u);
+  EXPECT_EQ(occ.total(), 15u);
+}
+
+TEST(Stats, LatencyPercentiles) {
+  LatencyStats l;
+  for (int i = 1; i <= 100; ++i) l.add(i);
+  EXPECT_DOUBLE_EQ(l.min(), 1.0);
+  EXPECT_DOUBLE_EQ(l.max(), 100.0);
+  EXPECT_DOUBLE_EQ(l.mean(), 50.5);
+  EXPECT_NEAR(l.percentile(0.5), 50.0, 1.0);
+}
+
+}  // namespace
+}  // namespace drmp::sim

@@ -1,0 +1,216 @@
+// Parameterized property sweeps over the extension features: RTS-threshold
+// boundary behaviour, interconnect width monotonicity, memory-manager block
+// granularity, and PCF poll-interval robustness. Each sweep checks an
+// invariant across a parameter range rather than a single scenario.
+#include <gtest/gtest.h>
+
+#include "drmp/testbench.hpp"
+#include "hw/interconnect_models.hpp"
+#include "hw/memory_manager.hpp"
+#include "mac/wifi_ctrl.hpp"
+
+namespace drmp {
+namespace {
+
+Bytes payload(std::size_t n, u8 seed = 3) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<u8>(i * 13 + seed);
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// RTS threshold boundary: MSDUs below never handshake, at/above always do.
+// ---------------------------------------------------------------------------
+
+class RtsThresholdSweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(RtsThresholdSweep, HandshakeExactlyWhenAtOrAboveThreshold) {
+  const u32 thr = GetParam();
+  DrmpConfig cfg = DrmpConfig::standard_three_mode();
+  cfg.modes[0].ident.rts_threshold = thr;
+  Testbench tb(cfg);
+
+  // One MSDU just below, one exactly at the threshold.
+  const auto below = tb.send_and_wait(Mode::A, payload(thr - 1), 800'000'000ull);
+  ASSERT_TRUE(below.completed);
+  EXPECT_TRUE(below.success);
+  auto& ctrl = static_cast<ctrl::WifiCtrl&>(tb.device().protocol_ctrl(Mode::A));
+  EXPECT_EQ(ctrl.rts_sent, 0u) << "below-threshold MSDU must not handshake";
+
+  const auto at = tb.send_and_wait(Mode::A, payload(thr), 800'000'000ull);
+  ASSERT_TRUE(at.completed);
+  EXPECT_TRUE(at.success);
+  EXPECT_EQ(ctrl.rts_sent, 1u) << "at-threshold MSDU must handshake";
+  EXPECT_EQ(ctrl.cts_received, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, RtsThresholdSweep,
+                         ::testing::Values(200u, 512u, 1000u));
+
+// ---------------------------------------------------------------------------
+// Interconnect: widening the bus never increases any flow's wait; adding
+// buses never increases total wait.
+// ---------------------------------------------------------------------------
+
+class BusWidthSweep : public ::testing::TestWithParam<u32> {};
+
+std::vector<hw::FlowTx> synthetic_contended_trace(u32 seed) {
+  // Three flows with overlapping bursty demand (deterministic LCG).
+  std::vector<hw::FlowTx> trace;
+  u64 x = seed;
+  auto rnd = [&x](u32 lim) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<u32>((x >> 33) % lim);
+  };
+  Cycle t = 0;
+  for (int i = 0; i < 120; ++i) {
+    hw::FlowTx tx;
+    tx.flow = rnd(3);
+    t += rnd(40);
+    tx.request = t;
+    tx.words = 8 + rnd(120);
+    tx.stall = rnd(10);
+    tx.segments = 1 + rnd(3);
+    trace.push_back(tx);
+  }
+  return trace;
+}
+
+TEST_P(BusWidthSweep, WiderBusNeverIncreasesWait) {
+  const auto trace = synthetic_contended_trace(GetParam());
+  Cycle prev_total = ~0ull;
+  for (u32 width : {1u, 2u, 4u, 8u}) {
+    hw::InterconnectSpec spec;
+    spec.kind = width == 1 ? hw::InterconnectSpec::Kind::SingleBus
+                           : hw::InterconnectSpec::Kind::WideBus;
+    spec.width_words = width;
+    const auto res = hw::replay_interconnect(trace, spec);
+    EXPECT_LE(res.total_wait(), prev_total) << "width " << width;
+    prev_total = res.total_wait();
+  }
+}
+
+TEST_P(BusWidthSweep, MoreBusesNeverIncreaseWait) {
+  const auto trace = synthetic_contended_trace(GetParam() + 17);
+  Cycle prev_total = ~0ull;
+  for (u32 n : {1u, 2u, 3u}) {
+    hw::InterconnectSpec spec;
+    spec.kind = n == 1 ? hw::InterconnectSpec::Kind::SingleBus
+                       : hw::InterconnectSpec::Kind::MultiBus;
+    spec.num_buses = n;
+    const auto res = hw::replay_interconnect(trace, spec);
+    EXPECT_LE(res.total_wait(), prev_total) << n << " buses";
+    prev_total = res.total_wait();
+  }
+}
+
+TEST_P(BusWidthSweep, SegmentedDegeneratesToSingleWhenAllTxSpanBothSegments) {
+  // When every transaction needs both segments, the segmented bus is one
+  // serial resource — the schedule must match the single bus exactly. (It is
+  // NOT generally true that segmented <= single: greedy non-preemptive
+  // arbitration shows classic scheduling anomalies where a both-segment
+  // transaction starves slightly behind single-segment slip-ins; the
+  // interconnect bench reports this honestly.)
+  auto trace = synthetic_contended_trace(GetParam() + 31);
+  for (auto& tx : trace) tx.segments = hw::FlowTx::kSegMem | hw::FlowTx::kSegRfu;
+  hw::InterconnectSpec seg;
+  seg.kind = hw::InterconnectSpec::Kind::SegmentedBus;
+  const auto s = hw::replay_interconnect(trace, seg);
+  const auto single = hw::replay_interconnect(trace, {});
+  EXPECT_EQ(s.total_wait(), single.total_wait());
+  EXPECT_EQ(s.makespan, single.makespan);
+}
+
+TEST_P(BusWidthSweep, SegmentedEliminatesWaitForDisjointSegmentFlows) {
+  // Two flows living on different segments never contend on the segmented
+  // bus, whatever the single bus made them suffer.
+  auto trace = synthetic_contended_trace(GetParam() + 47);
+  for (auto& tx : trace) {
+    tx.flow = tx.flow % 2;
+    tx.segments = tx.flow == 0 ? hw::FlowTx::kSegMem : hw::FlowTx::kSegRfu;
+  }
+  hw::InterconnectSpec seg;
+  seg.kind = hw::InterconnectSpec::Kind::SegmentedBus;
+  const auto s = hw::replay_interconnect(trace, seg);
+  EXPECT_EQ(s.total_wait(), 0u);
+  const auto single = hw::replay_interconnect(trace, {});
+  EXPECT_GE(single.total_wait(), s.total_wait());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BusWidthSweep, ::testing::Values(1u, 2u, 3u, 4u));
+
+// ---------------------------------------------------------------------------
+// Memory manager: smaller blocks never increase the footprint of a fixed
+// allocation sequence (internal fragmentation shrinks with granularity).
+// ---------------------------------------------------------------------------
+
+class BlockSizeSweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(BlockSizeSweep, FinerBlocksNeverRaiseHighWater) {
+  const u32 seed = GetParam();
+  u64 x = seed;
+  auto rnd = [&x](u32 lim) {
+    x = x * 2862933555777941757ull + 3037000493ull;
+    return static_cast<u32>((x >> 33) % lim);
+  };
+  // One deterministic alloc/free scenario replayed at every granularity.
+  struct Step {
+    bool alloc;
+    u32 bytes;
+    u32 victim;
+  };
+  std::vector<Step> steps;
+  for (int i = 0; i < 300; ++i) {
+    steps.push_back(Step{(rnd(100) < 60), 1 + rnd(2500), rnd(1000)});
+  }
+
+  u32 prev_hw = ~0u;
+  for (const u32 block : {256u, 128u, 64u, 32u, 16u}) {
+    hw::MemoryManager::Config c;
+    c.pool_words = 65536;
+    c.block_words = block;
+    hw::MemoryManager mm(c);
+    std::vector<u32> live;
+    for (const Step& s : steps) {
+      if (s.alloc || live.empty()) {
+        if (const auto h = mm.alloc(Mode::A, s.bytes)) live.push_back(*h);
+      } else {
+        const std::size_t i = s.victim % live.size();
+        ASSERT_TRUE(mm.free(live[i]));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+    EXPECT_LE(mm.high_water_words(), prev_hw) << "block=" << block;
+    prev_hw = mm.high_water_words();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockSizeSweep, ::testing::Values(5u, 23u, 77u));
+
+// ---------------------------------------------------------------------------
+// PCF poll interval: the polled station delivers regardless of poll cadence
+// (as long as the interval covers the data air time).
+// ---------------------------------------------------------------------------
+
+class PcfIntervalSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PcfIntervalSweep, DataDeliveredAtAnyReasonableCadence) {
+  DrmpConfig cfg = DrmpConfig::standard_three_mode();
+  cfg.modes[0].ident.pcf_poll_mode = true;
+  Testbench tb(cfg);
+  tb.send_async(Mode::A, payload(300));
+  tb.run_cycles(200'000);
+  tb.peer(Mode::A).begin_cfp(
+      tb.scheduler().now() + 1000, 4, GetParam(),
+      mac::MacAddr::from_u64(tb.config().modes[0].ident.self_addr));
+  ASSERT_TRUE(tb.wait_tx_count(Mode::A, 1, 2'000'000'000ull));
+  EXPECT_EQ(tb.tx_successes(Mode::A), 1u);
+  EXPECT_EQ(tb.peer(Mode::A).cfp_data_received(), 1u);
+  EXPECT_EQ(tb.peer(Mode::A).acks_sent(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(IntervalsUs, PcfIntervalSweep,
+                         ::testing::Values(400.0, 800.0, 1600.0, 3200.0));
+
+}  // namespace
+}  // namespace drmp

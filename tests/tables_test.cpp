@@ -1,0 +1,150 @@
+// IRC table tests: op_code_table completeness and consistency with the RFU
+// pool, rfu_table FCFS queueing, table mutexes, and the memory-mapped
+// interrupt source registers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "drmp/testbench.hpp"
+#include "irc/tables.hpp"
+
+namespace drmp::irc {
+namespace {
+
+TEST(OpCodeTableTest, AllDefinedOpsResolveToRegisteredRfuIds) {
+  const OpCodeTable oct;
+  for (int o = 0; o < 256; ++o) {
+    const auto op = static_cast<rfu::Op>(o);
+    if (!oct.contains(op)) continue;
+    const auto& e = oct.lookup(op);
+    EXPECT_GE(e.rfu_id, rfu::kRfuIdFirst) << "op " << o;
+    EXPECT_LE(e.rfu_id, rfu::kRfuIdLast) << "op " << o;
+    EXPECT_GT(e.reconf_state, 0u) << "op " << o;  // State 0 = uninitialized.
+    EXPECT_LE(e.nargs, 8u) << "op " << o;
+  }
+}
+
+TEST(OpCodeTableTest, OnlyChannelAccessOpsAreDetached) {
+  const OpCodeTable oct;
+  for (int o = 0; o < 256; ++o) {
+    const auto op = static_cast<rfu::Op>(o);
+    if (!oct.contains(op)) continue;
+    const bool is_access = oct.lookup(op).rfu_id == rfu::kBackoffRfu;
+    EXPECT_EQ(oct.lookup(op).detached, is_access) << "op " << o;
+  }
+}
+
+TEST(OpCodeTableTest, SharedHcsStateForWifiAndUwb) {
+  // The thesis's headline overlap: WiFi and UWB HCS ops map to the *same*
+  // (rfu, state), so no reconfiguration separates them.
+  const OpCodeTable oct;
+  const auto& wifi = oct.lookup(rfu::Op::HcsAppend16);
+  const auto& verify = oct.lookup(rfu::Op::HcsVerify16);
+  EXPECT_EQ(wifi.rfu_id, verify.rfu_id);
+  EXPECT_EQ(wifi.reconf_state, verify.reconf_state);
+  // WiMAX's CRC-8 is a different state of the same unit.
+  const auto& wimax = oct.lookup(rfu::Op::HcsPatch8);
+  EXPECT_EQ(wimax.rfu_id, wifi.rfu_id);
+  EXPECT_NE(wimax.reconf_state, wifi.reconf_state);
+}
+
+TEST(RfuTableTest, QueueIsFcfsWithTwoSlots) {
+  RfuTable t;
+  EXPECT_TRUE(t.queue_waiter(5, {Mode::B, ThKind::ThM}));
+  EXPECT_TRUE(t.queue_waiter(5, {Mode::C, ThKind::ThR}));
+  EXPECT_FALSE(t.queue_waiter(5, {Mode::A, ThKind::ThM}));  // Both slots full.
+  const auto w1 = t.pop_waiter(5);
+  ASSERT_TRUE(w1.has_value());
+  EXPECT_EQ(w1->mode, Mode::B);
+  EXPECT_EQ(w1->kind, ThKind::ThM);
+  const auto w2 = t.pop_waiter(5);
+  ASSERT_TRUE(w2.has_value());
+  EXPECT_EQ(w2->mode, Mode::C);
+  EXPECT_FALSE(t.pop_waiter(5).has_value());
+}
+
+TEST(RfuTableTest, QueuesAreIndependentPerRfu) {
+  RfuTable t;
+  EXPECT_TRUE(t.queue_waiter(3, {Mode::A, ThKind::ThM}));
+  EXPECT_FALSE(t.pop_waiter(4).has_value());
+  EXPECT_TRUE(t.pop_waiter(3).has_value());
+}
+
+TEST(RfuTableTest, PriorityPolicyWakesMostUrgentWaiter) {
+  // Table 3.4's PrQreq fields: lower value = more urgent. Mode C queued
+  // first, then mode A with a better priority — under Priority, A pops first.
+  RfuTable t;
+  t.set_queue_policy(RfuTable::QueuePolicy::Priority);
+  EXPECT_TRUE(t.queue_waiter(5, {Mode::C, ThKind::ThM, 2}));
+  EXPECT_TRUE(t.queue_waiter(5, {Mode::A, ThKind::ThM, 0}));
+  const auto w1 = t.pop_waiter(5);
+  ASSERT_TRUE(w1.has_value());
+  EXPECT_EQ(w1->mode, Mode::A);
+  const auto w2 = t.pop_waiter(5);
+  ASSERT_TRUE(w2.has_value());
+  EXPECT_EQ(w2->mode, Mode::C);
+}
+
+TEST(RfuTableTest, PriorityPolicyTieBreaksToOlderRequest) {
+  RfuTable t;
+  t.set_queue_policy(RfuTable::QueuePolicy::Priority);
+  EXPECT_TRUE(t.queue_waiter(5, {Mode::B, ThKind::ThR, 1}));
+  EXPECT_TRUE(t.queue_waiter(5, {Mode::C, ThKind::ThM, 1}));
+  const auto w1 = t.pop_waiter(5);
+  ASSERT_TRUE(w1.has_value());
+  EXPECT_EQ(w1->mode, Mode::B);  // Equal priority: FCFS order preserved.
+}
+
+TEST(RfuTableTest, FcfsPolicyIgnoresPriorityFields) {
+  // The thesis-prototype default: PrQreq values are carried but not honoured.
+  RfuTable t;
+  ASSERT_EQ(t.queue_policy(), RfuTable::QueuePolicy::Fcfs);
+  EXPECT_TRUE(t.queue_waiter(5, {Mode::C, ThKind::ThM, 2}));
+  EXPECT_TRUE(t.queue_waiter(5, {Mode::A, ThKind::ThM, 0}));
+  const auto w1 = t.pop_waiter(5);
+  ASSERT_TRUE(w1.has_value());
+  EXPECT_EQ(w1->mode, Mode::C);
+}
+
+TEST(TableMutexTest, ExclusiveWithReentrancy) {
+  TableMutex m;
+  EXPECT_TRUE(m.try_lock(1));
+  EXPECT_TRUE(m.try_lock(1));   // Re-entrant for the same owner.
+  EXPECT_FALSE(m.try_lock(2));  // Exclusive against others.
+  m.unlock(2);                  // Foreign unlock ignored.
+  EXPECT_FALSE(m.try_lock(2));
+  m.unlock(1);
+  EXPECT_TRUE(m.try_lock(2));
+}
+
+TEST(TableMutexTest, OwnerIdsAreUnique) {
+  // 3 modes x 2 handlers + RC = 7 distinct ids.
+  std::set<u8> ids;
+  for (Mode m : {Mode::A, Mode::B, Mode::C}) {
+    ids.insert(mutex_owner(m, ThKind::ThR));
+    ids.insert(mutex_owner(m, ThKind::ThM));
+  }
+  ids.insert(kMutexOwnerRc);
+  EXPECT_EQ(ids.size(), 7u);
+}
+
+TEST(IrqRegisters, MirroredIntoMemoryMap) {
+  // Table 3.2: "the software will respond to the interrupt by reading a
+  // memory-mapped hardware register ... to indicate the source".
+  Testbench tb;
+  auto& irc = tb.device().irc();
+  auto& mem = tb.device().memory();
+  EXPECT_FALSE(irc.irq_line());
+  irc.irq_raise(Mode::B, IrqEvent::RxInd, 0x42);
+  EXPECT_TRUE(irc.irq_line());
+  EXPECT_EQ(mem.cpu_read(hw::kIrqSourceReg) & (1u << 1), 2u);
+  EXPECT_EQ(mem.cpu_read(hw::kIrqEventReg0 + 1), static_cast<Word>(IrqEvent::RxInd));
+  EXPECT_EQ(mem.cpu_read(hw::kIrqParamReg0 + 1), 0x42u);
+  const auto info = irc.irq_take();
+  EXPECT_EQ(info.mode, Mode::B);
+  EXPECT_EQ(info.event, IrqEvent::RxInd);
+  EXPECT_FALSE(irc.irq_line());
+}
+
+}  // namespace
+}  // namespace drmp::irc
