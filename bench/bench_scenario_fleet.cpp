@@ -1,0 +1,113 @@
+// Fleet scenario bench: an 8-device (override with argv[1]) three-standard
+// mixed-traffic fleet over lossy channels.
+//
+//   1. Determinism: two batched runs with the same seed must produce
+//      byte-identical aggregate stats, and the batched path must complete
+//      exactly the work the legacy per-device loop completes.
+//   2. Throughput: batched lockstep vs looping the legacy scheduler per
+//      device (run_until, predicate every cycle), measured over alternating
+//      repetitions with the median taken per path to suppress host noise.
+//      A parallel-workers batched run is reported when the host has more
+//      than one core (it is digest-identical to the serial run).
+//
+//   $ ./bench_scenario_fleet [num_devices] [msdus_per_mode] [repetitions]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "scenario/scenario_engine.hpp"
+
+namespace {
+
+using drmp::scenario::FleetStats;
+using drmp::scenario::ScenarioEngine;
+using drmp::scenario::ScenarioSpec;
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n_devices = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+  const drmp::u32 msdus =
+      argc > 2 ? static_cast<drmp::u32>(std::strtoul(argv[2], nullptr, 10)) : 3;
+  const int reps = std::max(1, argc > 3 ? std::atoi(argv[3]) : 3);
+  constexpr drmp::u64 kSeed = 2008;
+
+  const auto make_spec = [&](unsigned workers) {
+    ScenarioSpec spec = ScenarioSpec::mixed_three_standard(n_devices, kSeed, msdus);
+    spec.max_cycles = 60'000'000;
+    spec.worker_threads = workers;
+    if (workers != 1) spec.lockstep_stride = 32'768;
+    return spec;
+  };
+
+  std::printf("fleet: %zu devices, %u MSDUs per active mode, seed %llu, %d reps\n\n",
+              n_devices, msdus, static_cast<unsigned long long>(kSeed), reps);
+
+  // ---- Correctness gates ----
+  const FleetStats batched = ScenarioEngine(make_spec(1)).run();
+  const FleetStats repeat = ScenarioEngine(make_spec(1)).run();
+  const FleetStats legacy = ScenarioEngine(make_spec(1)).run(ScenarioEngine::Path::kLegacy);
+
+  std::printf("%s\n", batched.report().c_str());
+
+  if (batched.full_digest() != repeat.full_digest() ||
+      batched.report() != repeat.report()) {
+    std::printf("DETERMINISM FAILURE: two batched runs with the same seed diverged\n");
+    return 1;
+  }
+  std::printf("determinism: two batched runs byte-identical (digest %016llx)\n",
+              static_cast<unsigned long long>(batched.full_digest()));
+
+  if (batched.completion_digest() != legacy.completion_digest()) {
+    std::printf("PATH MISMATCH: batched and legacy completed different work\n");
+    return 1;
+  }
+  if (!batched.all_drained || !legacy.all_drained) {
+    std::printf("BUDGET EXHAUSTED before the fleet drained\n");
+    return 1;
+  }
+  std::printf("equivalence: batched and legacy completion digests match\n");
+
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  if (cores > 1) {
+    const FleetStats parallel = ScenarioEngine(make_spec(0)).run();
+    if (parallel.completion_digest() != batched.completion_digest()) {
+      std::printf("PARALLEL MISMATCH: worker-thread run diverged from serial\n");
+      return 1;
+    }
+    std::printf("parallel:    %u-worker batched run matches serial digests\n", cores);
+  }
+
+  // ---- Throughput: alternating reps, median per path ----
+  std::vector<double> batched_rates, legacy_rates, parallel_rates;
+  for (int r = 0; r < reps; ++r) {
+    batched_rates.push_back(ScenarioEngine(make_spec(1)).run().device_cycles_per_sec());
+    legacy_rates.push_back(ScenarioEngine(make_spec(1))
+                               .run(ScenarioEngine::Path::kLegacy)
+                               .device_cycles_per_sec());
+    if (cores > 1) {
+      parallel_rates.push_back(ScenarioEngine(make_spec(0)).run().device_cycles_per_sec());
+    }
+  }
+  const double batched_rate = median(batched_rates);
+  const double legacy_rate = median(legacy_rates);
+  std::printf("\nthroughput (simulated device-cycles / host second, median of %d):\n",
+              reps);
+  std::printf("  batched lockstep   : %12.3e\n", batched_rate);
+  std::printf("  legacy per-device  : %12.3e\n", legacy_rate);
+  if (!parallel_rates.empty()) {
+    std::printf("  batched x%-2u workers: %12.3e\n", cores, median(parallel_rates));
+  }
+  if (legacy_rate > 0.0) {
+    std::printf("  serial speedup     : %.3fx%s\n", batched_rate / legacy_rate,
+                batched_rate >= legacy_rate * 0.97 ? "" : "  [SLOWER THAN LEGACY]");
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fleet demo: six DRMP devices time-sharing their MAC processors across
+// WiFi / WiMAX / UWB with heterogeneous traffic mixes, advanced in lockstep
+// by the batched multi-device scheduler, over channels that corrupt frames
+// on the air.
+//
+//   $ ./fleet_demo
+#include <cstdio>
+
+#include "scenario/scenario_engine.hpp"
+
+int main() {
+  using namespace drmp;
+
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::mixed_three_standard(/*n_devices=*/6, /*seed=*/1,
+                                                   /*msdus_per_mode=*/3);
+
+  std::printf("running '%s': %zu devices, lossy WiFi (%u permille) and UWB "
+              "(%u permille) bands...\n\n",
+              spec.name.c_str(), spec.devices.size(), spec.channel[0].loss_permille,
+              spec.channel[2].loss_permille);
+
+  scenario::ScenarioEngine engine(std::move(spec));
+  const scenario::FleetStats fs = engine.run();
+
+  std::printf("%s\n", fs.report().c_str());
+  std::printf("fleet ran %llu device-cycles in %.3f s (%.2f M device-cycles/s)\n",
+              static_cast<unsigned long long>(fs.device_cycles_total()), fs.wall_seconds,
+              fs.device_cycles_per_sec() / 1e6);
+  std::printf("\nEvery device kept its own scheduler, memories and IRC; the fleet\n"
+              "advanced in lockstep strides with per-device early exit - the\n"
+              "many-device axis of the ROADMAP north star.\n");
+  return fs.all_drained ? 0 : 1;
+}

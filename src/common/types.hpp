@@ -46,6 +46,16 @@ inline const char* to_string(Mode m) noexcept {
   return "?";
 }
 
+/// splitmix64 step: advances `state` and returns the next value. The
+/// simulation's only PRNG primitive outside the backoff LFSR — seeded per
+/// (scenario, device, mode) it makes every fleet run bit-reproducible.
+inline u64 splitmix64(u64& state) noexcept {
+  u64 z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 /// Number of 32-bit words needed to hold n bytes.
 constexpr std::size_t words_for_bytes(std::size_t n) noexcept { return (n + 3) / 4; }
 

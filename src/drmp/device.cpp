@@ -1,6 +1,7 @@
 #include "drmp/device.hpp"
 
 #include <cassert>
+#include <cmath>
 
 #include "mac/uwb_ctrl.hpp"
 #include "mac/wifi_ctrl.hpp"
@@ -47,6 +48,42 @@ DrmpConfig DrmpConfig::standard_three_mode() {
     m.ident.frag_threshold = 1024;
     m.key = {0x55, 0x77, 0x62, 0x4B, 0x65, 0x79, 0x21, 0x21,
              0x55, 0x77, 0x62, 0x4B, 0x65, 0x79, 0x21, 0x21};
+  }
+  return c;
+}
+
+DrmpConfig DrmpConfig::for_station(int station_id) const {
+  assert(station_id >= 1 && "fleet station ids start at 1");
+  DrmpConfig c = *this;
+  const u64 sid = static_cast<u64>(station_id);
+  c.backoff_seed = static_cast<u16>((backoff_seed ^ (0x9E37u * sid)) | 1u);
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    auto& ident = c.modes[i].ident;
+    if (!c.modes[i].enabled) continue;
+    switch (ident.proto) {
+      case mac::Protocol::WiFi:
+        // Locally-administered unicast addresses, one lab per station.
+        ident.self_addr = 0x0200'00'00'00'00ull | (sid << 8) | 0x01;
+        ident.peer_addr = 0x0200'00'00'00'00ull | (sid << 8) | 0x02;
+        break;
+      case mac::Protocol::Uwb:
+        ident.pnid = static_cast<u16>(0xB000u + sid);
+        ident.dev_id = 1;
+        ident.peer_dev_id = 2;
+        break;
+      case mac::Protocol::WiMax:
+        ident.basic_cid = static_cast<u16>(0x1000u + sid);
+        break;
+    }
+    if (ident.tdma_period_us > 0.0) {
+      // Stagger slot allocations across stations inside the period: 16
+      // slots of period/16, so fleets of up to 16 stations that do share a
+      // medium keep disjoint allocations (slots wrap beyond that).
+      const double step = ident.tdma_period_us / 16.0;
+      const double slot = static_cast<double>((sid - 1) % 16);
+      ident.tdma_offset_us = std::fmod(ident.tdma_offset_us + slot * step,
+                                       ident.tdma_period_us);
+    }
   }
   return c;
 }

@@ -59,6 +59,13 @@ struct DrmpConfig {
   /// The thesis prototype assignment: mode A = WiFi, B = WiMAX, C = UWB,
   /// with era-typical parameters.
   static DrmpConfig standard_three_mode();
+
+  /// Derives the per-station variant of this config for fleet simulations:
+  /// unique medium identities (WiFi MAC addresses, UWB piconet/device ids,
+  /// WiMAX CIDs), a decorrelated backoff PRNG seed, and staggered TDMA
+  /// allocations, all as pure functions of `station_id` so a fleet of any
+  /// size is reproducible. `station_id` must be >= 1.
+  DrmpConfig for_station(int station_id) const;
 };
 
 class DrmpDevice {

@@ -1,0 +1,95 @@
+#include "mac/traffic_gen.hpp"
+
+#include <algorithm>
+
+namespace drmp::mac {
+
+const char* to_string(TrafficPattern p) noexcept {
+  switch (p) {
+    case TrafficPattern::kCsmaBursts: return "csma-bursts";
+    case TrafficPattern::kSlottedStream: return "slotted-stream";
+    case TrafficPattern::kFramedUplink: return "framed-uplink";
+  }
+  return "?";
+}
+
+TrafficSpec TrafficSpec::wifi_csma_bursts(u32 count) {
+  TrafficSpec s;
+  s.enabled = true;
+  s.pattern = TrafficPattern::kCsmaBursts;
+  s.msdu_count = count;
+  s.msdu_min_bytes = 256;
+  s.msdu_max_bytes = 1200;
+  s.start_us = 100.0;
+  s.interval_us = 1500.0;
+  s.burst_len = 2;
+  s.max_inflight = 2;
+  return s;
+}
+
+TrafficSpec TrafficSpec::uwb_slotted_stream(u32 count) {
+  TrafficSpec s;
+  s.enabled = true;
+  s.pattern = TrafficPattern::kSlottedStream;
+  s.msdu_count = count;
+  s.msdu_min_bytes = 512;
+  s.msdu_max_bytes = 768;
+  s.start_us = 200.0;
+  s.interval_us = 2000.0;  // One MSDU per CTA slot period.
+  s.burst_len = 1;
+  s.max_inflight = 1;  // Isochronous: next sample waits for the slot.
+  return s;
+}
+
+TrafficSpec TrafficSpec::wimax_framed_uplink(u32 count) {
+  TrafficSpec s;
+  s.enabled = true;
+  s.pattern = TrafficPattern::kFramedUplink;
+  s.msdu_count = count;
+  s.msdu_min_bytes = 256;
+  s.msdu_max_bytes = 640;
+  s.start_us = 150.0;
+  s.interval_us = 2000.0;  // One MSDU per TDD frame.
+  s.burst_len = 1;
+  s.max_inflight = 2;
+  return s;
+}
+
+TrafficGen::TrafficGen(TrafficSpec spec, const sim::TimeBase& tb, u64 seed)
+    : spec_(spec),
+      next_event_(tb.us_to_cycles(spec.start_us)),
+      interval_cycles_(std::max<Cycle>(1, tb.us_to_cycles(spec.interval_us))),
+      rng_state_(seed) {}
+
+u64 TrafficGen::next_rand() noexcept { return splitmix64(rng_state_); }
+
+Bytes TrafficGen::make_payload() {
+  const u32 lo = std::min(spec_.msdu_min_bytes, spec_.msdu_max_bytes);
+  const u32 hi = std::max(spec_.msdu_min_bytes, spec_.msdu_max_bytes);
+  const u32 size = lo + static_cast<u32>(next_rand() % (hi - lo + 1));
+  Bytes b(size);
+  u64 fill = 0;  // Drawn on the first iteration.
+  for (u32 i = 0; i < size; ++i) {
+    if (i % 8 == 0) fill = next_rand();
+    b[i] = static_cast<u8>(fill >> (8 * (i % 8)));
+  }
+  return b;
+}
+
+void TrafficGen::tick() {
+  const Cycle t = now_++;
+  if (!spec_.enabled || exhausted() || t < next_event_) return;
+  next_event_ = t + interval_cycles_;
+  const u32 want = spec_.pattern == TrafficPattern::kCsmaBursts ? spec_.burst_len : 1;
+  const u32 inflight = offered_ - completed_;
+  const u32 room = spec_.max_inflight > inflight ? spec_.max_inflight - inflight : 0;
+  u32 n = std::min({want, spec_.msdu_count - offered_, room});
+  while (n-- > 0) {
+    Bytes payload = make_payload();
+    offered_bytes_ += payload.size();
+    ++offered_;
+    send(std::move(payload));
+  }
+}
+
+}  // namespace drmp::mac

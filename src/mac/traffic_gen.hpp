@@ -1,0 +1,86 @@
+// Per-standard traffic generators for multi-device scenario runs.
+//
+// One TrafficGen drives one protocol mode of one device with the offered-load
+// shape that standard sees in practice:
+//   * kCsmaBursts    — WiFi: bursts of MSDUs arriving together (web-page
+//                      style traffic), contended onto the medium by CSMA/CA.
+//   * kSlottedStream — UWB: an isochronous stream, one MSDU per CTA slot
+//                      period (the thesis's media-streaming use case).
+//   * kFramedUplink  — WiMAX: one uplink MSDU per TDD frame period.
+//
+// The generator is a Clockable registered in the device's scheduler, so
+// arrival times are deterministic simulated time, not host time. Payload
+// sizes and contents come from a splitmix64 PRNG seeded per (scenario,
+// device, mode), making every scenario run bit-reproducible. Completions are
+// fed back via notify_tx_complete() and gate new arrivals (max_inflight), so
+// an overloaded device backpressures the source instead of growing its MSDU
+// queue without bound.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "sim/clock.hpp"
+#include "sim/scheduler.hpp"
+
+namespace drmp::mac {
+
+enum class TrafficPattern : u8 { kCsmaBursts, kSlottedStream, kFramedUplink };
+
+const char* to_string(TrafficPattern p) noexcept;
+
+struct TrafficSpec {
+  bool enabled = false;
+  TrafficPattern pattern = TrafficPattern::kCsmaBursts;
+  u32 msdu_count = 0;        ///< Total MSDUs this generator offers.
+  u32 msdu_min_bytes = 128;  ///< Payload size range (inclusive).
+  u32 msdu_max_bytes = 1024;
+  double start_us = 100.0;      ///< First arrival.
+  double interval_us = 2000.0;  ///< Burst interval / slot period / frame period.
+  u32 burst_len = 2;            ///< MSDUs per arrival event (kCsmaBursts only).
+  u32 max_inflight = 2;         ///< Offered-but-uncompleted bound (backpressure).
+
+  /// Era-typical shapes for the three prototype standards.
+  static TrafficSpec wifi_csma_bursts(u32 count);
+  static TrafficSpec uwb_slotted_stream(u32 count);
+  static TrafficSpec wimax_framed_uplink(u32 count);
+};
+
+class TrafficGen : public sim::Clockable {
+ public:
+  TrafficGen(TrafficSpec spec, const sim::TimeBase& tb, u64 seed);
+
+  /// Wired to DrmpDevice::host_send for this generator's mode.
+  std::function<void(Bytes)> send;
+
+  /// Call from the device's on_tx_complete for this mode.
+  void notify_tx_complete() noexcept { ++completed_; }
+
+  void tick() override;
+
+  u32 offered() const noexcept { return offered_; }
+  u32 completed() const noexcept { return completed_; }
+  u64 offered_bytes() const noexcept { return offered_bytes_; }
+  /// All MSDUs offered.
+  bool exhausted() const noexcept { return offered_ >= spec_.msdu_count; }
+  /// All MSDUs offered and every one of them reported complete — the
+  /// early-exit predicate for fleet lanes.
+  bool drained() const noexcept { return exhausted() && completed_ >= offered_; }
+
+  const TrafficSpec& spec() const noexcept { return spec_; }
+
+ private:
+  u64 next_rand() noexcept;
+  Bytes make_payload();
+
+  TrafficSpec spec_;
+  Cycle now_ = 0;
+  Cycle next_event_;
+  Cycle interval_cycles_;
+  u32 offered_ = 0;
+  u32 completed_ = 0;
+  u64 offered_bytes_ = 0;
+  u64 rng_state_;
+};
+
+}  // namespace drmp::mac

@@ -1,0 +1,76 @@
+#include "scenario/fleet_stats.hpp"
+
+#include <cstdio>
+
+namespace drmp::scenario {
+
+void DeviceStats::mix_completion(sim::Digest& d) const {
+  d.mix(static_cast<u64>(station_id));
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    d.mix(offered[i]).mix(offered_bytes[i]).mix(completed[i]).mix(tx_ok[i]).mix(
+        retries[i]);
+  }
+}
+
+void DeviceStats::mix_full(sim::Digest& d) const {
+  mix_completion(d);
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    d.mix(peer_rx[i]).mix(peer_acks[i]).mix(tampered[i]);
+  }
+  d.mix(cycles_run);
+}
+
+u64 FleetStats::device_cycles_total() const {
+  u64 total = 0;
+  for (const DeviceStats& ds : devices) total += ds.cycles_run;
+  return total;
+}
+
+double FleetStats::device_cycles_per_sec() const {
+  if (wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(device_cycles_total()) / wall_seconds;
+}
+
+u64 FleetStats::completion_digest() const {
+  sim::Digest d;
+  for (const DeviceStats& ds : devices) ds.mix_completion(d);
+  return d.value();
+}
+
+u64 FleetStats::full_digest() const {
+  sim::Digest d;
+  for (const DeviceStats& ds : devices) ds.mix_full(d);
+  d.mix(lockstep_cycles).mix(all_drained ? 1 : 0);
+  return d.value();
+}
+
+std::string FleetStats::report() const {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof(line), "scenario %s: %zu devices, %llu lockstep cycles%s\n",
+                scenario_name.c_str(), devices.size(),
+                static_cast<unsigned long long>(lockstep_cycles),
+                all_drained ? "" : " [BUDGET EXHAUSTED]");
+  out += line;
+  out += "  dev mode offered  bytes complete  ok retries peer_rx  acks tampered\n";
+  for (const DeviceStats& ds : devices) {
+    for (std::size_t i = 0; i < kNumModes; ++i) {
+      if (ds.offered[i] == 0 && ds.completed[i] == 0 && ds.peer_rx[i] == 0) continue;
+      std::snprintf(line, sizeof(line),
+                    "  %3d    %c %7u %6llu %8u %3u %7llu %7u %5llu %8llu\n",
+                    ds.station_id, "ABC"[i], ds.offered[i],
+                    static_cast<unsigned long long>(ds.offered_bytes[i]), ds.completed[i],
+                    ds.tx_ok[i], static_cast<unsigned long long>(ds.retries[i]),
+                    ds.peer_rx[i], static_cast<unsigned long long>(ds.peer_acks[i]),
+                    static_cast<unsigned long long>(ds.tampered[i]));
+      out += line;
+    }
+  }
+  std::snprintf(line, sizeof(line), "  digests: completion=%016llx full=%016llx\n",
+                static_cast<unsigned long long>(completion_digest()),
+                static_cast<unsigned long long>(full_digest()));
+  out += line;
+  return out;
+}
+
+}  // namespace drmp::scenario

@@ -1,0 +1,58 @@
+// Aggregate statistics of one fleet scenario run.
+//
+// Two digests with different stability contracts:
+//   * completion_digest() covers only counters coupled to MSDU completion
+//     (offered/completed/ok/retries/bytes). These are invariant to *when* a
+//     lane's clock stops after its workload drains, so the batched lockstep
+//     path (which overshoots a drained lane by up to stride-1 cycles) and the
+//     legacy per-cycle path produce equal completion digests.
+//   * full_digest() additionally covers delivery/peer/channel counters and
+//     per-lane cycle counts — everything. Equal specs through the same
+//     execution path must produce equal full digests; that is the
+//     determinism contract the tests pin down.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/stats.hpp"
+
+namespace drmp::scenario {
+
+struct DeviceStats {
+  int station_id = 0;
+  std::array<u32, kNumModes> offered{};    ///< MSDUs the traffic gen handed over.
+  std::array<u64, kNumModes> offered_bytes{};
+  std::array<u32, kNumModes> completed{};  ///< on_tx_complete callbacks.
+  std::array<u32, kNumModes> tx_ok{};      ///< ... of which successful.
+  std::array<u64, kNumModes> retries{};    ///< Summed per-MSDU retry counts.
+  std::array<u32, kNumModes> peer_rx{};    ///< Data frames the peer accepted.
+  std::array<u64, kNumModes> peer_acks{};  ///< ACK/Imm-ACK frames the peer sent.
+  std::array<u64, kNumModes> tampered{};   ///< Frames the channel corrupted.
+  Cycle cycles_run = 0;
+
+  void mix_completion(sim::Digest& d) const;
+  void mix_full(sim::Digest& d) const;
+};
+
+struct FleetStats {
+  std::string scenario_name;
+  std::vector<DeviceStats> devices;
+  Cycle lockstep_cycles = 0;  ///< Fleet-clock cycles (max over lanes).
+  bool all_drained = false;   ///< Every device finished its workload.
+  double wall_seconds = 0.0;  ///< Host time; never part of a digest.
+
+  u64 device_cycles_total() const;
+  /// Fleet throughput: simulated device-cycles per host second.
+  double device_cycles_per_sec() const;
+
+  u64 completion_digest() const;
+  u64 full_digest() const;
+
+  /// Deterministic multi-line table (no wall-clock content).
+  std::string report() const;
+};
+
+}  // namespace drmp::scenario

@@ -1,0 +1,59 @@
+// ScenarioEngine — turns a ScenarioSpec into a running multi-device fleet.
+//
+// Every device is one *cell*: its own Scheduler (clock domain), its own
+// protocol media with a ScriptedPeer at the far end, a full DrmpDevice, and
+// one TrafficGen per enabled mode. Cells are fully independent — separate
+// packet memories, IRCs, statistics and PRNG streams — so cross-device
+// isolation holds by construction and a device's results do not depend on
+// fleet size. The shared lossy-channel model (ScenarioSpec::channel) is
+// applied to every cell's media through the Medium fault injector, with the
+// corruption PRNG seeded per (scenario seed, device, mode).
+//
+// Two execution paths over the same cells:
+//   * Path::kBatched — MultiScheduler lockstep over Scheduler::
+//     run_cycles_batched with per-cell drained() early-exit predicates
+//     evaluated once per stride. The fleet hot path.
+//   * Path::kLegacy  — each cell in sequence through Scheduler::run_until,
+//     predicate evaluated every cycle. The baseline the bench compares
+//     against.
+// Both paths complete the same workload; completion-coupled statistics are
+// path-invariant (see fleet_stats.hpp).
+#pragma once
+
+#include <memory>
+
+#include "drmp/device.hpp"
+#include "phy/channel.hpp"
+#include "scenario/fleet_stats.hpp"
+#include "scenario/scenario_spec.hpp"
+
+namespace drmp::scenario {
+
+class ScenarioEngine {
+ public:
+  enum class Path { kBatched, kLegacy };
+
+  explicit ScenarioEngine(ScenarioSpec spec);
+  ~ScenarioEngine();
+
+  /// Runs the scenario to completion (or budget exhaustion). One-shot.
+  FleetStats run(Path path = Path::kBatched);
+
+  const ScenarioSpec& spec() const noexcept { return spec_; }
+  std::size_t device_count() const noexcept { return cells_.size(); }
+  DrmpDevice& device(std::size_t i);
+  sim::Scheduler& scheduler(std::size_t i);
+
+ private:
+  struct Cell;
+
+  void build_cell(std::size_t dev_index);
+  static bool cell_drained(const Cell& cell);
+  FleetStats collect(Cycle lockstep_cycles, bool all_drained, double wall_seconds) const;
+
+  ScenarioSpec spec_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+  bool ran_ = false;
+};
+
+}  // namespace drmp::scenario

@@ -1,0 +1,44 @@
+#include "scenario/scenario_spec.hpp"
+
+namespace drmp::scenario {
+
+ScenarioSpec ScenarioSpec::mixed_three_standard(std::size_t n_devices, u64 seed,
+                                                u32 msdus_per_mode) {
+  ScenarioSpec spec;
+  spec.name = "mixed-three-standard-" + std::to_string(n_devices);
+  spec.seed = seed;
+
+  // WiFi contends per-frame, so it tolerates loss; UWB retries inside its
+  // slots; WiMAX recovery is ARQ-feedback-driven, keep its band clean here.
+  spec.channel[0] = ChannelSpec{/*loss_permille=*/120, /*min_frame_bytes=*/64};
+  spec.channel[2] = ChannelSpec{/*loss_permille=*/60, /*min_frame_bytes=*/64};
+
+  DrmpConfig base = DrmpConfig::standard_three_mode();
+  // Tighter TDD frame / superframe than the thesis defaults (5 ms / 8 ms):
+  // fleet runs spend their cycles on MAC work instead of idle slot waits.
+  base.modes[1].ident.tdma_period_us = 2000.0;
+  base.modes[2].ident.tdma_period_us = 2000.0;
+
+  spec.devices.reserve(n_devices);
+  for (std::size_t i = 0; i < n_devices; ++i) {
+    DeviceSpec d;
+    d.cfg = base.for_station(static_cast<int>(i) + 1);
+    // Heterogeneous mix: WiFi everywhere, UWB on even stations, WiMAX on two
+    // of every three.
+    d.traffic[0] = mac::TrafficSpec::wifi_csma_bursts(msdus_per_mode);
+    if (i % 2 == 0) {
+      d.traffic[2] = mac::TrafficSpec::uwb_slotted_stream(msdus_per_mode);
+    } else {
+      d.cfg.modes[2].enabled = false;
+    }
+    if (i % 3 != 2) {
+      d.traffic[1] = mac::TrafficSpec::wimax_framed_uplink(msdus_per_mode);
+    } else {
+      d.cfg.modes[1].enabled = false;
+    }
+    spec.devices.push_back(std::move(d));
+  }
+  return spec;
+}
+
+}  // namespace drmp::scenario

@@ -1,0 +1,71 @@
+// Declarative scenario descriptions for multi-device fleet simulation.
+//
+// A ScenarioSpec is a plain value: N device specs (full DRMP configuration
+// plus a per-mode traffic shape), a shared lossy-channel model, a seed and a
+// cycle budget. The ScenarioEngine turns one into a running fleet; two
+// engines built from equal specs produce byte-identical aggregate statistics.
+//
+// Field reference (also recorded in ROADMAP.md):
+//   ScenarioSpec.name            — label used in reports.
+//   ScenarioSpec.seed            — master seed; every PRNG in the run (traffic
+//                                  sizes/contents, channel corruption) derives
+//                                  from (seed, device index, mode).
+//   ScenarioSpec.max_cycles      — per-device cycle budget.
+//   ScenarioSpec.lockstep_stride — MultiScheduler lockstep granularity.
+//   ScenarioSpec.channel[mode]   — shared channel model applied to that
+//                                  protocol band on every device.
+//   ScenarioSpec.devices[i]      — one DRMP device: its DrmpConfig (use
+//                                  DrmpConfig::for_station for unique fleet
+//                                  identities) and one TrafficSpec per mode.
+//   ChannelSpec.loss_permille    — per-frame corruption probability (‰).
+//   ChannelSpec.min_frame_bytes  — frames below this size fly clean, so short
+//                                  control responses (ACK/CTS) are not hit.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "drmp/device.hpp"
+#include "mac/traffic_gen.hpp"
+#include "sim/multi_scheduler.hpp"
+
+namespace drmp::scenario {
+
+/// Lossy-channel model for one protocol band, shared fleet-wide.
+struct ChannelSpec {
+  u32 loss_permille = 0;  ///< Chance a data-sized frame is corrupted on air.
+  std::size_t min_frame_bytes = 64;  ///< Control frames stay clean below this.
+};
+
+/// One DRMP device in the fleet and the traffic offered to it.
+struct DeviceSpec {
+  DrmpConfig cfg = DrmpConfig::standard_three_mode();
+  std::array<mac::TrafficSpec, kNumModes> traffic{};
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  u64 seed = 1;
+  Cycle max_cycles = 40'000'000;
+  Cycle lockstep_stride = sim::MultiScheduler::kDefaultStride;
+  /// Worker threads for the batched path. 1 = serial (the default, and the
+  /// reference for bit-identical digests — parallel runs match it exactly);
+  /// 0 = one per hardware core. Workers persist across lockstep rounds;
+  /// larger strides still amortise the per-round wakeup on small fleets.
+  unsigned worker_threads = 1;
+  std::array<ChannelSpec, kNumModes> channel{};
+  std::vector<DeviceSpec> devices;
+
+  /// The canonical fleet workload: n devices with heterogeneous traffic
+  /// mixes over all three prototype standards — every device carries WiFi
+  /// CSMA bursts, every second a UWB slotted stream, and two of every three
+  /// a WiMAX framed uplink — over a lossy WiFi/UWB channel. TDD/superframe
+  /// periods are tightened versus the thesis defaults so a fleet run stays
+  /// in the millions-of-cycles range.
+  static ScenarioSpec mixed_three_standard(std::size_t n_devices, u64 seed = 1,
+                                           u32 msdus_per_mode = 3);
+};
+
+}  // namespace drmp::scenario

@@ -1,0 +1,116 @@
+#include "sim/multi_scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <thread>
+
+namespace drmp::sim {
+
+std::size_t MultiScheduler::add(Scheduler& sched, DonePredicate done) {
+  lanes_.push_back(Lane{&sched, std::move(done)});
+  return lanes_.size() - 1;
+}
+
+namespace {
+
+/// Per-round shared state for the persistent worker pool. Workers park on
+/// `start` between rounds; the calling thread publishes chunk/active before
+/// releasing them and evaluates predicates alone after `end`.
+struct RoundState {
+  std::atomic<std::size_t> next{0};
+  Cycle chunk = 0;
+  bool stop = false;
+  const std::vector<std::size_t>* active = nullptr;
+};
+
+}  // namespace
+
+MultiScheduler::RunResult MultiScheduler::run(Cycle max_cycles, Cycle stride,
+                                              unsigned workers) {
+  if (stride == 0) stride = 1;
+  RunResult res;
+
+  // A lane can be born finished (empty workload) — honour that before the
+  // first stride so it never ticks at all.
+  std::vector<std::size_t> active;
+  active.reserve(lanes_.size());
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& lane = lanes_[i];
+    if (!lane.finished && lane.done && lane.done()) lane.finished = true;
+    if (!lane.finished) active.push_back(i);
+  }
+
+  const unsigned nthreads = static_cast<unsigned>(std::max<std::size_t>(
+      1, std::min<std::size_t>(std::max(1u, workers), active.size())));
+
+  RoundState round;
+  round.active = &active;
+  const auto run_lane = [&](std::size_t idx) {
+    lanes_[idx].sched->run_cycles_batched(round.chunk);
+    lanes_[idx].cycles_run += round.chunk;
+  };
+  const auto drain_queue = [&] {
+    for (;;) {
+      const std::size_t k = round.next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= round.active->size()) break;
+      run_lane((*round.active)[k]);
+    }
+  };
+
+  // Persistent pool: workers are spawned once and parked on a barrier
+  // between rounds, so per-round cost is a wakeup, not a thread launch.
+  std::barrier<> start(nthreads), end(nthreads);
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads > 0 ? nthreads - 1 : 0);
+  for (unsigned t = 1; t < nthreads; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        start.arrive_and_wait();
+        if (round.stop) break;
+        drain_queue();
+        end.arrive_and_wait();
+      }
+    });
+  }
+
+  while (res.cycles < max_cycles && !active.empty()) {
+    round.chunk = std::min<Cycle>(stride, max_cycles - res.cycles);
+    round.next.store(0, std::memory_order_relaxed);
+    if (pool.empty()) {
+      for (std::size_t idx : active) run_lane(idx);
+    } else {
+      start.arrive_and_wait();
+      drain_queue();
+      end.arrive_and_wait();
+    }
+    res.cycles += round.chunk;
+    // Retire lanes whose predicate fired this stride (calling thread only —
+    // workers are parked on the barrier here).
+    std::size_t kept = 0;
+    for (std::size_t idx : active) {
+      Lane& lane = lanes_[idx];
+      if (lane.done && lane.done()) {
+        lane.finished = true;
+      } else {
+        active[kept++] = idx;
+      }
+    }
+    active.resize(kept);
+  }
+
+  if (!pool.empty()) {
+    round.stop = true;
+    start.arrive_and_wait();
+    for (std::thread& t : pool) t.join();
+  }
+
+  res.all_finished = true;
+  for (const Lane& lane : lanes_) {
+    if (lane.finished) ++res.lanes_finished;
+    if (lane.done && !lane.finished) res.all_finished = false;
+  }
+  return res;
+}
+
+}  // namespace drmp::sim

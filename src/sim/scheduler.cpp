@@ -1,16 +1,31 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace drmp::sim {
 
-void Scheduler::add(Clockable& c, std::string name) {
-  components_.push_back(&c);
+void Scheduler::add(Clockable& c, std::string name, int stage) {
+  entries_.push_back(Entry{&c, stage});
   names_.push_back(std::move(name));
+  batch_dirty_ = true;
+}
+
+void Scheduler::freeze() {
+  // Stable sort keeps registration order within a stage, so an all-default
+  // scheduler executes in exact registration order (the legacy contract).
+  std::vector<Entry> ordered = entries_;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Entry& a, const Entry& b) { return a.stage < b.stage; });
+  batch_.clear();
+  batch_.reserve(ordered.size());
+  for (const Entry& e : ordered) batch_.push_back(e.component);
+  batch_dirty_ = false;
 }
 
 void Scheduler::step() {
-  for (Clockable* c : components_) {
+  if (batch_dirty_) freeze();
+  for (Clockable* c : batch_) {
     c->tick();
   }
   ++now_;
@@ -19,6 +34,21 @@ void Scheduler::step() {
 void Scheduler::run_cycles(Cycle n) {
   for (Cycle i = 0; i < n; ++i) {
     step();
+  }
+}
+
+void Scheduler::run_cycles_batched(Cycle n) {
+  if (batch_dirty_) freeze();
+  // Hot path: the component array lives in locals. The member clock still
+  // advances every cycle so components that sample now() mid-tick observe
+  // the same values as under run_cycles.
+  Clockable* const* comps = batch_.data();
+  const std::size_t count = batch_.size();
+  for (Cycle i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < count; ++k) {
+      comps[k]->tick();
+    }
+    ++now_;
   }
 }
 

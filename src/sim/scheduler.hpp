@@ -3,9 +3,29 @@
 // The DRMP prototype was modelled in Simulink at "cycle-approximate"
 // abstraction (thesis Ch. 5). This kernel reproduces that abstraction: every
 // registered component exposes tick(), invoked once per architecture-clock
-// cycle in registration order. Components communicate through plain member
-// state sampled at tick boundaries; a fixed deterministic tick order replaces
+// cycle in a fixed deterministic order. Components communicate through plain
+// member state sampled at tick boundaries; the fixed tick order replaces
 // Simulink's dataflow ordering.
+//
+// Tick order is organised in *stages*: all components of a lower stage tick
+// before any component of a higher stage, and within a stage registration
+// order is preserved (stable sort). Every add() defaults to kStageDefault, so
+// a scheduler built without explicit stages ticks in exact registration order
+// — identical to the original single-vector kernel. Stages let fleet
+// assemblers (scenario engine, multi-device testbenches) express "media
+// before devices before observers" without depending on construction order.
+//
+// Two execution paths advance the clock:
+//   * run_cycles / run_until — the legacy per-cycle path; checks for new
+//     registrations every cycle and evaluates run_until's predicate every
+//     cycle.
+//   * run_cycles_batched — the hot path for fleet simulation: the component
+//     list is frozen into one contiguous stage-ordered array at entry and the
+//     inner loop touches nothing but that array and the cycle counter.
+//     Cycle-for-cycle identical to run_cycles — including now() as observed
+//     from inside a tick — provided no component is registered mid-run
+//     (components are only ever registered during construction in this code
+//     base).
 #pragma once
 
 #include <functional>
@@ -26,32 +46,55 @@ class Clockable {
 
 class Scheduler {
  public:
+  /// Stage of every add() that does not ask for one. Components that must
+  /// tick before the default population (shared media) use a negative stage;
+  /// pure observers (probes, traffic sinks) use a positive one.
+  static constexpr int kStageDefault = 0;
+  static constexpr int kStageMedium = -1;   ///< Shared media lead the cycle.
+  static constexpr int kStageObserver = 1;  ///< Probes sample the completed cycle.
+
   explicit Scheduler(Hz arch_freq) : timebase_(arch_freq) {}
 
-  /// Registers a component; tick order equals registration order.
-  void add(Clockable& c, std::string name);
+  /// Registers a component; tick order is (stage, registration order).
+  void add(Clockable& c, std::string name, int stage = kStageDefault);
 
-  /// Advances the simulation by n architecture cycles.
+  /// Advances the simulation by n architecture cycles (legacy path).
   void run_cycles(Cycle n);
 
+  /// Advances by n cycles over the frozen stage-ordered component array.
+  /// Produces the same state as run_cycles(n), cycle for cycle.
+  void run_cycles_batched(Cycle n);
+
   /// Runs until `done()` returns true or `max_cycles` elapse (whichever is
-  /// first). Returns true iff the predicate fired.
+  /// first). Returns true iff the predicate fired. The predicate is evaluated
+  /// before every cycle.
   bool run_until(const std::function<bool()>& done, Cycle max_cycles);
 
   Cycle now() const noexcept { return now_; }
   const TimeBase& timebase() const noexcept { return timebase_; }
   double now_us() const noexcept { return timebase_.cycles_to_us(now_); }
 
-  std::size_t component_count() const noexcept { return components_.size(); }
+  std::size_t component_count() const noexcept { return entries_.size(); }
+  /// Name / stage by registration index.
   const std::string& component_name(std::size_t i) const { return names_[i]; }
+  int component_stage(std::size_t i) const { return entries_[i].stage; }
 
  private:
   void step();
+  /// Rebuilds the contiguous stage-ordered execution array.
+  void freeze();
+
+  struct Entry {
+    Clockable* component;
+    int stage;
+  };
 
   TimeBase timebase_;
   Cycle now_ = 0;
-  std::vector<Clockable*> components_;
+  std::vector<Entry> entries_;  ///< Registration order.
   std::vector<std::string> names_;
+  std::vector<Clockable*> batch_;  ///< Stage-ordered, rebuilt when dirty.
+  bool batch_dirty_ = false;
 };
 
 }  // namespace drmp::sim

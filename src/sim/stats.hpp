@@ -80,6 +80,24 @@ class LatencyStats {
   std::vector<double> values_;
 };
 
+/// Order-sensitive FNV-1a accumulator over counter streams. The scenario
+/// engine folds every per-device counter into one of these, so "same seed =>
+/// byte-identical aggregate stats" collapses to a single u64 comparison.
+class Digest {
+ public:
+  Digest& mix(u64 v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xFF;
+      h_ *= 0x100000001B3ull;
+    }
+    return *this;
+  }
+  u64 value() const noexcept { return h_; }
+
+ private:
+  u64 h_ = 0xCBF29CE484222325ull;
+};
+
 /// Registry of named busy counters; entities register themselves so bench
 /// binaries can print the whole Table 5.1/5.2 row set generically.
 class StatsRegistry {

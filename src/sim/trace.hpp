@@ -28,6 +28,11 @@ class TraceChannel {
   /// Records `value` at `cycle` if it differs from the last recorded value.
   void record(Cycle cycle, i64 value);
 
+  /// A muted channel drops record() calls (fleet runs disable tracing so the
+  /// per-cycle hot path does no event-vector work).
+  void set_enabled(bool v) noexcept { enabled_ = v; }
+  bool enabled() const noexcept { return enabled_; }
+
   const std::vector<TraceEvent>& events() const noexcept { return events_; }
 
   /// Value of the channel at `cycle` (last change at or before it).
@@ -40,12 +45,19 @@ class TraceChannel {
  private:
   std::string name_;
   std::vector<TraceEvent> events_;
+  bool enabled_ = true;
 };
 
 class TraceRecorder {
  public:
   /// Returns (creating on first use) the channel with the given name.
   TraceChannel& channel(const std::string& name);
+
+  /// Mutes / unmutes every existing and future channel. Fleet simulations
+  /// disable their per-device recorders: with dozens of devices the trace
+  /// event vectors are pure overhead on the batched hot path.
+  void set_enabled(bool v);
+  bool enabled() const noexcept { return enabled_; }
 
   bool has_channel(const std::string& name) const { return channels_.count(name) != 0; }
 
@@ -65,6 +77,7 @@ class TraceRecorder {
 
  private:
   std::map<std::string, TraceChannel> channels_;
+  bool enabled_ = true;
 };
 
 }  // namespace drmp::sim

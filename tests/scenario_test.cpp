@@ -1,0 +1,177 @@
+// Scenario-engine tests: fleet determinism (same seed => byte-identical
+// aggregate stats), cross-device isolation (a device's results do not depend
+// on fleet size), batched-vs-legacy path equivalence, and traffic-generator
+// arrival shaping.
+#include <gtest/gtest.h>
+
+#include "mac/traffic_gen.hpp"
+#include "scenario/scenario_engine.hpp"
+#include "scenario/scenario_spec.hpp"
+
+namespace drmp::scenario {
+namespace {
+
+// Small fleet + small workload keeps each engine run in the low millions of
+// cycles; the full-size fleets live in bench_scenario_fleet.
+ScenarioSpec small_fleet(std::size_t n_devices, u64 seed) {
+  ScenarioSpec spec = ScenarioSpec::mixed_three_standard(n_devices, seed,
+                                                         /*msdus_per_mode=*/2);
+  spec.max_cycles = 30'000'000;
+  return spec;
+}
+
+TEST(Scenario, MixedFleetDrainsAllThreeStandards) {
+  ScenarioEngine engine(small_fleet(3, 7));
+  const FleetStats fs = engine.run();
+  ASSERT_EQ(fs.devices.size(), 3u);
+  EXPECT_TRUE(fs.all_drained);
+  std::array<u32, kNumModes> completed{};
+  for (const DeviceStats& ds : fs.devices) {
+    for (std::size_t m = 0; m < kNumModes; ++m) {
+      EXPECT_EQ(ds.completed[m], ds.offered[m]) << "device " << ds.station_id;
+      completed[m] += ds.completed[m];
+    }
+  }
+  // The heterogeneous mix exercises WiFi on all devices, WiMAX and UWB on
+  // subsets — but every standard sees traffic fleet-wide.
+  EXPECT_GT(completed[0], 0u);  // WiFi.
+  EXPECT_GT(completed[1], 0u);  // WiMAX.
+  EXPECT_GT(completed[2], 0u);  // UWB.
+}
+
+TEST(Scenario, SameSeedSameStats) {
+  const FleetStats a = ScenarioEngine(small_fleet(3, 42)).run();
+  const FleetStats b = ScenarioEngine(small_fleet(3, 42)).run();
+  EXPECT_EQ(a.full_digest(), b.full_digest());
+  EXPECT_EQ(a.report(), b.report());
+}
+
+TEST(Scenario, DifferentSeedDifferentStats) {
+  const FleetStats a = ScenarioEngine(small_fleet(3, 1)).run();
+  const FleetStats b = ScenarioEngine(small_fleet(3, 2)).run();
+  // Different seeds draw different MSDU sizes, so the offered-bytes counters
+  // (and hence the digests) must diverge.
+  EXPECT_NE(a.completion_digest(), b.completion_digest());
+}
+
+TEST(Scenario, CrossDeviceIsolation) {
+  // Device 1's complete statistics are identical whether it runs alone or
+  // inside a 4-device fleet: cells share nothing, and per-cell PRNG streams
+  // are seeded by device index, not fleet size.
+  const FleetStats solo = ScenarioEngine(small_fleet(1, 13)).run();
+  const FleetStats fleet = ScenarioEngine(small_fleet(4, 13)).run();
+  ASSERT_EQ(solo.devices.size(), 1u);
+  ASSERT_EQ(fleet.devices.size(), 4u);
+  sim::Digest ds, df;
+  solo.devices[0].mix_full(ds);
+  fleet.devices[0].mix_full(df);
+  EXPECT_EQ(ds.value(), df.value());
+}
+
+TEST(Scenario, BatchedAndLegacyPathsCompleteTheSameWork) {
+  const FleetStats batched = ScenarioEngine(small_fleet(2, 99)).run();
+  const FleetStats legacy =
+      ScenarioEngine(small_fleet(2, 99)).run(ScenarioEngine::Path::kLegacy);
+  EXPECT_TRUE(batched.all_drained);
+  EXPECT_TRUE(legacy.all_drained);
+  // Completion-coupled counters are invariant to where each lane's clock
+  // stops (the batched path overshoots a drained lane by < one stride).
+  EXPECT_EQ(batched.completion_digest(), legacy.completion_digest());
+}
+
+TEST(Scenario, WorkerThreadsMatchSerialDigests) {
+  // Parallel lockstep is a wall-clock optimisation only: a 4-worker fleet
+  // must produce the same bytes as the serial reference.
+  ScenarioSpec serial_spec = small_fleet(4, 21);
+  ScenarioSpec parallel_spec = small_fleet(4, 21);
+  parallel_spec.worker_threads = 4;
+  const FleetStats serial = ScenarioEngine(std::move(serial_spec)).run();
+  const FleetStats parallel = ScenarioEngine(std::move(parallel_spec)).run();
+  EXPECT_EQ(serial.full_digest(), parallel.full_digest());
+  EXPECT_EQ(serial.report(), parallel.report());
+}
+
+TEST(Scenario, LossyChannelForcesRetriesButEverythingCompletes) {
+  ScenarioSpec spec = small_fleet(2, 5);
+  spec.channel[0].loss_permille = 250;  // Brutal WiFi band.
+  const FleetStats fs = ScenarioEngine(spec).run();
+  EXPECT_TRUE(fs.all_drained);
+  u64 tampered = 0, retries = 0;
+  for (const DeviceStats& ds : fs.devices) {
+    tampered += ds.tampered[0];
+    retries += ds.retries[0];
+    EXPECT_EQ(ds.completed[0], ds.offered[0]);
+  }
+  EXPECT_GT(tampered, 0u);
+  EXPECT_GT(retries, 0u);
+}
+
+TEST(Scenario, CleanChannelDeliversEverythingFirstTry) {
+  ScenarioSpec spec = small_fleet(2, 5);
+  for (auto& ch : spec.channel) ch.loss_permille = 0;
+  const FleetStats fs = ScenarioEngine(spec).run();
+  EXPECT_TRUE(fs.all_drained);
+  for (const DeviceStats& ds : fs.devices) {
+    for (std::size_t m = 0; m < kNumModes; ++m) {
+      EXPECT_EQ(ds.tx_ok[m], ds.offered[m]) << "device " << ds.station_id;
+      EXPECT_EQ(ds.tampered[m], 0u);
+    }
+  }
+}
+
+TEST(Scenario, ReportListsEveryActiveDeviceMode) {
+  ScenarioEngine engine(small_fleet(2, 3));
+  const FleetStats fs = engine.run();
+  const std::string report = fs.report();
+  EXPECT_NE(report.find("mixed-three-standard-2"), std::string::npos);
+  EXPECT_NE(report.find("digests:"), std::string::npos);
+  EXPECT_EQ(report.find("BUDGET EXHAUSTED"), std::string::npos);
+}
+
+TEST(TrafficGen, SlottedStreamPacesArrivalsByInterval) {
+  sim::TimeBase tb(200e6);
+  mac::TrafficSpec spec = mac::TrafficSpec::uwb_slotted_stream(3);
+  spec.start_us = 10.0;
+  spec.interval_us = 20.0;
+  mac::TrafficGen gen(spec, tb, 1234);
+  std::vector<Cycle> arrivals;
+  Cycle now = 0;
+  sim::Scheduler s(200e6);
+  s.add(gen, "gen");
+  gen.send = [&](Bytes b) {
+    arrivals.push_back(now);
+    EXPECT_GE(b.size(), spec.msdu_min_bytes);
+    EXPECT_LE(b.size(), spec.msdu_max_bytes);
+    gen.notify_tx_complete();  // Instant completion: no backpressure.
+  };
+  for (; now < 20'000; ++now) s.run_cycles(1);
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], tb.us_to_cycles(10.0));
+  EXPECT_EQ(arrivals[1] - arrivals[0], tb.us_to_cycles(20.0));
+  EXPECT_EQ(arrivals[2] - arrivals[1], tb.us_to_cycles(20.0));
+  EXPECT_TRUE(gen.drained());
+}
+
+TEST(TrafficGen, BackpressureDefersArrivalsUntilCompletions) {
+  sim::TimeBase tb(200e6);
+  mac::TrafficSpec spec = mac::TrafficSpec::wifi_csma_bursts(6);
+  spec.start_us = 1.0;
+  spec.interval_us = 5.0;
+  spec.burst_len = 4;
+  spec.max_inflight = 2;
+  mac::TrafficGen gen(spec, tb, 77);
+  u32 sent = 0;
+  gen.send = [&](Bytes) { ++sent; };
+  sim::Scheduler s(200e6);
+  s.add(gen, "gen");
+  s.run_cycles(tb.us_to_cycles(3.0));
+  EXPECT_EQ(sent, 2u);  // Burst clamped to max_inflight.
+  gen.notify_tx_complete();
+  gen.notify_tx_complete();
+  s.run_cycles(tb.us_to_cycles(5.0));
+  EXPECT_EQ(sent, 4u);  // Next interval refills the window.
+  EXPECT_FALSE(gen.drained());
+}
+
+}  // namespace
+}  // namespace drmp::scenario

@@ -2,7 +2,11 @@
 // bookkeeping, statistics collectors.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "sim/clock.hpp"
+#include "sim/multi_scheduler.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
@@ -14,6 +18,17 @@ class Counter : public Clockable {
  public:
   void tick() override { ++ticks; }
   Cycle ticks = 0;
+};
+
+/// Appends its id to a shared log on every tick — pins down exact tick order.
+class OrderLogger : public Clockable {
+ public:
+  OrderLogger(std::vector<int>& log, int id) : log_(log), id_(id) {}
+  void tick() override { log_.push_back(id_); }
+
+ private:
+  std::vector<int>& log_;
+  int id_;
 };
 
 TEST(Scheduler, RunsRegisteredComponentsEveryCycle) {
@@ -41,6 +56,196 @@ TEST(Scheduler, RunUntilTimesOut) {
   s.add(a, "a");
   EXPECT_FALSE(s.run_until([&] { return false; }, 50));
   EXPECT_EQ(s.now(), 50u);
+}
+
+TEST(Scheduler, BatchedMatchesLegacyCycleForCycle) {
+  // Identical component populations through both execution paths must leave
+  // identical state: same tick sequence, same tick counts, same clock.
+  std::vector<int> legacy_log, batched_log;
+  Scheduler legacy(200e6), batched(200e6);
+  OrderLogger l0(legacy_log, 0), l1(legacy_log, 1), l2(legacy_log, 2);
+  OrderLogger b0(batched_log, 0), b1(batched_log, 1), b2(batched_log, 2);
+  legacy.add(l0, "a");
+  legacy.add(l1, "b");
+  legacy.add(l2, "c");
+  batched.add(b0, "a");
+  batched.add(b1, "b");
+  batched.add(b2, "c");
+  legacy.run_cycles(37);
+  batched.run_cycles_batched(37);
+  EXPECT_EQ(legacy.now(), batched.now());
+  EXPECT_EQ(legacy_log, batched_log);
+}
+
+TEST(Scheduler, StagesOverrideRegistrationOrderInBothPaths) {
+  // A medium-stage component registered last still ticks first; within a
+  // stage, registration order is preserved.
+  for (const bool use_batched : {false, true}) {
+    std::vector<int> log;
+    Scheduler s(200e6);
+    OrderLogger dev1(log, 1), dev2(log, 2), probe(log, 3), medium(log, 0);
+    s.add(dev1, "dev1");
+    s.add(probe, "probe", Scheduler::kStageObserver);
+    s.add(dev2, "dev2");
+    s.add(medium, "medium", Scheduler::kStageMedium);
+    if (use_batched) {
+      s.run_cycles_batched(2);
+    } else {
+      s.run_cycles(2);
+    }
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3}));
+    EXPECT_EQ(s.component_stage(1), Scheduler::kStageObserver);
+    EXPECT_EQ(s.component_stage(3), Scheduler::kStageMedium);
+    EXPECT_EQ(s.component_name(3), "medium");
+  }
+}
+
+TEST(Scheduler, BatchedAdvancesNowEveryCycleAsSeenFromTicks) {
+  // Components that sample now() mid-tick (latency bookkeeping does) must
+  // observe the same clock under both paths.
+  class NowSampler : public Clockable {
+   public:
+    explicit NowSampler(Scheduler& s) : s_(s) {}
+    void tick() override { seen.push_back(s_.now()); }
+    std::vector<Cycle> seen;
+
+   private:
+    Scheduler& s_;
+  };
+  Scheduler legacy(200e6), batched(200e6);
+  NowSampler nl(legacy), nb(batched);
+  legacy.add(nl, "n");
+  batched.add(nb, "n");
+  legacy.run_cycles(5);
+  batched.run_cycles_batched(5);
+  EXPECT_EQ(nl.seen, nb.seen);
+  EXPECT_EQ(nb.seen, (std::vector<Cycle>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, BatchedZeroCyclesIsANoop) {
+  Scheduler s(200e6);
+  Counter a;
+  s.add(a, "a");
+  s.run_cycles_batched(0);
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_EQ(a.ticks, 0u);
+}
+
+TEST(MultiScheduler, LockstepMatchesIndividualRuns) {
+  Scheduler s1(200e6), s2(200e6);
+  Counter a, b;
+  s1.add(a, "a");
+  s2.add(b, "b");
+  MultiScheduler multi;
+  multi.add(s1);
+  multi.add(s2);
+  const auto res = multi.run(10'000, /*stride=*/64);
+  EXPECT_EQ(res.cycles, 10'000u);
+  EXPECT_EQ(a.ticks, 10'000u);
+  EXPECT_EQ(b.ticks, 10'000u);
+  EXPECT_EQ(s1.now(), s2.now());
+  // Unpredicated lanes never "finish" but don't block all_finished.
+  EXPECT_TRUE(res.all_finished);
+  EXPECT_EQ(res.lanes_finished, 0u);
+}
+
+TEST(MultiScheduler, EarlyExitStopsALaneAtStrideGranularity) {
+  Scheduler s1(200e6), s2(200e6);
+  Counter a, b;
+  s1.add(a, "a");
+  s2.add(b, "b");
+  MultiScheduler multi;
+  multi.add(s1, [&] { return a.ticks >= 100; });  // Fires inside stride 1.
+  multi.add(s2, [&] { return b.ticks >= 5000; });
+  const auto res = multi.run(100'000, /*stride=*/256);
+  EXPECT_TRUE(res.all_finished);
+  EXPECT_EQ(res.lanes_finished, 2u);
+  // Lane 1 stopped at its first stride boundary after the predicate fired.
+  EXPECT_EQ(a.ticks, 256u);
+  EXPECT_TRUE(multi.lane_finished(0));
+  EXPECT_EQ(multi.lane_cycles(0), 256u);
+  // Lane 2 ran on without lane 1: 5000 rounded up to the stride boundary.
+  EXPECT_EQ(b.ticks, 5120u);
+  EXPECT_EQ(res.cycles, 5120u);
+}
+
+TEST(MultiScheduler, WorkerThreadsMatchSerialExactly) {
+  // Lanes are independent clock domains, so a 4-worker run must leave every
+  // lane in the same state as the serial run.
+  constexpr std::size_t kLanes = 6;
+  std::vector<std::unique_ptr<Scheduler>> serial_s, parallel_s;
+  std::vector<std::unique_ptr<Counter>> serial_c, parallel_c;
+  MultiScheduler serial, parallel;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    for (auto* side : {&serial_s, &parallel_s}) {
+      side->push_back(std::make_unique<Scheduler>(200e6));
+    }
+    serial_c.push_back(std::make_unique<Counter>());
+    parallel_c.push_back(std::make_unique<Counter>());
+    serial_s[i]->add(*serial_c[i], "c");
+    parallel_s[i]->add(*parallel_c[i], "c");
+    const Cycle target = 1000 + 700 * i;
+    Counter* sc = serial_c[i].get();
+    Counter* pc = parallel_c[i].get();
+    serial.add(*serial_s[i], [sc, target] { return sc->ticks >= target; });
+    parallel.add(*parallel_s[i], [pc, target] { return pc->ticks >= target; });
+  }
+  const auto rs = serial.run(100'000, 256, /*workers=*/1);
+  const auto rp = parallel.run(100'000, 256, /*workers=*/4);
+  EXPECT_EQ(rs.cycles, rp.cycles);
+  EXPECT_EQ(rs.lanes_finished, rp.lanes_finished);
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    EXPECT_EQ(serial_c[i]->ticks, parallel_c[i]->ticks) << "lane " << i;
+    EXPECT_EQ(serial.lane_cycles(i), parallel.lane_cycles(i)) << "lane " << i;
+  }
+}
+
+TEST(MultiScheduler, BudgetExhaustionReportsUnfinishedLanes) {
+  Scheduler s1(200e6);
+  Counter a;
+  s1.add(a, "a");
+  MultiScheduler multi;
+  multi.add(s1, [&] { return false; });
+  const auto res = multi.run(1000, /*stride=*/300);
+  EXPECT_FALSE(res.all_finished);
+  EXPECT_EQ(res.lanes_finished, 0u);
+  EXPECT_EQ(res.cycles, 1000u);  // Final partial stride honours the budget.
+  EXPECT_EQ(a.ticks, 1000u);
+}
+
+TEST(MultiScheduler, AlreadyDrainedLaneNeverTicks) {
+  Scheduler s1(200e6);
+  Counter a;
+  s1.add(a, "a");
+  MultiScheduler multi;
+  multi.add(s1, [] { return true; });
+  const auto res = multi.run(1000);
+  EXPECT_TRUE(res.all_finished);
+  EXPECT_EQ(a.ticks, 0u);
+  EXPECT_EQ(res.cycles, 0u);
+}
+
+TEST(Stats, DigestIsOrderSensitiveAndStable) {
+  Digest d1, d2, d3;
+  d1.mix(1).mix(2);
+  d2.mix(1).mix(2);
+  d3.mix(2).mix(1);
+  EXPECT_EQ(d1.value(), d2.value());
+  EXPECT_NE(d1.value(), d3.value());
+  EXPECT_NE(Digest{}.value(), d1.value());
+}
+
+TEST(Trace, DisabledRecorderDropsEventsUntilReenabled) {
+  TraceRecorder rec;
+  rec.channel("sig").record(0, 1);
+  rec.set_enabled(false);
+  rec.channel("sig").record(10, 2);    // Dropped: existing channel muted.
+  rec.channel("other").record(11, 7);  // Dropped: new channels inherit mute.
+  EXPECT_EQ(rec.channel("sig").events().size(), 1u);
+  EXPECT_EQ(rec.channel("other").events().size(), 0u);
+  rec.set_enabled(true);
+  rec.channel("sig").record(20, 3);
+  EXPECT_EQ(rec.channel("sig").events().size(), 2u);
 }
 
 TEST(TimeBase, CycleConversionsAt200MHz) {
