@@ -1,7 +1,10 @@
-// Fleet demo: six DRMP devices time-sharing their MAC processors across
-// WiFi / WiMAX / UWB with heterogeneous traffic mixes, advanced in lockstep
-// by the batched multi-device scheduler, over channels that corrupt frames
-// on the air.
+// Fleet demo: a heterogeneous fleet mixing both cell topologies — four DRMP
+// devices time-sharing their MAC processors across WiFi / WiMAX / UWB in
+// point-to-point cells, plus one shared-medium cell of four more stations
+// contending for a single WiFi channel (collisions, deferrals, capture) —
+// advanced in lockstep by the batched multi-device scheduler, over channels
+// that corrupt frames on the air. Per-device activity-weighted power
+// estimates close the loop to the paper's power argument.
 //
 //   $ ./fleet_demo
 #include <cstdio>
@@ -12,13 +15,21 @@ int main() {
   using namespace drmp;
 
   scenario::ScenarioSpec spec =
-      scenario::ScenarioSpec::mixed_three_standard(/*n_devices=*/6, /*seed=*/1,
+      scenario::ScenarioSpec::mixed_three_standard(/*n_devices=*/4, /*seed=*/1,
                                                    /*msdus_per_mode=*/3);
+  // Append one contended cell: four WiFi-only stations uplinking to a
+  // scripted access point on one shared medium.
+  scenario::ScenarioSpec contended =
+      scenario::ScenarioSpec::contended_wifi_cell(/*n_stations=*/4, /*seed=*/1,
+                                                  /*msdus_per_station=*/6);
+  spec.cells.push_back(std::move(contended.cells[0]));
+  spec.name = "mixed-fleet-with-contention";
+  spec.max_cycles = 120'000'000;
 
-  std::printf("running '%s': %zu devices, lossy WiFi (%u permille) and UWB "
-              "(%u permille) bands...\n\n",
-              spec.name.c_str(), spec.devices.size(), spec.channel[0].loss_permille,
-              spec.channel[2].loss_permille);
+  std::printf("running '%s': %zu stations in %zu cells, lossy WiFi (%u permille) "
+              "and UWB (%u permille) bands, one 4-station contended cell...\n\n",
+              spec.name.c_str(), spec.station_count(), spec.cells.size(),
+              spec.channel[0].loss_permille, spec.channel[2].loss_permille);
 
   scenario::ScenarioEngine engine(std::move(spec));
   const scenario::FleetStats fs = engine.run();
@@ -27,8 +38,10 @@ int main() {
   std::printf("fleet ran %llu device-cycles in %.3f s (%.2f M device-cycles/s)\n",
               static_cast<unsigned long long>(fs.device_cycles_total()), fs.wall_seconds,
               fs.device_cycles_per_sec() / 1e6);
-  std::printf("\nEvery device kept its own scheduler, memories and IRC; the fleet\n"
-              "advanced in lockstep strides with per-device early exit - the\n"
-              "many-device axis of the ROADMAP north star.\n");
+  std::printf("\nEvery cell kept its own scheduler; the shared-medium cell saw\n"
+              "%llu collisions and %llu CSMA deferrals — the contention workload\n"
+              "the DRMP's power-sensitive multi-standard design targets.\n",
+              static_cast<unsigned long long>(fs.total_collisions()),
+              static_cast<unsigned long long>(fs.total_defers()));
   return fs.all_drained ? 0 : 1;
 }

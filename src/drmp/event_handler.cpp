@@ -72,7 +72,14 @@ void EventHandler::evaluate_frame(Mode m) {
       const auto type = static_cast<mac::wifi::FrameType>(type_word >> 8);
       const auto subtype = static_cast<mac::wifi::Subtype>(type_word & 0xFF);
       if (type == mac::wifi::FrameType::Control && subtype == mac::wifi::Subtype::Ack) {
-        if (raise_irq) raise_irq(m, IrqEvent::RxAckInd, ctrl::kAckParamAck);
+        // Only an ACK addressed to this station completes its exchange — on
+        // a shared medium the point coordinator ACKs every station, and an
+        // unfiltered RxAckInd would falsely complete a bystander's frame.
+        const u64 ra = static_cast<u64>(status(m, CtrlWord::kDstLo)) |
+                       (static_cast<u64>(status(m, CtrlWord::kDstHi)) << 32);
+        if (ra == id.self_addr && raise_irq) {
+          raise_irq(m, IrqEvent::RxAckInd, ctrl::kAckParamAck);
+        }
         st_[index(m)] = St::Idle;  // Control frame: Rx page free immediately.
         return;
       }
@@ -165,7 +172,11 @@ void EventHandler::evaluate_frame(Mode m) {
     case mac::Protocol::Uwb: {
       const auto type = static_cast<mac::uwb::FrameType>(status(m, CtrlWord::kFrameType));
       if (type == mac::uwb::FrameType::ImmAck) {
-        if (raise_irq) raise_irq(m, IrqEvent::RxAckInd, 0);
+        // Same shared-medium filter as the WiFi ACK: an Imm-ACK names the
+        // station it acknowledges in its dest id.
+        if (status(m, CtrlWord::kDstLo) == id.dev_id && raise_irq) {
+          raise_irq(m, IrqEvent::RxAckInd, 0);
+        }
         st_[index(m)] = St::Idle;
         return;
       }

@@ -60,6 +60,11 @@ struct ModeIdentity {
   bool pcf_poll_mode = false;
   /// UWB: use the contention access period (CSMA) instead of a CTA slot.
   bool uwb_use_cap = false;
+  /// Stations this mode contends with on a shared medium (0 on a
+  /// point-to-point link). Widens the worst-case channel-access estimate in
+  /// the ACK/CTS timeout budgets: each contender may win the channel once —
+  /// access plus a full frame exchange — ahead of us per attempt.
+  u32 contenders = 0;
 };
 
 /// WiMAX ARQ-feedback frames are addressed to this reserved CID.

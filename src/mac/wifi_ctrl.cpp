@@ -179,6 +179,21 @@ bool WifiCtrl::use_rts() const {
   return env_.ident.rts_threshold != 0 && ps.psdu_size >= env_.ident.rts_threshold;
 }
 
+double WifiCtrl::contention_margin_us() const {
+  if (env_.ident.contenders == 0) return 0.0;
+  const auto t = mac::timing_for(mac::Protocol::WiFi);
+  // Per winning contender: its own access (DIFS + a fresh contention
+  // window), a maximum-length fragment on the air, and the SIFS + ACK that
+  // close its exchange.
+  const double max_air_us =
+      (static_cast<double>(env_.ident.frag_threshold) + 30.0 + 14.0) * 8.0 /
+      t.line_rate_bps * 1e6;
+  const double per_winner_us = t.difs_us +
+                               static_cast<double>(t.cw_min) * t.slot_us + max_air_us +
+                               t.sifs_us;
+  return static_cast<double>(env_.ident.contenders) * per_winner_us;
+}
+
 u32 WifiCtrl::send_rts() {
   // The RTS is pure header data, so the CPU may build it (Fig. 3.9: "The CPU
   // would however only access the header data"); it lands in the Scratch
@@ -239,7 +254,8 @@ u32 WifiCtrl::handle_req_done(u32 tag) {
             static_cast<double>(mac::wifi::kCtsBytes) * 8.0 / t.line_rate_bps * 1e6;
         u64 cw = (static_cast<u64>(t.cw_min) + 1) << std::min<u32>(ps.retry_count, 16);
         cw = std::min<u64>(cw - 1, t.cw_max);
-        const double access_us = t.difs_us + static_cast<double>(cw) * t.slot_us;
+        const double access_us =
+            t.difs_us + static_cast<double>(cw) * t.slot_us + contention_margin_us();
         const double timeout_us =
             access_us + rts_air_us + t.sifs_us + cts_air_us + t.ack_timeout_us;
         env_.cpu->set_timer(env_.mode, kCtsTimeoutTimer, env_.tb->us_to_cycles(timeout_us));
@@ -265,7 +281,8 @@ u32 WifiCtrl::handle_req_done(u32 tag) {
         const double air_us = mpdu_bytes * 8.0 / t.line_rate_bps * 1e6;
         u64 cw = (static_cast<u64>(t.cw_min) + 1) << std::min<u32>(ps.retry_count, 16);
         cw = std::min<u64>(cw - 1, t.cw_max);
-        const double access_us = t.difs_us + static_cast<double>(cw) * t.slot_us;
+        const double access_us =
+            t.difs_us + static_cast<double>(cw) * t.slot_us + contention_margin_us();
         const double ack_air_us = 14.0 * 8.0 / t.line_rate_bps * 1e6;
         const double timeout_us =
             access_us + air_us + t.sifs_us + ack_air_us + t.ack_timeout_us;

@@ -60,6 +60,10 @@ class WifiCtrl final : public ProtocolCtrl {
   u32 send_fragment(u32 frag_idx, bool retry);
   u32 send_rts();
   bool use_rts() const;
+  /// Extra worst-case access time on a shared medium: every contender may
+  /// win the channel — one access plus one full frame exchange — ahead of
+  /// this station per attempt. 0 on a point-to-point link.
+  double contention_margin_us() const;
   u32 send_fragment_pcf(u32 frag_idx, bool retry);
   u32 send_null_pcf();
   u32 handle_cf_poll(bool piggyback_ack);

@@ -1,0 +1,339 @@
+#include "net/cell.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "est/gates.hpp"
+#include "est/power.hpp"
+#include "mac/wifi_ctrl.hpp"
+
+namespace drmp::net {
+
+namespace {
+// Point-to-point peer ids live far above fleet station ids (which start at 1).
+constexpr int kPeerStationBase = 1000;
+// Shared-cell access points live above every peer.
+constexpr int kApSourceBase = 1 << 20;
+
+// Locally-administered WiFi address blocks: stations get (cell, station)
+// lab addresses, the cell AP a fixed host byte no station uses.
+u64 shared_wifi_station_addr(std::size_t cell, std::size_t station) {
+  return 0x0200'00'00'00'00ull | (static_cast<u64>(cell + 1) << 16) |
+         (static_cast<u64>(station + 1) << 8) | 0x01ull;
+}
+u64 shared_wifi_ap_addr(std::size_t cell) {
+  return 0x0200'00'00'00'00ull | (static_cast<u64>(cell + 1) << 16) | 0xAAFEull;
+}
+constexpr u8 kApUwbDevId = 0xFE;
+}  // namespace
+
+Cell::Cell(const scenario::CellSpec& spec,
+           const std::array<scenario::ChannelSpec, kNumModes>& fleet_channel,
+           u64 scenario_seed, std::size_t cell_index, int first_station_id)
+    : spec_(spec), cell_index_(cell_index), first_station_id_(first_station_id) {
+  if (spec_.stations.empty()) {
+    throw std::invalid_argument("net::Cell: a cell needs at least one station");
+  }
+  if (!shared() && spec_.stations.size() != 1) {
+    throw std::invalid_argument(
+        "net::Cell: point-to-point cells hold exactly one station");
+  }
+  if (shared() && !spec_.access_point && spec_.stations.size() != 2) {
+    throw std::invalid_argument(
+        "net::Cell: a shared cell without an access point mirrors exactly two "
+        "stations onto each other");
+  }
+  for (const scenario::DeviceSpec& d : spec_.stations) {
+    // The cell clock and every medium TimeBase come from station 0; a member
+    // on a different architecture frequency would get silently skewed
+    // protocol timing instead of its own clock domain.
+    if (d.cfg.arch_freq_hz != spec_.stations[0].cfg.arch_freq_hz) {
+      throw std::invalid_argument(
+          "net::Cell: every station in a cell must share one arch_freq_hz");
+    }
+  }
+
+  sched_ = std::make_unique<sim::Scheduler>(spec_.stations[0].cfg.arch_freq_hz);
+  build_media(fleet_channel, scenario_seed);
+  for (std::size_t s = 0; s < spec_.stations.size(); ++s) {
+    build_station(s, scenario_seed);
+  }
+
+  // Shared-cell access point: one scripted far end per mode, ACKing data and
+  // answering RTS with CTS for every station on the medium.
+  if (shared() && spec_.access_point) {
+    const DrmpConfig& cfg0 = stations_[0]->device->config();
+    for (std::size_t m = 0; m < kNumModes; ++m) {
+      if (!media_[m]) continue;
+      ap_[m] = std::make_unique<phy::ScriptedPeer>(
+          *media_[m], stations_[0]->device->timebase(),
+          kApSourceBase + static_cast<int>(cell_index_));
+      ap_[m]->set_wifi_addr(mac::MacAddr::from_u64(shared_wifi_ap_addr(cell_index_)));
+      ap_[m]->set_uwb_ids(cfg0.modes[m].ident.pnid, kApUwbDevId);
+      sched_->add(*ap_[m], "ap." + std::string(to_string(mode_from_index(m))));
+    }
+  }
+}
+
+Cell::~Cell() = default;
+
+void Cell::build_media(const std::array<scenario::ChannelSpec, kNumModes>& fleet_channel,
+                       u64 scenario_seed) {
+  const sim::TimeBase tb(spec_.stations[0].cfg.arch_freq_hz);
+  const std::array<scenario::ChannelSpec, kNumModes>& chan =
+      spec_.channel ? *spec_.channel : fleet_channel;
+
+  for (std::size_t m = 0; m < kNumModes; ++m) {
+    // One medium per mode any member station enables.
+    bool enabled = false;
+    mac::Protocol proto = mac::Protocol::WiFi;
+    for (const scenario::DeviceSpec& d : spec_.stations) {
+      if (d.cfg.modes[m].enabled) {
+        enabled = true;
+        proto = d.cfg.modes[m].ident.proto;
+        break;
+      }
+    }
+    if (!enabled) continue;
+
+    if (shared()) {
+      ContendedMedium::Params p;
+      p.cca_latency_us = spec_.contention.cca_latency_us;
+      p.capture_preamble_us = spec_.contention.capture_preamble_us;
+      p.deliver_garbled = spec_.contention.deliver_garbled;
+      media_[m] = std::make_unique<ContendedMedium>(proto, tb, p);
+    } else {
+      media_[m] = std::make_unique<phy::Medium>(proto, tb);
+    }
+    sched_->add(*media_[m], "medium." + std::string(to_string(mode_from_index(m))),
+                sim::Scheduler::kStageMedium);
+
+    // Lossy-channel model. Point-to-point cells seed the corruption PRNG per
+    // (seed, station, mode) — a station's stream is fleet-invariant; shared
+    // cells seed per (seed, cell, mode), since the medium is the cell's.
+    const u64 salt = shared() ? 0x100000ull + cell_index_ + 1
+                              : static_cast<u64>(first_station_id_);
+    channel_rng_[m] = scenario_seed ^ (0xC4A11D5Cull * salt) ^ (m << 16);
+    const scenario::ChannelSpec& cs = chan[m];
+    if (cs.loss_permille > 0) {
+      u64* rng = &channel_rng_[m];
+      media_[m]->tamper = [cs, rng](Bytes& frame) {
+        if (frame.size() < cs.min_frame_bytes) return false;
+        if (splitmix64(*rng) % 1000 >= cs.loss_permille) return false;
+        const u64 r = splitmix64(*rng);
+        frame[r % frame.size()] ^= static_cast<u8>(1u << ((r >> 32) % 8));
+        return true;
+      };
+    }
+  }
+}
+
+DrmpConfig Cell::shared_identity(const DrmpConfig& cfg, std::size_t local_index) const {
+  DrmpConfig c = cfg;
+  const bool mirrored = !spec_.access_point;
+  const std::size_t peer_index = mirrored ? 1 - local_index : 0;
+  const u64 gid = static_cast<u64>(first_station_id_) + local_index;
+  // Decorrelate the backoff PRNGs even when every station was built from the
+  // same config. Deliberately NOT the 0x9E37 multiplier for_station() uses —
+  // re-applying that one would cancel it and hand every station the same
+  // seed (a permanent collision storm between perfectly symmetric stations).
+  c.backoff_seed =
+      static_cast<u16>((cfg.backoff_seed ^ (0x6C8Du * gid) ^ 0x2A55u) | 1u);
+  for (std::size_t m = 0; m < kNumModes; ++m) {
+    if (!c.modes[m].enabled) continue;
+    auto& ident = c.modes[m].ident;
+    std::size_t mode_members = 0;
+    for (const scenario::DeviceSpec& d : spec_.stations) {
+      if (d.cfg.modes[m].enabled) ++mode_members;
+    }
+    ident.contenders = mode_members > 0 ? static_cast<u32>(mode_members - 1) : 0;
+    switch (ident.proto) {
+      case mac::Protocol::WiFi:
+        ident.self_addr = shared_wifi_station_addr(cell_index_, local_index);
+        ident.peer_addr = mirrored
+                              ? shared_wifi_station_addr(cell_index_, peer_index)
+                              : shared_wifi_ap_addr(cell_index_);
+        break;
+      case mac::Protocol::Uwb:
+        ident.pnid = static_cast<u16>(0xC000u + cell_index_);
+        ident.dev_id = static_cast<u8>(local_index + 1);
+        ident.peer_dev_id =
+            mirrored ? static_cast<u8>(peer_index + 1) : kApUwbDevId;
+        break;
+      case mac::Protocol::WiMax:
+        ident.basic_cid = static_cast<u16>(0x2000u + (cell_index_ << 6) + local_index);
+        break;
+    }
+    if (ident.tdma_period_us > 0.0) {
+      // Disjoint slot allocations inside the cell: 16 slots per period.
+      const double step = ident.tdma_period_us / 16.0;
+      ident.tdma_offset_us = static_cast<double>(local_index % 16) * step;
+    }
+  }
+  return c;
+}
+
+void Cell::build_station(std::size_t local_index, u64 scenario_seed) {
+  const scenario::DeviceSpec& dspec = spec_.stations[local_index];
+  const int station_id = first_station_id_ + static_cast<int>(local_index);
+  const DrmpConfig cfg =
+      shared() ? shared_identity(dspec.cfg, local_index) : dspec.cfg;
+
+  auto st = std::make_unique<Station>();
+  st->station_id = station_id;
+  st->device = std::make_unique<DrmpDevice>(*sched_, cfg, station_id);
+  st->device->trace().set_enabled(false);  // No per-cycle trace work in fleets.
+  for (std::size_t m = 0; m < kNumModes; ++m) {
+    if (!cfg.modes[m].enabled) continue;
+    st->device->attach_medium(mode_from_index(m), media_[m].get());
+  }
+
+  // Point-to-point far ends, mirroring the device's per-mode peer identities.
+  if (!shared()) {
+    for (std::size_t m = 0; m < kNumModes; ++m) {
+      if (!cfg.modes[m].enabled) continue;
+      st->peers[m] = std::make_unique<phy::ScriptedPeer>(
+          *media_[m], st->device->timebase(),
+          kPeerStationBase + station_id * static_cast<int>(kNumModes) +
+              static_cast<int>(m));
+      st->peers[m]->set_wifi_addr(mac::MacAddr::from_u64(cfg.modes[m].ident.peer_addr));
+      st->peers[m]->set_uwb_ids(cfg.modes[m].ident.pnid, cfg.modes[m].ident.peer_dev_id);
+      sched_->add(*st->peers[m], "peer." + std::string(to_string(mode_from_index(m))));
+    }
+  }
+
+  // Traffic generators, one per enabled mode with an enabled traffic spec,
+  // seeded per (scenario seed, global station id, mode).
+  for (std::size_t m = 0; m < kNumModes; ++m) {
+    if (!cfg.modes[m].enabled || !dspec.traffic[m].enabled) continue;
+    const u64 seed = scenario_seed ^
+                     (0x7D3F00D5ull * static_cast<u64>(station_id)) ^ (m << 24);
+    st->gens[m] = std::make_unique<mac::TrafficGen>(dspec.traffic[m],
+                                                    st->device->timebase(), seed);
+    DrmpDevice* dev = st->device.get();
+    const Mode mode = mode_from_index(m);
+    st->gens[m]->send = [dev, mode](Bytes b) { dev->host_send(mode, std::move(b)); };
+    sched_->add(*st->gens[m], "traffic." + std::string(to_string(mode)));
+  }
+
+  Station* s = st.get();
+  st->device->on_tx_complete = [s](Mode m, bool ok, u32 retry_count) {
+    const std::size_t i = index(m);
+    ++s->completed[i];
+    if (ok) ++s->tx_ok[i];
+    s->retries[i] += retry_count;
+    if (s->gens[i]) s->gens[i]->notify_tx_complete();
+  };
+
+  stations_.push_back(std::move(st));
+}
+
+DrmpDevice& Cell::device(std::size_t i) { return *stations_.at(i)->device; }
+
+bool Cell::drained() const {
+  for (const auto& st : stations_) {
+    for (const auto& gen : st->gens) {
+      if (gen && !gen->drained()) return false;
+    }
+  }
+  return true;
+}
+
+scenario::DevicePower Cell::estimate_station_power(const Station& st) const {
+  scenario::DevicePower pw;
+  const double total =
+      sched_->now() > 0 ? static_cast<double>(sched_->now()) : 1.0;
+  std::map<std::string, double> activity;
+  for (const rfu::Rfu* r : st.device->rfus()) {
+    const auto it = est::drmp_rfu_blocks().find(r->name());
+    if (it != est::drmp_rfu_blocks().end()) {
+      activity[it->second.name] = static_cast<double>(r->busy_cycles()) / total;
+    }
+  }
+  pw.cpu_activity = st.device->cpu().busy_fraction();
+  pw.bus_activity = static_cast<double>(st.device->bus().busy_cycles()) / total;
+  activity["cpu_core"] = pw.cpu_activity;
+  activity["packet_bus+arbiter"] = pw.bus_activity;
+
+  const est::Design design = est::drmp_design();
+  const est::Process process;
+  const double f = st.device->config().arch_freq_hz;
+  constexpr double kDefaultActivity = 0.02;
+
+  pw.raw_mw =
+      est::estimate_power(design, process, f, activity, kDefaultActivity, {}).total_mw();
+  est::PowerTechniques gated;
+  gated.clock_gating = true;
+  gated.power_shutoff = true;
+  pw.gated_mw =
+      est::estimate_power(design, process, f, activity, kDefaultActivity, gated)
+          .total_mw();
+  est::PowerTechniques dvfs = gated;
+  dvfs.dvfs = true;
+  dvfs.dvfs_freq_scale = 0.5;
+  pw.dvfs_mw =
+      est::estimate_power(design, process, f, activity, kDefaultActivity, dvfs)
+          .total_mw();
+  return pw;
+}
+
+void Cell::collect(std::vector<scenario::DeviceStats>& devices,
+                   std::vector<scenario::CellStats>& cells) const {
+  for (const auto& st : stations_) {
+    scenario::DeviceStats ds;
+    ds.station_id = st->station_id;
+    ds.cycles_run = sched_->now();
+    for (std::size_t m = 0; m < kNumModes; ++m) {
+      if (st->gens[m]) {
+        ds.offered[m] = st->gens[m]->offered();
+        ds.offered_bytes[m] = st->gens[m]->offered_bytes();
+      }
+      ds.completed[m] = st->completed[m];
+      ds.tx_ok[m] = st->tx_ok[m];
+      ds.retries[m] = st->retries[m];
+      if (st->peers[m]) {
+        ds.peer_rx[m] = static_cast<u32>(st->peers[m]->received_data_frames().size());
+        ds.peer_acks[m] = st->peers[m]->acks_sent();
+      }
+      if (!shared() && media_[m]) ds.tampered[m] = media_[m]->tampered_frames();
+      if (shared() && media_[m]) {
+        const auto* cm = static_cast<const ContendedMedium*>(media_[m].get());
+        const ContendedMedium::SourceStats ss = cm->source(st->station_id);
+        ds.collisions[m] = ss.collisions;
+        ds.airtime[m] = ss.airtime;
+      }
+    }
+    ds.defers = st->device->backoff_rfu().defers();
+    if (st->device->config().modes[0].enabled) {
+      if (auto* wifi =
+              dynamic_cast<ctrl::WifiCtrl*>(&st->device->protocol_ctrl(Mode::A))) {
+        ds.rts_sent = wifi->rts_sent;
+        ds.cts_received = wifi->cts_received;
+      }
+    }
+    ds.power = estimate_station_power(*st);
+    devices.push_back(std::move(ds));
+  }
+
+  if (!shared()) return;
+  scenario::CellStats cs;
+  cs.cell_index = static_cast<u32>(cell_index_);
+  cs.stations = static_cast<u32>(stations_.size());
+  for (std::size_t m = 0; m < kNumModes; ++m) {
+    if (!media_[m]) continue;
+    const auto* cm = static_cast<const ContendedMedium*>(media_[m].get());
+    cs.collided_frames[m] = cm->collided_frames();
+    cs.dropped_frames[m] = cm->dropped_frames();
+    cs.capture_wins[m] = cm->capture_wins();
+    cs.tampered[m] = cm->tampered_frames();
+    cs.busy_cycles[m] = cm->busy_cycles();
+    if (ap_[m]) {
+      cs.ap_rx[m] = static_cast<u32>(ap_[m]->received_data_frames().size());
+      cs.ap_acks[m] = ap_[m]->acks_sent();
+      cs.ap_ctss += ap_[m]->ctss_sent();
+    }
+  }
+  cells.push_back(cs);
+}
+
+}  // namespace drmp::net

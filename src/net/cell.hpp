@@ -1,0 +1,99 @@
+// net::Cell — one radio cell of a fleet scenario, fully assembled.
+//
+// A cell owns one sim::Scheduler (its clock domain) and everything clocked by
+// it: per-mode media, N full DRMP devices, scripted far ends and per-station
+// traffic generators. Cells share nothing with each other, so the scenario
+// engine can advance them as independent MultiScheduler lanes (serial or on
+// worker threads) with the bit-identical digest guarantee intact.
+//
+// Two assemblies, selected by CellSpec::topology:
+//   * kPointToPoint — the PR-1 shape: one station, a private collision-free
+//     phy::Medium per mode, a ScriptedPeer as the far end.
+//   * kSharedMedium — the contention shape: one net::ContendedMedium per
+//     mode carries every station. With an access point, stations uplink to a
+//     scripted AP that ACKs data and answers RTS with CTS; without one
+//     (exactly two stations) the stations are mirrored onto each other and
+//     their own Event Handler + AckRfu paths acknowledge — the twodevice
+//     integration topology as a first-class scenario. Shared cells re-derive
+//     cell-consistent identities (addresses, piconet ids, CIDs, staggered
+//     TDMA slots) from (cell index, station index), so any station list is
+//     safe to drop into a shared cell.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "drmp/device.hpp"
+#include "mac/traffic_gen.hpp"
+#include "net/contended_medium.hpp"
+#include "phy/channel.hpp"
+#include "scenario/fleet_stats.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "sim/scheduler.hpp"
+
+namespace drmp::net {
+
+class Cell {
+ public:
+  /// Assembles the cell. `first_station_id` is the 1-based fleet-global id
+  /// of the cell's first station (ids are contiguous within a cell); PRNG
+  /// streams derive from (scenario_seed, global station id, mode) so a
+  /// station's behaviour is invariant to fleet composition around its cell.
+  Cell(const scenario::CellSpec& spec,
+       const std::array<scenario::ChannelSpec, kNumModes>& fleet_channel,
+       u64 scenario_seed, std::size_t cell_index, int first_station_id);
+  ~Cell();
+
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+
+  sim::Scheduler& scheduler() { return *sched_; }
+  bool shared() const noexcept {
+    return spec_.topology == scenario::Topology::kSharedMedium;
+  }
+  std::size_t station_count() const noexcept { return stations_.size(); }
+  DrmpDevice& device(std::size_t i);
+  phy::Medium* medium(Mode m) { return media_[index(m)].get(); }
+
+  /// Every traffic generator exhausted and all completions reported — the
+  /// MultiScheduler early-exit predicate for this lane.
+  bool drained() const;
+
+  /// Appends one DeviceStats per station (activity-weighted power estimates
+  /// folded in) and, for shared-medium cells, one CellStats.
+  void collect(std::vector<scenario::DeviceStats>& devices,
+               std::vector<scenario::CellStats>& cells) const;
+
+ private:
+  struct Station {
+    int station_id = 0;  ///< Fleet-global, 1-based.
+    std::unique_ptr<DrmpDevice> device;
+    std::array<std::unique_ptr<phy::ScriptedPeer>, kNumModes> peers{};
+    std::array<std::unique_ptr<mac::TrafficGen>, kNumModes> gens{};
+    // Completion counters fed by the device callbacks.
+    std::array<u32, kNumModes> completed{};
+    std::array<u32, kNumModes> tx_ok{};
+    std::array<u64, kNumModes> retries{};
+  };
+
+  void build_media(const std::array<scenario::ChannelSpec, kNumModes>& fleet_channel,
+                   u64 scenario_seed);
+  void build_station(std::size_t local_index, u64 scenario_seed);
+  /// Rewrites a station config's identities for shared-medium membership.
+  DrmpConfig shared_identity(const DrmpConfig& cfg, std::size_t local_index) const;
+  scenario::DevicePower estimate_station_power(const Station& st) const;
+
+  // Held by value: a Cell must stay usable standalone (tests, tools) without
+  // tying its lifetime to whoever built the spec.
+  scenario::CellSpec spec_;
+  std::size_t cell_index_;
+  int first_station_id_;
+  std::unique_ptr<sim::Scheduler> sched_;
+  std::array<std::unique_ptr<phy::Medium>, kNumModes> media_{};
+  std::array<u64, kNumModes> channel_rng_{};
+  std::array<std::unique_ptr<phy::ScriptedPeer>, kNumModes> ap_{};
+  std::vector<std::unique_ptr<Station>> stations_;
+};
+
+}  // namespace drmp::net

@@ -1,0 +1,101 @@
+#include "net/contended_medium.hpp"
+
+#include <algorithm>
+
+namespace drmp::net {
+
+ContendedMedium::ContendedMedium(mac::Protocol proto, const sim::TimeBase& tb, Params p)
+    : Medium(proto, tb), params_(p) {
+  const mac::ProtocolTiming t = mac::timing_for(proto);
+  double latency_us = p.cca_latency_us;
+  if (latency_us < 0.0) latency_us = t.slot_us > 0.0 ? t.slot_us : t.sifs_us;
+  cca_latency_ = tb.us_to_cycles(latency_us);
+  capture_cycles_ = tb.us_to_cycles(p.capture_preamble_us);
+}
+
+Cycle ContendedMedium::begin_tx(Bytes frame, int source) {
+  const Cycle end = now_ + frame_air_cycles(frame.size());
+  bool overlap = false;
+  for (Tx& t : on_air_) {
+    if (t.end <= now_) continue;  // Ended; queued for delivery only.
+    overlap = true;
+    if (t.collided) continue;  // Already part of a pile-up.
+    if (capture_cycles_ > 0 && now_ - t.start >= capture_cycles_) {
+      // The receivers locked onto t's preamble long ago; the newcomer is
+      // lost but t survives.
+      ++capture_wins_;
+    } else {
+      t.collided = true;
+      ++collided_frames_;
+      ++sources_[t.source].collisions;
+    }
+  }
+  SourceStats& s = sources_[source];
+  ++s.frames;
+  if (overlap) {
+    ++collided_frames_;
+    ++s.collisions;
+  }
+  on_air_.push_back(Tx{std::move(frame), now_, end, source, overlap, false});
+  tx_end_ = std::max(tx_end_, end);
+  return end;
+}
+
+void ContendedMedium::garble(Bytes& frame) {
+  // Deterministic bit damage dense enough that FCS and HCS both fail.
+  for (std::size_t i = 0; i < frame.size(); i += 7) frame[i] ^= 0xA5;
+}
+
+void ContendedMedium::tick() {
+  // Channel accounting for the cycle now elapsing.
+  if (busy()) ++busy_cycles_;
+  for (const Tx& t : on_air_) {
+    if (t.end > now_) ++sources_[t.source].airtime;
+  }
+  ++now_;
+
+  // Latch the perceived carrier state every station samples this cycle. The
+  // detection latency shifts the whole perceived window — a frame is
+  // audible over [start+latency, end+latency) — so a short control frame is
+  // still heard (late) rather than ending before detection ever completed,
+  // and every station's idle reference shifts by the same amount.
+  cca_busy_ = false;
+  for (const Tx& t : on_air_) {
+    if (t.start + cca_latency_ <= now_ && now_ < t.end + cca_latency_) {
+      cca_busy_ = true;
+      break;
+    }
+  }
+  if (cca_busy_) last_cca_busy_ = now_;
+
+  // Deliver (or discard) frames whose last byte has now arrived; entries
+  // linger until their perceived window closes, then fall away.
+  for (std::size_t i = 0; i < on_air_.size();) {
+    Tx& t = on_air_[i];
+    if (!t.delivered && t.end <= now_) {
+      t.delivered = true;
+      if (!t.collided) {
+        deliver(t.frame, t.end, t.source);
+      } else if (params_.deliver_garbled) {
+        garble(t.frame);
+        ++garbled_frames_;
+        deliver(t.frame, t.end, t.source);
+      } else {
+        ++dropped_frames_;
+      }
+      t.frame = Bytes{};  // Only the perception window is still needed.
+    }
+    if (t.end + cca_latency_ <= now_) {
+      on_air_.erase(on_air_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+ContendedMedium::SourceStats ContendedMedium::source(int id) const {
+  const auto it = sources_.find(id);
+  return it == sources_.end() ? SourceStats{} : it->second;
+}
+
+}  // namespace drmp::net

@@ -1,0 +1,121 @@
+// ContendedMedium — the shared-channel backend of phy::Medium.
+//
+// The point-to-point base class serves the paper's single-station-plus-peer
+// experiments, where overlap cannot happen by construction. A multi-station
+// cell needs the opposite: overlap as a *defined, counted outcome*. This
+// backend models the three physical effects that make CSMA/CA a non-trivial
+// MAC workload (cf. "Medium Access Control in Wireless NoC: A Context
+// Analysis", arXiv:1806.06294):
+//
+//   * Carrier-sense latency. A transmission only becomes audible to other
+//     stations' CCA circuits `cca_latency` after its first bit (energy
+//     detection plus rx/tx turnaround — up to one slot time in 802.11 DSSS,
+//     which is precisely why the slot time exists). Stations whose backoff
+//     expires inside that window transmit over each other: the collision
+//     window of the classic CSMA analysis.
+//   * Collisions. Every transmission that overlaps another on the air is
+//     marked collided. A collided frame is dropped before delivery (the
+//     receiver saw noise) or, optionally, delivered garbled so the
+//     redundancy-check failure paths are exercised; either way no ACK comes
+//     back and the transmitter's timeout/retry machinery — CW doubling in
+//     the BackoffRfu — carries the recovery, exactly the behaviour the DRMP
+//     is sold on handling efficiently.
+//   * Capture effect (optional). A receiver that has locked onto a frame's
+//     preamble for `capture_preamble` keeps it through a late-starting
+//     interferer: the established frame survives, only the newcomer is lost.
+//
+// Per-source airtime/frame/collision counters feed the scenario engine's
+// fleet reports; everything is cycle-deterministic, so shared-medium cells
+// keep the fleet's bit-identical digest guarantee.
+#pragma once
+
+#include <map>
+
+#include "phy/phy_model.hpp"
+
+namespace drmp::net {
+
+class ContendedMedium final : public phy::Medium {
+ public:
+  struct Params {
+    /// Carrier-sense detection latency. Negative selects the protocol
+    /// default: one contention slot (or SIFS where the protocol has no
+    /// slotted contention). This is the collision window — 0 reproduces the
+    /// base class's instant-CCA behaviour, where same-cycle starts are the
+    /// only way to collide. The latency shifts the whole perceived-carrier
+    /// window, onset AND release: a frame is audible over
+    /// [start+latency, end+latency), so short control frames (an 11 Mbps
+    /// ACK flies in 10 us) remain perceptible instead of ending before they
+    /// were ever heard.
+    double cca_latency_us = -1.0;
+    /// Capture effect: an uncollided frame on the air for at least this
+    /// long survives a late interferer. 0 disables capture (every overlap
+    /// kills all parties).
+    double capture_preamble_us = 0.0;
+    /// Collided frames are delivered with deterministic bit damage instead
+    /// of being dropped, driving the receivers' FCS/HCS failure paths.
+    bool deliver_garbled = false;
+  };
+
+  /// Per-source channel accounting (key: station/source id).
+  struct SourceStats {
+    u64 frames = 0;      ///< Transmissions started.
+    u64 collisions = 0;  ///< ... of which ended collided.
+    Cycle airtime = 0;   ///< Cycles this source's signal occupied the air.
+  };
+
+  ContendedMedium(mac::Protocol proto, const sim::TimeBase& tb, Params p);
+  ContendedMedium(mac::Protocol proto, const sim::TimeBase& tb)
+      : ContendedMedium(proto, tb, Params()) {}
+
+  Cycle begin_tx(Bytes frame, int source) override;
+  bool cca_busy() const noexcept override { return cca_busy_; }
+  Cycle cca_idle_for() const noexcept override {
+    return cca_busy_ ? 0 : now() - last_cca_busy_;
+  }
+  void tick() override;
+
+  // ---- Contention statistics ----
+  /// Transmissions that ended collided (all parties counted).
+  u64 collided_frames() const noexcept { return collided_frames_; }
+  /// Collided frames withheld from the receivers.
+  u64 dropped_frames() const noexcept { return dropped_frames_; }
+  /// Collided frames delivered garbled (deliver_garbled mode).
+  u64 garbled_frames() const noexcept { return garbled_frames_; }
+  /// Capture events: a late interferer lost to an established frame. One
+  /// frame hit by several late interferers counts once per interferer.
+  u64 capture_wins() const noexcept { return capture_wins_; }
+  Cycle cca_latency_cycles() const noexcept { return cca_latency_; }
+
+  const std::map<int, SourceStats>& per_source() const noexcept { return sources_; }
+  /// Stats for one source id (zeroes when it never transmitted).
+  SourceStats source(int id) const;
+
+ private:
+  struct Tx {
+    Bytes frame;
+    Cycle start;
+    Cycle end;
+    int source;
+    bool collided;
+    bool delivered;
+  };
+
+  static void garble(Bytes& frame);
+
+  Params params_;
+  Cycle cca_latency_ = 0;
+  Cycle capture_cycles_ = 0;
+  std::vector<Tx> on_air_;
+
+  bool cca_busy_ = false;
+  Cycle last_cca_busy_ = 0;
+
+  u64 collided_frames_ = 0;
+  u64 dropped_frames_ = 0;
+  u64 garbled_frames_ = 0;
+  u64 capture_wins_ = 0;
+  std::map<int, SourceStats> sources_;
+};
+
+}  // namespace drmp::net

@@ -109,7 +109,7 @@ void ScriptedPeer::begin_cfp(Cycle start_at, u32 polls, double interval_us,
 }
 
 void ScriptedPeer::cfp_tick() {
-  if (!cfp_active() || medium_.now() < cfp_next_poll_ || medium_.busy()) return;
+  if (!cfp_active() || medium_.now() < cfp_next_poll_ || !clear_to_send()) return;
 
   if (cfp_polls_left_ > 0) {
     // CF-Poll (with a piggybacked CF-Ack when uplink data arrived since the
@@ -122,7 +122,7 @@ void ScriptedPeer::cfp_tick() {
     h.addr2 = wifi_addr_;
     h.addr3 = wifi_addr_;  // BSSID = the point coordinator.
     cfp_ack_pending_ = false;
-    medium_.begin_tx(mac::wifi::build_data_mpdu(h, {}), self_id_);
+    own_tx_end_ = medium_.begin_tx(mac::wifi::build_data_mpdu(h, {}), self_id_);
     ++cfp_polls_sent_;
     --cfp_polls_left_;
     cfp_next_poll_ += cfp_interval_;
@@ -130,9 +130,10 @@ void ScriptedPeer::cfp_tick() {
   }
 
   // Polls exhausted: close the CFP, carrying the last CF-Ack if one is owed.
-  medium_.begin_tx(mac::wifi::build_cf_end(mac::MacAddr::from_u64(0xFFFFFFFFFFFFull),
-                                           wifi_addr_, cfp_ack_pending_),
-                   self_id_);
+  own_tx_end_ =
+      medium_.begin_tx(mac::wifi::build_cf_end(mac::MacAddr::from_u64(0xFFFFFFFFFFFFull),
+                                               wifi_addr_, cfp_ack_pending_),
+                       self_id_);
   cfp_ack_pending_ = false;
   cfp_end_pending_ = false;
 }
@@ -145,12 +146,13 @@ void ScriptedPeer::start_beacons(Cycle start_at, u32 count, double interval_us) 
 }
 
 void ScriptedPeer::tick() {
-  if (beacons_left_ > 0 && medium_.now() >= next_beacon_ && !medium_.busy()) {
+  if (beacons_left_ > 0 && medium_.now() >= next_beacon_ && clear_to_send()) {
     mac::wifi::BeaconBody body;
     body.timestamp_us =
         static_cast<u64>(static_cast<double>(medium_.now()) / tb_.arch_freq() * 1e6);
     body.interval_us = beacon_interval_us_;
-    medium_.begin_tx(mac::wifi::build_beacon(wifi_addr_, beacon_seq_++, body), self_id_);
+    own_tx_end_ = medium_.begin_tx(mac::wifi::build_beacon(wifi_addr_, beacon_seq_++, body),
+                                   self_id_);
     ++beacons_sent_;
     --beacons_left_;
     next_beacon_ += beacon_interval_;
@@ -158,8 +160,8 @@ void ScriptedPeer::tick() {
   cfp_tick();
   if (pending_tx_.empty()) return;
   Pending& p = pending_tx_.front();
-  if (medium_.now() < p.earliest || medium_.busy()) return;
-  medium_.begin_tx(std::move(p.frame), self_id_);
+  if (medium_.now() < p.earliest || !clear_to_send()) return;
+  own_tx_end_ = medium_.begin_tx(std::move(p.frame), self_id_);
   pending_tx_.pop_front();
 }
 

@@ -74,8 +74,13 @@ class ScriptedPeer : public MediumClient, public sim::Clockable {
  private:
   void schedule_tx(Bytes frame, Cycle earliest);
   void cfp_tick();
+  /// Half-duplex gate shared by every transmit path.
+  bool clear_to_send() const {
+    return medium_.now() >= own_tx_end_ && !medium_.cca_busy();
+  }
 
   Medium& medium_;
+  Cycle own_tx_end_ = 0;
   const sim::TimeBase& tb_;
   int self_id_;
   bool auto_ack_ = true;

@@ -1,15 +1,30 @@
 #include "phy/phy_model.hpp"
 
-#include <cassert>
+#include <stdexcept>
 
 namespace drmp::phy {
 
 Cycle Medium::begin_tx(Bytes frame, int source) {
-  assert(!busy() && "collision: begin_tx on a busy medium");
+  if (busy()) {
+    // Point-to-point contract violation. This used to be assert()-only,
+    // which compiles out under NDEBUG and let Release builds overwrite an
+    // in-flight frame silently; overlap is now a defined outcome in every
+    // build type: a hard error here, a counted collision in
+    // net::ContendedMedium.
+    throw std::logic_error(
+        "phy::Medium::begin_tx: overlapping transmission on the point-to-point "
+        "medium (source " +
+        std::to_string(source) + "); use net::ContendedMedium for contention");
+  }
   const Cycle end = now_ + frame_air_cycles(frame.size());
   tx_end_ = end;
   in_flight_.push_back(InFlight{std::move(frame), end, source});
   return end;
+}
+
+void Medium::deliver(Bytes& frame, Cycle rx_end_cycle, int source) {
+  if (tamper && tamper(frame)) ++tampered_;
+  for (MediumClient* c : clients_) c->on_frame(frame, rx_end_cycle, source);
 }
 
 void Medium::tick() {
@@ -18,10 +33,7 @@ void Medium::tick() {
   // Deliver frames whose last byte has now arrived.
   for (std::size_t i = 0; i < in_flight_.size();) {
     if (in_flight_[i].end <= now_) {
-      if (tamper && tamper(in_flight_[i].frame)) ++tampered_;
-      for (MediumClient* c : clients_) {
-        c->on_frame(in_flight_[i].frame, in_flight_[i].end, in_flight_[i].source);
-      }
+      deliver(in_flight_[i].frame, in_flight_[i].end, in_flight_[i].source);
       in_flight_.erase(in_flight_.begin() + static_cast<std::ptrdiff_t>(i));
     } else {
       ++i;
@@ -33,7 +45,11 @@ void PhyTx::tick() {
   if (!buf_.frame_pending()) return;
   const TxFrameEntry& f = buf_.front();
   if (medium_.now() < f.earliest_start) return;
-  if (medium_.busy()) return;
+  // Half-duplex: the radio knows it is transmitting without CCA — with a
+  // contended medium's detection latency it cannot *hear* its own signal,
+  // and popping the next queued frame early would collide with itself.
+  if (transmitting()) return;
+  if (medium_.cca_busy()) return;
   TxFrameEntry e = buf_.pop();
   last_tx_start_ = medium_.now();
   last_tx_end_ = medium_.begin_tx(std::move(e.bytes), source_id_);

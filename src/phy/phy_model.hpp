@@ -7,6 +7,16 @@
 // the same: frames occupy the medium for len*8/line_rate seconds, carrier
 // sense (CCA) is exposed for the CSMA/CA access RFU, and attached clients
 // receive each frame when its last byte arrives.
+//
+// `Medium` is the channel interface with two backends:
+//   * this base class — the point-to-point backend of the paper's
+//     single-station-plus-peer experiments. It is collision-free by
+//     *contract*: overlapping transmissions are a hard error in every build
+//     type (clients gate on cca_busy(), so a trip means an assembly bug).
+//   * net::ContendedMedium — real shared-channel semantics for multi-station
+//     cells: overlap is a defined, counted outcome (collisions), carrier
+//     sense has a detection latency (the collision window), and an optional
+//     capture effect lets an established frame survive a late interferer.
 #pragma once
 
 #include <functional>
@@ -34,8 +44,7 @@ class MediumClient {
 };
 
 /// One wireless channel (band) shared by all stations of one protocol mode.
-/// Collision-free by construction: begin_tx asserts the medium is idle (the
-/// paper's single-station-plus-peer experiments are collision-free as well).
+/// This base class is the point-to-point backend; see the header comment.
 class Medium : public sim::Clockable {
  public:
   Medium(mac::Protocol proto, const sim::TimeBase& tb)
@@ -50,10 +59,20 @@ class Medium : public sim::Clockable {
     return t;
   }
 
+  /// Ground truth: is any transmission on the air this cycle?
   bool busy() const noexcept { return now_ < tx_end_; }
   Cycle now() const noexcept { return now_; }
   /// Cycles the medium has been continuously idle (for DIFS checks).
   Cycle idle_for() const noexcept { return busy() ? 0 : now_ - tx_end_; }
+
+  /// Carrier sense as a station's CCA circuit perceives it. Device-side
+  /// transmit gates (PhyTx, BackoffRfu, ScriptedPeer) must use this view,
+  /// never busy(): contended backends add a detection latency, and the
+  /// window between a transmission starting and becoming audible is exactly
+  /// where collisions live.
+  virtual bool cca_busy() const noexcept { return busy(); }
+  /// Continuously-idle cycles as perceived by CCA (DIFS/SIFS reference).
+  virtual Cycle cca_idle_for() const noexcept { return idle_for(); }
 
   /// Cycles one byte occupies on air.
   double byte_cycles() const noexcept { return byte_cycles_; }
@@ -61,8 +80,11 @@ class Medium : public sim::Clockable {
     return static_cast<Cycle>(byte_cycles_ * static_cast<double>(nbytes) + 0.5);
   }
 
-  /// Starts a transmission; returns the cycle at which it completes.
-  Cycle begin_tx(Bytes frame, int source);
+  /// Starts a transmission; returns the cycle at which it completes. The
+  /// point-to-point backend treats overlap as a hard error in all build
+  /// types (it would silently garble the experiment); contended backends
+  /// turn overlap into counted collisions.
+  virtual Cycle begin_tx(Bytes frame, int source);
 
   void tick() override;
 
@@ -75,6 +97,18 @@ class Medium : public sim::Clockable {
   std::function<bool(Bytes&)> tamper;
   u64 tampered_frames() const noexcept { return tampered_; }
 
+ protected:
+  /// Applies the fault injector and fans the frame out to every client.
+  void deliver(Bytes& frame, Cycle rx_end_cycle, int source);
+
+  mac::Protocol proto_;
+  double byte_cycles_;
+  Cycle now_ = 0;
+  Cycle tx_end_ = 0;
+  std::vector<MediumClient*> clients_;
+  Cycle busy_cycles_ = 0;
+  u64 tampered_ = 0;
+
  private:
   struct InFlight {
     Bytes frame;
@@ -82,19 +116,13 @@ class Medium : public sim::Clockable {
     int source;
   };
 
-  mac::Protocol proto_;
-  double byte_cycles_;
-  Cycle now_ = 0;
-  Cycle tx_end_ = 0;
-  std::vector<MediumClient*> clients_;
   std::vector<InFlight> in_flight_;
-  Cycle busy_cycles_ = 0;
-  u64 tampered_ = 0;
 };
 
 /// Device-side PHY transmitter: the PHY-side FSM of the Tx translational
 /// buffer (Fig. 3.15b). Watches the TxBuffer, and when a staged frame's
-/// earliest-start has passed and the medium is idle, puts it on the air.
+/// earliest-start has passed and the medium is (perceived) idle, puts it on
+/// the air.
 class PhyTx : public sim::Clockable {
  public:
   PhyTx(TxBuffer& buf, Medium& medium, int source_id)

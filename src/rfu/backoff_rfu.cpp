@@ -20,6 +20,7 @@ void BackoffRfu::on_execute(Op op) {
   assert(medium != nullptr && tb_ != nullptr && "BackoffRfu not wired");
   const auto& t = medium->timing();
   wait_cycles_ = 0;
+  defer_edge_ = false;
 
   switch (op) {
     case Op::CsmaAccessWifi:
@@ -71,11 +72,16 @@ bool BackoffRfu::work_step() {
   ++wait_cycles_;
   switch (access_phase_) {
     case AccessPhase::Ifs: {
-      // The channel must be idle continuously for the IFS.
-      if (medium.busy()) {
+      // The channel must be perceived idle continuously for the IFS.
+      if (medium.cca_busy()) {
+        if (!defer_edge_) {
+          defer_edge_ = true;
+          ++defers_;
+        }
         ifs_progress_ = 0;
         return false;
       }
+      defer_edge_ = false;
       if (++ifs_progress_ < ifs_cycles_) return false;
       if (backoff_slots_ == 0) return true;
       access_phase_ = AccessPhase::Backoff;
@@ -85,7 +91,9 @@ bool BackoffRfu::work_step() {
     case AccessPhase::Backoff: {
       // Decrement one slot per slot-time of idle medium; freeze while busy
       // (and re-wait the IFS, per DCF).
-      if (medium.busy()) {
+      if (medium.cca_busy()) {
+        ++defers_;
+        defer_edge_ = true;
         access_phase_ = AccessPhase::Ifs;
         ifs_progress_ = 0;
         return false;
@@ -99,7 +107,7 @@ bool BackoffRfu::work_step() {
     case AccessPhase::TdmaWait:
       return medium.now() >= tdma_target_;
     case AccessPhase::SifsResponse:
-      return !medium.busy() && medium.idle_for() >= ifs_cycles_;
+      return !medium.cca_busy() && medium.cca_idle_for() >= ifs_cycles_;
   }
   return false;
 }

@@ -34,6 +34,10 @@ class BackoffRfu final : public Rfu {
   void seed(u16 s) { lfsr_ = s == 0 ? 0xACE1u : s; }
 
   Cycle last_wait_cycles() const noexcept { return wait_cycles_; }
+  /// Times a CSMA access had to defer to a busy medium (IFS restarted or
+  /// backoff countdown frozen), cumulative over the device's lifetime — the
+  /// contention-pressure counter of the fleet reports.
+  u64 defers() const noexcept { return defers_; }
 
  protected:
   // Ops:
@@ -61,6 +65,8 @@ class BackoffRfu final : public Rfu {
   Cycle slot_progress_ = 0;
   Cycle tdma_target_ = 0;
   Cycle wait_cycles_ = 0;
+  u64 defers_ = 0;
+  bool defer_edge_ = false;  ///< Busy already counted for this deferral.
 
   u16 lfsr_ = 0xACE1u;
   std::array<phy::Medium*, kNumModes> media_{};

@@ -16,8 +16,19 @@ void DeviceStats::mix_full(sim::Digest& d) const {
   mix_completion(d);
   for (std::size_t i = 0; i < kNumModes; ++i) {
     d.mix(peer_rx[i]).mix(peer_acks[i]).mix(tampered[i]);
+    d.mix(collisions[i]).mix(airtime[i]);
   }
+  d.mix(defers).mix(rts_sent).mix(cts_received);
   d.mix(cycles_run);
+}
+
+void CellStats::mix_full(sim::Digest& d) const {
+  d.mix(cell_index).mix(stations);
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    d.mix(collided_frames[i]).mix(dropped_frames[i]).mix(capture_wins[i]);
+    d.mix(tampered[i]).mix(busy_cycles[i]).mix(ap_rx[i]).mix(ap_acks[i]);
+  }
+  d.mix(ap_ctss);
 }
 
 u64 FleetStats::device_cycles_total() const {
@@ -31,6 +42,38 @@ double FleetStats::device_cycles_per_sec() const {
   return static_cast<double>(device_cycles_total()) / wall_seconds;
 }
 
+double FleetStats::fleet_raw_mw() const {
+  double mw = 0.0;
+  for (const DeviceStats& ds : devices) mw += ds.power.raw_mw;
+  return mw;
+}
+
+double FleetStats::fleet_gated_mw() const {
+  double mw = 0.0;
+  for (const DeviceStats& ds : devices) mw += ds.power.gated_mw;
+  return mw;
+}
+
+double FleetStats::fleet_dvfs_mw() const {
+  double mw = 0.0;
+  for (const DeviceStats& ds : devices) mw += ds.power.dvfs_mw;
+  return mw;
+}
+
+u64 FleetStats::total_collisions() const {
+  u64 n = 0;
+  for (const DeviceStats& ds : devices) {
+    for (std::size_t i = 0; i < kNumModes; ++i) n += ds.collisions[i];
+  }
+  return n;
+}
+
+u64 FleetStats::total_defers() const {
+  u64 n = 0;
+  for (const DeviceStats& ds : devices) n += ds.defers;
+  return n;
+}
+
 u64 FleetStats::completion_digest() const {
   sim::Digest d;
   for (const DeviceStats& ds : devices) ds.mix_completion(d);
@@ -40,32 +83,68 @@ u64 FleetStats::completion_digest() const {
 u64 FleetStats::full_digest() const {
   sim::Digest d;
   for (const DeviceStats& ds : devices) ds.mix_full(d);
+  for (const CellStats& cs : cells) cs.mix_full(d);
   d.mix(lockstep_cycles).mix(all_drained ? 1 : 0);
   return d.value();
 }
 
 std::string FleetStats::report() const {
   std::string out;
-  char line[192];
+  char line[224];
   std::snprintf(line, sizeof(line), "scenario %s: %zu devices, %llu lockstep cycles%s\n",
                 scenario_name.c_str(), devices.size(),
                 static_cast<unsigned long long>(lockstep_cycles),
                 all_drained ? "" : " [BUDGET EXHAUSTED]");
   out += line;
-  out += "  dev mode offered  bytes complete  ok retries peer_rx  acks tampered\n";
+  out += "  dev mode offered  bytes complete  ok retries peer_rx  acks tampered "
+         "coll  airtime\n";
   for (const DeviceStats& ds : devices) {
     for (std::size_t i = 0; i < kNumModes; ++i) {
       if (ds.offered[i] == 0 && ds.completed[i] == 0 && ds.peer_rx[i] == 0) continue;
       std::snprintf(line, sizeof(line),
-                    "  %3d    %c %7u %6llu %8u %3u %7llu %7u %5llu %8llu\n",
+                    "  %3d    %c %7u %6llu %8u %3u %7llu %7u %5llu %8llu %4llu %8llu\n",
                     ds.station_id, "ABC"[i], ds.offered[i],
                     static_cast<unsigned long long>(ds.offered_bytes[i]), ds.completed[i],
                     ds.tx_ok[i], static_cast<unsigned long long>(ds.retries[i]),
                     ds.peer_rx[i], static_cast<unsigned long long>(ds.peer_acks[i]),
-                    static_cast<unsigned long long>(ds.tampered[i]));
+                    static_cast<unsigned long long>(ds.tampered[i]),
+                    static_cast<unsigned long long>(ds.collisions[i]),
+                    static_cast<unsigned long long>(ds.airtime[i]));
       out += line;
     }
   }
+  for (const CellStats& cs : cells) {
+    for (std::size_t i = 0; i < kNumModes; ++i) {
+      if (cs.collided_frames[i] == 0 && cs.ap_rx[i] == 0 && cs.busy_cycles[i] == 0) {
+        continue;
+      }
+      std::snprintf(line, sizeof(line),
+                    "  cell %u mode %c: %u stations, %llu collided (%llu dropped, "
+                    "%llu captured), ap_rx %u, ap_acks %llu, busy %llu\n",
+                    cs.cell_index, "ABC"[i], cs.stations,
+                    static_cast<unsigned long long>(cs.collided_frames[i]),
+                    static_cast<unsigned long long>(cs.dropped_frames[i]),
+                    static_cast<unsigned long long>(cs.capture_wins[i]), cs.ap_rx[i],
+                    static_cast<unsigned long long>(cs.ap_acks[i]),
+                    static_cast<unsigned long long>(cs.busy_cycles[i]));
+      out += line;
+    }
+  }
+  for (const DeviceStats& ds : devices) {
+    std::snprintf(line, sizeof(line),
+                  "  dev %3d power: %7.2f mW raw, %6.2f mW gated+PSO, %6.2f mW "
+                  "+DVFS/2 (cpu %4.1f%%, bus %4.1f%%)\n",
+                  ds.station_id, ds.power.raw_mw, ds.power.gated_mw, ds.power.dvfs_mw,
+                  100.0 * ds.power.cpu_activity, 100.0 * ds.power.bus_activity);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "  fleet power: %.2f mW raw, %.2f mW gated+PSO, %.2f mW +DVFS/2; "
+                "%llu collisions, %llu defers\n",
+                fleet_raw_mw(), fleet_gated_mw(), fleet_dvfs_mw(),
+                static_cast<unsigned long long>(total_collisions()),
+                static_cast<unsigned long long>(total_defers()));
+  out += line;
   std::snprintf(line, sizeof(line), "  digests: completion=%016llx full=%016llx\n",
                 static_cast<unsigned long long>(completion_digest()),
                 static_cast<unsigned long long>(full_digest()));

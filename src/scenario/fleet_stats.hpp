@@ -6,10 +6,14 @@
 //     lane's clock stops after its workload drains, so the batched lockstep
 //     path (which overshoots a drained lane by up to stride-1 cycles) and the
 //     legacy per-cycle path produce equal completion digests.
-//   * full_digest() additionally covers delivery/peer/channel counters and
-//     per-lane cycle counts — everything. Equal specs through the same
-//     execution path must produce equal full digests; that is the
-//     determinism contract the tests pin down.
+//   * full_digest() additionally covers delivery/peer/channel/contention
+//     counters and per-lane cycle counts — everything integral. Equal specs
+//     through the same execution path must produce equal full digests; that
+//     is the determinism contract the tests pin down.
+//
+// Power estimates (DevicePower) are derived floating-point views of the
+// integral busy counters — deterministic for a given build, but kept out of
+// both digests so the digest contract stays a pure integer-counter property.
 #pragma once
 
 #include <array>
@@ -21,6 +25,16 @@
 
 namespace drmp::scenario {
 
+/// Activity-weighted power estimate of one device over its run, through
+/// est::estimate_power with the §6.2 technique sets.
+struct DevicePower {
+  double raw_mw = 0.0;    ///< No power management (worst case).
+  double gated_mw = 0.0;  ///< Clock gating + power shut-off.
+  double dvfs_mw = 0.0;   ///< Gating + PSO + half-rate DVFS.
+  double cpu_activity = 0.0;  ///< Measured CPU busy fraction.
+  double bus_activity = 0.0;  ///< Measured packet-bus busy fraction.
+};
+
 struct DeviceStats {
   int station_id = 0;
   std::array<u32, kNumModes> offered{};    ///< MSDUs the traffic gen handed over.
@@ -31,15 +45,39 @@ struct DeviceStats {
   std::array<u32, kNumModes> peer_rx{};    ///< Data frames the peer accepted.
   std::array<u64, kNumModes> peer_acks{};  ///< ACK/Imm-ACK frames the peer sent.
   std::array<u64, kNumModes> tampered{};   ///< Frames the channel corrupted.
+  // ---- Contention counters (shared-medium cells; zero on point-to-point) --
+  std::array<u64, kNumModes> collisions{};  ///< Own transmissions that collided.
+  std::array<Cycle, kNumModes> airtime{};   ///< Cycles this station held each band.
+  u64 defers = 0;          ///< CSMA deferrals to a busy medium (BackoffRfu).
+  u32 rts_sent = 0;        ///< WiFi RTS frames sent.
+  u32 cts_received = 0;    ///< WiFi CTS responses received.
   Cycle cycles_run = 0;
+  DevicePower power;
 
   void mix_completion(sim::Digest& d) const;
+  void mix_full(sim::Digest& d) const;
+};
+
+/// Channel-level statistics of one shared-medium cell.
+struct CellStats {
+  u32 cell_index = 0;
+  u32 stations = 0;
+  std::array<u64, kNumModes> collided_frames{};  ///< All parties counted.
+  std::array<u64, kNumModes> dropped_frames{};   ///< Collided, withheld from rx.
+  std::array<u64, kNumModes> capture_wins{};     ///< Survived via capture.
+  std::array<u64, kNumModes> tampered{};         ///< Channel-corrupted frames.
+  std::array<Cycle, kNumModes> busy_cycles{};    ///< Channel occupancy per band.
+  std::array<u32, kNumModes> ap_rx{};    ///< Data frames the AP accepted.
+  std::array<u64, kNumModes> ap_acks{};  ///< ACKs the AP sent.
+  u64 ap_ctss = 0;                       ///< CTS responses the AP sent.
+
   void mix_full(sim::Digest& d) const;
 };
 
 struct FleetStats {
   std::string scenario_name;
   std::vector<DeviceStats> devices;
+  std::vector<CellStats> cells;  ///< One entry per shared-medium cell.
   Cycle lockstep_cycles = 0;  ///< Fleet-clock cycles (max over lanes).
   bool all_drained = false;   ///< Every device finished its workload.
   double wall_seconds = 0.0;  ///< Host time; never part of a digest.
@@ -47,6 +85,14 @@ struct FleetStats {
   u64 device_cycles_total() const;
   /// Fleet throughput: simulated device-cycles per host second.
   double device_cycles_per_sec() const;
+
+  // ---- Fleet energy totals (sums of the per-device estimates) ----
+  double fleet_raw_mw() const;
+  double fleet_gated_mw() const;
+  double fleet_dvfs_mw() const;
+
+  u64 total_collisions() const;
+  u64 total_defers() const;
 
   u64 completion_digest() const;
   u64 full_digest() const;

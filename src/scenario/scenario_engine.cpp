@@ -5,114 +5,22 @@
 #include <stdexcept>
 #include <thread>
 
+#include "net/cell.hpp"
 #include "sim/multi_scheduler.hpp"
 
 namespace drmp::scenario {
 
-namespace {
-// Peer station ids live far above fleet station ids (which start at 1).
-constexpr int kPeerStationBase = 1000;
-}  // namespace
-
-struct ScenarioEngine::Cell {
-  std::unique_ptr<sim::Scheduler> sched;
-  std::array<std::unique_ptr<phy::Medium>, kNumModes> media{};
-  std::array<std::unique_ptr<phy::ScriptedPeer>, kNumModes> peers{};
-  std::unique_ptr<DrmpDevice> device;
-  std::array<std::unique_ptr<mac::TrafficGen>, kNumModes> gens{};
-  std::array<u64, kNumModes> channel_rng{};
-  // Completion counters fed by the device callbacks.
-  std::array<u32, kNumModes> completed{};
-  std::array<u32, kNumModes> tx_ok{};
-  std::array<u64, kNumModes> retries{};
-};
-
 ScenarioEngine::ScenarioEngine(ScenarioSpec spec) : spec_(std::move(spec)) {
-  cells_.reserve(spec_.devices.size());
-  for (std::size_t i = 0; i < spec_.devices.size(); ++i) build_cell(i);
+  cells_.reserve(spec_.cells.size());
+  int next_station_id = 1;
+  for (std::size_t i = 0; i < spec_.cells.size(); ++i) {
+    cells_.push_back(std::make_unique<net::Cell>(spec_.cells[i], spec_.channel,
+                                                 spec_.seed, i, next_station_id));
+    next_station_id += static_cast<int>(spec_.cells[i].stations.size());
+  }
 }
 
 ScenarioEngine::~ScenarioEngine() = default;
-
-void ScenarioEngine::build_cell(std::size_t dev_index) {
-  const DeviceSpec& dspec = spec_.devices[dev_index];
-  const DrmpConfig& cfg = dspec.cfg;
-  const int station_id = static_cast<int>(dev_index) + 1;
-
-  auto cell = std::make_unique<Cell>();
-  cell->sched = std::make_unique<sim::Scheduler>(cfg.arch_freq_hz);
-  const sim::TimeBase tb(cfg.arch_freq_hz);
-
-  // Media lead the cycle (their now() is what everything else samples).
-  for (std::size_t m = 0; m < kNumModes; ++m) {
-    if (!cfg.modes[m].enabled) continue;
-    cell->media[m] = std::make_unique<phy::Medium>(cfg.modes[m].ident.proto, tb);
-    cell->sched->add(*cell->media[m], "medium." + std::string(to_string(mode_from_index(m))),
-                     sim::Scheduler::kStageMedium);
-
-    // Shared lossy-channel model, one PRNG stream per (seed, device, mode).
-    const ChannelSpec& chan = spec_.channel[m];
-    cell->channel_rng[m] = spec_.seed ^ (0xC4A11D5Cull * (dev_index + 1)) ^ (m << 16);
-    if (chan.loss_permille > 0) {
-      u64* rng = &cell->channel_rng[m];
-      cell->media[m]->tamper = [chan, rng](Bytes& frame) {
-        if (frame.size() < chan.min_frame_bytes) return false;
-        if (splitmix64(*rng) % 1000 >= chan.loss_permille) return false;
-        const u64 r = splitmix64(*rng);
-        frame[r % frame.size()] ^= static_cast<u8>(1u << ((r >> 32) % 8));
-        return true;
-      };
-    }
-  }
-
-  cell->device = std::make_unique<DrmpDevice>(*cell->sched, cfg, station_id);
-  cell->device->trace().set_enabled(false);  // No per-cycle trace work in fleets.
-  for (std::size_t m = 0; m < kNumModes; ++m) {
-    if (!cfg.modes[m].enabled) continue;
-    cell->device->attach_medium(mode_from_index(m), cell->media[m].get());
-  }
-
-  // Scripted far ends, mirroring the device's per-mode peer identities.
-  for (std::size_t m = 0; m < kNumModes; ++m) {
-    if (!cfg.modes[m].enabled) continue;
-    cell->peers[m] = std::make_unique<phy::ScriptedPeer>(
-        *cell->media[m], cell->device->timebase(),
-        kPeerStationBase + station_id * static_cast<int>(kNumModes) + static_cast<int>(m));
-    cell->peers[m]->set_wifi_addr(mac::MacAddr::from_u64(cfg.modes[m].ident.peer_addr));
-    cell->peers[m]->set_uwb_ids(cfg.modes[m].ident.pnid, cfg.modes[m].ident.peer_dev_id);
-    cell->sched->add(*cell->peers[m], "peer." + std::string(to_string(mode_from_index(m))));
-  }
-
-  // Traffic generators, one per enabled mode with an enabled traffic spec.
-  for (std::size_t m = 0; m < kNumModes; ++m) {
-    if (!cfg.modes[m].enabled || !dspec.traffic[m].enabled) continue;
-    const u64 seed = spec_.seed ^ (0x7D3F00D5ull * (dev_index + 1)) ^ (m << 24);
-    cell->gens[m] = std::make_unique<mac::TrafficGen>(dspec.traffic[m],
-                                                      cell->device->timebase(), seed);
-    DrmpDevice* dev = cell->device.get();
-    const Mode mode = mode_from_index(m);
-    cell->gens[m]->send = [dev, mode](Bytes b) { dev->host_send(mode, std::move(b)); };
-    cell->sched->add(*cell->gens[m], "traffic." + std::string(to_string(mode)));
-  }
-
-  Cell* c = cell.get();
-  cell->device->on_tx_complete = [c](Mode m, bool ok, u32 retry_count) {
-    const std::size_t i = index(m);
-    ++c->completed[i];
-    if (ok) ++c->tx_ok[i];
-    c->retries[i] += retry_count;
-    if (c->gens[i]) c->gens[i]->notify_tx_complete();
-  };
-
-  cells_.push_back(std::move(cell));
-}
-
-bool ScenarioEngine::cell_drained(const Cell& cell) {
-  for (const auto& gen : cell.gens) {
-    if (gen && !gen->drained()) return false;
-  }
-  return true;
-}
 
 FleetStats ScenarioEngine::run(Path path) {
   // One-shot: a second run would see every traffic generator already
@@ -130,8 +38,8 @@ FleetStats ScenarioEngine::run(Path path) {
   if (path == Path::kBatched) {
     sim::MultiScheduler multi;
     for (auto& cell : cells_) {
-      Cell* c = cell.get();
-      multi.add(*c->sched, [c] { return cell_drained(*c); });
+      net::Cell* c = cell.get();
+      multi.add(c->scheduler(), [c] { return c->drained(); });
     }
     const unsigned workers = spec_.worker_threads != 0
                                  ? spec_.worker_threads
@@ -141,11 +49,11 @@ FleetStats ScenarioEngine::run(Path path) {
     all_drained = res.all_finished;
   } else {
     for (auto& cell : cells_) {
-      Cell* c = cell.get();
+      net::Cell* c = cell.get();
       const bool drained =
-          c->sched->run_until([c] { return cell_drained(*c); }, spec_.max_cycles);
+          c->scheduler().run_until([c] { return c->drained(); }, spec_.max_cycles);
       all_drained = all_drained && drained;
-      lockstep_cycles = std::max(lockstep_cycles, c->sched->now());
+      lockstep_cycles = std::max(lockstep_cycles, c->scheduler().now());
     }
   }
 
@@ -161,32 +69,25 @@ FleetStats ScenarioEngine::collect(Cycle lockstep_cycles, bool all_drained,
   fs.lockstep_cycles = lockstep_cycles;
   fs.all_drained = all_drained;
   fs.wall_seconds = wall_seconds;
-  fs.devices.reserve(cells_.size());
-  for (const auto& cell : cells_) {
-    DeviceStats ds;
-    ds.station_id = cell->device->station_id();
-    ds.cycles_run = cell->sched->now();
-    for (std::size_t m = 0; m < kNumModes; ++m) {
-      if (cell->gens[m]) {
-        ds.offered[m] = cell->gens[m]->offered();
-        ds.offered_bytes[m] = cell->gens[m]->offered_bytes();
-      }
-      ds.completed[m] = cell->completed[m];
-      ds.tx_ok[m] = cell->tx_ok[m];
-      ds.retries[m] = cell->retries[m];
-      if (cell->peers[m]) {
-        ds.peer_rx[m] = static_cast<u32>(cell->peers[m]->received_data_frames().size());
-        ds.peer_acks[m] = cell->peers[m]->acks_sent();
-      }
-      if (cell->media[m]) ds.tampered[m] = cell->media[m]->tampered_frames();
-    }
-    fs.devices.push_back(ds);
-  }
+  fs.devices.reserve(spec_.station_count());
+  for (const auto& cell : cells_) cell->collect(fs.devices, fs.cells);
   return fs;
 }
 
-DrmpDevice& ScenarioEngine::device(std::size_t i) { return *cells_.at(i)->device; }
+std::size_t ScenarioEngine::device_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& cell : cells_) n += cell->station_count();
+  return n;
+}
 
-sim::Scheduler& ScenarioEngine::scheduler(std::size_t i) { return *cells_.at(i)->sched; }
+net::Cell& ScenarioEngine::cell(std::size_t i) { return *cells_.at(i); }
+
+DrmpDevice& ScenarioEngine::device(std::size_t i) {
+  for (const auto& cell : cells_) {
+    if (i < cell->station_count()) return cell->device(i);
+    i -= cell->station_count();
+  }
+  throw std::out_of_range("ScenarioEngine::device: index past the last station");
+}
 
 }  // namespace drmp::scenario

@@ -1,18 +1,19 @@
-// ScenarioEngine — turns a ScenarioSpec into a running multi-device fleet.
+// ScenarioEngine — turns a ScenarioSpec into a running multi-cell fleet.
 //
-// Every device is one *cell*: its own Scheduler (clock domain), its own
-// protocol media with a ScriptedPeer at the far end, a full DrmpDevice, and
-// one TrafficGen per enabled mode. Cells are fully independent — separate
-// packet memories, IRCs, statistics and PRNG streams — so cross-device
-// isolation holds by construction and a device's results do not depend on
-// fleet size. The shared lossy-channel model (ScenarioSpec::channel) is
-// applied to every cell's media through the Medium fault injector, with the
-// corruption PRNG seeded per (scenario seed, device, mode).
+// Every CellSpec becomes one net::Cell: its own Scheduler (clock domain), its
+// own media — point-to-point with a ScriptedPeer far end, or a shared
+// net::ContendedMedium carrying N contending DRMP stations — plus per-station
+// traffic generators. Cells share nothing with each other: separate packet
+// memories, IRCs, statistics and PRNG streams, so cross-cell isolation holds
+// by construction and a cell's results do not depend on fleet composition.
+// The lossy-channel model (ScenarioSpec::channel, overridable per cell) is
+// applied through the Medium fault injector.
 //
 // Two execution paths over the same cells:
 //   * Path::kBatched — MultiScheduler lockstep over Scheduler::
 //     run_cycles_batched with per-cell drained() early-exit predicates
-//     evaluated once per stride. The fleet hot path.
+//     evaluated once per stride. The fleet hot path; optional worker threads
+//     are bit-identical to serial.
 //   * Path::kLegacy  — each cell in sequence through Scheduler::run_until,
 //     predicate evaluated every cycle. The baseline the bench compares
 //     against.
@@ -23,9 +24,12 @@
 #include <memory>
 
 #include "drmp/device.hpp"
-#include "phy/channel.hpp"
 #include "scenario/fleet_stats.hpp"
 #include "scenario/scenario_spec.hpp"
+
+namespace drmp::net {
+class Cell;
+}
 
 namespace drmp::scenario {
 
@@ -40,19 +44,18 @@ class ScenarioEngine {
   FleetStats run(Path path = Path::kBatched);
 
   const ScenarioSpec& spec() const noexcept { return spec_; }
-  std::size_t device_count() const noexcept { return cells_.size(); }
+  std::size_t cell_count() const noexcept { return cells_.size(); }
+  /// Total stations across all cells.
+  std::size_t device_count() const noexcept;
+  net::Cell& cell(std::size_t i);
+  /// Station access by fleet-global index (0-based, cells in order).
   DrmpDevice& device(std::size_t i);
-  sim::Scheduler& scheduler(std::size_t i);
 
  private:
-  struct Cell;
-
-  void build_cell(std::size_t dev_index);
-  static bool cell_drained(const Cell& cell);
   FleetStats collect(Cycle lockstep_cycles, bool all_drained, double wall_seconds) const;
 
   ScenarioSpec spec_;
-  std::vector<std::unique_ptr<Cell>> cells_;
+  std::vector<std::unique_ptr<net::Cell>> cells_;
   bool ran_ = false;
 };
 

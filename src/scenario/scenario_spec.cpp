@@ -2,6 +2,19 @@
 
 namespace drmp::scenario {
 
+std::size_t ScenarioSpec::station_count() const {
+  std::size_t n = 0;
+  for (const CellSpec& c : cells) n += c.stations.size();
+  return n;
+}
+
+void ScenarioSpec::add_station(DeviceSpec d) {
+  CellSpec cell;
+  cell.topology = Topology::kPointToPoint;
+  cell.stations.push_back(std::move(d));
+  cells.push_back(std::move(cell));
+}
+
 ScenarioSpec ScenarioSpec::mixed_three_standard(std::size_t n_devices, u64 seed,
                                                 u32 msdus_per_mode) {
   ScenarioSpec spec;
@@ -19,7 +32,7 @@ ScenarioSpec ScenarioSpec::mixed_three_standard(std::size_t n_devices, u64 seed,
   base.modes[1].ident.tdma_period_us = 2000.0;
   base.modes[2].ident.tdma_period_us = 2000.0;
 
-  spec.devices.reserve(n_devices);
+  spec.cells.reserve(n_devices);
   for (std::size_t i = 0; i < n_devices; ++i) {
     DeviceSpec d;
     d.cfg = base.for_station(static_cast<int>(i) + 1);
@@ -36,8 +49,46 @@ ScenarioSpec ScenarioSpec::mixed_three_standard(std::size_t n_devices, u64 seed,
     } else {
       d.cfg.modes[1].enabled = false;
     }
-    spec.devices.push_back(std::move(d));
+    spec.add_station(std::move(d));
   }
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::contended_wifi_cell(std::size_t n_stations, u64 seed,
+                                               u32 msdus_per_station,
+                                               u32 rts_threshold) {
+  ScenarioSpec spec;
+  spec.name = "contended-wifi-" + std::to_string(n_stations);
+  spec.seed = seed;
+  spec.max_cycles = 120'000'000;
+
+  DrmpConfig base = DrmpConfig::standard_three_mode();
+  base.modes[1].enabled = false;  // WiFi only: contention is the workload.
+  base.modes[2].enabled = false;
+  base.modes[0].ident.rts_threshold = rts_threshold;
+
+  CellSpec cell;
+  cell.topology = Topology::kSharedMedium;
+  cell.stations.reserve(n_stations);
+  for (std::size_t i = 0; i < n_stations; ++i) {
+    DeviceSpec d;
+    d.cfg = base.for_station(static_cast<int>(i) + 1);
+    d.traffic[0] = mac::TrafficSpec::wifi_csma_bursts(msdus_per_station);
+    // Aligned arrivals and modest sizes: every interval boundary fires a
+    // burst on every station, so each round is a genuine contention round
+    // while a cell run stays within the cycle budget. Two-deep bursts keep a
+    // station re-contending with a fresh backoff draw right after each
+    // completion — fresh draws against the other stations' residuals are
+    // where same-slot collisions come from.
+    d.traffic[0].start_us = 150.0;
+    d.traffic[0].interval_us = 2500.0;
+    d.traffic[0].msdu_min_bytes = 256;
+    d.traffic[0].msdu_max_bytes = 640;
+    d.traffic[0].burst_len = 2;
+    d.traffic[0].max_inflight = 2;
+    cell.stations.push_back(std::move(d));
+  }
+  spec.cells.push_back(std::move(cell));
   return spec;
 }
 

@@ -1,28 +1,45 @@
 // Declarative scenario descriptions for multi-device fleet simulation.
 //
-// A ScenarioSpec is a plain value: N device specs (full DRMP configuration
-// plus a per-mode traffic shape), a shared lossy-channel model, a seed and a
-// cycle budget. The ScenarioEngine turns one into a running fleet; two
-// engines built from equal specs produce byte-identical aggregate statistics.
+// A ScenarioSpec is a plain value: a list of *cells*, a fleet-wide
+// lossy-channel model, a seed and a cycle budget. The ScenarioEngine turns
+// one into a running fleet; two engines built from equal specs produce
+// byte-identical aggregate statistics.
+//
+// A cell is one radio neighbourhood advanced by one scheduler (clock
+// domain). Two topologies:
+//   * kPointToPoint — one DRMP device against a scripted far-end peer on a
+//     private, collision-free medium per mode (the paper's experiment
+//     shape; PR-1 fleets are lists of these).
+//   * kSharedMedium — N full DRMP devices contending on one
+//     net::ContendedMedium per mode, either against a scripted access point
+//     that ACKs/CTSes uplink traffic, or (access_point = false, exactly two
+//     stations) against each other in the mirrored two-device topology.
+//     Collisions, carrier-sense latency and the capture effect follow
+//     ContentionSpec.
 //
 // Field reference (also recorded in ROADMAP.md):
 //   ScenarioSpec.name            — label used in reports.
 //   ScenarioSpec.seed            — master seed; every PRNG in the run (traffic
 //                                  sizes/contents, channel corruption) derives
-//                                  from (seed, device index, mode).
-//   ScenarioSpec.max_cycles      — per-device cycle budget.
+//                                  from (seed, station, mode).
+//   ScenarioSpec.max_cycles      — per-cell cycle budget.
 //   ScenarioSpec.lockstep_stride — MultiScheduler lockstep granularity.
-//   ScenarioSpec.channel[mode]   — shared channel model applied to that
-//                                  protocol band on every device.
-//   ScenarioSpec.devices[i]      — one DRMP device: its DrmpConfig (use
+//   ScenarioSpec.channel[mode]   — fleet-wide channel model; a cell may
+//                                  override it with CellSpec.channel.
+//   ScenarioSpec.cells[i]        — one cell (see above).
+//   CellSpec.stations[j]         — one DRMP device: its DrmpConfig (use
 //                                  DrmpConfig::for_station for unique fleet
-//                                  identities) and one TrafficSpec per mode.
+//                                  identities; shared-medium cells re-derive
+//                                  cell-consistent identities themselves) and
+//                                  one TrafficSpec per mode.
 //   ChannelSpec.loss_permille    — per-frame corruption probability (‰).
 //   ChannelSpec.min_frame_bytes  — frames below this size fly clean, so short
 //                                  control responses (ACK/CTS) are not hit.
+//   ContentionSpec               — mirrors net::ContendedMedium::Params.
 #pragma once
 
 #include <array>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,7 +50,7 @@
 
 namespace drmp::scenario {
 
-/// Lossy-channel model for one protocol band, shared fleet-wide.
+/// Lossy-channel model for one protocol band.
 struct ChannelSpec {
   u32 loss_permille = 0;  ///< Chance a data-sized frame is corrupted on air.
   std::size_t min_frame_bytes = 64;  ///< Control frames stay clean below this.
@@ -43,6 +60,34 @@ struct ChannelSpec {
 struct DeviceSpec {
   DrmpConfig cfg = DrmpConfig::standard_three_mode();
   std::array<mac::TrafficSpec, kNumModes> traffic{};
+};
+
+enum class Topology : u8 { kPointToPoint, kSharedMedium };
+
+/// Shared-medium physics, mirroring net::ContendedMedium::Params.
+struct ContentionSpec {
+  /// Carrier-sense detection latency (the collision window); negative
+  /// selects the protocol default of one contention slot.
+  double cca_latency_us = -1.0;
+  /// Capture effect preamble lock-in; 0 disables capture.
+  double capture_preamble_us = 0.0;
+  /// Deliver collided frames garbled instead of dropping them.
+  bool deliver_garbled = false;
+};
+
+/// One radio cell: its topology, member stations and channel physics.
+struct CellSpec {
+  Topology topology = Topology::kPointToPoint;
+  /// kPointToPoint: exactly one station. kSharedMedium: two or more.
+  std::vector<DeviceSpec> stations;
+  /// kSharedMedium only: attach a scripted access point that ACKs data and
+  /// answers RTS with CTS. false requires exactly two stations, which are
+  /// then mirrored onto each other (the twodevice_test topology: both ends
+  /// of the link are full DRMP devices).
+  bool access_point = true;
+  ContentionSpec contention;
+  /// Per-cell channel override; unset inherits ScenarioSpec::channel.
+  std::optional<std::array<ChannelSpec, kNumModes>> channel;
 };
 
 struct ScenarioSpec {
@@ -56,16 +101,30 @@ struct ScenarioSpec {
   /// larger strides still amortise the per-round wakeup on small fleets.
   unsigned worker_threads = 1;
   std::array<ChannelSpec, kNumModes> channel{};
-  std::vector<DeviceSpec> devices;
+  std::vector<CellSpec> cells;
 
-  /// The canonical fleet workload: n devices with heterogeneous traffic
-  /// mixes over all three prototype standards — every device carries WiFi
-  /// CSMA bursts, every second a UWB slotted stream, and two of every three
-  /// a WiMAX framed uplink — over a lossy WiFi/UWB channel. TDD/superframe
-  /// periods are tightened versus the thesis defaults so a fleet run stays
-  /// in the millions-of-cycles range.
+  /// Total stations across all cells.
+  std::size_t station_count() const;
+  /// Appends a single-station point-to-point cell (the PR-1 fleet shape).
+  void add_station(DeviceSpec d);
+
+  /// The canonical point-to-point fleet workload: n devices, each in its own
+  /// cell, with heterogeneous traffic mixes over all three prototype
+  /// standards — every device carries WiFi CSMA bursts, every second a UWB
+  /// slotted stream, and two of every three a WiMAX framed uplink — over a
+  /// lossy WiFi/UWB channel. TDD/superframe periods are tightened versus the
+  /// thesis defaults so a fleet run stays in the millions-of-cycles range.
   static ScenarioSpec mixed_three_standard(std::size_t n_devices, u64 seed = 1,
                                            u32 msdus_per_mode = 3);
+
+  /// The canonical contention workload: one shared-medium cell of
+  /// `n_stations` WiFi-only stations uplinking CSMA bursts to a scripted
+  /// access point. Arrivals are aligned across stations so every burst
+  /// contends; `rts_threshold` > 0 precedes MSDUs of that size or more with
+  /// an RTS/CTS handshake.
+  static ScenarioSpec contended_wifi_cell(std::size_t n_stations, u64 seed = 1,
+                                          u32 msdus_per_station = 3,
+                                          u32 rts_threshold = 0);
 };
 
 }  // namespace drmp::scenario

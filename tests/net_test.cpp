@@ -1,0 +1,179 @@
+// net::ContendedMedium unit tests: overlap semantics (collision marking,
+// drop vs garbled delivery), carrier-sense detection latency (the collision
+// window), the capture effect, per-source airtime/collision accounting, and
+// the point-to-point backend's defined hard error on overlap (which used to
+// be a Debug-only assert).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "net/contended_medium.hpp"
+#include "sim/scheduler.hpp"
+
+namespace drmp::net {
+namespace {
+
+struct Sink : phy::MediumClient {
+  std::vector<Bytes> frames;
+  std::vector<int> sources;
+  void on_frame(const Bytes& f, Cycle, int source) override {
+    frames.push_back(f);
+    sources.push_back(source);
+  }
+};
+
+Bytes pattern_frame(std::size_t n, u8 seed) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<u8>(seed + i * 3);
+  return b;
+}
+
+class ContendedMediumTest : public ::testing::Test {
+ protected:
+  ContendedMediumTest() : tb(200e6), sched(200e6) {}
+
+  ContendedMedium& make(ContendedMedium::Params p = {}) {
+    medium = std::make_unique<ContendedMedium>(mac::Protocol::WiFi, tb, p);
+    medium->attach(sink);
+    sched.add(*medium, "medium", sim::Scheduler::kStageMedium);
+    return *medium;
+  }
+
+  sim::TimeBase tb;
+  sim::Scheduler sched;
+  std::unique_ptr<ContendedMedium> medium;
+  Sink sink;
+};
+
+TEST_F(ContendedMediumTest, CleanTransmissionDeliversIntactWithAirtime) {
+  ContendedMedium& m = make();
+  const Bytes f = pattern_frame(100, 7);
+  const Cycle end = m.begin_tx(f, 1);
+  sched.run_cycles(end + 2);
+  ASSERT_EQ(sink.frames.size(), 1u);
+  EXPECT_EQ(sink.frames[0], f);
+  EXPECT_EQ(sink.sources[0], 1);
+  EXPECT_EQ(m.collided_frames(), 0u);
+  const auto ss = m.source(1);
+  EXPECT_EQ(ss.frames, 1u);
+  EXPECT_EQ(ss.collisions, 0u);
+  EXPECT_EQ(ss.airtime, m.frame_air_cycles(f.size()));
+}
+
+TEST_F(ContendedMediumTest, CcaDetectsCarrierOnlyAfterLatency) {
+  ContendedMedium& m = make();
+  const Cycle latency = m.cca_latency_cycles();
+  ASSERT_GT(latency, 0u);  // WiFi default: one 20 us slot.
+  m.begin_tx(pattern_frame(400, 1), 1);
+  EXPECT_TRUE(m.busy());        // Ground truth: instantly on the air.
+  EXPECT_FALSE(m.cca_busy());   // ... but not yet audible.
+  sched.run_cycles(latency - 1);
+  EXPECT_FALSE(m.cca_busy());
+  sched.run_cycles(1);
+  EXPECT_TRUE(m.cca_busy());  // Audible exactly at the latency boundary.
+  EXPECT_EQ(m.cca_idle_for(), 0u);
+}
+
+TEST_F(ContendedMediumTest, OverlapCollidesAllPartiesAndDropsFrames) {
+  ContendedMedium& m = make();
+  m.begin_tx(pattern_frame(300, 2), 1);
+  sched.run_cycles(100);  // Inside the collision window.
+  const Cycle end2 = m.begin_tx(pattern_frame(300, 9), 2);
+  sched.run_cycles(end2);
+  EXPECT_TRUE(sink.frames.empty());  // Receivers saw only noise.
+  EXPECT_EQ(m.collided_frames(), 2u);
+  EXPECT_EQ(m.dropped_frames(), 2u);
+  EXPECT_EQ(m.source(1).collisions, 1u);
+  EXPECT_EQ(m.source(2).collisions, 1u);
+  // Airtime is still accounted: the channel was physically occupied.
+  EXPECT_GT(m.source(1).airtime, 0u);
+  EXPECT_GT(m.source(2).airtime, 0u);
+}
+
+TEST_F(ContendedMediumTest, GarbledModeDeliversDamagedFrames) {
+  ContendedMedium::Params p;
+  p.deliver_garbled = true;
+  ContendedMedium& m = make(p);
+  const Bytes a = pattern_frame(200, 3);
+  const Bytes b = pattern_frame(200, 11);
+  m.begin_tx(a, 1);
+  sched.run_cycles(50);
+  const Cycle end2 = m.begin_tx(b, 2);
+  sched.run_cycles(end2);
+  ASSERT_EQ(sink.frames.size(), 2u);  // Delivered, but bit-damaged.
+  EXPECT_NE(sink.frames[0], a);
+  EXPECT_NE(sink.frames[1], b);
+  EXPECT_EQ(m.garbled_frames(), 2u);
+  EXPECT_EQ(m.dropped_frames(), 0u);
+}
+
+TEST_F(ContendedMediumTest, CaptureProtectsEstablishedFrame) {
+  ContendedMedium::Params p;
+  p.capture_preamble_us = 5.0;  // 1000 cycles at 200 MHz.
+  ContendedMedium& m = make(p);
+  const Bytes a = pattern_frame(400, 4);
+  m.begin_tx(a, 1);
+  sched.run_cycles(2000);  // Receivers locked onto a's preamble long ago.
+  const Cycle end2 = m.begin_tx(pattern_frame(400, 12), 2);
+  sched.run_cycles(end2);
+  ASSERT_EQ(sink.frames.size(), 1u);  // a survived; the newcomer is lost.
+  EXPECT_EQ(sink.frames[0], a);
+  EXPECT_EQ(m.capture_wins(), 1u);
+  EXPECT_EQ(m.collided_frames(), 1u);  // Only the late interferer.
+  EXPECT_EQ(m.source(1).collisions, 0u);
+  EXPECT_EQ(m.source(2).collisions, 1u);
+}
+
+TEST_F(ContendedMediumTest, LateStartWithinCaptureWindowKillsBoth) {
+  ContendedMedium::Params p;
+  p.capture_preamble_us = 5.0;
+  ContendedMedium& m = make(p);
+  m.begin_tx(pattern_frame(400, 4), 1);
+  sched.run_cycles(500);  // Still inside a's preamble: no lock yet.
+  const Cycle end2 = m.begin_tx(pattern_frame(400, 12), 2);
+  sched.run_cycles(end2);
+  EXPECT_TRUE(sink.frames.empty());
+  EXPECT_EQ(m.collided_frames(), 2u);
+  EXPECT_EQ(m.capture_wins(), 0u);
+}
+
+TEST_F(ContendedMediumTest, TamperStillAppliesToSurvivingFrames) {
+  ContendedMedium& m = make();
+  m.tamper = [](Bytes& f) {
+    f[0] ^= 0xFF;
+    return true;
+  };
+  const Bytes f = pattern_frame(120, 5);
+  const Cycle end = m.begin_tx(f, 1);
+  sched.run_cycles(end + 1);
+  ASSERT_EQ(sink.frames.size(), 1u);
+  EXPECT_NE(sink.frames[0], f);
+  EXPECT_EQ(m.tampered_frames(), 1u);
+}
+
+TEST(PointToPointMedium, OverlapIsAHardErrorInEveryBuildType) {
+  // Satellite of the contention work: the old assert(!busy()) compiled out
+  // under NDEBUG and let Release builds overwrite an in-flight frame. The
+  // point-to-point backend now throws in all build types.
+  sim::TimeBase tb(200e6);
+  phy::Medium m(mac::Protocol::WiFi, tb);
+  m.begin_tx(Bytes(100, 0xAB), 1);
+  EXPECT_TRUE(m.busy());
+  EXPECT_THROW(m.begin_tx(Bytes(50, 0xCD), 2), std::logic_error);
+}
+
+TEST(PointToPointMedium, CcaViewMatchesGroundTruth) {
+  sim::TimeBase tb(200e6);
+  sim::Scheduler sched(200e6);
+  phy::Medium m(mac::Protocol::WiFi, tb);
+  sched.add(m, "medium", sim::Scheduler::kStageMedium);
+  EXPECT_FALSE(m.cca_busy());
+  const Cycle end = m.begin_tx(Bytes(64, 0x11), 1);
+  EXPECT_TRUE(m.cca_busy());  // No detection latency on point-to-point.
+  sched.run_cycles(end + 3);
+  EXPECT_FALSE(m.cca_busy());
+  EXPECT_EQ(m.cca_idle_for(), m.idle_for());
+}
+
+}  // namespace
+}  // namespace drmp::net

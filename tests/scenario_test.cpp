@@ -128,6 +128,114 @@ TEST(Scenario, ReportListsEveryActiveDeviceMode) {
   EXPECT_EQ(report.find("BUDGET EXHAUSTED"), std::string::npos);
 }
 
+// ---- Shared-medium (contention) scenarios ------------------------------
+
+TEST(Scenario, ContendedCellSeesCollisionsDefersAndDrains) {
+  // The acceptance scenario: four WiFi CSMA stations on one shared medium
+  // must actually collide and defer — the contention behaviour the
+  // point-to-point fleets could never exhibit — and still drain their
+  // workload through the timeout/retry/CW-growth machinery.
+  ScenarioSpec spec = ScenarioSpec::contended_wifi_cell(4, 1, 6);
+  const FleetStats fs = ScenarioEngine(spec).run();
+  EXPECT_TRUE(fs.all_drained);
+  ASSERT_EQ(fs.devices.size(), 4u);
+  ASSERT_EQ(fs.cells.size(), 1u);
+  EXPECT_GT(fs.total_collisions(), 0u);
+  EXPECT_GT(fs.total_defers(), 0u);
+  EXPECT_GT(fs.cells[0].collided_frames[0], 0u);
+  EXPECT_EQ(fs.cells[0].stations, 4u);
+  for (const DeviceStats& ds : fs.devices) {
+    EXPECT_EQ(ds.completed[0], ds.offered[0]) << "station " << ds.station_id;
+    EXPECT_GT(ds.airtime[0], 0u) << "station " << ds.station_id;
+  }
+  // The access point saw the uplink and acknowledged it.
+  EXPECT_GT(fs.cells[0].ap_rx[0], 0u);
+  EXPECT_GT(fs.cells[0].ap_acks[0], 0u);
+}
+
+TEST(Scenario, ContendedCellDigestsAreReproducible) {
+  const FleetStats a = ScenarioEngine(ScenarioSpec::contended_wifi_cell(4, 1, 6)).run();
+  const FleetStats b = ScenarioEngine(ScenarioSpec::contended_wifi_cell(4, 1, 6)).run();
+  EXPECT_EQ(a.full_digest(), b.full_digest());
+  EXPECT_EQ(a.report(), b.report());
+}
+
+TEST(Scenario, ContendedCellWorkerThreadsMatchSerial) {
+  // worker_threads ∈ {1, 0}: the all-cores run must be byte-identical to the
+  // serial reference even when a cell carries contending stations.
+  ScenarioSpec serial_spec = ScenarioSpec::contended_wifi_cell(4, 1, 4);
+  // Add a second cell so the parallel run actually distributes lanes.
+  ScenarioSpec other = ScenarioSpec::mixed_three_standard(2, 1, 2);
+  for (auto& c : other.cells) serial_spec.cells.push_back(std::move(c));
+  ScenarioSpec parallel_spec = serial_spec;
+  parallel_spec.worker_threads = 0;
+  const FleetStats serial = ScenarioEngine(std::move(serial_spec)).run();
+  const FleetStats parallel = ScenarioEngine(std::move(parallel_spec)).run();
+  EXPECT_TRUE(serial.all_drained);
+  EXPECT_EQ(serial.full_digest(), parallel.full_digest());
+  EXPECT_EQ(serial.report(), parallel.report());
+}
+
+TEST(Scenario, MirroredPairReproducesTwoDeviceRtsCtsTopology) {
+  // The twodevice_test topology as a first-class scenario: two full DRMP
+  // devices on one shared medium, no scripted AP — each end's Event Handler
+  // + AckRfu answers the other's RTS with a CTS and its data with an ACK —
+  // with the RTS/CTS handshake forced on every MSDU.
+  ScenarioSpec spec =
+      ScenarioSpec::contended_wifi_cell(2, 5, 2, /*rts_threshold=*/128);
+  spec.cells[0].access_point = false;
+  const FleetStats fs = ScenarioEngine(spec).run();
+  EXPECT_TRUE(fs.all_drained);
+  ASSERT_EQ(fs.devices.size(), 2u);
+  u32 rts = 0, cts = 0;
+  for (const DeviceStats& ds : fs.devices) {
+    EXPECT_EQ(ds.completed[0], ds.offered[0]) << "station " << ds.station_id;
+    EXPECT_EQ(ds.tx_ok[0], ds.offered[0]) << "station " << ds.station_id;
+    rts += ds.rts_sent;
+    cts += ds.cts_received;
+  }
+  EXPECT_GT(rts, 0u);
+  EXPECT_GT(cts, 0u);
+}
+
+TEST(Scenario, MixedTopologyFleetKeepsCellIsolation) {
+  // A point-to-point station's complete statistics are unchanged by a
+  // contended cell elsewhere in the fleet: cells share nothing.
+  const FleetStats solo = ScenarioEngine(small_fleet(1, 13)).run();
+  ScenarioSpec mixed = small_fleet(1, 13);
+  ScenarioSpec contended = ScenarioSpec::contended_wifi_cell(3, 13, 2);
+  for (auto& c : contended.cells) mixed.cells.push_back(std::move(c));
+  mixed.max_cycles = 120'000'000;
+  const FleetStats fleet = ScenarioEngine(std::move(mixed)).run();
+  ASSERT_EQ(fleet.devices.size(), 4u);
+  EXPECT_TRUE(fleet.all_drained);
+  sim::Digest ds, df;
+  solo.devices[0].mix_full(ds);
+  fleet.devices[0].mix_full(df);
+  EXPECT_EQ(ds.value(), df.value());
+}
+
+TEST(Scenario, FleetStatsCarryPowerEstimates) {
+  ScenarioSpec spec = ScenarioSpec::contended_wifi_cell(2, 3, 2);
+  const FleetStats fs = ScenarioEngine(spec).run();
+  for (const DeviceStats& ds : fs.devices) {
+    EXPECT_GT(ds.power.raw_mw, 0.0);
+    EXPECT_GT(ds.power.gated_mw, 0.0);
+    EXPECT_GT(ds.power.dvfs_mw, 0.0);
+    // The §6.2 argument chain: each technique set strictly reduces power.
+    EXPECT_LT(ds.power.gated_mw, ds.power.raw_mw);
+    EXPECT_LT(ds.power.dvfs_mw, ds.power.gated_mw);
+    EXPECT_GE(ds.power.cpu_activity, 0.0);
+    EXPECT_LE(ds.power.cpu_activity, 1.0);
+  }
+  EXPECT_GT(fs.fleet_raw_mw(), fs.fleet_gated_mw());
+  EXPECT_GT(fs.fleet_gated_mw(), fs.fleet_dvfs_mw());
+  // Power stays out of the digests (derived floating-point views).
+  FleetStats copy = fs;
+  copy.devices[0].power.raw_mw += 1000.0;
+  EXPECT_EQ(copy.full_digest(), fs.full_digest());
+}
+
 TEST(TrafficGen, SlottedStreamPacesArrivalsByInterval) {
   sim::TimeBase tb(200e6);
   mac::TrafficSpec spec = mac::TrafficSpec::uwb_slotted_stream(3);

@@ -18,6 +18,10 @@ fi
 FILES=(
   src/mac/traffic_gen.hpp
   src/mac/traffic_gen.cpp
+  src/net/cell.hpp
+  src/net/cell.cpp
+  src/net/contended_medium.hpp
+  src/net/contended_medium.cpp
   src/scenario/scenario_spec.hpp
   src/scenario/scenario_spec.cpp
   src/scenario/scenario_engine.hpp
@@ -28,7 +32,9 @@ FILES=(
   src/sim/multi_scheduler.cpp
   src/sim/scheduler.hpp
   src/sim/scheduler.cpp
+  tests/net_test.cpp
   tests/scenario_test.cpp
+  bench/bench_net_contention.cpp
   bench/bench_scenario_fleet.cpp
   examples/fleet_demo.cpp
 )
