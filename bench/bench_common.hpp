@@ -4,16 +4,89 @@
 // record.
 #pragma once
 
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "drmp/testbench.hpp"
 #include "est/report.hpp"
 
 namespace drmp::bench {
+
+// ---- Machine-readable bench output (--json) --------------------------------
+//
+// The perf trajectory of the repo is tracked through flat JSON records the
+// fleet benches emit next to their human-readable tables: cycles simulated,
+// wall seconds, cycles/sec, skip ratio, digests. CI uploads the files as
+// artifacts, so every commit carries its own measurement.
+
+/// Ordered flat key->value JSON object writer. Values are emitted as given:
+/// numbers unquoted, strings quoted (no escaping beyond what bench keys
+/// need, i.e. none).
+class JsonRecord {
+ public:
+  void num(const std::string& key, double v) {
+    std::ostringstream os;
+    os << std::setprecision(12) << v;
+    kv_.emplace_back(key, os.str());
+  }
+  void num(const std::string& key, u64 v) { kv_.emplace_back(key, std::to_string(v)); }
+  void num(const std::string& key, u32 v) { kv_.emplace_back(key, std::to_string(v)); }
+  void num(const std::string& key, int v) { kv_.emplace_back(key, std::to_string(v)); }
+  void str(const std::string& key, const std::string& v) {
+    kv_.emplace_back(key, "\"" + v + "\"");
+  }
+  void hex(const std::string& key, u64 v) {
+    std::ostringstream os;
+    os << "\"" << std::hex << std::setw(16) << std::setfill('0') << v << "\"";
+    kv_.emplace_back(key, os.str());
+  }
+
+  std::string dump() const {
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < kv_.size(); ++i) {
+      out += "  \"" + kv_[i].first + "\": " + kv_[i].second;
+      out += i + 1 < kv_.size() ? ",\n" : "\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  bool write(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << dump();
+    return static_cast<bool>(f);
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+/// Consumes a trailing `--json` / `--json=PATH` argument (anywhere in argv)
+/// so positional parsing stays untouched. Returns the output path — PATH if
+/// given, `default_path` for the bare flag, empty when the flag is absent.
+inline std::string take_json_flag(int& argc, char** argv,
+                                  const std::string& default_path) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::strcmp(argv[r], "--json") == 0) {
+      path = default_path;
+    } else if (std::strncmp(argv[r], "--json=", 7) == 0) {
+      path = argv[r] + 7;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  return path;
+}
 
 /// Samples system activity every cycle into trace channels so the bench can
 /// render the waveforms of Figs. 5.1-5.7 (the Simulink-scope stand-in).

@@ -10,10 +10,16 @@
 //   3. Throughput: simulated device-cycles per host second of the batched
 //      lockstep path over the contended cells.
 //
-//   $ ./bench_net_contention [max_stations] [msdus_per_station] [reps]
+//   $ ./bench_net_contention [max_stations] [msdus_per_station] [reps] [--json[=PATH]]
+//
+//   --json writes the machine-readable record of the largest cell (cycles,
+//   wall seconds, cycles/sec, skip ratio, contention counters) to
+//   BENCH_contention.json (or PATH).
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
+#include "bench_common.hpp"
 #include "scenario/scenario_engine.hpp"
 
 namespace {
@@ -36,6 +42,8 @@ FleetStats run_cell(std::size_t stations, drmp::u32 msdus, unsigned workers) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path =
+      drmp::bench::take_json_flag(argc, argv, "BENCH_contention.json");
   const std::size_t max_stations =
       argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
   const drmp::u32 msdus =
@@ -74,6 +82,7 @@ int main(int argc, char** argv) {
   }
 
   // ---- Saturation profile ----
+  FleetStats largest;  // Largest cell's record feeds the JSON output.
   std::printf("stations   coll  defers retries  airtime%%  gated_mW  Mcyc/s\n");
   for (std::size_t n = 2; n <= max_stations; n *= 2) {
     drmp::u64 coll = 0, defers = 0, retries = 0;
@@ -94,12 +103,36 @@ int main(int argc, char** argv) {
         std::printf("BUDGET EXHAUSTED at %zu stations\n", n);
         return 1;
       }
+      largest = fs;
     }
     std::printf("%8zu %6llu %7llu %7llu %9.2f %9.2f %7.2f\n", n,
                 static_cast<unsigned long long>(coll),
                 static_cast<unsigned long long>(defers),
                 static_cast<unsigned long long>(retries), airshare, gated,
                 rate / 1e6);
+  }
+
+  if (!json_path.empty()) {
+    drmp::bench::JsonRecord rec;
+    rec.str("bench", "net_contention");
+    rec.num("stations", static_cast<drmp::u64>(largest.devices.size()));
+    rec.num("msdus_per_station", msdus);
+    rec.num("seed", kSeed);
+    rec.num("lockstep_cycles", largest.lockstep_cycles);
+    rec.num("device_cycles_total", largest.device_cycles_total());
+    rec.num("wall_seconds", largest.wall_seconds);
+    rec.num("device_cycles_per_sec", largest.device_cycles_per_sec());
+    rec.num("collisions", largest.total_collisions());
+    rec.num("defers", largest.total_defers());
+    rec.num("ticks_executed", largest.ticks_executed);
+    rec.num("ticks_skipped", largest.ticks_skipped);
+    rec.num("skip_ratio", largest.skip_ratio());
+    rec.hex("full_digest", largest.full_digest());
+    if (!rec.write(json_path)) {
+      std::printf("FAILED to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\njson record: %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -10,13 +10,22 @@
 //      A parallel-workers batched run is reported when the host has more
 //      than one core (it is digest-identical to the serial run).
 //
-//   $ ./bench_scenario_fleet [num_devices] [msdus_per_mode] [repetitions]
+//   3. Quiescence: the batched path skips provably-idle component ticks
+//      (sim/scheduler.hpp); the digests above pin that skipping is
+//      bit-identical, and the skip ratio is reported as the workload's idle
+//      dominance.
+//
+//   $ ./bench_scenario_fleet [num_devices] [msdus_per_mode] [repetitions] [--json[=PATH]]
+//
+//   --json writes the machine-readable record (cycles, wall seconds,
+//   cycles/sec, skip ratio, digests) to BENCH_fleet.json (or PATH).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "scenario/scenario_engine.hpp"
 
 namespace {
@@ -33,6 +42,8 @@ double median(std::vector<double> v) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path =
+      drmp::bench::take_json_flag(argc, argv, "BENCH_fleet.json");
   const std::size_t n_devices = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
   const drmp::u32 msdus =
       argc > 2 ? static_cast<drmp::u32>(std::strtoul(argv[2], nullptr, 10)) : 3;
@@ -108,6 +119,32 @@ int main(int argc, char** argv) {
   if (legacy_rate > 0.0) {
     std::printf("  serial speedup     : %.3fx%s\n", batched_rate / legacy_rate,
                 batched_rate >= legacy_rate * 0.97 ? "" : "  [SLOWER THAN LEGACY]");
+  }
+  std::printf("  idle-skip ratio    : %.2f skipped ticks per executed tick\n",
+              batched.skip_ratio());
+
+  if (!json_path.empty()) {
+    drmp::bench::JsonRecord rec;
+    rec.str("bench", "scenario_fleet");
+    rec.num("devices", static_cast<drmp::u64>(n_devices));
+    rec.num("msdus_per_mode", msdus);
+    rec.num("seed", kSeed);
+    rec.num("lockstep_cycles", batched.lockstep_cycles);
+    rec.num("device_cycles_total", batched.device_cycles_total());
+    rec.num("wall_seconds", batched.wall_seconds);
+    rec.num("device_cycles_per_sec", batched_rate);
+    rec.num("legacy_device_cycles_per_sec", legacy_rate);
+    rec.num("speedup_vs_legacy", legacy_rate > 0.0 ? batched_rate / legacy_rate : 0.0);
+    rec.num("ticks_executed", batched.ticks_executed);
+    rec.num("ticks_skipped", batched.ticks_skipped);
+    rec.num("skip_ratio", batched.skip_ratio());
+    rec.hex("full_digest", batched.full_digest());
+    rec.hex("completion_digest", batched.completion_digest());
+    if (!rec.write(json_path)) {
+      std::printf("FAILED to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("json record        : %s\n", json_path.c_str());
   }
   return 0;
 }

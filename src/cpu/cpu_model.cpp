@@ -2,26 +2,58 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 namespace drmp::cpu {
 
 void CpuModel::raise_hw_interrupt(Mode m, u32 event, Word param) {
+  wake_self();
   pending_.push_back(PendingIsr{m, IsrContext{IsrCause::HwInterrupt, event, param}, now_});
 }
 
 void CpuModel::set_timer(Mode m, u32 timer_id, Cycle delay) {
+  wake_self();  // The new deadline may undercut the current idle bound.
   cancel_timer(m, timer_id);
-  timers_.push_back(Timer{m, timer_id, now_ + delay});
+  timers_.push_back(Timer{now_ + delay, timer_seq_++, m, timer_id, false});
+  std::push_heap(timers_.begin(), timers_.end(), std::greater<>{});
 }
 
 void CpuModel::cancel_timer(Mode m, u32 timer_id) {
-  timers_.erase(std::remove_if(timers_.begin(), timers_.end(),
-                               [&](const Timer& t) { return t.mode == m && t.id == timer_id; }),
-                timers_.end());
+  // Lazy cancellation: tombstone in place (heap order is untouched) and let
+  // the entry pop with the heap. A stale tombstone at the top only makes the
+  // idle bound conservative, never wrong.
+  for (Timer& t : timers_) {
+    if (t.mode == m && t.id == timer_id) t.cancelled = true;
+  }
+  while (!timers_.empty() && timers_.front().cancelled) {
+    std::pop_heap(timers_.begin(), timers_.end(), std::greater<>{});
+    timers_.pop_back();
+  }
 }
 
 void CpuModel::post_host_request(Mode m, u32 request_id, Word param) {
+  wake_self();
   pending_.push_back(PendingIsr{m, IsrContext{IsrCause::HostRequest, request_id, param}, now_});
+}
+
+Cycle CpuModel::quiescent_for() const {
+  // Skippable only when a tick is pure idle bookkeeping: no handler running
+  // or parked, nothing dispatchable, no timer due. now_ equals the index of
+  // the next tick at both contract evaluation points.
+  if (busy() || running_.has_value() || !suspended_.empty() || !pending_.empty()) {
+    return 0;
+  }
+  if (timers_.empty()) return kIdleForever;
+  const Cycle due = timers_.front().fire_at;  // Conservative if tombstoned.
+  return due > now_ ? due - now_ : 0;
+}
+
+void CpuModel::skip_idle(Cycle n) {
+  if (stats_ != nullptr) {
+    if (busy_stat_ == nullptr) busy_stat_ = &stats_->busy("cpu");
+    busy_stat_->sample_n(false, n);
+  }
+  now_ += n;
 }
 
 std::size_t CpuModel::best_pending() const {
@@ -52,14 +84,15 @@ void CpuModel::dispatch(const PendingIsr& job, bool is_preemption) {
 }
 
 void CpuModel::tick() {
-  // Expire timers into the pending queue.
-  for (std::size_t i = 0; i < timers_.size();) {
-    if (timers_[i].fire_at <= now_) {
-      pending_.push_back(
-          PendingIsr{timers_[i].mode, IsrContext{IsrCause::Timer, timers_[i].id, 0}, now_});
-      timers_.erase(timers_.begin() + static_cast<std::ptrdiff_t>(i));
-    } else {
-      ++i;
+  // Expire due timers into the pending queue, deadline order (ties in
+  // arming order), popping the heap instead of erasing mid-vector.
+  while (!timers_.empty() &&
+         (timers_.front().cancelled || timers_.front().fire_at <= now_)) {
+    std::pop_heap(timers_.begin(), timers_.end(), std::greater<>{});
+    const Timer t = timers_.back();
+    timers_.pop_back();
+    if (!t.cancelled) {
+      pending_.push_back(PendingIsr{t.mode, IsrContext{IsrCause::Timer, t.id, 0}, now_});
     }
   }
 

@@ -73,6 +73,13 @@ class CpuModel : public sim::Clockable {
 
   void tick() override;
 
+  // ---- Quiescence contract (sim/scheduler.hpp) ----
+  /// Idle with nothing pending: skippable to the nearest armed timer
+  /// deadline (the heap top doubles as the idle bound). Interrupts, host
+  /// requests and timer arms wake the model.
+  Cycle quiescent_for() const override;
+  void skip_idle(Cycle n) override;
+
   // ---- Instrumentation ----
   bool busy() const noexcept { return now_ < busy_until_; }
   Cycle busy_cycles() const noexcept { return busy_cycles_; }
@@ -102,10 +109,20 @@ class CpuModel : public sim::Clockable {
     IsrContext ctx;
     Cycle posted_at;
   };
+  /// Deadline-ordered timer entry. Timers live in a binary min-heap on
+  /// (fire_at, seq) — expiry pops are O(log n) instead of the old O(n)
+  /// mid-vector erase per fired timer, and the heap top is the CPU's
+  /// quiescence bound. Cancellation is lazy (tombstones pop with the heap);
+  /// equal deadlines fire in arming order via seq.
   struct Timer {
+    Cycle fire_at;
+    u64 seq;
     Mode mode;
     u32 id;
-    Cycle fire_at;
+    bool cancelled;
+    bool operator>(const Timer& o) const noexcept {
+      return fire_at != o.fire_at ? fire_at > o.fire_at : seq > o.seq;
+    }
   };
   /// A handler frame parked by a pre-emption, with its unexecuted remainder.
   struct Suspended {
@@ -136,7 +153,8 @@ class CpuModel : public sim::Clockable {
   std::optional<Mode> running_;
   std::vector<Suspended> suspended_;  ///< Nesting stack, innermost last.
   std::deque<PendingIsr> pending_;
-  std::vector<Timer> timers_;
+  std::vector<Timer> timers_;  ///< Min-heap on (fire_at, seq); see Timer.
+  u64 timer_seq_ = 0;
   sim::StatsRegistry* stats_ = nullptr;
   /// Cached stats sink (string-keyed lookup is too hot for the tick path).
   sim::BusyCounter* busy_stat_ = nullptr;

@@ -131,6 +131,14 @@ DrmpDevice::DrmpDevice(sim::Scheduler& sched, DrmpConfig cfg, int station_id)
     cpu_->raise_hw_interrupt(m, static_cast<u32>(ev), param);
   };
 
+  // Quiescence wiring: frame deliveries wake the Event Handler, and the
+  // trace recorder (when enabled) pins the bus awake — active task handlers
+  // record state channels against its cycle counter.
+  bus_->set_trace_gate(&trace_);
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    rx_bufs_[i].on_deliver = [this] { event_handler_->wake_self(); };
+  }
+
   // Completion routing: CPU requests -> ReqDone interrupt; Event Handler
   // requests -> back to the Event Handler.
   irc_->on_complete = [this](Mode m, const irc::ServiceRequest& req) {
@@ -280,6 +288,8 @@ void DrmpDevice::attach_medium(Mode m, phy::Medium* medium) {
   phy_rxs_[i] = std::make_unique<phy::PhyRx>(rx_bufs_[i], station_id_);
   medium->attach(*phy_rxs_[i]);
   sched_->add(*phy_txs_[i], "phy_tx." + std::string(to_string(m)));
+  phy::PhyTx* ptx = phy_txs_[i].get();
+  tx_bufs_[i].on_push = [ptx] { ptx->wake_self(); };  // Quiescence wake.
   backoff_->wire(media_, &tb_);
 }
 

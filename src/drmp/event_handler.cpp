@@ -214,6 +214,7 @@ void EventHandler::evaluate_frame(Mode m) {
 }
 
 void EventHandler::on_request_complete(Mode m, u32 tag) {
+  wake_self();
   if (tag != tag_[index(m)]) return;
   switch (st_[index(m)]) {
     case St::WaitDrain:
@@ -235,7 +236,33 @@ void EventHandler::on_request_complete(Mode m, u32 tag) {
 }
 
 void EventHandler::release(Mode m) {
+  wake_self();  // The freed Rx page may admit the next buffered frame.
   if (st_[index(m)] == St::WaitRelease) st_[index(m)] = St::Idle;
+}
+
+Cycle EventHandler::quiescent_for() const {
+  // Every non-Idle state is a pure wait on a callback that wakes this
+  // component (request completion, Rx-page release); a tick only *acts*
+  // when some enabled mode is Idle with a frame waiting.
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    if (!env_.enabled[i]) continue;
+    if (st_[i] == St::Idle && env_.rx_bufs[i] != nullptr &&
+        env_.rx_bufs[i]->frame_ready()) {
+      return 0;
+    }
+  }
+  return kIdleForever;
+}
+
+void EventHandler::skip_idle(Cycle n) {
+  // Replays the per-mode sampling of n constant-state ticks.
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    if (!env_.enabled[i]) continue;
+    if (env_.stats != nullptr) {
+      if (busy_stat_ == nullptr) busy_stat_ = &env_.stats->busy("event_handler");
+      busy_stat_->sample_n(st_[i] != St::Idle, n);
+    }
+  }
 }
 
 void EventHandler::tick() {

@@ -47,6 +47,13 @@ class EventHandler : public sim::Clockable {
 
   void tick() override;
 
+  // ---- Quiescence contract (sim/scheduler.hpp) ----
+  /// Skippable while every enabled mode is Idle with an empty Rx buffer.
+  /// Frame deliveries (RxBuffer wake hook, wired by DrmpDevice), request
+  /// completions and Rx-page releases wake it.
+  Cycle quiescent_for() const override;
+  void skip_idle(Cycle n) override;
+
   u32 rx_bad_frames(Mode m) const { return bad_[index(m)]; }
   u32 rx_acks_generated(Mode m) const { return acked_[index(m)]; }
   u32 rx_frames_handled(Mode m) const { return handled_[index(m)]; }

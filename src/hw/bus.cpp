@@ -6,6 +6,7 @@ PacketBus::PacketBus(PacketMemory& mem, sim::StatsRegistry* stats)
     : mem_(mem), stats_(stats) {}
 
 void PacketBus::request_for_irc(Mode m) {
+  wake_self();  // An asserted request line re-enters arbitration next tick.
   auto& r = requests_[index(m)];
   if (recorder_ != nullptr && !r.active) recorder_->on_request(m, total_cycles_);
   r.active = true;
@@ -14,6 +15,7 @@ void PacketBus::request_for_irc(Mode m) {
 }
 
 void PacketBus::request_for_rfu(Mode m, u8 rfu_id) {
+  wake_self();
   auto& r = requests_[index(m)];
   if (recorder_ != nullptr && !r.active) recorder_->on_request(m, total_cycles_);
   r.active = true;
@@ -139,6 +141,24 @@ void PacketBus::arbitrate() {
       grant_ = Grant{MasterKind::Irc, m, 0xFF};
     }
     break;
+  }
+}
+
+Cycle PacketBus::quiescent_for() const {
+  if (recorder_ != nullptr) return 0;
+  if (trace_gate_ != nullptr && trace_gate_->enabled()) return 0;
+  if (accessed_this_cycle_ || grant_.kind != MasterKind::None) return 0;
+  for (const ModeRequest& r : requests_) {
+    if (r.active) return 0;
+  }
+  return sim::Clockable::kIdleForever;
+}
+
+void PacketBus::skip_idle(Cycle n) {
+  total_cycles_ += n;
+  if (stats_ != nullptr) {
+    if (busy_stat_ == nullptr) busy_stat_ = &stats_->busy("packet_bus");
+    busy_stat_->sample_n(false, n);
   }
 }
 

@@ -27,6 +27,7 @@
 #include "hw/trigger.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
+#include "sim/trace.hpp"
 
 namespace drmp::hw {
 
@@ -75,6 +76,18 @@ class PacketBus : public sim::Clockable {
   // ---- Arbitration (once per architecture cycle) ----
   void tick() override;
 
+  // ---- Quiescence contract (sim/scheduler.hpp) ----
+  /// Skippable while no request line is asserted and no grant is held (an
+  /// idle tick is pure cycle accounting plus a no-op arbitrate). Request
+  /// lines wake the bus. Disabled while a transaction recorder or an enabled
+  /// trace recorder is attached: both consume total_cycles() from other
+  /// components' ticks, which a lazily-accounted bus would serve stale.
+  Cycle quiescent_for() const override;
+  void skip_idle(Cycle n) override;
+  /// Trace recorder whose enabled() gates bus quiescence (see above);
+  /// wired by DrmpDevice, null = no gate.
+  void set_trace_gate(const sim::TraceRecorder* t) noexcept { trace_gate_ = t; }
+
   // ---- Instrumentation ----
   Cycle busy_cycles() const noexcept { return busy_cycles_; }
   Cycle total_cycles() const noexcept { return total_cycles_; }
@@ -94,6 +107,7 @@ class PacketBus : public sim::Clockable {
   sim::StatsRegistry* stats_;
   sim::BusyCounter* busy_stat_ = nullptr;  ///< Cached per-tick stats sink.
   BusTraceRecorder* recorder_ = nullptr;
+  const sim::TraceRecorder* trace_gate_ = nullptr;
   RfuTriggerLogic triggers_;
 
   std::array<ModeRequest, kNumModes> requests_{};

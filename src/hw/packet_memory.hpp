@@ -9,6 +9,7 @@
 
 #include "common/types.hpp"
 #include "hw/memory_map.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
 
 namespace drmp::hw {
@@ -23,7 +24,16 @@ class PacketMemory {
 
   // ---- Port B (CPU direct access) ----
   Word cpu_read(u32 addr) const { return words_.at(addr); }
-  void cpu_write(u32 addr, Word data) { words_.at(addr) = data; }
+  void cpu_write(u32 addr, Word data) {
+    words_.at(addr) = data;
+    if (!watches_.empty()) notify_watchers(addr);
+  }
+
+  /// Address watch: wakes `c` whenever port B writes `addr`. Used for the
+  /// doorbell registers, where the CPU's device driver rings the IRC without
+  /// any signal the IRC could otherwise sleep against. The set is tiny (one
+  /// doorbell per mode), so the hot-path cost is one emptiness branch.
+  void watch_write(u32 addr, sim::Clockable* c) { watches_.push_back({addr, c}); }
 
   // ---- Page helpers (byte-level view used by software models & tests) ----
   void write_page_bytes(Mode m, Page p, std::span<const u8> bytes);
@@ -36,7 +46,18 @@ class PacketMemory {
   std::size_t size_words() const noexcept { return words_.size(); }
 
  private:
+  struct Watch {
+    u32 addr;
+    sim::Clockable* component;
+  };
+  void notify_watchers(u32 addr) const {
+    for (const Watch& w : watches_) {
+      if (w.addr == addr) w.component->wake_self();
+    }
+  }
+
   std::vector<Word> words_;
+  std::vector<Watch> watches_;
 };
 
 }  // namespace drmp::hw

@@ -5,6 +5,7 @@ namespace drmp::hw {
 bool RfuTriggerLogic::decode_write(u32 addr, Word data) {
   if (!is_rfu_trigger_addr(addr)) return false;
   const u8 id = static_cast<u8>(addr - kRfuTriggerBase);
+  if (wakers_[id] != nullptr) wakers_[id]->wake_self();
   latched_[id].push_back(data);
   triggered_flag_[id] = true;
   return true;

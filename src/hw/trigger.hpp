@@ -16,14 +16,20 @@
 
 #include "common/types.hpp"
 #include "hw/memory_map.hpp"
+#include "sim/scheduler.hpp"
 
 namespace drmp::hw {
 
 class RfuTriggerLogic {
  public:
   /// Called by the bus on every write. Returns true if the address decoded
-  /// to an RFU trigger (the write is then *not* a memory write).
+  /// to an RFU trigger (the write is then *not* a memory write). Wakes the
+  /// addressed RFU: a latched trigger invalidates its quiescence bound.
   bool decode_write(u32 addr, Word data);
+
+  /// Registers the component to wake when a trigger latches for `rfu_id`
+  /// (the RFU itself; wired at RFU construction).
+  void set_waker(u8 rfu_id, sim::Clockable* c) { wakers_[rfu_id] = c; }
 
   /// Pure address-range predicate (no side effects): would a write to `addr`
   /// decode as an RFU trigger?
@@ -42,6 +48,7 @@ class RfuTriggerLogic {
  private:
   std::array<std::deque<Word>, kMaxRfus> latched_{};
   std::array<bool, kMaxRfus> triggered_flag_{};
+  std::array<sim::Clockable*, kMaxRfus> wakers_{};
 };
 
 }  // namespace drmp::hw

@@ -36,6 +36,14 @@ Irc::Irc(Env env) : env_(env) {
       if (on_complete) on_complete(m, req);
     };
   }
+
+  // Doorbell writes arrive through plain memory stores (the device driver's
+  // side of Table 3.2); watch them so a sleeping IRC is woken to poll.
+  if (env_.mem != nullptr) {
+    for (std::size_t i = 0; i < kNumModes; ++i) {
+      env_.mem->watch_write(iface_base(mode_from_index(i)) + kDoorbellOffset, this);
+    }
+  }
 }
 
 void Irc::register_rfu(rfu::Rfu* unit) {
@@ -47,10 +55,35 @@ void Irc::register_rfu(rfu::Rfu* unit) {
 }
 
 u32 Irc::submit(Mode mode, ServiceRequest req) {
+  wake_self();  // A queued request dispatches on the next tick.
   if (req.tag == 0) req.tag = next_tag_++;
   const u32 tag = req.tag;
   pending_[index(mode)].push_back(std::move(req));
   return tag;
+}
+
+Cycle Irc::quiescent_for() const {
+  if (env_.trace != nullptr && env_.trace->enabled()) return 0;
+  for (const auto& q : pending_) {
+    if (!q.empty()) return 0;
+  }
+  for (const TaskHandler* th : handlers_) {
+    if (!th->quiescent()) return 0;
+  }
+  if (!rc_->quiescent()) return 0;
+  if (env_.mem != nullptr) {
+    for (std::size_t i = 0; i < kNumModes; ++i) {
+      if (env_.mem->cpu_read(iface_base(mode_from_index(i)) + kDoorbellOffset) != 0) {
+        return 0;
+      }
+    }
+  }
+  return sim::Clockable::kIdleForever;
+}
+
+void Irc::skip_idle(Cycle n) {
+  for (TaskHandler* th : handlers_) th->skip_idle(n);
+  rc_->skip_idle(n);
 }
 
 Irc::IrqInfo Irc::irq_take() {

@@ -69,6 +69,17 @@ class Irc : public sim::Clockable {
 
   void tick() override;
 
+  // ---- Quiescence contract (sim/scheduler.hpp) ----
+  /// The IRC — the single most expensive idle ticker of a device (three
+  /// TH_R/TH_M pairs plus the RC, each sampling occupancy statistics every
+  /// cycle) — is skippable when every controller is parked in Idle, no
+  /// request is queued and no doorbell is rung. submit() and doorbell
+  /// writes (a PacketMemory watch) wake it. Gated off while an attached
+  /// trace recorder is enabled: the task handlers record state channels
+  /// against the bus cycle counter, which lazy accounting would skew.
+  Cycle quiescent_for() const override;
+  void skip_idle(Cycle n) override;
+
   TaskHandler& handler(Mode m) { return *handlers_[index(m)]; }
   ReconfController& rc() { return *rc_; }
   RfuTable& rfu_table() { return rfut_; }

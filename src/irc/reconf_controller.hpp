@@ -41,6 +41,17 @@ class ReconfController : public sim::Clockable {
   u64 reconfigs_performed() const noexcept { return count_; }
   void tick() override;
 
+  /// True when a tick is pure statistics sampling (Irc-level quiescence).
+  bool quiescent() const noexcept {
+    if (state_ != State::Idle) return false;
+    for (const auto& p : pending_) {
+      if (p.has_value()) return false;
+    }
+    return true;
+  }
+  /// Bulk-accounts n skipped constant-Idle ticks.
+  void skip_idle(Cycle n) override;
+
  private:
   struct Request {
     u8 rfu_id;

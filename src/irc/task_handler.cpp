@@ -102,25 +102,38 @@ void TaskHandler::complete_request() {
   if (on_complete) on_complete(mode_, req_);
 }
 
+void TaskHandler::ensure_sinks() {
+  if (sinks_.ready) return;
+  // One-time sink resolution: string-keyed lookups are too hot for the
+  // per-cycle path (they dominated simulation wall time).
+  const std::string m = to_string(mode_);
+  if (env_.stats != nullptr) {
+    sinks_.thr_occ = &env_.stats->occupancy("irc.thr." + m);
+    sinks_.thm_occ = &env_.stats->occupancy("irc.thm." + m);
+    sinks_.thr_busy = &env_.stats->busy("irc.thr." + m);
+    sinks_.thm_busy = &env_.stats->busy("irc.thm." + m);
+  }
+  if (env_.trace != nullptr) {
+    sinks_.thr_chan = &env_.trace->channel("thr." + m);
+    sinks_.thm_chan = &env_.trace->channel("thm." + m);
+  }
+  sinks_.ready = true;
+}
+
+void TaskHandler::skip_idle(Cycle n) {
+  ensure_sinks();
+  if (sinks_.thr_occ != nullptr) {
+    sinks_.thr_occ->sample_n(static_cast<int>(thr_state_), n);
+    sinks_.thm_occ->sample_n(static_cast<int>(thm_state_), n);
+    sinks_.thr_busy->sample_n(thr_state_ != ThRState::Idle, n);
+    sinks_.thm_busy->sample_n(thm_state_ != ThMState::Idle, n);
+  }
+}
+
 void TaskHandler::tick() {
   tick_thr();
   tick_thm();
-  if (!sinks_.ready) {
-    // One-time sink resolution: string-keyed lookups are too hot for the
-    // per-cycle path (they dominated simulation wall time).
-    const std::string m = to_string(mode_);
-    if (env_.stats != nullptr) {
-      sinks_.thr_occ = &env_.stats->occupancy("irc.thr." + m);
-      sinks_.thm_occ = &env_.stats->occupancy("irc.thm." + m);
-      sinks_.thr_busy = &env_.stats->busy("irc.thr." + m);
-      sinks_.thm_busy = &env_.stats->busy("irc.thm." + m);
-    }
-    if (env_.trace != nullptr) {
-      sinks_.thr_chan = &env_.trace->channel("thr." + m);
-      sinks_.thm_chan = &env_.trace->channel("thm." + m);
-    }
-    sinks_.ready = true;
-  }
+  ensure_sinks();
   if (sinks_.thr_occ != nullptr) {
     sinks_.thr_occ->sample(static_cast<int>(thr_state_));
     sinks_.thm_occ->sample(static_cast<int>(thm_state_));

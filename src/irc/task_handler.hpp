@@ -103,11 +103,22 @@ class TaskHandler : public sim::Clockable {
 
   void tick() override;
 
+  /// True when a tick is pure statistics sampling: no request in flight and
+  /// both statecharts parked in Idle. Feeds Irc-level quiescence.
+  bool quiescent() const noexcept {
+    return !active_ && thr_state_ == ThRState::Idle && thm_state_ == ThMState::Idle;
+  }
+  /// Bulk-accounts n skipped ticks (constant-Idle occupancy/busy samples).
+  /// Trace channels store change events only, so a skipped constant-state
+  /// stretch records exactly what the per-tick path would.
+  void skip_idle(Cycle n) override;
+
   ThRState thr_state() const noexcept { return thr_state_; }
   ThMState thm_state() const noexcept { return thm_state_; }
   u64 requests_completed() const noexcept { return completed_; }
 
  private:
+  void ensure_sinks();
   void tick_thr();
   void tick_thm();
   /// TH_R finished preparing op `idx` (reconfig done or not needed).

@@ -58,6 +58,16 @@ class TrafficGen : public sim::Clockable {
 
   void tick() override;
 
+  // ---- Quiescence contract (sim/scheduler.hpp) ----
+  /// A generator ticks for real only at its arrival events; everything in
+  /// between (and everything after exhaustion) is a pure clock increment.
+  /// Completions change nothing before the next event, so no wake is needed.
+  Cycle quiescent_for() const override {
+    if (!spec_.enabled || exhausted()) return kIdleForever;
+    return next_event_ > now_ ? next_event_ - now_ : 0;
+  }
+  void skip_idle(Cycle n) override { now_ += n; }
+
   u32 offered() const noexcept { return offered_; }
   u32 completed() const noexcept { return completed_; }
   u64 offered_bytes() const noexcept { return offered_bytes_; }

@@ -14,6 +14,7 @@ ContendedMedium::ContendedMedium(mac::Protocol proto, const sim::TimeBase& tb, P
 }
 
 Cycle ContendedMedium::begin_tx(Bytes frame, int source) {
+  wake_subscribers();
   const Cycle end = now_ + frame_air_cycles(frame.size());
   bool overlap = false;
   for (Tx& t : on_air_) {
@@ -91,6 +92,77 @@ void ContendedMedium::tick() {
       ++i;
     }
   }
+}
+
+Cycle ContendedMedium::cca_clear_at() const noexcept {
+  // First clock value outside every perceived window [start+lat, end+lat),
+  // given what is on the air now. Windows can chain, so advance through
+  // them to a fixed point; new transmissions only push the answer later.
+  Cycle w = now_;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const Tx& t : on_air_) {
+      if (t.start + cca_latency_ <= w && w < t.end + cca_latency_) {
+        w = t.end + cca_latency_;
+        moved = true;
+      }
+    }
+  }
+  return w;
+}
+
+Cycle ContendedMedium::cca_busy_onset_at() const noexcept {
+  // Perceived onsets already scheduled by the detection latency: a frame
+  // that started at s becomes audible at reading s+latency, with no further
+  // begin_tx involved.
+  Cycle onset = sim::Clockable::kIdleForever;
+  for (const Tx& t : on_air_) {
+    if (t.start + cca_latency_ >= now_) {
+      onset = std::min(onset, t.start + cca_latency_);
+    }
+  }
+  return onset;
+}
+
+Cycle ContendedMedium::quiescent_for() const {
+  // Tick effects beyond bulk-accountable occupancy/airtime: frame delivery
+  // (first at tick end-1), a perceived-carrier edge (the latch computed with
+  // the post-increment clock changes at ticks start+lat-1 and end+lat-1, the
+  // latter also retiring the entry). Everything strictly before the nearest
+  // such tick is constant-state accounting. now_ equals the index of the
+  // next tick at both contract evaluation points.
+  if (on_air_.empty()) return sim::Clockable::kIdleForever;
+  Cycle next_event = sim::Clockable::kIdleForever;
+  for (const Tx& t : on_air_) {
+    if (!t.delivered) next_event = std::min(next_event, t.end - 1);
+    if (t.start + cca_latency_ >= now_ + 1) {
+      next_event = std::min(next_event, t.start + cca_latency_ - 1);
+    }
+    next_event = std::min(next_event, t.end + cca_latency_ - 1);
+  }
+  return next_event >= now_ + 1 ? next_event - now_ : 0;
+}
+
+void ContendedMedium::skip_idle(Cycle n) {
+  // The skipped stretch contains no delivery and no perceived-carrier edge
+  // (quiescent_for guarantees it), so the per-tick bookkeeping collapses to
+  // interval arithmetic.
+  account_busy_skip(n);
+  for (const Tx& t : on_air_) {
+    if (t.end > now_) sources_[t.source].airtime += std::min(n, t.end - now_);
+  }
+  now_ += n;
+  // Recompute the carrier latch for the post-skip clock; the state is
+  // constant across the stretch, so only the final value matters.
+  cca_busy_ = false;
+  for (const Tx& t : on_air_) {
+    if (t.start + cca_latency_ <= now_ && now_ < t.end + cca_latency_) {
+      cca_busy_ = true;
+      break;
+    }
+  }
+  if (cca_busy_) last_cca_busy_ = now_;
 }
 
 ContendedMedium::SourceStats ContendedMedium::source(int id) const {

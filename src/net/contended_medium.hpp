@@ -73,7 +73,17 @@ class ContendedMedium final : public phy::Medium {
   Cycle cca_idle_for() const noexcept override {
     return cca_busy_ ? 0 : now() - last_cca_busy_;
   }
+  Cycle cca_clear_at() const noexcept override;
+  Cycle cca_busy_onset_at() const noexcept override;
   void tick() override;
+
+  // ---- Quiescence contract (sim/scheduler.hpp; global-skip-only like the
+  // base class) ----
+  /// Bound to the next delivery or perceived-carrier edge of anything on
+  /// the air — long data frames are hundreds of thousands of architecture
+  /// cycles of pure occupancy accounting between edges.
+  Cycle quiescent_for() const override;
+  void skip_idle(Cycle n) override;
 
   // ---- Contention statistics ----
   /// Transmissions that ended collided (all parties counted).

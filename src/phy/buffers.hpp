@@ -10,6 +10,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <optional>
 
 #include "common/types.hpp"
@@ -38,7 +39,12 @@ class TxBuffer {
     staging_.resize(nbytes);
     queue_.push_back(TxFrameEntry{std::move(staging_), earliest_start});
     staging_ = {};
+    if (on_push) on_push();
   }
+
+  /// Wake hook: invoked when a frame is staged, so a quiescent PhyTx
+  /// re-evaluates its sleep bound (wired by DrmpDevice).
+  std::function<void()> on_push;
 
   // ---- PHY side ----
   bool frame_pending() const noexcept { return !queue_.empty(); }
@@ -69,7 +75,12 @@ class RxBuffer {
   // ---- PHY side ----
   void deliver(Bytes frame, Cycle rx_end_cycle) {
     queue_.push_back(RxFrameEntry{std::move(frame), rx_end_cycle});
+    if (on_deliver) on_deliver();
   }
+
+  /// Wake hook: invoked on each delivered frame, so a quiescent Event
+  /// Handler re-evaluates (wired by DrmpDevice).
+  std::function<void()> on_deliver;
 
   // ---- DRMP side ----
   bool frame_ready() const noexcept { return !queue_.empty(); }

@@ -9,6 +9,7 @@ namespace drmp::phy {
 ScriptedPeer::ScriptedPeer(Medium& medium, const sim::TimeBase& tb, int self_id)
     : medium_(medium), tb_(tb), self_id_(self_id) {
   medium_.attach(*this);
+  medium_.subscribe_wake(*this);  // Carrier extensions re-gate queued sends.
 }
 
 void ScriptedPeer::inject_frame(Bytes frame, Cycle at_cycle) {
@@ -16,11 +17,13 @@ void ScriptedPeer::inject_frame(Bytes frame, Cycle at_cycle) {
 }
 
 void ScriptedPeer::schedule_tx(Bytes frame, Cycle earliest) {
+  wake_self();  // New scheduled work invalidates any sleep bound.
   pending_tx_.push_back(Pending{std::move(frame), earliest});
 }
 
 void ScriptedPeer::on_frame(const Bytes& frame, Cycle rx_end_cycle, int source) {
   if (source == self_id_) return;
+  wake_self();  // Responses may be scheduled below; CFP/ack state advances.
   const Cycle sifs = static_cast<Cycle>(medium_.timing().sifs_us * 1e-6 * tb_.arch_freq());
 
   switch (medium_.protocol()) {
@@ -100,6 +103,7 @@ void ScriptedPeer::on_frame(const Bytes& frame, Cycle rx_end_cycle, int source) 
 
 void ScriptedPeer::begin_cfp(Cycle start_at, u32 polls, double interval_us,
                              const mac::MacAddr& station) {
+  wake_self();
   cfp_polls_left_ = polls;
   cfp_end_pending_ = polls > 0;
   cfp_ack_pending_ = false;
@@ -139,10 +143,24 @@ void ScriptedPeer::cfp_tick() {
 }
 
 void ScriptedPeer::start_beacons(Cycle start_at, u32 count, double interval_us) {
+  wake_self();
   beacons_left_ = count;
   next_beacon_ = start_at;
   beacon_interval_ = static_cast<Cycle>(interval_us * 1e-6 * tb_.arch_freq());
   beacon_interval_us_ = static_cast<u16>(interval_us);
+}
+
+Cycle ScriptedPeer::quiescent_for() const {
+  // Earliest due event among the three transmit sources...
+  Cycle due = sim::Clockable::kIdleForever;
+  if (beacons_left_ > 0) due = std::min(due, next_beacon_);
+  if (cfp_active()) due = std::min(due, cfp_next_poll_);
+  if (!pending_tx_.empty()) due = std::min(due, pending_tx_.front().earliest);
+  if (due == sim::Clockable::kIdleForever) return due;
+  // ... gated by the shared half-duplex/carrier window: the first tick that
+  // could transmit observes `ready`.
+  const Cycle ready = std::max({due, own_tx_end_, medium_.cca_clear_at()});
+  return sim::ticks_until_reading(ready, medium_.now());
 }
 
 void ScriptedPeer::tick() {

@@ -71,6 +71,13 @@ class ScriptedPeer : public MediumClient, public sim::Clockable {
   // Clockable:
   void tick() override;
 
+  // ---- Quiescence contract (sim/scheduler.hpp) ----
+  /// With nothing scheduled the peer sleeps until a frame arrives (on_frame
+  /// wakes it); with scheduled work it sleeps to the first cycle the next
+  /// due event could clear every transmit gate. No per-tick state, so
+  /// skipped ticks need no accounting.
+  Cycle quiescent_for() const override;
+
  private:
   void schedule_tx(Bytes frame, Cycle earliest);
   void cfp_tick();

@@ -5,6 +5,7 @@
 namespace drmp::phy {
 
 Cycle Medium::begin_tx(Bytes frame, int source) {
+  wake_subscribers();
   if (busy()) {
     // Point-to-point contract violation. This used to be assert()-only,
     // which compiles out under NDEBUG and let Release builds overwrite an
@@ -39,6 +40,33 @@ void Medium::tick() {
       ++i;
     }
   }
+}
+
+Cycle Medium::quiescent_for() const {
+  // now_ equals the index of the next tick at both contract evaluation
+  // points. The only tick with an effect beyond occupancy accounting is a
+  // delivery, first executed at cycle end-1 (the tick whose increment makes
+  // end <= now_).
+  if (in_flight_.empty()) return sim::Clockable::kIdleForever;
+  Cycle next_end = sim::Clockable::kIdleForever;
+  for (const InFlight& f : in_flight_) next_end = std::min(next_end, f.end);
+  return sim::ticks_until_reading(next_end, now_);
+}
+
+void Medium::skip_idle(Cycle n) {
+  account_busy_skip(n);
+  now_ += n;
+}
+
+Cycle PhyTx::quiescent_for() const {
+  if (!buf_.frame_pending()) return sim::Clockable::kIdleForever;
+  const TxFrameEntry& f = buf_.front();
+  // The first tick that could transmit observes `ready`, the first clock
+  // value every gate admits. Carrier extensions only push `ready` later and
+  // wake us through the medium's subscriber list.
+  const Cycle ready =
+      std::max({f.earliest_start, last_tx_end_, medium_.cca_clear_at()});
+  return sim::ticks_until_reading(ready, medium_.now());
 }
 
 void PhyTx::tick() {

@@ -19,6 +19,7 @@
 //     capture effect lets an established frame survive a late interferer.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <string>
 #include <vector>
@@ -73,6 +74,17 @@ class Medium : public sim::Clockable {
   virtual bool cca_busy() const noexcept { return busy(); }
   /// Continuously-idle cycles as perceived by CCA (DIFS/SIFS reference).
   virtual Cycle cca_idle_for() const noexcept { return idle_for(); }
+  /// Earliest clock value at which cca_busy() could read false, given the
+  /// transmissions currently on the air (new ones only push it later). A
+  /// conservative sleep bound for transmit gates waiting on a clear channel.
+  virtual Cycle cca_clear_at() const noexcept { return std::max(now_, tx_end_); }
+  /// Earliest clock value at which cca_busy() could turn true *without* a
+  /// new transmission. Always "never" on this live-view backend (only
+  /// begin_tx — which wakes subscribers — can raise the carrier), but a
+  /// contended backend's detection latency schedules perceived onsets into
+  /// the future, and a component whose tick behaviour depends on the
+  /// carrier (the access RFU's defer accounting) must not sleep past one.
+  virtual Cycle cca_busy_onset_at() const noexcept { return sim::Clockable::kIdleForever; }
 
   /// Cycles one byte occupies on air.
   double byte_cycles() const noexcept { return byte_cycles_; }
@@ -88,6 +100,26 @@ class Medium : public sim::Clockable {
 
   void tick() override;
 
+  // ---- Quiescence contract (sim/scheduler.hpp) ----
+  /// A medium's visible state is time-derived — now(), idle_for() and
+  /// cca_idle_for() advance every cycle and are polled live by transmit
+  /// gates and access RFUs — so it is only skipped across globally-
+  /// quiescent gaps, where nothing can observe it, and its bound is the
+  /// distance to its next delivery event.
+  bool global_skip_only() const final { return true; }
+  Cycle quiescent_for() const override;
+  void skip_idle(Cycle n) override;
+
+  /// Registers a component to wake whenever a transmission starts: transmit
+  /// gates sleeping against this medium's carrier must re-evaluate when new
+  /// energy appears on the air. Idempotent (re-wiring is common).
+  void subscribe_wake(sim::Clockable& c) {
+    for (const sim::Clockable* s : wake_subs_) {
+      if (s == &c) return;
+    }
+    wake_subs_.push_back(&c);
+  }
+
   Cycle busy_cycles() const noexcept { return busy_cycles_; }
 
   /// Fault injector: invoked on each frame as its last byte arrives, before
@@ -100,12 +132,21 @@ class Medium : public sim::Clockable {
  protected:
   /// Applies the fault injector and fans the frame out to every client.
   void deliver(Bytes& frame, Cycle rx_end_cycle, int source);
+  /// Wakes every carrier subscriber (call from begin_tx overrides).
+  void wake_subscribers() {
+    for (sim::Clockable* c : wake_subs_) c->wake_self();
+  }
+  /// Replays n ticks' worth of channel-occupancy accounting.
+  void account_busy_skip(Cycle n) {
+    busy_cycles_ += tx_end_ > now_ ? std::min(n, tx_end_ - now_) : 0;
+  }
 
   mac::Protocol proto_;
   double byte_cycles_;
   Cycle now_ = 0;
   Cycle tx_end_ = 0;
   std::vector<MediumClient*> clients_;
+  std::vector<sim::Clockable*> wake_subs_;
   Cycle busy_cycles_ = 0;
   u64 tampered_ = 0;
 
@@ -126,9 +167,17 @@ class Medium : public sim::Clockable {
 class PhyTx : public sim::Clockable {
  public:
   PhyTx(TxBuffer& buf, Medium& medium, int source_id)
-      : buf_(buf), medium_(medium), source_id_(source_id) {}
+      : buf_(buf), medium_(medium), source_id_(source_id) {
+    medium.subscribe_wake(*this);  // Re-evaluate when new carrier appears.
+  }
 
   void tick() override;
+
+  /// Quiescence: nothing staged -> sleep until the buffer push hook wakes
+  /// us; a staged frame sleeps to the first cycle every transmit gate
+  /// (earliest_start, own half-duplex window, perceived-idle carrier) could
+  /// pass. No per-tick state, so skipped ticks need no accounting.
+  Cycle quiescent_for() const override;
 
   /// Number of frames fully handed to the medium.
   u64 frames_sent() const noexcept { return frames_sent_; }

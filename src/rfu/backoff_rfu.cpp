@@ -67,6 +67,74 @@ void BackoffRfu::on_execute(Op op) {
   }
 }
 
+Cycle BackoffRfu::running_quiescent_for() const {
+  const phy::Medium& medium = *media_[mode_idx_];
+  // With the medium leading the cycle, a work_step at cycle u reads
+  // medium.now() == u+1; medium.now() equals the index of our next tick at
+  // both contract evaluation points (post-own-tick and run entry). Every
+  // bound below is the count of ticks strictly before the first tick that
+  // does anything beyond wait accounting; carrier onsets wake us through
+  // the medium subscription before the perceived state can change.
+  const Cycle next_tick = medium.now();
+  switch (access_phase_) {
+    case AccessPhase::TdmaWait:
+      // Completes at the tick that observes medium.now() >= target.
+      return sim::ticks_until_reading(tdma_target_, next_tick);
+    case AccessPhase::Ifs: {
+      if (medium.cca_busy()) {
+        // The busy-onset tick (defer count + IFS restart) must execute;
+        // after it the wait is pure until the perceived-clear bound.
+        if (!defer_edge_) return 0;
+        return sim::ticks_until_reading(medium.cca_clear_at(), next_tick);
+      }
+      // Idle: pure counting; the tick whose increment reaches ifs_cycles_
+      // acts (grant or phase change). An already-scheduled perceived onset
+      // (detection latency) bounds the sleep — new transmissions wake us.
+      const Cycle count =
+          ifs_cycles_ > ifs_progress_ + 1 ? ifs_cycles_ - 1 - ifs_progress_ : 0;
+      return std::min(count,
+                      sim::ticks_until_reading(medium.cca_busy_onset_at(), next_tick));
+    }
+    case AccessPhase::Backoff: {
+      // A busy carrier flips the phase on the very next tick.
+      if (medium.cca_busy() || slot_cycles_ == 0) return 0;
+      // Ticks until the decrement that wins the channel, bounded by any
+      // scheduled perceived onset as above.
+      const Cycle to_grant = (slot_cycles_ - slot_progress_) +
+                             static_cast<Cycle>(backoff_slots_ - 1) * slot_cycles_;
+      const Cycle count = to_grant > 1 ? to_grant - 1 : 0;
+      return std::min(count,
+                      sim::ticks_until_reading(medium.cca_busy_onset_at(), next_tick));
+    }
+    case AccessPhase::SifsResponse:
+      return 0;  // Rare (PCF) and short: not worth a skip contract.
+  }
+  return 0;
+}
+
+void BackoffRfu::on_running_skip(Cycle n) {
+  // Replays n skipped work_step calls for the quiescent stretch the bound
+  // above certified (constant carrier state throughout).
+  wait_cycles_ += n;
+  switch (access_phase_) {
+    case AccessPhase::Ifs:
+      if (!media_[mode_idx_]->cca_busy()) {
+        defer_edge_ = false;  // First idle tick clears the edge flag.
+        ifs_progress_ += n;
+      }
+      break;
+    case AccessPhase::Backoff: {
+      const Cycle total = slot_progress_ + n;
+      backoff_slots_ -= static_cast<u32>(total / slot_cycles_);
+      slot_progress_ = total % slot_cycles_;
+      break;
+    }
+    case AccessPhase::TdmaWait:
+    case AccessPhase::SifsResponse:
+      break;  // Pure waits.
+  }
+}
+
 bool BackoffRfu::work_step() {
   phy::Medium& medium = *media_[mode_idx_];
   ++wait_cycles_;

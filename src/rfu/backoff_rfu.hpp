@@ -28,6 +28,10 @@ class BackoffRfu final : public Rfu {
   void wire(std::array<phy::Medium*, kNumModes> media, const sim::TimeBase* tb) {
     media_ = media;
     tb_ = tb;
+    // Carrier onsets invalidate the access-wait sleep bounds below.
+    for (phy::Medium* m : media_) {
+      if (m != nullptr) m->subscribe_wake(*this);
+    }
   }
 
   /// Deterministic PRNG seed (LFSR) so simulations are reproducible.
@@ -47,6 +51,21 @@ class BackoffRfu final : public Rfu {
   //   SIFS (the polled station's contention-free response, §2.3.2.1 #5).
   void on_execute(Op op) override;
   bool work_step() override;
+
+  // Every access wait is a deterministic stretch between carrier edges, so
+  // the whole Running phase sleeps under the quiescence contract:
+  //   * TdmaWait polls medium.now() against a fixed future boundary
+  //     (slotted WiMAX/UWB devices spend most of their lives here);
+  //   * a deferred CSMA wait (carrier perceived busy, defer already
+  //     counted) is pure waiting until the perceived-clear bound;
+  //   * idle IFS counting and the backoff slot countdown are plain
+  //     arithmetic until their completion tick, and any new transmission
+  //     wakes us through the medium's carrier subscription *before* the
+  //     perceived state can change.
+  // on_running_skip replays the per-tick work_step effects (wait_cycles_,
+  // IFS progress, slot countdown) in bulk.
+  Cycle running_quiescent_for() const override;
+  void on_running_skip(Cycle n) override;
 
  private:
   u16 lfsr_next();

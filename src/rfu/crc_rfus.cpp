@@ -105,6 +105,7 @@ u32 FcsRfu::slave_crc(u8 master_id) const {
 
 void FcsRfu::slave_request_append(u8 master_id, u32 page_addr, u32 len_bytes) {
   assert(!slave_pending_);
+  wake_self();  // Slave work pending: the Idle-phase quiescence bound is void.
   slave_pending_ = true;
   slave_master_ = master_id;
   slave_page_ = page_addr;

@@ -75,6 +75,12 @@ class FcsRfu final : public StreamingRfu {
   void on_execute(Op op) override;
   bool work_step() override;
   void slave_step() override;
+  /// The slave append keeps the FCS engine awake until the bus is handed
+  /// back; slave_request_append wakes it. Pure snoop accumulation
+  /// (on_secondary_trigger) does not affect tick behaviour and needs no wake.
+  Cycle slave_quiescent_for() const override {
+    return slave_pending_ ? 0 : kIdleForever;
+  }
 
  private:
   int stage_ = 0;

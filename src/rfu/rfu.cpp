@@ -1,13 +1,17 @@
 #include "rfu/rfu.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace drmp::rfu {
 
 Rfu::Rfu(u8 id, std::string name, ReconfigMech mech, Env env)
-    : env_(env), id_(id), name_(std::move(name)), mech_(mech) {}
+    : env_(env), id_(id), name_(std::move(name)), mech_(mech) {
+  if (env_.bus != nullptr) env_.bus->triggers().set_waker(id_, this);
+}
 
 void Rfu::rc_configure(u8 new_state) {
+  wake_self();  // Reconfiguration starts next tick: drop any quiescence bound.
   assert(phase_ == Phase::Idle && "reconfiguration of a busy RFU");
   phase_ = Phase::Reconfiguring;
   pending_state_ = new_state;
@@ -28,6 +32,39 @@ void Rfu::rc_configure(u8 new_state) {
 
 void Rfu::on_secondary_trigger(u8 /*master_id*/, Word /*data*/, u8 /*nbytes*/) {
   // Default: RFU has no slave role (secondary trigger not wired, Fig. 3.8).
+}
+
+Cycle Rfu::quiescent_for() const {
+  Cycle q = 0;
+  switch (phase_) {
+    case Phase::Idle:
+      // A latched trigger starts argument collection on the next tick.
+      q = env_.bus->triggers().pending(id_) ? 0 : kIdleForever;
+      break;
+    case Phase::Running:
+      q = running_quiescent_for();
+      break;
+    default:
+      // CollectArgs turnarounds are cycles-long and Reconfiguring counts
+      // down internal state every tick: not worth a skip contract.
+      return 0;
+  }
+  return std::min(q, slave_quiescent_for());
+}
+
+void Rfu::skip_idle(Cycle n) {
+  // The phase is constant across a quiescent stretch (that is what the
+  // bound asserts), so n constant-state samples reproduce the per-tick
+  // bookkeeping exactly.
+  const bool was_busy = phase_ != Phase::Idle;
+  if (env_.stats != nullptr) {
+    if (busy_stat_ == nullptr) busy_stat_ = &env_.stats->busy("rfu." + name_);
+    busy_stat_->sample_n(was_busy, n);
+  }
+  if (was_busy) {
+    busy_cycles_ += n;
+    on_running_skip(n);
+  }
 }
 
 void Rfu::tick() {

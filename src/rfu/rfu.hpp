@@ -67,6 +67,14 @@ class Rfu : public sim::Clockable {
 
   void tick() final;
 
+  // ---- Quiescence contract (sim/scheduler.hpp) ----
+  /// An RFU is skippable while Idle with no latched trigger (trigger pushes
+  /// wake it through the RfuTriggerLogic waker), bounded by its slave role;
+  /// subclasses may additionally declare quiescent stretches of the Running
+  /// phase (e.g. the channel-access RFU waiting for a TDMA slot boundary).
+  Cycle quiescent_for() const final;
+  void skip_idle(Cycle n) final;
+
   // ---- Instrumentation ----
   Cycle busy_cycles() const noexcept { return busy_cycles_; }
   Cycle reconfig_cycles() const noexcept { return reconfig_cycles_; }
@@ -79,6 +87,16 @@ class Rfu : public sim::Clockable {
   /// grant override) whose slave work is independent of the primary-trigger
   /// state machine.
   virtual void slave_step() {}
+
+  /// Quiescence bound of the slave role: RFUs whose slave_step can have work
+  /// pending must return 0 while it does (and wake_self when it is posted).
+  virtual Cycle slave_quiescent_for() const { return kIdleForever; }
+  /// Quiescence bound while Phase::Running — for access/timer RFUs whose
+  /// work_step merely polls a known-future condition. A subclass returning
+  /// a non-zero bound here must account the skipped work_step calls in
+  /// on_running_skip (busy cycles and stats are handled by the base).
+  virtual Cycle running_quiescent_for() const { return 0; }
+  virtual void on_running_skip(Cycle /*n*/) {}
 
   /// Called when the execute trigger fires (arguments latched in args_).
   virtual void on_execute(Op op) = 0;

@@ -81,6 +81,17 @@ struct FleetStats {
   Cycle lockstep_cycles = 0;  ///< Fleet-clock cycles (max over lanes).
   bool all_drained = false;   ///< Every device finished its workload.
   double wall_seconds = 0.0;  ///< Host time; never part of a digest.
+  // Quiescence-skip accounting, summed over lanes. Execution-strategy
+  // artefacts, not simulation results: both stay out of the digests and the
+  // report so skip-on and skip-off runs compare byte-identical.
+  u64 ticks_executed = 0;  ///< Component-ticks actually run (batched path).
+  u64 ticks_skipped = 0;   ///< Component-ticks replaced by bulk accounting.
+  /// Skipped-to-executed component-tick ratio (the fleet's idle dominance).
+  double skip_ratio() const {
+    return ticks_executed == 0 ? 0.0
+                               : static_cast<double>(ticks_skipped) /
+                                     static_cast<double>(ticks_executed);
+  }
 
   u64 device_cycles_total() const;
   /// Fleet throughput: simulated device-cycles per host second.

@@ -16,6 +16,7 @@ ScenarioEngine::ScenarioEngine(ScenarioSpec spec) : spec_(std::move(spec)) {
   for (std::size_t i = 0; i < spec_.cells.size(); ++i) {
     cells_.push_back(std::make_unique<net::Cell>(spec_.cells[i], spec_.channel,
                                                  spec_.seed, i, next_station_id));
+    cells_.back()->scheduler().set_idle_skip(spec_.idle_skip);
     next_station_id += static_cast<int>(spec_.cells[i].stations.size());
   }
 }
@@ -70,7 +71,11 @@ FleetStats ScenarioEngine::collect(Cycle lockstep_cycles, bool all_drained,
   fs.all_drained = all_drained;
   fs.wall_seconds = wall_seconds;
   fs.devices.reserve(spec_.station_count());
-  for (const auto& cell : cells_) cell->collect(fs.devices, fs.cells);
+  for (const auto& cell : cells_) {
+    cell->collect(fs.devices, fs.cells);
+    fs.ticks_executed += cell->scheduler().ticks_executed();
+    fs.ticks_skipped += cell->scheduler().ticks_skipped();
+  }
   return fs;
 }
 

@@ -100,6 +100,13 @@ struct ScenarioSpec {
   /// 0 = one per hardware core. Workers persist across lockstep rounds;
   /// larger strides still amortise the per-round wakeup on small fleets.
   unsigned worker_threads = 1;
+  /// Quiescence-aware scheduling on the batched path (sim/scheduler.hpp):
+  /// skip components that prove their ticks are no-ops, fast-forward
+  /// globally-idle stretches, and skip lockstep rounds for fully-quiescent
+  /// lanes. Bit-identical to false (every component ticked every cycle);
+  /// the equivalence tests pin that, so keep the flag only as the baseline
+  /// for comparisons and for debugging suspected skip bugs.
+  bool idle_skip = true;
   std::array<ChannelSpec, kNumModes> channel{};
   std::vector<CellSpec> cells;
 

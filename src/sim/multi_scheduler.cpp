@@ -46,9 +46,28 @@ MultiScheduler::RunResult MultiScheduler::run(Cycle max_cycles, Cycle stride,
 
   RoundState round;
   round.active = &active;
+  // Cycles a quiescent lane owes because its rounds were skipped; replayed
+  // in one batched call when the lane's next_wake falls due (or at exit).
+  std::vector<Cycle> deferred(lanes_.size(), 0);
   const auto run_lane = [&](std::size_t idx) {
-    lanes_[idx].sched->run_cycles_batched(round.chunk);
-    lanes_[idx].cycles_run += round.chunk;
+    Lane& lane = lanes_[idx];
+    const Cycle want = round.chunk + deferred[idx];
+    // next_wake() is exact between rounds (nothing mutates a lane outside
+    // its own run), so a lane with no possible tick before the round target
+    // can skip the dispatch entirely.
+    if (lane.sched->next_wake() >= lane.sched->now() + want) {
+      deferred[idx] = want;
+      return;
+    }
+    deferred[idx] = 0;
+    lane.sched->run_cycles_batched(want);
+    lane.cycles_run += want;
+  };
+  const auto flush_lane = [&](std::size_t idx) {
+    if (deferred[idx] == 0) return;
+    lanes_[idx].sched->run_cycles_batched(deferred[idx]);
+    lanes_[idx].cycles_run += deferred[idx];
+    deferred[idx] = 0;
   };
   const auto drain_queue = [&] {
     for (;;) {
@@ -86,11 +105,16 @@ MultiScheduler::RunResult MultiScheduler::run(Cycle max_cycles, Cycle stride,
     }
     res.cycles += round.chunk;
     // Retire lanes whose predicate fired this stride (calling thread only —
-    // workers are parked on the barrier here).
+    // workers are parked on the barrier here). A skipped lane's predicate
+    // cannot have changed (its ticks were provably no-ops), but evaluating
+    // it is pure, so the retire decision matches the dispatch-every-round
+    // behaviour exactly. A lane can only finish in a round it actually ran
+    // — the defensive flush keeps its clock aligned regardless.
     std::size_t kept = 0;
     for (std::size_t idx : active) {
       Lane& lane = lanes_[idx];
       if (lane.done && lane.done()) {
+        flush_lane(idx);
         lane.finished = true;
       } else {
         active[kept++] = idx;
@@ -98,6 +122,10 @@ MultiScheduler::RunResult MultiScheduler::run(Cycle max_cycles, Cycle stride,
     }
     active.resize(kept);
   }
+
+  // Bring skipped-but-unfinished lanes up to the lockstep clock, exactly as
+  // if they had been dispatched every round.
+  for (std::size_t idx : active) flush_lane(idx);
 
   if (!pool.empty()) {
     round.stop = true;

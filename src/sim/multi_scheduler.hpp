@@ -14,6 +14,17 @@
 // Lanes are independent by construction (no cross-lane Clockables), so the
 // stride only bounds how far one lane's clock may lead another's; it never
 // changes simulation results inside a lane.
+//
+// Quiescence-aware round skipping: after each batched run a lane's scheduler
+// publishes next_wake() — the earliest cycle any of its components could
+// execute a real tick. A lane whose wake lies beyond the round's target is
+// not dispatched at all (not even for a fast-forward call); the cycles it
+// owes accumulate and are replayed in one batched call the moment its wake
+// falls inside a round (or at run exit, so lane clocks still line up with
+// the lockstep clock). Nothing mutates a lane between rounds except its
+// done-predicate, which must be a pure read, so the skip decision is exact
+// and the results remain bit-identical to dispatching every round — with
+// any worker count.
 #pragma once
 
 #include <functional>

@@ -5,6 +5,10 @@
 
 namespace drmp::sim {
 
+void Clockable::wake_self() noexcept {
+  if (wake_sched_ != nullptr) wake_sched_->wake_component(wake_index_);
+}
+
 void Scheduler::add(Clockable& c, std::string name, int stage) {
   entries_.push_back(Entry{&c, stage});
   names_.push_back(std::move(name));
@@ -20,6 +24,13 @@ void Scheduler::freeze() {
   batch_.clear();
   batch_.reserve(ordered.size());
   for (const Entry& e : ordered) batch_.push_back(e.component);
+  // Bind the wake route: wake_self() must reach this scheduler's active-set
+  // bookkeeping. A component lives in exactly one scheduler in this code
+  // base; re-freezing (or re-registering elsewhere) rebinds it.
+  for (std::size_t i = 0; i < batch_.size(); ++i) {
+    batch_[i]->wake_sched_ = this;
+    batch_[i]->wake_index_ = static_cast<u32>(i);
+  }
   batch_dirty_ = false;
 }
 
@@ -37,11 +48,10 @@ void Scheduler::run_cycles(Cycle n) {
   }
 }
 
-void Scheduler::run_cycles_batched(Cycle n) {
-  if (batch_dirty_) freeze();
-  // Hot path: the component array lives in locals. The member clock still
-  // advances every cycle so components that sample now() mid-tick observe
-  // the same values as under run_cycles.
+void Scheduler::run_cycles_batched_every_tick(Cycle n) {
+  // The pre-quiescence hot path: the component array lives in locals. The
+  // member clock still advances every cycle so components that sample now()
+  // mid-tick observe the same values as under run_cycles.
   Clockable* const* comps = batch_.data();
   const std::size_t count = batch_.size();
   for (Cycle i = 0; i < n; ++i) {
@@ -50,6 +60,170 @@ void Scheduler::run_cycles_batched(Cycle n) {
     }
     ++now_;
   }
+  ticks_executed_ += n * count;
+  next_wake_ = now_;
+}
+
+void Scheduler::enter_batched() {
+  in_batched_run_ = true;
+  in_cycle_ = false;
+  cursor_ = kNoCursor;
+  states_.assign(batch_.size(), CompState{});
+  wheel_ = {};
+  active_.clear();
+  awake_lazy_ = 0;
+  // Entry partition: every component is fully caught up here, so bounds are
+  // relative to the next cycle to execute (now_).
+  for (u32 i = 0; i < batch_.size(); ++i) {
+    CompState& st = states_[i];
+    st.eager = batch_[i]->global_skip_only();
+    if (st.eager) {
+      active_.insert(i);  // Eager components stay in the tick loop.
+      continue;
+    }
+    const Cycle q = batch_[i]->quiescent_for();
+    if (q == 0) {
+      active_.insert(i);
+      ++awake_lazy_;
+    } else {
+      st.sleeping = true;
+      st.slept_from = now_;
+      if (q != Clockable::kIdleForever && q <= Clockable::kIdleForever - now_) {
+        wheel_.push(WheelEntry{now_ + q, i, st.gen});
+      }
+    }
+  }
+}
+
+void Scheduler::exit_batched() {
+  // Settle: every sleeping component is caught up through the last executed
+  // cycle, so introspection (stats, counters, internal clocks) between runs
+  // is indistinguishable from the every-tick path.
+  for (u32 i = 0; i < states_.size(); ++i) {
+    CompState& st = states_[i];
+    if (!st.sleeping) continue;
+    const Cycle owed = now_ - st.slept_from;
+    if (owed > 0) {
+      batch_[i]->skip_idle(owed);
+      ticks_skipped_ += owed;
+    }
+    st.sleeping = false;
+    ++st.gen;
+  }
+  in_batched_run_ = false;
+  // Lane-level wake hint for MultiScheduler: when the whole scheduler is
+  // quiescent, report the earliest cycle a real tick could occur.
+  Cycle min_q = Clockable::kIdleForever;
+  for (Clockable* c : batch_) {
+    const Cycle q = c->quiescent_for();
+    min_q = std::min(min_q, q);
+    if (min_q == 0) break;
+  }
+  if (min_q == 0 || batch_.empty()) {
+    next_wake_ = now_;
+  } else if (min_q == Clockable::kIdleForever || min_q > Clockable::kIdleForever - now_) {
+    next_wake_ = Clockable::kIdleForever;
+  } else {
+    next_wake_ = now_ + min_q;
+  }
+}
+
+void Scheduler::wake_component(u32 idx) {
+  if (!in_batched_run_) {
+    // External input between runs: the published lane hint no longer
+    // proves quiescence (the next batched entry re-partitions anyway).
+    next_wake_ = now_;
+    return;
+  }
+  CompState& st = states_[idx];
+  if (!st.sleeping) return;
+  st.sleeping = false;
+  ++st.gen;  // Any wake-wheel entry for this sleep period is now stale.
+  // Catch-up window: while mid-cycle, a target whose tick slot has not yet
+  // passed this cycle owes [slept_from, now_) and then really ticks at now_
+  // (the legacy path would observe the just-delivered input this cycle); a
+  // target whose slot already passed owes [slept_from, now_] and resumes at
+  // now_+1 — exactly when legacy would first see the input.
+  Cycle owed = now_ - st.slept_from;
+  if (in_cycle_ && idx <= cursor_) ++owed;
+  if (owed > 0) {
+    batch_[idx]->skip_idle(owed);
+    ticks_skipped_ += owed;
+  }
+  active_.insert(idx);
+  ++awake_lazy_;
+}
+
+void Scheduler::run_cycles_batched(Cycle n) {
+  if (batch_dirty_) freeze();
+  if (!idle_skip_ || batch_.empty()) {
+    run_cycles_batched_every_tick(n);
+    return;
+  }
+  const Cycle limit = now_ + n;
+  enter_batched();
+  while (now_ < limit) {
+    // Wake-wheel: scheduled bounds that expire this cycle.
+    while (!wheel_.empty() && wheel_.top().wake_at <= now_) {
+      const WheelEntry e = wheel_.top();
+      wheel_.pop();
+      if (states_[e.index].sleeping && states_[e.index].gen == e.gen) {
+        wake_component(e.index);
+      }
+    }
+    // Globally-quiescent gap: nothing but eager components is awake. Fast-
+    // forward to the earliest wake (or the nearest eager event), bulk-
+    // accounting the gap into the eager components immediately so their
+    // externally visible clocks are exact at every cycle anything runs.
+    if (awake_lazy_ == 0) {
+      Cycle gap = limit - now_;
+      if (!wheel_.empty()) gap = std::min(gap, wheel_.top().wake_at - now_);
+      for (const u32 idx : active_) {
+        gap = std::min(gap, batch_[idx]->quiescent_for());
+        if (gap == 0) break;
+      }
+      if (gap > 0) {
+        for (const u32 idx : active_) {
+          batch_[idx]->skip_idle(gap);
+        }
+        ticks_skipped_ += gap * active_.size();
+        now_ += gap;
+        ff_cycles_ += gap;
+        continue;
+      }
+    }
+    // One real cycle over the awake set, in frozen (stage) order. std::set
+    // iteration tolerates mid-loop insertion by wake_component: an index
+    // greater than the cursor is picked up later in this same pass.
+    in_cycle_ = true;
+    for (auto it = active_.begin(); it != active_.end();) {
+      const u32 idx = *it;
+      cursor_ = idx;
+      Clockable* c = batch_[idx];
+      c->tick();
+      ++ticks_executed_;
+      CompState& st = states_[idx];
+      if (!st.eager) {
+        const Cycle q = c->quiescent_for();
+        if (q > 0) {
+          st.sleeping = true;
+          ++st.gen;
+          st.slept_from = now_ + 1;
+          if (q != Clockable::kIdleForever && q < Clockable::kIdleForever - now_ - 1) {
+            wheel_.push(WheelEntry{now_ + 1 + q, idx, st.gen});
+          }
+          it = active_.erase(it);
+          --awake_lazy_;
+          continue;
+        }
+      }
+      ++it;
+    }
+    in_cycle_ = false;
+    cursor_ = kNoCursor;
+    ++now_;
+  }
+  exit_batched();
 }
 
 bool Scheduler::run_until(const std::function<bool()>& done, Cycle max_cycles) {

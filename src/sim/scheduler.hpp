@@ -1,4 +1,4 @@
-// Cycle-stepped simulation scheduler.
+// Cycle-stepped simulation scheduler with quiescence-aware batching.
 //
 // The DRMP prototype was modelled in Simulink at "cycle-approximate"
 // abstraction (thesis Ch. 5). This kernel reproduces that abstraction: every
@@ -16,19 +16,66 @@
 // before devices before observers" without depending on construction order.
 //
 // Two execution paths advance the clock:
-//   * run_cycles / run_until — the legacy per-cycle path; checks for new
-//     registrations every cycle and evaluates run_until's predicate every
-//     cycle.
-//   * run_cycles_batched — the hot path for fleet simulation: the component
-//     list is frozen into one contiguous stage-ordered array at entry and the
-//     inner loop touches nothing but that array and the cycle counter.
-//     Cycle-for-cycle identical to run_cycles — including now() as observed
-//     from inside a tick — provided no component is registered mid-run
-//     (components are only ever registered during construction in this code
-//     base).
+//   * run_cycles / run_until — the legacy per-cycle path; ticks every
+//     component every cycle, checks for new registrations every cycle and
+//     evaluates run_until's predicate every cycle.
+//   * run_cycles_batched — the fleet hot path: the component list is frozen
+//     into one contiguous stage-ordered array at entry, and components that
+//     declare themselves quiescent are *not ticked* until their declared
+//     bound expires or an external input wakes them. Skipped ticks are
+//     bulk-accounted through Clockable::skip_idle, so every counter and
+//     statistic ends up cycle-for-cycle identical to run_cycles — including
+//     now() as observed from inside a tick — provided no component is
+//     registered mid-run (components are only ever registered during
+//     construction in this code base).
+//
+// ---- The quiescence contract ----
+//
+// MAC workloads are idle-dominated: the paper's power argument (clock
+// gating, PSO, Fig. 5.12 state occupation) rests on components spending most
+// cycles quiescent. The batched path exploits the same property. A component
+// may override:
+//
+//   * quiescent_for() — a conservative bound Q: "my next Q tick() calls
+//     would be no-ops (absent external input); you may replace them with one
+//     skip_idle(Q)". 0 means "tick me next cycle"; kIdleForever means
+//     "skippable until woken". The scheduler calls it only at well-defined
+//     points — immediately after the component's own tick(), or at a run
+//     boundary with the component fully caught up — so implementations may
+//     assume their internal clocks equal the index of their next tick.
+//     Under-estimating Q is always safe (the component wakes, ticks once,
+//     and may sleep again); over-estimating breaks bit-identity.
+//   * skip_idle(n) — bulk-account n skipped ticks: advance internal cycle
+//     counters and fold n samples into busy/occupancy statistics. After
+//     skip_idle(n) the component must be in exactly the state n no-op
+//     tick() calls would have produced.
+//   * global_skip_only() — return true when the component's externally
+//     visible state is time-derived (media: now(), cca_idle_for() advance
+//     every cycle and are polled by other components). Such components are
+//     ticked every cycle while anything else is awake and skipped only
+//     across globally-quiescent gaps, where no observer can run.
+//
+// Wake invalidation: a quiescence bound is conditional on "no external
+// input". Every path that delivers input to a potentially-sleeping component
+// (bus trigger push, interrupt/host-request/timer arm, medium begin_tx and
+// frame delivery, Tx/Rx buffer pushes, IRC submissions, doorbell writes)
+// must call wake_self() on the target before mutating it. The scheduler then
+// catches the component up (bulk-accounting the cycles it slept) and re-
+// inserts it into the active set — in the *current* cycle when its tick slot
+// has not yet passed this cycle, from the next cycle otherwise, which is
+// exactly when the legacy path would first observe the input. skip_idle
+// implementations must not wake other components.
+//
+// Globally-quiescent gaps: when every component is quiescent, the scheduler
+// fast-forwards now_ to the earliest wake bound in one step (the wake-wheel
+// is a min-heap of sleeping components' bounds), bulk-accounting the gap
+// into every always-ticked component immediately so no state is ever stale
+// at a cycle where anything runs.
 #pragma once
 
 #include <functional>
+#include <queue>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -37,11 +84,49 @@
 
 namespace drmp::sim {
 
+class Scheduler;
+
+/// Sleep-bound helper for components gated on a clock they read one ahead:
+/// media lead the cycle, so a tick at cycle u reads a medium clock of u+1,
+/// and the first tick observing `reading` is reading-1. Returns the count
+/// of skippable ticks strictly before that tick, given the caller's next
+/// tick index (== its reference clock at both contract evaluation points).
+/// Single-sourcing the +2/-1 conversion matters: an off-by-one over-
+/// estimate at any call site silently breaks bit-identity.
+constexpr Cycle ticks_until_reading(Cycle reading, Cycle next_tick) noexcept {
+  return reading >= next_tick + 2 ? reading - 1 - next_tick : 0;
+}
+
 /// Anything driven by the architecture clock.
 class Clockable {
  public:
   virtual ~Clockable() = default;
   virtual void tick() = 0;
+
+  /// Sentinel bound: quiescent until externally woken.
+  static constexpr Cycle kIdleForever = ~Cycle{0};
+
+  /// Conservative count of upcoming tick() calls that are no-ops (see the
+  /// header comment). The default — never quiescent — is always correct.
+  virtual Cycle quiescent_for() const { return 0; }
+
+  /// Bulk-accounts `n` skipped ticks. Must be overridden (together with
+  /// quiescent_for) by any component that can report a non-zero bound.
+  virtual void skip_idle(Cycle n) { (void)n; }
+
+  /// True when other components sample time-derived state from this one
+  /// (see the header comment): tick every cycle, skip only in global gaps.
+  virtual bool global_skip_only() const { return false; }
+
+  /// Invalidates this component's quiescence bound: external input arrived.
+  /// Safe to call at any time (no-op when awake, unregistered, or outside a
+  /// batched run). Defined in scheduler.cpp.
+  void wake_self() noexcept;
+
+ private:
+  friend class Scheduler;
+  Scheduler* wake_sched_ = nullptr;  ///< Owning scheduler (set by freeze()).
+  u32 wake_index_ = 0;               ///< Position in the frozen stage array.
 };
 
 class Scheduler {
@@ -61,14 +146,28 @@ class Scheduler {
   /// Advances the simulation by n architecture cycles (legacy path).
   void run_cycles(Cycle n);
 
-  /// Advances by n cycles over the frozen stage-ordered component array.
-  /// Produces the same state as run_cycles(n), cycle for cycle.
+  /// Advances by n cycles over the frozen stage-ordered component array,
+  /// skipping quiescent components (see the header comment). Produces the
+  /// same state as run_cycles(n), cycle for cycle.
   void run_cycles_batched(Cycle n);
 
   /// Runs until `done()` returns true or `max_cycles` elapse (whichever is
   /// first). Returns true iff the predicate fired. The predicate is evaluated
   /// before every cycle.
   bool run_until(const std::function<bool()>& done, Cycle max_cycles);
+
+  /// Disables quiescence-aware skipping: run_cycles_batched ticks every
+  /// component every cycle (the pre-quiescence hot path). The baseline the
+  /// equivalence tests compare against.
+  void set_idle_skip(bool enabled) noexcept { idle_skip_ = enabled; }
+  bool idle_skip() const noexcept { return idle_skip_; }
+
+  /// Earliest cycle at which any component might execute a real tick, as
+  /// established at the end of the last batched run: now() when anything is
+  /// active, kIdleForever when every component is quiescent indefinitely.
+  /// Valid until a component is externally mutated; MultiScheduler uses it
+  /// to skip lockstep rounds for fully-quiescent lanes.
+  Cycle next_wake() const noexcept { return next_wake_; }
 
   Cycle now() const noexcept { return now_; }
   const TimeBase& timebase() const noexcept { return timebase_; }
@@ -79,15 +178,47 @@ class Scheduler {
   const std::string& component_name(std::size_t i) const { return names_[i]; }
   int component_stage(std::size_t i) const { return entries_[i].stage; }
 
+  // ---- Idle-skip instrumentation (bench/report surface) ----
+  /// Component-ticks actually executed by batched runs.
+  u64 ticks_executed() const noexcept { return ticks_executed_; }
+  /// Component-ticks replaced by skip_idle bulk accounting.
+  u64 ticks_skipped() const noexcept { return ticks_skipped_; }
+  /// Cycles crossed by globally-quiescent fast-forward jumps.
+  Cycle cycles_fast_forwarded() const noexcept { return ff_cycles_; }
+
  private:
   void step();
   /// Rebuilds the contiguous stage-ordered execution array.
   void freeze();
+  void run_cycles_batched_every_tick(Cycle n);
+  void enter_batched();
+  void exit_batched();
+  /// Catches a sleeping component up and re-inserts it into the active set.
+  void wake_component(u32 idx);
+  friend class Clockable;
 
   struct Entry {
     Clockable* component;
     int stage;
   };
+
+  /// Per-component quiescence state, parallel to batch_; live only inside
+  /// run_cycles_batched.
+  struct CompState {
+    bool eager = false;    ///< global_skip_only(): tick unless global gap.
+    bool sleeping = false;
+    u32 gen = 0;           ///< Invalidates stale wake-wheel entries.
+    Cycle slept_from = 0;  ///< First skipped tick cycle.
+  };
+
+  struct WheelEntry {
+    Cycle wake_at;
+    u32 index;
+    u32 gen;
+    bool operator>(const WheelEntry& o) const noexcept { return wake_at > o.wake_at; }
+  };
+
+  static constexpr std::size_t kNoCursor = ~std::size_t{0};
 
   TimeBase timebase_;
   Cycle now_ = 0;
@@ -95,6 +226,20 @@ class Scheduler {
   std::vector<std::string> names_;
   std::vector<Clockable*> batch_;  ///< Stage-ordered, rebuilt when dirty.
   bool batch_dirty_ = false;
+
+  bool idle_skip_ = true;
+  bool in_batched_run_ = false;
+  bool in_cycle_ = false;
+  std::size_t cursor_ = kNoCursor;  ///< Frozen index currently ticking.
+  std::vector<CompState> states_;
+  std::set<u32> active_;  ///< Awake components, iterated in frozen order.
+  std::priority_queue<WheelEntry, std::vector<WheelEntry>, std::greater<>> wheel_;
+  std::size_t awake_lazy_ = 0;  ///< Awake components that are not eager.
+  Cycle next_wake_ = 0;
+
+  u64 ticks_executed_ = 0;
+  u64 ticks_skipped_ = 0;
+  Cycle ff_cycles_ = 0;
 };
 
 }  // namespace drmp::sim

@@ -21,6 +21,13 @@ class BusyCounter {
     ++total_;
     if (busy) ++busy_;
   }
+  /// Bulk form: n consecutive cycles of one constant state. Equivalent to n
+  /// sample(busy) calls — the quiescence skip path accounts idle (or frozen-
+  /// busy) stretches through this without touching the per-cycle totals.
+  void sample_n(bool busy, Cycle n) noexcept {
+    total_ += n;
+    if (busy) busy_ += n;
+  }
   Cycle busy_cycles() const noexcept { return busy_; }
   Cycle total_cycles() const noexcept { return total_; }
   double busy_fraction() const noexcept {
@@ -37,6 +44,8 @@ class BusyCounter {
 class StateOccupancy {
  public:
   void sample(int state) { ++cycles_[state]; }
+  /// Bulk form: n consecutive cycles in one state (quiescence skip path).
+  void sample_n(int state, Cycle n) { cycles_[state] += n; }
   Cycle cycles_in(int state) const {
     auto it = cycles_.find(state);
     return it == cycles_.end() ? 0 : it->second;

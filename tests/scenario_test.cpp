@@ -236,6 +236,73 @@ TEST(Scenario, FleetStatsCarryPowerEstimates) {
   EXPECT_EQ(copy.full_digest(), fs.full_digest());
 }
 
+// ---- Quiescence-aware scheduling (idle skip) ---------------------------
+
+TEST(Scenario, IdleSkipIsBitIdenticalToEveryTickScheduling) {
+  // The acceptance contract of the quiescence scheduler: a fleet mixing
+  // point-to-point and contended cells produces byte-identical aggregate
+  // stats whether quiescent components are skipped or every component is
+  // ticked every cycle.
+  ScenarioSpec base = small_fleet(3, 77);
+  ScenarioSpec contended = ScenarioSpec::contended_wifi_cell(4, 77, 3);
+  for (auto& c : contended.cells) base.cells.push_back(std::move(c));
+  base.max_cycles = 120'000'000;
+  ScenarioSpec every_tick = base;
+  every_tick.idle_skip = false;
+  const FleetStats skipped = ScenarioEngine(std::move(base)).run();
+  const FleetStats ticked = ScenarioEngine(std::move(every_tick)).run();
+  EXPECT_TRUE(skipped.all_drained);
+  EXPECT_EQ(skipped.full_digest(), ticked.full_digest());
+  EXPECT_EQ(skipped.report(), ticked.report());
+  // And the skip path really skipped: this workload is idle-dominated.
+  EXPECT_GT(skipped.ticks_skipped, skipped.ticks_executed);
+  EXPECT_EQ(ticked.ticks_skipped, 0u);
+}
+
+// 64-device mixed fleet with a skewed traffic mix: a quarter of the
+// stations stream large MSDUs, a quarter trickle small ones, the rest run
+// the standard mix — the ROADMAP's "scale the fleet axis" open item.
+ScenarioSpec skewed_64_fleet(u64 seed) {
+  ScenarioSpec spec = ScenarioSpec::mixed_three_standard(64, seed,
+                                                         /*msdus_per_mode=*/1);
+  for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+    for (DeviceSpec& d : spec.cells[i].stations) {
+      for (auto& t : d.traffic) {
+        if (!t.enabled) continue;
+        if (i % 4 == 0) {
+          t.msdu_min_bytes = 900;
+          t.msdu_max_bytes = 1400;
+        } else if (i % 4 == 1) {
+          t.msdu_min_bytes = 64;
+          t.msdu_max_bytes = 128;
+        }
+      }
+    }
+  }
+  spec.max_cycles = 30'000'000;
+  return spec;
+}
+
+TEST(Scenario, SixtyFourDeviceMixedFleetDrainsAcrossWorkersAndPaths) {
+  const FleetStats serial = ScenarioEngine(skewed_64_fleet(2026)).run();
+  EXPECT_TRUE(serial.all_drained);
+  ASSERT_EQ(serial.devices.size(), 64u);
+  for (const DeviceStats& ds : serial.devices) {
+    for (std::size_t m = 0; m < kNumModes; ++m) {
+      EXPECT_EQ(ds.completed[m], ds.offered[m]) << "device " << ds.station_id;
+    }
+  }
+  ScenarioSpec par = skewed_64_fleet(2026);
+  par.worker_threads = 0;  // All cores.
+  const FleetStats parallel = ScenarioEngine(std::move(par)).run();
+  EXPECT_EQ(serial.full_digest(), parallel.full_digest());
+  EXPECT_EQ(serial.report(), parallel.report());
+  const FleetStats legacy =
+      ScenarioEngine(skewed_64_fleet(2026)).run(ScenarioEngine::Path::kLegacy);
+  EXPECT_TRUE(legacy.all_drained);
+  EXPECT_EQ(serial.completion_digest(), legacy.completion_digest());
+}
+
 TEST(TrafficGen, SlottedStreamPacesArrivalsByInterval) {
   sim::TimeBase tb(200e6);
   mac::TrafficSpec spec = mac::TrafficSpec::uwb_slotted_stream(3);

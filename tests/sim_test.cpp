@@ -323,5 +323,202 @@ TEST(Stats, LatencyPercentiles) {
   EXPECT_NEAR(l.percentile(0.5), 50.0, 1.0);
 }
 
+TEST(Stats, BulkSamplesMatchLoopedSamples) {
+  BusyCounter a, b;
+  for (int i = 0; i < 37; ++i) a.sample(true);
+  for (int i = 0; i < 63; ++i) a.sample(false);
+  b.sample_n(true, 37);
+  b.sample_n(false, 63);
+  EXPECT_EQ(a.busy_cycles(), b.busy_cycles());
+  EXPECT_EQ(a.total_cycles(), b.total_cycles());
+  StateOccupancy oa, ob;
+  for (int i = 0; i < 12; ++i) oa.sample(3);
+  ob.sample_n(3, 12);
+  EXPECT_EQ(oa.cycles_in(3), ob.cycles_in(3));
+}
+
+// ---- Quiescence-aware batching -------------------------------------------
+
+/// Periodic worker honouring the full quiescence contract: does real work
+/// every `period` cycles, declares the gaps skippable, and keeps an internal
+/// clock that must stay cycle-exact through skips.
+class PeriodicWorker : public Clockable {
+ public:
+  explicit PeriodicWorker(Cycle period) : period_(period), next_due_(period) {}
+
+  void tick() override {
+    const Cycle t = clock_++;
+    if (t >= next_due_) {
+      work_log.push_back(t);
+      next_due_ = t + period_;
+    }
+  }
+  Cycle quiescent_for() const override {
+    return next_due_ > clock_ ? next_due_ - clock_ : 0;
+  }
+  void skip_idle(Cycle n) override {
+    clock_ += n;
+    skipped += n;
+  }
+
+  Cycle clock() const noexcept { return clock_; }
+  std::vector<Cycle> work_log;
+  Cycle skipped = 0;
+
+ private:
+  Cycle period_;
+  Cycle next_due_;
+  Cycle clock_ = 0;
+};
+
+/// Mailbox consumer: sleeps indefinitely while empty; producers wake it.
+class MailboxConsumer : public Clockable {
+ public:
+  void tick() override {
+    const Cycle t = clock_++;
+    if (pending_ > 0) {
+      --pending_;
+      rx_log.push_back(t);
+    }
+  }
+  Cycle quiescent_for() const override { return pending_ > 0 ? 0 : kIdleForever; }
+  void skip_idle(Cycle n) override { clock_ += n; }
+  void push() {
+    wake_self();
+    ++pending_;
+  }
+
+  Cycle clock() const noexcept { return clock_; }
+  std::vector<Cycle> rx_log;
+
+ private:
+  u32 pending_ = 0;
+  Cycle clock_ = 0;
+};
+
+/// Producer ticked every cycle that pushes into a consumer at given cycles.
+class ScriptedProducer : public Clockable {
+ public:
+  ScriptedProducer(MailboxConsumer& c, std::vector<Cycle> at)
+      : consumer_(c), at_(std::move(at)) {}
+  void tick() override {
+    for (Cycle a : at_) {
+      if (a == now_) consumer_.push();
+    }
+    ++now_;
+  }
+
+ private:
+  MailboxConsumer& consumer_;
+  std::vector<Cycle> at_;
+  Cycle now_ = 0;
+};
+
+TEST(Quiescence, PeriodicWorkerSkipsButMatchesLegacyExactly) {
+  Scheduler legacy(200e6), batched(200e6);
+  PeriodicWorker wl(137), wb(137);
+  legacy.add(wl, "w");
+  batched.add(wb, "w");
+  legacy.run_cycles(10'000);
+  batched.run_cycles_batched(10'000);
+  EXPECT_EQ(wl.work_log, wb.work_log);
+  EXPECT_EQ(wl.clock(), wb.clock());
+  EXPECT_EQ(batched.now(), legacy.now());
+  EXPECT_GT(wb.skipped, 0u);                 // It really slept...
+  EXPECT_GT(batched.ticks_skipped(), 0u);    // ...through the wake-wheel...
+  EXPECT_GT(batched.cycles_fast_forwarded(), 0u);  // ...across global gaps.
+  EXPECT_LT(batched.ticks_executed(), 10'000u);
+}
+
+TEST(Quiescence, WakeLandsOnTheLegacyCycleEitherSideOfTheProducer) {
+  // The consumer must observe a push in the same cycle as under the legacy
+  // path, whether its tick slot comes before or after the producer's.
+  for (const bool consumer_first : {true, false}) {
+    Scheduler legacy(200e6), batched(200e6);
+    MailboxConsumer cl, cb;
+    ScriptedProducer pl(cl, {100, 101, 500}), pb(cb, {100, 101, 500});
+    if (consumer_first) {
+      legacy.add(cl, "c");
+      legacy.add(pl, "p");
+      batched.add(cb, "c");
+      batched.add(pb, "p");
+    } else {
+      legacy.add(pl, "p");
+      legacy.add(cl, "c");
+      batched.add(pb, "p");
+      batched.add(cb, "c");
+    }
+    legacy.run_cycles(1'000);
+    batched.run_cycles_batched(1'000);
+    EXPECT_EQ(cl.rx_log, cb.rx_log) << "consumer_first=" << consumer_first;
+    EXPECT_EQ(cl.clock(), cb.clock()) << "consumer_first=" << consumer_first;
+  }
+}
+
+TEST(Quiescence, SplitRunsMatchOneRun) {
+  // run_cycles_batched(a); run_cycles_batched(b) must equal one (a+b) run —
+  // the settle/re-partition at the boundary is what MultiScheduler strides
+  // rely on.
+  Scheduler one(200e6), split(200e6);
+  PeriodicWorker w1(97), w2(97);
+  one.add(w1, "w");
+  split.add(w2, "w");
+  one.run_cycles_batched(4'000);
+  split.run_cycles_batched(1'000);
+  split.run_cycles_batched(512);
+  split.run_cycles_batched(2'488);
+  EXPECT_EQ(w1.work_log, w2.work_log);
+  EXPECT_EQ(w1.clock(), w2.clock());
+}
+
+TEST(Quiescence, IdleSkipDisabledTicksEverything) {
+  Scheduler s(200e6);
+  s.set_idle_skip(false);
+  PeriodicWorker w(50);
+  s.add(w, "w");
+  s.run_cycles_batched(1'000);
+  EXPECT_EQ(w.skipped, 0u);
+  EXPECT_EQ(w.clock(), 1'000u);
+  EXPECT_EQ(s.ticks_executed(), 1'000u);
+}
+
+TEST(Quiescence, NextWakeReportsTheEarliestRealTick) {
+  Scheduler s(200e6);
+  PeriodicWorker w(1'000);
+  s.add(w, "w");
+  s.run_cycles_batched(100);  // Well inside the first idle stretch.
+  EXPECT_EQ(s.next_wake(), 1'000u);
+  Scheduler busy(200e6);
+  Counter c;  // Default contract: never quiescent.
+  busy.add(c, "c");
+  busy.run_cycles_batched(100);
+  EXPECT_EQ(busy.next_wake(), busy.now());
+}
+
+TEST(Quiescence, MultiSchedulerSkipsQuiescentLanesBitIdentically) {
+  // Lane 0 works every 100 cycles, lane 1 every 40'000 (it skips whole
+  // strides); both must land exactly where dispatch-every-round lands.
+  for (const unsigned workers : {1u, 4u}) {
+    Scheduler s0(200e6), s1(200e6);
+    PeriodicWorker w0(100), w1(40'000);
+    s0.add(w0, "w0");
+    s1.add(w1, "w1");
+    MultiScheduler multi;
+    multi.add(s0);
+    multi.add(s1);
+    const auto res = multi.run(100'000, 1'024, workers);
+    EXPECT_EQ(res.cycles, 100'000u);
+    EXPECT_EQ(s0.now(), 100'000u);
+    EXPECT_EQ(s1.now(), 100'000u);  // Flushed to the lockstep clock.
+    EXPECT_EQ(multi.lane_cycles(0), 100'000u);
+    EXPECT_EQ(multi.lane_cycles(1), 100'000u);
+    Scheduler ref(200e6);
+    PeriodicWorker wr(40'000);
+    ref.add(wr, "w");
+    ref.run_cycles_batched(100'000);
+    EXPECT_EQ(w1.work_log, wr.work_log) << "workers=" << workers;
+  }
+}
+
 }  // namespace
 }  // namespace drmp::sim
