@@ -1,0 +1,180 @@
+// RTS/CTS policy sweep over hidden-node topologies — the repo's first
+// scenario-diversity bench where *policy*, not scale, is the variable.
+//
+// Three 4-station WiFi cell topologies (scenario::ScenarioSpec::Reach):
+//   full    — every station hears every other (explicit all-ones audibility
+//             matrix through the per-listener machinery),
+//   hidden  — stations 0 and 1 mutually deaf (the classic hidden pair),
+//   chain   — a line: station i hears only i-1, i, i+1,
+// each swept over RTS thresholds {0 = handshake off, 768 = large MSDUs only
+// (the topology's 700-1000 byte MSDUs straddle it), 1 = every MSDU}, with
+// NAV virtual carrier sense on. The textbook result this reproduces:
+// carrier sense alone collapses under hidden nodes
+// (collision rate far above the fully-connected cell), and the RTS/CTS
+// handshake — short reservation frames plus NAV — buys the throughput back
+// for the price of a little control airtime.
+//
+//   $ ./bench_net_rtscts_sweep [stations] [msdus_per_station] [--json[=PATH]]
+//
+//   --json writes the machine-readable sweep record to BENCH_rtscts.json
+//   (or PATH): per (topology, threshold) collisions, collision rate per
+//   offered MSDU, airtime efficiency (1 - collided/busy air), retries,
+//   NAV defers and the full digest. CI gates on the hidden-vs-full
+//   collision-rate ordering.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "scenario/scenario_engine.hpp"
+
+namespace {
+
+using drmp::scenario::FleetStats;
+using drmp::scenario::ScenarioEngine;
+using drmp::scenario::ScenarioSpec;
+
+constexpr drmp::u64 kSeed = 1;
+
+struct SweepPoint {
+  std::string topo;
+  drmp::u32 rts_threshold = 0;
+  drmp::u64 collisions = 0;
+  double collision_rate = 0.0;  ///< Collided frames per offered MSDU.
+  double airtime_eff = 0.0;     ///< 1 - collided air / busy air.
+  drmp::u64 retries = 0;
+  drmp::u64 tx_ok = 0;
+  drmp::u64 offered = 0;
+  drmp::u64 nav_defers = 0;
+  drmp::u64 full_digest = 0;
+};
+
+SweepPoint run_point(const char* name, ScenarioSpec::Reach reach,
+                     std::size_t stations, drmp::u32 msdus, drmp::u32 thr) {
+  ScenarioSpec spec =
+      ScenarioSpec::contended_wifi_topology(stations, reach, kSeed, msdus, thr);
+  const FleetStats fs = ScenarioEngine(std::move(spec)).run();
+  SweepPoint p;
+  p.topo = name;
+  p.rts_threshold = thr;
+  if (!fs.all_drained) {
+    std::printf("BUDGET EXHAUSTED: %s rts=%u\n", name, thr);
+    std::exit(1);
+  }
+  p.collisions = fs.cells.at(0).collided_frames[0];
+  p.nav_defers = fs.total_nav_defers();
+  for (const auto& ds : fs.devices) {
+    p.offered += ds.offered[0];
+    p.tx_ok += ds.tx_ok[0];
+    p.retries += ds.retries[0];
+  }
+  p.collision_rate =
+      p.offered > 0 ? static_cast<double>(p.collisions) / static_cast<double>(p.offered)
+                    : 0.0;
+  const auto busy = fs.cells.at(0).busy_cycles[0];
+  const auto wasted = fs.cells.at(0).collided_airtime[0];
+  p.airtime_eff =
+      busy > 0 ? 1.0 - static_cast<double>(wasted) / static_cast<double>(busy) : 1.0;
+  p.full_digest = fs.full_digest();
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      drmp::bench::take_json_flag(argc, argv, "BENCH_rtscts.json");
+  const std::size_t stations = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  const drmp::u32 msdus =
+      argc > 2 ? static_cast<drmp::u32>(std::strtoul(argv[2], nullptr, 10)) : 4;
+
+  std::printf(
+      "RTS/CTS policy sweep: %zu stations, %u MSDUs each, seed %llu, NAV on\n\n",
+      stations, msdus, static_cast<unsigned long long>(kSeed));
+
+  struct Topo {
+    const char* name;
+    ScenarioSpec::Reach reach;
+  };
+  const std::vector<Topo> topos = {
+      {"full", ScenarioSpec::Reach::kFull},
+      {"hidden", ScenarioSpec::Reach::kHiddenPair},
+      {"chain", ScenarioSpec::Reach::kChain},
+  };
+  const std::vector<drmp::u32> thresholds = {0, 768, 1};
+
+  std::vector<SweepPoint> points;
+  std::printf("topology  rts_thr   coll  coll/msdu  air_eff%%  retries"
+              "  ok/offered  nav_defers\n");
+  for (const Topo& t : topos) {
+    for (drmp::u32 thr : thresholds) {
+      const SweepPoint p = run_point(t.name, t.reach, stations, msdus, thr);
+      std::printf("%-8s %8u %6llu %10.3f %9.2f %8llu %6llu/%-6llu %8llu\n",
+                  p.topo.c_str(), p.rts_threshold,
+                  static_cast<unsigned long long>(p.collisions), p.collision_rate,
+                  100.0 * p.airtime_eff, static_cast<unsigned long long>(p.retries),
+                  static_cast<unsigned long long>(p.tx_ok),
+                  static_cast<unsigned long long>(p.offered),
+                  static_cast<unsigned long long>(p.nav_defers));
+      points.push_back(p);
+    }
+    std::printf("\n");
+  }
+
+  // The textbook orderings this bench exists to demonstrate; failing them
+  // means the hidden-node machinery regressed, not that a runner was noisy
+  // (everything here is deterministic).
+  auto find = [&](const char* topo, drmp::u32 thr) -> const SweepPoint& {
+    for (const SweepPoint& p : points) {
+      if (p.topo == topo && p.rts_threshold == thr) return p;
+    }
+    std::printf("missing sweep point %s/%u\n", topo, thr);
+    std::exit(1);
+  };
+  const SweepPoint& hidden_off = find("hidden", 0);
+  const SweepPoint& hidden_on = find("hidden", 1);
+  const SweepPoint& full_off = find("full", 0);
+  if (hidden_off.collision_rate <= full_off.collision_rate) {
+    std::printf("ORDERING FAILURE: hidden-node collision rate (%.3f) must exceed "
+                "the fully-connected cell's (%.3f)\n",
+                hidden_off.collision_rate, full_off.collision_rate);
+    return 1;
+  }
+  if (hidden_on.collisions * 5 > hidden_off.collisions) {
+    std::printf("ORDERING FAILURE: RTS/CTS must cut hidden-pair collisions >=5x "
+                "(off=%llu on=%llu)\n",
+                static_cast<unsigned long long>(hidden_off.collisions),
+                static_cast<unsigned long long>(hidden_on.collisions));
+    return 1;
+  }
+  std::printf("orderings: hidden(%0.3f) > full(%0.3f) coll/msdu; RTS cuts hidden "
+              "collisions %llux\n",
+              hidden_off.collision_rate, full_off.collision_rate,
+              static_cast<unsigned long long>(
+                  hidden_off.collisions / std::max<drmp::u64>(1, hidden_on.collisions)));
+
+  if (!json_path.empty()) {
+    drmp::bench::JsonRecord rec;
+    rec.str("bench", "net_rtscts_sweep");
+    rec.num("stations", static_cast<drmp::u64>(stations));
+    rec.num("msdus_per_station", msdus);
+    rec.num("seed", kSeed);
+    for (const SweepPoint& p : points) {
+      const std::string k = p.topo + "_rts" + std::to_string(p.rts_threshold);
+      rec.num(k + "_collisions", p.collisions);
+      rec.num(k + "_collision_rate", p.collision_rate);
+      rec.num(k + "_airtime_eff", p.airtime_eff);
+      rec.num(k + "_retries", p.retries);
+      rec.num(k + "_tx_ok", p.tx_ok);
+      rec.num(k + "_nav_defers", p.nav_defers);
+      rec.hex(k + "_full_digest", p.full_digest);
+    }
+    if (!rec.write(json_path)) {
+      std::printf("FAILED to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\njson record: %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -122,6 +122,7 @@ DrmpDevice::DrmpDevice(sim::Scheduler& sched, DrmpConfig cfg, int station_id)
     eh_env.rx_bufs[i] = &rx_bufs_[i];
     eh_env.idents[i] = cfg_.modes[i].ident;
     eh_env.enabled[i] = cfg_.modes[i].enabled;
+    eh_env.nav[i] = &navs_[i];
   }
   eh_env.tb = &tb_;
   eh_env.stats = &stats_;
@@ -136,7 +137,13 @@ DrmpDevice::DrmpDevice(sim::Scheduler& sched, DrmpConfig cfg, int station_id)
   // record state channels against its cycle counter.
   bus_->set_trace_gate(&trace_);
   for (std::size_t i = 0; i < kNumModes; ++i) {
-    rx_bufs_[i].on_deliver = [this] { event_handler_->wake_self(); };
+    const Mode m = mode_from_index(i);
+    rx_bufs_[i].on_deliver = [this, i, m] {
+      event_handler_->wake_self();
+      // Delivery-time NAV snoop: overheard reservations must arm at frame
+      // end, not when the drain request finally runs.
+      event_handler_->nav_snoop(m, rx_bufs_[i].last_delivered().bytes);
+    };
   }
 
   // Completion routing: CPU requests -> ReqDone interrupt; Event Handler
@@ -258,7 +265,7 @@ void DrmpDevice::build_rfus(sim::Scheduler& /*sched*/) {
     txb[i] = &tx_bufs_[i];
     rxb[i] = &rx_bufs_[i];
   }
-  tx_->wire(fcs_.get(), txb, &tb_);
+  tx_->wire(fcs_.get(), txb, &tb_, rx_.get());
   rx_->wire(fcs_.get(), rxb);
   ack_->wire(rx_.get(), txb, &tb_);
   backoff_->seed(cfg_.backoff_seed);
@@ -286,11 +293,17 @@ void DrmpDevice::attach_medium(Mode m, phy::Medium* medium) {
   media_[i] = medium;
   phy_txs_[i] = std::make_unique<phy::PhyTx>(tx_bufs_[i], *medium, station_id_);
   phy_rxs_[i] = std::make_unique<phy::PhyRx>(rx_bufs_[i], station_id_);
-  medium->attach(*phy_rxs_[i]);
+  medium->attach(*phy_rxs_[i], station_id_);
+  event_handler_->attach_medium(m, medium);  // NAV reservations need its clock.
   sched_->add(*phy_txs_[i], "phy_tx." + std::string(to_string(m)));
   phy::PhyTx* ptx = phy_txs_[i].get();
   tx_bufs_[i].on_push = [ptx] { ptx->wake_self(); };  // Quiescence wake.
-  backoff_->wire(media_, &tb_);
+  std::array<const mac::NavTimer*, kNumModes> navs{};
+  for (std::size_t mi = 0; mi < kNumModes; ++mi) {
+    navs[mi] = &navs_[mi];
+    navs_[mi].subscribe(*backoff_);  // NAV arms invalidate access-wait sleeps.
+  }
+  backoff_->wire(media_, &tb_, navs, station_id_);
 }
 
 void DrmpDevice::host_send(Mode m, Bytes msdu) {

@@ -17,6 +17,7 @@
 #include "hw/reconfig_memory.hpp"
 #include "irc/irc.hpp"
 #include "mac/ctrl_common.hpp"
+#include "mac/nav.hpp"
 #include "phy/buffers.hpp"
 #include "phy/phy_model.hpp"
 #include "rfu/ack_rfu.hpp"
@@ -100,6 +101,9 @@ class DrmpDevice {
   phy::TxBuffer& tx_buffer(Mode m) { return tx_bufs_[index(m)]; }
   phy::RxBuffer& rx_buffer(Mode m) { return rx_bufs_[index(m)]; }
   phy::PhyTx* phy_tx(Mode m) { return phy_txs_[index(m)].get(); }
+  /// Per-mode NAV (virtual carrier sense) timer; armed by the Event Handler
+  /// when the mode's ident.nav_enabled, consulted by the BackoffRfu.
+  const mac::NavTimer& nav(Mode m) const { return navs_[index(m)]; }
 
   // RFU access for tests/benches.
   rfu::CryptoRfu& crypto_rfu() { return *crypto_; }
@@ -143,6 +147,7 @@ class DrmpDevice {
   std::array<std::unique_ptr<phy::PhyTx>, kNumModes> phy_txs_;
   std::array<std::unique_ptr<phy::PhyRx>, kNumModes> phy_rxs_;
   std::array<phy::Medium*, kNumModes> media_{};
+  std::array<mac::NavTimer, kNumModes> navs_;
   sim::Scheduler* sched_ = nullptr;
 
   std::unique_ptr<rfu::CryptoRfu> crypto_;

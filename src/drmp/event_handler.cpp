@@ -1,5 +1,6 @@
 #include "drmp/event_handler.hpp"
 
+#include "mac/protocol.hpp"
 #include "mac/uwb_frames.hpp"
 #include "mac/wifi_frames.hpp"
 #include "rfu/rfu_ids.hpp"
@@ -52,6 +53,45 @@ void EventHandler::submit_drain(Mode m) {
   st_[index(m)] = St::WaitDrain;
 }
 
+u16 EventHandler::rx_frame_duration_us(Mode m) const {
+  // The duration field sits at bytes [2,3) of every 802.11 MAC header,
+  // control and data alike; the frame is still held in the Rx page at
+  // evaluation time. This is a hardware peek like the status-word reads — no
+  // modelled bus traffic, the CPU never sees the frame (§3.5).
+  const Bytes frame = env_.mem->read_page_bytes(m, hw::Page::Rx);
+  if (const auto ctl = mac::wifi::parse_control(frame)) return ctl->duration_us;
+  if (frame.size() >= mac::wifi::kHdrBytes) {
+    return mac::wifi::DataHeader::decode(
+               std::span<const u8>(frame.data(), mac::wifi::kHdrBytes))
+        .duration_us;
+  }
+  return 0;
+}
+
+void EventHandler::nav_snoop(Mode m, const Bytes& frame) {
+  // Virtual carrier sense (NAV): a verified frame addressed to another
+  // station announces how long its exchange keeps the medium reserved, and
+  // the reservation counts from the frame's end — which is exactly now (this
+  // runs from the Rx buffer's deliver hook). Only FCS-clean frames arm;
+  // collided/garbled deliveries are noise.
+  const std::size_t i = index(m);
+  if (!env_.enabled[i] || !env_.idents[i].nav_enabled || env_.nav[i] == nullptr ||
+      media_[i] == nullptr || env_.idents[i].proto != mac::Protocol::WiFi) {
+    return;
+  }
+  u16 dur_us = 0;
+  if (const auto ctl = mac::wifi::parse_control(frame)) {
+    if (!ctl->fcs_ok || ctl->ra.to_u64() == env_.idents[i].self_addr) return;
+    dur_us = ctl->duration_us;
+  } else if (const auto mpdu = mac::wifi::parse_data_mpdu(frame)) {
+    if (!mpdu->fcs_ok || mpdu->hdr.addr1.to_u64() == env_.idents[i].self_addr) return;
+    dur_us = mpdu->hdr.duration_us;
+  }
+  if (dur_us == 0) return;
+  const Cycle now = media_[i]->now();
+  env_.nav[i]->arm(now + env_.tb->us_to_cycles(static_cast<double>(dur_us)), now);
+}
+
 void EventHandler::evaluate_frame(Mode m) {
   const auto& id = env_.idents[index(m)];
   const bool parse_ok = status(m, CtrlWord::kParseOk) != 0;
@@ -80,6 +120,7 @@ void EventHandler::evaluate_frame(Mode m) {
         if (ra == id.self_addr && raise_irq) {
           raise_irq(m, IrqEvent::RxAckInd, ctrl::kAckParamAck);
         }
+        // A bystander's ACK already armed the NAV at delivery (nav_snoop).
         st_[index(m)] = St::Idle;  // Control frame: Rx page free immediately.
         return;
       }
@@ -88,7 +129,14 @@ void EventHandler::evaluate_frame(Mode m) {
         // RTS/CTS handshake (param distinguishes it from a data ACK).
         const u64 ra = static_cast<u64>(status(m, CtrlWord::kDstLo)) |
                        (static_cast<u64>(status(m, CtrlWord::kDstHi)) << 32);
-        if (ra == id.self_addr && raise_irq) raise_irq(m, IrqEvent::RxAckInd, ctrl::kAckParamCts);
+        if (ra == id.self_addr && raise_irq) {
+          raise_irq(m, IrqEvent::RxAckInd, ctrl::kAckParamCts);
+        }
+        // A bystander's CTS is THE hidden-node rescue — this station may be
+        // deaf to the RTS originator, but the responder's CTS reserves the
+        // medium for the whole protected exchange. The delivery-time
+        // nav_snoop armed it already (this drain can queue behind our own
+        // in-flight transmit request, far too late).
         st_[index(m)] = St::Idle;
         return;
       }
@@ -111,14 +159,19 @@ void EventHandler::evaluate_frame(Mode m) {
         const u64 ra = static_cast<u64>(status(m, CtrlWord::kDstLo)) |
                        (static_cast<u64>(status(m, CtrlWord::kDstHi)) << 32);
         if (ra != id.self_addr) {
-          st_[index(m)] = St::Idle;  // Not for us: NAV only (no response).
+          st_[index(m)] = St::Idle;  // Not for us: NAV only (snooped already).
           return;
         }
+        // The CTS carries the RTS reservation minus the SIFS gap and its own
+        // air time (802.11 duration arithmetic), so third parties that hear
+        // only this responder still cover the protected exchange.
+        const u32 cts_dur_us = mac::wifi::cts_duration_from_rts(
+            rx_frame_duration_us(m), mac::timing_for(mac::Protocol::WiFi));
         irc::ServiceRequest req;
         req.from_cpu = false;
         req.ops = {{Op::CtsGenWifi,
                     {status(m, CtrlWord::kSrcLo), status(m, CtrlWord::kSrcHi),
-                     static_cast<u32>(index(m)), page_base(m, Page::Ack)}}};
+                     static_cast<u32>(index(m)), page_base(m, Page::Ack), cts_dur_us}}};
         tag_[index(m)] = env_.irc->submit(m, std::move(req));
         st_[index(m)] = St::WaitCtsGen;
         return;
@@ -136,7 +189,7 @@ void EventHandler::evaluate_frame(Mode m) {
         const u64 dst = static_cast<u64>(status(m, CtrlWord::kDstLo)) |
                         (static_cast<u64>(status(m, CtrlWord::kDstHi)) << 32);
         if (dst != id.self_addr) {
-          st_[index(m)] = St::Idle;
+          st_[index(m)] = St::Idle;  // Overheard exchange: NAV snooped already.
           return;
         }
         if (subtype == mac::wifi::Subtype::CfPoll ||

@@ -17,7 +17,9 @@
 #include "hw/packet_memory.hpp"
 #include "irc/irc.hpp"
 #include "mac/ctrl_common.hpp"
+#include "mac/nav.hpp"
 #include "phy/buffers.hpp"
+#include "phy/phy_model.hpp"
 #include "sim/scheduler.hpp"
 
 namespace drmp {
@@ -30,11 +32,18 @@ class EventHandler : public sim::Clockable {
     std::array<phy::RxBuffer*, kNumModes> rx_bufs{};
     std::array<ctrl::ModeIdentity, kNumModes> idents{};
     std::array<bool, kNumModes> enabled{};
+    /// Per-mode NAV timers (virtual carrier sense); armed here from the
+    /// duration fields of overheard frames when ident.nav_enabled.
+    std::array<mac::NavTimer*, kNumModes> nav{};
     const sim::TimeBase* tb = nullptr;
     sim::StatsRegistry* stats = nullptr;
   };
 
   explicit EventHandler(Env env) : env_(std::move(env)) {}
+
+  /// Gives the handler the mode's medium clock (NAV reservations are armed
+  /// against it). Wired by DrmpDevice::attach_medium.
+  void attach_medium(Mode m, phy::Medium* medium) { media_[index(m)] = medium; }
 
   /// Raise-interrupt hook (device wires it to the CPU model + IRC mirror).
   std::function<void(Mode, irc::IrqEvent, Word)> raise_irq;
@@ -59,16 +68,29 @@ class EventHandler : public sim::Clockable {
   u32 rx_frames_handled(Mode m) const { return handled_[index(m)]; }
   u32 rx_ctss_generated(Mode m) const { return cts_[index(m)]; }
 
+  /// Delivery-time NAV snoop, invoked from the Rx buffer's deliver hook at
+  /// frame end. Real MAC hardware updates the NAV the moment a frame's FCS
+  /// checks out — waiting for the drain+parse service request would be too
+  /// late, since that request queues behind this mode's own in-flight
+  /// transmit request (one TH pair per mode, §3.6.1.1), exactly when the
+  /// reservation matters most. Modelled as a dedicated comparator on the
+  /// Rx translational buffer's PHY side (no bus traffic, CPU never sees it).
+  void nav_snoop(Mode m, const Bytes& frame);
+
  private:
   enum class St : u8 { Idle, WaitDrain, WaitAckGen, WaitCtsGen, WaitRelease };
 
   void submit_drain(Mode m);
   void evaluate_frame(Mode m);
+  /// Reads the duration field of the WiFi frame still held in the Rx page
+  /// (control or data layout); 0 when absent/unparsable.
+  u16 rx_frame_duration_us(Mode m) const;
   Word status(Mode m, hw::CtrlWord w) const {
     return env_.mem->cpu_read(hw::ctrl_status_addr(m, w));
   }
 
   Env env_;
+  std::array<phy::Medium*, kNumModes> media_{};
   std::array<St, kNumModes> st_{St::Idle, St::Idle, St::Idle};
   std::array<u32, kNumModes> tag_{};
   std::array<u32, kNumModes> bad_{};

@@ -48,7 +48,8 @@ OpCodeTable::OpCodeTable() {
   // ACK generation.
   add(Op::AckGenWifi, {rfu::kAckRfu, cfg::kProtoWifi, 4, false});
   add(Op::AckGenUwb, {rfu::kAckRfu, cfg::kProtoUwb, 4, false});
-  add(Op::CtsGenWifi, {rfu::kAckRfu, cfg::kProtoWifi, 4, false});
+  // One word more than AckGen: the CTS carries the remaining NAV duration.
+  add(Op::CtsGenWifi, {rfu::kAckRfu, cfg::kProtoWifi, 5, false});
   // Channel access (detached: no bus held while counting).
   add(Op::CsmaAccessWifi, {rfu::kBackoffRfu, cfg::kAccessCsmaWifi, 2, true});
   add(Op::CsmaAccessUwb, {rfu::kBackoffRfu, cfg::kAccessCsmaUwb, 2, true});

@@ -54,6 +54,12 @@ struct ModeIdentity {
   /// bytes or more are preceded by an RTS. 0 disables the handshake (the
   /// thesis prototype's setting).
   u32 rts_threshold = 0;
+  /// WiFi NAV virtual carrier sense: honour the duration fields of overheard
+  /// frames (RTS/CTS/ACK/data addressed elsewhere) as medium reservations
+  /// alongside physical CCA. Off by default — the thesis prototype and the
+  /// PR-2/3 contention workloads defer on carrier sense alone, and their
+  /// digests are pinned; hidden-node scenarios switch it on.
+  bool nav_enabled = false;
   /// WiFi PCF (§2.3.2.1 #5/#8): as a CF-pollable station, transmit only when
   /// polled by the point coordinator; uplink data is acknowledged by the
   /// piggybacked CF-Ack on the next poll (#11). Off = plain DCF.

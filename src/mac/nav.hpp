@@ -1,0 +1,65 @@
+// NAV — the Network Allocation Vector, 802.11's *virtual* carrier sense.
+//
+// Every WiFi frame carries a duration field announcing how long the medium
+// stays reserved after it ends (SIFS gaps + the rest of the exchange). A
+// station that overhears a frame addressed to somebody else arms its NAV for
+// that long and treats the medium as busy even when its CCA hears nothing —
+// which is exactly what rescues the hidden-node topology: the hidden station
+// cannot hear the data frame it would collide with, but it *can* hear the
+// AP's CTS, whose duration covers the whole protected exchange.
+//
+// One NavTimer per (device, mode). The Event Handler arms it from overheard
+// RTS/CTS/ACK/data durations (drmp/event_handler.cpp); the BackoffRfu
+// consults it alongside physical CCA as a combined virtual-or-physical busy
+// gate (rfu/backoff_rfu.cpp). Arming wakes the subscribed access RFU so the
+// quiescence contract holds: a sleeping backoff countdown must re-evaluate
+// when a reservation lands, and its sleep bounds respect expiry().
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/scheduler.hpp"
+
+namespace drmp::mac {
+
+class NavTimer {
+ public:
+  /// Arms (extends) the reservation until `until`. `now` gates no-op arms:
+  /// a zero/expired duration neither counts nor wakes anyone. The NAV only
+  /// ever grows — a shorter overheard reservation inside a longer one is
+  /// already covered.
+  void arm(Cycle until, Cycle now) {
+    if (until <= now) return;
+    ++arms_;
+    if (until > until_) {
+      // Wake before mutating (sim/scheduler.hpp contract): a sleeping
+      // access RFU is settled against the pre-arm state first.
+      for (sim::Clockable* c : subs_) c->wake_self();
+      until_ = until;
+    }
+  }
+
+  /// Virtual carrier: is the medium reserved at clock value `at`?
+  bool active(Cycle at) const noexcept { return at < until_; }
+  /// First clock value at which the current reservation has lapsed (a sleep
+  /// bound: only arm() — which wakes subscribers — can push it later).
+  Cycle expiry() const noexcept { return until_; }
+  /// Overheard reservations honoured over the device's lifetime.
+  u64 arms() const noexcept { return arms_; }
+
+  /// Registers a component to wake when a reservation lands. Idempotent.
+  void subscribe(sim::Clockable& c) {
+    for (const sim::Clockable* s : subs_) {
+      if (s == &c) return;
+    }
+    subs_.push_back(&c);
+  }
+
+ private:
+  Cycle until_ = 0;
+  u64 arms_ = 0;
+  std::vector<sim::Clockable*> subs_;
+};
+
+}  // namespace drmp::mac

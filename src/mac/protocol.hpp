@@ -34,6 +34,23 @@ struct ProtocolTiming {
 
 ProtocolTiming timing_for(Protocol p);
 
+/// The protocol's CCA detection-latency default: one contention slot, or
+/// SIFS where the protocol has no slotted contention. Single source for
+/// net::ContendedMedium's collision window and the perishable-response
+/// tolerances below.
+inline double cca_latency_default_us(const ProtocolTiming& t) {
+  return t.slot_us > 0.0 ? t.slot_us : t.sifs_us;
+}
+
+/// Lateness tolerance for a perishable SIFS response (ACK/CTS/CTS-released
+/// data): the trigger frame's perceived tail (detection latency) plus one
+/// SIFS of grace. A response that cannot *start* within this window belongs
+/// to an exchange that has moved on and is abandoned to the peer's
+/// timeout/retry machinery (see phy::TxFrameEntry::latest_start).
+inline double response_slack_us(const ProtocolTiming& t) {
+  return cca_latency_default_us(t) + t.sifs_us;
+}
+
 /// Broadcast / reserved addressing constants.
 inline constexpr u16 kUwbBroadcastDevId = 0xFF;
 

@@ -163,13 +163,19 @@ u32 WifiCtrl::start_next_msdu() {
   return kSmallBody + cost;
 }
 
-u32 WifiCtrl::send_fragment(u32 frag_idx, bool retry) {
+u32 WifiCtrl::send_fragment(u32 frag_idx, bool retry, bool cts_protected) {
   auto& ps = env_.api->ps(env_.mode);
   write_hdr_template(build_fragment_header(frag_idx, retry));
   u32 cost = 0;
-  tx_tag_ = env_.api->Request_RHCP_Service(
-      env_.mode, Command::kWifiTxFragment,
-      {frag_idx, ps.fragmentation_threshold, ps.retry_count}, &cost);
+  // A fragment released by a CTS flies SIFS after it (802.11's protected
+  // exchange is SIFS-separated throughout); everything else contends.
+  tx_tag_ = cts_protected
+                ? env_.api->Request_RHCP_Service(
+                      env_.mode, Command::kWifiTxFragmentProtected,
+                      {frag_idx, ps.fragmentation_threshold}, &cost)
+                : env_.api->Request_RHCP_Service(
+                      env_.mode, Command::kWifiTxFragment,
+                      {frag_idx, ps.fragmentation_threshold, ps.retry_count}, &cost);
   ps.my_state = kSending;
   return kSmallBody + 40 /* header build */ + cost;
 }
@@ -200,14 +206,21 @@ u32 WifiCtrl::send_rts() {
   // page and the RHCP appends the FCS, contends and transmits.
   auto& ps = env_.api->ps(env_.mode);
   const auto t = mac::timing_for(mac::Protocol::WiFi);
-  // NAV covers CTS + first fragment + ACK with their SIFS gaps.
+  // NAV covers CTS + first fragment + ACK with their SIFS gaps. A real
+  // station's data follows its CTS at exactly SIFS; here the receive chain
+  // (drain + parse + ISR + fragment/assemble/HCS and the access-RFU context
+  // switch) sits between them, so the announced reservation adds that
+  // processing slack — under-reserving would expose the exchange's tail to
+  // a hidden station's next access, which is the failure the handshake
+  // exists to prevent. Over-reserving merely delays bystanders slightly.
+  constexpr double kProcessingSlackUs = 100.0;
   const double frag_air_us =
       (static_cast<double>(std::min(ps.psdu_size, ps.fragmentation_threshold)) + 30.0) *
       8.0 / t.line_rate_bps * 1e6;
   const double nav_us = 3.0 * t.sifs_us +
                         (mac::wifi::kCtsBytes + mac::wifi::kAckBytes) * 8.0 /
                             t.line_rate_bps * 1e6 +
-                        frag_air_us;
+                        frag_air_us + kProcessingSlackUs;
   const Bytes rts = mac::wifi::build_rts(
       mac::MacAddr::from_u64(env_.ident.peer_addr),
       mac::MacAddr::from_u64(env_.ident.self_addr),
@@ -338,11 +351,13 @@ u32 WifiCtrl::handle_req_done(u32 tag) {
 u32 WifiCtrl::handle_ack_ind(Word param) {
   auto& ps = env_.api->ps(env_.mode);
   if (param == kAckParamCts) {
-    // CTS: the handshake completed — release the data fragment.
+    // CTS: the handshake completed — release the data fragment SIFS-spaced
+    // (inside the NAV window the CTS armed at every overhearing station).
     if (ps.my_state != kWaitCts) return kSmallBody;  // Stray/late CTS.
     env_.cpu->cancel_timer(env_.mode, kCtsTimeoutTimer);
     ++cts_received;
-    return send_fragment(ps.fragments_counter, ps.retry_count != 0);
+    return send_fragment(ps.fragments_counter, ps.retry_count != 0,
+                         /*cts_protected=*/true);
   }
   if (ps.my_state != kWaitAck) return kSmallBody;  // Stray/late ACK.
   env_.cpu->cancel_timer(env_.mode, kAckTimeoutTimer);

@@ -57,7 +57,7 @@ class WifiCtrl final : public ProtocolCtrl {
 
  private:
   u32 start_next_msdu();
-  u32 send_fragment(u32 frag_idx, bool retry);
+  u32 send_fragment(u32 frag_idx, bool retry, bool cts_protected = false);
   u32 send_rts();
   bool use_rts() const;
   /// Extra worst-case access time on a shared medium: every contender may

@@ -127,6 +127,15 @@ Bytes build_cts(const MacAddr& ra, u16 duration_us) {
   return out;
 }
 
+u16 cts_duration_from_rts(u16 rts_duration_us, const ProtocolTiming& t) {
+  const double cts_air_us =
+      static_cast<double>(kCtsBytes) * 8.0 / t.line_rate_bps * 1e6;
+  const double spent_us = t.sifs_us + cts_air_us;
+  return rts_duration_us > spent_us
+             ? static_cast<u16>(static_cast<double>(rts_duration_us) - spent_us)
+             : 0;
+}
+
 Bytes build_cf_end(const MacAddr& ra, const MacAddr& bssid, bool with_ack) {
   Bytes out;
   ByteWriter w(out);

@@ -16,6 +16,7 @@
 
 #include "common/types.hpp"
 #include "mac/frame.hpp"
+#include "mac/protocol.hpp"
 
 namespace drmp::mac::wifi {
 
@@ -89,6 +90,12 @@ Bytes build_rts(const MacAddr& ra, const MacAddr& ta, u16 duration_us);
 
 /// Builds a CTS control frame addressed back to the RTS transmitter.
 Bytes build_cts(const MacAddr& ra, u16 duration_us = 0);
+
+/// 802.11 duration arithmetic for a CTS responder: the RTS reservation
+/// minus the SIFS gap and the CTS's own air time (floored at 0). This is
+/// the field a hidden station's NAV arms from — every responder (device
+/// Event Handler, scripted AP) must announce the same remainder.
+u16 cts_duration_from_rts(u16 rts_duration_us, const ProtocolTiming& t);
 
 /// Builds a CF-End (or CF-End+CF-Ack) control frame closing a contention-
 /// free period (PCF, §2.3.2.1 #5/#8). `ra` is broadcast in real 802.11.

@@ -1,0 +1,49 @@
+#include "net/audibility.hpp"
+
+#include <cstdlib>
+
+namespace drmp::net {
+
+bool AudibilityMatrix::all_ones() const noexcept {
+  for (u8 b : bits) {
+    if (b == 0) return false;
+  }
+  return true;
+}
+
+void AudibilityMatrix::set(std::size_t listener, std::size_t transmitter, bool v) {
+  if (listener >= n || transmitter >= n) return;
+  bits[listener * n + transmitter] = v ? 1 : 0;
+}
+
+void AudibilityMatrix::hide_pair(std::size_t a, std::size_t b) {
+  set(a, b, false);
+  set(b, a, false);
+}
+
+AudibilityMatrix AudibilityMatrix::full(std::size_t n) {
+  AudibilityMatrix m;
+  m.n = n;
+  m.bits.assign(n * n, 1);
+  return m;
+}
+
+AudibilityMatrix AudibilityMatrix::hidden_pair(std::size_t n, std::size_t a,
+                                               std::size_t b) {
+  AudibilityMatrix m = full(n);
+  m.hide_pair(a, b);
+  return m;
+}
+
+AudibilityMatrix AudibilityMatrix::chain(std::size_t n) {
+  AudibilityMatrix m = full(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t d = i > j ? i - j : j - i;
+      if (d > 1) m.set(i, j, false);
+    }
+  }
+  return m;
+}
+
+}  // namespace drmp::net

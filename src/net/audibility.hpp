@@ -1,0 +1,65 @@
+// AudibilityMatrix — per-station reachability on a shared medium.
+//
+// Real radio cells are not cliques: "station A hears B but not C" is the
+// hidden-terminal regime that separates toy shared-medium models from
+// credible ones (cf. Abadal et al., "Medium Access Control in Wireless
+// Network-on-Chip: A Context Analysis"). The matrix answers one question —
+// does listener i hear transmitter j — and net::ContendedMedium evaluates
+// carrier sense, collision detection, garbled delivery and capture per
+// listener against it.
+//
+// The default-constructed matrix is *trivial* (n == 0): every listener hears
+// every transmitter, and the medium runs its original single-viewpoint code
+// paths untouched, so pre-existing scenarios keep bit-identical digests.
+// A matrix of explicit all-ones exercises the per-listener machinery and
+// must (and does — pinned by tests) reproduce the same digests.
+//
+// Indices are the cell's local station indices (0-based). Participants
+// outside the matrix — the scripted access point, point-to-point peers,
+// passive test sinks — are *omnidirectional*: they hear everyone and are
+// heard by everyone, which is exactly the classic hidden-node setup where
+// two mutually-deaf stations both reach the AP. The diagonal must stay 1: a
+// station always "hears" its own past transmissions (its perceived-carrier
+// tail), and the half-duplex transmit gates rely on that.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace drmp::net {
+
+struct AudibilityMatrix {
+  /// Stations covered; 0 = trivial (all-ones, zero-overhead fast path).
+  std::size_t n = 0;
+  /// Row-major n*n: bits[i*n + j] != 0 means listener i hears transmitter j.
+  std::vector<u8> bits;
+
+  bool trivial() const noexcept { return n == 0; }
+  /// Out-of-range indices are omnidirectional participants: always heard.
+  bool hears(std::size_t listener, std::size_t transmitter) const noexcept {
+    if (trivial() || listener >= n || transmitter >= n) return true;
+    return bits[listener * n + transmitter] != 0;
+  }
+  /// True when every in-range pair hears each other (explicit all-ones).
+  bool all_ones() const noexcept;
+
+  void set(std::size_t listener, std::size_t transmitter, bool v);
+  /// Symmetric helper: neither station hears the other.
+  void hide_pair(std::size_t a, std::size_t b);
+
+  bool operator==(const AudibilityMatrix&) const = default;
+
+  /// Explicit all-ones over n stations (behaves like trivial(), but through
+  /// the per-listener code paths — the digest-equivalence pin).
+  static AudibilityMatrix full(std::size_t n);
+  /// The textbook hidden-node topology: a clique except stations a and b,
+  /// which cannot hear each other (both still reach the omnidirectional AP).
+  static AudibilityMatrix hidden_pair(std::size_t n, std::size_t a, std::size_t b);
+  /// A line: station i hears only stations j with |i - j| <= 1. Every
+  /// non-adjacent pair is mutually hidden.
+  static AudibilityMatrix chain(std::size_t n);
+};
+
+}  // namespace drmp::net

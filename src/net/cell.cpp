@@ -97,11 +97,24 @@ void Cell::build_media(const std::array<scenario::ChannelSpec, kNumModes>& fleet
     if (!enabled) continue;
 
     if (shared()) {
+      if (!spec_.contention.audibility.trivial() &&
+          spec_.contention.audibility.n != spec_.stations.size()) {
+        throw std::invalid_argument(
+            "net::Cell: the audibility matrix must cover exactly the cell's "
+            "stations (the access point is omnidirectional)");
+      }
       ContendedMedium::Params p;
       p.cca_latency_us = spec_.contention.cca_latency_us;
       p.capture_preamble_us = spec_.contention.capture_preamble_us;
       p.deliver_garbled = spec_.contention.deliver_garbled;
-      media_[m] = std::make_unique<ContendedMedium>(proto, tb, p);
+      p.audibility = spec_.contention.audibility;
+      auto cm = std::make_unique<ContendedMedium>(proto, tb, p);
+      // Matrix rows are the cell's local station indices; station ids (the
+      // begin_tx source id space) are fleet-global and contiguous here.
+      for (std::size_t s = 0; s < spec_.stations.size(); ++s) {
+        cm->map_station(first_station_id_ + static_cast<int>(s), s);
+      }
+      media_[m] = std::move(cm);
     } else {
       media_[m] = std::make_unique<phy::Medium>(proto, tb);
     }
@@ -304,6 +317,12 @@ void Cell::collect(std::vector<scenario::DeviceStats>& devices,
       }
     }
     ds.defers = st->device->backoff_rfu().defers();
+    ds.nav_defers = st->device->backoff_rfu().nav_defers();
+    for (std::size_t m = 0; m < kNumModes; ++m) {
+      if (st->device->config().modes[m].enabled) {
+        ds.nav_arms += st->device->nav(mode_from_index(m)).arms();
+      }
+    }
     if (st->device->config().modes[0].enabled) {
       if (auto* wifi =
               dynamic_cast<ctrl::WifiCtrl*>(&st->device->protocol_ctrl(Mode::A))) {
@@ -327,6 +346,7 @@ void Cell::collect(std::vector<scenario::DeviceStats>& devices,
     cs.capture_wins[m] = cm->capture_wins();
     cs.tampered[m] = cm->tampered_frames();
     cs.busy_cycles[m] = cm->busy_cycles();
+    cs.collided_airtime[m] = cm->collided_airtime();
     if (ap_[m]) {
       cs.ap_rx[m] = static_cast<u32>(ap_[m]->received_data_frames().size());
       cs.ap_acks[m] = ap_[m]->acks_sent();

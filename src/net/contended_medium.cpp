@@ -1,34 +1,98 @@
 #include "net/contended_medium.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace drmp::net {
 
 ContendedMedium::ContendedMedium(mac::Protocol proto, const sim::TimeBase& tb, Params p)
-    : Medium(proto, tb), params_(p) {
+    : Medium(proto, tb), params_(std::move(p)) {
   const mac::ProtocolTiming t = mac::timing_for(proto);
-  double latency_us = p.cca_latency_us;
-  if (latency_us < 0.0) latency_us = t.slot_us > 0.0 ? t.slot_us : t.sifs_us;
+  double latency_us = params_.cca_latency_us;
+  if (latency_us < 0.0) latency_us = mac::cca_latency_default_us(t);
   cca_latency_ = tb.us_to_cycles(latency_us);
-  capture_cycles_ = tb.us_to_cycles(p.capture_preamble_us);
+  capture_cycles_ = tb.us_to_cycles(params_.capture_preamble_us);
+  if (params_.audibility.n > kMaxMatrixListeners) {
+    throw std::invalid_argument(
+        "net::ContendedMedium: audibility matrices cover at most 64 stations");
+  }
+  for (std::size_t i = 0; i < params_.audibility.n; ++i) {
+    // A station always hears its own past transmissions (the perceived-
+    // carrier tail the half-duplex gates rely on); a zeroed diagonal would
+    // let it count IFS progress over its own airtime — fail loudly instead.
+    if (!params_.audibility.hears(i, i)) {
+      throw std::invalid_argument(
+          "net::ContendedMedium: the audibility diagonal must stay 1");
+    }
+  }
+  last_heard_.assign(params_.audibility.n, 0);
+}
+
+void ContendedMedium::map_station(int source_id, std::size_t matrix_index) {
+  if (trivial()) return;  // All-ones fast path: every id is omnidirectional.
+  if (matrix_index >= params_.audibility.n) {
+    throw std::invalid_argument(
+        "net::ContendedMedium::map_station: index outside the audibility matrix");
+  }
+  station_idx_[source_id] = matrix_index;
+}
+
+int ContendedMedium::matrix_index(int id) const noexcept {
+  if (trivial()) return -1;
+  const auto it = station_idx_.find(id);
+  return it == station_idx_.end() ? -1 : static_cast<int>(it->second);
+}
+
+u64 ContendedMedium::hearers_of(int src_idx) const noexcept {
+  const std::size_t n = params_.audibility.n;
+  if (trivial()) return ~u64{0};
+  const u64 all = n >= 64 ? ~u64{0} : (u64{1} << n) - 1;
+  if (src_idx < 0) return all;  // Omni transmitters reach every listener.
+  u64 mask = 0;
+  for (std::size_t l = 0; l < n; ++l) {
+    if (params_.audibility.hears(l, static_cast<std::size_t>(src_idx))) {
+      mask |= u64{1} << l;
+    }
+  }
+  return mask;
+}
+
+void ContendedMedium::jam(Tx& t, u64 both) {
+  t.jam_mask |= both;
+  if (!t.collided) {
+    t.collided = true;
+    ++collided_frames_;
+    ++sources_[t.source].collisions;
+    collided_airtime_ += t.end - t.start;
+  }
 }
 
 Cycle ContendedMedium::begin_tx(Bytes frame, int source) {
   wake_subscribers();
   const Cycle end = now_ + frame_air_cycles(frame.size());
+  const int uidx = matrix_index(source);
+  const u64 u_hearers = hearers_of(uidx);
+  u64 u_jam = 0;
   bool overlap = false;
   for (Tx& t : on_air_) {
     if (t.end <= now_) continue;  // Ended; queued for delivery only.
+    // An omnidirectional receiver (the AP, the ether) hears every overlap;
+    // matrix listeners are jammed only inside both transmitters' footprints.
     overlap = true;
-    if (t.collided) continue;  // Already part of a pile-up.
+    const u64 both = u_hearers & hearers_of(t.src_idx);
+    if (t.collided) {  // Already part of a pile-up.
+      t.jam_mask |= both;
+      u_jam |= both;
+      continue;
+    }
     if (capture_cycles_ > 0 && now_ - t.start >= capture_cycles_) {
       // The receivers locked onto t's preamble long ago; the newcomer is
       // lost but t survives.
       ++capture_wins_;
+      u_jam |= both;
     } else {
-      t.collided = true;
-      ++collided_frames_;
-      ++sources_[t.source].collisions;
+      jam(t, both);
+      u_jam |= both;
     }
   }
   SourceStats& s = sources_[source];
@@ -36,8 +100,10 @@ Cycle ContendedMedium::begin_tx(Bytes frame, int source) {
   if (overlap) {
     ++collided_frames_;
     ++s.collisions;
+    collided_airtime_ += end - now_;
   }
-  on_air_.push_back(Tx{std::move(frame), now_, end, source, overlap, false});
+  on_air_.push_back(
+      Tx{std::move(frame), now_, end, source, overlap, false, uidx, u_jam});
   tx_end_ = std::max(tx_end_, end);
   return end;
 }
@@ -45,6 +111,55 @@ Cycle ContendedMedium::begin_tx(Bytes frame, int source) {
 void ContendedMedium::garble(Bytes& frame) {
   // Deterministic bit damage dense enough that FCS and HCS both fail.
   for (std::size_t i = 0; i < frame.size(); i += 7) frame[i] ^= 0xA5;
+}
+
+void ContendedMedium::deliver_per_listener(Tx& t) {
+  // Frame-level counters follow the omni verdict (t.collided) — identical to
+  // the single-viewpoint backend for all-ones matrices; per-listener filters
+  // decide who actually receives what.
+  const bool garble_mode = params_.deliver_garbled;
+  if (t.collided) {
+    if (garble_mode) {
+      ++garbled_frames_;
+    } else {
+      ++dropped_frames_;
+    }
+  }
+  auto listener_hears = [&](int listener_idx, int src_idx) {
+    return listener_idx < 0 || src_idx < 0 ||
+           params_.audibility.hears(static_cast<std::size_t>(listener_idx),
+                                    static_cast<std::size_t>(src_idx));
+  };
+  std::vector<phy::MediumClient*> clean, jammed;
+  for (const Attached& a : clients_) {
+    const int li = matrix_index(a.listener_id);
+    if (!listener_hears(li, t.src_idx)) continue;  // Outside the footprint.
+    const bool jam = li < 0 ? t.collided : ((t.jam_mask >> li) & 1) != 0;
+    if (!jam) {
+      clean.push_back(a.client);
+    } else if (garble_mode) {
+      jammed.push_back(a.client);
+    }
+  }
+  if (clean.empty() && jammed.empty()) return;  // Noise for everyone.
+  if (clean.empty()) {
+    // The whole audible footprint is jammed: the trivial path's byte order
+    // exactly (garble first, then the fault injector).
+    garble(t.frame);
+    if (tamper && tamper(t.frame)) ++tampered_;
+    for (phy::MediumClient* c : jammed) c->on_frame(t.frame, t.end, t.source);
+    return;
+  }
+  if (tamper && tamper(t.frame)) ++tampered_;
+  for (phy::MediumClient* c : clean) c->on_frame(t.frame, t.end, t.source);
+  if (!jammed.empty()) {
+    // Mixed footprints (non-trivial matrices only): the jammed listeners'
+    // copy is the tampered frame garbled on top — one injector draw total,
+    // keeping the corruption PRNG stream aligned with the clean path.
+    Bytes g = t.frame;
+    garble(g);
+    for (phy::MediumClient* c : jammed) c->on_frame(g, t.end, t.source);
+  }
 }
 
 void ContendedMedium::tick() {
@@ -62,7 +177,7 @@ void ContendedMedium::tick() {
   // and every station's idle reference shifts by the same amount.
   cca_busy_ = false;
   for (const Tx& t : on_air_) {
-    if (t.start + cca_latency_ <= now_ && now_ < t.end + cca_latency_) {
+    if (perceived(t, now_)) {
       cca_busy_ = true;
       break;
     }
@@ -75,23 +190,68 @@ void ContendedMedium::tick() {
     Tx& t = on_air_[i];
     if (!t.delivered && t.end <= now_) {
       t.delivered = true;
-      if (!t.collided) {
-        deliver(t.frame, t.end, t.source);
-      } else if (params_.deliver_garbled) {
-        garble(t.frame);
-        ++garbled_frames_;
-        deliver(t.frame, t.end, t.source);
+      if (trivial()) {
+        if (!t.collided) {
+          deliver(t.frame, t.end, t.source);
+        } else if (params_.deliver_garbled) {
+          garble(t.frame);
+          ++garbled_frames_;
+          deliver(t.frame, t.end, t.source);
+        } else {
+          ++dropped_frames_;
+        }
       } else {
-        ++dropped_frames_;
+        deliver_per_listener(t);
       }
       t.frame = Bytes{};  // Only the perception window is still needed.
     }
     if (t.end + cca_latency_ <= now_) {
+      // Record the retired window's last perceived cycle for every matrix
+      // listener in its footprint (the live-entry scan below can no longer
+      // see it).
+      for (std::size_t l = 0; l < last_heard_.size(); ++l) {
+        if (t.src_idx < 0 ||
+            params_.audibility.hears(l, static_cast<std::size_t>(t.src_idx))) {
+          last_heard_[l] = std::max(last_heard_[l], t.end + cca_latency_ - 1);
+        }
+      }
       on_air_.erase(on_air_.begin() + static_cast<std::ptrdiff_t>(i));
     } else {
       ++i;
     }
   }
+}
+
+bool ContendedMedium::cca_busy(int listener) const noexcept {
+  const int li = matrix_index(listener);
+  if (li < 0) return cca_busy_;
+  for (const Tx& t : on_air_) {
+    if (t.src_idx >= 0 &&
+        !params_.audibility.hears(static_cast<std::size_t>(li),
+                                  static_cast<std::size_t>(t.src_idx))) {
+      continue;
+    }
+    if (perceived(t, now_)) return true;
+  }
+  return false;
+}
+
+Cycle ContendedMedium::cca_idle_for(int listener) const noexcept {
+  const int li = matrix_index(listener);
+  if (li < 0) return cca_idle_for();
+  Cycle last = last_heard_[static_cast<std::size_t>(li)];
+  bool busy_now = false;
+  for (const Tx& t : on_air_) {
+    if (t.src_idx >= 0 &&
+        !params_.audibility.hears(static_cast<std::size_t>(li),
+                                  static_cast<std::size_t>(t.src_idx))) {
+      continue;
+    }
+    if (t.start + cca_latency_ > now_) continue;  // Onset still scheduled.
+    if (now_ < t.end + cca_latency_) busy_now = true;
+    last = std::max(last, std::min(now_, t.end + cca_latency_ - 1));
+  }
+  return busy_now ? 0 : now_ - last;
 }
 
 Cycle ContendedMedium::cca_clear_at() const noexcept {
@@ -112,12 +272,51 @@ Cycle ContendedMedium::cca_clear_at() const noexcept {
   return w;
 }
 
+Cycle ContendedMedium::cca_clear_at(int listener) const noexcept {
+  const int li = matrix_index(listener);
+  if (li < 0) return cca_clear_at();
+  Cycle w = now_;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const Tx& t : on_air_) {
+      if (t.src_idx >= 0 &&
+          !params_.audibility.hears(static_cast<std::size_t>(li),
+                                    static_cast<std::size_t>(t.src_idx))) {
+        continue;
+      }
+      if (t.start + cca_latency_ <= w && w < t.end + cca_latency_) {
+        w = t.end + cca_latency_;
+        moved = true;
+      }
+    }
+  }
+  return w;
+}
+
 Cycle ContendedMedium::cca_busy_onset_at() const noexcept {
   // Perceived onsets already scheduled by the detection latency: a frame
   // that started at s becomes audible at reading s+latency, with no further
   // begin_tx involved.
   Cycle onset = sim::Clockable::kIdleForever;
   for (const Tx& t : on_air_) {
+    if (t.start + cca_latency_ >= now_) {
+      onset = std::min(onset, t.start + cca_latency_);
+    }
+  }
+  return onset;
+}
+
+Cycle ContendedMedium::cca_busy_onset_at(int listener) const noexcept {
+  const int li = matrix_index(listener);
+  if (li < 0) return cca_busy_onset_at();
+  Cycle onset = sim::Clockable::kIdleForever;
+  for (const Tx& t : on_air_) {
+    if (t.src_idx >= 0 &&
+        !params_.audibility.hears(static_cast<std::size_t>(li),
+                                  static_cast<std::size_t>(t.src_idx))) {
+      continue;
+    }
     if (t.start + cca_latency_ >= now_) {
       onset = std::min(onset, t.start + cca_latency_);
     }
@@ -147,7 +346,8 @@ Cycle ContendedMedium::quiescent_for() const {
 void ContendedMedium::skip_idle(Cycle n) {
   // The skipped stretch contains no delivery and no perceived-carrier edge
   // (quiescent_for guarantees it), so the per-tick bookkeeping collapses to
-  // interval arithmetic.
+  // interval arithmetic. Per-listener idle views are derived lazily from
+  // now_ and the retired-window records, so they need no replay here.
   account_busy_skip(n);
   for (const Tx& t : on_air_) {
     if (t.end > now_) sources_[t.source].airtime += std::min(n, t.end - now_);
@@ -157,7 +357,7 @@ void ContendedMedium::skip_idle(Cycle n) {
   // constant across the stretch, so only the final value matters.
   cca_busy_ = false;
   for (const Tx& t : on_air_) {
-    if (t.start + cca_latency_ <= now_ && now_ < t.end + cca_latency_) {
+    if (perceived(t, now_)) {
       cca_busy_ = true;
       break;
     }

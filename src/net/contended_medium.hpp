@@ -3,9 +3,9 @@
 // The point-to-point base class serves the paper's single-station-plus-peer
 // experiments, where overlap cannot happen by construction. A multi-station
 // cell needs the opposite: overlap as a *defined, counted outcome*. This
-// backend models the three physical effects that make CSMA/CA a non-trivial
-// MAC workload (cf. "Medium Access Control in Wireless NoC: A Context
-// Analysis", arXiv:1806.06294):
+// backend models the physical effects that make CSMA/CA a non-trivial MAC
+// workload (cf. "Medium Access Control in Wireless NoC: A Context Analysis",
+// arXiv:1806.06294):
 //
 //   * Carrier-sense latency. A transmission only becomes audible to other
 //     stations' CCA circuits `cca_latency` after its first bit (energy
@@ -23,6 +23,15 @@
 //   * Capture effect (optional). A receiver that has locked onto a frame's
 //     preamble for `capture_preamble` keeps it through a late-starting
 //     interferer: the established frame survives, only the newcomer is lost.
+//   * Hidden nodes (optional). A per-station AudibilityMatrix makes every
+//     channel property a property of the *listener*: a hidden station's CCA
+//     never sees the ongoing frame it transmits over, and only receivers
+//     inside both transmitters' footprints observe the collision —
+//     participants outside the matrix (the access point, test sinks) are
+//     omnidirectional and observe every overlap. The default (trivial)
+//     matrix takes the original single-viewpoint code paths untouched, so
+//     pre-existing cells keep bit-identical digests; an explicit all-ones
+//     matrix runs the per-listener machinery and reproduces them (pinned).
 //
 // Per-source airtime/frame/collision counters feed the scenario engine's
 // fleet reports; everything is cycle-deterministic, so shared-medium cells
@@ -31,6 +40,7 @@
 
 #include <map>
 
+#include "net/audibility.hpp"
 #include "phy/phy_model.hpp"
 
 namespace drmp::net {
@@ -55,7 +65,15 @@ class ContendedMedium final : public phy::Medium {
     /// Collided frames are delivered with deterministic bit damage instead
     /// of being dropped, driving the receivers' FCS/HCS failure paths.
     bool deliver_garbled = false;
+    /// Per-station reachability (see net/audibility.hpp). Trivial = every
+    /// listener hears every transmitter through the original code paths.
+    /// Non-trivial matrices support at most kMaxMatrixListeners stations;
+    /// map each one with map_station() before traffic flows.
+    AudibilityMatrix audibility;
   };
+
+  /// Jam masks are u64 bitsets over matrix indices.
+  static constexpr std::size_t kMaxMatrixListeners = 64;
 
   /// Per-source channel accounting (key: station/source id).
   struct SourceStats {
@@ -68,6 +86,11 @@ class ContendedMedium final : public phy::Medium {
   ContendedMedium(mac::Protocol proto, const sim::TimeBase& tb)
       : ContendedMedium(proto, tb, Params()) {}
 
+  /// Binds a transmitter/listener id (the begin_tx source id space) to a row
+  /// of the audibility matrix. Required for every matrix-covered station of
+  /// a non-trivial matrix; unmapped ids stay omnidirectional.
+  void map_station(int source_id, std::size_t matrix_index);
+
   Cycle begin_tx(Bytes frame, int source) override;
   bool cca_busy() const noexcept override { return cca_busy_; }
   Cycle cca_idle_for() const noexcept override {
@@ -75,6 +98,14 @@ class ContendedMedium final : public phy::Medium {
   }
   Cycle cca_clear_at() const noexcept override;
   Cycle cca_busy_onset_at() const noexcept override;
+
+  // Listener-qualified views (hidden-node physics). With a trivial matrix
+  // or an unmapped/omni listener these delegate to the global view above.
+  bool cca_busy(int listener) const noexcept override;
+  Cycle cca_idle_for(int listener) const noexcept override;
+  Cycle cca_clear_at(int listener) const noexcept override;
+  Cycle cca_busy_onset_at(int listener) const noexcept override;
+
   void tick() override;
 
   // ---- Quiescence contract (sim/scheduler.hpp; global-skip-only like the
@@ -95,6 +126,9 @@ class ContendedMedium final : public phy::Medium {
   /// Capture events: a late interferer lost to an established frame. One
   /// frame hit by several late interferers counts once per interferer.
   u64 capture_wins() const noexcept { return capture_wins_; }
+  /// Air cycles burnt by transmissions that ended collided — the wasted
+  /// share of busy_cycles() that airtime-efficiency reports subtract.
+  Cycle collided_airtime() const noexcept { return collided_airtime_; }
   Cycle cca_latency_cycles() const noexcept { return cca_latency_; }
 
   const std::map<int, SourceStats>& per_source() const noexcept { return sources_; }
@@ -107,11 +141,30 @@ class ContendedMedium final : public phy::Medium {
     Cycle start;
     Cycle end;
     int source;
-    bool collided;
+    bool collided;  ///< Omni view: overlapped at an omnidirectional receiver.
     bool delivered;
+    /// Matrix index of `source`, or -1 (omnidirectional transmitter).
+    int src_idx;
+    /// Matrix listeners for whom this frame is jammed (hear it AND an
+    /// overlapping transmission). `collided` carries the same verdict for
+    /// every omni listener — they hear everything, so one bit suffices —
+    /// and doubles as the counted-once guard for the collision counters.
+    u64 jam_mask;
   };
 
   static void garble(Bytes& frame);
+  bool trivial() const noexcept { return params_.audibility.trivial(); }
+  /// Matrix index of a source/listener id; -1 = omnidirectional.
+  int matrix_index(int id) const noexcept;
+  /// Mask of matrix listeners that hear transmitter `src_idx` (-1 = all).
+  u64 hearers_of(int src_idx) const noexcept;
+  bool perceived(const Tx& t, Cycle at) const noexcept {
+    return t.start + cca_latency_ <= at && at < t.end + cca_latency_;
+  }
+  /// Marks `t` jammed for `both` (+ the omni view), counting its collision
+  /// and wasted airtime the first time any listener is jammed.
+  void jam(Tx& t, u64 both);
+  void deliver_per_listener(Tx& t);
 
   Params params_;
   Cycle cca_latency_ = 0;
@@ -125,7 +178,14 @@ class ContendedMedium final : public phy::Medium {
   u64 dropped_frames_ = 0;
   u64 garbled_frames_ = 0;
   u64 capture_wins_ = 0;
+  Cycle collided_airtime_ = 0;
   std::map<int, SourceStats> sources_;
+
+  // ---- Non-trivial-matrix state ----
+  std::map<int, std::size_t> station_idx_;  ///< source id -> matrix row.
+  /// Last cycle each matrix listener perceived carrier from an already-
+  /// retired transmission (live ones are folded in lazily per query).
+  std::vector<Cycle> last_heard_;
 };
 
 }  // namespace drmp::net

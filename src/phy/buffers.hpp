@@ -23,6 +23,14 @@ struct TxFrameEntry {
   /// Earliest architecture cycle at which the PHY may start sending it
   /// (channel-access grant for data, rx-end + SIFS for ACKs).
   Cycle earliest_start = 0;
+  /// Latest cycle at which the transmission may still begin. SIFS-anchored
+  /// responses (ACK/CTS, CTS-released data) are perishable: they belong to
+  /// an exchange with hard timing, and one that cannot start roughly on
+  /// time must be abandoned — the peer's timeout machinery retries — rather
+  /// than deferred to a carrier-clear edge, where every other station's
+  /// deferred response releases on the same cycle and collides forever.
+  /// Channel-access-granted frames never expire.
+  Cycle latest_start = ~Cycle{0};
 };
 
 /// Transmission buffer: DRMP side pushes words at architecture rate, PHY side
@@ -35,9 +43,10 @@ class TxBuffer {
     for (int i = 0; i < 4; ++i) staging_.push_back(static_cast<u8>(w >> (8 * i)));
   }
   void push_byte(u8 b) { staging_.push_back(b); }
-  void end_frame(std::size_t nbytes, Cycle earliest_start) {
+  void end_frame(std::size_t nbytes, Cycle earliest_start,
+                 Cycle latest_start = ~Cycle{0}) {
     staging_.resize(nbytes);
-    queue_.push_back(TxFrameEntry{std::move(staging_), earliest_start});
+    queue_.push_back(TxFrameEntry{std::move(staging_), earliest_start, latest_start});
     staging_ = {};
     if (on_push) on_push();
   }
@@ -81,6 +90,11 @@ class RxBuffer {
   /// Wake hook: invoked on each delivered frame, so a quiescent Event
   /// Handler re-evaluates (wired by DrmpDevice).
   std::function<void()> on_deliver;
+
+  /// The frame most recently deposited (valid inside on_deliver: the PHY
+  /// side just pushed it). The Event Handler's NAV snoop reads the duration
+  /// field here, at frame end, like real MAC hardware.
+  const RxFrameEntry& last_delivered() const { return queue_.back(); }
 
   // ---- DRMP side ----
   bool frame_ready() const noexcept { return !queue_.empty(); }

@@ -8,7 +8,7 @@ namespace drmp::phy {
 
 ScriptedPeer::ScriptedPeer(Medium& medium, const sim::TimeBase& tb, int self_id)
     : medium_(medium), tb_(tb), self_id_(self_id) {
-  medium_.attach(*this);
+  medium_.attach(*this, self_id);  // Listener-qualified on contended media.
   medium_.subscribe_wake(*this);  // Carrier extensions re-gate queued sends.
 }
 
@@ -33,9 +33,24 @@ void ScriptedPeer::on_frame(const Bytes& frame, Cycle rx_end_cycle, int source) 
         if (ctl->fc.subtype == mac::wifi::Subtype::Rts && ctl->fcs_ok &&
             ctl->ra == wifi_addr_) {
           ++rts_seen_;
-          if (auto_cts_) {
-            schedule_tx(mac::wifi::build_cts(ctl->ta), rx_end_cycle + sifs);
+          if (auto_cts_ && rx_end_cycle >= cts_nav_until_) {
+            // The CTS inherits the RTS reservation minus the SIFS gap and
+            // its own air time (802.11 duration arithmetic) — this is the
+            // field a hidden station's NAV arms from, since it may hear the
+            // responder but not the RTS originator.
+            const u16 dur =
+                mac::wifi::cts_duration_from_rts(ctl->duration_us, medium_.timing());
+            schedule_tx(mac::wifi::build_cts(ctl->ta, dur), rx_end_cycle + sifs);
             ++ctss_sent_;
+            // A CTS responder honours its own virtual carrier (802.11: "a
+            // STA that receives an RTS shall transmit CTS only if its NAV
+            // indicates idle"): granting one exchange reserves the medium,
+            // and a hidden station's RTS arriving mid-reservation must go
+            // unanswered (it will CTS-timeout and re-contend) instead of
+            // double-granting two overlapping protected exchanges.
+            cts_nav_until_ =
+                rx_end_cycle + sifs + medium_.frame_air_cycles(mac::wifi::kCtsBytes) +
+                tb_.us_to_cycles(static_cast<double>(dur));
           }
         }
         return;
@@ -159,7 +174,7 @@ Cycle ScriptedPeer::quiescent_for() const {
   if (due == sim::Clockable::kIdleForever) return due;
   // ... gated by the shared half-duplex/carrier window: the first tick that
   // could transmit observes `ready`.
-  const Cycle ready = std::max({due, own_tx_end_, medium_.cca_clear_at()});
+  const Cycle ready = std::max({due, own_tx_end_, medium_.cca_clear_at(self_id_)});
   return sim::ticks_until_reading(ready, medium_.now());
 }
 

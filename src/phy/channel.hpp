@@ -81,9 +81,10 @@ class ScriptedPeer : public MediumClient, public sim::Clockable {
  private:
   void schedule_tx(Bytes frame, Cycle earliest);
   void cfp_tick();
-  /// Half-duplex gate shared by every transmit path.
+  /// Half-duplex gate shared by every transmit path (listener-qualified
+  /// carrier sense: a hidden transmission does not gate this peer).
   bool clear_to_send() const {
-    return medium_.now() >= own_tx_end_ && !medium_.cca_busy();
+    return medium_.now() >= own_tx_end_ && !medium_.cca_busy(self_id_);
   }
 
   Medium& medium_;
@@ -94,6 +95,9 @@ class ScriptedPeer : public MediumClient, public sim::Clockable {
   bool auto_cts_ = true;
   u32 drop_every_ = 0;
   u32 data_seen_ = 0;
+  /// Responder-side NAV: the end of the last exchange this peer granted
+  /// with a CTS; RTSs arriving before it go unanswered.
+  Cycle cts_nav_until_ = 0;
   u64 acks_sent_ = 0;
   u64 dropped_ = 0;
   u64 rts_seen_ = 0;

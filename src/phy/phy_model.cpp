@@ -25,7 +25,7 @@ Cycle Medium::begin_tx(Bytes frame, int source) {
 
 void Medium::deliver(Bytes& frame, Cycle rx_end_cycle, int source) {
   if (tamper && tamper(frame)) ++tampered_;
-  for (MediumClient* c : clients_) c->on_frame(frame, rx_end_cycle, source);
+  for (const Attached& a : clients_) a.client->on_frame(frame, rx_end_cycle, source);
 }
 
 void Medium::tick() {
@@ -63,21 +63,33 @@ Cycle PhyTx::quiescent_for() const {
   const TxFrameEntry& f = buf_.front();
   // The first tick that could transmit observes `ready`, the first clock
   // value every gate admits. Carrier extensions only push `ready` later and
-  // wake us through the medium's subscriber list.
-  const Cycle ready =
-      std::max({f.earliest_start, last_tx_end_, medium_.cca_clear_at()});
+  // wake us through the medium's subscriber list. A perishable frame that
+  // cannot make its deadline is dropped by the tick observing the expiry
+  // instead — that tick may unblock the next queued frame, so it must run.
+  Cycle ready =
+      std::max({f.earliest_start, last_tx_end_, medium_.cca_clear_at(source_id_)});
+  if (f.latest_start < ready) ready = f.latest_start + 1;  // The drop tick.
   return sim::ticks_until_reading(ready, medium_.now());
 }
 
 void PhyTx::tick() {
   if (!buf_.frame_pending()) return;
   const TxFrameEntry& f = buf_.front();
+  if (f.latest_start < medium_.now()) {
+    // Perishable response past its deadline: abandon it (the peer's
+    // timeout/retry machinery recovers). Deferring it to the next carrier-
+    // clear edge would release every station's stale response on the same
+    // cycle — a guaranteed pile-up.
+    buf_.pop();
+    ++frames_expired_;
+    return;
+  }
   if (medium_.now() < f.earliest_start) return;
   // Half-duplex: the radio knows it is transmitting without CCA — with a
   // contended medium's detection latency it cannot *hear* its own signal,
   // and popping the next queued frame early would collide with itself.
   if (transmitting()) return;
-  if (medium_.cca_busy()) return;
+  if (medium_.cca_busy(source_id_)) return;
   TxFrameEntry e = buf_.pop();
   last_tx_start_ = medium_.now();
   last_tx_end_ = medium_.begin_tx(std::move(e.bytes), source_id_);

@@ -51,7 +51,17 @@ class Medium : public sim::Clockable {
   Medium(mac::Protocol proto, const sim::TimeBase& tb)
       : proto_(proto), byte_cycles_(tb.arch_freq() * 8.0 / timing().line_rate_bps) {}
 
-  void attach(MediumClient& c) { clients_.push_back(&c); }
+  /// Listener id for receivers outside any audibility matrix (access points,
+  /// point-to-point peers, passive sinks): they hear every transmitter.
+  static constexpr int kOmniListener = -1;
+
+  /// Attaches a receiver. `listener_id` names the client on contended media
+  /// with a non-trivial audibility matrix (same id space as begin_tx
+  /// sources); the default is omnidirectional, which every backend treats
+  /// exactly like the historic unqualified attach.
+  void attach(MediumClient& c, int listener_id = kOmniListener) {
+    clients_.push_back(Attached{&c, listener_id});
+  }
 
   mac::Protocol protocol() const noexcept { return proto_; }
   const mac::ProtocolTiming& timing() const {
@@ -85,6 +95,19 @@ class Medium : public sim::Clockable {
   /// the future, and a component whose tick behaviour depends on the
   /// carrier (the access RFU's defer accounting) must not sleep past one.
   virtual Cycle cca_busy_onset_at() const noexcept { return sim::Clockable::kIdleForever; }
+
+  // ---- Listener-qualified carrier sense ----
+  // On a contended medium with a per-station audibility matrix, carrier
+  // sense is a property of the *listener*: a hidden transmission raises no
+  // CCA at a station outside its footprint. Transmit gates pass their own
+  // station id; this point-to-point base (and any trivial matrix) ignores
+  // it, so the qualified and unqualified views are identical there.
+  virtual bool cca_busy(int /*listener*/) const noexcept { return cca_busy(); }
+  virtual Cycle cca_idle_for(int /*listener*/) const noexcept { return cca_idle_for(); }
+  virtual Cycle cca_clear_at(int /*listener*/) const noexcept { return cca_clear_at(); }
+  virtual Cycle cca_busy_onset_at(int /*listener*/) const noexcept {
+    return cca_busy_onset_at();
+  }
 
   /// Cycles one byte occupies on air.
   double byte_cycles() const noexcept { return byte_cycles_; }
@@ -130,6 +153,12 @@ class Medium : public sim::Clockable {
   u64 tampered_frames() const noexcept { return tampered_; }
 
  protected:
+  /// One attached receiver and the listener id it perceives the channel as.
+  struct Attached {
+    MediumClient* client = nullptr;
+    int listener_id = kOmniListener;
+  };
+
   /// Applies the fault injector and fans the frame out to every client.
   void deliver(Bytes& frame, Cycle rx_end_cycle, int source);
   /// Wakes every carrier subscriber (call from begin_tx overrides).
@@ -145,7 +174,7 @@ class Medium : public sim::Clockable {
   double byte_cycles_;
   Cycle now_ = 0;
   Cycle tx_end_ = 0;
-  std::vector<MediumClient*> clients_;
+  std::vector<Attached> clients_;
   std::vector<sim::Clockable*> wake_subs_;
   Cycle busy_cycles_ = 0;
   u64 tampered_ = 0;
@@ -181,6 +210,10 @@ class PhyTx : public sim::Clockable {
 
   /// Number of frames fully handed to the medium.
   u64 frames_sent() const noexcept { return frames_sent_; }
+  /// Perishable (SIFS-anchored) frames abandoned because they could not
+  /// start by their latest_start — the exchange they belonged to has moved
+  /// on; the peer's timeout machinery carries the recovery.
+  u64 frames_expired() const noexcept { return frames_expired_; }
   Cycle last_tx_start() const noexcept { return last_tx_start_; }
   Cycle last_tx_end() const noexcept { return last_tx_end_; }
   bool transmitting() const noexcept { return medium_.now() < last_tx_end_; }
@@ -190,6 +223,7 @@ class PhyTx : public sim::Clockable {
   Medium& medium_;
   int source_id_;
   u64 frames_sent_ = 0;
+  u64 frames_expired_ = 0;
   Cycle last_tx_start_ = 0;
   Cycle last_tx_end_ = 0;
 };

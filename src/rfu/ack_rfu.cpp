@@ -22,17 +22,24 @@ void AckRfu::on_execute(Op op) {
       const u64 ra = static_cast<u64>(args_.at(0)) |
                      (static_cast<u64>(args_.at(1)) << 32);
       out_bytes_ = mac::wifi::build_ack(mac::MacAddr::from_u64(ra));
-      sifs_us_ = mac::timing_for(mac::Protocol::WiFi).sifs_us;
+      const auto t = mac::timing_for(mac::Protocol::WiFi);
+      sifs_us_ = t.sifs_us;
+      slack_us_ = mac::response_slack_us(t);
       break;
     }
     case Op::CtsGenWifi: {
       // CTS back to the RTS transmitter — same autonomous SIFS-deadline path
-      // as the ACK (the CPU never sees the RTS, §3.5).
+      // as the ACK (the CPU never sees the RTS, §3.5). The fifth argument is
+      // the remaining reservation (RTS duration minus SIFS and the CTS air
+      // time), the field a hidden station's NAV arms from.
       assert(c_state_ == cfg::kProtoWifi);
       const u64 ra = static_cast<u64>(args_.at(0)) |
                      (static_cast<u64>(args_.at(1)) << 32);
-      out_bytes_ = mac::wifi::build_cts(mac::MacAddr::from_u64(ra));
-      sifs_us_ = mac::timing_for(mac::Protocol::WiFi).sifs_us;
+      const u16 dur = static_cast<u16>(args_.at(4));
+      out_bytes_ = mac::wifi::build_cts(mac::MacAddr::from_u64(ra), dur);
+      const auto t = mac::timing_for(mac::Protocol::WiFi);
+      sifs_us_ = t.sifs_us;
+      slack_us_ = mac::response_slack_us(t);
       ++ctss_;
       break;
     }
@@ -42,7 +49,9 @@ void AckRfu::on_execute(Op op) {
       const u8 src_of_data = static_cast<u8>(args_.at(0) & 0xFF);
       const u8 self_id = static_cast<u8>(args_.at(1) & 0xFF);
       out_bytes_ = mac::uwb::build_imm_ack(pnid, src_of_data, self_id);
-      sifs_us_ = mac::timing_for(mac::Protocol::Uwb).sifs_us;
+      const auto t = mac::timing_for(mac::Protocol::Uwb);
+      sifs_us_ = t.sifs_us;
+      slack_us_ = mac::response_slack_us(t);
       break;
     }
     default:
@@ -57,12 +66,17 @@ bool AckRfu::work_step() {
     case 0: {
       if (!io_step()) return false;
       // Push the ACK into the Tx buffer with the SIFS-aligned start time.
+      // The response is perishable: it may start late by at most the CCA
+      // detection latency (its trigger frame's perceived tail) plus one
+      // SIFS of grace; beyond that the exchange has moved on and the frame
+      // is abandoned rather than deferred into somebody else's airtime.
       phy::TxBuffer& buf = *buffers_[mode_idx_];
       buf.begin_frame();
       for (u8 b : out_bytes_) buf.push_byte(b);
       const Cycle sifs = tb_ != nullptr ? tb_->us_to_cycles(sifs_us_) : 0;
+      const Cycle slack = tb_ != nullptr ? tb_->us_to_cycles(slack_us_) : 0;
       const Cycle rx_end = rx_ != nullptr ? rx_->last_rx_end() : 0;
-      buf.end_frame(out_bytes_.size(), rx_end + sifs);
+      buf.end_frame(out_bytes_.size(), rx_end + sifs, rx_end + sifs + slack);
       ++acks_;
       return true;
     }

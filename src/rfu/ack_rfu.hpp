@@ -35,7 +35,8 @@ class AckRfu final : public StreamingRfu {
  protected:
   // Ops:
   //   AckGenWifi [ra_lo, ra_hi, mode_idx, ack_page] — ACK to transmitter RA.
-  //   CtsGenWifi [ra_lo, ra_hi, mode_idx, ack_page] — CTS to RTS sender RA.
+  //   CtsGenWifi [ra_lo, ra_hi, mode_idx, ack_page, duration_us] — CTS to
+  //   RTS sender RA, carrying the remaining NAV reservation.
   //   AckGenUwb  [pnid_src, dest_id, mode_idx, ack_page] — Imm-ACK.
   void on_execute(Op op) override;
   bool work_step() override;
@@ -45,6 +46,9 @@ class AckRfu final : public StreamingRfu {
   u32 mode_idx_ = 0;
   u32 ack_page_ = 0;
   double sifs_us_ = 10.0;
+  /// Lateness tolerance for the perishable response
+  /// (mac::response_slack_us of the op's protocol timing).
+  double slack_us_ = 30.0;
   u64 acks_ = 0;
   u64 ctss_ = 0;
 

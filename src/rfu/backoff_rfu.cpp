@@ -74,51 +74,72 @@ Cycle BackoffRfu::running_quiescent_for() const {
   // both contract evaluation points (post-own-tick and run entry). Every
   // bound below is the count of ticks strictly before the first tick that
   // does anything beyond wait accounting; carrier onsets wake us through
-  // the medium subscription before the perceived state can change.
+  // the medium subscription, NAV arms through the NavTimer subscription,
+  // before the perceived state can change.
   const Cycle next_tick = medium.now();
   switch (access_phase_) {
     case AccessPhase::TdmaWait:
       // Completes at the tick that observes medium.now() >= target.
       return sim::ticks_until_reading(tdma_target_, next_tick);
     case AccessPhase::Ifs: {
-      if (medium.cca_busy()) {
+      if (channel_busy()) {
         // The busy-onset tick (defer count + IFS restart) must execute;
-        // after it the wait is pure until the perceived-clear bound.
+        // after it the wait is pure until both busy sources have lapsed:
+        // the perceived-clear chain and the NAV reservation each cover a
+        // contiguous stretch from now, so their union holds to the max.
         if (!defer_edge_) return 0;
-        return sim::ticks_until_reading(medium.cca_clear_at(), next_tick);
+        Cycle clear = medium.cca_clear_at(listener_);
+        if (nav_active(next_tick)) clear = std::max(clear, nav_expiry());
+        return sim::ticks_until_reading(clear, next_tick);
       }
       // Idle: pure counting; the tick whose increment reaches ifs_cycles_
       // acts (grant or phase change). An already-scheduled perceived onset
-      // (detection latency) bounds the sleep — new transmissions wake us.
+      // (detection latency) bounds the sleep — new transmissions and NAV
+      // arms wake us.
       const Cycle count =
           ifs_cycles_ > ifs_progress_ + 1 ? ifs_cycles_ - 1 - ifs_progress_ : 0;
-      return std::min(count,
-                      sim::ticks_until_reading(medium.cca_busy_onset_at(), next_tick));
+      return std::min(
+          count, sim::ticks_until_reading(medium.cca_busy_onset_at(listener_), next_tick));
     }
     case AccessPhase::Backoff: {
-      // A busy carrier flips the phase on the very next tick.
-      if (medium.cca_busy() || slot_cycles_ == 0) return 0;
+      // A busy channel (carrier or NAV) flips the phase on the very next
+      // tick.
+      if (channel_busy() || slot_cycles_ == 0) return 0;
       // Ticks until the decrement that wins the channel, bounded by any
       // scheduled perceived onset as above.
       const Cycle to_grant = (slot_cycles_ - slot_progress_) +
                              static_cast<Cycle>(backoff_slots_ - 1) * slot_cycles_;
       const Cycle count = to_grant > 1 ? to_grant - 1 : 0;
-      return std::min(count,
-                      sim::ticks_until_reading(medium.cca_busy_onset_at(), next_tick));
+      return std::min(
+          count, sim::ticks_until_reading(medium.cca_busy_onset_at(listener_), next_tick));
     }
-    case AccessPhase::SifsResponse:
-      return 0;  // Rare (PCF) and short: not worth a skip contract.
+    case AccessPhase::SifsResponse: {
+      // PCF contention-free response (the last carrier-gated poll loop, a
+      // ROADMAP PR-3 follow-up): a pure wait on the perceived-idle
+      // reference. NAV does not apply — the response is part of an ongoing
+      // exchange.
+      if (medium.cca_busy(listener_)) {
+        return sim::ticks_until_reading(medium.cca_clear_at(listener_), next_tick);
+      }
+      // Completes at the tick observing cca_idle_for >= SIFS; the idle
+      // reference advances one per tick, so the count mirrors the IFS
+      // arithmetic, bounded by any scheduled perceived onset.
+      const Cycle idle = medium.cca_idle_for(listener_);
+      const Cycle count = ifs_cycles_ > idle + 1 ? ifs_cycles_ - 1 - idle : 0;
+      return std::min(
+          count, sim::ticks_until_reading(medium.cca_busy_onset_at(listener_), next_tick));
+    }
   }
   return 0;
 }
 
 void BackoffRfu::on_running_skip(Cycle n) {
   // Replays n skipped work_step calls for the quiescent stretch the bound
-  // above certified (constant carrier state throughout).
+  // above certified (constant channel state — carrier AND NAV — throughout).
   wait_cycles_ += n;
   switch (access_phase_) {
     case AccessPhase::Ifs:
-      if (!media_[mode_idx_]->cca_busy()) {
+      if (!channel_busy()) {
         defer_edge_ = false;  // First idle tick clears the edge flag.
         ifs_progress_ += n;
       }
@@ -140,11 +161,13 @@ bool BackoffRfu::work_step() {
   ++wait_cycles_;
   switch (access_phase_) {
     case AccessPhase::Ifs: {
-      // The channel must be perceived idle continuously for the IFS.
-      if (medium.cca_busy()) {
+      // The channel must be idle — physically (listener-qualified CCA) and
+      // virtually (NAV) — continuously for the IFS.
+      if (channel_busy()) {
         if (!defer_edge_) {
           defer_edge_ = true;
           ++defers_;
+          if (!medium.cca_busy(listener_)) ++nav_defers_;
         }
         ifs_progress_ = 0;
         return false;
@@ -157,10 +180,11 @@ bool BackoffRfu::work_step() {
       return false;
     }
     case AccessPhase::Backoff: {
-      // Decrement one slot per slot-time of idle medium; freeze while busy
+      // Decrement one slot per slot-time of idle channel; freeze while busy
       // (and re-wait the IFS, per DCF).
-      if (medium.cca_busy()) {
+      if (channel_busy()) {
         ++defers_;
+        if (!medium.cca_busy(listener_)) ++nav_defers_;
         defer_edge_ = true;
         access_phase_ = AccessPhase::Ifs;
         ifs_progress_ = 0;
@@ -175,7 +199,7 @@ bool BackoffRfu::work_step() {
     case AccessPhase::TdmaWait:
       return medium.now() >= tdma_target_;
     case AccessPhase::SifsResponse:
-      return !medium.cca_busy() && medium.cca_idle_for() >= ifs_cycles_;
+      return !medium.cca_busy(listener_) && medium.cca_idle_for(listener_) >= ifs_cycles_;
   }
   return false;
 }

@@ -12,6 +12,7 @@
 
 #include <array>
 
+#include "mac/nav.hpp"
 #include "phy/phy_model.hpp"
 #include "rfu/rfu.hpp"
 
@@ -25,10 +26,18 @@ class BackoffRfu final : public Rfu {
   u8 nstates() const override { return 5; }
   bool detached_execution() const override { return true; }
 
-  void wire(std::array<phy::Medium*, kNumModes> media, const sim::TimeBase* tb) {
+  /// `navs` are the per-mode NAV timers (virtual carrier sense; null =
+  /// physical CCA only) and `listener` the station id whose audibility
+  /// footprint carrier sense is evaluated against on contended media.
+  void wire(std::array<phy::Medium*, kNumModes> media, const sim::TimeBase* tb,
+            std::array<const mac::NavTimer*, kNumModes> navs = {},
+            int listener = phy::Medium::kOmniListener) {
     media_ = media;
     tb_ = tb;
-    // Carrier onsets invalidate the access-wait sleep bounds below.
+    navs_ = navs;
+    listener_ = listener;
+    // Carrier onsets invalidate the access-wait sleep bounds below. (NAV
+    // arms wake us through mac::NavTimer::subscribe, wired by the device.)
     for (phy::Medium* m : media_) {
       if (m != nullptr) m->subscribe_wake(*this);
     }
@@ -40,8 +49,12 @@ class BackoffRfu final : public Rfu {
   Cycle last_wait_cycles() const noexcept { return wait_cycles_; }
   /// Times a CSMA access had to defer to a busy medium (IFS restarted or
   /// backoff countdown frozen), cumulative over the device's lifetime — the
-  /// contention-pressure counter of the fleet reports.
+  /// contention-pressure counter of the fleet reports. Includes NAV-only
+  /// deferrals.
   u64 defers() const noexcept { return defers_; }
+  /// The subset of defers() caused purely by the NAV (virtual carrier
+  /// sense): physical CCA heard nothing, an overheard reservation held.
+  u64 nav_defers() const noexcept { return nav_defers_; }
 
  protected:
   // Ops:
@@ -56,12 +69,17 @@ class BackoffRfu final : public Rfu {
   // the whole Running phase sleeps under the quiescence contract:
   //   * TdmaWait polls medium.now() against a fixed future boundary
   //     (slotted WiMAX/UWB devices spend most of their lives here);
-  //   * a deferred CSMA wait (carrier perceived busy, defer already
-  //     counted) is pure waiting until the perceived-clear bound;
+  //   * a deferred CSMA wait (carrier perceived busy or the NAV armed,
+  //     defer already counted) is pure waiting until the later of the
+  //     perceived-clear bound and the NAV expiry;
   //   * idle IFS counting and the backoff slot countdown are plain
-  //     arithmetic until their completion tick, and any new transmission
-  //     wakes us through the medium's carrier subscription *before* the
-  //     perceived state can change.
+  //     arithmetic until their completion tick; any new transmission wakes
+  //     us through the medium's carrier subscription, and any overheard
+  //     reservation through the NAV subscription, *before* the perceived
+  //     state can change;
+  //   * a SIFS response waits on the perceived-clear bound, then counts
+  //     the medium's own idle reference to the SIFS (NAV does not apply:
+  //     SIFS responses are part of an ongoing exchange).
   // on_running_skip replays the per-tick work_step effects (wait_cycles_,
   // IFS progress, slot countdown) in bulk.
   Cycle running_quiescent_for() const override;
@@ -69,6 +87,21 @@ class BackoffRfu final : public Rfu {
 
  private:
   u16 lfsr_next();
+  /// Combined virtual-or-physical busy gate: the channel counts as busy
+  /// while CCA perceives carrier (listener-qualified) or the mode's NAV
+  /// holds a reservation at the medium's clock.
+  bool channel_busy() const {
+    const phy::Medium& medium = *media_[mode_idx_];
+    return medium.cca_busy(listener_) || nav_active(medium.now());
+  }
+  bool nav_active(Cycle at) const {
+    const mac::NavTimer* nav = navs_[mode_idx_];
+    return nav != nullptr && nav->active(at);
+  }
+  Cycle nav_expiry() const {
+    const mac::NavTimer* nav = navs_[mode_idx_];
+    return nav != nullptr ? nav->expiry() : 0;
+  }
 
   enum class AccessPhase : u8 {
     Ifs,
@@ -85,10 +118,13 @@ class BackoffRfu final : public Rfu {
   Cycle tdma_target_ = 0;
   Cycle wait_cycles_ = 0;
   u64 defers_ = 0;
+  u64 nav_defers_ = 0;
   bool defer_edge_ = false;  ///< Busy already counted for this deferral.
 
   u16 lfsr_ = 0xACE1u;
   std::array<phy::Medium*, kNumModes> media_{};
+  std::array<const mac::NavTimer*, kNumModes> navs_{};
+  int listener_ = phy::Medium::kOmniListener;
   const sim::TimeBase* tb_ = nullptr;
 };
 

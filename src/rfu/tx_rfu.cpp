@@ -4,18 +4,42 @@
 #include <cassert>
 
 #include "hw/memory_map.hpp"
+#include "mac/protocol.hpp"
 
 namespace drmp::rfu {
 
 void TxRfu::on_execute(Op op) {
   assert(op == Op::TxFrameWifi || op == Op::TxFrameUwb || op == Op::TxFrameWimax);
-  (void)op;
   stage_ = 0;
   src_ = args_.at(0);
   mode_idx_ = args_.at(1);
   append_fcs_ = (args_.at(2) & 1) != 0;
+  sifs_after_rx_ = (args_.at(2) & 2) != 0;
+  proto_ = op == Op::TxFrameWifi
+               ? mac::Protocol::WiFi
+               : (op == Op::TxFrameUwb ? mac::Protocol::Uwb : mac::Protocol::WiMax);
   assert(mode_idx_ < kNumModes);
   assert(buffers_[mode_idx_] != nullptr && "TxRfu not wired to buffers");
+}
+
+Cycle TxRfu::earliest_start() const {
+  // SIFS anchor for responses within an ongoing exchange (opts bit1): the
+  // end of the frame that released us plus SIFS. Everything else was
+  // released by a channel-access op and may go immediately.
+  if (!sifs_after_rx_ || rx_ == nullptr || tb_ == nullptr) return 0;
+  return rx_->last_rx_end() + tb_->us_to_cycles(mac::timing_for(proto_).sifs_us);
+}
+
+Cycle TxRfu::latest_start() const {
+  // SIFS-anchored data is perishable like an ACK, with a wider tolerance:
+  // the fragment/assemble/HCS pipeline sits between the releasing CTS and
+  // the staging, so allow two extra detection latencies beyond the ACK
+  // slack before abandoning the exchange to its ACK-timeout retry.
+  if (!sifs_after_rx_ || tb_ == nullptr) return ~Cycle{0};
+  const auto t = mac::timing_for(proto_);
+  return earliest_start() +
+         tb_->us_to_cycles(mac::response_slack_us(t) +
+                           2.0 * mac::cca_latency_default_us(t));
 }
 
 bool TxRfu::work_step() {
@@ -46,7 +70,7 @@ bool TxRfu::work_step() {
         return false;
       }
       if (!append_fcs_) {
-        buf.end_frame(len_, 0 /* channel access already granted */);
+        buf.end_frame(len_, earliest_start(), latest_start());
         ++frames_;
         return true;
       }
@@ -82,7 +106,7 @@ bool TxRfu::work_step() {
         ++widx_;
         return false;
       }
-      buf.end_frame(len_ + 4, 0);
+      buf.end_frame(len_ + 4, earliest_start(), latest_start());
       ++frames_;
       return true;
     }

@@ -9,8 +9,10 @@
 
 #include <array>
 
+#include "mac/protocol.hpp"
 #include "phy/buffers.hpp"
 #include "rfu/crc_rfus.hpp"
+#include "rfu/rx_rfu.hpp"
 #include "rfu/streaming.hpp"
 
 namespace drmp::rfu {
@@ -19,12 +21,14 @@ class TxRfu final : public StreamingRfu {
  public:
   explicit TxRfu(Env env) : StreamingRfu(kTxRfu, "tx", ReconfigMech::ContextSwitch, env) {}
 
-  /// Hard-wired connections (set at device assembly).
+  /// Hard-wired connections (set at device assembly). `rx` provides the
+  /// last-reception timestamp for SIFS-anchored responses (opts bit1).
   void wire(FcsRfu* fcs_slave, std::array<phy::TxBuffer*, kNumModes> buffers,
-            const sim::TimeBase* tb) {
+            const sim::TimeBase* tb, RxRfu* rx = nullptr) {
     fcs_ = fcs_slave;
     buffers_ = buffers;
     tb_ = tb;
+    rx_ = rx;
   }
 
   u64 frames_streamed() const noexcept { return frames_; }
@@ -32,14 +36,30 @@ class TxRfu final : public StreamingRfu {
  protected:
   // Ops: TxFrame{Wifi,Uwb,Wimax} [src_page, mode_idx, opts]
   //   opts bit0: append FCS via the slave (WiFi/UWB always, WiMAX iff CI).
+  //   opts bit1: anchor the frame SIFS after the end of the last reception
+  //   (the AckRfu pattern) instead of releasing it immediately — used for
+  //   the data a CTS just released: 802.11's protected exchange is
+  //   SIFS-separated, and each station's anchor is its *own* CTS's end, so
+  //   crossed grants serialize through the PhyTx carrier gate instead of
+  //   quantizing onto one shared clear edge and colliding forever.
+  //   Known simplification: the anchor reads RxRfu::last_rx_end() when this
+  //   op executes, so a bystander frame drained between the CTS and the op
+  //   re-anchors the data to that later end. The shift is only ever *later*
+  //   (last_rx_end is monotone, the SIFS minimum still holds), and a
+  //   too-late start expires into the normal ACK-timeout retry.
   void on_execute(Op op) override;
   bool work_step() override;
 
  private:
+  Cycle earliest_start() const;
+  Cycle latest_start() const;
+
   int stage_ = 0;
   u32 src_ = 0;
   u32 mode_idx_ = 0;
   bool append_fcs_ = false;
+  bool sifs_after_rx_ = false;
+  mac::Protocol proto_ = mac::Protocol::WiFi;  ///< From the executing op.
   u32 len_ = 0;
   u32 widx_ = 0;
   u32 nwords_ = 0;
@@ -48,6 +68,7 @@ class TxRfu final : public StreamingRfu {
   FcsRfu* fcs_ = nullptr;
   std::array<phy::TxBuffer*, kNumModes> buffers_{};
   const sim::TimeBase* tb_ = nullptr;
+  RxRfu* rx_ = nullptr;
 };
 
 }  // namespace drmp::rfu

@@ -74,6 +74,12 @@ u64 FleetStats::total_defers() const {
   return n;
 }
 
+u64 FleetStats::total_nav_defers() const {
+  u64 n = 0;
+  for (const DeviceStats& ds : devices) n += ds.nav_defers;
+  return n;
+}
+
 u64 FleetStats::completion_digest() const {
   sim::Digest d;
   for (const DeviceStats& ds : devices) ds.mix_completion(d);

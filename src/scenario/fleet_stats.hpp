@@ -51,6 +51,14 @@ struct DeviceStats {
   u64 defers = 0;          ///< CSMA deferrals to a busy medium (BackoffRfu).
   u32 rts_sent = 0;        ///< WiFi RTS frames sent.
   u32 cts_received = 0;    ///< WiFi CTS responses received.
+  // NAV (virtual carrier sense) counters. Like the power estimates these
+  // stay out of both digests: the digest composition is frozen at its PR-3
+  // shape so an all-ones audibility matrix (and NAV-off runs generally)
+  // reproduce historic digests bit-for-bit. NAV-on runs differ in the
+  // mixed counters anyway — equality across execution paths still pins
+  // these indirectly through the timeline they shape.
+  u64 nav_defers = 0;  ///< Deferrals where only the NAV held (CCA silent).
+  u64 nav_arms = 0;    ///< Overheard reservations honoured.
   Cycle cycles_run = 0;
   DevicePower power;
 
@@ -67,6 +75,9 @@ struct CellStats {
   std::array<u64, kNumModes> capture_wins{};     ///< Survived via capture.
   std::array<u64, kNumModes> tampered{};         ///< Channel-corrupted frames.
   std::array<Cycle, kNumModes> busy_cycles{};    ///< Channel occupancy per band.
+  /// Air cycles burnt by collided transmissions (outside both digests, like
+  /// the NAV counters): 1 - collided/busy is the band's airtime efficiency.
+  std::array<Cycle, kNumModes> collided_airtime{};
   std::array<u32, kNumModes> ap_rx{};    ///< Data frames the AP accepted.
   std::array<u64, kNumModes> ap_acks{};  ///< ACKs the AP sent.
   u64 ap_ctss = 0;                       ///< CTS responses the AP sent.
@@ -104,6 +115,8 @@ struct FleetStats {
 
   u64 total_collisions() const;
   u64 total_defers() const;
+  /// NAV-only deferrals (virtual carrier sense held, CCA silent) fleet-wide.
+  u64 total_nav_defers() const;
 
   u64 completion_digest() const;
   u64 full_digest() const;

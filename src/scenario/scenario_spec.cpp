@@ -92,4 +92,50 @@ ScenarioSpec ScenarioSpec::contended_wifi_cell(std::size_t n_stations, u64 seed,
   return spec;
 }
 
+ScenarioSpec ScenarioSpec::contended_wifi_topology(std::size_t n_stations, Reach reach,
+                                                   u64 seed, u32 msdus_per_station,
+                                                   u32 rts_threshold) {
+  ScenarioSpec spec =
+      contended_wifi_cell(n_stations, seed, msdus_per_station, rts_threshold);
+  CellSpec& cell = spec.cells[0];
+  switch (reach) {
+    case Reach::kFull:
+      // Explicit all-ones: same physics as the trivial default, but through
+      // the per-listener machinery (the digest-equivalence pin rides on it).
+      cell.contention.audibility = net::AudibilityMatrix::full(n_stations);
+      spec.name += "-full";
+      break;
+    case Reach::kHiddenPair:
+      cell.contention.audibility =
+          net::AudibilityMatrix::hidden_pair(n_stations, 0, 1);
+      spec.name += "-hidden";
+      break;
+    case Reach::kChain:
+      cell.contention.audibility = net::AudibilityMatrix::chain(n_stations);
+      spec.name += "-chain";
+      break;
+  }
+  // Hidden nodes without virtual carrier sense collide forever; NAV is the
+  // mechanism RTS/CTS protects exchanges with, so the whole topology family
+  // runs with it on (policy — the RTS threshold — stays the variable).
+  // Long single-fragment MSDUs replace the canonical cell's modest sizes: a
+  // 700-1000 byte frame occupies the air longer than the whole CW_min
+  // backoff spread, so mutually-deaf stations overlap almost every aligned
+  // attempt — exactly the regime the RTS threshold exists for (a 20-byte
+  // RTS risks a ~35 us collision window instead of ~700 us of data). One
+  // MSDU per round, with the round interval wide enough for a collided
+  // exchange to resolve its retries, so *every* round re-aligns the
+  // stations into a fresh hidden-node confrontation instead of the
+  // completion-gated drift of the canonical cell.
+  for (DeviceSpec& d : cell.stations) {
+    d.cfg.modes[0].ident.nav_enabled = true;
+    d.traffic[0].msdu_min_bytes = 700;
+    d.traffic[0].msdu_max_bytes = 1000;
+    d.traffic[0].burst_len = 1;
+    d.traffic[0].max_inflight = 1;
+    d.traffic[0].interval_us = 20'000.0;
+  }
+  return spec;
+}
+
 }  // namespace drmp::scenario

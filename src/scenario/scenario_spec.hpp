@@ -46,6 +46,7 @@
 #include "common/types.hpp"
 #include "drmp/device.hpp"
 #include "mac/traffic_gen.hpp"
+#include "net/audibility.hpp"
 #include "sim/multi_scheduler.hpp"
 
 namespace drmp::scenario {
@@ -73,6 +74,12 @@ struct ContentionSpec {
   double capture_preamble_us = 0.0;
   /// Deliver collided frames garbled instead of dropping them.
   bool deliver_garbled = false;
+  /// Per-station reachability over the cell's *local station indices*
+  /// (net/audibility.hpp). The default (trivial) matrix keeps every station
+  /// in every other's footprint through the original code paths; a
+  /// non-trivial matrix must cover exactly the cell's station count (the
+  /// scripted access point is omnidirectional and needs no row).
+  net::AudibilityMatrix audibility;
 };
 
 /// One radio cell: its topology, member stations and channel physics.
@@ -132,6 +139,21 @@ struct ScenarioSpec {
   static ScenarioSpec contended_wifi_cell(std::size_t n_stations, u64 seed = 1,
                                           u32 msdus_per_station = 3,
                                           u32 rts_threshold = 0);
+
+  /// Reachability shapes for the hidden-node workloads.
+  enum class Reach : u8 {
+    kFull,        ///< Every station hears every other (explicit all-ones).
+    kHiddenPair,  ///< Stations 0 and 1 are mutually deaf; the rest a clique.
+    kChain,       ///< A line: station i hears only stations i-1, i, i+1.
+  };
+
+  /// The hidden-node variant of contended_wifi_cell: same stations, traffic
+  /// and access point, but with a per-station audibility matrix shaped by
+  /// `reach` and NAV virtual carrier sense enabled on every station — the
+  /// regime where the RTS/CTS handshake (rts_threshold) earns its keep.
+  static ScenarioSpec contended_wifi_topology(std::size_t n_stations, Reach reach,
+                                              u64 seed = 1, u32 msdus_per_station = 3,
+                                              u32 rts_threshold = 0);
 };
 
 }  // namespace drmp::scenario

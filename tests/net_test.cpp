@@ -1,12 +1,15 @@
 // net::ContendedMedium unit tests: overlap semantics (collision marking,
 // drop vs garbled delivery), carrier-sense detection latency (the collision
-// window), the capture effect, per-source airtime/collision accounting, and
-// the point-to-point backend's defined hard error on overlap (which used to
-// be a Debug-only assert).
+// window), the capture effect, per-source airtime/collision accounting, the
+// point-to-point backend's defined hard error on overlap (which used to be
+// a Debug-only assert), and the hidden-node machinery: per-station
+// audibility matrices, per-listener CCA/collision/delivery, and the NAV +
+// RTS/CTS rescue of the classic hidden-pair topology.
 #include <gtest/gtest.h>
 
 #include <stdexcept>
 
+#include "net/audibility.hpp"
 #include "net/contended_medium.hpp"
 #include "scenario/scenario_engine.hpp"
 #include "sim/scheduler.hpp"
@@ -213,6 +216,110 @@ TEST(ContendedMedium, SkipIdleReproducesPerTickAccounting) {
   EXPECT_EQ(run(false), run(true));
 }
 
+// ---- Audibility matrices (hidden nodes) ---------------------------------
+
+TEST(AudibilityMatrix, TrivialDefaultHearsEverything) {
+  AudibilityMatrix m;
+  EXPECT_TRUE(m.trivial());
+  EXPECT_TRUE(m.hears(0, 5));
+  EXPECT_TRUE(m.hears(63, 63));
+}
+
+TEST(AudibilityMatrix, FactoriesShapeTheFootprints) {
+  const AudibilityMatrix full = AudibilityMatrix::full(4);
+  EXPECT_FALSE(full.trivial());
+  EXPECT_TRUE(full.all_ones());
+
+  const AudibilityMatrix hidden = AudibilityMatrix::hidden_pair(4, 0, 1);
+  EXPECT_FALSE(hidden.hears(0, 1));
+  EXPECT_FALSE(hidden.hears(1, 0));
+  EXPECT_TRUE(hidden.hears(0, 2));
+  EXPECT_TRUE(hidden.hears(2, 1));
+  EXPECT_TRUE(hidden.hears(0, 0)) << "the diagonal must stay 1";
+
+  const AudibilityMatrix chain = AudibilityMatrix::chain(4);
+  EXPECT_TRUE(chain.hears(1, 2));
+  EXPECT_TRUE(chain.hears(2, 2));
+  EXPECT_FALSE(chain.hears(0, 2));
+  EXPECT_FALSE(chain.hears(3, 1));
+  // Out-of-range participants (the AP) are omnidirectional.
+  EXPECT_TRUE(chain.hears(0, 99));
+  EXPECT_TRUE(chain.hears(99, 3));
+}
+
+TEST_F(ContendedMediumTest, HiddenStationCcaStaysSilent) {
+  ContendedMedium::Params p;
+  p.audibility = AudibilityMatrix::chain(3);  // 1-2, 2-3 adjacent; 1-3 deaf.
+  ContendedMedium& m = make(p);
+  m.map_station(1, 0);
+  m.map_station(2, 1);
+  m.map_station(3, 2);
+  m.begin_tx(pattern_frame(400, 1), 1);
+  sched.run_cycles(m.cca_latency_cycles() + 4);
+  EXPECT_TRUE(m.cca_busy()) << "global (omni) view hears everything";
+  EXPECT_TRUE(m.cca_busy(2)) << "adjacent station hears it";
+  EXPECT_FALSE(m.cca_busy(3)) << "hidden station's CCA stays silent";
+  EXPECT_GT(m.cca_idle_for(3), 0u);
+  EXPECT_EQ(m.cca_idle_for(2), 0u);
+  EXPECT_GT(m.cca_clear_at(2), m.cca_clear_at(3));
+}
+
+TEST_F(ContendedMediumTest, CollisionIsAPropertyOfTheReceiver) {
+  // Chain 1-2-3: stations 1 and 3 are mutually hidden and transmit over
+  // each other. The middle listener (and the omni sink) sit in both
+  // footprints and lose both frames; a listener that only hears station 1
+  // receives its frame clean.
+  ContendedMedium::Params p;
+  p.audibility = AudibilityMatrix::chain(3);
+  ContendedMedium& m = make(p);  // Attaches `sink` unmapped -> omni.
+  m.map_station(1, 0);
+  m.map_station(2, 1);
+  m.map_station(3, 2);
+  Sink mid, edge;
+  m.attach(mid, 2);   // Matrix row 1: hears both transmitters.
+  m.attach(edge, 1);  // Matrix row 0: hears station 1 (and 2) only.
+
+  const Bytes a = pattern_frame(300, 2);
+  m.begin_tx(a, 1);
+  sched.run_cycles(100);  // Inside the collision window.
+  const Cycle end2 = m.begin_tx(pattern_frame(300, 9), 3);
+  sched.run_cycles(end2 + m.cca_latency_cycles() + 2);
+
+  EXPECT_TRUE(sink.frames.empty()) << "omni receiver saw only noise";
+  EXPECT_TRUE(mid.frames.empty()) << "both footprints -> collision";
+  ASSERT_EQ(edge.frames.size(), 1u) << "single footprint -> clean delivery";
+  EXPECT_EQ(edge.frames[0], a);
+  EXPECT_EQ(m.collided_frames(), 2u);
+  EXPECT_EQ(m.source(1).collisions, 1u);
+  EXPECT_EQ(m.source(3).collisions, 1u);
+  EXPECT_EQ(m.collided_airtime(),
+            2 * m.frame_air_cycles(300));  // Both frames' air was wasted.
+}
+
+TEST_F(ContendedMediumTest, HiddenTransmitterDoesNotJamDisjointFootprint) {
+  // Stations 1 and 3 hidden; NO omni receiver in both footprints either:
+  // delivery filtering still applies per listener.
+  ContendedMedium::Params p;
+  p.audibility = AudibilityMatrix::chain(3);
+  p.deliver_garbled = true;
+  ContendedMedium& m = make(p);
+  m.map_station(1, 0);
+  m.map_station(2, 1);
+  m.map_station(3, 2);
+  Sink edge;
+  m.attach(edge, 1);  // Hears station 1 only.
+  m.begin_tx(pattern_frame(200, 3), 1);
+  sched.run_cycles(50);
+  const Cycle end2 = m.begin_tx(pattern_frame(200, 11), 3);
+  sched.run_cycles(end2 + m.cca_latency_cycles() + 2);
+  // The omni `sink` (both footprints) got garbled copies; `edge` got
+  // station 1's frame intact.
+  ASSERT_EQ(edge.frames.size(), 1u);
+  EXPECT_EQ(edge.frames[0], pattern_frame(200, 3));
+  EXPECT_EQ(sink.frames.size(), 2u);
+  EXPECT_NE(sink.frames[0], pattern_frame(200, 3));
+}
+
 // ---- 64-station contended cell (ROADMAP scale open item) ----------------
 
 // Skewed offered load on one shared WiFi medium: a quarter of the stations
@@ -260,6 +367,76 @@ TEST(ContendedCell, SixtyFourStationsDrainWithContention) {
   // every-tick reference run is affordable; a single-cell fleet is one
   // MultiScheduler lane, so a worker-pool rerun would not add coverage.
   EXPECT_GT(serial.skip_ratio(), 10.0);
+}
+
+// ---- Hidden-node cells: NAV + RTS/CTS (ROADMAP PR-2 follow-ups) ---------
+
+TEST(HiddenNodeCell, ExplicitAllOnesMatrixReproducesTrivialDigests) {
+  // The acceptance pin for the per-listener machinery: an explicit all-ones
+  // matrix routes every query through jam masks and footprint filters and
+  // must reproduce the historic single-viewpoint digests bit-for-bit.
+  scenario::ScenarioSpec trivial = scenario::ScenarioSpec::contended_wifi_cell(4, 1, 3);
+  scenario::ScenarioSpec all_ones = trivial;
+  all_ones.cells[0].contention.audibility = AudibilityMatrix::full(4);
+  const scenario::FleetStats a = scenario::ScenarioEngine(trivial).run();
+  const scenario::FleetStats b = scenario::ScenarioEngine(all_ones).run();
+  EXPECT_EQ(a.full_digest(), b.full_digest());
+  EXPECT_EQ(a.report(), b.report());
+  EXPECT_GT(a.total_collisions(), 0u);  // Same physics, same contention.
+}
+
+scenario::FleetStats run_hidden_pair(u32 rts_threshold, unsigned workers,
+                                     bool idle_skip) {
+  scenario::ScenarioSpec spec = scenario::ScenarioSpec::contended_wifi_topology(
+      2, scenario::ScenarioSpec::Reach::kHiddenPair, /*seed=*/7,
+      /*msdus_per_station=*/6, rts_threshold);
+  spec.worker_threads = workers;
+  spec.idle_skip = idle_skip;
+  return scenario::ScenarioEngine(std::move(spec)).run();
+}
+
+TEST(HiddenNodeCell, RtsCtsRescuesTheHiddenPair) {
+  // The textbook result. Without the handshake two mutually-deaf stations
+  // carrier-sense nothing and pile their aligned bursts onto each other at
+  // the AP; with every MSDU RTS-protected, only the short RTS frames risk
+  // colliding and the AP's CTS arms the other station's NAV across the
+  // protected exchange.
+  const scenario::FleetStats off = run_hidden_pair(/*rts_threshold=*/0, 1, true);
+  const scenario::FleetStats on = run_hidden_pair(/*rts_threshold=*/1, 1, true);
+  ASSERT_TRUE(off.all_drained);
+  ASSERT_TRUE(on.all_drained);
+  EXPECT_GT(off.total_collisions(), 0u) << "hidden pair must collide without RTS";
+  EXPECT_GE(off.total_collisions(), 5 * on.total_collisions())
+      << "RTS/CTS must cut collisions at least 5x (off=" << off.total_collisions()
+      << " on=" << on.total_collisions() << ")";
+  // The rescue mechanism itself: overheard CTS durations armed the NAV and
+  // the access RFU deferred on it with silent CCA.
+  EXPECT_GT(on.total_nav_defers(), 0u);
+  // Every MSDU still completes (retry/CW machinery recovers the losses).
+  for (const scenario::DeviceStats& ds : off.devices) {
+    EXPECT_EQ(ds.completed[0], ds.offered[0]) << "station " << ds.station_id;
+  }
+  for (const scenario::DeviceStats& ds : on.devices) {
+    EXPECT_EQ(ds.completed[0], ds.offered[0]) << "station " << ds.station_id;
+  }
+  // With the handshake on, the protected data frames get through: higher
+  // success rate than the unprotected pile-up.
+  u64 ok_on = 0, ok_off = 0;
+  for (const auto& ds : on.devices) ok_on += ds.tx_ok[0];
+  for (const auto& ds : off.devices) ok_off += ds.tx_ok[0];
+  EXPECT_GE(ok_on, ok_off);
+}
+
+TEST(HiddenNodeCell, DigestsInvariantAcrossWorkersAndIdleSkip) {
+  // The NAV wake edges and per-listener sleep bounds ride the PR-3
+  // quiescence contract: worker pools and idle-skip must not perturb a
+  // hidden-node cell's timeline.
+  const scenario::FleetStats serial = run_hidden_pair(1, 1, true);
+  const scenario::FleetStats pool = run_hidden_pair(1, 0, true);
+  const scenario::FleetStats ticked = run_hidden_pair(1, 1, false);
+  EXPECT_EQ(serial.full_digest(), pool.full_digest());
+  EXPECT_EQ(serial.full_digest(), ticked.full_digest());
+  EXPECT_EQ(serial.report(), ticked.report());
 }
 
 }  // namespace

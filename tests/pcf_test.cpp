@@ -8,6 +8,7 @@
 #include "drmp/testbench.hpp"
 #include "mac/wifi_ctrl.hpp"
 #include "mac/wifi_frames.hpp"
+#include "sim/stats.hpp"
 
 namespace drmp {
 namespace {
@@ -78,6 +79,43 @@ TEST(PcfTest, FragmentedMsduSendsOneFragmentPerPoll) {
   EXPECT_EQ(wifi(tb).polls_answered_with_data, 3u);
   EXPECT_GE(wifi(tb).cf_acks_received, 3u);
   EXPECT_EQ(tb.peer(Mode::A).acks_sent(), 0u);
+}
+
+TEST(PcfTest, BatchedSchedulingMatchesLegacyThroughSifsResponse) {
+  // The PCF response path is the last carrier-gated poll loop to receive a
+  // quiescence bound (ROADMAP PR-3 follow-up): the BackoffRfu's
+  // SifsResponse phase now sleeps against cca_idle_for()/cca_clear_at().
+  // Drive the identical scripted CFP through the legacy per-cycle path and
+  // the batched idle-skip path and require identical protocol outcomes and
+  // identical per-tick busy accounting — the bit-identity contract.
+  auto run = [](bool batched) {
+    Testbench tb(pcf_config());
+    auto step = [&](Cycle n) {
+      if (batched) {
+        tb.scheduler().run_cycles_batched(n);
+      } else {
+        tb.run_cycles(n);
+      }
+    };
+    tb.send_async(Mode::A, payload(400));
+    step(200'000);
+    tb.peer(Mode::A).begin_cfp(tb.scheduler().now() + 1000, 3, 800.0,
+                               station_addr(tb));
+    step(2'000'000);  // Generous: the whole CFP plus the CF-End.
+    sim::Digest d;
+    d.mix(tb.tx_successes(Mode::A))
+        .mix(tb.peer(Mode::A).cfp_data_received())
+        .mix(tb.peer(Mode::A).cfp_nulls_received())
+        .mix(tb.peer(Mode::A).cfp_polls_sent())
+        .mix(wifi(tb).polls_answered_with_data)
+        .mix(wifi(tb).polls_answered_with_null)
+        .mix(wifi(tb).cf_acks_received)
+        .mix(tb.device().backoff_rfu().busy_cycles())
+        .mix(tb.device().backoff_rfu().last_wait_cycles())
+        .mix(tb.scheduler().now());
+    return d.value();
+  };
+  EXPECT_EQ(run(false), run(true));
 }
 
 TEST(PcfTest, CfEndAckCompletesTheLastFragment) {

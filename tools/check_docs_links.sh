@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Docs link check: every relative markdown link in README.md and docs/*.md
+# must point at an existing file (anchors are stripped; absolute URLs and
+# in-page anchors are ignored). Keeps the docs/ book from rotting as files
+# move.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in README.md docs/*.md; do
+  dir=$(dirname "$doc")
+  # Markdown links: [text](target). Skip http(s):, mailto: and #anchors.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+      # The GitHub CI badge resolves on github.com, not on disk.
+      ../../actions/*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "check_docs_links: dead link in $doc -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "check_docs_links: all relative links resolve"

@@ -16,8 +16,11 @@ if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
 fi
 
 FILES=(
+  src/mac/nav.hpp
   src/mac/traffic_gen.hpp
   src/mac/traffic_gen.cpp
+  src/net/audibility.hpp
+  src/net/audibility.cpp
   src/net/cell.hpp
   src/net/cell.cpp
   src/net/contended_medium.hpp
@@ -35,6 +38,7 @@ FILES=(
   tests/net_test.cpp
   tests/scenario_test.cpp
   bench/bench_net_contention.cpp
+  bench/bench_net_rtscts_sweep.cpp
   bench/bench_scenario_fleet.cpp
   examples/fleet_demo.cpp
 )
