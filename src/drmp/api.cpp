@@ -58,18 +58,21 @@ std::vector<OpCall> cDRMP::expand(Mode m, Command cmd, const std::vector<Word>& 
           {Op::TxFrameWifi, {tx, mode_idx, 1 /* append FCS */}},
       };
     case Command::kWifiTxFragmentProtected:
-      // The fragment a CTS just released: 802.11's protected exchange is
-      // SIFS-separated throughout (RTS -SIFS- CTS -SIFS- DATA -SIFS- ACK),
-      // so no channel-access op — the frame is anchored SIFS after the CTS
-      // (TxFrame opts bit1, the AckRfu pattern) and the PHY's carrier gate
+      // The fragment a CTS (or a mid-burst ACK) just released: 802.11's
+      // protected exchange is SIFS-separated throughout (RTS -SIFS- CTS
+      // -SIFS- DATA -SIFS- ACK, and likewise DATA -SIFS- ACK -SIFS- DATA
+      // inside a fragment burst), so no channel-access op — the frame is
+      // anchored SIFS after the releasing frame's latched rx-end (TxFrame
+      // opts bit1 + the explicit anchor words) and the PHY's carrier gate
       // defers it if the air is still occupied. Re-contending with
-      // DIFS+backoff here would outlive the NAV the CTS armed at the hidden
-      // stations and forfeit the handshake's protection.
+      // DIFS+backoff here would outlive the NAV the release armed at the
+      // hidden stations and forfeit the protection.
       return {
           {Op::FragmentWifi, {crypt, scratch, a.at(1), a.at(0)}},
           {Op::AssembleWifi, {tmpl, scratch, tx}},
           {Op::HcsAppend16, {tx, mac::wifi::kHdrBytes}},
-          {Op::TxFrameWifi, {tx, mode_idx, 1 | 2 /* append FCS, SIFS anchor */}},
+          {Op::TxFrameWifiAnchored,
+           {tx, mode_idx, 1 | 2 /* append FCS, SIFS anchor */, a.at(2), a.at(3)}},
       };
     case Command::kWifiSendRts:
       // The RTS is all header, so the CPU built it in the Scratch page

@@ -53,9 +53,13 @@ enum class Command : u8 {
   kWifiPrepareTx,    ///< args: []             -> SeqAssign (seq becomes the WEP IV).
   kWifiEncrypt,      ///< args: [iv]           -> RC4 encrypt Raw -> Crypt.
   kWifiTxFragment,   ///< args: [frag_idx, threshold, retry] -> frag+asm+hcs+csma+tx.
-  kWifiTxFragmentProtected,  ///< args: [frag_idx, threshold] -> frag+asm+hcs+sifs+tx:
-                             ///< the data released by a CTS flies SIFS after it
-                             ///< (the exchange the handshake's NAV protects).
+  kWifiTxFragmentProtected,  ///< args: [frag_idx, threshold, anchor_lo, anchor_hi]
+                             ///< -> frag+asm+hcs+sifs+tx: data released by a CTS
+                             ///< (or, in a fragment burst, by the previous
+                             ///< fragment's ACK) flies SIFS after it. The anchor
+                             ///< is the releasing frame's rx-end, read from the
+                             ///< CtrlWord::kRespRxEndLo/Hi latch at arm time so
+                             ///< a bystander frame cannot re-anchor the data.
   kWifiSendRts,      ///< args: [retry] -> csma + tx of the CPU-built RTS (Scratch page).
   kWifiTxFragmentPcf,///< args: [frag_idx, threshold] -> frag+asm+hcs+pcf+tx (polled).
   kWifiSendNull,     ///< args: [] -> hcs + pcf + tx of the CPU-built Null header.

@@ -140,9 +140,10 @@ DrmpDevice::DrmpDevice(sim::Scheduler& sched, DrmpConfig cfg, int station_id)
     const Mode m = mode_from_index(i);
     rx_bufs_[i].on_deliver = [this, i, m] {
       event_handler_->wake_self();
-      // Delivery-time NAV snoop: overheard reservations must arm at frame
-      // end, not when the drain request finally runs.
-      event_handler_->nav_snoop(m, rx_bufs_[i].last_delivered().bytes);
+      // Delivery-time snoop: overheard reservations must arm (and CF-End
+      // truncations land, and response anchors latch) at frame end, not
+      // when the drain request finally runs.
+      event_handler_->rx_snoop(m, rx_bufs_[i].last_delivered().bytes);
     };
   }
 
@@ -299,11 +300,13 @@ void DrmpDevice::attach_medium(Mode m, phy::Medium* medium) {
   phy::PhyTx* ptx = phy_txs_[i].get();
   tx_bufs_[i].on_push = [ptx] { ptx->wake_self(); };  // Quiescence wake.
   std::array<const mac::NavTimer*, kNumModes> navs{};
+  std::array<bool, kNumModes> eifs{};
   for (std::size_t mi = 0; mi < kNumModes; ++mi) {
     navs[mi] = &navs_[mi];
-    navs_[mi].subscribe(*backoff_);  // NAV arms invalidate access-wait sleeps.
+    navs_[mi].subscribe(*backoff_);  // NAV arms (and resets) invalidate sleeps.
+    eifs[mi] = cfg_.modes[mi].enabled && cfg_.modes[mi].ident.eifs_enabled;
   }
-  backoff_->wire(media_, &tb_, navs, station_id_);
+  backoff_->wire(media_, &tb_, navs, station_id_, eifs);
 }
 
 void DrmpDevice::host_send(Mode m, Bytes msdu) {

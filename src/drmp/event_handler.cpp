@@ -68,26 +68,57 @@ u16 EventHandler::rx_frame_duration_us(Mode m) const {
   return 0;
 }
 
-void EventHandler::nav_snoop(Mode m, const Bytes& frame) {
-  // Virtual carrier sense (NAV): a verified frame addressed to another
-  // station announces how long its exchange keeps the medium reserved, and
-  // the reservation counts from the frame's end — which is exactly now (this
-  // runs from the Rx buffer's deliver hook). Only FCS-clean frames arm;
-  // collided/garbled deliveries are noise.
+void EventHandler::rx_snoop(Mode m, const Bytes& frame) {
   const std::size_t i = index(m);
-  if (!env_.enabled[i] || !env_.idents[i].nav_enabled || env_.nav[i] == nullptr ||
-      media_[i] == nullptr || env_.idents[i].proto != mac::Protocol::WiFi) {
+  if (!env_.enabled[i] || media_[i] == nullptr ||
+      env_.idents[i].proto != mac::Protocol::WiFi) {
     return;
   }
+  const bool nav_on =
+      env_.idents[i].nav_enabled && env_.nav[i] != nullptr && env_.tb != nullptr;
   u16 dur_us = 0;
   if (const auto ctl = mac::wifi::parse_control(frame)) {
-    if (!ctl->fcs_ok || ctl->ra.to_u64() == env_.idents[i].self_addr) return;
+    if (!ctl->fcs_ok) return;  // Collided/garbled deliveries are noise.
+    if (ctl->fc.subtype == mac::wifi::Subtype::CfEnd ||
+        ctl->fc.subtype == mac::wifi::Subtype::CfEndAck) {
+      // NAV truncation (802.11: "stations receiving a CF-End frame shall
+      // reset their NAV"): the contention-free period closed early, so any
+      // reservation covering its remainder is void. The reset wakes
+      // sleeping deferrers so they re-contend immediately.
+      if (nav_on) env_.nav[i]->reset(media_[i]->now());
+      return;
+    }
+    if (ctl->ra.to_u64() == env_.idents[i].self_addr) {
+      if (ctl->fc.subtype == mac::wifi::Subtype::Cts ||
+          ctl->fc.subtype == mac::wifi::Subtype::Ack) {
+        // Response-anchor latch: the frame that releases this station's
+        // SIFS-spaced follow-on (CTS -> protected data; fragment-burst ACK
+        // -> next fragment) ends exactly now. Latching its rx-end here pins
+        // the anchor the transmit op uses — a bystander frame drained
+        // between this release and the op cannot shift it (the documented
+        // RxRfu::last_rx_end() re-anchoring bug).
+        const Cycle rx_end = env_.rx_bufs[i]->last_delivered().rx_end_cycle;
+        env_.mem->cpu_write(hw::ctrl_status_addr(m, CtrlWord::kRespRxEndLo),
+                            static_cast<Word>(rx_end & 0xFFFFFFFFull));
+        env_.mem->cpu_write(hw::ctrl_status_addr(m, CtrlWord::kRespRxEndHi),
+                            static_cast<Word>(rx_end >> 32));
+      }
+      return;  // Frames addressed here never arm this station's own NAV.
+    }
     dur_us = ctl->duration_us;
-  } else if (const auto mpdu = mac::wifi::parse_data_mpdu(frame)) {
-    if (!mpdu->fcs_ok || mpdu->hdr.addr1.to_u64() == env_.idents[i].self_addr) return;
+  } else {
+    if (!nav_on) return;  // Data durations only matter to an enabled NAV.
+    const auto mpdu = mac::wifi::parse_data_mpdu(frame);
+    if (!mpdu || !mpdu->fcs_ok ||
+        mpdu->hdr.addr1.to_u64() == env_.idents[i].self_addr) {
+      return;
+    }
     dur_us = mpdu->hdr.duration_us;
   }
-  if (dur_us == 0) return;
+  // Virtual carrier sense (NAV): a verified frame addressed to another
+  // station announces how long its exchange keeps the medium reserved, and
+  // the reservation counts from the frame's end — which is exactly now.
+  if (!nav_on || dur_us == 0) return;
   const Cycle now = media_[i]->now();
   env_.nav[i]->arm(now + env_.tb->us_to_cycles(static_cast<double>(dur_us)), now);
 }
@@ -120,7 +151,7 @@ void EventHandler::evaluate_frame(Mode m) {
         if (ra == id.self_addr && raise_irq) {
           raise_irq(m, IrqEvent::RxAckInd, ctrl::kAckParamAck);
         }
-        // A bystander's ACK already armed the NAV at delivery (nav_snoop).
+        // A bystander's ACK already armed the NAV at delivery (rx_snoop).
         st_[index(m)] = St::Idle;  // Control frame: Rx page free immediately.
         return;
       }
@@ -135,7 +166,7 @@ void EventHandler::evaluate_frame(Mode m) {
         // A bystander's CTS is THE hidden-node rescue — this station may be
         // deaf to the RTS originator, but the responder's CTS reserves the
         // medium for the whole protected exchange. The delivery-time
-        // nav_snoop armed it already (this drain can queue behind our own
+        // rx_snoop armed it already (this drain can queue behind our own
         // in-flight transmit request, far too late).
         st_[index(m)] = St::Idle;
         return;
@@ -209,12 +240,30 @@ void EventHandler::evaluate_frame(Mode m) {
           st_[index(m)] = St::Idle;  // Null or other no-payload subtypes.
           return;
         }
-        // Autonomous ACK after SIFS — the time-critical path (§3.5).
+        // Autonomous ACK after SIFS — the time-critical path (§3.5). When
+        // the station runs SIFS-spaced fragment bursts and the fragment
+        // announces more to come, the ACK re-announces the remaining
+        // reservation (802.11 §9.1.4) so bystanders that hear only this
+        // receiver keep their NAV chained across the burst.
+        const bool chain = id.frag_burst_enabled &&
+                           status(m, CtrlWord::kMoreFrag) != 0;
+        const u32 ack_dur =
+            chain ? mac::wifi::ack_duration_from_data(
+                        rx_frame_duration_us(m),
+                        mac::timing_for(mac::Protocol::WiFi))
+                  : 0;
         irc::ServiceRequest req;
         req.from_cpu = false;
-        req.ops = {{Op::AckGenWifi,
-                    {status(m, CtrlWord::kSrcLo), status(m, CtrlWord::kSrcHi),
-                     static_cast<u32>(index(m)), page_base(m, Page::Ack)}}};
+        if (ack_dur > 0) {
+          req.ops = {{Op::AckGenWifiDur,
+                      {status(m, CtrlWord::kSrcLo), status(m, CtrlWord::kSrcHi),
+                       static_cast<u32>(index(m)), page_base(m, Page::Ack),
+                       ack_dur}}};
+        } else {
+          req.ops = {{Op::AckGenWifi,
+                      {status(m, CtrlWord::kSrcLo), status(m, CtrlWord::kSrcHi),
+                       static_cast<u32>(index(m)), page_base(m, Page::Ack)}}};
+        }
         tag_[index(m)] = env_.irc->submit(m, std::move(req));
         st_[index(m)] = St::WaitAckGen;
         return;

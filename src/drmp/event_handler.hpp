@@ -68,14 +68,22 @@ class EventHandler : public sim::Clockable {
   u32 rx_frames_handled(Mode m) const { return handled_[index(m)]; }
   u32 rx_ctss_generated(Mode m) const { return cts_[index(m)]; }
 
-  /// Delivery-time NAV snoop, invoked from the Rx buffer's deliver hook at
-  /// frame end. Real MAC hardware updates the NAV the moment a frame's FCS
-  /// checks out — waiting for the drain+parse service request would be too
-  /// late, since that request queues behind this mode's own in-flight
-  /// transmit request (one TH pair per mode, §3.6.1.1), exactly when the
-  /// reservation matters most. Modelled as a dedicated comparator on the
-  /// Rx translational buffer's PHY side (no bus traffic, CPU never sees it).
-  void nav_snoop(Mode m, const Bytes& frame);
+  /// Delivery-time snoop, invoked from the Rx buffer's deliver hook at frame
+  /// end. Real MAC hardware acts the moment a frame's FCS checks out —
+  /// waiting for the drain+parse service request would be too late, since
+  /// that request queues behind this mode's own in-flight transmit request
+  /// (one TH pair per mode, §3.6.1.1), exactly when the timing matters most.
+  /// Modelled as dedicated comparators on the Rx translational buffer's PHY
+  /// side (no bus traffic, CPU never sees the frames). Three latches:
+  ///   * NAV arm from the duration of a clean frame addressed elsewhere
+  ///     (ident.nav_enabled);
+  ///   * NAV reset on CF-End / CF-End+CF-Ack (802.11 NAV truncation), with
+  ///     the NavTimer waking sleeping deferrers so they re-evaluate
+  ///     immediately;
+  ///   * the response-anchor latch (CtrlWord::kRespRxEndLo/Hi): the rx-end
+  ///     of a clean CTS/ACK addressed to *this* station, read by the
+  ///     protocol control when it arms a SIFS-anchored follow-on.
+  void rx_snoop(Mode m, const Bytes& frame);
 
  private:
   enum class St : u8 { Idle, WaitDrain, WaitAckGen, WaitCtsGen, WaitRelease };

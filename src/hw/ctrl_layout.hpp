@@ -32,6 +32,15 @@ enum class CtrlWord : u32 {
   kCryptParam = 17, ///< Scratch for control software.
   kDstLo = 18,      ///< Receiver address, low 32 bits (address filtering).
   kDstHi = 19,      ///< Receiver address, high 16 bits.
+  /// Response-anchor latch: the rx-end cycle of the last FCS-clean CTS or
+  /// ACK addressed to this station, written by the Event Handler's
+  /// delivery-time snoop (a hardware latch beside the Rx buffer, like the
+  /// NAV comparator). The protocol control reads it when arming a
+  /// SIFS-anchored follow-on (CTS-released data, fragment-burst data) so the
+  /// anchor is pinned to the *releasing* frame — a bystander frame drained
+  /// between the release and the transmit op cannot re-anchor it.
+  kRespRxEndLo = 20,
+  kRespRxEndHi = 21,
 };
 
 /// Header-template mini-page: the CPU writes the prepared per-fragment MAC

@@ -40,6 +40,8 @@ OpCodeTable::OpCodeTable() {
   add(Op::ExtractWimax, {rfu::kHeaderRfu, cfg::kProtoWimax, 2, false});
   // Tx / Rx.
   add(Op::TxFrameWifi, {rfu::kTxRfu, cfg::kProtoWifi, 3, false});
+  // Two words more than TxFrameWifi: the latched SIFS anchor (lo, hi).
+  add(Op::TxFrameWifiAnchored, {rfu::kTxRfu, cfg::kProtoWifi, 5, false});
   add(Op::TxFrameUwb, {rfu::kTxRfu, cfg::kProtoUwb, 3, false});
   add(Op::TxFrameWimax, {rfu::kTxRfu, cfg::kProtoWimax, 3, false});
   add(Op::RxDrainWifi, {rfu::kRxRfu, cfg::kProtoWifi, 4, false});
@@ -50,6 +52,9 @@ OpCodeTable::OpCodeTable() {
   add(Op::AckGenUwb, {rfu::kAckRfu, cfg::kProtoUwb, 4, false});
   // One word more than AckGen: the CTS carries the remaining NAV duration.
   add(Op::CtsGenWifi, {rfu::kAckRfu, cfg::kProtoWifi, 5, false});
+  // Likewise for the mid-burst fragment ACK (NAV chained to the next
+  // fragment's ACK).
+  add(Op::AckGenWifiDur, {rfu::kAckRfu, cfg::kProtoWifi, 5, false});
   // Channel access (detached: no bus held while counting).
   add(Op::CsmaAccessWifi, {rfu::kBackoffRfu, cfg::kAccessCsmaWifi, 2, true});
   add(Op::CsmaAccessUwb, {rfu::kBackoffRfu, cfg::kAccessCsmaUwb, 2, true});

@@ -60,6 +60,21 @@ struct ModeIdentity {
   /// PR-2/3 contention workloads defer on carrier sense alone, and their
   /// digests are pinned; hidden-node scenarios switch it on.
   bool nav_enabled = false;
+  /// WiFi EIFS (802.11 §9.2.3.4): after a reception whose FCS failed, defer
+  /// EIFS = SIFS + ACK air time + DIFS instead of DIFS before contending —
+  /// the damaged frame may have been data whose invisible ACK must not be
+  /// stepped on. A subsequent clean reception cancels the extension. Off by
+  /// default: PR-2/3/4 contention timelines treat garbled receptions as
+  /// silent drops, and their digests are pinned.
+  bool eifs_enabled = false;
+  /// WiFi SIFS-spaced fragment bursts (802.11 §9.1.4): follow-on fragments
+  /// of a fragmented MSDU fly SIFS after their ACK — anchored perishable
+  /// responses like the CTS-released data — with each fragment's (and ACK's)
+  /// Duration field chaining the NAV through the next fragment's ACK, so the
+  /// burst holds the medium. Off by default: historic cells re-contend per
+  /// fragment (the documented PR-2 simplification) and their digests are
+  /// pinned.
+  bool frag_burst_enabled = false;
   /// WiFi PCF (§2.3.2.1 #5/#8): as a CF-pollable station, transmit only when
   /// polled by the point coordinator; uplink data is acknowledged by the
   /// piggybacked CF-Ack on the next poll (#11). Off = plain DCF.

@@ -9,11 +9,12 @@
 // AP's CTS, whose duration covers the whole protected exchange.
 //
 // One NavTimer per (device, mode). The Event Handler arms it from overheard
-// RTS/CTS/ACK/data durations (drmp/event_handler.cpp); the BackoffRfu
-// consults it alongside physical CCA as a combined virtual-or-physical busy
-// gate (rfu/backoff_rfu.cpp). Arming wakes the subscribed access RFU so the
-// quiescence contract holds: a sleeping backoff countdown must re-evaluate
-// when a reservation lands, and its sleep bounds respect expiry().
+// RTS/CTS/ACK/data durations and truncates it on CF-End / CF-End+CF-Ack
+// (drmp/event_handler.cpp); the BackoffRfu consults it alongside physical
+// CCA as a combined virtual-or-physical busy gate (rfu/backoff_rfu.cpp).
+// Arming AND resetting wake the subscribed access RFU so the quiescence
+// contract holds: a sleeping backoff countdown must re-evaluate when a
+// reservation lands or collapses, and its sleep bounds respect expiry().
 #pragma once
 
 #include <vector>
@@ -40,13 +41,29 @@ class NavTimer {
     }
   }
 
+  /// Truncates a live reservation at `now` (802.11 CF-End: "stations
+  /// receiving a CF-End frame shall reset their NAV"). A sleeping deferrer's
+  /// bound was the old expiry, so subscribers are woken *before* the
+  /// mutation — they settle against the pre-reset state, then re-evaluate
+  /// immediately instead of sleeping out a reservation that no longer
+  /// exists. A lapsed NAV neither counts nor wakes anyone.
+  void reset(Cycle now) {
+    if (until_ <= now) return;
+    ++resets_;
+    for (sim::Clockable* c : subs_) c->wake_self();
+    until_ = now;
+  }
+
   /// Virtual carrier: is the medium reserved at clock value `at`?
   bool active(Cycle at) const noexcept { return at < until_; }
   /// First clock value at which the current reservation has lapsed (a sleep
-  /// bound: only arm() — which wakes subscribers — can push it later).
+  /// bound: only arm() — which wakes subscribers — can push it later;
+  /// reset() only pulls it earlier, and also wakes).
   Cycle expiry() const noexcept { return until_; }
   /// Overheard reservations honoured over the device's lifetime.
   u64 arms() const noexcept { return arms_; }
+  /// CF-End truncations honoured over the device's lifetime.
+  u64 resets() const noexcept { return resets_; }
 
   /// Registers a component to wake when a reservation lands. Idempotent.
   void subscribe(sim::Clockable& c) {
@@ -59,6 +76,7 @@ class NavTimer {
  private:
   Cycle until_ = 0;
   u64 arms_ = 0;
+  u64 resets_ = 0;
   std::vector<sim::Clockable*> subs_;
 };
 

@@ -123,6 +123,37 @@ u32 WifiCtrl::handle_cfp_end(bool piggyback_ack) {
   return kSmallBody;
 }
 
+u16 WifiCtrl::fragment_duration_us(u32 frag_idx) const {
+  const auto& ps = env_.api->ps(env_.mode);
+  if (!env_.ident.frag_burst_enabled) {
+    // Legacy rough NAV — ACK time + SIFS headroom. Frozen: flag-off digests
+    // are pinned to it.
+    return 150;
+  }
+  const auto t = mac::timing_for(mac::Protocol::WiFi);
+  const double ack_air_us = mac::wifi::ack_air_us(t);
+  if (frag_idx + 1 >= ps.fragments_total) {
+    // Final fragment: the reservation covers just SIFS + its ACK.
+    return static_cast<u16>(t.sifs_us + ack_air_us + 1.0);
+  }
+  // More fragments coming (802.11 §9.1.4): chain the NAV through the next
+  // fragment and its ACK — SIFS+ACK, SIFS+next fragment, SIFS+ACK. The
+  // modelled receive chain (drain + parse + ISR + frag/asm/HCS) sits
+  // between the ACK and the next fragment where the real MAC has a bare
+  // SIFS, so the announced reservation adds that processing slack, exactly
+  // like the RTS duration does — under-reserving would hand a bystander
+  // the gap mid-burst, which is the failure this field exists to prevent.
+  constexpr double kProcessingSlackUs = 100.0;
+  const u32 next_off = (frag_idx + 1) * ps.fragmentation_threshold;
+  const u32 next_bytes =
+      std::min(ps.fragmentation_threshold,
+               ps.psdu_size > next_off ? ps.psdu_size - next_off : ps.fragmentation_threshold);
+  const double next_air_us =
+      (static_cast<double>(next_bytes) + 30.0) * 8.0 / t.line_rate_bps * 1e6;
+  const double dur = 3.0 * t.sifs_us + 2.0 * ack_air_us + next_air_us + kProcessingSlackUs;
+  return static_cast<u16>(std::min(dur, 65535.0));
+}
+
 Bytes WifiCtrl::build_fragment_header(u32 frag_idx, bool retry) const {
   auto& ps = env_.api->ps(env_.mode);
   mac::wifi::DataHeader h;
@@ -136,9 +167,13 @@ Bytes WifiCtrl::build_fragment_header(u32 frag_idx, bool retry) const {
   h.addr3 = mac::MacAddr::from_u64(env_.ident.peer_addr);
   h.seq_num = static_cast<u16>(ps.seq_num);
   h.frag_num = static_cast<u8>(frag_idx);
-  // Duration: rough NAV — ACK time + SIFS (control-plane arithmetic).
-  h.duration_us = 150;
+  h.duration_us = fragment_duration_us(frag_idx);
   return h.encode();
+}
+
+Cycle WifiCtrl::resp_rx_end() const {
+  return static_cast<Cycle>(read_status(CtrlWord::kRespRxEndLo)) |
+         (static_cast<Cycle>(read_status(CtrlWord::kRespRxEndHi)) << 32);
 }
 
 u32 WifiCtrl::start_next_msdu() {
@@ -163,19 +198,28 @@ u32 WifiCtrl::start_next_msdu() {
   return kSmallBody + cost;
 }
 
-u32 WifiCtrl::send_fragment(u32 frag_idx, bool retry, bool cts_protected) {
+u32 WifiCtrl::send_fragment(u32 frag_idx, bool retry, bool sifs_release) {
   auto& ps = env_.api->ps(env_.mode);
   write_hdr_template(build_fragment_header(frag_idx, retry));
   u32 cost = 0;
-  // A fragment released by a CTS flies SIFS after it (802.11's protected
-  // exchange is SIFS-separated throughout); everything else contends.
-  tx_tag_ = cts_protected
-                ? env_.api->Request_RHCP_Service(
-                      env_.mode, Command::kWifiTxFragmentProtected,
-                      {frag_idx, ps.fragmentation_threshold}, &cost)
-                : env_.api->Request_RHCP_Service(
-                      env_.mode, Command::kWifiTxFragment,
-                      {frag_idx, ps.fragmentation_threshold, ps.retry_count}, &cost);
+  // A fragment released by a CTS — or, with the fragment burst enabled, by
+  // the previous fragment's ACK — flies SIFS after the releasing frame
+  // (802.11's protected exchange is SIFS-separated throughout); everything
+  // else contends. The anchor is latched *now*, at arm time, from the
+  // snoop's response latch: a bystander frame drained between this ISR and
+  // the transmit op's execution cannot re-anchor the data.
+  if (sifs_release) {
+    const Cycle anchor = resp_rx_end();
+    tx_tag_ = env_.api->Request_RHCP_Service(
+        env_.mode, Command::kWifiTxFragmentProtected,
+        {frag_idx, ps.fragmentation_threshold,
+         static_cast<Word>(anchor & 0xFFFFFFFFull), static_cast<Word>(anchor >> 32)},
+        &cost);
+  } else {
+    tx_tag_ = env_.api->Request_RHCP_Service(
+        env_.mode, Command::kWifiTxFragment,
+        {frag_idx, ps.fragmentation_threshold, ps.retry_count}, &cost);
+  }
   ps.my_state = kSending;
   return kSmallBody + 40 /* header build */ + cost;
 }
@@ -357,14 +401,20 @@ u32 WifiCtrl::handle_ack_ind(Word param) {
     env_.cpu->cancel_timer(env_.mode, kCtsTimeoutTimer);
     ++cts_received;
     return send_fragment(ps.fragments_counter, ps.retry_count != 0,
-                         /*cts_protected=*/true);
+                         /*sifs_release=*/true);
   }
   if (ps.my_state != kWaitAck) return kSmallBody;  // Stray/late ACK.
   env_.cpu->cancel_timer(env_.mode, kAckTimeoutTimer);
   ps.retry_count = 0;
   ++ps.fragments_counter;
   if (ps.fragments_counter < ps.fragments_total) {
-    return send_fragment(ps.fragments_counter, false);
+    // Follow-on fragment. With the burst enabled it rides the ACK
+    // SIFS-spaced — the burst holds the medium like real DCF, inside the
+    // NAV the previous fragment's Duration chained at every bystander —
+    // instead of re-contending with DIFS+backoff (the PR-2 simplification,
+    // kept bit-exact when the flag is off).
+    return send_fragment(ps.fragments_counter, false,
+                         /*sifs_release=*/env_.ident.frag_burst_enabled);
   }
   // Terminal state: report success to the application processor (Fig. 4.7).
   ++ps.tx_pdu_count;

@@ -57,7 +57,19 @@ class WifiCtrl final : public ProtocolCtrl {
 
  private:
   u32 start_next_msdu();
-  u32 send_fragment(u32 frag_idx, bool retry, bool cts_protected = false);
+  /// `sifs_release`: the fragment was released by a CTS or (fragment burst)
+  /// by the previous fragment's ACK and flies SIFS after the releasing
+  /// frame's latched rx-end instead of contending.
+  u32 send_fragment(u32 frag_idx, bool retry, bool sifs_release = false);
+  /// Duration field for fragment `frag_idx` (802.11 §9.1.4): with the
+  /// fragment burst enabled and more fragments to come, the reservation
+  /// chains through the next fragment's ACK; otherwise the legacy rough
+  /// SIFS+ACK figure (kept bit-exact for flag-off digests).
+  u16 fragment_duration_us(u32 frag_idx) const;
+  /// Reads the response-anchor latch (CtrlWord::kRespRxEndLo/Hi): the
+  /// rx-end of the CTS/ACK this ISR is answering, captured at delivery time
+  /// by the Event Handler's snoop.
+  Cycle resp_rx_end() const;
   u32 send_rts();
   bool use_rts() const;
   /// Extra worst-case access time on a shared medium: every contender may

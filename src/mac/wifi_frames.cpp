@@ -128,9 +128,9 @@ Bytes build_cts(const MacAddr& ra, u16 duration_us) {
 }
 
 u16 cts_duration_from_rts(u16 rts_duration_us, const ProtocolTiming& t) {
-  const double cts_air_us =
-      static_cast<double>(kCtsBytes) * 8.0 / t.line_rate_bps * 1e6;
-  const double spent_us = t.sifs_us + cts_air_us;
+  // A CTS shares the 14-byte ACK layout; ack_air_us is the single source
+  // for the control-frame air time (see its declaration).
+  const double spent_us = t.sifs_us + ack_air_us(t);
   return rts_duration_us > spent_us
              ? static_cast<u16>(static_cast<double>(rts_duration_us) - spent_us)
              : 0;

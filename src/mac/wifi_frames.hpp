@@ -97,6 +97,24 @@ Bytes build_cts(const MacAddr& ra, u16 duration_us = 0);
 /// Event Handler, scripted AP) must announce the same remainder.
 u16 cts_duration_from_rts(u16 rts_duration_us, const ProtocolTiming& t);
 
+/// Air time of one 14-byte ACK/CTS control frame at the protocol line rate.
+/// The single source for every place that must agree on it by construction:
+/// the chained Duration fields of a fragment burst, the EIFS figure
+/// (SIFS + this + DIFS) and the CTS/ACK duration remainders.
+inline double ack_air_us(const ProtocolTiming& t) {
+  return static_cast<double>(kAckBytes) * 8.0 / t.line_rate_bps * 1e6;
+}
+
+/// 802.11 duration arithmetic for the ACK of a fragment with More Fragments
+/// set (§9.1.4): the received frame's Duration covered SIFS + this ACK +
+/// the rest of the burst; the ACK re-announces the remainder (minus one SIFS
+/// and its own air time) so the NAV chains through the SIFS-spaced burst at
+/// stations that hear only the receiver. Same arithmetic as the CTS
+/// remainder — an ACK and a CTS share the 14-byte layout.
+inline u16 ack_duration_from_data(u16 data_duration_us, const ProtocolTiming& t) {
+  return cts_duration_from_rts(data_duration_us, t);
+}
+
 /// Builds a CF-End (or CF-End+CF-Ack) control frame closing a contention-
 /// free period (PCF, §2.3.2.1 #5/#8). `ra` is broadcast in real 802.11.
 Bytes build_cf_end(const MacAddr& ra, const MacAddr& bssid, bool with_ack);

@@ -35,6 +35,13 @@ AudibilityMatrix AudibilityMatrix::hidden_pair(std::size_t n, std::size_t a,
   return m;
 }
 
+AudibilityMatrix AudibilityMatrix::asymmetric_pair(std::size_t n, std::size_t heard,
+                                                   std::size_t deaf) {
+  AudibilityMatrix m = full(n);
+  if (heard != deaf) m.set(deaf, heard, false);  // deaf does not hear heard.
+  return m;
+}
+
 AudibilityMatrix AudibilityMatrix::chain(std::size_t n) {
   AudibilityMatrix m = full(n);
   for (std::size_t i = 0; i < n; ++i) {

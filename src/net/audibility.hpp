@@ -57,6 +57,13 @@ struct AudibilityMatrix {
   /// The textbook hidden-node topology: a clique except stations a and b,
   /// which cannot hear each other (both still reach the omnidirectional AP).
   static AudibilityMatrix hidden_pair(std::size_t n, std::size_t a, std::size_t b);
+  /// The asymmetric-audibility gap: a clique except that station `deaf`
+  /// cannot hear station `heard` — while `heard` still hears `deaf` (a
+  /// one-way power/antenna asymmetry, not a mutual hidden pair). The deaf
+  /// side's CCA runs straight through `heard`'s frames and collides with
+  /// them; the hearing side defers correctly, so the damage is one-sided.
+  static AudibilityMatrix asymmetric_pair(std::size_t n, std::size_t heard,
+                                          std::size_t deaf);
   /// A line: station i hears only stations j with |i - j| <= 1. Every
   /// non-adjacent pair is mutually hidden.
   static AudibilityMatrix chain(std::size_t n);

@@ -70,6 +70,15 @@ Cell::Cell(const scenario::CellSpec& spec,
           kApSourceBase + static_cast<int>(cell_index_));
       ap_[m]->set_wifi_addr(mac::MacAddr::from_u64(shared_wifi_ap_addr(cell_index_)));
       ap_[m]->set_uwb_ids(cfg0.modes[m].ident.pnid, kApUwbDevId);
+      // Stations running SIFS-spaced fragment bursts need the AP's ACKs to
+      // chain the NAV through the burst (802.11 §9.1.4); historic cells
+      // keep Duration-0 ACKs and their pinned digests.
+      for (const scenario::DeviceSpec& d : spec_.stations) {
+        if (d.cfg.modes[m].enabled && d.cfg.modes[m].ident.frag_burst_enabled) {
+          ap_[m]->set_ack_duration_chaining(true);
+          break;
+        }
+      }
       sched_->add(*ap_[m], "ap." + std::string(to_string(mode_from_index(m))));
     }
   }
@@ -318,9 +327,23 @@ void Cell::collect(std::vector<scenario::DeviceStats>& devices,
     }
     ds.defers = st->device->backoff_rfu().defers();
     ds.nav_defers = st->device->backoff_rfu().nav_defers();
+    ds.eifs_waits = st->device->backoff_rfu().eifs_waits();
     for (std::size_t m = 0; m < kNumModes; ++m) {
-      if (st->device->config().modes[m].enabled) {
-        ds.nav_arms += st->device->nav(mode_from_index(m)).arms();
+      if (!st->device->config().modes[m].enabled) continue;
+      const Mode mode = mode_from_index(m);
+      ds.nav_arms += st->device->nav(mode).arms();
+      ds.nav_resets += st->device->nav(mode).resets();
+      // A reservation still pending when the cell clock stopped: bounded by
+      // the largest announceable Duration — the "no stranded NAV" pin.
+      const Cycle expiry = st->device->nav(mode).expiry();
+      if (expiry > sched_->now()) {
+        ds.nav_hangover = std::max(ds.nav_hangover, expiry - sched_->now());
+      }
+      if (const phy::PhyTx* ptx = st->device->phy_tx(mode)) {
+        ds.expired_acks += ptx->frames_expired(phy::TxKind::kAck);
+        ds.expired_ctss += ptx->frames_expired(phy::TxKind::kCts);
+        ds.expired_sifs_data += ptx->frames_expired(phy::TxKind::kSifsData);
+        ds.frames_expired += ptx->frames_expired();
       }
     }
     if (st->device->config().modes[0].enabled) {

@@ -37,6 +37,20 @@ void ContendedMedium::map_station(int source_id, std::size_t matrix_index) {
   station_idx_[source_id] = matrix_index;
 }
 
+bool ContendedMedium::listener_deaf_at(int listener, Cycle end) const noexcept {
+  // The receive-quality records ask about the delivery moment `end` (the
+  // arriving frame's last air cycle is end - 1): a station whose own
+  // transmission covers that cycle talked over the tail it would have had
+  // to decode — half-duplex, it sensed nothing — so no reception outcome
+  // (bad or clean) applies to it. A station that merely transmitted over an
+  // early part of the frame but fell silent before its end DID hear an
+  // undecodable tail, and its bad record stands.
+  for (const Tx& t : on_air_) {
+    if (t.source == listener && t.start < end && end <= t.end) return true;
+  }
+  return false;
+}
+
 int ContendedMedium::matrix_index(int id) const noexcept {
   if (trivial()) return -1;
   const auto it = station_idx_.find(id);
@@ -131,14 +145,20 @@ void ContendedMedium::deliver_per_listener(Tx& t) {
                                     static_cast<std::size_t>(src_idx));
   };
   std::vector<phy::MediumClient*> clean, jammed;
+  std::vector<int> clean_ids;  ///< Listener ids for the rx-quality records.
   for (const Attached& a : clients_) {
     const int li = matrix_index(a.listener_id);
     if (!listener_hears(li, t.src_idx)) continue;  // Outside the footprint.
     const bool jam = li < 0 ? t.collided : ((t.jam_mask >> li) & 1) != 0;
     if (!jam) {
+      if (a.listener_id != t.source) clean_ids.push_back(a.listener_id);
       clean.push_back(a.client);
-    } else if (garble_mode) {
-      jammed.push_back(a.client);
+    } else {
+      // A jammed reception is undecodable energy whether or not the garbled
+      // bytes are handed over: record the EIFS-relevant bad end for every
+      // listener in the footprint (except the transmitter itself).
+      if (a.listener_id != t.source) note_rx_quality(a.listener_id, t.end, true);
+      if (garble_mode) jammed.push_back(a.client);
     }
   }
   if (clean.empty() && jammed.empty()) return;  // Noise for everyone.
@@ -150,7 +170,9 @@ void ContendedMedium::deliver_per_listener(Tx& t) {
     for (phy::MediumClient* c : jammed) c->on_frame(t.frame, t.end, t.source);
     return;
   }
-  if (tamper && tamper(t.frame)) ++tampered_;
+  const bool tampered_now = tamper && tamper(t.frame);
+  if (tampered_now) ++tampered_;
+  for (int id : clean_ids) note_rx_quality(id, t.end, tampered_now);
   for (phy::MediumClient* c : clean) c->on_frame(t.frame, t.end, t.source);
   if (!jammed.empty()) {
     // Mixed footprints (non-trivial matrices only): the jammed listeners'
@@ -196,9 +218,12 @@ void ContendedMedium::tick() {
         } else if (params_.deliver_garbled) {
           garble(t.frame);
           ++garbled_frames_;
-          deliver(t.frame, t.end, t.source);
+          deliver(t.frame, t.end, t.source, /*pre_damaged=*/true);
         } else {
           ++dropped_frames_;
+          // Withheld, but every receiver still heard undecodable energy:
+          // the EIFS reference records a damaged reception.
+          record_rx_quality(t.source, t.end, /*bad=*/true);
         }
       } else {
         deliver_per_listener(t);

@@ -165,6 +165,9 @@ class ContendedMedium final : public phy::Medium {
   /// and wasted airtime the first time any listener is jammed.
   void jam(Tx& t, u64 both);
   void deliver_per_listener(Tx& t);
+  /// Half-duplex gate for the receive-quality records: a station radiating
+  /// while another frame's last byte arrives heard nothing of it.
+  bool listener_deaf_at(int listener, Cycle end) const noexcept override;
 
   Params params_;
   Cycle cca_latency_ = 0;

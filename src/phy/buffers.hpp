@@ -17,6 +17,19 @@
 
 namespace drmp::phy {
 
+/// What a staged frame is, for the per-kind expiry accounting: when a
+/// perishable response dies (PhyTx drops it past latest_start), the
+/// recovery path differs by kind — an expired ACK/CTS leaves the exchange
+/// to the *initiator's* timeout, expired SIFS-anchored data to its own —
+/// and the fleet reports break the counts out accordingly.
+enum class TxKind : u8 {
+  kData = 0,      ///< Channel-access-granted frame (never expires).
+  kAck = 1,       ///< Autonomous SIFS ACK / Imm-ACK.
+  kCts = 2,       ///< Autonomous SIFS CTS.
+  kSifsData = 3,  ///< SIFS-anchored data (CTS-released / fragment burst).
+};
+inline constexpr std::size_t kNumTxKinds = 4;
+
 /// A frame staged for transmission.
 struct TxFrameEntry {
   Bytes bytes;
@@ -31,6 +44,7 @@ struct TxFrameEntry {
   /// deferred response releases on the same cycle and collides forever.
   /// Channel-access-granted frames never expire.
   Cycle latest_start = ~Cycle{0};
+  TxKind kind = TxKind::kData;
 };
 
 /// Transmission buffer: DRMP side pushes words at architecture rate, PHY side
@@ -44,9 +58,10 @@ class TxBuffer {
   }
   void push_byte(u8 b) { staging_.push_back(b); }
   void end_frame(std::size_t nbytes, Cycle earliest_start,
-                 Cycle latest_start = ~Cycle{0}) {
+                 Cycle latest_start = ~Cycle{0}, TxKind kind = TxKind::kData) {
     staging_.resize(nbytes);
-    queue_.push_back(TxFrameEntry{std::move(staging_), earliest_start, latest_start});
+    queue_.push_back(
+        TxFrameEntry{std::move(staging_), earliest_start, latest_start, kind});
     staging_ = {};
     if (on_push) on_push();
   }

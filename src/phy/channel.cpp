@@ -81,8 +81,14 @@ void ScriptedPeer::on_frame(const Bytes& frame, Cycle rx_end_cycle, int source) 
       }
       if (auto_ack_ && parsed->fcs_ok) {
         // ACK the transmitter (addr2) after SIFS — the hard real-time
-        // response the DRMP's own ACK path must also honour.
-        schedule_tx(mac::wifi::build_ack(parsed->hdr.addr2), rx_end_cycle + sifs);
+        // response the DRMP's own ACK path must also honour. Inside a
+        // SIFS-spaced fragment burst the ACK chains the NAV to the next
+        // fragment's ACK (enabled per cell; historic ACKs carry 0).
+        const u16 dur = ack_dur_chain_ && parsed->hdr.fc.more_frag
+                            ? mac::wifi::ack_duration_from_data(
+                                  parsed->hdr.duration_us, medium_.timing())
+                            : 0;
+        schedule_tx(mac::wifi::build_ack(parsed->hdr.addr2, dur), rx_end_cycle + sifs);
         ++acks_sent_;
       }
       break;

@@ -29,6 +29,13 @@ class ScriptedPeer : public MediumClient, public sim::Clockable {
   /// Drop every n-th data frame without acknowledging (loss injection for
   /// retry-path tests). 0 disables.
   void set_drop_every(u32 n) { drop_every_ = n; }
+  /// Chain ACK durations across fragment bursts (802.11 §9.1.4): the ACK of
+  /// a fragment with More Fragments set re-announces the remaining
+  /// reservation from the fragment's own Duration field. Off by default —
+  /// historic workloads' ACKs carry Duration 0 and their digests are
+  /// pinned; net::Cell switches it on when a member station runs
+  /// SIFS-spaced fragment bursts.
+  void set_ack_duration_chaining(bool v) { ack_dur_chain_ = v; }
 
   /// WiFi identity used when forging ACKs.
   void set_wifi_addr(const mac::MacAddr& a) { wifi_addr_ = a; }
@@ -93,6 +100,7 @@ class ScriptedPeer : public MediumClient, public sim::Clockable {
   int self_id_;
   bool auto_ack_ = true;
   bool auto_cts_ = true;
+  bool ack_dur_chain_ = false;
   u32 drop_every_ = 0;
   u32 data_seen_ = 0;
   /// Responder-side NAV: the end of the last exchange this peer granted

@@ -23,8 +23,13 @@ Cycle Medium::begin_tx(Bytes frame, int source) {
   return end;
 }
 
-void Medium::deliver(Bytes& frame, Cycle rx_end_cycle, int source) {
-  if (tamper && tamper(frame)) ++tampered_;
+void Medium::deliver(Bytes& frame, Cycle rx_end_cycle, int source, bool pre_damaged) {
+  bool bad = pre_damaged;
+  if (tamper && tamper(frame)) {
+    ++tampered_;
+    bad = true;
+  }
+  record_rx_quality(source, rx_end_cycle, bad);
   for (const Attached& a : clients_) a.client->on_frame(frame, rx_end_cycle, source);
 }
 
@@ -80,6 +85,7 @@ void PhyTx::tick() {
     // timeout/retry machinery recovers). Deferring it to the next carrier-
     // clear edge would release every station's stale response on the same
     // cycle — a guaranteed pile-up.
+    ++expired_by_kind_[static_cast<std::size_t>(f.kind)];
     buf_.pop();
     ++frames_expired_;
     return;

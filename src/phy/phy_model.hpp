@@ -20,7 +20,9 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -152,6 +154,29 @@ class Medium : public sim::Clockable {
   std::function<bool(Bytes&)> tamper;
   u64 tampered_frames() const noexcept { return tampered_; }
 
+  // ---- Receive-quality reference (EIFS, 802.11 §9.2.3.4) ----
+  /// True while this listener's most recent reception was damaged — its FCS
+  /// would fail (collided, garbled, or channel-corrupted) — with no clean
+  /// reception since. The access RFU extends its pre-contention defer from
+  /// DIFS to EIFS while this holds: the undecodable frame may have been
+  /// data whose ACK the listener cannot anticipate, so it must leave room
+  /// for it. A subsequent clean reception cancels the condition, exactly
+  /// like the standard's NAV-update rule. The flip can only happen at a
+  /// delivery edge, which every affected listener perceives as carrier
+  /// (audible through end + latency), so a transmit gate that re-evaluates
+  /// on carrier edges — as the quiescence contract already requires — can
+  /// never observe a stale value.
+  bool eifs_pending(int listener) const noexcept {
+    const auto it = rx_quality_.find(listener);
+    return it != rx_quality_.end() && it->second.bad_end > it->second.good_end;
+  }
+  /// Switches the per-listener receive-quality records on. Off by default —
+  /// the only consumer is eifs_pending(), so media in flag-off workloads
+  /// skip the bookkeeping entirely. The access RFU enables it on the media
+  /// of EIFS-honouring modes at wire-up; tests driving a medium directly
+  /// call it themselves.
+  void track_rx_quality() { track_rx_quality_ = true; }
+
  protected:
   /// One attached receiver and the listener id it perceives the channel as.
   struct Attached {
@@ -160,7 +185,33 @@ class Medium : public sim::Clockable {
   };
 
   /// Applies the fault injector and fans the frame out to every client.
-  void deliver(Bytes& frame, Cycle rx_end_cycle, int source);
+  /// `pre_damaged` marks a frame the channel already garbled (collision in
+  /// deliver-garbled mode) so the receive-quality records stay honest even
+  /// when the injector leaves it alone.
+  void deliver(Bytes& frame, Cycle rx_end_cycle, int source, bool pre_damaged = false);
+  /// True when `listener` was itself transmitting as the frame's last byte
+  /// arrived: a half-duplex radio receives nothing of a frame whose end it
+  /// talked over, so neither a bad nor a clean record applies. The base
+  /// (point-to-point) backend cannot overlap, so nobody is ever deaf.
+  virtual bool listener_deaf_at(int /*listener*/, Cycle /*end*/) const noexcept {
+    return false;
+  }
+  /// Records one listener's reception outcome at `end` (EIFS reference).
+  void note_rx_quality(int listener_id, Cycle end, bool bad) {
+    if (!track_rx_quality_ || listener_deaf_at(listener_id, end)) return;
+    auto& q = rx_quality_[listener_id];
+    (bad ? q.bad_end : q.good_end) = std::max(bad ? q.bad_end : q.good_end, end);
+  }
+  /// Records `bad`/clean at `end` for every attached listener except the
+  /// transmitter itself (a half-duplex radio receives nothing while it
+  /// sends). Used for frames withheld from delivery: a dropped collision is
+  /// still undecodable energy at every receiver that heard it.
+  void record_rx_quality(int source, Cycle end, bool bad) {
+    if (!track_rx_quality_) return;
+    for (const Attached& a : clients_) {
+      if (a.listener_id != source) note_rx_quality(a.listener_id, end, bad);
+    }
+  }
   /// Wakes every carrier subscriber (call from begin_tx overrides).
   void wake_subscribers() {
     for (sim::Clockable* c : wake_subs_) c->wake_self();
@@ -178,6 +229,14 @@ class Medium : public sim::Clockable {
   std::vector<sim::Clockable*> wake_subs_;
   Cycle busy_cycles_ = 0;
   u64 tampered_ = 0;
+
+  /// Last damaged / last clean reception end per listener id (EIFS).
+  struct RxQuality {
+    Cycle bad_end = 0;
+    Cycle good_end = 0;
+  };
+  std::map<int, RxQuality> rx_quality_;
+  bool track_rx_quality_ = false;
 
  private:
   struct InFlight {
@@ -214,6 +273,13 @@ class PhyTx : public sim::Clockable {
   /// start by their latest_start — the exchange they belonged to has moved
   /// on; the peer's timeout machinery carries the recovery.
   u64 frames_expired() const noexcept { return frames_expired_; }
+  /// Expiries broken out by what the dead frame was. An expired ACK or CTS
+  /// means a *responder* went silent: the initiator's ACK/CTS timeout is
+  /// the only recovery, and any NAV its exchange armed simply runs out —
+  /// the fleet tests pin that no reservation outlives its announced expiry.
+  u64 frames_expired(TxKind k) const noexcept {
+    return expired_by_kind_[static_cast<std::size_t>(k)];
+  }
   Cycle last_tx_start() const noexcept { return last_tx_start_; }
   Cycle last_tx_end() const noexcept { return last_tx_end_; }
   bool transmitting() const noexcept { return medium_.now() < last_tx_end_; }
@@ -224,6 +290,7 @@ class PhyTx : public sim::Clockable {
   int source_id_;
   u64 frames_sent_ = 0;
   u64 frames_expired_ = 0;
+  std::array<u64, kNumTxKinds> expired_by_kind_{};
   Cycle last_tx_start_ = 0;
   Cycle last_tx_end_ = 0;
 };

@@ -17,14 +17,22 @@ void AckRfu::on_execute(Op op) {
   assert(buffers_[mode_idx_] != nullptr && "AckRfu not wired to buffers");
 
   switch (op) {
-    case Op::AckGenWifi: {
+    case Op::AckGenWifi:
+    case Op::AckGenWifiDur: {
+      // The Dur form carries the ACK's Duration field (fifth argument): a
+      // mid-burst fragment ACK chains the NAV through the next fragment's
+      // ACK (802.11 §9.1.4), so bystanders keep deferring across the
+      // SIFS-spaced burst they may only partially hear.
       assert(c_state_ == cfg::kProtoWifi);
       const u64 ra = static_cast<u64>(args_.at(0)) |
                      (static_cast<u64>(args_.at(1)) << 32);
-      out_bytes_ = mac::wifi::build_ack(mac::MacAddr::from_u64(ra));
+      const u16 dur =
+          op == Op::AckGenWifiDur ? static_cast<u16>(args_.at(4)) : 0;
+      out_bytes_ = mac::wifi::build_ack(mac::MacAddr::from_u64(ra), dur);
       const auto t = mac::timing_for(mac::Protocol::WiFi);
       sifs_us_ = t.sifs_us;
       slack_us_ = mac::response_slack_us(t);
+      kind_ = phy::TxKind::kAck;
       break;
     }
     case Op::CtsGenWifi: {
@@ -40,6 +48,7 @@ void AckRfu::on_execute(Op op) {
       const auto t = mac::timing_for(mac::Protocol::WiFi);
       sifs_us_ = t.sifs_us;
       slack_us_ = mac::response_slack_us(t);
+      kind_ = phy::TxKind::kCts;
       ++ctss_;
       break;
     }
@@ -52,6 +61,7 @@ void AckRfu::on_execute(Op op) {
       const auto t = mac::timing_for(mac::Protocol::Uwb);
       sifs_us_ = t.sifs_us;
       slack_us_ = mac::response_slack_us(t);
+      kind_ = phy::TxKind::kAck;
       break;
     }
     default:
@@ -76,7 +86,7 @@ bool AckRfu::work_step() {
       const Cycle sifs = tb_ != nullptr ? tb_->us_to_cycles(sifs_us_) : 0;
       const Cycle slack = tb_ != nullptr ? tb_->us_to_cycles(slack_us_) : 0;
       const Cycle rx_end = rx_ != nullptr ? rx_->last_rx_end() : 0;
-      buf.end_frame(out_bytes_.size(), rx_end + sifs, rx_end + sifs + slack);
+      buf.end_frame(out_bytes_.size(), rx_end + sifs, rx_end + sifs + slack, kind_);
       ++acks_;
       return true;
     }

@@ -35,6 +35,9 @@ class AckRfu final : public StreamingRfu {
  protected:
   // Ops:
   //   AckGenWifi [ra_lo, ra_hi, mode_idx, ack_page] — ACK to transmitter RA.
+  //   AckGenWifiDur [ra_lo, ra_hi, mode_idx, ack_page, duration_us] — same,
+  //   with the Duration field chaining the NAV through the next fragment of
+  //   a SIFS-spaced burst.
   //   CtsGenWifi [ra_lo, ra_hi, mode_idx, ack_page, duration_us] — CTS to
   //   RTS sender RA, carrying the remaining NAV reservation.
   //   AckGenUwb  [pnid_src, dest_id, mode_idx, ack_page] — Imm-ACK.
@@ -49,6 +52,7 @@ class AckRfu final : public StreamingRfu {
   /// Lateness tolerance for the perishable response
   /// (mac::response_slack_us of the op's protocol timing).
   double slack_us_ = 30.0;
+  phy::TxKind kind_ = phy::TxKind::kAck;  ///< From the executing op.
   u64 acks_ = 0;
   u64 ctss_ = 0;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "mac/wifi_frames.hpp"
+
 namespace drmp::rfu {
 
 u16 BackoffRfu::lfsr_next() {
@@ -32,6 +34,14 @@ void BackoffRfu::on_execute(Op op) {
       cw = std::min<u64>(cw - 1, t.cw_max);
       backoff_slots_ = static_cast<u32>(lfsr_next() % (cw + 1));
       ifs_cycles_ = tb_->us_to_cycles(t.difs_us);
+      // EIFS (802.11 §9.2.3.4): SIFS + the air time of an ACK at the lowest
+      // mandatory rate + DIFS. Computed here so required_ifs() can swap it
+      // in whenever the mode honours EIFS and the last reception was
+      // damaged; only WiFi defines the figure (the UWB CAP keeps BIFS).
+      eifs_cycles_ =
+          op == Op::CsmaAccessWifi
+              ? tb_->us_to_cycles(t.sifs_us + mac::wifi::ack_air_us(t) + t.difs_us)
+              : ifs_cycles_;
       slot_cycles_ = tb_->us_to_cycles(t.slot_us);
       ifs_progress_ = 0;
       slot_progress_ = 0;
@@ -92,12 +102,13 @@ Cycle BackoffRfu::running_quiescent_for() const {
         if (nav_active(next_tick)) clear = std::max(clear, nav_expiry());
         return sim::ticks_until_reading(clear, next_tick);
       }
-      // Idle: pure counting; the tick whose increment reaches ifs_cycles_
-      // acts (grant or phase change). An already-scheduled perceived onset
-      // (detection latency) bounds the sleep — new transmissions and NAV
-      // arms wake us.
-      const Cycle count =
-          ifs_cycles_ > ifs_progress_ + 1 ? ifs_cycles_ - 1 - ifs_progress_ : 0;
+      // Idle: pure counting; the tick whose increment reaches the required
+      // IFS (DIFS, or EIFS after a damaged reception — constant across the
+      // idle stretch, see required_ifs) acts (grant or phase change). An
+      // already-scheduled perceived onset (detection latency) bounds the
+      // sleep — new transmissions and NAV arms wake us.
+      const Cycle need = required_ifs();
+      const Cycle count = need > ifs_progress_ + 1 ? need - 1 - ifs_progress_ : 0;
       return std::min(
           count, sim::ticks_until_reading(medium.cca_busy_onset_at(listener_), next_tick));
     }
@@ -162,7 +173,8 @@ bool BackoffRfu::work_step() {
   switch (access_phase_) {
     case AccessPhase::Ifs: {
       // The channel must be idle — physically (listener-qualified CCA) and
-      // virtually (NAV) — continuously for the IFS.
+      // virtually (NAV) — continuously for the IFS (DIFS, or EIFS after a
+      // damaged reception).
       if (channel_busy()) {
         if (!defer_edge_) {
           defer_edge_ = true;
@@ -173,7 +185,9 @@ bool BackoffRfu::work_step() {
         return false;
       }
       defer_edge_ = false;
-      if (++ifs_progress_ < ifs_cycles_) return false;
+      const Cycle need = required_ifs();
+      if (++ifs_progress_ < need) return false;
+      if (need > ifs_cycles_) ++eifs_waits_;
       if (backoff_slots_ == 0) return true;
       access_phase_ = AccessPhase::Backoff;
       slot_progress_ = 0;

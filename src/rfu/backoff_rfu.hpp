@@ -27,19 +27,28 @@ class BackoffRfu final : public Rfu {
   bool detached_execution() const override { return true; }
 
   /// `navs` are the per-mode NAV timers (virtual carrier sense; null =
-  /// physical CCA only) and `listener` the station id whose audibility
-  /// footprint carrier sense is evaluated against on contended media.
+  /// physical CCA only), `listener` the station id whose audibility
+  /// footprint carrier sense is evaluated against on contended media, and
+  /// `eifs` the per-mode EIFS enables (ModeIdentity::eifs_enabled): modes
+  /// with it set stretch the pre-contention IFS to EIFS while the medium
+  /// reports the last reception damaged (Medium::eifs_pending).
   void wire(std::array<phy::Medium*, kNumModes> media, const sim::TimeBase* tb,
             std::array<const mac::NavTimer*, kNumModes> navs = {},
-            int listener = phy::Medium::kOmniListener) {
+            int listener = phy::Medium::kOmniListener,
+            std::array<bool, kNumModes> eifs = {}) {
     media_ = media;
     tb_ = tb;
     navs_ = navs;
     listener_ = listener;
+    eifs_enabled_ = eifs;
     // Carrier onsets invalidate the access-wait sleep bounds below. (NAV
     // arms wake us through mac::NavTimer::subscribe, wired by the device.)
-    for (phy::Medium* m : media_) {
-      if (m != nullptr) m->subscribe_wake(*this);
+    for (std::size_t i = 0; i < kNumModes; ++i) {
+      if (media_[i] == nullptr) continue;
+      media_[i]->subscribe_wake(*this);
+      // The receive-quality records exist for eifs_pending(); media of
+      // modes that never honour EIFS skip the bookkeeping entirely.
+      if (eifs_enabled_[i]) media_[i]->track_rx_quality();
     }
   }
 
@@ -55,6 +64,11 @@ class BackoffRfu final : public Rfu {
   /// The subset of defers() caused purely by the NAV (virtual carrier
   /// sense): physical CCA heard nothing, an overheard reservation held.
   u64 nav_defers() const noexcept { return nav_defers_; }
+  /// Completed pre-contention waits that were stretched to EIFS because the
+  /// last reception was damaged (802.11 §9.2.3.4) — the garbled frame may
+  /// have been data whose ACK this station could not decode, so it left
+  /// SIFS + ACK air of extra room before contending.
+  u64 eifs_waits() const noexcept { return eifs_waits_; }
 
  protected:
   // Ops:
@@ -102,6 +116,15 @@ class BackoffRfu final : public Rfu {
     const mac::NavTimer* nav = navs_[mode_idx_];
     return nav != nullptr ? nav->expiry() : 0;
   }
+  /// The IFS this access must observe before (re)contending: EIFS while the
+  /// mode honours it and the last reception was damaged, DIFS otherwise.
+  /// The condition can only flip at a delivery edge, which the listener
+  /// perceives as carrier — so it is constant across any idle stretch a
+  /// sleep bound below certifies, and the bound may use it directly.
+  Cycle required_ifs() const {
+    if (!eifs_enabled_[mode_idx_] || eifs_cycles_ <= ifs_cycles_) return ifs_cycles_;
+    return media_[mode_idx_]->eifs_pending(listener_) ? eifs_cycles_ : ifs_cycles_;
+  }
 
   enum class AccessPhase : u8 {
     Ifs,
@@ -111,6 +134,7 @@ class BackoffRfu final : public Rfu {
   } access_phase_ = AccessPhase::Ifs;
   u32 mode_idx_ = 0;
   Cycle ifs_cycles_ = 0;
+  Cycle eifs_cycles_ = 0;  ///< SIFS + ACK air + DIFS (CSMA ops; 0 elsewhere).
   Cycle ifs_progress_ = 0;
   Cycle slot_cycles_ = 0;
   u32 backoff_slots_ = 0;
@@ -119,9 +143,11 @@ class BackoffRfu final : public Rfu {
   Cycle wait_cycles_ = 0;
   u64 defers_ = 0;
   u64 nav_defers_ = 0;
+  u64 eifs_waits_ = 0;
   bool defer_edge_ = false;  ///< Busy already counted for this deferral.
 
   u16 lfsr_ = 0xACE1u;
+  std::array<bool, kNumModes> eifs_enabled_{};
   std::array<phy::Medium*, kNumModes> media_{};
   std::array<const mac::NavTimer*, kNumModes> navs_{};
   int listener_ = phy::Medium::kOmniListener;

@@ -100,6 +100,10 @@ enum class Op : u8 {
   TxFrameWifi = 0x50,
   TxFrameUwb = 0x51,
   TxFrameWimax = 0x52,
+  /// TxFrameWifi with an explicit SIFS anchor (two extra argument words):
+  /// the frame starts SIFS after the latched rx-end the *arming* ISR read
+  /// from CtrlWord::kRespRxEndLo/Hi, not after whatever RxRfu drained last.
+  TxFrameWifiAnchored = 0x53,
   RxDrainWifi = 0x54,
   RxDrainUwb = 0x55,
   RxDrainWimax = 0x56,
@@ -107,6 +111,9 @@ enum class Op : u8 {
   AckGenWifi = 0x58,
   AckGenUwb = 0x59,
   CtsGenWifi = 0x5A,  // CTS response to a received RTS (§2.3.2.2 #10).
+  /// AckGenWifi with a Duration word: mid-burst fragment ACKs chain the NAV
+  /// through the next fragment (802.11 §9.1.4 duration arithmetic).
+  AckGenWifiDur = 0x5B,
   // Channel access timing.
   CsmaAccessWifi = 0x60,
   CsmaAccessUwb = 0x61,

@@ -9,25 +9,34 @@
 namespace drmp::rfu {
 
 void TxRfu::on_execute(Op op) {
-  assert(op == Op::TxFrameWifi || op == Op::TxFrameUwb || op == Op::TxFrameWimax);
+  assert(op == Op::TxFrameWifi || op == Op::TxFrameWifiAnchored ||
+         op == Op::TxFrameUwb || op == Op::TxFrameWimax);
   stage_ = 0;
   src_ = args_.at(0);
   mode_idx_ = args_.at(1);
   append_fcs_ = (args_.at(2) & 1) != 0;
   sifs_after_rx_ = (args_.at(2) & 2) != 0;
-  proto_ = op == Op::TxFrameWifi
-               ? mac::Protocol::WiFi
-               : (op == Op::TxFrameUwb ? mac::Protocol::Uwb : mac::Protocol::WiMax);
+  explicit_anchor_ = op == Op::TxFrameWifiAnchored;
+  anchor_ = explicit_anchor_ ? (static_cast<Cycle>(args_.at(3)) |
+                                (static_cast<Cycle>(args_.at(4)) << 32))
+                             : 0;
+  proto_ = op == Op::TxFrameUwb
+               ? mac::Protocol::Uwb
+               : (op == Op::TxFrameWimax ? mac::Protocol::WiMax : mac::Protocol::WiFi);
   assert(mode_idx_ < kNumModes);
   assert(buffers_[mode_idx_] != nullptr && "TxRfu not wired to buffers");
 }
 
 Cycle TxRfu::earliest_start() const {
   // SIFS anchor for responses within an ongoing exchange (opts bit1): the
-  // end of the frame that released us plus SIFS. Everything else was
-  // released by a channel-access op and may go immediately.
-  if (!sifs_after_rx_ || rx_ == nullptr || tb_ == nullptr) return 0;
-  return rx_->last_rx_end() + tb_->us_to_cycles(mac::timing_for(proto_).sifs_us);
+  // end of the frame that released us plus SIFS. The anchored op carries
+  // that end explicitly (latched at arm time); the legacy form falls back
+  // to the last drained reception. Everything else was released by a
+  // channel-access op and may go immediately.
+  if (!sifs_after_rx_ || tb_ == nullptr) return 0;
+  const Cycle rx_end =
+      explicit_anchor_ ? anchor_ : (rx_ != nullptr ? rx_->last_rx_end() : 0);
+  return rx_end + tb_->us_to_cycles(mac::timing_for(proto_).sifs_us);
 }
 
 Cycle TxRfu::latest_start() const {
@@ -70,7 +79,8 @@ bool TxRfu::work_step() {
         return false;
       }
       if (!append_fcs_) {
-        buf.end_frame(len_, earliest_start(), latest_start());
+        buf.end_frame(len_, earliest_start(), latest_start(),
+                      sifs_after_rx_ ? phy::TxKind::kSifsData : phy::TxKind::kData);
         ++frames_;
         return true;
       }
@@ -106,7 +116,8 @@ bool TxRfu::work_step() {
         ++widx_;
         return false;
       }
-      buf.end_frame(len_ + 4, earliest_start(), latest_start());
+      buf.end_frame(len_ + 4, earliest_start(), latest_start(),
+                    sifs_after_rx_ ? phy::TxKind::kSifsData : phy::TxKind::kData);
       ++frames_;
       return true;
     }

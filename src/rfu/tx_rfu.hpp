@@ -35,18 +35,22 @@ class TxRfu final : public StreamingRfu {
 
  protected:
   // Ops: TxFrame{Wifi,Uwb,Wimax} [src_page, mode_idx, opts]
+  //      TxFrameWifiAnchored    [src_page, mode_idx, opts, anchor_lo, anchor_hi]
   //   opts bit0: append FCS via the slave (WiFi/UWB always, WiMAX iff CI).
-  //   opts bit1: anchor the frame SIFS after the end of the last reception
-  //   (the AckRfu pattern) instead of releasing it immediately — used for
-  //   the data a CTS just released: 802.11's protected exchange is
-  //   SIFS-separated, and each station's anchor is its *own* CTS's end, so
-  //   crossed grants serialize through the PhyTx carrier gate instead of
-  //   quantizing onto one shared clear edge and colliding forever.
-  //   Known simplification: the anchor reads RxRfu::last_rx_end() when this
-  //   op executes, so a bystander frame drained between the CTS and the op
-  //   re-anchors the data to that later end. The shift is only ever *later*
-  //   (last_rx_end is monotone, the SIFS minimum still holds), and a
-  //   too-late start expires into the normal ACK-timeout retry.
+  //   opts bit1: anchor the frame SIFS after the end of the reception that
+  //   released it (the AckRfu pattern) instead of releasing it immediately —
+  //   used for the data a CTS just released and for fragment-burst
+  //   follow-ons: 802.11's protected exchange is SIFS-separated, and each
+  //   station's anchor is its *own* releasing frame's end, so crossed grants
+  //   serialize through the PhyTx carrier gate instead of quantizing onto
+  //   one shared clear edge and colliding forever.
+  //   The anchored form carries the releasing frame's rx-end explicitly —
+  //   latched by the Event Handler's delivery-time snoop and read by the
+  //   arming ISR (CtrlWord::kRespRxEndLo/Hi) — so a bystander frame drained
+  //   between the release and this op's execution cannot re-anchor the
+  //   response. The legacy bit1-without-anchor form reads
+  //   RxRfu::last_rx_end() at op execution and keeps that (monotone-later)
+  //   re-anchoring behaviour for callers that still want it.
   void on_execute(Op op) override;
   bool work_step() override;
 
@@ -59,6 +63,8 @@ class TxRfu final : public StreamingRfu {
   u32 mode_idx_ = 0;
   bool append_fcs_ = false;
   bool sifs_after_rx_ = false;
+  bool explicit_anchor_ = false;
+  Cycle anchor_ = 0;  ///< Releasing frame's rx-end (explicit_anchor_ only).
   mac::Protocol proto_ = mac::Protocol::WiFi;  ///< From the executing op.
   u32 len_ = 0;
   u32 widx_ = 0;

@@ -80,6 +80,18 @@ u64 FleetStats::total_nav_defers() const {
   return n;
 }
 
+u64 FleetStats::total_eifs_waits() const {
+  u64 n = 0;
+  for (const DeviceStats& ds : devices) n += ds.eifs_waits;
+  return n;
+}
+
+u64 FleetStats::total_frames_expired() const {
+  u64 n = 0;
+  for (const DeviceStats& ds : devices) n += ds.frames_expired;
+  return n;
+}
+
 u64 FleetStats::completion_digest() const {
   sim::Digest d;
   for (const DeviceStats& ds : devices) ds.mix_completion(d);

@@ -59,6 +59,18 @@ struct DeviceStats {
   // these indirectly through the timeline they shape.
   u64 nav_defers = 0;  ///< Deferrals where only the NAV held (CCA silent).
   u64 nav_arms = 0;    ///< Overheard reservations honoured.
+  // Timing-conformance counters (same digest exemption as the NAV set: the
+  // digest composition stays frozen at its PR-3 shape).
+  u64 nav_resets = 0;  ///< CF-End NAV truncations honoured.
+  /// Reservation cycles still pending when the cell clock stopped. Bounded
+  /// by the largest announceable Duration field: an expired response must
+  /// never strand a reservation past its announced horizon (pinned).
+  Cycle nav_hangover = 0;
+  u64 frames_expired = 0;     ///< Perishable responses abandoned (all kinds).
+  u64 expired_acks = 0;       ///< ... of which SIFS ACKs.
+  u64 expired_ctss = 0;       ///< ... of which SIFS CTSs.
+  u64 expired_sifs_data = 0;  ///< ... of which SIFS-anchored data.
+  u64 eifs_waits = 0;         ///< Pre-contention waits stretched to EIFS.
   Cycle cycles_run = 0;
   DevicePower power;
 
@@ -117,6 +129,10 @@ struct FleetStats {
   u64 total_defers() const;
   /// NAV-only deferrals (virtual carrier sense held, CCA silent) fleet-wide.
   u64 total_nav_defers() const;
+  /// Pre-contention waits stretched to EIFS fleet-wide.
+  u64 total_eifs_waits() const;
+  /// Perishable responses abandoned past latest_start fleet-wide.
+  u64 total_frames_expired() const;
 
   u64 completion_digest() const;
   u64 full_digest() const;

@@ -145,6 +145,12 @@ struct ScenarioSpec {
     kFull,        ///< Every station hears every other (explicit all-ones).
     kHiddenPair,  ///< Stations 0 and 1 are mutually deaf; the rest a clique.
     kChain,       ///< A line: station i hears only stations i-1, i, i+1.
+    /// One-way gap: station 1 is deaf to station 0 while station 0 still
+    /// hears station 1 — the asymmetric link (power/antenna imbalance) the
+    /// hidden-pair shape cannot express. The deaf side transmits over
+    /// frames it cannot sense and collides; RTS/CTS + NAV (the AP's CTS is
+    /// omnidirectional) and EIFS after the garbled pile-ups recover it.
+    kAsymmetric,
   };
 
   /// The hidden-node variant of contended_wifi_cell: same stations, traffic
@@ -154,6 +160,18 @@ struct ScenarioSpec {
   static ScenarioSpec contended_wifi_topology(std::size_t n_stations, Reach reach,
                                               u64 seed = 1, u32 msdus_per_station = 3,
                                               u32 rts_threshold = 0);
+
+  /// The fragmentation-under-contention workload: the canonical contended
+  /// cell with a fragmentation threshold small enough that every MSDU
+  /// (700-1000 bytes against a 256-byte threshold) splits into a 3-4
+  /// fragment burst, NAV virtual carrier sense on. With `frag_burst` the
+  /// burst flies SIFS-spaced with chained durations (802.11 §9.1.4); off,
+  /// every fragment re-contends — the PR-2 simplification — so the pair of
+  /// specs isolates exactly the mid-burst collision exposure the
+  /// SIFS-spacing removes (`bench_net_fragburst` sweeps both).
+  static ScenarioSpec contended_wifi_fragmented(std::size_t n_stations,
+                                                bool frag_burst, u64 seed = 1,
+                                                u32 msdus_per_station = 3);
 };
 
 }  // namespace drmp::scenario

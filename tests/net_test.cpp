@@ -439,5 +439,96 @@ TEST(HiddenNodeCell, DigestsInvariantAcrossWorkersAndIdleSkip) {
   EXPECT_EQ(serial.report(), ticked.report());
 }
 
+// ---- Asymmetric audibility (ROADMAP: "A hears B, B deaf to A") ----------
+
+TEST(AudibilityMatrix, AsymmetricPairIsOneWay) {
+  const AudibilityMatrix m = AudibilityMatrix::asymmetric_pair(3, 0, 1);
+  EXPECT_FALSE(m.hears(1, 0)) << "the deaf side cannot hear the heard side";
+  EXPECT_TRUE(m.hears(0, 1)) << "the heard side still hears the deaf side";
+  EXPECT_TRUE(m.hears(1, 1)) << "the diagonal must stay 1";
+  EXPECT_TRUE(m.hears(2, 0));
+  EXPECT_TRUE(m.hears(2, 1));
+}
+
+scenario::FleetStats run_asymmetric(u32 rts_threshold, bool eifs, bool deliver_garbled) {
+  scenario::ScenarioSpec spec = scenario::ScenarioSpec::contended_wifi_topology(
+      2, scenario::ScenarioSpec::Reach::kAsymmetric, /*seed=*/7,
+      /*msdus_per_station=*/6, rts_threshold);
+  spec.cells[0].contention.deliver_garbled = deliver_garbled;
+  for (auto& d : spec.cells[0].stations) {
+    d.cfg.modes[0].ident.eifs_enabled = eifs;
+  }
+  return scenario::ScenarioEngine(std::move(spec)).run();
+}
+
+TEST(AsymmetricCell, DeafSideCollidesAndRtsCtsRecovers) {
+  // Station 1 is deaf to station 0: its CCA runs straight through 0's
+  // frames and it transmits over them — one-way hidden-node damage the
+  // symmetric hidden pair cannot express. The AP's CTS is omnidirectional,
+  // so the RTS/CTS handshake arms the deaf side's NAV and recovers it.
+  const scenario::FleetStats off = run_asymmetric(/*rts_threshold=*/0, false, false);
+  const scenario::FleetStats on = run_asymmetric(/*rts_threshold=*/1, false, false);
+  ASSERT_TRUE(off.all_drained);
+  ASSERT_TRUE(on.all_drained);
+  EXPECT_GT(off.total_collisions(), 0u) << "the one-way gap must collide";
+  EXPECT_GT(off.total_collisions(), 2 * on.total_collisions())
+      << "RTS/CTS must recover the asymmetric link (off=" << off.total_collisions()
+      << " on=" << on.total_collisions() << ")";
+  EXPECT_GT(on.total_nav_defers(), 0u)
+      << "the rescue must come through the deaf side's NAV";
+  for (const scenario::DeviceStats& ds : off.devices) {
+    EXPECT_EQ(ds.completed[0], ds.offered[0]) << "station " << ds.station_id;
+  }
+}
+
+TEST(AsymmetricCell, EifsEngagesOnTheGarbledPileUps) {
+  // With garbled delivery the hearing station receives the pile-ups as
+  // FCS-failed frames; honouring EIFS it backs off the extra SIFS + ACK
+  // air before re-contending. The workload must still drain.
+  const scenario::FleetStats fs =
+      run_asymmetric(/*rts_threshold=*/0, /*eifs=*/true, /*deliver_garbled=*/true);
+  ASSERT_TRUE(fs.all_drained);
+  EXPECT_GT(fs.total_collisions(), 0u);
+  EXPECT_GT(fs.total_eifs_waits(), 0u)
+      << "garbled receptions must stretch some pre-contention waits";
+}
+
+// ---- Perishable-response expiries must never strand a NAV ---------------
+
+TEST(ExpiredResponses, ExpiriesAreCountedByKindAndStrandNoNav) {
+  // Crossed grants on the mirrored pair (both stations RTS at once, both
+  // answer CTS) are where perishable responses actually die: the exchange
+  // falls back to the initiator's timeout, and any reservation the dead
+  // response's exchange armed must simply run out — never outlive the
+  // largest announceable Duration.
+  // Two stations, seed 7, six 1-fragment MSDUs each, RTS before every MSDU.
+  scenario::ScenarioSpec spec = scenario::ScenarioSpec::contended_wifi_cell(2, 7, 6, 1);
+  spec.cells[0].access_point = false;  // Mirrored two-device topology.
+  for (auto& d : spec.cells[0].stations) {
+    d.cfg.modes[0].ident.nav_enabled = true;
+    d.traffic[0].msdu_min_bytes = 700;
+    d.traffic[0].msdu_max_bytes = 1000;
+    d.traffic[0].burst_len = 1;
+    d.traffic[0].max_inflight = 1;
+    d.traffic[0].interval_us = 20'000.0;
+  }
+  const scenario::FleetStats fs = scenario::ScenarioEngine(std::move(spec)).run();
+  ASSERT_TRUE(fs.all_drained)
+      << "expired responses must leave recovery to the timeout machinery, "
+         "not wedge the exchange";
+  const sim::TimeBase tb(200e6);
+  const Cycle max_reservation = tb.us_to_cycles(65535.0);
+  for (const scenario::DeviceStats& ds : fs.devices) {
+    EXPECT_EQ(ds.frames_expired,
+              ds.expired_acks + ds.expired_ctss + ds.expired_sifs_data)
+        << "station " << ds.station_id << ": the by-kind split must cover "
+        << "every expiry";
+    EXPECT_LE(ds.nav_hangover, max_reservation)
+        << "station " << ds.station_id
+        << ": a reservation outlived the largest announceable Duration";
+    EXPECT_EQ(ds.completed[0], ds.offered[0]) << "station " << ds.station_id;
+  }
+}
+
 }  // namespace
 }  // namespace drmp::net

@@ -204,6 +204,96 @@ TEST(RtsCtsRx, CorruptedRtsIsDroppedByFcsCheck) {
 }
 
 // ---------------------------------------------------------------------------
+// The protected fragment's SIFS anchor is latched at arm time (ROADMAP bug:
+// the old anchor read RxRfu::last_rx_end() at op *execution*, so a bystander
+// frame drained in between re-anchored the CTS-released data).
+// ---------------------------------------------------------------------------
+
+TEST(RtsCtsAnchor, ExplicitAnchorIsImmuneToBystanderReanchor) {
+  Testbench tb;
+  auto& dev = tb.device();
+  const auto t = mac::timing_for(mac::Protocol::WiFi);
+  const Cycle sifs = dev.timebase().us_to_cycles(t.sifs_us);
+
+  // A first bystander (addressed elsewhere) flows through the receive chain
+  // so RxRfu::last_rx_end() holds a value unrelated to our anchor.
+  tb.peer(Mode::A).inject_frame(mac::wifi::build_ack(mac::MacAddr::from_u64(0xD00D)),
+                                tb.scheduler().now() + 100);
+  ASSERT_TRUE(
+      tb.run_until([&] { return dev.rx_rfu().last_rx_end() > 0; }, 10'000'000ull));
+
+  // Arm an anchored transmit the way the protocol control does: the anchor
+  // words carry the releasing frame's rx-end (here: a point 500 us ahead so
+  // the release is observable on the air).
+  Bytes image(64);
+  for (std::size_t i = 0; i < image.size(); ++i) image[i] = static_cast<u8>(i);
+  dev.memory().write_page_bytes(Mode::A, hw::Page::Scratch, image);
+  const Cycle anchor = tb.scheduler().now() + 100'000;
+  const u64 sent_before = dev.phy_tx(Mode::A)->frames_sent();
+  dev.api().Request_RHCP_Service_Ops(
+      Mode::A,
+      {{rfu::Op::TxFrameWifiAnchored,
+        {hw::page_base(Mode::A, hw::Page::Scratch), 0u, 1u | 2u,
+         static_cast<Word>(anchor & 0xFFFFFFFFull), static_cast<Word>(anchor >> 32)}}});
+
+  // A second bystander lands — and is drained — between the arm and the
+  // anchored release: exactly the window where the old op-execution-time
+  // read re-anchored the data to the bystander's (later) end.
+  const Cycle before_drain = dev.rx_rfu().last_rx_end();
+  tb.peer(Mode::A).inject_frame(mac::wifi::build_ack(mac::MacAddr::from_u64(0xBEEF)),
+                                tb.scheduler().now() + 200);
+  ASSERT_TRUE(tb.run_until(
+      [&] { return dev.rx_rfu().last_rx_end() > before_drain; }, 10'000'000ull));
+  ASSERT_LT(tb.scheduler().now(), anchor) << "bystander must drain pre-release";
+
+  ASSERT_TRUE(tb.run_until(
+      [&] { return dev.phy_tx(Mode::A)->frames_sent() > sent_before; },
+      10'000'000ull));
+  EXPECT_EQ(dev.phy_tx(Mode::A)->last_tx_start(), anchor + sifs)
+      << "the release must ride the latched anchor, not last_rx_end()";
+}
+
+TEST(RtsCtsAnchor, HandshakeWithInjectedBystanderStillPinsTheCtsAnchor) {
+  // End-to-end regression: a full RTS/CTS handshake with a bystander frame
+  // injected between the CTS and the protected data. The data's start obeys
+  // the latched CTS rx-end — it must go out before a bystander-anchored
+  // start (bystander end + SIFS + staging) could, and the exchange still
+  // completes first try.
+  Testbench tb(rts_config(500));
+  auto& dev = tb.device();
+  const auto t = mac::timing_for(mac::Protocol::WiFi);
+  const Cycle sifs = dev.timebase().us_to_cycles(t.sifs_us);
+
+  tb.send_async(Mode::A, payload(900));
+  auto& ctrl = static_cast<ctrl::WifiCtrl&>(dev.protocol_ctrl(Mode::A));
+  ASSERT_TRUE(tb.run_until([&] { return ctrl.cts_received >= 1; }, 600'000'000ull));
+  // The delivery-time snoop latched the CTS's rx-end for the arming ISR.
+  const Cycle latch =
+      static_cast<Cycle>(dev.memory().cpu_read(
+          hw::ctrl_status_addr(Mode::A, hw::CtrlWord::kRespRxEndLo))) |
+      (static_cast<Cycle>(dev.memory().cpu_read(
+           hw::ctrl_status_addr(Mode::A, hw::CtrlWord::kRespRxEndHi)))
+       << 32);
+  ASSERT_GT(latch, 0u);
+  ASSERT_LE(latch, tb.scheduler().now());
+
+  // Bystander into the CTS -> data window.
+  tb.peer(Mode::A).inject_frame(mac::wifi::build_ack(mac::MacAddr::from_u64(0xD00D)),
+                                tb.scheduler().now() + 10);
+
+  ASSERT_TRUE(tb.run_until(
+      [&] { return !tb.peer(Mode::A).received_data_frames().empty(); },
+      600'000'000ull));
+  const Cycle data_start = dev.phy_tx(Mode::A)->last_tx_start();
+  EXPECT_GE(data_start, latch + sifs) << "SIFS after the CTS holds";
+  const Cycle bystander_end = dev.rx_rfu().last_rx_end();
+  EXPECT_LT(data_start, bystander_end + sifs)
+      << "a bystander-anchored start would wait SIFS after the bystander";
+  ASSERT_TRUE(tb.wait_tx_count(Mode::A, 1, 600'000'000ull));
+  EXPECT_EQ(tb.tx_successes(Mode::A), 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Two complete DRMP devices: hardware CTS answers hardware RTS.
 // ---------------------------------------------------------------------------
 
