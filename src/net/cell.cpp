@@ -29,7 +29,8 @@ constexpr u8 kApUwbDevId = 0xFE;
 
 Cell::Cell(const scenario::CellSpec& spec,
            const std::array<scenario::ChannelSpec, kNumModes>& fleet_channel,
-           u64 scenario_seed, std::size_t cell_index, int first_station_id)
+           u64 scenario_seed, std::size_t cell_index, int first_station_id,
+           sim::Scheduler* external_sched)
     : spec_(spec), cell_index_(cell_index), first_station_id_(first_station_id) {
   if (spec_.stations.empty()) {
     throw std::invalid_argument("net::Cell: a cell needs at least one station");
@@ -53,7 +54,13 @@ Cell::Cell(const scenario::CellSpec& spec,
     }
   }
 
-  sched_ = std::make_unique<sim::Scheduler>(spec_.stations[0].cfg.arch_freq_hz);
+  if (external_sched != nullptr) {
+    sched_ = external_sched;
+  } else {
+    owned_sched_ =
+        std::make_unique<sim::Scheduler>(spec_.stations[0].cfg.arch_freq_hz);
+    sched_ = owned_sched_.get();
+  }
   build_media(fleet_channel, scenario_seed);
   for (std::size_t s = 0; s < spec_.stations.size(); ++s) {
     build_station(s, scenario_seed);

@@ -2,9 +2,14 @@
 //
 // A cell owns one sim::Scheduler (its clock domain) and everything clocked by
 // it: per-mode media, N full DRMP devices, scripted far ends and per-station
-// traffic generators. Cells share nothing with each other, so the scenario
-// engine can advance them as independent MultiScheduler lanes (serial or on
-// worker threads) with the bit-identical digest guarantee intact.
+// traffic generators. Cells share no Clockables with each other, so the
+// scenario engine can advance them as MultiScheduler lanes (serial or on
+// worker threads) with the bit-identical digest guarantee intact. Cells of a
+// co-channel coupling group still interact *physically*: net::ChannelCoupler
+// mirrors their transmissions into each other's media at lockstep round
+// edges (or immediately, when the group shares one scheduler through the
+// external_sched constructor argument — the reference coupling mode). See
+// docs/MULTICELL.md.
 //
 // Two assemblies, selected by CellSpec::topology:
 //   * kPointToPoint — the PR-1 shape: one station, a private collision-free
@@ -40,9 +45,14 @@ class Cell {
   /// of the cell's first station (ids are contiguous within a cell); PRNG
   /// streams derive from (scenario_seed, global station id, mode) so a
   /// station's behaviour is invariant to fleet composition around its cell.
+  /// `external_sched` registers every component on a caller-owned scheduler
+  /// instead of a private one — the reference coupling mode, where every
+  /// cell of a co-channel group shares one clock domain so cross-cell
+  /// injection is conventionally causal; the caller must outlive the cell.
   Cell(const scenario::CellSpec& spec,
        const std::array<scenario::ChannelSpec, kNumModes>& fleet_channel,
-       u64 scenario_seed, std::size_t cell_index, int first_station_id);
+       u64 scenario_seed, std::size_t cell_index, int first_station_id,
+       sim::Scheduler* external_sched = nullptr);
   ~Cell();
 
   Cell(const Cell&) = delete;
@@ -89,7 +99,8 @@ class Cell {
   scenario::CellSpec spec_;
   std::size_t cell_index_;
   int first_station_id_;
-  std::unique_ptr<sim::Scheduler> sched_;
+  std::unique_ptr<sim::Scheduler> owned_sched_;  ///< Null with an external one.
+  sim::Scheduler* sched_ = nullptr;
   std::array<std::unique_ptr<phy::Medium>, kNumModes> media_{};
   std::array<u64, kNumModes> channel_rng_{};
   std::array<std::unique_ptr<phy::ScriptedPeer>, kNumModes> ap_{};

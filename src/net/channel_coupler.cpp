@@ -1,0 +1,58 @@
+#include "net/channel_coupler.hpp"
+
+#include <stdexcept>
+
+namespace drmp::net {
+
+ChannelCoupler::ChannelCoupler(Params p) : params_(std::move(p)) {
+  if (params_.latency == 0) {
+    // A zero-latency coupling has no lookahead window: lanes could never
+    // run ahead at all, and a same-cycle cross-cell event would have to be
+    // visible before the cycle it was generated in finished. One cycle is
+    // the physical floor (energy detection alone is slower everywhere).
+    throw std::invalid_argument(
+        "net::ChannelCoupler: the inter-cell latency must be >= 1 cycle");
+  }
+}
+
+void ChannelCoupler::attach(std::size_t member, std::size_t band,
+                            ContendedMedium& medium) {
+  if (medium.on_tx) {
+    throw std::logic_error(
+        "net::ChannelCoupler::attach: the medium already has an on_tx "
+        "observer (one coupler per medium)");
+  }
+  ports_.push_back(Port{member, band, &medium, {}});
+  const std::size_t port_idx = ports_.size() - 1;
+  medium.on_tx = [this, port_idx](Cycle start, Cycle end, int source) {
+    Port& self = ports_[port_idx];
+    if (params_.immediate) {
+      forward(self, start, end, source);
+    } else {
+      self.outbox.push_back(Pending{start, end, source});
+    }
+  };
+}
+
+void ChannelCoupler::forward(const Port& from, Cycle start, Cycle end,
+                             int source) {
+  for (Port& to : ports_) {
+    if (&to == &from || to.band != from.band) continue;
+    if (!params_.reach.hears(to.member, from.member)) continue;
+    to.medium->begin_remote_tx(start + params_.latency, end + params_.latency,
+                               source);
+    ++forwarded_;
+  }
+}
+
+void ChannelCoupler::exchange() {
+  if (params_.immediate) return;  // Already delivered from inside begin_tx.
+  for (Port& from : ports_) {
+    for (const Pending& p : from.outbox) {
+      forward(from, p.start, p.end, p.source);
+    }
+    from.outbox.clear();
+  }
+}
+
+}  // namespace drmp::net

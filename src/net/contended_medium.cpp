@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace drmp::net {
 
@@ -73,6 +75,7 @@ u64 ContendedMedium::hearers_of(int src_idx) const noexcept {
 
 void ContendedMedium::jam(Tx& t, u64 both) {
   t.jam_mask |= both;
+  if (t.remote) return;  // Counted (and delivered) by its home cell only.
   if (!t.collided) {
     t.collided = true;
     ++collided_frames_;
@@ -89,17 +92,22 @@ Cycle ContendedMedium::begin_tx(Bytes frame, int source) {
   u64 u_jam = 0;
   bool overlap = false;
   for (Tx& t : on_air_) {
-    if (t.end <= now_) continue;  // Ended; queued for delivery only.
+    if (t.end <= now_) continue;   // Ended; queued for delivery only.
+    if (t.start >= end) continue;  // Future (remote) start past our window.
     // An omnidirectional receiver (the AP, the ether) hears every overlap;
     // matrix listeners are jammed only inside both transmitters' footprints.
     overlap = true;
     const u64 both = u_hearers & hearers_of(t.src_idx);
+    if (t.remote) {  // Foreign energy: jams us; its own verdict is elsewhere.
+      u_jam |= both;
+      continue;
+    }
     if (t.collided) {  // Already part of a pile-up.
       t.jam_mask |= both;
       u_jam |= both;
       continue;
     }
-    if (capture_cycles_ > 0 && now_ - t.start >= capture_cycles_) {
+    if (capture_cycles_ > 0 && t.start <= now_ && now_ - t.start >= capture_cycles_) {
       // The receivers locked onto t's preamble long ago; the newcomer is
       // lost but t survives.
       ++capture_wins_;
@@ -119,7 +127,46 @@ Cycle ContendedMedium::begin_tx(Bytes frame, int source) {
   on_air_.push_back(
       Tx{std::move(frame), now_, end, source, overlap, false, uidx, u_jam});
   tx_end_ = std::max(tx_end_, end);
+  if (on_tx) on_tx(now_, end, source);
   return end;
+}
+
+void ContendedMedium::begin_remote_tx(Cycle start, Cycle end, int source) {
+  if (capture_cycles_ > 0) {
+    // A capture verdict asks which party was established first *at the
+    // processing moment*; window-edge exchange deliberately reorders
+    // processing moments, so capture on a coupled medium would make digests
+    // depend on the execution path. Refuse loudly instead of diverging.
+    throw std::logic_error(
+        "net::ContendedMedium::begin_remote_tx: the capture effect is "
+        "incompatible with co-channel coupling (order-dependent verdicts)");
+  }
+  if (start < now_ || end <= start) {
+    throw std::logic_error(
+        "net::ContendedMedium::begin_remote_tx: foreign carrier must arrive "
+        "with a forward, non-empty air window (coupler latency >= lane "
+        "lookahead)");
+  }
+  // Sleeping transmit gates must re-evaluate their carrier bounds, and a
+  // round-skipped lane must be dispatched again: external input arrived.
+  wake_subscribers();
+  wake_self();
+  // Jam every live local transmission whose air interval overlaps the
+  // image's. Interval arithmetic only — no reading of "now" beyond the
+  // liveness filter — so immediate and window-edge injection agree. Any
+  // local entry with interval overlap is necessarily still live here
+  // (its end exceeds `start`, which is not in the past), so no verdict is
+  // ever missed against a delivered frame.
+  for (Tx& t : on_air_) {
+    if (t.remote) continue;  // Foreign-vs-foreign: neither is ours to judge.
+    if (t.end <= start || end <= t.start) continue;
+    jam(t, hearers_of(t.src_idx));
+  }
+  on_air_.push_back(Tx{Bytes{}, start, end, source, /*collided=*/false,
+                       /*delivered=*/true, /*src_idx=*/-1, /*jam_mask=*/0,
+                       /*remote=*/true});
+  ++remote_live_;
+  ++remote_txs_;
 }
 
 void ContendedMedium::garble(Bytes& frame) {
@@ -185,10 +232,12 @@ void ContendedMedium::deliver_per_listener(Tx& t) {
 }
 
 void ContendedMedium::tick() {
-  // Channel accounting for the cycle now elapsing.
-  if (busy()) ++busy_cycles_;
+  // Channel accounting for the cycle now elapsing. With foreign carrier
+  // live, the tx_end_ high-watermark would bridge silent gaps before a
+  // future-start image, so occupancy falls back to the exact interval scan.
+  if (remote_live_ == 0 ? busy() : air_busy_at(now_)) ++busy_cycles_;
   for (const Tx& t : on_air_) {
-    if (t.end > now_) ++sources_[t.source].airtime;
+    if (!t.remote && t.end > now_) ++sources_[t.source].airtime;
   }
   ++now_;
 
@@ -233,13 +282,15 @@ void ContendedMedium::tick() {
     if (t.end + cca_latency_ <= now_) {
       // Record the retired window's last perceived cycle for every matrix
       // listener in its footprint (the live-entry scan below can no longer
-      // see it).
+      // see it). Foreign images are omnidirectional, so the src_idx < 0
+      // branch covers them.
       for (std::size_t l = 0; l < last_heard_.size(); ++l) {
         if (t.src_idx < 0 ||
             params_.audibility.hears(l, static_cast<std::size_t>(t.src_idx))) {
           last_heard_[l] = std::max(last_heard_[l], t.end + cca_latency_ - 1);
         }
       }
+      if (t.remote) --remote_live_;
       on_air_.erase(on_air_.begin() + static_cast<std::ptrdiff_t>(i));
     } else {
       ++i;
@@ -373,9 +424,34 @@ void ContendedMedium::skip_idle(Cycle n) {
   // (quiescent_for guarantees it), so the per-tick bookkeeping collapses to
   // interval arithmetic. Per-listener idle views are derived lazily from
   // now_ and the retired-window records, so they need no replay here.
-  account_busy_skip(n);
+  // Occupancy may still *transition* mid-stretch once foreign carrier is
+  // live (a future-start image turning on, or ending, needs no perception
+  // edge to bound the skip), so the remote-aware path measures the union of
+  // air intervals over the stretch exactly instead of the single busy->idle
+  // step account_busy_skip assumes.
+  if (remote_live_ == 0) {
+    account_busy_skip(n);
+  } else {
+    std::vector<std::pair<Cycle, Cycle>> spans;
+    spans.reserve(on_air_.size());
+    const Cycle lo = now_, hi = now_ + n;
+    for (const Tx& t : on_air_) {
+      const Cycle a = std::max(t.start, lo), b = std::min(t.end, hi);
+      if (a < b) spans.emplace_back(a, b);
+    }
+    std::sort(spans.begin(), spans.end());
+    Cycle covered = 0, edge = lo;
+    for (const auto& [a, b] : spans) {
+      const Cycle from = std::max(a, edge);
+      if (b > from) covered += b - from;
+      edge = std::max(edge, b);
+    }
+    busy_cycles_ += covered;
+  }
   for (const Tx& t : on_air_) {
-    if (t.end > now_) sources_[t.source].airtime += std::min(n, t.end - now_);
+    if (!t.remote && t.end > now_) {
+      sources_[t.source].airtime += std::min(n, t.end - now_);
+    }
   }
   now_ += n;
   // Recompute the carrier latch for the post-skip clock; the state is

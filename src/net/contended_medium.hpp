@@ -32,6 +32,17 @@
 //     matrix takes the original single-viewpoint code paths untouched, so
 //     pre-existing cells keep bit-identical digests; an explicit all-ones
 //     matrix runs the per-listener machinery and reproduces them (pinned).
+//   * Co-channel neighbour cells (optional). begin_remote_tx injects
+//     foreign-carrier images forwarded by net::ChannelCoupler from other
+//     cells' media: pure energy that raises CCA, occupies the channel and
+//     jams overlapping local transmissions, but is never delivered and
+//     counts in its home cell only. Images carry absolute air windows that
+//     may start in the future (the coupler's propagation+detection latency
+//     shift), so every overlap verdict here is interval arithmetic —
+//     independent of injection order, which is what lets the lax-sync
+//     window-edge exchange match an immediate-injection reference
+//     bit-for-bit (see docs/MULTICELL.md). A medium that never sees an
+//     image runs the original code paths untouched.
 //
 // Per-source airtime/frame/collision counters feed the scenario engine's
 // fleet reports; everything is cycle-deterministic, so shared-medium cells
@@ -92,6 +103,22 @@ class ContendedMedium final : public phy::Medium {
   void map_station(int source_id, std::size_t matrix_index);
 
   Cycle begin_tx(Bytes frame, int source) override;
+
+  /// Foreign-carrier image from a co-channel neighbour cell (see
+  /// phy::Medium::begin_remote_tx). The entry is pure energy: it raises
+  /// every listener's CCA over the perceived window (omnidirectional — the
+  /// inter-cell reach decision was the coupler's), jams any local
+  /// transmission whose air interval overlaps, and occupies busy_cycles();
+  /// it is never delivered, leaves no receive-quality record (a decodable
+  /// neighbour-cell frame is foreign-addressed traffic, not an FCS failure)
+  /// and counts toward no local frame/collision/airtime counter — the
+  /// originating cell counts its own transmission. `start` must not lie in
+  /// the past (the coupler's latency shift guarantees it) and the capture
+  /// effect must be off: capture verdicts depend on processing order, which
+  /// window-edge exchange deliberately relaxes. Wakes the medium's lane and
+  /// carrier subscribers, so sleeping transmit gates re-evaluate.
+  void begin_remote_tx(Cycle start, Cycle end, int source) override;
+
   bool cca_busy() const noexcept override { return cca_busy_; }
   Cycle cca_idle_for() const noexcept override {
     return cca_busy_ ? 0 : now() - last_cca_busy_;
@@ -130,6 +157,8 @@ class ContendedMedium final : public phy::Medium {
   /// share of busy_cycles() that airtime-efficiency reports subtract.
   Cycle collided_airtime() const noexcept { return collided_airtime_; }
   Cycle cca_latency_cycles() const noexcept { return cca_latency_; }
+  /// Foreign-carrier images injected via begin_remote_tx.
+  u64 remote_txs() const noexcept { return remote_txs_; }
 
   const std::map<int, SourceStats>& per_source() const noexcept { return sources_; }
   /// Stats for one source id (zeroes when it never transmitted).
@@ -150,6 +179,9 @@ class ContendedMedium final : public phy::Medium {
     /// every omni listener — they hear everything, so one bit suffices —
     /// and doubles as the counted-once guard for the collision counters.
     u64 jam_mask;
+    /// Foreign-carrier image (begin_remote_tx): energy only. May start in
+    /// the future; never delivered or counted, omnidirectional (src_idx -1).
+    bool remote = false;
   };
 
   static void garble(Bytes& frame);
@@ -162,8 +194,20 @@ class ContendedMedium final : public phy::Medium {
     return t.start + cca_latency_ <= at && at < t.end + cca_latency_;
   }
   /// Marks `t` jammed for `both` (+ the omni view), counting its collision
-  /// and wasted airtime the first time any listener is jammed.
+  /// and wasted airtime the first time any listener is jammed. Remote
+  /// entries only accumulate the mask — their home cell owns the counters.
   void jam(Tx& t, u64 both);
+  /// Exact channel-occupancy test: any air interval covering cycle `at`.
+  /// Equals busy() whenever no remote entry is live (local intervals start
+  /// in the past, so the tx_end_ high-watermark is exact); remote entries
+  /// can start in the future, which makes the watermark overshoot silent
+  /// gaps — the remote-aware accounting paths scan instead.
+  bool air_busy_at(Cycle at) const noexcept {
+    for (const Tx& t : on_air_) {
+      if (t.start <= at && at < t.end) return true;
+    }
+    return false;
+  }
   void deliver_per_listener(Tx& t);
   /// Half-duplex gate for the receive-quality records: a station radiating
   /// while another frame's last byte arrives heard nothing of it.
@@ -182,6 +226,10 @@ class ContendedMedium final : public phy::Medium {
   u64 garbled_frames_ = 0;
   u64 capture_wins_ = 0;
   Cycle collided_airtime_ = 0;
+  u64 remote_txs_ = 0;
+  /// Un-retired foreign-carrier entries. 0 keeps every accounting path on
+  /// the original local-only code (uncoupled cells stay bit-identical).
+  std::size_t remote_live_ = 0;
   std::map<int, SourceStats> sources_;
 
   // ---- Non-trivial-matrix state ----

@@ -20,7 +20,15 @@ Cycle Medium::begin_tx(Bytes frame, int source) {
   const Cycle end = now_ + frame_air_cycles(frame.size());
   tx_end_ = end;
   in_flight_.push_back(InFlight{std::move(frame), end, source});
+  if (on_tx) on_tx(now_, end, source);
   return end;
+}
+
+void Medium::begin_remote_tx(Cycle /*start*/, Cycle /*end*/, int source) {
+  throw std::logic_error(
+      "phy::Medium::begin_remote_tx: the point-to-point medium cannot carry "
+      "foreign carrier (source " +
+      std::to_string(source) + "); co-channel coupling needs net::ContendedMedium");
 }
 
 void Medium::deliver(Bytes& frame, Cycle rx_end_cycle, int source, bool pre_damaged) {

@@ -123,6 +123,23 @@ class Medium : public sim::Clockable {
   /// turn overlap into counted collisions.
   virtual Cycle begin_tx(Bytes frame, int source);
 
+  /// Foreign-carrier image: energy from a transmission on a *different*
+  /// medium (a co-channel neighbour cell) occupying this channel over
+  /// [start, end). No frame is ever delivered from it — it is carrier and
+  /// collision physics only; net::ChannelCoupler forwards begin_tx events
+  /// between coupled media through it, already shifted by the inter-cell
+  /// propagation+detection latency, so `start` is never in this medium's
+  /// past. The point-to-point backend has no notion of co-channel
+  /// neighbours and rejects it in every build type.
+  virtual void begin_remote_tx(Cycle start, Cycle end, int source);
+
+  /// Observer hook: invoked at the end of every begin_tx with the
+  /// transmission's air window and source (same idiom as `tamper`).
+  /// net::ChannelCoupler uses it to mirror local transmissions into
+  /// co-channel neighbour cells; begin_remote_tx does NOT fire it, so
+  /// forwarded carrier never cascades.
+  std::function<void(Cycle start, Cycle end, int source)> on_tx;
+
   void tick() override;
 
   // ---- Quiescence contract (sim/scheduler.hpp) ----

@@ -2,26 +2,136 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 #include <stdexcept>
 #include <thread>
 
 #include "net/cell.hpp"
+#include "net/channel_coupler.hpp"
 #include "sim/multi_scheduler.hpp"
 
 namespace drmp::scenario {
 
+void ScenarioEngine::resolve_couplings() {
+  groups_.assign(spec_.couplings.size(), Group{});
+  for (std::size_t i = 0; i < spec_.cells.size(); ++i) {
+    const CellSpec& cell = spec_.cells[i];
+    if (cell.coupling_group < 0) continue;
+    const auto g = static_cast<std::size_t>(cell.coupling_group);
+    if (g >= groups_.size()) {
+      throw std::invalid_argument(
+          "ScenarioEngine: CellSpec::coupling_group outside "
+          "ScenarioSpec::couplings");
+    }
+    if (cell.topology != Topology::kSharedMedium) {
+      throw std::invalid_argument(
+          "ScenarioEngine: only shared-medium cells can join a coupling group "
+          "(a point-to-point medium cannot carry foreign carrier)");
+    }
+    groups_[g].members.push_back(i);
+  }
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    Group& group = groups_[g];
+    const CouplingSpec& cs = spec_.couplings[g];
+    if (group.members.size() < 2) {
+      throw std::invalid_argument(
+          "ScenarioEngine: a coupling group needs at least two member cells");
+    }
+    if (!cs.reach.trivial() && cs.reach.n != group.members.size()) {
+      throw std::invalid_argument(
+          "ScenarioEngine: the inter-cell reach matrix must cover exactly the "
+          "group's member cells");
+    }
+    const double freq =
+        spec_.cells[group.members[0]].stations[0].cfg.arch_freq_hz;
+    for (const std::size_t i : group.members) {
+      if (spec_.cells[i].stations[0].cfg.arch_freq_hz != freq) {
+        throw std::invalid_argument(
+            "ScenarioEngine: every cell of a coupling group must share one "
+            "arch_freq_hz (one lookahead horizon, one lockstep clock)");
+      }
+    }
+    group.connected = cs.connected(group.members.size());
+    if (!group.connected) continue;  // Full spatial reuse: stays isolated.
+    for (const std::size_t i : group.members) {
+      if (spec_.cells[i].contention.capture_preamble_us > 0.0) {
+        throw std::invalid_argument(
+            "ScenarioEngine: the capture effect is incompatible with "
+            "co-channel coupling (order-dependent verdicts)");
+      }
+    }
+    if (!(cs.latency_us > 0.0)) {
+      throw std::invalid_argument(
+          "ScenarioEngine: a connected coupling needs a positive inter-cell "
+          "latency");
+    }
+    const sim::TimeBase tb(freq);
+    group.horizon = std::max<Cycle>(1, tb.us_to_cycles(cs.latency_us));
+  }
+}
+
+void ScenarioEngine::build_couplers() {
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const Group& group = groups_[g];
+    if (!group.connected) continue;
+    net::ChannelCoupler::Params p;
+    p.latency = group.horizon;
+    p.reach = spec_.couplings[g].reach;
+    p.immediate = spec_.coupled_reference;
+    auto coupler = std::make_unique<net::ChannelCoupler>(std::move(p));
+    for (std::size_t m = 0; m < group.members.size(); ++m) {
+      net::Cell& cell = *cells_[group.members[m]];
+      for (std::size_t band = 0; band < kNumModes; ++band) {
+        phy::Medium* medium = cell.medium(mode_from_index(band));
+        if (medium == nullptr) continue;
+        // Shared-medium topology is validated, so every medium here is the
+        // contended backend.
+        coupler->attach(m, band, static_cast<net::ContendedMedium&>(*medium));
+      }
+    }
+    couplers_.push_back(std::move(coupler));
+  }
+}
+
 ScenarioEngine::ScenarioEngine(ScenarioSpec spec) : spec_(std::move(spec)) {
+  resolve_couplings();
+
+  // Reference coupling: every connected group becomes one clock domain.
+  group_scheds_.resize(groups_.size());
+  std::vector<sim::Scheduler*> cell_sched(spec_.cells.size(), nullptr);
+  if (spec_.coupled_reference) {
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      if (!groups_[g].connected) continue;
+      group_scheds_[g] = std::make_unique<sim::Scheduler>(
+          spec_.cells[groups_[g].members[0]].stations[0].cfg.arch_freq_hz);
+      for (const std::size_t i : groups_[g].members) {
+        cell_sched[i] = group_scheds_[g].get();
+      }
+    }
+  }
+
   cells_.reserve(spec_.cells.size());
   int next_station_id = 1;
   for (std::size_t i = 0; i < spec_.cells.size(); ++i) {
     cells_.push_back(std::make_unique<net::Cell>(spec_.cells[i], spec_.channel,
-                                                 spec_.seed, i, next_station_id));
+                                                 spec_.seed, i, next_station_id,
+                                                 cell_sched[i]));
     cells_.back()->scheduler().set_idle_skip(spec_.idle_skip);
     next_station_id += static_cast<int>(spec_.cells[i].stations.size());
   }
+
+  build_couplers();
 }
 
 ScenarioEngine::~ScenarioEngine() = default;
+
+Cycle ScenarioEngine::effective_stride() const noexcept {
+  Cycle stride = spec_.lockstep_stride;
+  for (const Group& g : groups_) {
+    if (g.connected) stride = std::min(stride, g.horizon);
+  }
+  return stride;
+}
 
 FleetStats ScenarioEngine::run(Path path) {
   // One-shot: a second run would see every traffic generator already
@@ -38,17 +148,51 @@ FleetStats ScenarioEngine::run(Path path) {
 
   if (path == Path::kBatched) {
     sim::MultiScheduler multi;
-    for (auto& cell : cells_) {
-      net::Cell* c = cell.get();
-      multi.add(c->scheduler(), [c] { return c->drained(); });
+    // Group membership decides each cell's early-exit predicate: coupled
+    // cells stay on the air for their neighbours until the whole group
+    // drains, so every member retires at one common round edge and the
+    // digested cycle counts match between the lax and reference couplings.
+    std::vector<int> group_of(cells_.size(), -1);
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      if (!groups_[g].connected) continue;
+      for (const std::size_t i : groups_[g].members) {
+        group_of[i] = static_cast<int>(g);
+      }
+    }
+    std::set<const sim::Scheduler*> added;  // Reference groups share lanes.
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (!added.insert(&cells_[i]->scheduler()).second) continue;
+      if (group_of[i] >= 0) {
+        const Group* g = &groups_[static_cast<std::size_t>(group_of[i])];
+        multi.add(cells_[i]->scheduler(), [this, g] {
+          for (const std::size_t m : g->members) {
+            if (!cells_[m]->drained()) return false;
+          }
+          return true;
+        });
+      } else {
+        net::Cell* c = cells_[i].get();
+        multi.add(c->scheduler(), [c] { return c->drained(); });
+      }
+    }
+    if (!couplers_.empty() && !spec_.coupled_reference) {
+      multi.set_round_hook([this] {
+        for (const auto& coupler : couplers_) coupler->exchange();
+      });
     }
     const unsigned workers = spec_.worker_threads != 0
                                  ? spec_.worker_threads
                                  : std::max(1u, std::thread::hardware_concurrency());
-    const auto res = multi.run(spec_.max_cycles, spec_.lockstep_stride, workers);
+    const auto res = multi.run(spec_.max_cycles, effective_stride(), workers);
     lockstep_cycles = res.cycles;
     all_drained = res.all_finished;
   } else {
+    if (!couplers_.empty()) {
+      throw std::logic_error(
+          "ScenarioEngine: the legacy path runs cells sequentially to "
+          "completion and cannot order cross-cell carrier events causally; "
+          "coupled scenarios need Path::kBatched");
+    }
     for (auto& cell : cells_) {
       net::Cell* c = cell.get();
       const bool drained =
@@ -71,10 +215,13 @@ FleetStats ScenarioEngine::collect(Cycle lockstep_cycles, bool all_drained,
   fs.all_drained = all_drained;
   fs.wall_seconds = wall_seconds;
   fs.devices.reserve(spec_.station_count());
+  std::set<const sim::Scheduler*> counted;  // Shared clock domains count once.
   for (const auto& cell : cells_) {
     cell->collect(fs.devices, fs.cells);
-    fs.ticks_executed += cell->scheduler().ticks_executed();
-    fs.ticks_skipped += cell->scheduler().ticks_skipped();
+    if (counted.insert(&cell->scheduler()).second) {
+      fs.ticks_executed += cell->scheduler().ticks_executed();
+      fs.ticks_skipped += cell->scheduler().ticks_skipped();
+    }
   }
   return fs;
 }

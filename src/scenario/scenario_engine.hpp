@@ -16,19 +16,34 @@
 //     are bit-identical to serial.
 //   * Path::kLegacy  — each cell in sequence through Scheduler::run_until,
 //     predicate evaluated every cycle. The baseline the bench compares
-//     against.
+//     against. Unavailable once cells couple (below): sequential
+//     cell-at-a-time execution cannot order cross-cell events causally.
 // Both paths complete the same workload; completion-coupled statistics are
 // path-invariant (see fleet_stats.hpp).
+//
+// Co-channel coupling (ScenarioSpec::couplings + CellSpec::coupling_group,
+// docs/MULTICELL.md): connected groups get one net::ChannelCoupler each.
+// The lockstep stride is clamped to the smallest group horizon in every
+// mode, each member lane's early-exit predicate becomes "every cell of the
+// group drained" (members retire at one common round edge — their digested
+// cycle counts must match the reference), and on the lax path the couplers'
+// exchange runs as the MultiScheduler round hook. With coupled_reference
+// the engine instead places each connected group on one shared scheduler
+// with immediate injection. A group whose reach has no off-diagonal hearing
+// is physically isolated and built exactly like uncoupled cells.
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "drmp/device.hpp"
 #include "scenario/fleet_stats.hpp"
 #include "scenario/scenario_spec.hpp"
+#include "sim/scheduler.hpp"
 
 namespace drmp::net {
 class Cell;
+class ChannelCoupler;
 }
 
 namespace drmp::scenario {
@@ -51,11 +66,30 @@ class ScenarioEngine {
   /// Station access by fleet-global index (0-based, cells in order).
   DrmpDevice& device(std::size_t i);
 
+  /// The lockstep stride actually used: the spec's, clamped to the smallest
+  /// connected coupling group's horizon (identical on both coupling modes —
+  /// the digested lockstep cycle count depends on it).
+  Cycle effective_stride() const noexcept;
+
  private:
+  /// One coupling group's resolved shape (members in reach-index order).
+  struct Group {
+    std::vector<std::size_t> members;
+    bool connected = false;
+    Cycle horizon = 1;
+  };
+
+  void resolve_couplings();
+  void build_couplers();
   FleetStats collect(Cycle lockstep_cycles, bool all_drained, double wall_seconds) const;
 
   ScenarioSpec spec_;
+  std::vector<Group> groups_;
+  /// Reference-mode shared clock domains, one per connected group (null
+  /// otherwise). Declared before cells_: components die before their clock.
+  std::vector<std::unique_ptr<sim::Scheduler>> group_scheds_;
   std::vector<std::unique_ptr<net::Cell>> cells_;
+  std::vector<std::unique_ptr<net::ChannelCoupler>> couplers_;
   bool ran_ = false;
 };
 

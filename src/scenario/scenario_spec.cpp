@@ -144,6 +144,32 @@ ScenarioSpec ScenarioSpec::contended_wifi_topology(std::size_t n_stations, Reach
   return spec;
 }
 
+ScenarioSpec ScenarioSpec::coupled_wifi_cells(std::size_t n_cells,
+                                              std::size_t stations_per_cell,
+                                              u64 seed, u32 msdus_per_station,
+                                              net::AudibilityMatrix reach) {
+  // Each cell is the canonical contended cell; the composition couples them
+  // on one channel. Reusing the factory keeps the isolation pin sharp: with
+  // an all-zeros reach (or no coupling at all) the fleet must reproduce the
+  // per-cell digests of n independent contended_wifi_cell runs placed in
+  // one spec.
+  ScenarioSpec spec;
+  spec.name = "coupled-wifi-" + std::to_string(n_cells) + "x" +
+              std::to_string(stations_per_cell);
+  spec.seed = seed;
+  spec.max_cycles = 120'000'000;
+  CouplingSpec coupling;
+  coupling.reach = std::move(reach);
+  spec.couplings.push_back(std::move(coupling));
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    ScenarioSpec one =
+        contended_wifi_cell(stations_per_cell, seed, msdus_per_station);
+    one.cells[0].coupling_group = 0;
+    spec.cells.push_back(std::move(one.cells[0]));
+  }
+  return spec;
+}
+
 ScenarioSpec ScenarioSpec::contended_wifi_fragmented(std::size_t n_stations,
                                                      bool frag_burst, u64 seed,
                                                      u32 msdus_per_station) {

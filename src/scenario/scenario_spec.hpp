@@ -36,6 +36,13 @@
 //   ChannelSpec.min_frame_bytes  — frames below this size fly clean, so short
 //                                  control responses (ACK/CTS) are not hit.
 //   ContentionSpec               — mirrors net::ContendedMedium::Params.
+//   ScenarioSpec.couplings[g]    — co-channel coupling groups (inter-cell
+//                                  latency/horizon + cell-granular reach);
+//                                  CellSpec.coupling_group joins a cell to
+//                                  one. See docs/MULTICELL.md.
+//   ScenarioSpec.coupled_reference — single-scheduler reference coupling
+//                                  (immediate injection) instead of lax-sync
+//                                  lanes; digest-identical, pinned.
 #pragma once
 
 #include <array>
@@ -82,6 +89,35 @@ struct ContentionSpec {
   net::AudibilityMatrix audibility;
 };
 
+/// Co-channel coupling between the cells of one coupling group (see
+/// net/channel_coupler.hpp and docs/MULTICELL.md). Cells of a group share
+/// spectrum: every transmission in one member is forwarded into each member
+/// that hears it as a foreign-carrier image, shifted by the inter-cell
+/// latency — which doubles as the lax-sync lookahead horizon the engine
+/// clamps the lockstep stride to.
+struct CouplingSpec {
+  /// Lumped inter-cell propagation + energy-detection latency. Also the
+  /// lookahead horizon: smaller couplings synchronize lanes more often.
+  double latency_us = 2.0;
+  /// Cell-granular reach over the group's members in cell order:
+  /// hears(listener_cell, tx_cell). Trivial = every member hears every
+  /// other; a matrix with no off-diagonal hearing means full spatial reuse
+  /// — the group is physically isolated and runs exactly like uncoupled
+  /// cells (bit-identical digests, pinned).
+  net::AudibilityMatrix reach;
+
+  /// True when any member can hear any other (the group actually couples).
+  bool connected(std::size_t members) const {
+    if (reach.trivial()) return members > 1;
+    for (std::size_t l = 0; l < members; ++l) {
+      for (std::size_t t = 0; t < members; ++t) {
+        if (l != t && reach.hears(l, t)) return true;
+      }
+    }
+    return false;
+  }
+};
+
 /// One radio cell: its topology, member stations and channel physics.
 struct CellSpec {
   Topology topology = Topology::kPointToPoint;
@@ -95,6 +131,10 @@ struct CellSpec {
   ContentionSpec contention;
   /// Per-cell channel override; unset inherits ScenarioSpec::channel.
   std::optional<std::array<ChannelSpec, kNumModes>> channel;
+  /// Index into ScenarioSpec::couplings, or -1 (isolated — the default).
+  /// Coupled cells must be kSharedMedium, share one arch_freq_hz across the
+  /// group and run without the capture effect.
+  int coupling_group = -1;
 };
 
 struct ScenarioSpec {
@@ -116,6 +156,14 @@ struct ScenarioSpec {
   bool idle_skip = true;
   std::array<ChannelSpec, kNumModes> channel{};
   std::vector<CellSpec> cells;
+  /// Co-channel coupling groups; CellSpec::coupling_group indexes this.
+  std::vector<CouplingSpec> couplings;
+  /// Run every connected coupling group on ONE shared scheduler with
+  /// immediate cross-cell injection — the conventional conservative
+  /// reference the lax-sync lane path is pinned digest-identical to. Slower
+  /// (coupled cells lose lane parallelism and round skipping); exists for
+  /// the equivalence tests and as the baseline bench arm.
+  bool coupled_reference = false;
 
   /// Total stations across all cells.
   std::size_t station_count() const;
@@ -172,6 +220,20 @@ struct ScenarioSpec {
   static ScenarioSpec contended_wifi_fragmented(std::size_t n_stations,
                                                 bool frag_burst, u64 seed = 1,
                                                 u32 msdus_per_station = 3);
+
+  /// The overlapping-BSS workload: `n_cells` co-channel WiFi cells of
+  /// `stations_per_cell` stations each (every cell its own AP and BSS, all
+  /// on one channel), coupled into one group with `reach` over cell
+  /// indices. Stations cannot decode the neighbour BSS's frames but their
+  /// CCA hears them — inter-cell contention without inter-cell traffic, the
+  /// regime docs/MULTICELL.md treats. Trivial reach = every cell hears
+  /// every other; AudibilityMatrix::hidden_pair etc. build inter-cell
+  /// hidden-node shapes. Arrivals are aligned across cells so every round
+  /// contends across BSS boundaries.
+  static ScenarioSpec coupled_wifi_cells(std::size_t n_cells,
+                                         std::size_t stations_per_cell,
+                                         u64 seed = 1, u32 msdus_per_station = 3,
+                                         net::AudibilityMatrix reach = {});
 };
 
 }  // namespace drmp::scenario

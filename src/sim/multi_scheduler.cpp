@@ -121,6 +121,12 @@ MultiScheduler::RunResult MultiScheduler::run(Cycle max_cycles, Cycle stride,
       }
     }
     active.resize(kept);
+    // Round-edge exchange (workers still parked): couplers deliver the
+    // events this round generated. Retired lanes' components may still be
+    // mutated here — their counters must keep absorbing cross-lane effects
+    // scheduled past the stop edge so collection-time statistics match a
+    // coupled reference that stopped at the same edge.
+    if (round_hook_) round_hook_();
   }
 
   // Bring skipped-but-unfinished lanes up to the lockstep clock, exactly as

@@ -11,9 +11,15 @@
 // is what keeps an 8-64 device fleet out of std::function dispatch on the
 // per-cycle path.
 //
-// Lanes are independent by construction (no cross-lane Clockables), so the
-// stride only bounds how far one lane's clock may lead another's; it never
-// changes simulation results inside a lane.
+// Lanes share no Clockables, so within a round each lane's results are its
+// own and the stride only bounds how far one lane's clock may lead
+// another's. Cross-lane *events* are still possible — channel couplers
+// exchange them at round edges through set_round_hook (Graphite-style lax
+// synchronization): a round hook may inject state into any lane as long as
+// the injected effects land at or after the round edge, which holds
+// whenever the stride is at most the physical interaction horizon (see
+// net/channel_coupler.hpp). Uncoupled fleets never set the hook and keep
+// the original fully-independent behaviour.
 //
 // Quiescence-aware round skipping: after each batched run a lane's scheduler
 // publishes next_wake() — the earliest cycle any of its components could
@@ -45,6 +51,18 @@ class MultiScheduler {
   /// Registers a device scheduler as a lane. A null predicate means the lane
   /// runs for the full cycle budget. Returns the lane index.
   std::size_t add(Scheduler& sched, DonePredicate done = nullptr);
+
+  /// Installs a hook invoked on the calling thread at the end of every
+  /// lockstep round, after lanes ran and retirements were decided (workers
+  /// are parked on the barrier). This is the lax-synchronization exchange
+  /// point: cross-lane event couplers (net::ChannelCoupler) drain their
+  /// outboxes here, so anything one lane generated in the round just ended
+  /// is visible to its peers before any lane enters the next round. The
+  /// hook may mutate lane components and wake them (Clockable::wake_self
+  /// between runs resets the lane's next_wake hint, so a round-skipped lane
+  /// is dispatched again); it must schedule effects only at or after the
+  /// current round edge, or bit-identity across worker counts is lost.
+  void set_round_hook(std::function<void()> hook) { round_hook_ = std::move(hook); }
 
   struct RunResult {
     Cycle cycles = 0;              ///< Lockstep cycles elapsed (max over lanes).
@@ -79,6 +97,7 @@ class MultiScheduler {
   };
 
   std::vector<Lane> lanes_;
+  std::function<void()> round_hook_;
 };
 
 }  // namespace drmp::sim

@@ -158,8 +158,14 @@ class Scheduler {
 
   /// Disables quiescence-aware skipping: run_cycles_batched ticks every
   /// component every cycle (the pre-quiescence hot path). The baseline the
-  /// equivalence tests compare against.
-  void set_idle_skip(bool enabled) noexcept { idle_skip_ = enabled; }
+  /// equivalence tests compare against. Toggling mid-run invalidates the
+  /// published next_wake() hint — the bound was computed under the other
+  /// policy — so it collapses to now(): always safe (a dispatched lane with
+  /// nothing to do just fast-forwards), never stale.
+  void set_idle_skip(bool enabled) noexcept {
+    if (idle_skip_ != enabled) next_wake_ = now_;
+    idle_skip_ = enabled;
+  }
   bool idle_skip() const noexcept { return idle_skip_; }
 
   /// Earliest cycle at which any component might execute a real tick, as

@@ -495,6 +495,27 @@ TEST(Quiescence, NextWakeReportsTheEarliestRealTick) {
   EXPECT_EQ(busy.next_wake(), busy.now());
 }
 
+TEST(Quiescence, NextWakeRecomputedWhenIdleSkipTogglesMidRun) {
+  // The hint published at the end of a batched run was computed under the
+  // skip policy active then; flipping the policy must invalidate it at once.
+  // A MultiScheduler consulting a stale far-future hint right after
+  // set_idle_skip(false) would skip a lane that now needs every cycle ticked.
+  Scheduler s(200e6);
+  PeriodicWorker w(1'000);
+  s.add(w, "w");
+  s.run_cycles_batched(100);  // Idle until cycle 1'000 under skipping.
+  ASSERT_EQ(s.next_wake(), 1'000u);
+  s.set_idle_skip(false);
+  EXPECT_EQ(s.next_wake(), s.now());  // Collapsed, not stale.
+  s.run_cycles_batched(100);
+  EXPECT_EQ(s.next_wake(), s.now());  // Non-skipping runs pin it to now.
+  s.set_idle_skip(true);
+  EXPECT_EQ(s.next_wake(), s.now());  // Conservative until the next run...
+  s.run_cycles_batched(100);
+  EXPECT_EQ(s.next_wake(), 1'000u);  // ...which re-establishes the bound.
+  EXPECT_EQ(w.clock(), 300u);  // And the worker stayed cycle-exact throughout.
+}
+
 TEST(Quiescence, MultiSchedulerSkipsQuiescentLanesBitIdentically) {
   // Lane 0 works every 100 cycles, lane 1 every 40'000 (it skips whole
   // strides); both must land exactly where dispatch-every-round lands.

@@ -1,31 +1,79 @@
 #!/usr/bin/env bash
 # Docs link check: every relative markdown link in README.md and docs/*.md
-# must point at an existing file (anchors are stripped; absolute URLs and
-# in-page anchors are ignored). Keeps the docs/ book from rotting as files
-# move.
+# must point at an existing file, and every #anchor — in-page or on a linked
+# markdown file — must match a heading actually present in the target (GitHub
+# anchor derivation: lowercase, punctuation stripped, spaces to dashes).
+# Keeps the docs/ book from rotting as files move and sections are renamed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Prints the derived GitHub anchor id of every heading in a markdown file,
+# one per line. Fenced code blocks are excluded (a `# comment` inside one is
+# not a heading).
+anchors_of() {
+  awk '
+    /^```/ { fence = !fence; next }
+    !fence && /^##* / {
+      line = $0
+      sub(/^#+[[:space:]]+/, "", line)
+      gsub(/[[:space:]]+$/, "", line)
+      line = tolower(line)
+      gsub(/[^a-z0-9 _-]/, "", line)
+      gsub(/ /, "-", line)
+      print line
+    }
+  ' "$1"
+}
+
+has_anchor() {  # has_anchor FILE ANCHOR
+  anchors_of "$1" | grep -qxF "$2"
+}
 
 fail=0
 for doc in README.md docs/*.md; do
   dir=$(dirname "$doc")
-  # Markdown links: [text](target). Skip http(s):, mailto: and #anchors.
+  # Markdown links: [text](target). Skip http(s): and mailto:.
   while IFS= read -r target; do
     case "$target" in
-      http://*|https://*|mailto:*|\#*) continue ;;
+      http://*|https://*|mailto:*) continue ;;
       # The GitHub CI badge resolves on github.com, not on disk.
       ../../actions/*) continue ;;
     esac
     path="${target%%#*}"
-    [ -z "$path" ] && continue
-    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+    anchor=""
+    case "$target" in
+      *\#*) anchor="${target#*#}" ;;
+    esac
+    if [ -z "$path" ]; then
+      # In-page anchor: the heading must exist in this document.
+      if [ -n "$anchor" ] && ! has_anchor "$doc" "$anchor"; then
+        echo "check_docs_links: dead anchor in $doc -> #$anchor" >&2
+        fail=1
+      fi
+      continue
+    fi
+    resolved=""
+    if [ -e "$dir/$path" ]; then
+      resolved="$dir/$path"
+    elif [ -e "$path" ]; then
+      resolved="$path"
+    else
       echo "check_docs_links: dead link in $doc -> $target" >&2
       fail=1
+      continue
     fi
+    case "$resolved" in
+      *.md)
+        if [ -n "$anchor" ] && ! has_anchor "$resolved" "$anchor"; then
+          echo "check_docs_links: dead anchor in $doc -> $target" >&2
+          fail=1
+        fi
+        ;;
+    esac
   done < <(grep -oE '\]\(([^)]+)\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
 done
 
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
-echo "check_docs_links: all relative links resolve"
+echo "check_docs_links: all relative links and anchors resolve"

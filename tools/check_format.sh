@@ -23,6 +23,8 @@ FILES=(
   src/net/audibility.cpp
   src/net/cell.hpp
   src/net/cell.cpp
+  src/net/channel_coupler.hpp
+  src/net/channel_coupler.cpp
   src/net/contended_medium.hpp
   src/net/contended_medium.cpp
   src/scenario/scenario_spec.hpp
@@ -36,8 +38,10 @@ FILES=(
   src/sim/scheduler.hpp
   src/sim/scheduler.cpp
   tests/net_test.cpp
+  tests/multicell_test.cpp
   tests/scenario_test.cpp
   bench/bench_net_contention.cpp
+  bench/bench_net_multicell.cpp
   bench/bench_net_rtscts_sweep.cpp
   bench/bench_scenario_fleet.cpp
   examples/fleet_demo.cpp

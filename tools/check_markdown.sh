@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Markdown lint for the docs book: structural hygiene only — line length is
+# deliberately exempt (tables and command transcripts earn their width).
+# Checks the authored docs set — README.md and docs/*.md, the same files
+# check_docs_links.sh covers (SNIPPETS.md/PAPERS.md are captured reference
+# material and keep their upstream formatting) — for:
+#   * trailing whitespace (renders as a forced line break on GitHub),
+#   * hard tabs outside fenced code blocks (indent rendering differs),
+#   * unbalanced ``` fences (everything after one renders as code),
+#   * CRLF line endings and a missing trailing newline.
+# Dead links and anchors are check_docs_links.sh's job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in README.md docs/*.md; do
+  [ -e "$doc" ] || continue
+
+  if grep -nE '[[:space:]]+$' "$doc" >/dev/null; then
+    echo "check_markdown: trailing whitespace in $doc:" >&2
+    grep -nE '[[:space:]]+$' "$doc" | head -5 | sed 's/^/  line /' >&2
+    fail=1
+  fi
+
+  if grep -q $'\r' "$doc"; then
+    echo "check_markdown: CRLF line endings in $doc" >&2
+    fail=1
+  fi
+
+  if [ -n "$(tail -c 1 "$doc")" ]; then
+    echo "check_markdown: missing trailing newline in $doc" >&2
+    fail=1
+  fi
+
+  # Tabs and fence balance share one pass so fenced code is exempt from the
+  # tab rule (command transcripts legitimately contain tabs).
+  if ! awk -v doc="$doc" '
+    /^[[:space:]]*```/ { fence = !fence; next }
+    !fence && /\t/ {
+      printf "check_markdown: hard tab in %s line %d\n", doc, NR
+      bad = 1
+    }
+    END {
+      if (fence) {
+        printf "check_markdown: unbalanced code fence in %s\n", doc
+        bad = 1
+      }
+      exit bad
+    }
+  ' "$doc" >&2; then
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "check_markdown: docs are lint-clean (line length exempt by policy)"
