@@ -4,6 +4,7 @@
 // record.
 #pragma once
 
+#include <charconv>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -15,6 +16,7 @@
 
 #include "drmp/testbench.hpp"
 #include "est/report.hpp"
+#include "scenario/fleet_stats.hpp"
 
 namespace drmp::bench {
 
@@ -31,9 +33,14 @@ namespace drmp::bench {
 class JsonRecord {
  public:
   void num(const std::string& key, double v) {
-    std::ostringstream os;
-    os << std::setprecision(12) << v;
-    kv_.emplace_back(key, os.str());
+    // std::to_chars, not a stream: stream float formatting honours the
+    // global locale (a de_DE host would emit "3,14" and corrupt the JSON);
+    // to_chars is locale-independent by definition, so BENCH_*.json is
+    // byte-stable across hosts.
+    char buf[48];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                   std::chars_format::general, 12);
+    kv_.emplace_back(key, std::string(buf, res.ptr));
   }
   void num(const std::string& key, u64 v) { kv_.emplace_back(key, std::to_string(v)); }
   void num(const std::string& key, u32 v) { kv_.emplace_back(key, std::to_string(v)); }
@@ -42,9 +49,13 @@ class JsonRecord {
     kv_.emplace_back(key, "\"" + v + "\"");
   }
   void hex(const std::string& key, u64 v) {
-    std::ostringstream os;
-    os << "\"" << std::hex << std::setw(16) << std::setfill('0') << v << "\"";
-    kv_.emplace_back(key, os.str());
+    // Fixed 16-digit zero-padded field, locale-independent by construction.
+    char buf[16];
+    for (int i = 15; i >= 0; --i) {
+      buf[i] = "0123456789abcdef"[v & 0xF];
+      v >>= 4;
+    }
+    kv_.emplace_back(key, "\"" + std::string(buf, 16) + "\"");
   }
 
   std::string dump() const {
@@ -86,6 +97,20 @@ inline std::string take_json_flag(int& argc, char** argv,
   }
   argc = w;
   return path;
+}
+
+/// Folds the scheduler/lane execution profile of a fleet run into a bench
+/// JSON record — the standing keys every BENCH_*.json carries (PR-7), so the
+/// perf trajectory of the quiescence machinery is tracked per commit.
+inline void add_profile(JsonRecord& rec, const scenario::FleetStats& fs) {
+  rec.num("ff_cycles", static_cast<u64>(fs.ff_cycles));
+  rec.num("ff_events", fs.ff_events);
+  rec.num("wheel_depth_max", fs.wheel_depth_max);
+  rec.num("medium_ticks_executed", fs.medium_ticks_executed);
+  rec.num("medium_ticks_skipped", fs.medium_ticks_skipped);
+  rec.num("lockstep_rounds", fs.lockstep_rounds);
+  rec.num("lane_rounds_skipped", fs.lane_rounds_skipped);
+  rec.num("lane_stall_cycles", static_cast<u64>(fs.lane_stall_cycles));
 }
 
 /// Samples system activity every cycle into trace channels so the bench can

@@ -127,6 +127,7 @@ int main(int argc, char** argv) {
     rec.num("ticks_executed", largest.ticks_executed);
     rec.num("ticks_skipped", largest.ticks_skipped);
     rec.num("skip_ratio", largest.skip_ratio());
+    drmp::bench::add_profile(rec, largest);
     rec.hex("full_digest", largest.full_digest());
     if (!rec.write(json_path)) {
       std::printf("FAILED to write %s\n", json_path.c_str());

@@ -44,6 +44,7 @@ struct Arm {
   drmp::u64 expired = 0;
   drmp::u64 nav_defers = 0;
   drmp::u64 full_digest = 0;
+  FleetStats stats;  ///< Full run stats (add_profile keys for the burst arm).
 };
 
 Arm run_arm(const char* name, bool burst, std::size_t stations, drmp::u32 msdus) {
@@ -73,6 +74,7 @@ Arm run_arm(const char* name, bool burst, std::size_t stations, drmp::u32 msdus)
   a.airtime_eff =
       busy > 0 ? 1.0 - static_cast<double>(wasted) / static_cast<double>(busy) : 1.0;
   a.full_digest = fs.full_digest();
+  a.stats = fs;
   return a;
 }
 
@@ -141,6 +143,7 @@ int main(int argc, char** argv) {
       rec.num(k + "_nav_defers", a->nav_defers);
       rec.hex(k + "_full_digest", a->full_digest);
     }
+    drmp::bench::add_profile(rec, burst.stats);
     if (!rec.write(json_path)) {
       std::printf("FAILED to write %s\n", json_path.c_str());
       return 1;

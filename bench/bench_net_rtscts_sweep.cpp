@@ -48,6 +48,7 @@ struct SweepPoint {
   drmp::u64 offered = 0;
   drmp::u64 nav_defers = 0;
   drmp::u64 full_digest = 0;
+  FleetStats stats;  ///< Full run stats (add_profile keys for the baseline).
 };
 
 SweepPoint run_point(const char* name, ScenarioSpec::Reach reach,
@@ -77,6 +78,7 @@ SweepPoint run_point(const char* name, ScenarioSpec::Reach reach,
   p.airtime_eff =
       busy > 0 ? 1.0 - static_cast<double>(wasted) / static_cast<double>(busy) : 1.0;
   p.full_digest = fs.full_digest();
+  p.stats = fs;
   return p;
 }
 
@@ -170,6 +172,7 @@ int main(int argc, char** argv) {
       rec.num(k + "_nav_defers", p.nav_defers);
       rec.hex(k + "_full_digest", p.full_digest);
     }
+    drmp::bench::add_profile(rec, find("full", 0).stats);
     if (!rec.write(json_path)) {
       std::printf("FAILED to write %s\n", json_path.c_str());
       return 1;

@@ -138,6 +138,7 @@ int main(int argc, char** argv) {
     rec.num("ticks_executed", batched.ticks_executed);
     rec.num("ticks_skipped", batched.ticks_skipped);
     rec.num("skip_ratio", batched.skip_ratio());
+    drmp::bench::add_profile(rec, batched);
     rec.hex("full_digest", batched.full_digest());
     rec.hex("completion_digest", batched.completion_digest());
     if (!rec.write(json_path)) {

@@ -6,13 +6,29 @@
 // that corrupt frames on the air. Per-device activity-weighted power
 // estimates close the loop to the paper's power argument.
 //
-//   $ ./fleet_demo
+//   $ ./fleet_demo [--trace[=PATH]]
+//
+//   --trace attaches a flight recorder to every cell and writes a Chrome
+//   trace-event JSON (default fleet_trace.json) — open it in Perfetto
+//   (https://ui.perfetto.dev) to scrub the frame lifecycle per station.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "scenario/scenario_engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drmp;
+
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = "fleet_trace.json";
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    }
+  }
 
   scenario::ScenarioSpec spec =
       scenario::ScenarioSpec::mixed_three_standard(/*n_devices=*/4, /*seed=*/1,
@@ -25,23 +41,37 @@ int main() {
   spec.cells.push_back(std::move(contended.cells[0]));
   spec.name = "mixed-fleet-with-contention";
   spec.max_cycles = 120'000'000;
+  spec.trace.enabled = !trace_path.empty();
 
-  std::printf("running '%s': %zu stations in %zu cells, lossy WiFi (%u permille) "
-              "and UWB (%u permille) bands, one 4-station contended cell...\n\n",
-              spec.name.c_str(), spec.station_count(), spec.cells.size(),
-              spec.channel[0].loss_permille, spec.channel[2].loss_permille);
+  std::printf(
+      "running '%s': %zu stations in %zu cells, lossy WiFi (%u permille) "
+      "and UWB (%u permille) bands, one 4-station contended cell...\n\n",
+      spec.name.c_str(), spec.station_count(), spec.cells.size(),
+      spec.channel[0].loss_permille, spec.channel[2].loss_permille);
 
   scenario::ScenarioEngine engine(std::move(spec));
   const scenario::FleetStats fs = engine.run();
 
   std::printf("%s\n", fs.report().c_str());
-  std::printf("fleet ran %llu device-cycles in %.3f s (%.2f M device-cycles/s)\n",
-              static_cast<unsigned long long>(fs.device_cycles_total()), fs.wall_seconds,
-              fs.device_cycles_per_sec() / 1e6);
-  std::printf("\nEvery cell kept its own scheduler; the shared-medium cell saw\n"
-              "%llu collisions and %llu CSMA deferrals — the contention workload\n"
-              "the DRMP's power-sensitive multi-standard design targets.\n",
-              static_cast<unsigned long long>(fs.total_collisions()),
-              static_cast<unsigned long long>(fs.total_defers()));
+  std::printf(
+      "fleet ran %llu device-cycles in %.3f s (%.2f M device-cycles/s)\n",
+      static_cast<unsigned long long>(fs.device_cycles_total()),
+      fs.wall_seconds, fs.device_cycles_per_sec() / 1e6);
+  std::printf(
+      "\nEvery cell kept its own scheduler; the shared-medium cell saw\n"
+      "%llu collisions and %llu CSMA deferrals — the contention workload\n"
+      "the DRMP's power-sensitive multi-standard design targets.\n",
+      static_cast<unsigned long long>(fs.total_collisions()),
+      static_cast<unsigned long long>(fs.total_defers()));
+  if (!trace_path.empty()) {
+    std::ofstream f(trace_path);
+    f << engine.chrome_trace();
+    if (!f) {
+      std::printf("FAILED to write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("\nchrome trace: %s (open in https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
   return fs.all_drained ? 0 : 1;
 }

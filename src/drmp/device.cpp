@@ -89,7 +89,8 @@ DrmpConfig DrmpConfig::for_station(int station_id) const {
 }
 
 DrmpDevice::DrmpDevice(sim::Scheduler& sched, DrmpConfig cfg, int station_id)
-    : cfg_(std::move(cfg)), station_id_(station_id), tb_(cfg_.arch_freq_hz), sched_(&sched) {
+    : cfg_(std::move(cfg)), station_id_(station_id), tb_(cfg_.arch_freq_hz),
+      trace_(cfg_.trace_enabled), sched_(&sched) {
   bus_ = std::make_unique<hw::PacketBus>(mem_, &stats_);
 
   irc::Irc::Env irc_env;
@@ -307,6 +308,14 @@ void DrmpDevice::attach_medium(Mode m, phy::Medium* medium) {
     eifs[mi] = cfg_.modes[mi].enabled && cfg_.modes[mi].ident.eifs_enabled;
   }
   backoff_->wire(media_, &tb_, navs, station_id_, eifs);
+}
+
+void DrmpDevice::set_flight_recorder(obs::FlightRecorder* rec, u16 track) {
+  backoff_->set_recorder(rec, track);
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    navs_[i].set_recorder(rec, track);
+    if (phy_txs_[i] != nullptr) phy_txs_[i]->set_recorder(rec, track);
+  }
 }
 
 void DrmpDevice::host_send(Mode m, Bytes msdu) {

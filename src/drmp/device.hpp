@@ -55,6 +55,10 @@ struct DrmpConfig {
   /// instead of the oldest. Off (FCFS) in the thesis prototype.
   bool rfu_queue_priority = false;
   u16 backoff_seed = 0xACE1;
+  /// Per-cycle signal tracing (sim::TraceRecorder scopes). Fleet assemblers
+  /// set this false so devices are born muted — no trace-channel work ever
+  /// reaches the batched hot path, not even construction-time edges.
+  bool trace_enabled = true;
   std::array<ModeConfig, kNumModes> modes{};
 
   /// The thesis prototype assignment: mode A = WiFi, B = WiMAX, C = UWB,
@@ -123,6 +127,11 @@ class DrmpDevice {
 
   /// All RFUs, for generic iteration (busy statistics, Table 5.1/5.2 rows).
   const std::vector<rfu::Rfu*>& rfus() const { return all_rfus_; }
+
+  /// Routes this device's protocol-edge events (NAV arm/reset, backoff
+  /// defers/EIFS, frame expiries) onto one flight-recorder track. Call after
+  /// every enabled mode's attach_medium; null detaches.
+  void set_flight_recorder(obs::FlightRecorder* rec, u16 track);
 
  private:
   void build_rfus(sim::Scheduler& sched);

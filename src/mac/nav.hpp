@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/scheduler.hpp"
 
 namespace drmp::mac {
@@ -33,6 +34,8 @@ class NavTimer {
   void arm(Cycle until, Cycle now) {
     if (until <= now) return;
     ++arms_;
+    DRMP_OBS(rec_, now, obs::EventKind::kNavArm, rec_track_,
+             static_cast<i64>(until));
     if (until > until_) {
       // Wake before mutating (sim/scheduler.hpp contract): a sleeping
       // access RFU is settled against the pre-arm state first.
@@ -50,6 +53,8 @@ class NavTimer {
   void reset(Cycle now) {
     if (until_ <= now) return;
     ++resets_;
+    DRMP_OBS(rec_, now, obs::EventKind::kNavReset, rec_track_,
+             static_cast<i64>(until_));
     for (sim::Clockable* c : subs_) c->wake_self();
     until_ = now;
   }
@@ -73,11 +78,21 @@ class NavTimer {
     subs_.push_back(&c);
   }
 
+  /// Attaches a flight recorder (null detaches): arm/reset edges land on
+  /// `track`. Both sites run inside executed device ticks, so the stream is
+  /// deterministic across skip modes.
+  void set_recorder(obs::FlightRecorder* rec, u16 track) noexcept {
+    rec_ = rec;
+    rec_track_ = track;
+  }
+
  private:
   Cycle until_ = 0;
   u64 arms_ = 0;
   u64 resets_ = 0;
   std::vector<sim::Clockable*> subs_;
+  obs::FlightRecorder* rec_ = nullptr;
+  u16 rec_track_ = 0;
 };
 
 }  // namespace drmp::mac

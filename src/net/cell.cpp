@@ -30,7 +30,7 @@ constexpr u8 kApUwbDevId = 0xFE;
 Cell::Cell(const scenario::CellSpec& spec,
            const std::array<scenario::ChannelSpec, kNumModes>& fleet_channel,
            u64 scenario_seed, std::size_t cell_index, int first_station_id,
-           sim::Scheduler* external_sched)
+           sim::Scheduler* external_sched, const scenario::TraceSpec& trace)
     : spec_(spec), cell_index_(cell_index), first_station_id_(first_station_id) {
   if (spec_.stations.empty()) {
     throw std::invalid_argument("net::Cell: a cell needs at least one station");
@@ -60,6 +60,13 @@ Cell::Cell(const scenario::CellSpec& spec,
     owned_sched_ =
         std::make_unique<sim::Scheduler>(spec_.stations[0].cfg.arch_freq_hz);
     sched_ = owned_sched_.get();
+  }
+  if (trace.enabled) {
+    recorder_ = std::make_unique<obs::FlightRecorder>(trace.capacity);
+    if (owned_sched_) {
+      sched_rec_ = std::make_unique<obs::SchedRecorder>(*recorder_);
+      sched_->set_observer(sched_rec_.get());
+    }
   }
   build_media(fleet_channel, scenario_seed);
   for (std::size_t s = 0; s < spec_.stations.size(); ++s) {
@@ -129,6 +136,11 @@ void Cell::build_media(const std::array<scenario::ChannelSpec, kNumModes>& fleet
       // begin_tx source id space) are fleet-global and contiguous here.
       for (std::size_t s = 0; s < spec_.stations.size(); ++s) {
         cm->map_station(first_station_id_ + static_cast<int>(s), s);
+      }
+      if (recorder_) {
+        cm->set_recorder(recorder_.get(),
+                         recorder_->track("medium." +
+                                          std::string(to_string(mode_from_index(m)))));
       }
       media_[m] = std::move(cm);
     } else {
@@ -205,16 +217,22 @@ DrmpConfig Cell::shared_identity(const DrmpConfig& cfg, std::size_t local_index)
 void Cell::build_station(std::size_t local_index, u64 scenario_seed) {
   const scenario::DeviceSpec& dspec = spec_.stations[local_index];
   const int station_id = first_station_id_ + static_cast<int>(local_index);
-  const DrmpConfig cfg =
+  DrmpConfig cfg =
       shared() ? shared_identity(dspec.cfg, local_index) : dspec.cfg;
+  // Born muted: no per-cycle trace-channel work in fleets, not even the
+  // construction-time edges a post-hoc set_enabled(false) would record.
+  cfg.trace_enabled = false;
 
   auto st = std::make_unique<Station>();
   st->station_id = station_id;
   st->device = std::make_unique<DrmpDevice>(*sched_, cfg, station_id);
-  st->device->trace().set_enabled(false);  // No per-cycle trace work in fleets.
   for (std::size_t m = 0; m < kNumModes; ++m) {
     if (!cfg.modes[m].enabled) continue;
     st->device->attach_medium(mode_from_index(m), media_[m].get());
+  }
+  if (recorder_) {
+    st->track = recorder_->track("station" + std::to_string(station_id));
+    st->device->set_flight_recorder(recorder_.get(), st->track);
   }
 
   // Point-to-point far ends, mirroring the device's per-mode peer identities.
@@ -241,16 +259,27 @@ void Cell::build_station(std::size_t local_index, u64 scenario_seed) {
                                                     st->device->timebase(), seed);
     DrmpDevice* dev = st->device.get();
     const Mode mode = mode_from_index(m);
-    st->gens[m]->send = [dev, mode](Bytes b) { dev->host_send(mode, std::move(b)); };
+    obs::FlightRecorder* rec = recorder_.get();
+    const u16 track = st->track;
+    const sim::Scheduler* sc = sched_;
+    st->gens[m]->send = [dev, mode, rec, track, sc](Bytes b) {
+      DRMP_OBS(rec, sc->now(), obs::EventKind::kOffered, track,
+               static_cast<i64>(b.size()), static_cast<i64>(index(mode)));
+      dev->host_send(mode, std::move(b));
+    };
     sched_->add(*st->gens[m], "traffic." + std::string(to_string(mode)));
   }
 
   Station* s = st.get();
-  st->device->on_tx_complete = [s](Mode m, bool ok, u32 retry_count) {
+  obs::FlightRecorder* rec = recorder_.get();
+  const sim::Scheduler* sc = sched_;
+  st->device->on_tx_complete = [s, rec, sc](Mode m, bool ok, u32 retry_count) {
     const std::size_t i = index(m);
     ++s->completed[i];
     if (ok) ++s->tx_ok[i];
     s->retries[i] += retry_count;
+    DRMP_OBS(rec, sc->now(), obs::EventKind::kComplete, s->track,
+             ok ? 1 : 0, static_cast<i64>(retry_count));
     if (s->gens[i]) s->gens[i]->notify_tx_complete();
   };
 
@@ -384,6 +413,54 @@ void Cell::collect(std::vector<scenario::DeviceStats>& devices,
     }
   }
   cells.push_back(cs);
+}
+
+void Cell::export_metrics(obs::MetricsRegistry& fleet) const {
+  obs::MetricsRegistry cell_reg;
+  for (const auto& st : stations_) {
+    obs::MetricsRegistry dev;
+    dev.add("mac/defers", st->device->backoff_rfu().defers());
+    dev.add("mac/nav_defers", st->device->backoff_rfu().nav_defers());
+    dev.add("mac/eifs_waits", st->device->backoff_rfu().eifs_waits());
+    u64 arms = 0, resets = 0, expired = 0, collisions = 0;
+    for (std::size_t m = 0; m < kNumModes; ++m) {
+      if (!st->device->config().modes[m].enabled) continue;
+      const Mode mode = mode_from_index(m);
+      arms += st->device->nav(mode).arms();
+      resets += st->device->nav(mode).resets();
+      if (const phy::PhyTx* ptx = st->device->phy_tx(mode)) {
+        expired += ptx->frames_expired();
+      }
+      if (shared() && media_[m]) {
+        const auto* cm = static_cast<const ContendedMedium*>(media_[m].get());
+        collisions += cm->source(st->station_id).collisions;
+      }
+    }
+    dev.add("mac/nav_arms", arms);
+    dev.add("mac/nav_resets", resets);
+    dev.add("phy/frames_expired", expired);
+    if (shared()) dev.add("medium/collisions", collisions);
+    // Twice on purpose: namespaced for the breakdown, unprefixed so the
+    // fleet registry accumulates totals under the same names.
+    cell_reg.merge_from(dev, "station" + std::to_string(st->station_id) + "/");
+    fleet.merge_from(dev);
+  }
+  if (shared()) {
+    for (std::size_t m = 0; m < kNumModes; ++m) {
+      if (!media_[m]) continue;
+      const auto* cm = static_cast<const ContendedMedium*>(media_[m].get());
+      const std::string band = std::string(to_string(mode_from_index(m)));
+      obs::MetricsRegistry med;
+      med.add("medium." + band + "/collided_frames", cm->collided_frames());
+      med.add("medium." + band + "/dropped_frames", cm->dropped_frames());
+      med.add("medium." + band + "/capture_wins", cm->capture_wins());
+      med.add("medium." + band + "/busy_cycles", cm->busy_cycles());
+      med.add("medium." + band + "/collided_airtime", cm->collided_airtime());
+      cell_reg.merge_from(med);
+      fleet.merge_from(med);
+    }
+  }
+  fleet.merge_from(cell_reg, "cell" + std::to_string(cell_index_) + "/");
 }
 
 }  // namespace drmp::net

@@ -32,6 +32,9 @@
 #include "drmp/device.hpp"
 #include "mac/traffic_gen.hpp"
 #include "net/contended_medium.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sched_recorder.hpp"
 #include "phy/channel.hpp"
 #include "scenario/fleet_stats.hpp"
 #include "scenario/scenario_spec.hpp"
@@ -49,10 +52,15 @@ class Cell {
   /// instead of a private one — the reference coupling mode, where every
   /// cell of a co-channel group shares one clock domain so cross-cell
   /// injection is conventionally causal; the caller must outlive the cell.
+  /// `trace.enabled` attaches a per-cell obs::FlightRecorder: one track per
+  /// station and per medium band, wired into every protocol-edge site before
+  /// the first cycle runs, so the event stream is a pure function of the
+  /// scenario (not of when tracing was switched on).
   Cell(const scenario::CellSpec& spec,
        const std::array<scenario::ChannelSpec, kNumModes>& fleet_channel,
        u64 scenario_seed, std::size_t cell_index, int first_station_id,
-       sim::Scheduler* external_sched = nullptr);
+       sim::Scheduler* external_sched = nullptr,
+       const scenario::TraceSpec& trace = {});
   ~Cell();
 
   Cell(const Cell&) = delete;
@@ -75,9 +83,18 @@ class Cell {
   void collect(std::vector<scenario::DeviceStats>& devices,
                std::vector<scenario::CellStats>& cells) const;
 
+  /// Folds this cell's counters into `fleet`, twice: namespaced under
+  /// `cell<n>/station<id>/` for the per-device breakdown, and unprefixed so
+  /// the same names aggregate into fleet-wide totals.
+  void export_metrics(obs::MetricsRegistry& fleet) const;
+
+  /// The cell's flight recorder; null unless constructed with tracing on.
+  const obs::FlightRecorder* recorder() const noexcept { return recorder_.get(); }
+
  private:
   struct Station {
     int station_id = 0;  ///< Fleet-global, 1-based.
+    u16 track = 0;       ///< Flight-recorder track (valid when recorder_).
     std::unique_ptr<DrmpDevice> device;
     std::array<std::unique_ptr<phy::ScriptedPeer>, kNumModes> peers{};
     std::array<std::unique_ptr<mac::TrafficGen>, kNumModes> gens{};
@@ -101,6 +118,12 @@ class Cell {
   int first_station_id_;
   std::unique_ptr<sim::Scheduler> owned_sched_;  ///< Null with an external one.
   sim::Scheduler* sched_ = nullptr;
+  // Created before any component, so track registration order (media first,
+  // then stations) is deterministic. The SchedRecorder is attached only to
+  // an owned scheduler — on a shared external clock domain, per-cell exec
+  // attribution would be ambiguous.
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::unique_ptr<obs::SchedRecorder> sched_rec_;
   std::array<std::unique_ptr<phy::Medium>, kNumModes> media_{};
   std::array<u64, kNumModes> channel_rng_{};
   std::array<std::unique_ptr<phy::ScriptedPeer>, kNumModes> ap_{};

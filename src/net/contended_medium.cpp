@@ -81,6 +81,7 @@ void ContendedMedium::jam(Tx& t, u64 both) {
     ++collided_frames_;
     ++sources_[t.source].collisions;
     collided_airtime_ += t.end - t.start;
+    DRMP_OBS(rec_, now_, obs::EventKind::kCollision, rec_track_, t.source);
   }
 }
 
@@ -127,6 +128,11 @@ Cycle ContendedMedium::begin_tx(Bytes frame, int source) {
   on_air_.push_back(
       Tx{std::move(frame), now_, end, source, overlap, false, uidx, u_jam});
   tx_end_ = std::max(tx_end_, end);
+  DRMP_OBS(rec_, now_, obs::EventKind::kTxStart, rec_track_, source,
+           static_cast<i64>(end - now_));
+  if (overlap) {
+    DRMP_OBS(rec_, now_, obs::EventKind::kCollision, rec_track_, source);
+  }
   if (on_tx) on_tx(now_, end, source);
   return end;
 }
@@ -167,6 +173,11 @@ void ContendedMedium::begin_remote_tx(Cycle start, Cycle end, int source) {
                        /*remote=*/true});
   ++remote_live_;
   ++remote_txs_;
+  // Stamped with the image's (possibly future) air start: injection happens
+  // on the calling thread at a round edge, so the log order is the coupler's
+  // deterministic exchange order regardless of worker count.
+  DRMP_OBS(rec_, start, obs::EventKind::kRemoteCarrier, rec_track_, source,
+           static_cast<i64>(end - start));
 }
 
 void ContendedMedium::garble(Bytes& frame) {
@@ -182,9 +193,16 @@ void ContendedMedium::deliver_per_listener(Tx& t) {
   if (t.collided) {
     if (garble_mode) {
       ++garbled_frames_;
+      DRMP_OBS(rec_, t.end, obs::EventKind::kGarbled, rec_track_, t.source,
+               static_cast<i64>(t.frame.size()));
     } else {
       ++dropped_frames_;
+      DRMP_OBS(rec_, t.end, obs::EventKind::kDrop, rec_track_, t.source,
+               static_cast<i64>(t.frame.size()));
     }
+  } else {
+    DRMP_OBS(rec_, t.end, obs::EventKind::kDelivery, rec_track_, t.source,
+             static_cast<i64>(t.frame.size()));
   }
   auto listener_hears = [&](int listener_idx, int src_idx) {
     return listener_idx < 0 || src_idx < 0 ||
@@ -246,6 +264,7 @@ void ContendedMedium::tick() {
   // audible over [start+latency, end+latency) — so a short control frame is
   // still heard (late) rather than ending before detection ever completed,
   // and every station's idle reference shifts by the same amount.
+  const bool was_busy = cca_busy_;
   cca_busy_ = false;
   for (const Tx& t : on_air_) {
     if (perceived(t, now_)) {
@@ -254,6 +273,13 @@ void ContendedMedium::tick() {
     }
   }
   if (cca_busy_) last_cca_busy_ = now_;
+  if (cca_busy_ != was_busy) {
+    // Latch edges only ever fall on executed ticks: the quiescence bound
+    // stops every skipped stretch strictly before a perceived-window edge.
+    DRMP_OBS(rec_, now_,
+             cca_busy_ ? obs::EventKind::kCcaBusy : obs::EventKind::kCcaIdle,
+             rec_track_);
+  }
 
   // Deliver (or discard) frames whose last byte has now arrived; entries
   // linger until their perceived window closes, then fall away.
@@ -261,15 +287,22 @@ void ContendedMedium::tick() {
     Tx& t = on_air_[i];
     if (!t.delivered && t.end <= now_) {
       t.delivered = true;
+      const auto frame_bytes = static_cast<i64>(t.frame.size());
       if (trivial()) {
         if (!t.collided) {
+          DRMP_OBS(rec_, t.end, obs::EventKind::kDelivery, rec_track_,
+                   t.source, frame_bytes);
           deliver(t.frame, t.end, t.source);
         } else if (params_.deliver_garbled) {
           garble(t.frame);
           ++garbled_frames_;
+          DRMP_OBS(rec_, t.end, obs::EventKind::kGarbled, rec_track_,
+                   t.source, frame_bytes);
           deliver(t.frame, t.end, t.source, /*pre_damaged=*/true);
         } else {
           ++dropped_frames_;
+          DRMP_OBS(rec_, t.end, obs::EventKind::kDrop, rec_track_, t.source,
+                   frame_bytes);
           // Withheld, but every receiver still heard undecodable energy:
           // the EIFS reference records a damaged reception.
           record_rx_quality(t.source, t.end, /*bad=*/true);

@@ -52,6 +52,7 @@
 #include <map>
 
 #include "net/audibility.hpp"
+#include "obs/flight_recorder.hpp"
 #include "phy/phy_model.hpp"
 
 namespace drmp::net {
@@ -164,6 +165,16 @@ class ContendedMedium final : public phy::Medium {
   /// Stats for one source id (zeroes when it never transmitted).
   SourceStats source(int id) const;
 
+  /// Attaches a flight recorder (null detaches). Events land on `track`:
+  /// tx starts/collisions/deliveries/drops, CCA latch edges and foreign-
+  /// carrier images. All are logged from executed ticks at protocol-edge
+  /// cycles (the quiescence bound proves no edge hides in a skipped
+  /// stretch), so the stream is identical with idle-skip on or off.
+  void set_recorder(obs::FlightRecorder* rec, u16 track) noexcept {
+    rec_ = rec;
+    rec_track_ = track;
+  }
+
  private:
   struct Tx {
     Bytes frame;
@@ -231,6 +242,9 @@ class ContendedMedium final : public phy::Medium {
   /// the original local-only code (uncoupled cells stay bit-identical).
   std::size_t remote_live_ = 0;
   std::map<int, SourceStats> sources_;
+
+  obs::FlightRecorder* rec_ = nullptr;
+  u16 rec_track_ = 0;
 
   // ---- Non-trivial-matrix state ----
   std::map<int, std::size_t> station_idx_;  ///< source id -> matrix row.

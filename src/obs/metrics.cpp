@@ -1,0 +1,102 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace drmp::obs {
+
+void Histogram::observe(u64 v) noexcept {
+  ++buckets[static_cast<std::size_t>(std::bit_width(v))];
+  ++count;
+  sum += v;
+  max = std::max(max, v);
+}
+
+void Histogram::merge(const Histogram& o) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += o.buckets[i];
+  count += o.count;
+  sum += o.sum;
+  max = std::max(max, o.max);
+}
+
+void MetricsRegistry::add(const std::string& name, u64 delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, i64 v) {
+  gauges_[name] = v;
+}
+
+void MetricsRegistry::max_gauge(const std::string& name, i64 v) {
+  const auto [it, fresh] = gauges_.try_emplace(name, v);
+  if (!fresh) it->second = std::max(it->second, v);
+}
+
+void MetricsRegistry::observe(const std::string& name, u64 v) {
+  hists_[name].observe(v);
+}
+
+std::optional<u64> MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<i64> MetricsRegistry::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Histogram* MetricsRegistry::histogram(const std::string& name) const {
+  const auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other,
+                                 const std::string& prefix) {
+  for (const auto& [name, v] : other.counters_) counters_[prefix + name] += v;
+  for (const auto& [name, v] : other.gauges_) max_gauge(prefix + name, v);
+  for (const auto& [name, h] : other.hists_) hists_[prefix + name].merge(h);
+}
+
+std::string MetricsRegistry::to_text() const {
+  // std::map iteration is name-sorted, so the dump is deterministic.
+  std::ostringstream os;
+  for (const auto& [name, v] : counters_) os << name << " " << v << "\n";
+  for (const auto& [name, v] : gauges_) os << name << " " << v << "\n";
+  for (const auto& [name, h] : hists_) {
+    os << name << " count=" << h.count << " sum=" << h.sum << " max=" << h.max
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  const auto key = [&](const std::string& name) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":";
+  };
+  for (const auto& [name, v] : counters_) {
+    key(name);
+    os << v;
+  }
+  for (const auto& [name, v] : gauges_) {
+    key(name);
+    os << v;
+  }
+  for (const auto& [name, h] : hists_) {
+    key(name);
+    os << "{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"max\":" << h.max << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace drmp::obs

@@ -1,0 +1,80 @@
+// Unified metrics registry — named counter/gauge/histogram aggregates with
+// hierarchical merge (device -> cell -> fleet).
+//
+// The fleet reports grew by hand-threading every new counter through
+// DeviceStats/CellStats and a bespoke total_*() accessor. The registry
+// replaces that pattern with named handles: a component (or its assembler)
+// registers `mac/defers`, `medium.A/collided_frames`, ... once, and
+// aggregation is a generic merge instead of a new struct field per counter.
+// Merging with a prefix builds the hierarchy: a cell merges its devices
+// under `station<id>/`, the fleet merges its cells under `cell<n>/` while
+// also folding the unprefixed names together into fleet-wide totals — the
+// shape the planned sharded fleet needs, where shards ship registries
+// instead of keeping every DeviceStats alive.
+//
+// Everything is integral and stored in ordered maps, so to_text()/to_json()
+// are deterministic and digest-safe to compare across runs. The registry is
+// a plain value (copyable); scenario::FleetStats carries one per run.
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace drmp::obs {
+
+/// Log2-bucketed histogram of u64 samples: bucket i counts samples whose
+/// bit width is i (bucket 0 is the value 0). Mergeable by bucket addition.
+struct Histogram {
+  static constexpr std::size_t kBuckets = 65;
+  std::array<u64, kBuckets> buckets{};
+  u64 count = 0;
+  u64 sum = 0;
+  u64 max = 0;
+
+  void observe(u64 v) noexcept;
+  void merge(const Histogram& o) noexcept;
+};
+
+class MetricsRegistry {
+ public:
+  /// Accumulates `delta` into the named counter (creating it at zero).
+  void add(const std::string& name, u64 delta);
+  /// Overwrites the named gauge.
+  void set_gauge(const std::string& name, i64 v);
+  /// Raises the named gauge to at least `v` (merge-friendly high-watermark).
+  void max_gauge(const std::string& name, i64 v);
+  /// Folds one sample into the named histogram.
+  void observe(const std::string& name, u64 v);
+
+  std::optional<u64> counter(const std::string& name) const;
+  std::optional<i64> gauge(const std::string& name) const;
+  const Histogram* histogram(const std::string& name) const;
+
+  /// Merges `other` into this registry: counters and histogram buckets add,
+  /// gauges take the maximum (the only order-independent choice). A
+  /// non-empty `prefix` namespaces every merged name — the hierarchy step.
+  void merge_from(const MetricsRegistry& other, const std::string& prefix = {});
+
+  bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && hists_.empty();
+  }
+  std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + hists_.size();
+  }
+
+  /// Deterministic line-per-metric dump (sorted by name, integers only).
+  std::string to_text() const;
+  /// Deterministic flat JSON object (sorted keys; histograms as count/sum/max).
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, u64> counters_;
+  std::map<std::string, i64> gauges_;
+  std::map<std::string, Histogram> hists_;
+};
+
+}  // namespace drmp::obs

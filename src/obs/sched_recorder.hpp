@@ -1,0 +1,36 @@
+// Adapter from sim::SchedulerObserver onto a FlightRecorder: execution-
+// domain events (skip spans, fast-forwards) land on per-component tracks
+// prefixed "sched/". These events describe the engine, not the protocol —
+// they legitimately differ across idle-skip and worker settings, and the
+// text-timeline exporter excludes them for exactly that reason.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/flight_recorder.hpp"
+#include "sim/scheduler.hpp"
+
+namespace drmp::obs {
+
+class SchedRecorder final : public sim::SchedulerObserver {
+ public:
+  explicit SchedRecorder(FlightRecorder& rec)
+      : rec_(&rec), ff_track_(rec.track("sched/fast_forward")) {}
+
+  void on_skip_span(std::string_view name, Cycle from, Cycle len) override {
+    const u16 track = rec_->track("sched/" + std::string(name));
+    rec_->log(from, EventKind::kSkipSpan, track, 0, static_cast<i64>(len));
+  }
+
+  void on_fast_forward(Cycle from, Cycle len) override {
+    rec_->log(from, EventKind::kFastForward, ff_track_, 0,
+              static_cast<i64>(len));
+  }
+
+ private:
+  FlightRecorder* rec_;
+  u16 ff_track_;
+};
+
+}  // namespace drmp::obs

@@ -1,0 +1,75 @@
+#include "obs/trace_export.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace drmp::obs {
+
+namespace {
+
+// Everything emitted is integral, so plain operator<< is locale-proof.
+void chrome_event(std::ostringstream& os, std::size_t pid, const Event& ev) {
+  os << R"({"name":")" << to_string(ev.kind) << R"(","ph":")"
+     << (is_span(ev.kind) ? 'X' : 'i') << R"(","ts":)" << ev.cycle
+     << R"(,"pid":)" << pid << R"(,"tid":)" << ev.track;
+  if (is_span(ev.kind)) {
+    os << R"(,"dur":)" << (ev.b > 0 ? ev.b : 1);
+  } else {
+    os << R"(,"s":"t")";  // Thread-scoped instant.
+  }
+  os << R"(,"args":{"a":)" << ev.a << R"(,"b":)" << ev.b << "}}";
+}
+
+}  // namespace
+
+std::string chrome_trace(const std::vector<const FlightRecorder*>& cells) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (std::size_t pid = 0; pid < cells.size(); ++pid) {
+    if (cells[pid] == nullptr) continue;
+    sep();
+    os << R"({"name":"process_name","ph":"M","pid":)" << pid
+       << R"(,"args":{"name":"cell)" << pid << R"("}})";
+    const auto& tracks = cells[pid]->tracks();
+    for (std::size_t t = 0; t < tracks.size(); ++t) {
+      sep();
+      os << R"({"name":"thread_name","ph":"M","pid":)" << pid << R"(,"tid":)"
+         << t << R"(,"args":{"name":")" << tracks[t] << R"("}})";
+    }
+    for (const Event& ev : cells[pid]->events()) {
+      sep();
+      chrome_event(os, pid, ev);
+    }
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+std::string text_timeline(const std::vector<const FlightRecorder*>& cells) {
+  std::ostringstream os;
+  char line[160];
+  for (std::size_t pid = 0; pid < cells.size(); ++pid) {
+    if (cells[pid] == nullptr) continue;
+    const auto& tracks = cells[pid]->tracks();
+    for (const Event& ev : cells[pid]->events()) {
+      if (!protocol_domain(ev.kind)) continue;
+      const char* track = ev.track < tracks.size()
+                              ? tracks[ev.track].c_str()
+                              : "?";
+      std::snprintf(line, sizeof(line),
+                    "cell%zu @%012llu %-12s %-14s a=%lld b=%lld\n", pid,
+                    static_cast<unsigned long long>(ev.cycle), track,
+                    to_string(ev.kind), static_cast<long long>(ev.a),
+                    static_cast<long long>(ev.b));
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace drmp::obs

@@ -1,0 +1,26 @@
+// Exporters over flight-recorder rings.
+//
+// chrome_trace() emits Chrome trace-event JSON (the array-of-events form
+// Perfetto and chrome://tracing both load): one process per cell, one
+// thread track per registered track name, complete "X" slices for spans
+// and "i" instants otherwise. Timestamps are raw integer cycles — the
+// viewer's microsecond label reads as cycles, which keeps the file
+// byte-stable (no floats anywhere).
+//
+// text_timeline() renders only protocol-domain events, in log order, as
+// fixed-format lines — the golden-test surface. Execution-domain events
+// are excluded because they legitimately differ across idle-skip and
+// worker-count settings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+
+namespace drmp::obs {
+
+std::string chrome_trace(const std::vector<const FlightRecorder*>& cells);
+std::string text_timeline(const std::vector<const FlightRecorder*>& cells);
+
+}  // namespace drmp::obs

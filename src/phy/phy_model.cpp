@@ -94,6 +94,8 @@ void PhyTx::tick() {
     // clear edge would release every station's stale response on the same
     // cycle — a guaranteed pile-up.
     ++expired_by_kind_[static_cast<std::size_t>(f.kind)];
+    DRMP_OBS(rec_, medium_.now(), obs::EventKind::kExpiry, rec_track_,
+             static_cast<i64>(f.kind));
     buf_.pop();
     ++frames_expired_;
     return;

@@ -28,6 +28,7 @@
 
 #include "common/types.hpp"
 #include "mac/protocol.hpp"
+#include "obs/flight_recorder.hpp"
 #include "phy/buffers.hpp"
 #include "sim/clock.hpp"
 #include "sim/scheduler.hpp"
@@ -301,6 +302,14 @@ class PhyTx : public sim::Clockable {
   Cycle last_tx_end() const noexcept { return last_tx_end_; }
   bool transmitting() const noexcept { return medium_.now() < last_tx_end_; }
 
+  /// Attaches a flight recorder (null detaches): frame-expiry edges land on
+  /// `track`. The drop tick always executes (the quiescence bound points at
+  /// it), so the stream is deterministic across skip modes.
+  void set_recorder(obs::FlightRecorder* rec, u16 track) noexcept {
+    rec_ = rec;
+    rec_track_ = track;
+  }
+
  private:
   TxBuffer& buf_;
   Medium& medium_;
@@ -310,6 +319,8 @@ class PhyTx : public sim::Clockable {
   std::array<u64, kNumTxKinds> expired_by_kind_{};
   Cycle last_tx_start_ = 0;
   Cycle last_tx_end_ = 0;
+  obs::FlightRecorder* rec_ = nullptr;
+  u16 rec_track_ = 0;
 };
 
 /// Device-side PHY receiver: deposits frames addressed over this medium into

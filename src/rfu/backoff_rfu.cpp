@@ -179,7 +179,12 @@ bool BackoffRfu::work_step() {
         if (!defer_edge_) {
           defer_edge_ = true;
           ++defers_;
-          if (!medium.cca_busy(listener_)) ++nav_defers_;
+          const bool nav_only = !medium.cca_busy(listener_);
+          if (nav_only) ++nav_defers_;
+          DRMP_OBS(rec_, medium.now(),
+                   nav_only ? obs::EventKind::kNavDefer
+                            : obs::EventKind::kCcaDefer,
+                   rec_track_, static_cast<i64>(mode_idx_));
         }
         ifs_progress_ = 0;
         return false;
@@ -187,7 +192,11 @@ bool BackoffRfu::work_step() {
       defer_edge_ = false;
       const Cycle need = required_ifs();
       if (++ifs_progress_ < need) return false;
-      if (need > ifs_cycles_) ++eifs_waits_;
+      if (need > ifs_cycles_) {
+        ++eifs_waits_;
+        DRMP_OBS(rec_, medium.now(), obs::EventKind::kEifsWait, rec_track_,
+                 static_cast<i64>(mode_idx_));
+      }
       if (backoff_slots_ == 0) return true;
       access_phase_ = AccessPhase::Backoff;
       slot_progress_ = 0;
@@ -198,7 +207,12 @@ bool BackoffRfu::work_step() {
       // (and re-wait the IFS, per DCF).
       if (channel_busy()) {
         ++defers_;
-        if (!medium.cca_busy(listener_)) ++nav_defers_;
+        const bool nav_only = !medium.cca_busy(listener_);
+        if (nav_only) ++nav_defers_;
+        DRMP_OBS(rec_, medium.now(),
+                 nav_only ? obs::EventKind::kNavDefer
+                          : obs::EventKind::kCcaDefer,
+                 rec_track_, static_cast<i64>(mode_idx_));
         defer_edge_ = true;
         access_phase_ = AccessPhase::Ifs;
         ifs_progress_ = 0;

@@ -55,6 +55,15 @@ class BackoffRfu final : public Rfu {
   /// Deterministic PRNG seed (LFSR) so simulations are reproducible.
   void seed(u16 s) { lfsr_ = s == 0 ? 0xACE1u : s; }
 
+  /// Attaches a flight recorder (null detaches): defer/EIFS edges land on
+  /// `track`. All sites are counter-mutation edges inside executed work
+  /// steps — on_running_skip never touches them — so the stream is
+  /// deterministic across skip modes.
+  void set_recorder(obs::FlightRecorder* rec, u16 track) noexcept {
+    rec_ = rec;
+    rec_track_ = track;
+  }
+
   Cycle last_wait_cycles() const noexcept { return wait_cycles_; }
   /// Times a CSMA access had to defer to a busy medium (IFS restarted or
   /// backoff countdown frozen), cumulative over the device's lifetime — the
@@ -147,6 +156,8 @@ class BackoffRfu final : public Rfu {
   bool defer_edge_ = false;  ///< Busy already counted for this deferral.
 
   u16 lfsr_ = 0xACE1u;
+  obs::FlightRecorder* rec_ = nullptr;
+  u16 rec_track_ = 0;
   std::array<bool, kNumModes> eifs_enabled_{};
   std::array<phy::Medium*, kNumModes> media_{};
   std::array<const mac::NavTimer*, kNumModes> navs_{};

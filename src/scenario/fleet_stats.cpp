@@ -60,7 +60,11 @@ double FleetStats::fleet_dvfs_mw() const {
   return mw;
 }
 
+// The total_*() accessors are views over the metrics registry when the
+// engine populated it; the DeviceStats fallback keeps hand-assembled
+// FleetStats values (tests, tools) working without a registry.
 u64 FleetStats::total_collisions() const {
+  if (const auto v = metrics.counter("medium/collisions")) return *v;
   u64 n = 0;
   for (const DeviceStats& ds : devices) {
     for (std::size_t i = 0; i < kNumModes; ++i) n += ds.collisions[i];
@@ -69,24 +73,28 @@ u64 FleetStats::total_collisions() const {
 }
 
 u64 FleetStats::total_defers() const {
+  if (const auto v = metrics.counter("mac/defers")) return *v;
   u64 n = 0;
   for (const DeviceStats& ds : devices) n += ds.defers;
   return n;
 }
 
 u64 FleetStats::total_nav_defers() const {
+  if (const auto v = metrics.counter("mac/nav_defers")) return *v;
   u64 n = 0;
   for (const DeviceStats& ds : devices) n += ds.nav_defers;
   return n;
 }
 
 u64 FleetStats::total_eifs_waits() const {
+  if (const auto v = metrics.counter("mac/eifs_waits")) return *v;
   u64 n = 0;
   for (const DeviceStats& ds : devices) n += ds.eifs_waits;
   return n;
 }
 
 u64 FleetStats::total_frames_expired() const {
+  if (const auto v = metrics.counter("phy/frames_expired")) return *v;
   u64 n = 0;
   for (const DeviceStats& ds : devices) n += ds.frames_expired;
   return n;

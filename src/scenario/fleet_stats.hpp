@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 #include "sim/stats.hpp"
 
 namespace drmp::scenario {
@@ -109,6 +110,23 @@ struct FleetStats {
   // report so skip-on and skip-off runs compare byte-identical.
   u64 ticks_executed = 0;  ///< Component-ticks actually run (batched path).
   u64 ticks_skipped = 0;   ///< Component-ticks replaced by bulk accounting.
+  // ---- Observability surface (PR-7). Everything below shares the digest
+  // exemption above: the engine's execution profile and the metrics registry
+  // must never feed a digest, or skip-on/skip-off and worker-count runs
+  // would stop comparing equal.
+  /// Hierarchical counter registry: fleet totals unprefixed, per-cell
+  /// breakdown under `cell<n>/station<id>/`. The total_*() accessors below
+  /// are views over this when populated (with a DeviceStats fallback for
+  /// hand-built FleetStats values).
+  obs::MetricsRegistry metrics;
+  Cycle ff_cycles = 0;  ///< Globally-quiescent cycles crossed by fast-forwards.
+  u64 ff_events = 0;    ///< Fast-forward jumps taken.
+  u64 wheel_depth_max = 0;        ///< Wake-wheel high-watermark (max over lanes).
+  u64 medium_ticks_executed = 0;  ///< kStageMedium component-ticks run.
+  u64 medium_ticks_skipped = 0;   ///< kStageMedium component-ticks skipped.
+  u64 lockstep_rounds = 0;        ///< MultiScheduler rounds (batched path).
+  u64 lane_rounds_skipped = 0;    ///< Quiescent lane-round skips, summed.
+  Cycle lane_stall_cycles = 0;    ///< Cycles lanes sat parked in skipped rounds.
   /// Skipped-to-executed component-tick ratio (the fleet's idle dominance).
   double skip_ratio() const {
     return ticks_executed == 0 ? 0.0

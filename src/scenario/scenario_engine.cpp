@@ -8,6 +8,7 @@
 
 #include "net/cell.hpp"
 #include "net/channel_coupler.hpp"
+#include "obs/trace_export.hpp"
 #include "sim/multi_scheduler.hpp"
 
 namespace drmp::scenario {
@@ -115,7 +116,7 @@ ScenarioEngine::ScenarioEngine(ScenarioSpec spec) : spec_(std::move(spec)) {
   for (std::size_t i = 0; i < spec_.cells.size(); ++i) {
     cells_.push_back(std::make_unique<net::Cell>(spec_.cells[i], spec_.channel,
                                                  spec_.seed, i, next_station_id,
-                                                 cell_sched[i]));
+                                                 cell_sched[i], spec_.trace));
     cells_.back()->scheduler().set_idle_skip(spec_.idle_skip);
     next_station_id += static_cast<int>(spec_.cells[i].stations.size());
   }
@@ -186,6 +187,11 @@ FleetStats ScenarioEngine::run(Path path) {
     const auto res = multi.run(spec_.max_cycles, effective_stride(), workers);
     lockstep_cycles = res.cycles;
     all_drained = res.all_finished;
+    run_profile_.rounds = res.rounds;
+    for (std::size_t i = 0; i < multi.lane_count(); ++i) {
+      run_profile_.lane_rounds_skipped += multi.lane_rounds_skipped(i);
+      run_profile_.lane_stall_cycles += multi.lane_stall_cycles(i);
+    }
   } else {
     if (!couplers_.empty()) {
       throw std::logic_error(
@@ -218,12 +224,48 @@ FleetStats ScenarioEngine::collect(Cycle lockstep_cycles, bool all_drained,
   std::set<const sim::Scheduler*> counted;  // Shared clock domains count once.
   for (const auto& cell : cells_) {
     cell->collect(fs.devices, fs.cells);
+    cell->export_metrics(fs.metrics);
     if (counted.insert(&cell->scheduler()).second) {
       fs.ticks_executed += cell->scheduler().ticks_executed();
       fs.ticks_skipped += cell->scheduler().ticks_skipped();
+      const sim::SchedulerProfile p = cell->scheduler().profile();
+      fs.ff_cycles += p.ff_cycles;
+      fs.ff_events += p.ff_events;
+      fs.wheel_depth_max = std::max(fs.wheel_depth_max, p.wheel_depth_max);
+      for (const sim::SchedulerProfile::Stage& st : p.stages) {
+        if (st.stage == sim::Scheduler::kStageMedium) {
+          fs.medium_ticks_executed += st.executed;
+          fs.medium_ticks_skipped += st.skipped;
+        }
+      }
     }
   }
+  fs.lockstep_rounds = run_profile_.rounds;
+  fs.lane_rounds_skipped = run_profile_.lane_rounds_skipped;
+  fs.lane_stall_cycles = run_profile_.lane_stall_cycles;
+  // Engine-profile names in the registry, next to the protocol counters, so
+  // trace tooling reads one namespace.
+  fs.metrics.add("sched/ff_cycles", fs.ff_cycles);
+  fs.metrics.add("sched/ff_events", fs.ff_events);
+  fs.metrics.max_gauge("sched/wheel_depth_max", static_cast<i64>(fs.wheel_depth_max));
+  fs.metrics.add("sched/lockstep_rounds", fs.lockstep_rounds);
+  fs.metrics.add("sched/lane_rounds_skipped", fs.lane_rounds_skipped);
+  fs.metrics.add("sched/lane_stall_cycles", fs.lane_stall_cycles);
   return fs;
+}
+
+bool ScenarioEngine::tracing() const noexcept { return spec_.trace.enabled; }
+
+std::string ScenarioEngine::chrome_trace() const {
+  std::vector<const obs::FlightRecorder*> recs;
+  for (const auto& cell : cells_) recs.push_back(cell->recorder());
+  return obs::chrome_trace(recs);
+}
+
+std::string ScenarioEngine::text_timeline() const {
+  std::vector<const obs::FlightRecorder*> recs;
+  for (const auto& cell : cells_) recs.push_back(cell->recorder());
+  return obs::text_timeline(recs);
 }
 
 std::size_t ScenarioEngine::device_count() const noexcept {

@@ -71,6 +71,14 @@ class ScenarioEngine {
   /// the digested lockstep cycle count depends on it).
   Cycle effective_stride() const noexcept;
 
+  /// True when the spec asked for flight recorders (TraceSpec::enabled).
+  bool tracing() const noexcept;
+  /// Chrome trace-event JSON over every cell's recorder (Perfetto-viewable).
+  /// Valid any time; empty event list when tracing is off.
+  std::string chrome_trace() const;
+  /// Deterministic protocol-domain text timeline (the golden-test surface).
+  std::string text_timeline() const;
+
  private:
   /// One coupling group's resolved shape (members in reach-index order).
   struct Group {
@@ -83,8 +91,16 @@ class ScenarioEngine {
   void build_couplers();
   FleetStats collect(Cycle lockstep_cycles, bool all_drained, double wall_seconds) const;
 
+  /// Batched-path execution profile captured by run() for collect().
+  struct RunProfile {
+    u64 rounds = 0;
+    u64 lane_rounds_skipped = 0;
+    Cycle lane_stall_cycles = 0;
+  };
+
   ScenarioSpec spec_;
   std::vector<Group> groups_;
+  RunProfile run_profile_;
   /// Reference-mode shared clock domains, one per connected group (null
   /// otherwise). Declared before cells_: components die before their clock.
   std::vector<std::unique_ptr<sim::Scheduler>> group_scheds_;

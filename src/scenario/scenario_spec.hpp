@@ -137,6 +137,18 @@ struct CellSpec {
   int coupling_group = -1;
 };
 
+/// Flight-recorder opt-in (src/obs/). Off by default: recorder-off runs are
+/// bit-identical to a build without the subsystem (digests pinned). When
+/// enabled, every cell owns a ring-buffer recorder with one track per
+/// station and per medium band; the engine exposes Chrome-trace and text-
+/// timeline exporters over them, plus scheduler execution-domain events.
+struct TraceSpec {
+  bool enabled = false;
+  /// Ring capacity in events per cell per domain (oldest evicted past
+  /// this; protocol and execution events evict independently).
+  std::size_t capacity = std::size_t{1} << 18;
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   u64 seed = 1;
@@ -154,6 +166,10 @@ struct ScenarioSpec {
   /// the equivalence tests pin that, so keep the flag only as the baseline
   /// for comparisons and for debugging suspected skip bugs.
   bool idle_skip = true;
+  /// Structured event tracing (see TraceSpec). Orthogonal to idle_skip and
+  /// worker_threads: the recorded protocol-event stream is pinned identical
+  /// across all four combinations.
+  TraceSpec trace;
   std::array<ChannelSpec, kNumModes> channel{};
   std::vector<CellSpec> cells;
   /// Co-channel coupling groups; CellSpec::coupling_group indexes this.

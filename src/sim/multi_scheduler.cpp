@@ -57,6 +57,10 @@ MultiScheduler::RunResult MultiScheduler::run(Cycle max_cycles, Cycle stride,
     // can skip the dispatch entirely.
     if (lane.sched->next_wake() >= lane.sched->now() + want) {
       deferred[idx] = want;
+      // Lane-stall profile: each lane only ever writes its own slot, so
+      // worker threads never contend here.
+      ++lane.rounds_skipped;
+      lane.stall_cycles += round.chunk;
       return;
     }
     deferred[idx] = 0;
@@ -104,6 +108,7 @@ MultiScheduler::RunResult MultiScheduler::run(Cycle max_cycles, Cycle stride,
       end.arrive_and_wait();
     }
     res.cycles += round.chunk;
+    ++res.rounds;
     // Retire lanes whose predicate fired this stride (calling thread only —
     // workers are parked on the barrier here). A skipped lane's predicate
     // cannot have changed (its ticks were provably no-ops), but evaluating

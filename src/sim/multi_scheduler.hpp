@@ -68,6 +68,7 @@ class MultiScheduler {
     Cycle cycles = 0;              ///< Lockstep cycles elapsed (max over lanes).
     std::size_t lanes_finished = 0;  ///< Lanes whose predicate fired.
     bool all_finished = false;       ///< Every predicated lane finished.
+    u64 rounds = 0;                  ///< Lockstep rounds executed.
   };
 
   /// Advances all lanes in lockstep until every predicate fired or
@@ -87,6 +88,16 @@ class MultiScheduler {
   bool lane_finished(std::size_t i) const { return lanes_[i].finished; }
   /// Cycles this lane actually ran across all run() calls.
   Cycle lane_cycles(std::size_t i) const { return lanes_[i].cycles_run; }
+  // ---- Lane-stall profile (bench surface): quiescence-aware round skips ----
+  /// Rounds this lane was not dispatched because its next_wake lay past the
+  /// round target.
+  u64 lane_rounds_skipped(std::size_t i) const {
+    return lanes_[i].rounds_skipped;
+  }
+  /// Cycles this lane spent parked in skipped rounds (later replayed).
+  Cycle lane_stall_cycles(std::size_t i) const {
+    return lanes_[i].stall_cycles;
+  }
 
  private:
   struct Lane {
@@ -94,6 +105,8 @@ class MultiScheduler {
     DonePredicate done;
     bool finished = false;
     Cycle cycles_run = 0;
+    u64 rounds_skipped = 0;
+    Cycle stall_cycles = 0;
   };
 
   std::vector<Lane> lanes_;

@@ -1,6 +1,8 @@
 #include "sim/scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <numeric>
 #include <utility>
 
 namespace drmp::sim {
@@ -16,14 +18,39 @@ void Scheduler::add(Clockable& c, std::string name, int stage) {
 }
 
 void Scheduler::freeze() {
+  // A re-freeze rebuilds the per-stage counter vectors below; flush what
+  // they hold so profile() never loses ticks across late registrations.
+  for (std::size_t b = 0; b < stage_ids_.size(); ++b) {
+    auto& [exec, skip] = stage_totals_[stage_ids_[b]];
+    exec += stage_exec_[b];
+    skip += stage_skip_[b];
+  }
   // Stable sort keeps registration order within a stage, so an all-default
   // scheduler executes in exact registration order (the legacy contract).
-  std::vector<Entry> ordered = entries_;
-  std::stable_sort(ordered.begin(), ordered.end(),
-                   [](const Entry& a, const Entry& b) { return a.stage < b.stage; });
+  std::vector<std::size_t> order(entries_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return entries_[a].stage < entries_[b].stage;
+                   });
   batch_.clear();
-  batch_.reserve(ordered.size());
-  for (const Entry& e : ordered) batch_.push_back(e.component);
+  batch_.reserve(order.size());
+  frozen_names_.clear();
+  frozen_names_.reserve(order.size());
+  stage_ids_.clear();
+  stage_bucket_.clear();
+  stage_bucket_.reserve(order.size());
+  for (const std::size_t i : order) {
+    batch_.push_back(entries_[i].component);
+    frozen_names_.push_back(names_[i]);
+    // `order` is stage-sorted, so unique stages arrive in ascending runs.
+    if (stage_ids_.empty() || stage_ids_.back() != entries_[i].stage) {
+      stage_ids_.push_back(entries_[i].stage);
+    }
+    stage_bucket_.push_back(static_cast<u32>(stage_ids_.size() - 1));
+  }
+  stage_exec_.assign(stage_ids_.size(), 0);
+  stage_skip_.assign(stage_ids_.size(), 0);
   // Bind the wake route: wake_self() must reach this scheduler's active-set
   // bookkeeping. A component lives in exactly one scheduler in this code
   // base; re-freezing (or re-registering elsewhere) rebinds it.
@@ -61,6 +88,7 @@ void Scheduler::run_cycles_batched_every_tick(Cycle n) {
     ++now_;
   }
   ticks_executed_ += n * count;
+  for (std::size_t k = 0; k < count; ++k) stage_exec_[stage_bucket_[k]] += n;
   next_wake_ = now_;
 }
 
@@ -90,6 +118,7 @@ void Scheduler::enter_batched() {
       st.slept_from = now_;
       if (q != Clockable::kIdleForever && q <= Clockable::kIdleForever - now_) {
         wheel_.push(WheelEntry{now_ + q, i, st.gen});
+        wheel_depth_max_ = std::max<u64>(wheel_depth_max_, wheel_.size());
       }
     }
   }
@@ -106,6 +135,10 @@ void Scheduler::exit_batched() {
     if (owed > 0) {
       batch_[i]->skip_idle(owed);
       ticks_skipped_ += owed;
+      stage_skip_[stage_bucket_[i]] += owed;
+      if (observer_ != nullptr) {
+        observer_->on_skip_span(frozen_names_[i], st.slept_from, owed);
+      }
     }
     st.sleeping = false;
     ++st.gen;
@@ -149,6 +182,10 @@ void Scheduler::wake_component(u32 idx) {
   if (owed > 0) {
     batch_[idx]->skip_idle(owed);
     ticks_skipped_ += owed;
+    stage_skip_[stage_bucket_[idx]] += owed;
+    if (observer_ != nullptr) {
+      observer_->on_skip_span(frozen_names_[idx], st.slept_from, owed);
+    }
   }
   active_.insert(idx);
   ++awake_lazy_;
@@ -185,10 +222,14 @@ void Scheduler::run_cycles_batched(Cycle n) {
       if (gap > 0) {
         for (const u32 idx : active_) {
           batch_[idx]->skip_idle(gap);
+          stage_skip_[stage_bucket_[idx]] += gap;
         }
         ticks_skipped_ += gap * active_.size();
+        if (observer_ != nullptr) observer_->on_fast_forward(now_, gap);
         now_ += gap;
         ff_cycles_ += gap;
+        ++ff_events_;
+        ++ff_gap_log2_[static_cast<std::size_t>(std::bit_width(gap))];
         continue;
       }
     }
@@ -202,6 +243,7 @@ void Scheduler::run_cycles_batched(Cycle n) {
       Clockable* c = batch_[idx];
       c->tick();
       ++ticks_executed_;
+      ++stage_exec_[stage_bucket_[idx]];
       CompState& st = states_[idx];
       if (!st.eager) {
         const Cycle q = c->quiescent_for();
@@ -211,6 +253,7 @@ void Scheduler::run_cycles_batched(Cycle n) {
           st.slept_from = now_ + 1;
           if (q != Clockable::kIdleForever && q < Clockable::kIdleForever - now_ - 1) {
             wheel_.push(WheelEntry{now_ + 1 + q, idx, st.gen});
+            wheel_depth_max_ = std::max<u64>(wheel_depth_max_, wheel_.size());
           }
           it = active_.erase(it);
           --awake_lazy_;
@@ -224,6 +267,29 @@ void Scheduler::run_cycles_batched(Cycle n) {
     ++now_;
   }
   exit_batched();
+}
+
+SchedulerProfile Scheduler::profile() const {
+  SchedulerProfile p;
+  p.ticks_executed = ticks_executed_;
+  p.ticks_skipped = ticks_skipped_;
+  p.ff_cycles = ff_cycles_;
+  p.ff_events = ff_events_;
+  p.wheel_depth_max = wheel_depth_max_;
+  p.ff_gap_log2 = ff_gap_log2_;
+  // Current counter vectors plus whatever earlier freezes flushed.
+  std::map<int, std::pair<u64, u64>> by_stage = stage_totals_;
+  for (std::size_t b = 0; b < stage_ids_.size(); ++b) {
+    auto& [exec, skip] = by_stage[stage_ids_[b]];
+    exec += stage_exec_[b];
+    skip += stage_skip_[b];
+  }
+  p.stages.reserve(by_stage.size());
+  for (const auto& [stage, counts] : by_stage) {
+    p.stages.push_back(
+        SchedulerProfile::Stage{stage, counts.first, counts.second});
+  }
+  return p;
 }
 
 bool Scheduler::run_until(const std::function<bool()>& done, Cycle max_cycles) {

@@ -73,10 +73,13 @@
 // at a cycle where anything runs.
 #pragma once
 
+#include <array>
 #include <functional>
+#include <map>
 #include <queue>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
@@ -127,6 +130,36 @@ class Clockable {
   friend class Scheduler;
   Scheduler* wake_sched_ = nullptr;  ///< Owning scheduler (set by freeze()).
   u32 wake_index_ = 0;               ///< Position in the frozen stage array.
+};
+
+/// Execution-domain introspection callbacks. sim/ stays ignorant of the
+/// observability layer (src/obs/ may include sim/, never the reverse); the
+/// flight recorder attaches through this interface to record skip spans and
+/// fast-forwards. Callbacks fire only on the batched idle-skip path, on the
+/// thread running the scheduler, and must not mutate simulation state.
+class SchedulerObserver {
+ public:
+  virtual ~SchedulerObserver() = default;
+  /// `name`'s skipped stretch [from, from+len) was settled in bulk.
+  virtual void on_skip_span(std::string_view name, Cycle from, Cycle len) = 0;
+  /// A globally-quiescent gap [from, from+len) was crossed in one jump.
+  virtual void on_fast_forward(Cycle from, Cycle len) = 0;
+};
+
+/// Always-on profile of a scheduler's batched execution (bench surface).
+struct SchedulerProfile {
+  struct Stage {
+    int stage = 0;
+    u64 executed = 0;  ///< Component-ticks run by components of this stage.
+    u64 skipped = 0;   ///< Component-ticks replaced by skip_idle.
+  };
+  u64 ticks_executed = 0;
+  u64 ticks_skipped = 0;
+  Cycle ff_cycles = 0;          ///< Cycles crossed by fast-forward jumps.
+  u64 ff_events = 0;            ///< Number of fast-forward jumps.
+  u64 wheel_depth_max = 0;      ///< Wake-wheel high-watermark.
+  std::array<u64, 65> ff_gap_log2{};  ///< Jump lengths by bit width.
+  std::vector<Stage> stages;          ///< Sorted by stage id.
 };
 
 class Scheduler {
@@ -192,6 +225,14 @@ class Scheduler {
   /// Cycles crossed by globally-quiescent fast-forward jumps.
   Cycle cycles_fast_forwarded() const noexcept { return ff_cycles_; }
 
+  /// Aggregated per-stage execution profile (see SchedulerProfile). Cheap
+  /// enough to keep always-on: the hot path pays one array increment per
+  /// executed tick.
+  SchedulerProfile profile() const;
+
+  /// Attaches (or detaches, with nullptr) an execution-domain observer.
+  void set_observer(SchedulerObserver* o) noexcept { observer_ = o; }
+
  private:
   void step();
   /// Rebuilds the contiguous stage-ordered execution array.
@@ -246,6 +287,19 @@ class Scheduler {
   u64 ticks_executed_ = 0;
   u64 ticks_skipped_ = 0;
   Cycle ff_cycles_ = 0;
+
+  // ---- Profiling state (see SchedulerProfile) ----
+  std::vector<std::string> frozen_names_;  ///< Name by frozen index.
+  std::vector<int> stage_ids_;             ///< Sorted unique stages.
+  std::vector<u32> stage_bucket_;          ///< Frozen index -> stage_ids_ slot.
+  std::vector<u64> stage_exec_;            ///< Per-bucket executed ticks.
+  std::vector<u64> stage_skip_;            ///< Per-bucket skipped ticks.
+  /// Totals flushed across re-freezes (stage id -> {executed, skipped}).
+  std::map<int, std::pair<u64, u64>> stage_totals_;
+  u64 wheel_depth_max_ = 0;
+  u64 ff_events_ = 0;
+  std::array<u64, 65> ff_gap_log2_{};
+  SchedulerObserver* observer_ = nullptr;
 };
 
 }  // namespace drmp::sim

@@ -16,6 +16,10 @@ void TraceChannel::record(Cycle cycle, i64 value) {
     }
     return;
   }
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
   events_.push_back({cycle, value});
 }
 
@@ -51,6 +55,12 @@ TraceChannel& TraceRecorder::channel(const std::string& name) {
 void TraceRecorder::set_enabled(bool v) {
   enabled_ = v;
   for (auto& [name, ch] : channels_) ch.set_enabled(v);
+}
+
+u64 TraceRecorder::dropped() const noexcept {
+  u64 total = 0;
+  for (const auto& [name, ch] : channels_) total += ch.dropped();
+  return total;
 }
 
 std::vector<std::string> TraceRecorder::channel_names() const {

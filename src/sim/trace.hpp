@@ -21,17 +21,31 @@ struct TraceEvent {
 
 class TraceChannel {
  public:
+  /// Default retention bound: generous for the figure benches (tens of
+  /// thousands of edges) but finite, so a long-running scope can no longer
+  /// grow without bound.
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
   explicit TraceChannel(std::string name) : name_(std::move(name)) {}
 
   const std::string& name() const noexcept { return name_; }
 
   /// Records `value` at `cycle` if it differs from the last recorded value.
+  /// Once `capacity()` change events are retained, further *new* events are
+  /// dropped (counted in dropped()); same-cycle overwrites still apply.
   void record(Cycle cycle, i64 value);
 
   /// A muted channel drops record() calls (fleet runs disable tracing so the
   /// per-cycle hot path does no event-vector work).
   void set_enabled(bool v) noexcept { enabled_ = v; }
   bool enabled() const noexcept { return enabled_; }
+
+  void set_capacity(std::size_t cap) noexcept {
+    capacity_ = cap == 0 ? 1 : cap;
+  }
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Change events discarded because the channel was at capacity.
+  u64 dropped() const noexcept { return dropped_; }
 
   const std::vector<TraceEvent>& events() const noexcept { return events_; }
 
@@ -45,11 +59,19 @@ class TraceChannel {
  private:
   std::string name_;
   std::vector<TraceEvent> events_;
+  std::size_t capacity_ = kDefaultCapacity;
+  u64 dropped_ = 0;
   bool enabled_ = true;
 };
 
 class TraceRecorder {
  public:
+  TraceRecorder() = default;
+  /// Constructs with tracing already on or off: fleet paths build their
+  /// devices muted from the first cycle instead of muting after the fact
+  /// (which used to let construction-time edges slip into the buffers).
+  explicit TraceRecorder(bool enabled) : enabled_(enabled) {}
+
   /// Returns (creating on first use) the channel with the given name.
   TraceChannel& channel(const std::string& name);
 
@@ -60,6 +82,9 @@ class TraceRecorder {
   bool enabled() const noexcept { return enabled_; }
 
   bool has_channel(const std::string& name) const { return channels_.count(name) != 0; }
+
+  /// Change events dropped across all channels (capacity caps hit).
+  u64 dropped() const noexcept;
 
   const TraceChannel& channel_const(const std::string& name) const { return channels_.at(name); }
 

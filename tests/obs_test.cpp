@@ -1,0 +1,268 @@
+// PR-7 observability: the flight recorder's determinism contract (the event
+// stream of a contended cell is byte-identical across worker pools and
+// idle-skip, and pinned against a golden timeline), the recorder's
+// non-perturbation guarantee (recorder-on digests equal the recorder-off
+// pins), the metrics registry's hierarchical merge, the scheduler/lane
+// execution profile, and the TraceChannel retention cap.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
+#include "scenario/scenario_engine.hpp"
+#include "sim/trace.hpp"
+
+namespace drmp {
+namespace {
+
+// ---- FlightRecorder ring --------------------------------------------------
+
+TEST(FlightRecorder, RetainsEverythingBelowCapacity) {
+  obs::FlightRecorder rec(8);
+  const u16 t = rec.track("a");
+  for (Cycle c = 0; c < 5; ++c) rec.log(c, obs::EventKind::kOffered, t, 1, 2);
+  EXPECT_EQ(rec.size(), 5u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  const auto evs = rec.events();
+  ASSERT_EQ(evs.size(), 5u);
+  for (Cycle c = 0; c < 5; ++c) EXPECT_EQ(evs[c].cycle, c);
+}
+
+TEST(FlightRecorder, RingEvictsOldestAndCountsDrops) {
+  obs::FlightRecorder rec(4);
+  const u16 t = rec.track("a");
+  for (Cycle c = 0; c < 10; ++c) rec.log(c, obs::EventKind::kOffered, t);
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const auto evs = rec.events();
+  ASSERT_EQ(evs.size(), 4u);
+  // Oldest-first: cycles 6..9 survive, in order.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(evs[i].cycle, 6 + i);
+}
+
+TEST(FlightRecorder, TrackIdsAreDenseAndStable) {
+  obs::FlightRecorder rec;
+  EXPECT_EQ(rec.track("medium.A"), 0);
+  EXPECT_EQ(rec.track("station1"), 1);
+  EXPECT_EQ(rec.track("medium.A"), 0);  // Lookup, not re-registration.
+  ASSERT_EQ(rec.tracks().size(), 2u);
+  EXPECT_EQ(rec.tracks()[1], "station1");
+}
+
+// ---- Metrics registry -----------------------------------------------------
+
+TEST(Metrics, HistogramBucketsByBitWidthAndMerges) {
+  obs::Histogram h;
+  h.observe(0);
+  h.observe(1);
+  h.observe(1024);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum, 1025u);
+  EXPECT_EQ(h.max, 1024u);
+  EXPECT_EQ(h.buckets[0], 1u);   // value 0
+  EXPECT_EQ(h.buckets[1], 1u);   // value 1
+  EXPECT_EQ(h.buckets[11], 1u);  // 1024 = bit width 11
+  obs::Histogram g;
+  g.observe(1024);
+  g.merge(h);
+  EXPECT_EQ(g.count, 4u);
+  EXPECT_EQ(g.buckets[11], 2u);
+}
+
+TEST(Metrics, HierarchicalMergeBuildsBreakdownAndTotals) {
+  obs::MetricsRegistry dev1, dev2, fleet;
+  dev1.add("mac/defers", 3);
+  dev2.add("mac/defers", 4);
+  dev1.max_gauge("phy/queue_max", 7);
+  dev2.max_gauge("phy/queue_max", 5);
+  fleet.merge_from(dev1, "station1/");
+  fleet.merge_from(dev2, "station2/");
+  fleet.merge_from(dev1);
+  fleet.merge_from(dev2);
+  EXPECT_EQ(fleet.counter("station1/mac/defers"), 3u);
+  EXPECT_EQ(fleet.counter("station2/mac/defers"), 4u);
+  EXPECT_EQ(fleet.counter("mac/defers"), 7u);  // Unprefixed totals add.
+  EXPECT_EQ(fleet.gauge("phy/queue_max"), 7);  // Gauges take the max.
+  EXPECT_FALSE(fleet.counter("station3/mac/defers").has_value());
+}
+
+TEST(Metrics, TextAndJsonDumpsAreDeterministic) {
+  obs::MetricsRegistry r;
+  r.add("b/counter", 2);
+  r.add("a/counter", 1);
+  r.observe("c/hist", 5);
+  const std::string json = r.to_json();
+  // Ordered maps: "a/counter" serialises before "b/counter" regardless of
+  // registration order.
+  EXPECT_LT(json.find("a/counter"), json.find("b/counter"));
+  EXPECT_NE(json.find("\"c/hist\""), std::string::npos);
+  EXPECT_EQ(r.to_text(), r.to_text());
+}
+
+// ---- TraceChannel retention cap (unbounded-growth fix) --------------------
+
+TEST(TraceChannel, CapsRetainedEventsAndCountsDrops) {
+  sim::TraceChannel ch("sig");
+  ch.set_capacity(4);
+  for (Cycle c = 0; c < 10; ++c) ch.record(c, static_cast<i64>(c % 2));
+  EXPECT_EQ(ch.events().size(), 4u);
+  // Cycles 4,6,8 are changes past the cap (counted drops); 5,7,9 match the
+  // retained tail value and are suppressed as no-change, not drops.
+  EXPECT_EQ(ch.dropped(), 3u);
+  // Same-cycle overwrite of the newest retained event still applies at cap.
+  ch.record(3, 42);
+  EXPECT_EQ(ch.events().size(), 4u);
+  EXPECT_EQ(ch.events().back().value, 42);
+}
+
+TEST(TraceRecorder, ConstructMutedRecordsNothing) {
+  sim::TraceRecorder tr(/*enabled=*/false);
+  tr.channel("sig").record(0, 1);
+  tr.channel("sig").record(1, 2);
+  EXPECT_TRUE(tr.channel("sig").events().empty());
+}
+
+// ---- Recorder-on fleet runs ----------------------------------------------
+
+scenario::FleetStats run_contended4(unsigned workers, bool idle_skip,
+                                    bool traced,
+                                    std::string* timeline = nullptr,
+                                    std::string* chrome = nullptr) {
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::contended_wifi_cell(4, /*seed=*/1,
+                                                  /*msdus_per_station=*/3);
+  spec.worker_threads = workers;
+  spec.idle_skip = idle_skip;
+  spec.trace.enabled = traced;
+  scenario::ScenarioEngine engine(std::move(spec));
+  scenario::FleetStats fs = engine.run();
+  if (timeline != nullptr) *timeline = engine.text_timeline();
+  if (chrome != nullptr) *chrome = engine.chrome_trace();
+  return fs;
+}
+
+// Recorder-off pins: the PR-6 digests must survive the instrumentation
+// unchanged (every DRMP_OBS site compiles to a null-checked no-op when no
+// recorder is attached, and none of the new counters feed a digest).
+TEST(RecorderOff, ContendedCellDigestMatchesPin) {
+  const scenario::FleetStats fs = run_contended4(1, true, false);
+  EXPECT_EQ(fs.full_digest(), 0x215632c897c55d3dull);
+}
+
+TEST(RecorderOff, MixedFleetDigestMatchesPin) {
+  const scenario::FleetStats fs =
+      scenario::ScenarioEngine(
+          scenario::ScenarioSpec::mixed_three_standard(8, 1, 2))
+          .run();
+  EXPECT_EQ(fs.full_digest(), 0x7a40977437a44782ull);
+}
+
+// Recorder-on must not perturb the simulation: same digest as the pin.
+TEST(RecorderOn, TracingDoesNotPerturbTheDigest) {
+  const scenario::FleetStats fs = run_contended4(1, true, true);
+  EXPECT_EQ(fs.full_digest(), 0x215632c897c55d3dull);
+}
+
+TEST(RecorderOn, TimelineIsByteIdenticalAcrossWorkersAndIdleSkip) {
+#if defined(DRMP_OBS_DISABLE)
+  GTEST_SKIP() << "flight recorder compiled out";
+#endif
+  std::string base;
+  run_contended4(1, true, true, &base);
+  EXPECT_FALSE(base.empty());
+  const unsigned worker_settings[] = {1, 0};
+  const bool skip_settings[] = {true, false};
+  for (const unsigned w : worker_settings) {
+    for (const bool s : skip_settings) {
+      std::string t;
+      run_contended4(w, s, true, &t);
+      EXPECT_EQ(t, base) << "workers=" << w << " idle_skip=" << s;
+    }
+  }
+}
+
+TEST(RecorderOn, TimelineMatchesGoldenFile) {
+#if defined(DRMP_OBS_DISABLE)
+  GTEST_SKIP() << "flight recorder compiled out";
+#endif
+  std::string timeline;
+  run_contended4(1, true, true, &timeline);
+  const std::string path =
+      std::string(DRMP_SOURCE_DIR) + "/tests/golden/contended4_timeline.txt";
+  if (const char* regen = std::getenv("DRMP_REGEN_GOLDEN");
+      regen != nullptr && *regen != '\0') {
+    std::ofstream out(path);
+    out << timeline;
+    ASSERT_TRUE(out) << "failed to write " << path;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream f(path);
+  ASSERT_TRUE(f) << "missing golden file " << path;
+  std::ostringstream golden;
+  golden << f.rdbuf();
+  EXPECT_EQ(timeline, golden.str())
+      << "regenerate with tools/regen_golden_timeline.sh if the protocol "
+         "timeline legitimately changed (digest-visible change; the commit "
+         "must say so)";
+}
+
+TEST(RecorderOn, ChromeTraceIsWellFormedAndTracked) {
+#if defined(DRMP_OBS_DISABLE)
+  GTEST_SKIP() << "flight recorder compiled out";
+#endif
+  std::string chrome;
+  run_contended4(1, true, true, nullptr, &chrome);
+  EXPECT_EQ(chrome.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(chrome.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"station1\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"medium.A\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"tx_start\""), std::string::npos);
+  // Balanced braces: a cheap structural check without a JSON parser.
+  long depth = 0;
+  for (const char c : chrome) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+// ---- Registry-backed totals & execution profile ---------------------------
+
+TEST(FleetMetrics, RegistryTotalsMatchDeviceStats) {
+  const scenario::FleetStats fs = run_contended4(1, true, false);
+  ASSERT_FALSE(fs.metrics.empty());
+  u64 defers = 0, nav_defers = 0, collisions = 0;
+  for (const auto& ds : fs.devices) {
+    defers += ds.defers;
+    nav_defers += ds.nav_defers;
+    for (std::size_t m = 0; m < kNumModes; ++m) collisions += ds.collisions[m];
+  }
+  EXPECT_EQ(fs.metrics.counter("mac/defers"), defers);
+  EXPECT_EQ(fs.metrics.counter("mac/nav_defers"), nav_defers);
+  EXPECT_EQ(fs.metrics.counter("medium/collisions"), collisions);
+  EXPECT_EQ(fs.total_defers(), defers);
+  EXPECT_EQ(fs.total_collisions(), collisions);
+  // The per-station breakdown namespaces under cell<n>/station<id>/.
+  EXPECT_TRUE(fs.metrics.counter("cell0/station1/mac/defers").has_value());
+}
+
+TEST(FleetMetrics, SchedulerProfileIsPopulated) {
+  const scenario::FleetStats fs = run_contended4(1, true, false);
+  EXPECT_GT(fs.ticks_executed, 0u);
+  EXPECT_GT(fs.medium_ticks_executed, 0u);
+  EXPECT_GT(fs.lockstep_rounds, 0u);
+  // idle_skip on: the medium spends most of the run skipped, and the
+  // engine-profile names sit in the registry next to the protocol counters.
+  EXPECT_GT(fs.medium_ticks_skipped, 0u);
+  EXPECT_TRUE(fs.metrics.counter("sched/lockstep_rounds").has_value());
+  EXPECT_TRUE(fs.metrics.counter("sched/ff_cycles").has_value());
+}
+
+}  // namespace
+}  // namespace drmp

@@ -27,6 +27,13 @@ FILES=(
   src/net/channel_coupler.cpp
   src/net/contended_medium.hpp
   src/net/contended_medium.cpp
+  src/obs/flight_recorder.hpp
+  src/obs/flight_recorder.cpp
+  src/obs/metrics.hpp
+  src/obs/metrics.cpp
+  src/obs/sched_recorder.hpp
+  src/obs/trace_export.hpp
+  src/obs/trace_export.cpp
   src/scenario/scenario_spec.hpp
   src/scenario/scenario_spec.cpp
   src/scenario/scenario_engine.hpp
@@ -38,6 +45,7 @@ FILES=(
   src/sim/scheduler.hpp
   src/sim/scheduler.cpp
   tests/net_test.cpp
+  tests/obs_test.cpp
   tests/multicell_test.cpp
   tests/scenario_test.cpp
   bench/bench_net_contention.cpp

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates tests/golden/contended4_timeline.txt from the current build.
+#
+# The golden file pins the flight recorder's protocol-domain timeline for the
+# 4-station contended WiFi cell (seed 1, 3 MSDUs/station). Only regenerate it
+# when the protocol timeline legitimately changed — that is a digest-visible
+# change and the commit message must say so.
+#
+#   $ tools/regen_golden_timeline.sh [build_dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+cmake --build "$BUILD_DIR" --target obs_test -j"$(nproc)"
+DRMP_REGEN_GOLDEN=1 "$BUILD_DIR"/obs_test \
+  --gtest_filter='RecorderOn.TimelineMatchesGoldenFile'
+echo "regenerated tests/golden/contended4_timeline.txt"

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Summarise a flight-recorder Chrome trace (fleet_demo --trace, or any
+engine.chrome_trace() dump): top-N airtime, collision and defer contributors
+per track, so a regression triage does not need Perfetto open.
+
+  $ tools/trace_summary.py fleet_trace.json [--top N]
+
+Timestamps/durations are simulated cycles (integers). Tracks are the
+recorder's named lanes: station<id>, medium.<band>, sched/<component>.
+"""
+import argparse
+import collections
+import json
+import sys
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents", doc if isinstance(doc, list) else [])
+    # Resolve track/process display names from metadata events.
+    pid_names = {}
+    tid_names = {}
+    for ev in events:
+        if ev.get("ph") != "M":
+            continue
+        name = ev.get("args", {}).get("name", "")
+        if ev.get("name") == "process_name":
+            pid_names[ev.get("pid")] = name
+        elif ev.get("name") == "thread_name":
+            tid_names[(ev.get("pid"), ev.get("tid"))] = name
+    rows = []
+    for ev in events:
+        if ev.get("ph") == "M":
+            continue
+        pid, tid = ev.get("pid"), ev.get("tid")
+        track = "{}/{}".format(
+            pid_names.get(pid, "cell{}".format(pid)),
+            tid_names.get((pid, tid), "tid{}".format(tid)),
+        )
+        rows.append(
+            {
+                "track": track,
+                "name": ev.get("name", "?"),
+                "ts": int(ev.get("ts", 0)),
+                "dur": int(ev.get("dur", 0)),
+                "args": ev.get("args", {}),
+            }
+        )
+    return rows
+
+
+def top_table(title, unit, counts, top_n):
+    print("\n{} (top {}):".format(title, top_n))
+    if not counts:
+        print("  (none)")
+        return
+    width = max(len(k) for k in counts)
+    for track, n in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:top_n]:
+        print("  {:<{w}}  {:>12} {}".format(track, n, unit, w=width))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--top", type=int, default=10, metavar="N",
+                    help="rows per table (default 10)")
+    args = ap.parse_args()
+
+    rows = load_events(args.trace)
+    if not rows:
+        print("no events in {}".format(args.trace), file=sys.stderr)
+        return 1
+
+    airtime = collections.Counter()
+    collisions = collections.Counter()
+    defers = collections.Counter()
+    kinds = collections.Counter()
+    span = [min(r["ts"] for r in rows), max(r["ts"] + r["dur"] for r in rows)]
+    for r in rows:
+        kinds[r["name"]] += 1
+        if r["name"] == "tx_start":
+            # a = transmitting source id, b = airtime cycles.
+            airtime["station{}".format(r["args"].get("a", "?"))] += r["dur"]
+        elif r["name"] == "remote_carrier":
+            airtime["remote:station{}".format(r["args"].get("a", "?"))] += r["dur"]
+        elif r["name"] == "collision":
+            collisions["station{}".format(r["args"].get("a", "?"))] += 1
+        elif r["name"] in ("cca_defer", "nav_defer", "eifs_wait"):
+            defers[r["track"]] += 1
+
+    print("{}: {} events on [{}, {}] cycles".format(
+        args.trace, len(rows), span[0], span[1]))
+    print("\nevent kinds:")
+    width = max(len(k) for k in kinds)
+    for name, n in sorted(kinds.items(), key=lambda kv: (-kv[1], kv[0])):
+        print("  {:<{w}}  {:>8}".format(name, n, w=width))
+
+    top_table("airtime by transmitter", "cycles", airtime, args.top)
+    top_table("collisions by transmitter", "frames", collisions, args.top)
+    top_table("defers by track (cca/nav/eifs)", "events", defers, args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
