@@ -4,9 +4,11 @@
 // record.
 #pragma once
 
+#include <algorithm>
 #include <charconv>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -106,11 +108,45 @@ inline void add_profile(JsonRecord& rec, const scenario::FleetStats& fs) {
   rec.num("ff_cycles", static_cast<u64>(fs.ff_cycles));
   rec.num("ff_events", fs.ff_events);
   rec.num("wheel_depth_max", fs.wheel_depth_max);
+  rec.num("wheel_cascades", fs.wheel_cascades);
+  rec.num("wheel_purges", fs.wheel_purges);
   rec.num("medium_ticks_executed", fs.medium_ticks_executed);
   rec.num("medium_ticks_skipped", fs.medium_ticks_skipped);
   rec.num("lockstep_rounds", fs.lockstep_rounds);
   rec.num("lane_rounds_skipped", fs.lane_rounds_skipped);
   rec.num("lane_stall_cycles", static_cast<u64>(fs.lane_stall_cycles));
+}
+
+// ---- Interleaved A/B timing -----------------------------------------------
+//
+// Wall-clock comparisons on shared/thermally-drifting hosts must interleave
+// their measurement passes (A,B,A,B), never exhaust one arm first (A,A,B,B):
+// back-to-back passes hand whichever arm runs first the cold turbo headroom
+// and bias every BENCH_*.json trajectory built from the ratio. Every timed
+// arm pair in the bench binaries goes through these helpers.
+
+/// Runs the timing arms interleaved — arm 0, arm 1, ..., then the next pass
+/// over all arms again — for `passes` rounds, returning each arm's samples
+/// in pass order. Reduce per arm with best_rate() (throughput: the least-
+/// disturbed pass) or median_rate() (central tendency over many passes).
+inline std::vector<std::vector<double>> interleaved_samples(
+    const std::vector<std::function<double()>>& arms, int passes) {
+  std::vector<std::vector<double>> samples(arms.size());
+  for (int p = 0; p < passes; ++p) {
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+      samples[i].push_back(arms[i]());
+    }
+  }
+  return samples;
+}
+
+inline double best_rate(const std::vector<double>& v) {
+  return *std::max_element(v.begin(), v.end());
+}
+
+inline double median_rate(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
 }
 
 /// Samples system activity every cycle into trace channels so the bench can

@@ -17,7 +17,10 @@
 //   BENCH_contention.json (or PATH).
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "scenario/scenario_engine.hpp"
@@ -82,35 +85,47 @@ int main(int argc, char** argv) {
   }
 
   // ---- Saturation profile ----
-  FleetStats largest;  // Largest cell's record feeds the JSON output.
-  std::printf("stations   coll  defers retries  airtime%%  gated_mW  Mcyc/s\n");
-  for (std::size_t n = 2; n <= max_stations; n *= 2) {
-    drmp::u64 coll = 0, defers = 0, retries = 0;
-    double rate = 0.0, gated = 0.0, airshare = 0.0;
-    for (int r = 0; r < reps; ++r) {
-      const FleetStats fs = run_cell(n, msdus, 1);
-      coll = fs.total_collisions();
-      defers = fs.total_defers();
-      retries = 0;
-      for (const auto& ds : fs.devices) retries += ds.retries[0];
-      gated = fs.fleet_gated_mw();
-      if (!fs.cells.empty() && fs.lockstep_cycles > 0) {
-        airshare = 100.0 * static_cast<double>(fs.cells[0].busy_cycles[0]) /
-                   static_cast<double>(fs.lockstep_cycles);
-      }
-      rate = std::max(rate, fs.device_cycles_per_sec());
-      if (!fs.all_drained) {
-        std::printf("BUDGET EXHAUSTED at %zu stations\n", n);
-        return 1;
-      }
-      largest = fs;
-    }
-    std::printf("%8zu %6llu %7llu %7llu %9.2f %9.2f %7.2f\n", n,
-                static_cast<unsigned long long>(coll),
-                static_cast<unsigned long long>(defers),
-                static_cast<unsigned long long>(retries), airshare, gated,
-                rate / 1e6);
+  // One timing arm per station count, interleaved across the passes
+  // (2,4,...,N,2,4,...) through bench_common's helper: sequential best-of-N
+  // per point would hand the small cells the host's cold turbo headroom and
+  // tilt the saturation curve.
+  std::vector<std::size_t> points;
+  for (std::size_t n = 2; n <= max_stations; n *= 2) points.push_back(n);
+  std::vector<FleetStats> cell_stats(points.size());
+  std::size_t exhausted_at = 0;
+  std::vector<std::function<double()>> arms;
+  arms.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    arms.push_back([&, i] {
+      FleetStats fs = run_cell(points[i], msdus, 1);
+      if (!fs.all_drained && exhausted_at == 0) exhausted_at = points[i];
+      const double rate = fs.device_cycles_per_sec();
+      cell_stats[i] = std::move(fs);
+      return rate;
+    });
   }
+  const auto samples = drmp::bench::interleaved_samples(arms, reps);
+  if (exhausted_at != 0) {
+    std::printf("BUDGET EXHAUSTED at %zu stations\n", exhausted_at);
+    return 1;
+  }
+  std::printf("stations   coll  defers retries  airtime%%  gated_mW  Mcyc/s\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const FleetStats& fs = cell_stats[i];
+    drmp::u64 retries = 0;
+    for (const auto& ds : fs.devices) retries += ds.retries[0];
+    double airshare = 0.0;
+    if (!fs.cells.empty() && fs.lockstep_cycles > 0) {
+      airshare = 100.0 * static_cast<double>(fs.cells[0].busy_cycles[0]) /
+                 static_cast<double>(fs.lockstep_cycles);
+    }
+    std::printf("%8zu %6llu %7llu %7llu %9.2f %9.2f %7.2f\n", points[i],
+                static_cast<unsigned long long>(fs.total_collisions()),
+                static_cast<unsigned long long>(fs.total_defers()),
+                static_cast<unsigned long long>(retries), airshare,
+                fs.fleet_gated_mw(), drmp::bench::best_rate(samples[i]) / 1e6);
+  }
+  FleetStats largest = std::move(cell_stats.back());
 
   if (!json_path.empty()) {
     drmp::bench::JsonRecord rec;

@@ -15,13 +15,25 @@
 //      bit-identical, and the skip ratio is reported as the workload's idle
 //      dominance.
 //
-//   $ ./bench_scenario_fleet [num_devices] [msdus_per_mode] [repetitions] [--json[=PATH]]
+//   4. Scaling (--devices): a device-count sweep of the batched path,
+//      reporting aggregate device-cycles/sec per point (reciprocal: host ns
+//      per device-cycle) — the curve that proves the scheduler's per-device
+//      cost stays flat as fleets grow. CI gates the 1k-device point at
+//      >= 0.5x the 64-device rate.
+//
+//   $ ./bench_scenario_fleet [num_devices] [msdus_per_mode] [repetitions]
+//         [--json[=PATH]] [--devices[=N1,N2,...]]
 //
 //   --json writes the machine-readable record (cycles, wall seconds,
 //   cycles/sec, skip ratio, digests) to BENCH_fleet.json (or PATH).
+//   --devices appends the scaling sweep (default points 64,256,1024) to the
+//   table and the JSON record as sweep_cpsd_<N> keys.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -34,9 +46,34 @@ using drmp::scenario::FleetStats;
 using drmp::scenario::ScenarioEngine;
 using drmp::scenario::ScenarioSpec;
 
-double median(std::vector<double> v) {
-  std::sort(v.begin(), v.end());
-  return v[v.size() / 2];
+/// Consumes a `--devices` / `--devices=N1,N2,...` argument (anywhere in
+/// argv). Returns the sweep points — the 64/256/1k defaults for the bare
+/// flag, empty when absent (no sweep).
+std::vector<std::size_t> take_devices_flag(int& argc, char** argv) {
+  bool present = false;
+  std::string list;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::strcmp(argv[r], "--devices") == 0) {
+      present = true;
+      list.clear();
+    } else if (std::strncmp(argv[r], "--devices=", 10) == 0) {
+      present = true;
+      list = argv[r] + 10;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  if (!present) return {};
+  if (list.empty()) return {64, 256, 1024};
+  std::vector<std::size_t> out;
+  for (std::size_t pos = 0; pos < list.size();) {
+    const std::size_t comma = std::min(list.find(',', pos), list.size());
+    out.push_back(std::strtoul(list.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return out;
 }
 
 }  // namespace
@@ -44,6 +81,7 @@ double median(std::vector<double> v) {
 int main(int argc, char** argv) {
   const std::string json_path =
       drmp::bench::take_json_flag(argc, argv, "BENCH_fleet.json");
+  const std::vector<std::size_t> sweep_points = take_devices_flag(argc, argv);
   const std::size_t n_devices = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
   const drmp::u32 msdus =
       argc > 2 ? static_cast<drmp::u32>(std::strtoul(argv[2], nullptr, 10)) : 3;
@@ -64,7 +102,8 @@ int main(int argc, char** argv) {
   // ---- Correctness gates ----
   const FleetStats batched = ScenarioEngine(make_spec(1)).run();
   const FleetStats repeat = ScenarioEngine(make_spec(1)).run();
-  const FleetStats legacy = ScenarioEngine(make_spec(1)).run(ScenarioEngine::Path::kLegacy);
+  const FleetStats legacy =
+      ScenarioEngine(make_spec(1)).run(ScenarioEngine::Path::kLegacy);
 
   std::printf("%s\n", batched.report().c_str());
 
@@ -96,25 +135,29 @@ int main(int argc, char** argv) {
     std::printf("parallel:    %u-worker batched run matches serial digests\n", cores);
   }
 
-  // ---- Throughput: alternating reps, median per path ----
-  std::vector<double> batched_rates, legacy_rates, parallel_rates;
-  for (int r = 0; r < reps; ++r) {
-    batched_rates.push_back(ScenarioEngine(make_spec(1)).run().device_cycles_per_sec());
-    legacy_rates.push_back(ScenarioEngine(make_spec(1))
-                               .run(ScenarioEngine::Path::kLegacy)
-                               .device_cycles_per_sec());
-    if (cores > 1) {
-      parallel_rates.push_back(ScenarioEngine(make_spec(0)).run().device_cycles_per_sec());
-    }
+  // ---- Throughput: interleaved passes (A,B,A,B), median per path ----
+  std::vector<std::function<double()>> arms = {
+      [&] { return ScenarioEngine(make_spec(1)).run().device_cycles_per_sec(); },
+      [&] {
+        return ScenarioEngine(make_spec(1))
+            .run(ScenarioEngine::Path::kLegacy)
+            .device_cycles_per_sec();
+      },
+  };
+  if (cores > 1) {
+    arms.push_back(
+        [&] { return ScenarioEngine(make_spec(0)).run().device_cycles_per_sec(); });
   }
-  const double batched_rate = median(batched_rates);
-  const double legacy_rate = median(legacy_rates);
+  const auto samples = drmp::bench::interleaved_samples(arms, reps);
+  const double batched_rate = drmp::bench::median_rate(samples[0]);
+  const double legacy_rate = drmp::bench::median_rate(samples[1]);
   std::printf("\nthroughput (simulated device-cycles / host second, median of %d):\n",
               reps);
   std::printf("  batched lockstep   : %12.3e\n", batched_rate);
   std::printf("  legacy per-device  : %12.3e\n", legacy_rate);
-  if (!parallel_rates.empty()) {
-    std::printf("  batched x%-2u workers: %12.3e\n", cores, median(parallel_rates));
+  if (samples.size() > 2) {
+    std::printf("  batched x%-2u workers: %12.3e\n", cores,
+                drmp::bench::median_rate(samples[2]));
   }
   if (legacy_rate > 0.0) {
     std::printf("  serial speedup     : %.3fx%s\n", batched_rate / legacy_rate,
@@ -122,6 +165,43 @@ int main(int argc, char** argv) {
   }
   std::printf("  idle-skip ratio    : %.2f skipped ticks per executed tick\n",
               batched.skip_ratio());
+
+  // ---- Device-count scaling sweep (--devices) ----
+  // One MSDU per active mode per device: enough traffic that every cell
+  // exercises the full pipeline, short enough that the 1k point stays
+  // CI-sized. The figure per point is the aggregate simulated
+  // device-cycles per host second — its reciprocal is the host cost of one
+  // device-cycle, so the curve is flat exactly when the scheduler's
+  // per-device cost is constant (an O(N^2) structure would decay it by the
+  // fleet-growth factor). Points are interleaved across the passes
+  // (64,256,1k,64,...) and each reports its best pass — the
+  // scheduler-scaling figure, not the host's thermal history.
+  std::vector<double> sweep_cpsd(sweep_points.size(), 0.0);
+  if (!sweep_points.empty()) {
+    std::vector<std::function<double()>> sweep_arms;
+    sweep_arms.reserve(sweep_points.size());
+    for (const std::size_t n : sweep_points) {
+      sweep_arms.push_back([&, n] {
+        ScenarioSpec spec = ScenarioSpec::mixed_three_standard(n, kSeed, 1);
+        spec.max_cycles = 60'000'000;
+        spec.worker_threads = 1;
+        const FleetStats fs = ScenarioEngine(std::move(spec)).run();
+        return fs.device_cycles_per_sec();
+      });
+    }
+    const auto sweep_samples = drmp::bench::interleaved_samples(sweep_arms, 2);
+    std::printf(
+        "\ndevice-count scaling (device-cycles/sec, best of 2 interleaved):\n");
+    for (std::size_t k = 0; k < sweep_points.size(); ++k) {
+      sweep_cpsd[k] = drmp::bench::best_rate(sweep_samples[k]);
+      std::printf("  %5zu devices: %12.3e  (%6.1f ns per device-cycle, %.2fx the "
+                  "%zu-device rate)\n",
+                  sweep_points[k], sweep_cpsd[k],
+                  sweep_cpsd[k] > 0.0 ? 1e9 / sweep_cpsd[k] : 0.0,
+                  sweep_cpsd[0] > 0.0 ? sweep_cpsd[k] / sweep_cpsd[0] : 0.0,
+                  sweep_points[0]);
+    }
+  }
 
   if (!json_path.empty()) {
     drmp::bench::JsonRecord rec;
@@ -138,6 +218,17 @@ int main(int argc, char** argv) {
     rec.num("ticks_executed", batched.ticks_executed);
     rec.num("ticks_skipped", batched.ticks_skipped);
     rec.num("skip_ratio", batched.skip_ratio());
+    if (!sweep_points.empty()) {
+      std::string pts;
+      for (const std::size_t n : sweep_points) {
+        if (!pts.empty()) pts += ",";
+        pts += std::to_string(n);
+      }
+      rec.str("sweep_devices", pts);
+      for (std::size_t k = 0; k < sweep_points.size(); ++k) {
+        rec.num("sweep_cpsd_" + std::to_string(sweep_points[k]), sweep_cpsd[k]);
+      }
+    }
     drmp::bench::add_profile(rec, batched);
     rec.hex("full_digest", batched.full_digest());
     rec.hex("completion_digest", batched.completion_digest());

@@ -1,0 +1,107 @@
+// Slab-style recycling for the per-tick frame churn.
+//
+// Steady-state simulation moves one frame's bytes through a fixed pipeline —
+// TxBuffer staging -> queued TxFrameEntry -> Medium in-flight -> fan-out to
+// RxBuffers — and then throws the storage away, making the allocator the
+// hottest "component" in a saturated cell. The two helpers here close that
+// loop so the tick path performs zero heap allocations once warm:
+//
+//   * ByteArena — a free-list of retired Bytes buffers. The medium (the end
+//     of a frame's life) releases storage back; the TxBuffer (the start)
+//     acquires it for the next frame, capacity intact. One arena per cell:
+//     everything attached to one medium shares one free-list, so the pool
+//     size tracks the cell's frames-in-flight high-watermark.
+//   * RingQueue — a power-of-two ring that *retains* popped slots. Unlike
+//     std::deque (which allocates and frees blocks as it breathes), a warm
+//     ring re-issues the same slots forever; push_slot() hands back a
+//     retired element so its heap-owning members (a Bytes' capacity) can be
+//     reused in place via assign().
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace drmp {
+
+/// Free-list of retired byte buffers (see the header comment). Acquire may
+/// return an empty, capacity-less buffer while the pool is priming; release
+/// beyond the cap simply frees — the pool never grows past the workload's
+/// concurrent-frame high-watermark by more than kMaxFree.
+class ByteArena {
+ public:
+  Bytes acquire() {
+    if (free_.empty()) return Bytes{};
+    Bytes b = std::move(free_.back());
+    free_.pop_back();
+    b.clear();
+    return b;
+  }
+
+  /// Takes ownership of a retired buffer. Capacity-less buffers are not
+  /// worth pooling (nothing to reuse) and are dropped on the floor.
+  void release(Bytes&& b) {
+    if (b.capacity() == 0 || free_.size() >= kMaxFree) return;
+    free_.push_back(std::move(b));
+  }
+
+  std::size_t pooled() const noexcept { return free_.size(); }
+
+ private:
+  static constexpr std::size_t kMaxFree = 256;
+  std::vector<Bytes> free_;
+};
+
+/// FIFO ring over a power-of-two slot array. Popped slots are retained (not
+/// destroyed) and re-issued by push_slot(), so element members that own heap
+/// storage keep their capacity across reuse. Grows only when full.
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t size() const noexcept { return count_; }
+
+  T& front() { return slots_[head_]; }
+  const T& front() const { return slots_[head_]; }
+  T& back() { return slots_[(head_ + count_ - 1) & (slots_.size() - 1)]; }
+  const T& back() const {
+    return slots_[(head_ + count_ - 1) & (slots_.size() - 1)];
+  }
+
+  /// Appends and returns a slot for in-place filling. The slot is a retired
+  /// element once the ring has wrapped — assign into it rather than
+  /// replacing it wholesale to reuse its storage.
+  T& push_slot() {
+    if (count_ == slots_.size()) grow();
+    T& s = slots_[(head_ + count_) & (slots_.size() - 1)];
+    ++count_;
+    return s;
+  }
+
+  void push_back(T v) { push_slot() = std::move(v); }
+
+  /// Retires the front slot in place (storage retained for reuse).
+  void pop_front() {
+    head_ = (head_ + 1) & (slots_.size() - 1);
+    --count_;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = slots_.empty() ? 8 : slots_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(slots_[(head_ + i) & (slots_.size() - 1)]);
+    }
+    slots_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;  ///< Power-of-two capacity.
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace drmp

@@ -296,6 +296,7 @@ void DrmpDevice::attach_medium(Mode m, phy::Medium* medium) {
   phy_txs_[i] = std::make_unique<phy::PhyTx>(tx_bufs_[i], *medium, station_id_);
   phy_rxs_[i] = std::make_unique<phy::PhyRx>(rx_bufs_[i], station_id_);
   medium->attach(*phy_rxs_[i], station_id_);
+  tx_bufs_[i].bind_arena(&medium->frame_arena());  // Recycle retired frames.
   event_handler_->attach_medium(m, medium);  // NAV reservations need its clock.
   sched_->add(*phy_txs_[i], "phy_tx." + std::string(to_string(m)));
   phy::PhyTx* ptx = phy_txs_[i].get();

@@ -1,5 +1,6 @@
 #include "irc/irc.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "hw/memory_map.hpp"
@@ -48,6 +49,7 @@ Irc::Irc(Env env) : env_(env) {
 
 void Irc::register_rfu(rfu::Rfu* unit) {
   assert(unit != nullptr);
+  unit->set_completion_waker(this);  // DONE/RDONE release controller waits.
   rfus_[unit->id()] = unit;
   auto& e = rfut_.entry(unit->id());
   e.c_state = unit->config_state();
@@ -64,13 +66,13 @@ u32 Irc::submit(Mode mode, ServiceRequest req) {
 
 Cycle Irc::quiescent_for() const {
   if (env_.trace != nullptr && env_.trace->enabled()) return 0;
-  for (const auto& q : pending_) {
-    if (!q.empty()) return 0;
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    // A queued request is only actionable once its handler is idle, and a
+    // handler goes idle inside complete_request — during an (awake) IRC
+    // tick — so a request parked behind an active one cannot pin the IRC
+    // to a per-cycle dispatch poll.
+    if (!pending_[i].empty() && handlers_[i]->idle()) return 0;
   }
-  for (const TaskHandler* th : handlers_) {
-    if (!th->quiescent()) return 0;
-  }
-  if (!rc_->quiescent()) return 0;
   if (env_.mem != nullptr) {
     for (std::size_t i = 0; i < kNumModes; ++i) {
       if (env_.mem->cpu_read(iface_base(mode_from_index(i)) + kDoorbellOffset) != 0) {
@@ -78,7 +80,18 @@ Cycle Irc::quiescent_for() const {
       }
     }
   }
-  return sim::Clockable::kIdleForever;
+  // Every controller contributes a per-state bound: 0 while a statechart can
+  // transition, kIdleForever when it is parked in a wait whose release is
+  // guaranteed to wake this component (submit(), the doorbell watch, or an
+  // RFU's DONE/RDONE completion waker) — so requests in flight no longer pin
+  // the IRC to a per-cycle poll across long RFU execution and
+  // reconfiguration spans.
+  Cycle q = rc_->quiescent_for_bound();
+  for (const TaskHandler* th : handlers_) {
+    if (q == 0) return 0;
+    q = std::min(q, th->quiescent_for_bound());
+  }
+  return q;
 }
 
 void Irc::skip_idle(Cycle n) {

@@ -72,11 +72,16 @@ class Irc : public sim::Clockable {
   // ---- Quiescence contract (sim/scheduler.hpp) ----
   /// The IRC — the single most expensive idle ticker of a device (three
   /// TH_R/TH_M pairs plus the RC, each sampling occupancy statistics every
-  /// cycle) — is skippable when every controller is parked in Idle, no
-  /// request is queued and no doorbell is rung. submit() and doorbell
-  /// writes (a PacketMemory watch) wake it. Gated off while an attached
-  /// trace recorder is enabled: the task handlers record state channels
-  /// against the bus cycle counter, which lazy accounting would skew.
+  /// cycle) — is skippable when no request is queued, no doorbell is rung,
+  /// and every controller statechart sits in a wait whose release is
+  /// trigger-driven: Idle (submit() / the doorbell PacketMemory watch wake
+  /// it), Sleep* (released only by sibling handlers of this same IRC), and
+  /// Wait4RfuDone / TriggerRcnfgWait / UseRcWait (an RFU's DONE/RDONE
+  /// transition fires the completion waker installed by register_rfu). Any
+  /// state polling an externally-paced condition — bus grants, table
+  /// mutexes — bounds the IRC to 0. Gated off while an attached trace
+  /// recorder is enabled: the task handlers record state channels against
+  /// the bus cycle counter, which lazy accounting would skew.
   Cycle quiescent_for() const override;
   void skip_idle(Cycle n) override;
 

@@ -37,6 +37,10 @@ class ReconfController : public sim::Clockable {
   /// TH_R polls for (and consumes) the RC_DONE event of its request.
   bool take_done(Mode mode);
 
+  /// Non-consuming RC_DONE peek — feeds the requesting TH_R's quiescence
+  /// bound without disturbing the take_done handshake.
+  bool done_pending(Mode mode) const noexcept { return done_[index(mode)]; }
+
   State state() const noexcept { return state_; }
   u64 reconfigs_performed() const noexcept { return count_; }
   void tick() override;
@@ -48,6 +52,28 @@ class ReconfController : public sim::Clockable {
       if (p.has_value()) return false;
     }
     return true;
+  }
+
+  /// Per-state quiescence bound feeding Irc::quiescent_for(): the only
+  /// long-lived wait, TriggerRcnfgWait, is released by the RFU's RDONE
+  /// transition, which fires the completion waker registered by
+  /// Irc::register_rfu — so the IRC can sleep through the whole
+  /// reconfiguration stream instead of polling RFU_RDONE every cycle.
+  Cycle quiescent_for_bound() const noexcept {
+    switch (state_) {
+      case State::Idle: {
+        for (const auto& p : pending_) {
+          if (p.has_value()) return 0;
+        }
+        return sim::Clockable::kIdleForever;
+      }
+      case State::TriggerRcnfgWait: {
+        const Request& r = *pending_[index(serving_)];
+        return (*env_.rfus)[r.rfu_id]->rdone() ? 0 : sim::Clockable::kIdleForever;
+      }
+      default:
+        return 0;
+    }
   }
   /// Bulk-accounts n skipped constant-Idle ticks.
   void skip_idle(Cycle n) override;

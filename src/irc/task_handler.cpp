@@ -1,5 +1,6 @@
 #include "irc/task_handler.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "hw/memory_map.hpp"
@@ -118,6 +119,55 @@ void TaskHandler::ensure_sinks() {
     sinks_.thm_chan = &env_.trace->channel("thm." + m);
   }
   sinks_.ready = true;
+}
+
+Cycle TaskHandler::quiescent_for_bound() const noexcept {
+  if (!active_) return sim::Clockable::kIdleForever;  // Both charts in Idle.
+  Cycle thr_q;
+  switch (thr_state_) {
+    case ThRState::Idle:
+      thr_q = thr_queue_.empty() ? sim::Clockable::kIdleForever : 0;
+      break;
+    case ThRState::Sleep:
+      // Released by release_rfu_and_wake from a sibling handler — which can
+      // only run while this IRC ticks, so a sleeping IRC cannot miss it.
+      thr_q = thr_woken_ ? 0 : sim::Clockable::kIdleForever;
+      break;
+    case ThRState::UseRcWait:
+      // RC_DONE is produced by the RC statechart; while it is outstanding
+      // the RC's own bound keeps the IRC awake, and once flagged the next
+      // tick consumes it.
+      thr_q = env_.rc->done_pending(mode_) ? 0 : sim::Clockable::kIdleForever;
+      break;
+    default:
+      thr_q = 0;
+      break;
+  }
+  if (thr_q == 0) return 0;
+  Cycle thm_q;
+  switch (thm_state_) {
+    case ThMState::Idle:
+      thm_q = (thm_started_ && thm_idx_ < req_.ops.size())
+                  ? 0
+                  : sim::Clockable::kIdleForever;
+      break;
+    case ThMState::Sleep1:
+    case ThMState::Sleep2:
+      thm_q = thm_woken_ ? 0 : sim::Clockable::kIdleForever;
+      break;
+    case ThMState::Wait4RfuDone: {
+      // The unit's DONE transition fires the completion waker registered by
+      // Irc::register_rfu, so sleeping through the execution span observes
+      // DONE on exactly the tick the per-cycle poll would have.
+      const rfu::Rfu* unit = (*env_.rfus)[thm_entry_.rfu_id];
+      thm_q = unit->done() ? 0 : sim::Clockable::kIdleForever;
+      break;
+    }
+    default:
+      thm_q = 0;
+      break;
+  }
+  return std::min(thr_q, thm_q);
 }
 
 void TaskHandler::skip_idle(Cycle n) {

@@ -103,11 +103,15 @@ class TaskHandler : public sim::Clockable {
 
   void tick() override;
 
-  /// True when a tick is pure statistics sampling: no request in flight and
-  /// both statecharts parked in Idle. Feeds Irc-level quiescence.
-  bool quiescent() const noexcept {
-    return !active_ && thr_state_ == ThRState::Idle && thm_state_ == ThMState::Idle;
-  }
+  /// Per-state quiescence bound feeding Irc::quiescent_for(): 0 when either
+  /// statechart can transition on its next tick, kIdleForever when both are
+  /// parked in a wait whose release path is guaranteed to wake the IRC —
+  /// Idle (submit/doorbell wakes), Sleep* (released by a sibling handler of
+  /// the same IRC, which only runs while the IRC is awake), Wait4RfuDone /
+  /// UseRcWait (the RFU's DONE/RDONE completion waker). Every other state
+  /// polls externally-paced conditions (bus grants, table mutexes) and
+  /// returns 0.
+  Cycle quiescent_for_bound() const noexcept;
   /// Bulk-accounts n skipped ticks (constant-Idle occupancy/busy samples).
   /// Trace channels store change events only, so a skipped constant-state
   /// stretch records exactly what the per-tick path would.

@@ -209,8 +209,15 @@ void ContendedMedium::deliver_per_listener(Tx& t) {
            params_.audibility.hears(static_cast<std::size_t>(listener_idx),
                                     static_cast<std::size_t>(src_idx));
   };
-  std::vector<phy::MediumClient*> clean, jammed;
-  std::vector<int> clean_ids;  ///< Listener ids for the rx-quality records.
+  // Partition scratch lives on the object (capacity retained): delivery runs
+  // once per frame, and a per-call vector trio would be the last steady-
+  // state allocation on the tick path.
+  std::vector<phy::MediumClient*>& clean = scratch_clean_;
+  std::vector<phy::MediumClient*>& jammed = scratch_jammed_;
+  std::vector<int>& clean_ids = scratch_clean_ids_;
+  clean.clear();
+  jammed.clear();
+  clean_ids.clear();
   for (const Attached& a : clients_) {
     const int li = matrix_index(a.listener_id);
     if (!listener_hears(li, t.src_idx)) continue;  // Outside the footprint.
@@ -242,10 +249,13 @@ void ContendedMedium::deliver_per_listener(Tx& t) {
   if (!jammed.empty()) {
     // Mixed footprints (non-trivial matrices only): the jammed listeners'
     // copy is the tampered frame garbled on top — one injector draw total,
-    // keeping the corruption PRNG stream aligned with the clean path.
-    Bytes g = t.frame;
+    // keeping the corruption PRNG stream aligned with the clean path. The
+    // copy recycles arena storage and goes straight back.
+    Bytes g = arena_.acquire();
+    g.assign(t.frame.begin(), t.frame.end());
     garble(g);
     for (phy::MediumClient* c : jammed) c->on_frame(g, t.end, t.source);
+    arena_.release(std::move(g));
   }
 }
 
@@ -310,7 +320,10 @@ void ContendedMedium::tick() {
       } else {
         deliver_per_listener(t);
       }
-      t.frame = Bytes{};  // Only the perception window is still needed.
+      // Only the perception window is still needed; the bytes go back to
+      // the cell arena for the next staged frame.
+      arena_.release(std::move(t.frame));
+      t.frame = Bytes{};
     }
     if (t.end + cca_latency_ <= now_) {
       // Record the retired window's last perceived cycle for every matrix
@@ -465,7 +478,8 @@ void ContendedMedium::skip_idle(Cycle n) {
   if (remote_live_ == 0) {
     account_busy_skip(n);
   } else {
-    std::vector<std::pair<Cycle, Cycle>> spans;
+    std::vector<std::pair<Cycle, Cycle>>& spans = scratch_spans_;
+    spans.clear();
     spans.reserve(on_air_.size());
     const Cycle lo = now_, hi = now_ + n;
     for (const Tx& t : on_air_) {

@@ -50,6 +50,8 @@
 #pragma once
 
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "net/audibility.hpp"
 #include "obs/flight_recorder.hpp"
@@ -251,6 +253,12 @@ class ContendedMedium final : public phy::Medium {
   /// Last cycle each matrix listener perceived carrier from an already-
   /// retired transmission (live ones are folded in lazily per query).
   std::vector<Cycle> last_heard_;
+
+  // ---- Tick-path scratch (capacity retained; see docs/ARCHITECTURE.md) ----
+  std::vector<phy::MediumClient*> scratch_clean_;
+  std::vector<phy::MediumClient*> scratch_jammed_;
+  std::vector<int> scratch_clean_ids_;
+  std::vector<std::pair<Cycle, Cycle>> scratch_spans_;
 };
 
 }  // namespace drmp::net

@@ -9,10 +9,10 @@
 // side at protocol frequency and byte width.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <optional>
 
+#include "common/arena.hpp"
 #include "common/types.hpp"
 
 namespace drmp::phy {
@@ -52,7 +52,10 @@ struct TxFrameEntry {
 class TxBuffer {
  public:
   // ---- DRMP side (word-wide, architecture frequency) ----
-  void begin_frame() { staging_.clear(); }
+  void begin_frame() {
+    if (arena_ != nullptr && staging_.capacity() == 0) staging_ = arena_->acquire();
+    staging_.clear();
+  }
   void push_word(Word w) {
     for (int i = 0; i < 4; ++i) staging_.push_back(static_cast<u8>(w >> (8 * i)));
   }
@@ -60,11 +63,20 @@ class TxBuffer {
   void end_frame(std::size_t nbytes, Cycle earliest_start,
                  Cycle latest_start = ~Cycle{0}, TxKind kind = TxKind::kData) {
     staging_.resize(nbytes);
-    queue_.push_back(
-        TxFrameEntry{std::move(staging_), earliest_start, latest_start, kind});
-    staging_ = {};
+    TxFrameEntry& e = queue_.push_slot();
+    e.bytes = std::move(staging_);
+    e.earliest_start = earliest_start;
+    e.latest_start = latest_start;
+    e.kind = kind;
+    staging_ = Bytes{};
     if (on_push) on_push();
   }
+
+  /// Binds the per-cell frame arena (wired by DrmpDevice at attach time):
+  /// begin_frame draws retired storage from it instead of the heap. The
+  /// medium — where a staged frame's bytes end their life — releases into
+  /// the same arena, closing the steady-state allocation loop.
+  void bind_arena(ByteArena* a) noexcept { arena_ = a; }
 
   /// Wake hook: invoked when a frame is staged, so a quiescent PhyTx
   /// re-evaluates its sleep bound (wired by DrmpDevice).
@@ -83,7 +95,8 @@ class TxBuffer {
 
  private:
   Bytes staging_;
-  std::deque<TxFrameEntry> queue_;
+  RingQueue<TxFrameEntry> queue_;
+  ByteArena* arena_ = nullptr;
 };
 
 /// A frame received from the PHY.
@@ -97,8 +110,14 @@ struct RxFrameEntry {
 class RxBuffer {
  public:
   // ---- PHY side ----
-  void deliver(Bytes frame, Cycle rx_end_cycle) {
-    queue_.push_back(RxFrameEntry{std::move(frame), rx_end_cycle});
+  /// Deposits a copy of `frame` (the medium fans one buffer out to every
+  /// listener, so the buffer must copy). The copy lands in a retired ring
+  /// slot via assign(), reusing its capacity — in steady state a delivery
+  /// touches the heap only while the ring is still priming.
+  void deliver(const Bytes& frame, Cycle rx_end_cycle) {
+    RxFrameEntry& e = queue_.push_slot();
+    e.bytes.assign(frame.begin(), frame.end());
+    e.rx_end_cycle = rx_end_cycle;
     if (on_deliver) on_deliver();
   }
 
@@ -127,16 +146,23 @@ class RxBuffer {
     return w;
   }
 
+  /// Moves the head frame out (test/introspection convenience; takes its
+  /// storage with it). The hot path uses drop_front() instead.
   RxFrameEntry pop() {
     RxFrameEntry e = std::move(queue_.front());
     queue_.pop_front();
     return e;
   }
 
+  /// Retires the head frame in place, keeping its storage in the ring for
+  /// the next delivery (the zero-allocation drain path: read what you need
+  /// via frame_rx_end()/peek_word() first).
+  void drop_front() { queue_.pop_front(); }
+
   std::size_t depth() const noexcept { return queue_.size(); }
 
  private:
-  std::deque<RxFrameEntry> queue_;
+  RingQueue<RxFrameEntry> queue_;
 };
 
 }  // namespace drmp::phy

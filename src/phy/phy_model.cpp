@@ -44,10 +44,12 @@ void Medium::deliver(Bytes& frame, Cycle rx_end_cycle, int source, bool pre_dama
 void Medium::tick() {
   if (busy()) ++busy_cycles_;
   ++now_;
-  // Deliver frames whose last byte has now arrived.
+  // Deliver frames whose last byte has now arrived; their storage goes back
+  // to the cell arena for the next staged frame.
   for (std::size_t i = 0; i < in_flight_.size();) {
     if (in_flight_[i].end <= now_) {
       deliver(in_flight_[i].frame, in_flight_[i].end, in_flight_[i].source);
+      arena_.release(std::move(in_flight_[i].frame));
       in_flight_.erase(in_flight_.begin() + static_cast<std::ptrdiff_t>(i));
     } else {
       ++i;
@@ -96,7 +98,8 @@ void PhyTx::tick() {
     ++expired_by_kind_[static_cast<std::size_t>(f.kind)];
     DRMP_OBS(rec_, medium_.now(), obs::EventKind::kExpiry, rec_track_,
              static_cast<i64>(f.kind));
-    buf_.pop();
+    TxFrameEntry dead = buf_.pop();
+    medium_.frame_arena().release(std::move(dead.bytes));
     ++frames_expired_;
     return;
   }

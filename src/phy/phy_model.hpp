@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/types.hpp"
 #include "mac/protocol.hpp"
 #include "obs/flight_recorder.hpp"
@@ -195,6 +196,12 @@ class Medium : public sim::Clockable {
   /// call it themselves.
   void track_rx_quality() { track_rx_quality_ = true; }
 
+  /// Per-cell frame arena: a frame's bytes die here (delivered or expired),
+  /// and the cell's TxBuffers draw next-frame storage from the same pool
+  /// (bound by DrmpDevice at attach time), so steady-state traffic recycles
+  /// a fixed set of buffers instead of hitting the heap per frame.
+  ByteArena& frame_arena() noexcept { return arena_; }
+
  protected:
   /// One attached receiver and the listener id it perceives the channel as.
   struct Attached {
@@ -255,6 +262,7 @@ class Medium : public sim::Clockable {
   };
   std::map<int, RxQuality> rx_quality_;
   bool track_rx_quality_ = false;
+  ByteArena arena_;  ///< See frame_arena().
 
  private:
   struct InFlight {

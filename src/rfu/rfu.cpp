@@ -38,16 +38,23 @@ Cycle Rfu::quiescent_for() const {
   Cycle q = 0;
   switch (phase_) {
     case Phase::Idle:
-      // A latched trigger starts argument collection on the next tick.
+    case Phase::CollectArgs:
+      // Both phases are trigger-driven: with nothing latched, a tick only
+      // samples constant state. The trigger decode wakes the addressed RFU
+      // on every push (hw::RfuTriggerLogic::set_waker), so "until woken" is
+      // exact for the primary-trigger machinery in either phase.
       q = env_.bus->triggers().pending(id_) ? 0 : kIdleForever;
       break;
     case Phase::Running:
       q = running_quiescent_for();
       break;
-    default:
-      // CollectArgs turnarounds are cycles-long and Reconfiguring counts
-      // down internal state every tick: not worth a skip contract.
-      return 0;
+    case Phase::Reconfiguring:
+      // The countdown length was fixed at rc_configure; every tick strictly
+      // before the completing one (remaining reaching 0) only decrements.
+      // remaining >= 1 holds at both contract evaluation points, so the
+      // bound never swallows the completion tick.
+      q = reconfig_remaining_ - 1;
+      break;
   }
   return std::min(q, slave_quiescent_for());
 }
@@ -63,7 +70,16 @@ void Rfu::skip_idle(Cycle n) {
   }
   if (was_busy) {
     busy_cycles_ += n;
-    on_running_skip(n);
+    if (phase_ == Phase::Running) {
+      on_running_skip(n);
+    } else if (phase_ == Phase::Reconfiguring) {
+      // n no-op countdown ticks: the bound keeps n < remaining, so the
+      // completing tick (and on_reconfigured) still executes for real.
+      reconfig_cycles_ += n;
+      reconfig_remaining_ -= n;
+    }
+    // CollectArgs: nothing beyond the busy accounting above — the skipped
+    // ticks held no latched trigger by contract.
   }
 }
 
@@ -91,6 +107,7 @@ void Rfu::tick() {
         on_reconfigured(c_state_, *blob);
         rdone_ = true;
         phase_ = Phase::Idle;
+        if (completion_waker_ != nullptr) completion_waker_->wake_self();
       }
       return;
     }
@@ -128,6 +145,7 @@ void Rfu::tick() {
       if (work_step()) {
         done_ = true;
         phase_ = Phase::Idle;
+        if (completion_waker_ != nullptr) completion_waker_->wake_self();
       }
       return;
     }

@@ -62,6 +62,11 @@ class Rfu : public sim::Clockable {
   /// RC interface: RC_en + RC_cnfgst (starts the reconfiguration).
   void rc_configure(u8 new_state);
 
+  /// Registers the component woken when DONE or RDONE asserts (the IRC):
+  /// both lines are level signals the controllers otherwise poll, so the
+  /// wake lets the IRC sleep through a unit's whole execution span.
+  void set_completion_waker(sim::Clockable* w) noexcept { completion_waker_ = w; }
+
   /// Hard-wired secondary trigger from a master RFU (thesis §3.6.5 option c).
   virtual void on_secondary_trigger(u8 master_id, Word data, u8 nbytes);
 
@@ -133,6 +138,7 @@ class Rfu : public sim::Clockable {
 
   bool done_ = false;
   bool rdone_ = false;
+  sim::Clockable* completion_waker_ = nullptr;
 
   Cycle busy_cycles_ = 0;
   Cycle reconfig_cycles_ = 0;

@@ -45,8 +45,11 @@ bool RxRfu::work_step() {
         ++widx_;
         return false;
       }
-      const auto entry = buf.pop();
-      last_rx_end_ = entry.rx_end_cycle;
+      // Retire the frame in place: only the rx-end timestamp survives, and
+      // drop_front keeps the entry's byte storage in the ring for the next
+      // delivery (zero-allocation drain).
+      last_rx_end_ = buf.frame_rx_end();
+      buf.drop_front();
       ++frames_;
       stage_ = 2;
       return false;

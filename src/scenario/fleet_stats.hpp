@@ -122,6 +122,8 @@ struct FleetStats {
   Cycle ff_cycles = 0;  ///< Globally-quiescent cycles crossed by fast-forwards.
   u64 ff_events = 0;    ///< Fast-forward jumps taken.
   u64 wheel_depth_max = 0;        ///< Wake-wheel high-watermark (max over lanes).
+  u64 wheel_cascades = 0;         ///< Timing-wheel buckets re-hashed downward.
+  u64 wheel_purges = 0;           ///< Stale-majority wake-wheel sweeps.
   u64 medium_ticks_executed = 0;  ///< kStageMedium component-ticks run.
   u64 medium_ticks_skipped = 0;   ///< kStageMedium component-ticks skipped.
   u64 lockstep_rounds = 0;        ///< MultiScheduler rounds (batched path).

@@ -232,6 +232,8 @@ FleetStats ScenarioEngine::collect(Cycle lockstep_cycles, bool all_drained,
       fs.ff_cycles += p.ff_cycles;
       fs.ff_events += p.ff_events;
       fs.wheel_depth_max = std::max(fs.wheel_depth_max, p.wheel_depth_max);
+      fs.wheel_cascades += p.wheel_cascades;
+      fs.wheel_purges += p.wheel_purges;
       for (const sim::SchedulerProfile::Stage& st : p.stages) {
         if (st.stage == sim::Scheduler::kStageMedium) {
           fs.medium_ticks_executed += st.executed;
@@ -248,6 +250,8 @@ FleetStats ScenarioEngine::collect(Cycle lockstep_cycles, bool all_drained,
   fs.metrics.add("sched/ff_cycles", fs.ff_cycles);
   fs.metrics.add("sched/ff_events", fs.ff_events);
   fs.metrics.max_gauge("sched/wheel_depth_max", static_cast<i64>(fs.wheel_depth_max));
+  fs.metrics.add("sched/wheel_cascades", fs.wheel_cascades);
+  fs.metrics.add("sched/wheel_purges", fs.wheel_purges);
   fs.metrics.add("sched/lockstep_rounds", fs.lockstep_rounds);
   fs.metrics.add("sched/lane_rounds_skipped", fs.lane_rounds_skipped);
   fs.metrics.add("sched/lane_stall_cycles", fs.lane_stall_cycles);

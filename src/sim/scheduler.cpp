@@ -97,8 +97,9 @@ void Scheduler::enter_batched() {
   in_cycle_ = false;
   cursor_ = kNoCursor;
   states_.assign(batch_.size(), CompState{});
-  wheel_ = {};
-  active_.clear();
+  wheel_.reset(now_);
+  wheel_stale_ = 0;
+  active_.reset(batch_.size());
   awake_lazy_ = 0;
   // Entry partition: every component is fully caught up here, so bounds are
   // relative to the next cycle to execute (now_).
@@ -117,7 +118,8 @@ void Scheduler::enter_batched() {
       st.sleeping = true;
       st.slept_from = now_;
       if (q != Clockable::kIdleForever && q <= Clockable::kIdleForever - now_) {
-        wheel_.push(WheelEntry{now_ + q, i, st.gen});
+        wheel_.push(now_ + q, i, st.gen);
+        st.in_wheel = true;
         wheel_depth_max_ = std::max<u64>(wheel_depth_max_, wheel_.size());
       }
     }
@@ -172,6 +174,10 @@ void Scheduler::wake_component(u32 idx) {
   if (!st.sleeping) return;
   st.sleeping = false;
   ++st.gen;  // Any wake-wheel entry for this sleep period is now stale.
+  if (st.in_wheel) {
+    st.in_wheel = false;
+    ++wheel_stale_;  // Woken early: its wheel entry lingers until purged.
+  }
   // Catch-up window: while mid-cycle, a target whose tick slot has not yet
   // passed this cycle owes [slept_from, now_) and then really ticks at now_
   // (the legacy path would observe the just-delivered input this cycle); a
@@ -191,6 +197,32 @@ void Scheduler::wake_component(u32 idx) {
   ++awake_lazy_;
 }
 
+void Scheduler::drain_wheel() {
+  // Scheduled bounds that expire this cycle. Entries are drained in bucket
+  // order, not time order — every drained entry is due at now_ (or stale),
+  // and wake_component is order-independent within a cycle boundary.
+  wheel_.advance(now_, [this](const TimingWheel::Entry& e) {
+    CompState& st = states_[e.index];
+    if (st.sleeping && st.gen == e.gen) {
+      st.in_wheel = false;
+      wake_component(e.index);
+    } else if (wheel_stale_ > 0) {
+      --wheel_stale_;  // A stale entry just fell out on its own.
+    }
+  });
+  // Lazy-deletion leak fix: components woken early leave their entries
+  // behind; sweep them out as soon as they are the majority so the wheel's
+  // depth tracks the *sleeping* population, not the wake history.
+  if (wheel_stale_ >= kPurgeMinStale && wheel_stale_ * 2 >= wheel_.size()) {
+    wheel_.purge([this](const TimingWheel::Entry& e) {
+      const CompState& st = states_[e.index];
+      return st.sleeping && st.gen == e.gen;
+    });
+    wheel_stale_ = 0;
+    ++wheel_purges_;
+  }
+}
+
 void Scheduler::run_cycles_batched(Cycle n) {
   if (batch_dirty_) freeze();
   if (!idle_skip_ || batch_.empty()) {
@@ -200,29 +232,37 @@ void Scheduler::run_cycles_batched(Cycle n) {
   const Cycle limit = now_ + n;
   enter_batched();
   while (now_ < limit) {
-    // Wake-wheel: scheduled bounds that expire this cycle.
-    while (!wheel_.empty() && wheel_.top().wake_at <= now_) {
-      const WheelEntry e = wheel_.top();
-      wheel_.pop();
-      if (states_[e.index].sleeping && states_[e.index].gen == e.gen) {
-        wake_component(e.index);
-      }
-    }
+    drain_wheel();
     // Globally-quiescent gap: nothing but eager components is awake. Fast-
-    // forward to the earliest wake (or the nearest eager event), bulk-
-    // accounting the gap into the eager components immediately so their
-    // externally visible clocks are exact at every cycle anything runs.
+    // forward to the earliest wake bound (or the nearest eager event),
+    // bulk-accounting the gap into the eager components immediately so
+    // their externally visible clocks are exact at every cycle anything
+    // runs. The wheel reports a *lower* bound (a bucket floor above level
+    // 0), so a long gap may take a few hops — additive skip chunking makes
+    // that bit-identical to one jump.
     if (awake_lazy_ == 0) {
       Cycle gap = limit - now_;
-      if (!wheel_.empty()) gap = std::min(gap, wheel_.top().wake_at - now_);
-      for (const u32 idx : active_) {
-        gap = std::min(gap, batch_[idx]->quiescent_for());
-        if (gap == 0) break;
+      const Cycle nb = wheel_.next_bound();
+      if (nb != TimingWheel::kNever) gap = std::min(gap, nb - now_);
+      for (std::size_t w = 0; w < active_.word_count() && gap > 0; ++w) {
+        u64 m = active_.word(w);
+        while (m != 0 && gap > 0) {
+          const auto idx = static_cast<u32>(w * 64) +
+                           static_cast<u32>(std::countr_zero(m));
+          m &= m - 1;
+          gap = std::min(gap, batch_[idx]->quiescent_for());
+        }
       }
       if (gap > 0) {
-        for (const u32 idx : active_) {
-          batch_[idx]->skip_idle(gap);
-          stage_skip_[stage_bucket_[idx]] += gap;
+        for (std::size_t w = 0; w < active_.word_count(); ++w) {
+          u64 m = active_.word(w);
+          while (m != 0) {
+            const auto idx = static_cast<u32>(w * 64) +
+                             static_cast<u32>(std::countr_zero(m));
+            m &= m - 1;
+            batch_[idx]->skip_idle(gap);
+            stage_skip_[stage_bucket_[idx]] += gap;
+          }
         }
         ticks_skipped_ += gap * active_.size();
         if (observer_ != nullptr) observer_->on_fast_forward(now_, gap);
@@ -233,34 +273,43 @@ void Scheduler::run_cycles_batched(Cycle n) {
         continue;
       }
     }
-    // One real cycle over the awake set, in frozen (stage) order. std::set
-    // iteration tolerates mid-loop insertion by wake_component: an index
-    // greater than the cursor is picked up later in this same pass.
+    // One real cycle over the awake set, in frozen (stage) order. After
+    // each tick the word is re-read above the cursor, so an index inserted
+    // by wake_component mid-pass is picked up later in this same pass —
+    // the same semantics the std::set iteration used to provide.
     in_cycle_ = true;
-    for (auto it = active_.begin(); it != active_.end();) {
-      const u32 idx = *it;
-      cursor_ = idx;
-      Clockable* c = batch_[idx];
-      c->tick();
-      ++ticks_executed_;
-      ++stage_exec_[stage_bucket_[idx]];
-      CompState& st = states_[idx];
-      if (!st.eager) {
-        const Cycle q = c->quiescent_for();
-        if (q > 0) {
-          st.sleeping = true;
-          ++st.gen;
-          st.slept_from = now_ + 1;
-          if (q != Clockable::kIdleForever && q < Clockable::kIdleForever - now_ - 1) {
-            wheel_.push(WheelEntry{now_ + 1 + q, idx, st.gen});
-            wheel_depth_max_ = std::max<u64>(wheel_depth_max_, wheel_.size());
+    for (std::size_t w = 0; w < active_.word_count(); ++w) {
+      u64 m = active_.word(w);
+      while (m != 0) {
+        const auto bit = static_cast<u32>(std::countr_zero(m));
+        const auto idx = static_cast<u32>(w * 64) + bit;
+        cursor_ = idx;
+        Clockable* c = batch_[idx];
+        c->tick();
+        ++ticks_executed_;
+        ++stage_exec_[stage_bucket_[idx]];
+        CompState& st = states_[idx];
+        if (!st.eager) {
+          const Cycle q = c->quiescent_for();
+          if (q > 0) {
+            st.sleeping = true;
+            ++st.gen;
+            st.slept_from = now_ + 1;
+            if (q != Clockable::kIdleForever &&
+                q < Clockable::kIdleForever - now_ - 1) {
+              wheel_.push(now_ + 1 + q, idx, st.gen);
+              st.in_wheel = true;
+              wheel_depth_max_ = std::max<u64>(wheel_depth_max_, wheel_.size());
+            }
+            active_.erase(idx);
+            --awake_lazy_;
           }
-          it = active_.erase(it);
-          --awake_lazy_;
-          continue;
         }
+        // Re-read above the cursor: picks up same-cycle wakes at higher
+        // indices of this word (u64{2} << 63 wraps to 0, masking the word
+        // out entirely).
+        m = active_.word(w) & ~((u64{2} << bit) - 1);
       }
-      ++it;
     }
     in_cycle_ = false;
     cursor_ = kNoCursor;
@@ -276,6 +325,8 @@ SchedulerProfile Scheduler::profile() const {
   p.ff_cycles = ff_cycles_;
   p.ff_events = ff_events_;
   p.wheel_depth_max = wheel_depth_max_;
+  p.wheel_cascades = wheel_.cascades();
+  p.wheel_purges = wheel_purges_;
   p.ff_gap_log2 = ff_gap_log2_;
   // Current counter vectors plus whatever earlier freezes flushed.
   std::map<int, std::pair<u64, u64>> by_stage = stage_totals_;

@@ -74,12 +74,13 @@
 #pragma once
 
 #include <array>
+#include <bit>
+#include <cstddef>
 #include <functional>
 #include <map>
-#include <queue>
-#include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -157,9 +158,268 @@ struct SchedulerProfile {
   u64 ticks_skipped = 0;
   Cycle ff_cycles = 0;          ///< Cycles crossed by fast-forward jumps.
   u64 ff_events = 0;            ///< Number of fast-forward jumps.
-  u64 wheel_depth_max = 0;      ///< Wake-wheel high-watermark.
+  u64 wheel_depth_max = 0;      ///< Wake-wheel high-watermark (live + stale).
+  u64 wheel_cascades = 0;       ///< Timing-wheel buckets re-hashed downward.
+  u64 wheel_purges = 0;         ///< Stale-majority lazy-deletion sweeps.
   std::array<u64, 65> ff_gap_log2{};  ///< Jump lengths by bit width.
   std::vector<Stage> stages;          ///< Sorted by stage id.
+};
+
+/// Flat membership bitmap over the frozen component array: O(1) insert and
+/// erase, cache-linear iteration in frozen (stage) order. Replaces the
+/// std::set the active set grew up as — at fleet scale the per-cycle loop
+/// walks one cached word per 64 components instead of chasing red-black
+/// tree nodes.
+class ActiveSet {
+ public:
+  void reset(std::size_t n) {
+    words_.assign((n + 63) / 64, 0);
+    count_ = 0;
+  }
+  void insert(u32 i) noexcept {
+    u64& w = words_[i >> 6];
+    const u64 m = u64{1} << (i & 63);
+    count_ += static_cast<std::size_t>((w & m) == 0);
+    w |= m;
+  }
+  void erase(u32 i) noexcept {
+    u64& w = words_[i >> 6];
+    const u64 m = u64{1} << (i & 63);
+    count_ -= static_cast<std::size_t>((w & m) != 0);
+    w &= ~m;
+  }
+  bool contains(u32 i) const noexcept {
+    return (words_[i >> 6] >> (i & 63) & 1) != 0;
+  }
+  std::size_t size() const noexcept { return count_; }
+  std::size_t word_count() const noexcept { return words_.size(); }
+  u64 word(std::size_t k) const noexcept { return words_[k]; }
+
+ private:
+  std::vector<u64> words_;
+  std::size_t count_ = 0;
+};
+
+/// Bucketed hierarchical timing wheel for sleeping components' wake bounds:
+/// O(1) push, O(occupied) advance, with far-future bounds parked on a flat
+/// overflow level. Replaces the binary-heap wake wheel, whose log-depth
+/// sift-downs and one-at-a-time stale pops dominated the scheduler loop on
+/// wake-heavy cells.
+///
+/// Layout: kLevels levels of 64 slots; a slot at level l spans 2^(6l)
+/// cycles, so the wheel covers kSpan = 2^(6*kLevels) cycles past `base_`.
+/// Entries hash by the absolute wake time's level-l digit; a per-level
+/// occupancy word makes "earliest occupied slot" one bit-scan. advance()
+/// walks base_ through successive next_bound() stops, cascading each
+/// higher-level bucket it enters strictly downward until due entries drain
+/// out of level 0. Deletion is lazy: the scheduler's generation check
+/// rejects stale entries at drain time, and purge() sweeps them out when
+/// they become the majority.
+///
+/// next_bound() is a *lower* bound on the earliest stored wake time — exact
+/// at level 0, a bucket floor above — which is safe for fast-forwarding
+/// because skip chunking is additive by the quiescence contract: a gap
+/// crossed in several hops lands on the same cycle with the same state.
+class TimingWheel {
+ public:
+  struct Entry {
+    Cycle wake_at;
+    u32 index;
+    u32 gen;
+  };
+
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 6;
+  static constexpr std::size_t kSlots = 64;
+  static constexpr Cycle kSpan = Cycle{1} << (kLevels * kSlotBits);
+  static constexpr Cycle kNever = ~Cycle{0};
+
+  /// Drops every entry and rebases the wheel (O(occupied buckets); bucket
+  /// capacity is retained, so steady-state re-entry allocates nothing).
+  void reset(Cycle base) {
+    for (int l = 0; l < kLevels; ++l) {
+      u64 bits = occ_[l];
+      while (bits != 0) {
+        buckets_[l][static_cast<std::size_t>(std::countr_zero(bits))].clear();
+        bits &= bits - 1;
+      }
+      occ_[l] = 0;
+    }
+    overflow_.clear();
+    overflow_min_ = kNever;
+    base_ = base;
+    size_ = 0;
+  }
+
+  /// Stores a bound. Requires wake_at > the base advance() last settled on
+  /// (the scheduler always pushes strictly-future bounds).
+  void push(Cycle wake_at, u32 index, u32 gen) {
+    ++size_;
+    place(Entry{wake_at, index, gen});
+  }
+
+  /// Moves the wheel to `now`, invoking `due` on every entry whose wake
+  /// time has arrived (in bucket order; the scheduler's gen check makes
+  /// drain order irrelevant). Requires now >= the previous advance point.
+  template <typename F>
+  void advance(Cycle now, F&& due) {
+    while (base_ < now) {
+      const Cycle nb = next_bound();
+      if (nb > now) {
+        base_ = now;
+        return;
+      }
+      base_ = nb;
+      service(due);
+    }
+  }
+
+  /// Lower bound (> the current base) on the earliest stored wake time;
+  /// kNever when empty. Valid after advance() caught the wheel up to now.
+  Cycle next_bound() const noexcept {
+    Cycle nb = overflow_min_;
+    if (occ_[0] != 0) {
+      const u64 c = base_ & 63;
+      const u64 hi = occ_[0] & ~((u64{2} << c) - 1);
+      const Cycle frame0 = base_ & ~Cycle{63};
+      nb = std::min(nb, hi != 0 ? frame0 + static_cast<Cycle>(std::countr_zero(hi))
+                                : frame0 + 64 +
+                                      static_cast<Cycle>(std::countr_zero(occ_[0])));
+    }
+    for (int l = 1; l < kLevels; ++l) {
+      if (occ_[l] == 0) continue;
+      const int shift = kSlotBits * l;
+      const Cycle width = Cycle{1} << shift;
+      const Cycle frame = width << kSlotBits;
+      const Cycle frame_base = base_ & ~(frame - 1);
+      const u64 c = (base_ >> shift) & 63;
+      const u64 hi = occ_[l] & ~((u64{2} << c) - 1);
+      nb = std::min(nb, hi != 0
+                            ? frame_base + width * static_cast<Cycle>(
+                                               std::countr_zero(hi))
+                            : frame_base + frame +
+                                  width * static_cast<Cycle>(
+                                              std::countr_zero(occ_[l])));
+    }
+    return nb;
+  }
+
+  /// Filters out entries `keep` rejects (the scheduler's stale predicate).
+  template <typename P>
+  void purge(P&& keep) {
+    for (int l = 0; l < kLevels; ++l) {
+      u64 bits = occ_[l];
+      while (bits != 0) {
+        const auto s = static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        filter(buckets_[l][s], keep);
+        if (buckets_[l][s].empty()) occ_[l] &= ~(u64{1} << s);
+      }
+    }
+    filter(overflow_, keep);
+    overflow_min_ = kNever;
+    for (const Entry& e : overflow_) overflow_min_ = std::min(overflow_min_, e.wake_at);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  u64 cascades() const noexcept { return cascades_; }
+
+ private:
+  /// Requires e.wake_at > base_ (due entries are drained before placement).
+  void place(const Entry& e) {
+    const Cycle delta = e.wake_at - base_;
+    if (delta >= kSpan) {
+      overflow_.push_back(e);
+      overflow_min_ = std::min(overflow_min_, e.wake_at);
+      return;
+    }
+    const int l = (std::bit_width(delta) - 1) / kSlotBits;
+    const auto s =
+        static_cast<std::size_t>((e.wake_at >> (kSlotBits * l)) & 63);
+    buckets_[static_cast<std::size_t>(l)][s].push_back(e);
+    occ_[static_cast<std::size_t>(l)] |= u64{1} << s;
+  }
+
+  /// Drains / cascades everything anchored at base_ (called at each
+  /// next_bound() stop): refills overflow entries inside the horizon,
+  /// cascades every higher-level bucket whose window opens here strictly
+  /// downward, then hands the level-0 bucket — whose entries are all due
+  /// exactly now — to `due`.
+  template <typename F>
+  void service(F&& due) {
+    if (!overflow_.empty() && overflow_min_ - base_ < kSpan) refill(due);
+    for (int l = kLevels - 1; l >= 1; --l) {
+      const int shift = kSlotBits * l;
+      if ((base_ & ((Cycle{1} << shift) - 1)) != 0) continue;
+      const auto s = static_cast<std::size_t>((base_ >> shift) & 63);
+      auto& b = buckets_[static_cast<std::size_t>(l)][s];
+      if (b.empty()) continue;
+      occ_[static_cast<std::size_t>(l)] &= ~(u64{1} << s);
+      scratch_.clear();
+      scratch_.insert(scratch_.end(), b.begin(), b.end());
+      b.clear();
+      ++cascades_;
+      for (const Entry& e : scratch_) {
+        if (e.wake_at <= base_) {
+          --size_;
+          due(e);
+        } else {
+          place(e);
+        }
+      }
+    }
+    const auto s0 = static_cast<std::size_t>(base_ & 63);
+    if ((occ_[0] >> s0 & 1) != 0) {
+      auto& b = buckets_[0][s0];
+      occ_[0] &= ~(u64{1} << s0);
+      scratch_.clear();
+      scratch_.insert(scratch_.end(), b.begin(), b.end());
+      b.clear();
+      for (const Entry& e : scratch_) {
+        --size_;
+        due(e);  // Level-0 residents here are due at exactly base_.
+      }
+    }
+  }
+
+  template <typename F>
+  void refill(F&& due) {
+    Cycle new_min = kNever;
+    std::size_t w = 0;
+    for (const Entry& e : overflow_) {
+      if (e.wake_at <= base_) {
+        --size_;
+        due(e);
+      } else if (e.wake_at - base_ < kSpan) {
+        place(e);
+      } else {
+        new_min = std::min(new_min, e.wake_at);
+        overflow_[w++] = e;
+      }
+    }
+    overflow_.resize(w);
+    overflow_min_ = new_min;
+  }
+
+  template <typename P>
+  void filter(std::vector<Entry>& v, P&& keep) {
+    std::size_t w = 0;
+    for (const Entry& e : v) {
+      if (keep(e)) v[w++] = e;
+    }
+    size_ -= v.size() - w;
+    v.resize(w);
+  }
+
+  std::array<std::array<std::vector<Entry>, kSlots>, kLevels> buckets_{};
+  std::array<u64, kLevels> occ_{};
+  std::vector<Entry> overflow_;  ///< wake_at >= base_ + kSpan, unsorted.
+  Cycle overflow_min_ = kNever;
+  std::vector<Entry> scratch_;  ///< Cascade staging (capacity retained).
+  Cycle base_ = 0;
+  std::size_t size_ = 0;
+  u64 cascades_ = 0;
 };
 
 class Scheduler {
@@ -254,18 +514,21 @@ class Scheduler {
   struct CompState {
     bool eager = false;    ///< global_skip_only(): tick unless global gap.
     bool sleeping = false;
-    u32 gen = 0;           ///< Invalidates stale wake-wheel entries.
-    Cycle slept_from = 0;  ///< First skipped tick cycle.
+    bool in_wheel = false;  ///< A live wheel entry exists for this sleep.
+    u32 gen = 0;            ///< Invalidates stale wake-wheel entries.
+    Cycle slept_from = 0;   ///< First skipped tick cycle.
   };
 
-  struct WheelEntry {
-    Cycle wake_at;
-    u32 index;
-    u32 gen;
-    bool operator>(const WheelEntry& o) const noexcept { return wake_at > o.wake_at; }
-  };
+  /// Eagerly sweep the wheel when stale entries both exceed this floor and
+  /// outnumber live ones — bounding wheel depth on wake-heavy workloads
+  /// without paying a sweep for isolated early wakes.
+  static constexpr std::size_t kPurgeMinStale = 64;
 
   static constexpr std::size_t kNoCursor = ~std::size_t{0};
+
+  /// Drains due wheel entries at now_ and purges when stale entries
+  /// dominate (the lazy-deletion leak fix).
+  void drain_wheel();
 
   TimeBase timebase_;
   Cycle now_ = 0;
@@ -279,9 +542,10 @@ class Scheduler {
   bool in_cycle_ = false;
   std::size_t cursor_ = kNoCursor;  ///< Frozen index currently ticking.
   std::vector<CompState> states_;
-  std::set<u32> active_;  ///< Awake components, iterated in frozen order.
-  std::priority_queue<WheelEntry, std::vector<WheelEntry>, std::greater<>> wheel_;
-  std::size_t awake_lazy_ = 0;  ///< Awake components that are not eager.
+  ActiveSet active_;  ///< Awake components, iterated in frozen order.
+  TimingWheel wheel_;
+  std::size_t awake_lazy_ = 0;   ///< Awake components that are not eager.
+  std::size_t wheel_stale_ = 0;  ///< Known-stale entries still in the wheel.
   Cycle next_wake_ = 0;
 
   u64 ticks_executed_ = 0;
@@ -297,6 +561,7 @@ class Scheduler {
   /// Totals flushed across re-freezes (stage id -> {executed, skipped}).
   std::map<int, std::pair<u64, u64>> stage_totals_;
   u64 wheel_depth_max_ = 0;
+  u64 wheel_purges_ = 0;
   u64 ff_events_ = 0;
   std::array<u64, 65> ff_gap_log2_{};
   SchedulerObserver* observer_ = nullptr;

@@ -4,6 +4,11 @@
 // arrival shaping.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+
 #include "mac/traffic_gen.hpp"
 #include "scenario/scenario_engine.hpp"
 #include "scenario/scenario_spec.hpp"
@@ -257,6 +262,49 @@ TEST(Scenario, IdleSkipIsBitIdenticalToEveryTickScheduling) {
   // And the skip path really skipped: this workload is idle-dominated.
   EXPECT_GT(skipped.ticks_skipped, skipped.ticks_executed);
   EXPECT_EQ(ticked.ticks_skipped, 0u);
+}
+
+TEST(Scenario, ExecutionPolicyMatrixKeepsOneDigestPerWorkload) {
+  // The scheduler-overhaul acceptance sweep: each workload produces exactly
+  // ONE digest across its execution-policy matrix — worker_threads {1, 0}
+  // x idle_skip {on, off}. Execution strategy (trigger-driven IRC bounds,
+  // the timing wheel, frame arenas) must be invisible in every simulation
+  // counter. The every-tick arms run on an 8-station cell and the 8-device
+  // fleet; at 64 stations idle_skip=off means hundreds of billions of
+  // component-ticks (the ~80x the skip path buys at that scale), so the
+  // 64-station workload sweeps the worker axis on the skip path only.
+  struct Arm {
+    const char* workload;
+    unsigned workers;
+    bool skip;
+  };
+  const Arm arms[] = {
+      {"contended-8", 1, true},  {"contended-8", 1, false},
+      {"contended-8", 0, true},  {"contended-8", 0, false},
+      {"fleet-8", 1, true},      {"fleet-8", 1, false},
+      {"fleet-8", 0, true},      {"fleet-8", 0, false},
+      {"contended-64", 1, true}, {"contended-64", 0, true},
+  };
+  std::map<std::string, std::pair<u64, std::string>> ref;
+  for (const Arm& a : arms) {
+    ScenarioSpec spec = std::string_view(a.workload) == "contended-8"
+                            ? ScenarioSpec::contended_wifi_cell(8, 1, 2)
+                        : std::string_view(a.workload) == "fleet-8"
+                            ? ScenarioSpec::mixed_three_standard(8, 1, 1)
+                            : ScenarioSpec::contended_wifi_cell(64, 1, 1);
+    spec.worker_threads = a.workers;
+    spec.idle_skip = a.skip;
+    const FleetStats fs = ScenarioEngine(std::move(spec)).run();
+    const std::string arm_name = std::string(a.workload) +
+                                 " workers=" + std::to_string(a.workers) +
+                                 " skip=" + std::to_string(a.skip);
+    EXPECT_TRUE(fs.all_drained) << arm_name;
+    auto [it, fresh] = ref.emplace(a.workload,
+                                   std::make_pair(fs.full_digest(), fs.report()));
+    EXPECT_EQ(fs.full_digest(), it->second.first) << arm_name;
+    EXPECT_EQ(fs.report(), it->second.second) << arm_name;
+    if (!fresh && fs.full_digest() != it->second.first) break;  // One arm is enough.
+  }
 }
 
 // 64-device mixed fleet with a skewed traffic mix: a quarter of the

@@ -44,6 +44,9 @@ FILES=(
   src/sim/multi_scheduler.cpp
   src/sim/scheduler.hpp
   src/sim/scheduler.cpp
+  src/common/arena.hpp
+  tests/alloc_test.cpp
+  tests/wheel_test.cpp
   tests/net_test.cpp
   tests/obs_test.cpp
   tests/multicell_test.cpp
