@@ -29,6 +29,7 @@
 //   --devices appends the scaling sweep (default points 64,256,1024) to the
 //   table and the JSON record as sweep_cpsd_<N> keys.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -76,12 +77,28 @@ std::vector<std::size_t> take_devices_flag(int& argc, char** argv) {
   return out;
 }
 
+/// Consumes a `--checkpoint-roundtrip` argument (anywhere in argv).
+bool take_checkpoint_flag(int& argc, char** argv) {
+  bool present = false;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::strcmp(argv[r], "--checkpoint-roundtrip") == 0) {
+      present = true;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  return present;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string json_path =
       drmp::bench::take_json_flag(argc, argv, "BENCH_fleet.json");
   const std::vector<std::size_t> sweep_points = take_devices_flag(argc, argv);
+  const bool checkpoint_roundtrip = take_checkpoint_flag(argc, argv);
   const std::size_t n_devices = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
   const drmp::u32 msdus =
       argc > 2 ? static_cast<drmp::u32>(std::strtoul(argv[2], nullptr, 10)) : 3;
@@ -133,6 +150,51 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("parallel:    %u-worker batched run matches serial digests\n", cores);
+  }
+
+  // ---- Checkpoint roundtrip gate (--checkpoint-roundtrip) ----
+  // Half-run save, fresh-engine resume, digest assert: the interrupted-and-
+  // resumed fleet must reproduce the uninterrupted full_digest bit-for-bit.
+  double ckpt_resume_seconds = 0.0;
+  drmp::u64 ckpt_snapshot_bytes = 0;
+  drmp::Cycle ckpt_half_cycles = 0;
+  if (checkpoint_roundtrip) {
+    const std::string snap_path = "BENCH_fleet.snap";
+    ScenarioSpec half = make_spec(1);
+    const drmp::Cycle stride = half.lockstep_stride;
+    drmp::Cycle half_cycles = batched.lockstep_cycles / 2 / stride * stride;
+    if (half_cycles == 0) half_cycles = stride;
+    ckpt_half_cycles = half_cycles;
+    half.max_cycles = half_cycles;  // "crash" at the half-way round edge.
+    ScenarioEngine saver(std::move(half));
+    saver.checkpoint_every(half_cycles, snap_path);
+    (void)saver.run();
+    if (std::FILE* f = std::fopen(snap_path.c_str(), "rb")) {
+      std::fseek(f, 0, SEEK_END);
+      ckpt_snapshot_bytes = static_cast<drmp::u64>(std::ftell(f));
+      std::fclose(f);
+    }
+    ScenarioEngine resumer(make_spec(1));
+    const auto r0 = std::chrono::steady_clock::now();
+    resumer.resume(snap_path);
+    ckpt_resume_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - r0)
+            .count();
+    const FleetStats resumed = resumer.run();
+    if (resumed.full_digest() != batched.full_digest() ||
+        resumed.report() != batched.report()) {
+      std::printf(
+          "CHECKPOINT MISMATCH: the interrupted-and-resumed run diverged from "
+          "the uninterrupted digest\n");
+      return 1;
+    }
+    std::remove(snap_path.c_str());
+    std::printf(
+        "checkpoint:  half-run snapshot at cycle %llu (%llu bytes) resumed in "
+        "%.3f ms; digests byte-identical\n",
+        static_cast<unsigned long long>(half_cycles),
+        static_cast<unsigned long long>(ckpt_snapshot_bytes),
+        1e3 * ckpt_resume_seconds);
   }
 
   // ---- Throughput: interleaved passes (A,B,A,B), median per path ----
@@ -218,6 +280,12 @@ int main(int argc, char** argv) {
     rec.num("ticks_executed", batched.ticks_executed);
     rec.num("ticks_skipped", batched.ticks_skipped);
     rec.num("skip_ratio", batched.skip_ratio());
+    if (checkpoint_roundtrip) {
+      rec.num("checkpoint_roundtrip_ok", 1);
+      rec.num("checkpoint_half_cycles", ckpt_half_cycles);
+      rec.num("checkpoint_resume_seconds", ckpt_resume_seconds);
+      rec.num("checkpoint_snapshot_bytes", ckpt_snapshot_bytes);
+    }
     if (!sweep_points.empty()) {
       std::string pts;
       for (const std::size_t n : sweep_points) {

@@ -88,6 +88,24 @@ class RingQueue {
     --count_;
   }
 
+  /// Checkpoint support (sim/checkpoint.hpp): the ring serializes as its
+  /// logical FIFO contents — slot recycling and capacity are hot-path
+  /// artefacts a restored run rebuilds on its own.
+  template <class Ar>
+  void persist(Ar& ar) {
+    u64 n = count_;
+    ar.io(n);
+    if constexpr (Ar::kLoading) {
+      head_ = 0;
+      count_ = 0;
+      for (u64 i = 0; i < n; ++i) ar.io(push_slot());
+    } else {
+      for (std::size_t i = 0; i < count_; ++i) {
+        ar.io(slots_[(head_ + i) & (slots_.size() - 1)]);
+      }
+    }
+  }
+
  private:
   void grow() {
     const std::size_t cap = slots_.empty() ? 8 : slots_.size() * 2;

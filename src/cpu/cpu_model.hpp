@@ -33,6 +33,13 @@ struct IsrContext {
   IsrCause cause;
   u32 event = 0;  ///< IrqEvent code / timer id / host request id.
   Word param = 0;
+
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(cause);
+    ar.io(event);
+    ar.io(param);
+  }
 };
 
 class CpuModel : public sim::Clockable {
@@ -103,11 +110,39 @@ class CpuModel : public sim::Clockable {
 
   const Config& config() const noexcept { return cfg_; }
 
+  /// Checkpoint support (sim/checkpoint.hpp). The timer min-heap vector
+  /// travels verbatim — heap layout is deterministic for a given arm/cancel
+  /// history, so restoring it byte-for-byte preserves pop order. Handlers
+  /// and stats sinks are wiring.
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(now_);
+    ar.io(busy_until_);
+    ar.io(busy_cycles_);
+    ar.io(isr_count_);
+    ar.io(preemption_count_);
+    ar.io(max_dispatch_latency_);
+    ar.io(mode_max_latency_);
+    ar.io(mode_cycles_);
+    ar.io(running_);
+    ar.io(suspended_);
+    ar.io(pending_);
+    ar.io(timers_);
+    ar.io(timer_seq_);
+  }
+
  private:
   struct PendingIsr {
     Mode mode;
     IsrContext ctx;
     Cycle posted_at;
+
+    template <class Ar>
+    void persist(Ar& ar) {
+      ar.io(mode);
+      ar.io(ctx);
+      ar.io(posted_at);
+    }
   };
   /// Deadline-ordered timer entry. Timers live in a binary min-heap on
   /// (fire_at, seq) — expiry pops are O(log n) instead of the old O(n)
@@ -123,11 +158,26 @@ class CpuModel : public sim::Clockable {
     bool operator>(const Timer& o) const noexcept {
       return fire_at != o.fire_at ? fire_at > o.fire_at : seq > o.seq;
     }
+
+    template <class Ar>
+    void persist(Ar& ar) {
+      ar.io(fire_at);
+      ar.io(seq);
+      ar.io(mode);
+      ar.io(id);
+      ar.io(cancelled);
+    }
   };
   /// A handler frame parked by a pre-emption, with its unexecuted remainder.
   struct Suspended {
     Mode mode;
     Cycle remaining;
+
+    template <class Ar>
+    void persist(Ar& ar) {
+      ar.io(mode);
+      ar.io(remaining);
+    }
   };
 
   void dispatch(const PendingIsr& job, bool is_preemption);

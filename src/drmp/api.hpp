@@ -42,6 +42,31 @@ struct ProtocolState {
   u32 msdu_pointer = 0;   ///< Pointer to the packet to be sent (Raw page).
   u32 epointer = 0;       ///< Pointer to data to be encrypted.
   u32 fpointer = 0;       ///< Pointer to data to be fragmented.
+
+  /// Checkpoint support (sim/checkpoint.hpp): every field — this object IS
+  /// the durable half of a protocol controller's state machine.
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(my_state);
+    ar.io(my_id);
+    ar.io(base_pointer);
+    ar.io(fragmentation_threshold);
+    ar.io(MacHdrLng);
+    ar.io(PGSIZE);
+    ar.io(rx_pdu_count);
+    ar.io(tx_pdu_count);
+    ar.io(psdu_size);
+    ar.io(fragments_total);
+    ar.io(fragments_counter);
+    ar.io(next_fragment_size);
+    ar.io(last_fragment_size);
+    ar.io(retry_count);
+    ar.io(msdu_retries);
+    ar.io(seq_num);
+    ar.io(msdu_pointer);
+    ar.io(epointer);
+    ar.io(fpointer);
+  }
 };
 
 /// High-level command codes (Fig. 4.3: "the programmer will simply choose one
@@ -125,6 +150,15 @@ class cDRMP {
   /// Low-level variant taking an explicit op list.
   u32 Request_RHCP_Service_Ops(Mode mode, std::vector<irc::OpCall> ops,
                                u32* instr_cost = nullptr);
+
+  /// Checkpoint support (sim/checkpoint.hpp).
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(PSA);
+    ar.io(PSB);
+    ar.io(PSC);
+    ar.io(next_tag_);
+  }
 
  private:
   hw::PacketMemory* mem_;

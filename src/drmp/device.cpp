@@ -6,6 +6,7 @@
 #include "mac/uwb_ctrl.hpp"
 #include "mac/wifi_ctrl.hpp"
 #include "mac/wimax_ctrl.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace drmp {
 
@@ -323,5 +324,65 @@ void DrmpDevice::host_send(Mode m, Bytes msdu) {
   assert(ctrls_[index(m)] != nullptr && "host_send on a disabled mode");
   ctrls_[index(m)]->host_enqueue(std::move(msdu));
 }
+
+
+template <class Ar>
+void DrmpDevice::persist_device(Ar& ar) {
+  using sim::snap::close_record;
+  using sim::snap::open_record;
+  open_record(ar, "mem");
+  ar.io(mem_);
+  close_record(ar);
+  open_record(ar, "stats");
+  ar.io(stats_);
+  close_record(ar);
+  open_record(ar, "bus");
+  ar.io(*bus_);
+  close_record(ar);
+  open_record(ar, "irc");
+  ar.io(*irc_);
+  close_record(ar);
+  open_record(ar, "cpu");
+  ar.io(*cpu_);
+  close_record(ar);
+  open_record(ar, "api");
+  ar.io(*api_);
+  close_record(ar);
+  open_record(ar, "event_handler");
+  ar.io(*event_handler_);
+  close_record(ar);
+  open_record(ar, "phy");
+  ar.io(tx_bufs_);
+  ar.io(rx_bufs_);
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    if (phy_txs_[i] != nullptr) ar.io(*phy_txs_[i]);
+    if (phy_rxs_[i] != nullptr) ar.io(*phy_rxs_[i]);
+  }
+  ar.io(navs_);
+  close_record(ar);
+  open_record(ar, "rfus");
+  for (rfu::Rfu* r : all_rfus_) {
+    if constexpr (Ar::kLoading) {
+      r->load_state(ar);
+    } else {
+      r->save_state(ar);
+    }
+  }
+  close_record(ar);
+  open_record(ar, "ctrl");
+  for (auto& c : ctrls_) {
+    if (c == nullptr) continue;
+    if constexpr (Ar::kLoading) {
+      c->load_state(ar);
+    } else {
+      c->save_state(ar);
+    }
+  }
+  close_record(ar);
+}
+
+void DrmpDevice::save_state(sim::snap::Writer& w) { persist_device(w); }
+
+void DrmpDevice::load_state(sim::snap::Reader& r) { persist_device(r); }
 
 }  // namespace drmp

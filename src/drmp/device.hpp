@@ -133,9 +133,19 @@ class DrmpDevice {
   /// every enabled mode's attach_medium; null detaches.
   void set_flight_recorder(obs::FlightRecorder* rec, u16 track);
 
+  // ---- Checkpoint support (sim/checkpoint.hpp) ----
+  /// Serializes every mutable component of the SoC as nested named records
+  /// (memory, stats, bus, IRC complex, CPU, API, event handler, PHY side,
+  /// RFU pool, protocol controls). Legal only at a quiescent round edge;
+  /// the shared medium is checkpointed by the owning Cell, not here.
+  void save_state(sim::snap::Writer& w);
+  void load_state(sim::snap::Reader& r);
+
  private:
   void build_rfus(sim::Scheduler& sched);
   void load_reconfig_blobs();
+  template <class Ar>
+  void persist_device(Ar& ar);
 
   DrmpConfig cfg_;
   int station_id_;

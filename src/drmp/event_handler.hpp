@@ -85,6 +85,19 @@ class EventHandler : public sim::Clockable {
   ///     protocol control when it arms a SIFS-anchored follow-on.
   void rx_snoop(Mode m, const Bytes& frame);
 
+  /// Checkpoint support (sim/checkpoint.hpp): the per-mode statecharts,
+  /// request tags and counters. The env wiring and sink cache persist as
+  /// wiring.
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(st_);
+    ar.io(tag_);
+    ar.io(bad_);
+    ar.io(acked_);
+    ar.io(handled_);
+    ar.io(cts_);
+  }
+
  private:
   enum class St : u8 { Idle, WaitDrain, WaitAckGen, WaitCtsGen, WaitRelease };
 

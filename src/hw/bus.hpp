@@ -40,12 +40,26 @@ class PacketBus : public sim::Clockable {
     Mode mode = Mode::A;   // Valid when kind == Irc.
     u8 rfu_id = 0xFF;      // Valid when kind == Rfu.
     bool operator==(const Grant&) const = default;
+
+    template <class Ar>
+    void persist(Ar& ar) {
+      ar.io(kind);
+      ar.io(mode);
+      ar.io(rfu_id);
+    }
   };
 
   struct ModeRequest {
     bool active = false;
     bool for_rfu = false;  // IRC requesting on behalf of an RFU.
     u8 rfu_id = 0xFF;
+
+    template <class Ar>
+    void persist(Ar& ar) {
+      ar.io(active);
+      ar.io(for_rfu);
+      ar.io(rfu_id);
+    }
   };
 
   PacketBus(PacketMemory& mem, sim::StatsRegistry* stats);
@@ -98,6 +112,22 @@ class PacketBus : public sim::Clockable {
   /// Attaches a transaction recorder for interconnect exploration
   /// (§3.6.3/§7.1 alternatives); pass nullptr to detach.
   void attach_recorder(BusTraceRecorder* r) noexcept { recorder_ = r; }
+
+  /// Checkpoint support (sim/checkpoint.hpp). The arbiter state machine,
+  /// the trigger latches and every cycle counter travel; the memory, stats
+  /// sinks and recorders are wiring owned elsewhere.
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(triggers_);
+    ar.io(requests_);
+    ar.io(grant_);
+    ar.io(override_stack_);
+    ar.io(accessed_this_cycle_);
+    ar.io(busy_cycles_);
+    ar.io(total_cycles_);
+    ar.io(mode_hold_cycles_);
+    ar.io(mode_wait_cycles_);
+  }
 
  private:
   Mode grant_origin_mode() const;

@@ -45,6 +45,12 @@ class PacketMemory {
 
   std::size_t size_words() const noexcept { return words_.size(); }
 
+  /// Checkpoint support (sim/checkpoint.hpp); watches are wiring, not state.
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(words_);
+  }
+
  private:
   struct Watch {
     u32 addr;

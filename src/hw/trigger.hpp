@@ -45,6 +45,13 @@ class RfuTriggerLogic {
   bool triggered_flag(u8 rfu_id) const { return triggered_flag_[rfu_id]; }
   void clear_triggered_flag(u8 rfu_id) { triggered_flag_[rfu_id] = false; }
 
+  /// Checkpoint support (sim/checkpoint.hpp); wakers are wiring, not state.
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(latched_);
+    ar.io(triggered_flag_);
+  }
+
  private:
   std::array<std::deque<Word>, kMaxRfus> latched_{};
   std::array<bool, kMaxRfus> triggered_flag_{};

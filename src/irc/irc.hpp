@@ -61,6 +61,13 @@ class Irc : public sim::Clockable {
     Mode mode;
     IrqEvent event;
     Word param;
+
+    template <class Ar>
+    void persist(Ar& ar) {
+      ar.io(mode);
+      ar.io(event);
+      ar.io(param);
+    }
   };
   /// CPU-side: pop the oldest pending interrupt (reads + clears the
   /// memory-mapped source registers).
@@ -92,6 +99,21 @@ class Irc : public sim::Clockable {
   std::array<rfu::Rfu*, hw::kMaxRfus>& rfu_pool() { return rfus_; }
 
   std::size_t queued_requests(Mode m) const { return pending_[index(m)].size(); }
+
+  /// Checkpoint support (sim/checkpoint.hpp): the whole IRC complex — both
+  /// look-up tables' dynamic halves, mutexes, the three task handlers, the
+  /// RC and the queues. The op-code table is fabrication-time constant.
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(rfut_);
+    ar.io(oct_mutex_);
+    ar.io(rfut_mutex_);
+    ar.io(*rc_);
+    for (auto& h : handler_storage_) ar.io(*h);
+    ar.io(pending_);
+    ar.io(irq_queue_);
+    ar.io(next_tag_);
+  }
 
  private:
   void poll_doorbells();

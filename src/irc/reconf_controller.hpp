@@ -78,10 +78,26 @@ class ReconfController : public sim::Clockable {
   /// Bulk-accounts n skipped constant-Idle ticks.
   void skip_idle(Cycle n) override;
 
+  /// Checkpoint support (sim/checkpoint.hpp).
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(state_);
+    ar.io(pending_);
+    ar.io(done_);
+    ar.io(serving_);
+    ar.io(count_);
+  }
+
  private:
   struct Request {
     u8 rfu_id;
     u8 target_state;
+
+    template <class Ar>
+    void persist(Ar& ar) {
+      ar.io(rfu_id);
+      ar.io(target_state);
+    }
   };
 
   Env env_;

@@ -26,6 +26,14 @@ struct OpCodeEntry {
   u8 nargs = 0;
   /// RFUs flagged detached execute without holding the packet bus.
   bool detached = false;
+
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(rfu_id);
+    ar.io(reconf_state);
+    ar.io(nargs);
+    ar.io(detached);
+  }
 };
 
 class OpCodeTable {
@@ -50,6 +58,13 @@ struct QueueEntry {
   /// value = more urgent, matching the bus arbiter's mode-A-highest rule).
   /// "Not used in the prototype" — honoured only under QueuePolicy::Priority.
   u8 priority = 0;
+
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(mode);
+    ar.io(kind);
+    ar.io(priority);
+  }
 };
 
 struct RfuTableEntry {
@@ -64,6 +79,17 @@ struct RfuTableEntry {
   /// in the prototype" (Table 3.4, Qreq1/Qreq2).
   std::optional<QueueEntry> qreq1;
   std::optional<QueueEntry> qreq2;
+
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(c_state);
+    ar.io(nstates);
+    ar.io(in_use);
+    ar.io(owner);
+    ar.io(reserved_by_thr);
+    ar.io(qreq1);
+    ar.io(qreq2);
+  }
 };
 
 class RfuTable {
@@ -86,6 +112,12 @@ class RfuTable {
   /// the older request) under Priority.
   std::optional<QueueEntry> pop_waiter(u8 rfu_id);
 
+  /// Checkpoint support (sim/checkpoint.hpp); the policy is configuration.
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(entries_);
+  }
+
  private:
   std::array<RfuTableEntry, hw::kMaxRfus> entries_{};
   QueuePolicy policy_ = QueuePolicy::Fcfs;
@@ -104,6 +136,12 @@ class TableMutex {
     if (locked_ && owner_ == owner) locked_ = false;
   }
   bool locked() const noexcept { return locked_; }
+
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(locked_);
+    ar.io(owner_);
+  }
 
  private:
   bool locked_ = false;

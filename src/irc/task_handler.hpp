@@ -29,6 +29,12 @@ namespace drmp::irc {
 struct OpCall {
   rfu::Op op;
   std::vector<Word> args;
+
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(op);
+    ar.io(args);
+  }
 };
 
 /// A decoded super-op-code: "One software request may consist of multiple
@@ -37,6 +43,13 @@ struct ServiceRequest {
   std::vector<OpCall> ops;
   bool from_cpu = true;  ///< false: originated by the Event Handler.
   u32 tag = 0;
+
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(ops);
+    ar.io(from_cpu);
+    ar.io(tag);
+  }
 };
 
 /// TH_R statechart states (Fig. 3.5).
@@ -120,6 +133,27 @@ class TaskHandler : public sim::Clockable {
   ThRState thr_state() const noexcept { return thr_state_; }
   ThMState thm_state() const noexcept { return thm_state_; }
   u64 requests_completed() const noexcept { return completed_; }
+
+  /// Checkpoint support (sim/checkpoint.hpp): both statecharts and the
+  /// in-flight request context. The sinks cache is wiring.
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(req_);
+    ar.io(active_);
+    ar.io(thr_cleared_);
+    ar.io(completed_);
+    ar.io(thr_state_);
+    ar.io(thr_queue_);
+    ar.io(thr_cur_);
+    ar.io(thr_entry_);
+    ar.io(thr_woken_);
+    ar.io(thm_state_);
+    ar.io(thm_started_);
+    ar.io(thm_idx_);
+    ar.io(thm_entry_);
+    ar.io(thm_woken_);
+    ar.io(pbus_seq_);
+  }
 
  private:
   void ensure_sinks();

@@ -14,6 +14,7 @@
 #include "drmp/api.hpp"
 #include "hw/packet_memory.hpp"
 #include "mac/protocol.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/clock.hpp"
 
 namespace drmp::ctrl {
@@ -130,7 +131,23 @@ class ProtocolCtrl {
   u32 rx_delivered = 0;
   u32 rx_duplicates = 0;
 
+  // ---- Checkpoint support (sim/checkpoint.hpp) ----
+  /// Base queue + outcome counters; subclasses extend the pair with their
+  /// state-machine context (the durable half lives in api::ProtocolState,
+  /// serialized with the cDRMP API object).
+  virtual void save_state(sim::snap::Writer& w) { persist_base(w); }
+  virtual void load_state(sim::snap::Reader& r) { persist_base(r); }
+
  protected:
+  template <class Ar>
+  void persist_base(Ar& ar) {
+    ar.io(tx_queue_);
+    ar.io(tx_ok);
+    ar.io(tx_failed);
+    ar.io(rx_delivered);
+    ar.io(rx_duplicates);
+  }
+
   Word read_status(hw::CtrlWord w) const {
     return env_.mem->cpu_read(hw::ctrl_status_addr(env_.mode, w));
   }

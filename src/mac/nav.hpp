@@ -86,6 +86,14 @@ class NavTimer {
     rec_track_ = track;
   }
 
+  /// Checkpoint support (sim/checkpoint.hpp); subscribers are wiring.
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(until_);
+    ar.io(arms_);
+    ar.io(resets_);
+  }
+
  private:
   Cycle until_ = 0;
   u64 arms_ = 0;

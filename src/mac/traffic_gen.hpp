@@ -79,6 +79,18 @@ class TrafficGen : public sim::Clockable {
 
   const TrafficSpec& spec() const noexcept { return spec_; }
 
+  /// Checkpoint support (sim/checkpoint.hpp): the arrival clock and the PRNG
+  /// stream position. The spec and the derived interval are configuration.
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(now_);
+    ar.io(next_event_);
+    ar.io(offered_);
+    ar.io(completed_);
+    ar.io(offered_bytes_);
+    ar.io(rng_state_);
+  }
+
  private:
   u64 next_rand() noexcept;
   Bytes make_payload();

@@ -24,7 +24,27 @@ class UwbCtrl final : public ProtocolCtrl {
     kWaitAck,
   };
 
+  void save_state(sim::snap::Writer& w) override {
+    ProtocolCtrl::save_state(w);
+    persist(w);
+  }
+  void load_state(sim::snap::Reader& r) override {
+    ProtocolCtrl::load_state(r);
+    persist(r);
+  }
+
  private:
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(tx_tag_);
+    ar.io(rx_tag_);
+    ar.io(rx_phase_);
+    ar.io(rx_more_frag_);
+    ar.io(rx_seq_);
+    ar.io(rx_frag_);
+    ar.io(last_rx_key_);
+  }
+
   u32 start_next_msdu();
   u32 send_fragment(u32 frag_idx, bool retry);
   u32 handle_req_done(u32 tag);

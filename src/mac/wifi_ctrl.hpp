@@ -52,10 +52,43 @@ class WifiCtrl final : public ProtocolCtrl {
     u64 last_timestamp_us = 0;
     u16 interval_us = 0;
     u32 beacons = 0;
+
+    template <class Ar>
+    void persist(Ar& ar) {
+      ar.io(bssid);
+      ar.io(last_timestamp_us);
+      ar.io(interval_us);
+      ar.io(beacons);
+    }
   };
   const std::vector<BssInfo>& scan_results() const { return scan_; }
 
+  void save_state(sim::snap::Writer& w) override {
+    ProtocolCtrl::save_state(w);
+    persist(w);
+  }
+  void load_state(sim::snap::Reader& r) override {
+    ProtocolCtrl::load_state(r);
+    persist(r);
+  }
+
  private:
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(rts_sent);
+    ar.io(cts_received);
+    ar.io(polls_answered_with_data);
+    ar.io(polls_answered_with_null);
+    ar.io(cf_acks_received);
+    ar.io(tx_tag_);
+    ar.io(rx_tag_);
+    ar.io(rx_phase_);
+    ar.io(rx_more_frag_);
+    ar.io(rx_seq_);
+    ar.io(rx_frag_);
+    ar.io(scan_);
+  }
+
   u32 start_next_msdu();
   /// `sifs_release`: the fragment was released by a CTS or (fragment burst)
   /// by the previous fragment's ACK and flies SIFS after the releasing

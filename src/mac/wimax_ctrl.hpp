@@ -30,7 +30,32 @@ class WimaxCtrl final : public ProtocolCtrl {
 
   u32 arq_blocks_acked = 0;
 
+  void save_state(sim::snap::Writer& w) override {
+    ProtocolCtrl::save_state(w);
+    persist(w);
+  }
+  void load_state(sim::snap::Reader& r) override {
+    ProtocolCtrl::load_state(r);
+    persist(r);
+  }
+
  private:
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(arq_blocks_acked);
+    ar.io(tx_tag_);
+    ar.io(rx_tag_);
+    ar.io(arq_tag_);
+    ar.io(rx_phase_);
+    ar.io(rx_packed_);
+    ar.io(rx_sdu_index_);
+    ar.io(rx_cid_);
+    ar.io(tx_cid_);
+    ar.io(packing_);
+    ar.io(packed_count_);
+    ar.io(pending_payload_bytes_);
+  }
+
   u32 start_next_msdu();
   u32 handle_req_done(u32 tag);
   u32 handle_rx_ind();

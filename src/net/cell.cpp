@@ -6,6 +6,7 @@
 #include "est/gates.hpp"
 #include "est/power.hpp"
 #include "mac/wifi_ctrl.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace drmp::net {
 
@@ -288,6 +289,49 @@ void Cell::build_station(std::size_t local_index, u64 scenario_seed) {
 
 DrmpDevice& Cell::device(std::size_t i) { return *stations_.at(i)->device; }
 
+template <class Ar>
+void Cell::persist_cell(Ar& ar) {
+  // The channel record: corruption PRNGs (the tamper lambdas capture pointers
+  // into channel_rng_, so restoring the words restores the streams), the
+  // media themselves, and the scripted access points.
+  sim::snap::open_record(ar, "channel");
+  ar.io(channel_rng_);
+  for (std::size_t m = 0; m < kNumModes; ++m) {
+    if (!media_[m]) continue;
+    if constexpr (Ar::kLoading) {
+      media_[m]->load_state(ar);
+    } else {
+      media_[m]->save_state(ar);
+    }
+  }
+  for (std::size_t m = 0; m < kNumModes; ++m) {
+    if (ap_[m]) ar.io(*ap_[m]);
+  }
+  sim::snap::close_record(ar);
+
+  for (auto& st : stations_) {
+    sim::snap::open_record(ar, "station" + std::to_string(st->station_id));
+    ar.io(st->completed);
+    ar.io(st->tx_ok);
+    ar.io(st->retries);
+    for (std::size_t m = 0; m < kNumModes; ++m) {
+      if (st->peers[m]) ar.io(*st->peers[m]);
+    }
+    for (std::size_t m = 0; m < kNumModes; ++m) {
+      if (st->gens[m]) ar.io(*st->gens[m]);
+    }
+    if constexpr (Ar::kLoading) {
+      st->device->load_state(ar);
+    } else {
+      st->device->save_state(ar);
+    }
+    sim::snap::close_record(ar);
+  }
+}
+
+void Cell::save_state(sim::snap::Writer& w) { persist_cell(w); }
+void Cell::load_state(sim::snap::Reader& r) { persist_cell(r); }
+
 bool Cell::drained() const {
   for (const auto& st : stations_) {
     for (const auto& gen : st->gens) {
@@ -415,7 +459,7 @@ void Cell::collect(std::vector<scenario::DeviceStats>& devices,
   cells.push_back(cs);
 }
 
-void Cell::export_metrics(obs::MetricsRegistry& fleet) const {
+void Cell::export_metrics(obs::MetricsRegistry& fleet, bool per_station) const {
   obs::MetricsRegistry cell_reg;
   for (const auto& st : stations_) {
     obs::MetricsRegistry dev;
@@ -442,7 +486,9 @@ void Cell::export_metrics(obs::MetricsRegistry& fleet) const {
     if (shared()) dev.add("medium/collisions", collisions);
     // Twice on purpose: namespaced for the breakdown, unprefixed so the
     // fleet registry accumulates totals under the same names.
-    cell_reg.merge_from(dev, "station" + std::to_string(st->station_id) + "/");
+    if (per_station) {
+      cell_reg.merge_from(dev, "station" + std::to_string(st->station_id) + "/");
+    }
     fleet.merge_from(dev);
   }
   if (shared()) {

@@ -85,11 +85,23 @@ class Cell {
 
   /// Folds this cell's counters into `fleet`, twice: namespaced under
   /// `cell<n>/station<id>/` for the per-device breakdown, and unprefixed so
-  /// the same names aggregate into fleet-wide totals.
-  void export_metrics(obs::MetricsRegistry& fleet) const;
+  /// the same names aggregate into fleet-wide totals. `per_station = false`
+  /// (the fold_device_stats accounting) keeps the fleet and per-cell totals
+  /// but drops the per-station namespace — O(cells) registry entries.
+  void export_metrics(obs::MetricsRegistry& fleet, bool per_station = true) const;
 
   /// The cell's flight recorder; null unless constructed with tracing on.
   const obs::FlightRecorder* recorder() const noexcept { return recorder_.get(); }
+
+  // ---- Checkpoint support (sim/checkpoint.hpp) ----
+  /// Serializes the cell's mutable state: the channel-corruption PRNGs, the
+  /// per-mode media (virtual dispatch covers the contended backend), the
+  /// scripted access points, and one record per station (its completion
+  /// counters, scripted peers, traffic generators and full DrmpDevice).
+  /// Legal only at a quiescent lockstep round edge; the cell's scheduler is
+  /// checkpointed by the scenario engine (shared clock domains save once).
+  void save_state(sim::snap::Writer& w);
+  void load_state(sim::snap::Reader& r);
 
  private:
   struct Station {
@@ -109,6 +121,8 @@ class Cell {
   void build_station(std::size_t local_index, u64 scenario_seed);
   /// Rewrites a station config's identities for shared-medium membership.
   DrmpConfig shared_identity(const DrmpConfig& cfg, std::size_t local_index) const;
+  template <class Ar>
+  void persist_cell(Ar& ar);
   scenario::DevicePower estimate_station_power(const Station& st) const;
 
   // Held by value: a Cell must stay usable standalone (tests, tools) without

@@ -91,6 +91,14 @@ class ChannelCoupler {
   /// Events forwarded into member media across all ports so far.
   u64 forwarded() const noexcept { return forwarded_; }
 
+  /// Checkpoint support (sim/checkpoint.hpp): only the forward counter —
+  /// snapshots land at round edges, where exchange() has already drained
+  /// every outbox, so the ports carry no logical state.
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(forwarded_);
+  }
+
  private:
   struct Pending {
     Cycle start;

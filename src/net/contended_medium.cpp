@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/checkpoint.hpp"
+
 namespace drmp::net {
 
 ContendedMedium::ContendedMedium(mac::Protocol proto, const sim::TimeBase& tb, Params p)
@@ -516,6 +518,17 @@ void ContendedMedium::skip_idle(Cycle n) {
 ContendedMedium::SourceStats ContendedMedium::source(int id) const {
   const auto it = sources_.find(id);
   return it == sources_.end() ? SourceStats{} : it->second;
+}
+
+
+void ContendedMedium::save_state(sim::snap::Writer& w) {
+  persist_medium(w);
+  persist_contended(w);
+}
+
+void ContendedMedium::load_state(sim::snap::Reader& r) {
+  persist_medium(r);
+  persist_contended(r);
 }
 
 }  // namespace drmp::net

@@ -94,6 +94,13 @@ class ContendedMedium final : public phy::Medium {
     u64 frames = 0;      ///< Transmissions started.
     u64 collisions = 0;  ///< ... of which ended collided.
     Cycle airtime = 0;   ///< Cycles this source's signal occupied the air.
+
+    template <class Ar>
+    void persist(Ar& ar) {
+      ar.io(frames);
+      ar.io(collisions);
+      ar.io(airtime);
+    }
   };
 
   ContendedMedium(mac::Protocol proto, const sim::TimeBase& tb, Params p);
@@ -177,6 +184,13 @@ class ContendedMedium final : public phy::Medium {
     rec_track_ = track;
   }
 
+  /// Checkpoint support: the base channel state plus everything live on the
+  /// air and the contention counters. Params, the station->matrix binding
+  /// and derived cycle constants are configuration; the tick-path scratch
+  /// vectors are capacity caches with no logical content.
+  void save_state(sim::snap::Writer& w) override;
+  void load_state(sim::snap::Reader& r) override;
+
  private:
   struct Tx {
     Bytes frame;
@@ -195,7 +209,36 @@ class ContendedMedium final : public phy::Medium {
     /// Foreign-carrier image (begin_remote_tx): energy only. May start in
     /// the future; never delivered or counted, omnidirectional (src_idx -1).
     bool remote = false;
+
+    template <class Ar>
+    void persist(Ar& ar) {
+      ar.io(frame);
+      ar.io(start);
+      ar.io(end);
+      ar.io(source);
+      ar.io(collided);
+      ar.io(delivered);
+      ar.io(src_idx);
+      ar.io(jam_mask);
+      ar.io(remote);
+    }
   };
+
+  template <class Ar>
+  void persist_contended(Ar& ar) {
+    ar.io(on_air_);
+    ar.io(cca_busy_);
+    ar.io(last_cca_busy_);
+    ar.io(collided_frames_);
+    ar.io(dropped_frames_);
+    ar.io(garbled_frames_);
+    ar.io(capture_wins_);
+    ar.io(collided_airtime_);
+    ar.io(remote_txs_);
+    ar.io(remote_live_);
+    ar.io(sources_);
+    ar.io(last_heard_);
+  }
 
   static void garble(Bytes& frame);
   bool trivial() const noexcept { return params_.audibility.trivial(); }

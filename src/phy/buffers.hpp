@@ -45,6 +45,14 @@ struct TxFrameEntry {
   /// Channel-access-granted frames never expire.
   Cycle latest_start = ~Cycle{0};
   TxKind kind = TxKind::kData;
+
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(bytes);
+    ar.io(earliest_start);
+    ar.io(latest_start);
+    ar.io(kind);
+  }
 };
 
 /// Transmission buffer: DRMP side pushes words at architecture rate, PHY side
@@ -93,6 +101,14 @@ class TxBuffer {
 
   std::size_t depth() const noexcept { return queue_.size(); }
 
+  /// Checkpoint support (sim/checkpoint.hpp): staging plus the queued
+  /// frames; the arena binding and the wake hook are wiring.
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(staging_);
+    ar.io(queue_);
+  }
+
  private:
   Bytes staging_;
   RingQueue<TxFrameEntry> queue_;
@@ -103,6 +119,12 @@ class TxBuffer {
 struct RxFrameEntry {
   Bytes bytes;
   Cycle rx_end_cycle = 0;  ///< When the last byte arrived (SIFS reference).
+
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(bytes);
+    ar.io(rx_end_cycle);
+  }
 };
 
 /// Reception buffer: PHY side deposits whole frames as their last byte
@@ -160,6 +182,12 @@ class RxBuffer {
   void drop_front() { queue_.pop_front(); }
 
   std::size_t depth() const noexcept { return queue_.size(); }
+
+  /// Checkpoint support (sim/checkpoint.hpp).
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(queue_);
+  }
 
  private:
   RingQueue<RxFrameEntry> queue_;

@@ -85,6 +85,37 @@ class ScriptedPeer : public MediumClient, public sim::Clockable {
   /// skipped ticks need no accounting.
   Cycle quiescent_for() const override;
 
+  /// Checkpoint support (sim/checkpoint.hpp): everything a run mutates —
+  /// scheduled/pending frames, the responder NAV, CFP/beacon progress and
+  /// the counters. The behaviour switches and identities are configuration.
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(own_tx_end_);
+    ar.io(data_seen_);
+    ar.io(cts_nav_until_);
+    ar.io(acks_sent_);
+    ar.io(dropped_);
+    ar.io(rts_seen_);
+    ar.io(ctss_sent_);
+    ar.io(pending_tx_);
+    ar.io(received_);
+    ar.io(cfp_polls_left_);
+    ar.io(cfp_end_pending_);
+    ar.io(cfp_ack_pending_);
+    ar.io(cfp_next_poll_);
+    ar.io(cfp_interval_);
+    ar.io(cfp_station_.b);
+    ar.io(cfp_data_rx_);
+    ar.io(cfp_nulls_rx_);
+    ar.io(cfp_polls_sent_);
+    ar.io(beacons_left_);
+    ar.io(next_beacon_);
+    ar.io(beacon_interval_);
+    ar.io(beacon_interval_us_);
+    ar.io(beacon_seq_);
+    ar.io(beacons_sent_);
+  }
+
  private:
   void schedule_tx(Bytes frame, Cycle earliest);
   void cfp_tick();
@@ -117,6 +148,12 @@ class ScriptedPeer : public MediumClient, public sim::Clockable {
   struct Pending {
     Bytes frame;
     Cycle earliest;
+
+    template <class Ar>
+    void persist(Ar& ar) {
+      ar.io(frame);
+      ar.io(earliest);
+    }
   };
   std::deque<Pending> pending_tx_;
   std::vector<Bytes> received_;

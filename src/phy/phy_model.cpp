@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/checkpoint.hpp"
+
 namespace drmp::phy {
 
 Cycle Medium::begin_tx(Bytes frame, int source) {
@@ -114,5 +116,10 @@ void PhyTx::tick() {
   last_tx_end_ = medium_.begin_tx(std::move(e.bytes), source_id_);
   ++frames_sent_;
 }
+
+
+void Medium::save_state(sim::snap::Writer& w) { persist_medium(w); }
+
+void Medium::load_state(sim::snap::Reader& r) { persist_medium(r); }
 
 }  // namespace drmp::phy

@@ -202,7 +202,23 @@ class Medium : public sim::Clockable {
   /// a fixed set of buffers instead of hitting the heap per frame.
   ByteArena& frame_arena() noexcept { return arena_; }
 
+  // ---- Checkpoint support (sim/checkpoint.hpp) ----
+  /// The channel clock, in-flight physics and receive-quality records.
+  /// Virtual so net::ContendedMedium extends the pair with its on-air set.
+  virtual void save_state(sim::snap::Writer& w);
+  virtual void load_state(sim::snap::Reader& r);
+
  protected:
+  template <class Ar>
+  void persist_medium(Ar& ar) {
+    ar.io(now_);
+    ar.io(tx_end_);
+    ar.io(busy_cycles_);
+    ar.io(tampered_);
+    ar.io(rx_quality_);
+    ar.io(in_flight_);
+  }
+
   /// One attached receiver and the listener id it perceives the channel as.
   struct Attached {
     MediumClient* client = nullptr;
@@ -259,6 +275,12 @@ class Medium : public sim::Clockable {
   struct RxQuality {
     Cycle bad_end = 0;
     Cycle good_end = 0;
+
+    template <class Ar>
+    void persist(Ar& ar) {
+      ar.io(bad_end);
+      ar.io(good_end);
+    }
   };
   std::map<int, RxQuality> rx_quality_;
   bool track_rx_quality_ = false;
@@ -269,6 +291,13 @@ class Medium : public sim::Clockable {
     Bytes frame;
     Cycle end;
     int source;
+
+    template <class Ar>
+    void persist(Ar& ar) {
+      ar.io(frame);
+      ar.io(end);
+      ar.io(source);
+    }
   };
 
   std::vector<InFlight> in_flight_;
@@ -318,6 +347,16 @@ class PhyTx : public sim::Clockable {
     rec_track_ = track;
   }
 
+  /// Checkpoint support (sim/checkpoint.hpp).
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(frames_sent_);
+    ar.io(frames_expired_);
+    ar.io(expired_by_kind_);
+    ar.io(last_tx_start_);
+    ar.io(last_tx_end_);
+  }
+
  private:
   TxBuffer& buf_;
   Medium& medium_;
@@ -344,6 +383,12 @@ class PhyRx : public MediumClient {
   }
 
   u64 frames_received() const noexcept { return frames_received_; }
+
+  /// Checkpoint support (sim/checkpoint.hpp).
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(frames_received_);
+  }
 
  private:
   RxBuffer& buf_;

@@ -1,5 +1,7 @@
 #include "rfu/ack_rfu.hpp"
 
+#include "sim/checkpoint.hpp"
+
 #include <cassert>
 
 #include "hw/memory_map.hpp"
@@ -94,5 +96,9 @@ bool AckRfu::work_step() {
       return true;
   }
 }
+
+
+void AckRfu::save_extra(sim::snap::Writer& w) { persist(w); }
+void AckRfu::load_extra(sim::snap::Reader& r) { persist(r); }
 
 }  // namespace drmp::rfu

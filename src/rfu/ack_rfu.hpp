@@ -44,7 +44,23 @@ class AckRfu final : public StreamingRfu {
   void on_execute(Op op) override;
   bool work_step() override;
 
+  void save_extra(sim::snap::Writer& w) override;
+  void load_extra(sim::snap::Reader& r) override;
+
  private:
+  template <class Ar>
+  void persist(Ar& ar) {
+    persist_streaming(ar);
+    ar.io(stage_);
+    ar.io(mode_idx_);
+    ar.io(ack_page_);
+    ar.io(sifs_us_);
+    ar.io(slack_us_);
+    ar.io(kind_);
+    ar.io(acks_);
+    ar.io(ctss_);
+  }
+
   int stage_ = 0;
   u32 mode_idx_ = 0;
   u32 ack_page_ = 0;

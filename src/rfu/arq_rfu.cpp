@@ -1,5 +1,7 @@
 #include "rfu/arq_rfu.hpp"
 
+#include "sim/checkpoint.hpp"
+
 #include <cassert>
 
 namespace drmp::rfu {
@@ -65,5 +67,9 @@ bool ArqRfu::work_step() {
   bus_write(status_addr_, status_word_);
   return true;
 }
+
+
+void ArqRfu::save_extra(sim::snap::Writer& w) { persist(w); }
+void ArqRfu::load_extra(sim::snap::Reader& r) { persist(r); }
 
 }  // namespace drmp::rfu

@@ -25,6 +25,12 @@ class ArqRfu final : public StreamingRfu {
   struct CidState {
     u32 next_bsn = 0;      ///< Next BSN to assign.
     u32 window_start = 0;  ///< Oldest unacknowledged BSN.
+
+    template <class Ar>
+    void persist(Ar& ar) {
+      ar.io(next_bsn);
+      ar.io(window_start);
+    }
   };
   const CidState* cid_state(u16 cid) const {
     auto it = windows_.find(cid);
@@ -42,7 +48,21 @@ class ArqRfu final : public StreamingRfu {
   bool work_step() override;
   void on_reconfigured(u8 new_state, const std::vector<Word>& blob) override;
 
+  void save_extra(sim::snap::Writer& w) override;
+  void load_extra(sim::snap::Reader& r) override;
+
  private:
+  template <class Ar>
+  void persist(Ar& ar) {
+    persist_streaming(ar);
+    ar.io(stage_);
+    ar.io(status_addr_);
+    ar.io(status_word_);
+    ar.io(window_size_);
+    ar.io(modulus_);
+    ar.io(windows_);
+  }
+
   int stage_ = 0;
   u32 status_addr_ = 0;
   Word status_word_ = 0;

@@ -1,5 +1,7 @@
 #include "rfu/backoff_rfu.hpp"
 
+#include "sim/checkpoint.hpp"
+
 #include <algorithm>
 #include <cassert>
 
@@ -231,5 +233,9 @@ bool BackoffRfu::work_step() {
   }
   return false;
 }
+
+
+void BackoffRfu::save_extra(sim::snap::Writer& w) { persist(w); }
+void BackoffRfu::load_extra(sim::snap::Reader& r) { persist(r); }
 
 }  // namespace drmp::rfu

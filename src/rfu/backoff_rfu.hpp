@@ -108,7 +108,29 @@ class BackoffRfu final : public Rfu {
   Cycle running_quiescent_for() const override;
   void on_running_skip(Cycle n) override;
 
+  void save_extra(sim::snap::Writer& w) override;
+  void load_extra(sim::snap::Reader& r) override;
+
  private:
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(access_phase_);
+    ar.io(mode_idx_);
+    ar.io(ifs_cycles_);
+    ar.io(eifs_cycles_);
+    ar.io(ifs_progress_);
+    ar.io(slot_cycles_);
+    ar.io(backoff_slots_);
+    ar.io(slot_progress_);
+    ar.io(tdma_target_);
+    ar.io(wait_cycles_);
+    ar.io(defers_);
+    ar.io(nav_defers_);
+    ar.io(eifs_waits_);
+    ar.io(defer_edge_);
+    ar.io(lfsr_);
+  }
+
   u16 lfsr_next();
   /// Combined virtual-or-physical busy gate: the channel counts as busy
   /// while CCA perceives carrier (listener-qualified) or the mode's NAV

@@ -1,5 +1,7 @@
 #include "rfu/classifier_rfu.hpp"
 
+#include "sim/checkpoint.hpp"
+
 #include <cassert>
 
 namespace drmp::rfu {
@@ -49,5 +51,9 @@ bool ClassifierRfu::work_step() {
   bus_write(status_addr_, status_word_);
   return true;
 }
+
+
+void ClassifierRfu::save_extra(sim::snap::Writer& w) { persist(w); }
+void ClassifierRfu::load_extra(sim::snap::Reader& r) { persist(r); }
 
 }  // namespace drmp::rfu

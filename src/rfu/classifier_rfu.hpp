@@ -20,6 +20,12 @@ class ClassifierRfu final : public StreamingRfu {
   struct Rule {
     u32 meta;  ///< Flow descriptor to match.
     u16 cid;   ///< Connection id.
+
+    template <class Ar>
+    void persist(Ar& ar) {
+      ar.io(meta);
+      ar.io(cid);
+    }
   };
 
   /// Configuration blob: [n_rules, meta0, cid0, meta1, cid1, ...].
@@ -32,7 +38,19 @@ class ClassifierRfu final : public StreamingRfu {
   bool work_step() override;
   void on_reconfigured(u8 new_state, const std::vector<Word>& blob) override;
 
+  void save_extra(sim::snap::Writer& w) override;
+  void load_extra(sim::snap::Reader& r) override;
+
  private:
+  template <class Ar>
+  void persist(Ar& ar) {
+    persist_streaming(ar);
+    ar.io(stage_);
+    ar.io(status_addr_);
+    ar.io(status_word_);
+    ar.io(rules_);
+  }
+
   int stage_ = 0;
   u32 status_addr_ = 0;
   Word status_word_ = 0;

@@ -1,5 +1,7 @@
 #include "rfu/crc_rfus.hpp"
 
+#include "sim/checkpoint.hpp"
+
 #include <cassert>
 
 #include "hw/memory_map.hpp"
@@ -169,5 +171,12 @@ bool FcsRfu::work_step() {
   bus_write(status_addr_, last_status_ ? 1 : 0);
   return true;
 }
+
+
+void HdrCheckRfu::save_extra(sim::snap::Writer& w) { persist(w); }
+void HdrCheckRfu::load_extra(sim::snap::Reader& r) { persist(r); }
+
+void FcsRfu::save_extra(sim::snap::Writer& w) { persist(w); }
+void FcsRfu::load_extra(sim::snap::Reader& r) { persist(r); }
 
 }  // namespace drmp::rfu

@@ -38,7 +38,22 @@ class HdrCheckRfu final : public StreamingRfu {
   void on_execute(Op op) override;
   bool work_step() override;
 
+  void save_extra(sim::snap::Writer& w) override;
+  void load_extra(sim::snap::Reader& r) override;
+
  private:
+  template <class Ar>
+  void persist(Ar& ar) {
+    persist_streaming(ar);
+    ar.io(stage_);
+    ar.io(status_addr_);
+    ar.io(verify_);
+    ar.io(wimax_);
+    ar.io(page_addr_);
+    ar.io(hdr_len_);
+    ar.io(last_status_);
+  }
+
   int stage_ = 0;
   u32 status_addr_ = 0;
   bool verify_ = false;
@@ -82,7 +97,26 @@ class FcsRfu final : public StreamingRfu {
     return slave_pending_ ? 0 : kIdleForever;
   }
 
+  void save_extra(sim::snap::Writer& w) override;
+  void load_extra(sim::snap::Reader& r) override;
+
  private:
+  template <class Ar>
+  void persist(Ar& ar) {
+    persist_streaming(ar);
+    ar.io(stage_);
+    ar.io(verify_);
+    ar.io(page_addr_);
+    ar.io(status_addr_);
+    ar.io(last_status_);
+    ar.io(snoop_);
+    ar.io(slave_pending_);
+    ar.io(slave_master_);
+    ar.io(slave_page_);
+    ar.io(slave_len_);
+    ar.io(slave_stage_);
+  }
+
   int stage_ = 0;
   bool verify_ = false;
   u32 page_addr_ = 0;

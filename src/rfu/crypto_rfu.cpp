@@ -1,5 +1,7 @@
 #include "rfu/crypto_rfu.hpp"
 
+#include "sim/checkpoint.hpp"
+
 #include <cassert>
 
 namespace drmp::rfu {
@@ -122,5 +124,9 @@ bool CryptoRfu::work_step() {
       return true;
   }
 }
+
+
+void CryptoRfu::save_extra(sim::snap::Writer& w) { persist(w); }
+void CryptoRfu::load_extra(sim::snap::Reader& r) { persist(r); }
 
 }  // namespace drmp::rfu

@@ -37,7 +37,22 @@ class CryptoRfu final : public StreamingRfu {
   bool work_step() override;
   void on_reconfigured(u8 new_state, const std::vector<Word>& blob) override;
 
+  void save_extra(sim::snap::Writer& w) override;
+  void load_extra(sim::snap::Reader& r) override;
+
  private:
+  template <class Ar>
+  void persist(Ar& ar) {
+    persist_streaming(ar);
+    ar.io(stage_);
+    ar.io(decrypt_);
+    ar.io(src_);
+    ar.io(dst_);
+    ar.io(nonce_lo_);
+    ar.io(nonce_hi_);
+    ar.io(key_);
+  }
+
   void transform();
 
   int stage_ = 0;

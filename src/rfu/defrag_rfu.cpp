@@ -1,5 +1,7 @@
 #include "rfu/defrag_rfu.hpp"
 
+#include "sim/checkpoint.hpp"
+
 #include <cassert>
 
 #include "hw/memory_map.hpp"
@@ -34,5 +36,9 @@ bool DefragRfu::work_step() {
       return io_step();
   }
 }
+
+
+void DefragRfu::save_extra(sim::snap::Writer& w) { persist(w); }
+void DefragRfu::load_extra(sim::snap::Reader& r) { persist(r); }
 
 }  // namespace drmp::rfu

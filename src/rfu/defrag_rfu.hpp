@@ -22,7 +22,20 @@ class DefragRfu final : public StreamingRfu {
   void on_execute(Op op) override;
   bool work_step() override;
 
+  void save_extra(sim::snap::Writer& w) override;
+  void load_extra(sim::snap::Reader& r) override;
+
  private:
+  template <class Ar>
+  void persist(Ar& ar) {
+    persist_streaming(ar);
+    ar.io(stage_);
+    ar.io(src_);
+    ar.io(dst_);
+    ar.io(reset_);
+    ar.io(dst_len_);
+  }
+
   int stage_ = 0;
   u32 src_ = 0;
   u32 dst_ = 0;

@@ -1,5 +1,7 @@
 #include "rfu/frag_rfu.hpp"
 
+#include "sim/checkpoint.hpp"
+
 #include <algorithm>
 #include <cassert>
 
@@ -47,5 +49,9 @@ bool FragRfu::work_step() {
       return io_step();
   }
 }
+
+
+void FragRfu::save_extra(sim::snap::Writer& w) { persist(w); }
+void FragRfu::load_extra(sim::snap::Reader& r) { persist(r); }
 
 }  // namespace drmp::rfu

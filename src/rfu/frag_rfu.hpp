@@ -23,7 +23,21 @@ class FragRfu final : public StreamingRfu {
   void on_execute(Op op) override;
   bool work_step() override;
 
+  void save_extra(sim::snap::Writer& w) override;
+  void load_extra(sim::snap::Reader& r) override;
+
  private:
+  template <class Ar>
+  void persist(Ar& ar) {
+    persist_streaming(ar);
+    ar.io(stage_);
+    ar.io(src_);
+    ar.io(dst_);
+    ar.io(threshold_);
+    ar.io(index_);
+    ar.io(slice_bytes_);
+  }
+
   int stage_ = 0;
   u32 src_ = 0;
   u32 dst_ = 0;

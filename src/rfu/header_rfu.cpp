@@ -1,5 +1,7 @@
 #include "rfu/header_rfu.hpp"
 
+#include "sim/checkpoint.hpp"
+
 #include <cassert>
 
 #include "hw/ctrl_layout.hpp"
@@ -272,5 +274,9 @@ bool HeaderRfu::work_step() {
       return io_step();
   }
 }
+
+
+void HeaderRfu::save_extra(sim::snap::Writer& w) { persist(w); }
+void HeaderRfu::load_extra(sim::snap::Reader& r) { persist(r); }
 
 }  // namespace drmp::rfu

@@ -32,7 +32,27 @@ class HeaderRfu final : public StreamingRfu {
   bool work_step() override;
   void on_reconfigured(u8 new_state, const std::vector<Word>& blob) override;
 
+  void save_extra(sim::snap::Writer& w) override;
+  void load_extra(sim::snap::Reader& r) override;
+
  private:
+  template <class Ar>
+  void persist(Ar& ar) {
+    persist_streaming(ar);
+    ar.io(task_);
+    ar.io(stage_);
+    ar.io(parse_);
+    ar.io(body_page_);
+    ar.io(dst_page_);
+    ar.io(status_base_);
+    ar.io(hdr_bytes_);
+    ar.io(status_out_);
+    ar.io(status_idx_);
+    ar.io(fmt_hdr_len_);
+    ar.io(fmt_hcs_len_);
+    ar.io(fmt_hcs_in_header_);
+  }
+
   void do_parse();
   void do_extract();
 

@@ -1,5 +1,7 @@
 #include "rfu/pack_rfu.hpp"
 
+#include "sim/checkpoint.hpp"
+
 #include <cassert>
 
 #include "hw/memory_map.hpp"
@@ -93,5 +95,9 @@ bool PackRfu::work_step() {
     }
   }
 }
+
+
+void PackRfu::save_extra(sim::snap::Writer& w) { persist(w); }
+void PackRfu::load_extra(sim::snap::Reader& r) { persist(r); }
 
 }  // namespace drmp::rfu

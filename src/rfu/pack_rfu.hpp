@@ -25,7 +25,24 @@ class PackRfu final : public StreamingRfu {
   void on_execute(Op op) override;
   bool work_step() override;
 
+  void save_extra(sim::snap::Writer& w) override;
+  void load_extra(sim::snap::Reader& r) override;
+
  private:
+  template <class Ar>
+  void persist(Ar& ar) {
+    persist_streaming(ar);
+    ar.io(stage_);
+    ar.io(extract_);
+    ar.io(src_);
+    ar.io(dst_);
+    ar.io(param_);
+    ar.io(reset_);
+    ar.io(status_addr_);
+    ar.io(dst_len_);
+    ar.io(status_word_);
+  }
+
   int stage_ = 0;
   bool extract_ = false;
   u32 src_ = 0;

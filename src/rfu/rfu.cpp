@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/checkpoint.hpp"
+
 namespace drmp::rfu {
 
 Rfu::Rfu(u8 id, std::string name, ReconfigMech mech, Env env)
@@ -150,6 +152,17 @@ void Rfu::tick() {
       return;
     }
   }
+}
+
+
+void Rfu::save_state(sim::snap::Writer& w) {
+  persist_base(w);
+  save_extra(w);
+}
+
+void Rfu::load_state(sim::snap::Reader& r) {
+  persist_base(r);
+  load_extra(r);
 }
 
 }  // namespace drmp::rfu

@@ -80,6 +80,14 @@ class Rfu : public sim::Clockable {
   Cycle quiescent_for() const final;
   void skip_idle(Cycle n) final;
 
+  // ---- Checkpoint support (sim/checkpoint.hpp) ----
+  /// Serializes the base execution engine (phase, latched command/arguments,
+  /// DONE/RDONE lines, reconfiguration progress, counters), then the
+  /// subclass state via save_extra/load_extra. The completion waker and the
+  /// stats-sink cache are wiring and stay untouched.
+  void save_state(sim::snap::Writer& w);
+  void load_state(sim::snap::Reader& r);
+
   // ---- Instrumentation ----
   Cycle busy_cycles() const noexcept { return busy_cycles_; }
   Cycle reconfig_cycles() const noexcept { return reconfig_cycles_; }
@@ -111,6 +119,11 @@ class Rfu : public sim::Clockable {
   /// CS-RFUs) is the configuration data just loaded.
   virtual void on_reconfigured(u8 /*new_state*/, const std::vector<Word>& /*blob*/) {}
 
+  /// Checkpoint extras: subclasses forward both directions to one shared
+  /// `template <class Ar> void persist(Ar&)` so the field list cannot drift.
+  virtual void save_extra(sim::snap::Writer& /*w*/) {}
+  virtual void load_extra(sim::snap::Reader& /*r*/) {}
+
   // Bus helpers for subclasses.
   bool bus_granted() const { return env_.bus->granted_rfu(id_); }
   bool bus_free() const { return env_.bus->can_access(); }
@@ -124,6 +137,24 @@ class Rfu : public sim::Clockable {
 
  private:
   enum class Phase : u8 { Idle, CollectArgs, Running, Reconfiguring };
+
+  template <class Ar>
+  void persist_base(Ar& ar) {
+    ar.io(current_op_);
+    ar.io(args_);
+    ar.io(c_state_);
+    ar.io(phase_);
+    ar.io(expected_args_);
+    ar.io(command_word_);
+    ar.io(pending_state_);
+    ar.io(reconfig_remaining_);
+    ar.io(done_);
+    ar.io(rdone_);
+    ar.io(busy_cycles_);
+    ar.io(reconfig_cycles_);
+    ar.io(reconfig_count_);
+    ar.io(exec_count_);
+  }
 
   u8 id_;
   std::string name_;

@@ -1,5 +1,7 @@
 #include "rfu/rx_rfu.hpp"
 
+#include "sim/checkpoint.hpp"
+
 #include <algorithm>
 #include <cassert>
 
@@ -62,5 +64,9 @@ bool RxRfu::work_step() {
     }
   }
 }
+
+
+void RxRfu::save_extra(sim::snap::Writer& w) { persist(w); }
+void RxRfu::load_extra(sim::snap::Reader& r) { persist(r); }
 
 }  // namespace drmp::rfu

@@ -40,7 +40,25 @@ class RxRfu final : public StreamingRfu {
   void on_execute(Op op) override;
   bool work_step() override;
 
+  void save_extra(sim::snap::Writer& w) override;
+  void load_extra(sim::snap::Reader& r) override;
+
  private:
+  template <class Ar>
+  void persist(Ar& ar) {
+    persist_streaming(ar);
+    ar.io(stage_);
+    ar.io(dst_);
+    ar.io(mode_idx_);
+    ar.io(check_fcs_);
+    ar.io(status_addr_);
+    ar.io(len_);
+    ar.io(widx_);
+    ar.io(nwords_);
+    ar.io(last_rx_end_);
+    ar.io(frames_);
+  }
+
   int stage_ = 0;
   u32 dst_ = 0;
   u32 mode_idx_ = 0;

@@ -1,5 +1,7 @@
 #include "rfu/seq_rfu.hpp"
 
+#include "sim/checkpoint.hpp"
+
 #include <cassert>
 
 namespace drmp::rfu {
@@ -40,5 +42,9 @@ bool SeqRfu::work_step() {
   bus_write(status_addr_, status_word_);
   return true;
 }
+
+
+void SeqRfu::save_extra(sim::snap::Writer& w) { persist(w); }
+void SeqRfu::load_extra(sim::snap::Reader& r) { persist(r); }
 
 }  // namespace drmp::rfu

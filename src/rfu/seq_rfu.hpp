@@ -29,7 +29,20 @@ class SeqRfu final : public StreamingRfu {
   void on_execute(Op op) override;
   bool work_step() override;
 
+  void save_extra(sim::snap::Writer& w) override;
+  void load_extra(sim::snap::Reader& r) override;
+
  private:
+  template <class Ar>
+  void persist(Ar& ar) {
+    persist_streaming(ar);
+    ar.io(stage_);
+    ar.io(status_addr_);
+    ar.io(status_word_);
+    ar.io(counters_);
+    ar.io(last_seen_);
+  }
+
   int stage_ = 0;
   u32 status_addr_ = 0;
   Word status_word_ = 0;

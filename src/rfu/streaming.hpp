@@ -44,6 +44,23 @@ class StreamingRfu : public Rfu {
     in_words_.clear();
   }
 
+  /// Checkpoint support: the whole micro-op queue and its scratch —
+  /// streaming subclasses call this from their persist before their own
+  /// fields, so a snapshot can land mid-stream.
+  template <class Ar>
+  void persist_streaming(Ar& ar) {
+    ar.io(in_bytes_);
+    ar.io(in_words_);
+    ar.io(out_bytes_);
+    ar.io(ops_);
+    ar.io(staged_words_);
+    ar.io(pending_len_);
+    ar.io(patch_words_);
+    ar.io(patch_word0_);
+    ar.io(patch_nwords_);
+    ar.io(patch_loaded_);
+  }
+
   Bytes in_bytes_;                ///< Result of q_read_page.
   std::vector<Word> in_words_;    ///< Result of q_read_words.
   Bytes out_bytes_;               ///< Source for q_write_page / q_patch_bytes.
@@ -55,6 +72,14 @@ class StreamingRfu : public Rfu {
     u32 addr = 0;      // Page or word address.
     u32 a = 0;         // Kind-specific (nwords / byte_off / len / stall count).
     u32 progress = 0;  // Words done so far.
+
+    template <class Ar>
+    void persist(Ar& ar) {
+      ar.io(kind);
+      ar.io(addr);
+      ar.io(a);
+      ar.io(progress);
+    }
   };
 
   bool step_op(IoOp& op);

@@ -1,5 +1,7 @@
 #include "rfu/tx_rfu.hpp"
 
+#include "sim/checkpoint.hpp"
+
 #include <algorithm>
 #include <cassert>
 
@@ -125,5 +127,9 @@ bool TxRfu::work_step() {
       return true;
   }
 }
+
+
+void TxRfu::save_extra(sim::snap::Writer& w) { persist(w); }
+void TxRfu::load_extra(sim::snap::Reader& r) { persist(r); }
 
 }  // namespace drmp::rfu

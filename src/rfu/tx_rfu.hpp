@@ -54,7 +54,27 @@ class TxRfu final : public StreamingRfu {
   void on_execute(Op op) override;
   bool work_step() override;
 
+  void save_extra(sim::snap::Writer& w) override;
+  void load_extra(sim::snap::Reader& r) override;
+
  private:
+  template <class Ar>
+  void persist(Ar& ar) {
+    persist_streaming(ar);
+    ar.io(stage_);
+    ar.io(src_);
+    ar.io(mode_idx_);
+    ar.io(append_fcs_);
+    ar.io(sifs_after_rx_);
+    ar.io(explicit_anchor_);
+    ar.io(anchor_);
+    ar.io(proto_);
+    ar.io(len_);
+    ar.io(widx_);
+    ar.io(nwords_);
+    ar.io(frames_);
+  }
+
   Cycle earliest_start() const;
   Cycle latest_start() const;
 

@@ -31,8 +31,22 @@ void CellStats::mix_full(sim::Digest& d) const {
   d.mix(ap_ctss);
 }
 
+void FleetStats::fold_retired(const DeviceStats& ds) {
+  sim::Digest c = folded_devices ? sim::Digest(folded_completion) : sim::Digest();
+  ds.mix_completion(c);
+  folded_completion = c.value();
+  sim::Digest f = folded_devices ? sim::Digest(folded_full) : sim::Digest();
+  ds.mix_full(f);
+  folded_full = f.value();
+  ++folded_devices;
+  folded_cycles += ds.cycles_run;
+  folded_raw_mw += ds.power.raw_mw;
+  folded_gated_mw += ds.power.gated_mw;
+  folded_dvfs_mw += ds.power.dvfs_mw;
+}
+
 u64 FleetStats::device_cycles_total() const {
-  u64 total = 0;
+  u64 total = folded_cycles;
   for (const DeviceStats& ds : devices) total += ds.cycles_run;
   return total;
 }
@@ -43,19 +57,19 @@ double FleetStats::device_cycles_per_sec() const {
 }
 
 double FleetStats::fleet_raw_mw() const {
-  double mw = 0.0;
+  double mw = folded_raw_mw;
   for (const DeviceStats& ds : devices) mw += ds.power.raw_mw;
   return mw;
 }
 
 double FleetStats::fleet_gated_mw() const {
-  double mw = 0.0;
+  double mw = folded_gated_mw;
   for (const DeviceStats& ds : devices) mw += ds.power.gated_mw;
   return mw;
 }
 
 double FleetStats::fleet_dvfs_mw() const {
-  double mw = 0.0;
+  double mw = folded_dvfs_mw;
   for (const DeviceStats& ds : devices) mw += ds.power.dvfs_mw;
   return mw;
 }
@@ -101,13 +115,13 @@ u64 FleetStats::total_frames_expired() const {
 }
 
 u64 FleetStats::completion_digest() const {
-  sim::Digest d;
+  sim::Digest d = folded_devices ? sim::Digest(folded_completion) : sim::Digest();
   for (const DeviceStats& ds : devices) ds.mix_completion(d);
   return d.value();
 }
 
 u64 FleetStats::full_digest() const {
-  sim::Digest d;
+  sim::Digest d = folded_devices ? sim::Digest(folded_full) : sim::Digest();
   for (const DeviceStats& ds : devices) ds.mix_full(d);
   for (const CellStats& cs : cells) cs.mix_full(d);
   d.mix(lockstep_cycles).mix(all_drained ? 1 : 0);
@@ -118,7 +132,8 @@ std::string FleetStats::report() const {
   std::string out;
   char line[224];
   std::snprintf(line, sizeof(line), "scenario %s: %zu devices, %llu lockstep cycles%s\n",
-                scenario_name.c_str(), devices.size(),
+                scenario_name.c_str(),
+                devices.size() + static_cast<std::size_t>(folded_devices),
                 static_cast<unsigned long long>(lockstep_cycles),
                 all_drained ? "" : " [BUDGET EXHAUSTED]");
   out += line;

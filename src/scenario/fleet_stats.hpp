@@ -102,6 +102,24 @@ struct FleetStats {
   std::string scenario_name;
   std::vector<DeviceStats> devices;
   std::vector<CellStats> cells;  ///< One entry per shared-medium cell.
+  // ---- Folded-aggregate accounting (ScenarioSpec::fold_device_stats) ----
+  // Retired stations chain into these running aggregates instead of living
+  // in `devices`: O(cells) live result memory instead of O(devices). Both
+  // digest chains are FNV-sequential, so folded devices contribute first and
+  // in fold (= cell) order — which is exactly collection order, making the
+  // folded digests bit-identical to the retained ones (pinned).
+  u64 folded_devices = 0;        ///< Stations folded away so far.
+  u64 folded_completion = 0;     ///< Running completion-digest chain state.
+  u64 folded_full = 0;           ///< Running full-digest chain state.
+  u64 folded_cycles = 0;         ///< Sum of folded stations' cycles_run.
+  double folded_raw_mw = 0.0;    ///< Folded power-estimate sums.
+  double folded_gated_mw = 0.0;
+  double folded_dvfs_mw = 0.0;
+
+  /// Folds one retired station's stats into the running aggregates and both
+  /// digest chains; the DeviceStats object can then be dropped. Must be fed
+  /// stations in the same order collect() would have appended them.
+  void fold_retired(const DeviceStats& ds);
   Cycle lockstep_cycles = 0;  ///< Fleet-clock cycles (max over lanes).
   bool all_drained = false;   ///< Every device finished its workload.
   double wall_seconds = 0.0;  ///< Host time; never part of a digest.

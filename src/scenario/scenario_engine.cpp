@@ -9,6 +9,7 @@
 #include "net/cell.hpp"
 #include "net/channel_coupler.hpp"
 #include "obs/trace_export.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/multi_scheduler.hpp"
 
 namespace drmp::scenario {
@@ -134,6 +135,111 @@ Cycle ScenarioEngine::effective_stride() const noexcept {
   return stride;
 }
 
+u64 ScenarioEngine::fingerprint() const {
+  sim::Digest d;
+  d.mix(spec_.seed).mix(effective_stride()).mix(spec_.coupled_reference ? 1 : 0);
+  d.mix(static_cast<u64>(spec_.cells.size()));
+  for (const CellSpec& c : spec_.cells) {
+    d.mix(static_cast<u64>(c.topology));
+    d.mix(static_cast<u64>(c.stations.size()));
+    d.mix(static_cast<u64>(c.coupling_group) + 1);
+  }
+  d.mix(static_cast<u64>(spec_.couplings.size()));
+  return d.value();
+}
+
+void ScenarioEngine::write_snapshot(Cycle lockstep_now) const {
+  sim::snap::Writer w;
+  w.begin_record("engine");
+  u64 fp = fingerprint();
+  w.io(fp);
+  u64 base = lockstep_now;
+  w.io(base);
+  u64 ncouplers = couplers_.size();
+  w.io(ncouplers);
+  for (const auto& coupler : couplers_) coupler->persist(w);
+  w.end_record();
+  // One record per unique scheduler, in cell order: reference-coupled groups
+  // share one clock domain and must save (and restore) it exactly once.
+  std::set<const sim::Scheduler*> seen;
+  std::size_t k = 0;
+  for (const auto& cell : cells_) {
+    if (!seen.insert(&cell->scheduler()).second) continue;
+    w.begin_record("sched" + std::to_string(k++));
+    cell->scheduler().save_state(w);
+    w.end_record();
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    w.begin_record("cell" + std::to_string(i));
+    cells_[i]->save_state(w);
+    w.end_record();
+  }
+  w.write_file(checkpoint_path_);
+}
+
+void ScenarioEngine::checkpoint_every(Cycle every, std::string path) {
+  if (every == 0 || path.empty()) {
+    throw std::invalid_argument(
+        "ScenarioEngine::checkpoint_every needs a positive period and a path");
+  }
+  if (spec_.trace.enabled) {
+    throw std::logic_error(
+        "ScenarioEngine: checkpointing is incompatible with tracing "
+        "(flight-recorder rings are not serialized)");
+  }
+  checkpoint_every_ = every;
+  checkpoint_path_ = std::move(path);
+}
+
+void ScenarioEngine::resume(const std::string& path) {
+  if (ran_) {
+    throw std::logic_error("ScenarioEngine::resume must precede run()");
+  }
+  if (spec_.trace.enabled) {
+    throw std::logic_error(
+        "ScenarioEngine: resuming is incompatible with tracing "
+        "(flight-recorder rings are not serialized)");
+  }
+  sim::snap::Reader r(path);
+  r.expect("engine");
+  u64 fp = 0;
+  r.io(fp);
+  if (fp != fingerprint()) {
+    throw sim::snap::SnapshotError(
+        "snapshot fingerprint does not match this scenario (seed, stride, "
+        "cells, stations and couplings must be identical; only the execution "
+        "strategy — worker_threads, idle_skip — may differ)");
+  }
+  u64 base = 0;
+  r.io(base);
+  u64 ncouplers = 0;
+  r.io(ncouplers);
+  if (ncouplers != couplers_.size()) {
+    throw sim::snap::SnapshotError(
+        "snapshot coupler count does not match this scenario");
+  }
+  for (auto& coupler : couplers_) coupler->persist(r);
+  r.leave();
+  std::set<const sim::Scheduler*> seen;
+  std::size_t k = 0;
+  for (auto& cell : cells_) {
+    if (!seen.insert(&cell->scheduler()).second) continue;
+    r.expect("sched" + std::to_string(k++));
+    cell->scheduler().load_state(r);
+    r.leave();
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    r.expect("cell" + std::to_string(i));
+    cells_[i]->load_state(r);
+    r.leave();
+  }
+  if (!r.at_end()) {
+    throw sim::snap::RecordOverrunError(
+        "snapshot payload carries trailing bytes past the last cell record");
+  }
+  resume_base_ = static_cast<Cycle>(base);
+}
+
 FleetStats ScenarioEngine::run(Path path) {
   // One-shot: a second run would see every traffic generator already
   // exhausted and return plausible-looking zero-cycle stats. Fail loudly in
@@ -181,11 +287,24 @@ FleetStats ScenarioEngine::run(Path path) {
         for (const auto& coupler : couplers_) coupler->exchange();
       });
     }
+    if (checkpoint_every_ != 0) {
+      // The hook runs with every lane flushed onto the round edge — exactly
+      // the quiescent state the snapshot format is defined over. Cycles are
+      // run-relative; a resumed run keeps stamping fleet-absolute edges.
+      multi.set_edge_hook(checkpoint_every_, [this](Cycle run_cycles) {
+        write_snapshot(resume_base_ + run_cycles);
+      });
+    }
     const unsigned workers = spec_.worker_threads != 0
                                  ? spec_.worker_threads
                                  : std::max(1u, std::thread::hardware_concurrency());
-    const auto res = multi.run(spec_.max_cycles, effective_stride(), workers);
-    lockstep_cycles = res.cycles;
+    // A resumed engine spends only the budget the interrupted run left: its
+    // lanes already sit at resume_base_, and round edges realign with the
+    // uninterrupted run's because snapshots land on stride multiples.
+    const Cycle budget =
+        spec_.max_cycles > resume_base_ ? spec_.max_cycles - resume_base_ : 0;
+    const auto res = multi.run(budget, effective_stride(), workers);
+    lockstep_cycles = resume_base_ + res.cycles;
     all_drained = res.all_finished;
     run_profile_.rounds = res.rounds;
     for (std::size_t i = 0; i < multi.lane_count(); ++i) {
@@ -198,6 +317,11 @@ FleetStats ScenarioEngine::run(Path path) {
           "ScenarioEngine: the legacy path runs cells sequentially to "
           "completion and cannot order cross-cell carrier events causally; "
           "coupled scenarios need Path::kBatched");
+    }
+    if (checkpoint_every_ != 0 || resume_base_ != 0) {
+      throw std::logic_error(
+          "ScenarioEngine: checkpoint/resume is defined over lockstep round "
+          "edges and needs Path::kBatched");
     }
     for (auto& cell : cells_) {
       net::Cell* c = cell.get();
@@ -220,11 +344,18 @@ FleetStats ScenarioEngine::collect(Cycle lockstep_cycles, bool all_drained,
   fs.lockstep_cycles = lockstep_cycles;
   fs.all_drained = all_drained;
   fs.wall_seconds = wall_seconds;
-  fs.devices.reserve(spec_.station_count());
+  if (!spec_.fold_device_stats) fs.devices.reserve(spec_.station_count());
+  std::vector<DeviceStats> batch;  // fold_device_stats: one cell at a time.
   std::set<const sim::Scheduler*> counted;  // Shared clock domains count once.
   for (const auto& cell : cells_) {
-    cell->collect(fs.devices, fs.cells);
-    cell->export_metrics(fs.metrics);
+    if (spec_.fold_device_stats) {
+      batch.clear();
+      cell->collect(batch, fs.cells);
+      for (const DeviceStats& ds : batch) fs.fold_retired(ds);
+    } else {
+      cell->collect(fs.devices, fs.cells);
+    }
+    cell->export_metrics(fs.metrics, !spec_.fold_device_stats);
     if (counted.insert(&cell->scheduler()).second) {
       fs.ticks_executed += cell->scheduler().ticks_executed();
       fs.ticks_skipped += cell->scheduler().ticks_skipped();

@@ -58,6 +58,29 @@ class ScenarioEngine {
   /// Runs the scenario to completion (or budget exhaustion). One-shot.
   FleetStats run(Path path = Path::kBatched);
 
+  // ---- Checkpoint/resume (sim/checkpoint.hpp; batched path only) ----
+  /// Arms periodic snapshots: at the first lockstep round edge at or past
+  /// every multiple of `every` run-relative cycles, the full fleet state is
+  /// written into `path` — atomically, via `path + ".tmp"` and a rename, so
+  /// the file on disk is always the last *complete* snapshot even if the
+  /// process dies mid-write. Incompatible with tracing (flight-recorder
+  /// rings are deliberately not serialized). Call before run().
+  void checkpoint_every(Cycle every, std::string path);
+
+  /// Restores a snapshot written by checkpoint_every into this freshly
+  /// built engine; the following run() continues from the snapshot edge and
+  /// reproduces the uninterrupted run's digests bit-for-bit. The engine
+  /// must be built from the same scenario — seed, stride, cells, stations
+  /// and couplings are fingerprint-checked — while the execution strategy
+  /// (worker_threads, idle_skip) may differ freely, exactly as the digest
+  /// contract allows. Throws sim::snap::SnapshotError subtypes on malformed
+  /// or mismatched snapshots; on throw no partial state sticks (the engine
+  /// must be discarded). Call before run().
+  void resume(const std::string& path);
+
+  /// The lockstep cycle the engine will resume from (0 unless resume() ran).
+  Cycle resume_base() const noexcept { return resume_base_; }
+
   const ScenarioSpec& spec() const noexcept { return spec_; }
   std::size_t cell_count() const noexcept { return cells_.size(); }
   /// Total stations across all cells.
@@ -90,6 +113,11 @@ class ScenarioEngine {
   void resolve_couplings();
   void build_couplers();
   FleetStats collect(Cycle lockstep_cycles, bool all_drained, double wall_seconds) const;
+  /// Spec identity the resume() check pins: seed, stride, coupling shape and
+  /// the per-cell topology/station layout — everything that shapes the
+  /// simulated timeline, nothing that is pure execution strategy.
+  u64 fingerprint() const;
+  void write_snapshot(Cycle lockstep_now) const;
 
   /// Batched-path execution profile captured by run() for collect().
   struct RunProfile {
@@ -107,6 +135,9 @@ class ScenarioEngine {
   std::vector<std::unique_ptr<net::Cell>> cells_;
   std::vector<std::unique_ptr<net::ChannelCoupler>> couplers_;
   bool ran_ = false;
+  Cycle checkpoint_every_ = 0;  ///< 0 = checkpointing off.
+  std::string checkpoint_path_;
+  Cycle resume_base_ = 0;  ///< Lockstep cycle the restored state sits at.
 };
 
 }  // namespace drmp::scenario

@@ -97,6 +97,7 @@ MultiScheduler::RunResult MultiScheduler::run(Cycle max_cycles, Cycle stride,
     });
   }
 
+  Cycle edge_next = edge_every_;
   while (res.cycles < max_cycles && !active.empty()) {
     round.chunk = std::min<Cycle>(stride, max_cycles - res.cycles);
     round.next.store(0, std::memory_order_relaxed);
@@ -132,6 +133,15 @@ MultiScheduler::RunResult MultiScheduler::run(Cycle max_cycles, Cycle stride,
     // scheduled past the stop edge so collection-time statistics match a
     // coupled reference that stopped at the same edge.
     if (round_hook_) round_hook_();
+    // Checkpoint edge: flush deferred lanes so every lane clock sits exactly
+    // on this round edge, then hand control to the hook. Gated on the due
+    // multiple — not every round — so round skipping keeps its effect
+    // between checkpoints.
+    if (edge_hook_ && res.cycles >= edge_next) {
+      for (std::size_t idx : active) flush_lane(idx);
+      edge_hook_(res.cycles);
+      edge_next = (res.cycles / edge_every_ + 1) * edge_every_;
+    }
   }
 
   // Bring skipped-but-unfinished lanes up to the lockstep clock, exactly as

@@ -64,6 +64,20 @@ class MultiScheduler {
   /// current round edge, or bit-identity across worker counts is lost.
   void set_round_hook(std::function<void()> hook) { round_hook_ = std::move(hook); }
 
+  /// Installs a hook fired at the first round edge at or past every multiple
+  /// of `every` run-relative cycles, after the round hook, with workers
+  /// parked. Before it fires, every still-active lane's deferred cycles are
+  /// flushed (skipped rounds are provably no-op replays, so flushing early
+  /// is bit-identical), which puts *every* lane — retired lanes were flushed
+  /// at retirement — exactly on the lockstep edge: the quiescent state the
+  /// checkpoint machinery (scenario::ScenarioEngine::checkpoint_every)
+  /// snapshots. The hook receives the run-relative elapsed cycle count and
+  /// must not advance any lane.
+  void set_edge_hook(Cycle every, std::function<void(Cycle)> hook) {
+    edge_every_ = every;
+    edge_hook_ = std::move(hook);
+  }
+
   struct RunResult {
     Cycle cycles = 0;              ///< Lockstep cycles elapsed (max over lanes).
     std::size_t lanes_finished = 0;  ///< Lanes whose predicate fired.
@@ -111,6 +125,8 @@ class MultiScheduler {
 
   std::vector<Lane> lanes_;
   std::function<void()> round_hook_;
+  std::function<void(Cycle)> edge_hook_;
+  Cycle edge_every_ = 0;
 };
 
 }  // namespace drmp::sim

@@ -1,5 +1,7 @@
 #include "sim/scheduler.hpp"
 
+#include "sim/checkpoint.hpp"
+
 #include <algorithm>
 #include <bit>
 #include <numeric>
@@ -341,6 +343,41 @@ SchedulerProfile Scheduler::profile() const {
         SchedulerProfile::Stage{stage, counts.first, counts.second});
   }
   return p;
+}
+
+void Scheduler::save_state(snap::Writer& w) {
+  w.io(now_);
+  w.io(ticks_executed_);
+  w.io(ticks_skipped_);
+  w.io(ff_cycles_);
+  w.io(ff_events_);
+  w.io(wheel_depth_max_);
+  w.io(wheel_purges_);
+  w.io(ff_gap_log2_);
+  // Per-stage counters are saved merged (live vectors + flushed totals) so
+  // the restored profile equals the saving scheduler's profile() view.
+  std::map<int, std::pair<u64, u64>> by_stage = stage_totals_;
+  for (std::size_t b = 0; b < stage_ids_.size(); ++b) {
+    auto& [exec, skip] = by_stage[stage_ids_[b]];
+    exec += stage_exec_[b];
+    skip += stage_skip_[b];
+  }
+  w.io(by_stage);
+}
+
+void Scheduler::load_state(snap::Reader& r) {
+  r.io(now_);
+  r.io(ticks_executed_);
+  r.io(ticks_skipped_);
+  r.io(ff_cycles_);
+  r.io(ff_events_);
+  r.io(wheel_depth_max_);
+  r.io(wheel_purges_);
+  r.io(ff_gap_log2_);
+  r.io(stage_totals_);
+  std::fill(stage_exec_.begin(), stage_exec_.end(), 0);
+  std::fill(stage_skip_.begin(), stage_skip_.end(), 0);
+  next_wake_ = now_;
 }
 
 bool Scheduler::run_until(const std::function<bool()>& done, Cycle max_cycles) {

@@ -90,6 +90,11 @@ namespace drmp::sim {
 
 class Scheduler;
 
+namespace snap {
+class Writer;
+class Reader;
+}  // namespace snap
+
 /// Sleep-bound helper for components gated on a clock they read one ahead:
 /// media lead the cycle, so a tick at cycle u reads a medium clock of u+1,
 /// and the first tick observing `reading` is reading-1. Returns the count
@@ -492,6 +497,17 @@ class Scheduler {
 
   /// Attaches (or detaches, with nullptr) an execution-domain observer.
   void set_observer(SchedulerObserver* o) noexcept { observer_ = o; }
+
+  // ---- Checkpoint (sim/checkpoint.hpp) ----
+  /// Persists the clock and execution counters. Legal only between batched
+  /// runs: the only simulation state a scheduler carries across
+  /// run_cycles_batched calls is now_ — enter_batched rebuilds the whole
+  /// quiescence apparatus (active set, wake wheel, per-component states)
+  /// from component bounds at entry. load_state collapses next_wake() to
+  /// now(), which is always safe and never stale (the set_idle_skip
+  /// argument).
+  void save_state(snap::Writer& w);
+  void load_state(snap::Reader& r);
 
  private:
   void step();

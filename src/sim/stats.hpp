@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,13 @@ class BusyCounter {
   }
   void reset() noexcept { busy_ = total_ = 0; }
 
+  /// Checkpoint support (sim/checkpoint.hpp).
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(busy_);
+    ar.io(total_);
+  }
+
  private:
   Cycle busy_ = 0;
   Cycle total_ = 0;
@@ -57,6 +65,12 @@ class StateOccupancy {
   }
   const std::map<int, Cycle>& table() const noexcept { return cycles_; }
   void reset() { cycles_.clear(); }
+
+  /// Checkpoint support (sim/checkpoint.hpp).
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(cycles_);
+  }
 
  private:
   std::map<int, Cycle> cycles_;
@@ -94,6 +108,11 @@ class LatencyStats {
 /// byte-identical aggregate stats" collapses to a single u64 comparison.
 class Digest {
  public:
+  Digest() = default;
+  /// Resumes a chain from a previously observed value() — the hierarchical
+  /// fold path (FleetStats::fold_retired) keeps a running digest this way.
+  explicit Digest(u64 resumed) noexcept : h_(resumed) {}
+
   Digest& mix(u64 v) noexcept {
     for (int i = 0; i < 8; ++i) {
       h_ ^= (v >> (8 * i)) & 0xFF;
@@ -120,7 +139,39 @@ class StatsRegistry {
     for (auto& [k, v] : occ_) v.reset();
   }
 
+  /// Checkpoint support (sim/checkpoint.hpp). Components cache references
+  /// into the map nodes (e.g. Rfu::busy_stat_), and many register lazily on
+  /// first use — so a snapshot of a run-in device carries keys a freshly
+  /// built assembly has not looked up yet. Loading restores values in place
+  /// where the key already exists and inserts the rest; std::map nodes are
+  /// stable, so existing cached references survive and later lazy lookups
+  /// land on the restored entry. Which keys belong to which scenario is the
+  /// engine fingerprint's job, not this registry's.
+  template <class Ar>
+  void persist(Ar& ar) {
+    persist_in_place(ar, busy_);
+    persist_in_place(ar, occ_);
+  }
+
  private:
+  template <class Ar, class M>
+  static void persist_in_place(Ar& ar, M& m) {
+    u64 n = m.size();
+    ar.io(n);
+    if constexpr (Ar::kLoading) {
+      for (u64 i = 0; i < n; ++i) {
+        std::string key;
+        ar.io(key);
+        ar.io(m[key]);
+      }
+    } else {
+      for (auto& [k, v] : m) {
+        std::string key = k;
+        ar.io(key);
+        ar.io(v);
+      }
+    }
+  }
   std::map<std::string, BusyCounter> busy_;
   std::map<std::string, StateOccupancy> occ_;
 };

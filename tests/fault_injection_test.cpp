@@ -5,10 +5,16 @@
 // deterministic single-bit-flip fuzz over every frame codec.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <random>
+#include <string>
+#include <utility>
 
 #include "crypto/crc.hpp"
 #include "drmp/testbench.hpp"
+#include "scenario/scenario_engine.hpp"
+#include "sim/checkpoint.hpp"
 #include "hw/ctrl_layout.hpp"
 #include "mac/uwb_frames.hpp"
 #include "mac/wifi_frames.hpp"
@@ -271,6 +277,63 @@ TEST_P(BitFlipFuzz, HeaderBitFlipInWimaxGmhIsDetected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BitFlipFuzz, ::testing::Values(11u, 23u, 3571u));
+
+// ---------------------------------------------------------------------------
+// Crash recovery: a torn checkpoint write never costs the last good snapshot.
+// ---------------------------------------------------------------------------
+
+// Checkpoints publish atomically — bytes land in `path + ".tmp"`, then a
+// rename. Simulate the worst-timed crash (process death mid-write, leaving a
+// truncated .tmp behind): resume still finds the last *complete* snapshot
+// under the final name and reproduces the uninterrupted digest, while the
+// torn bytes themselves are refused with a typed error, not misparsed.
+TEST(FaultCrashRecovery, TruncatedWriteKeepsLastCompleteSnapshot) {
+  using scenario::FleetStats;
+  using scenario::ScenarioEngine;
+  using scenario::ScenarioSpec;
+
+  const ScenarioSpec proto = ScenarioSpec::contended_wifi_cell(8, 1, 2);
+  const FleetStats base = ScenarioEngine(proto).run();
+  ASSERT_TRUE(base.all_drained);
+
+  const std::string path = ::testing::TempDir() + "crash_recovery.snap";
+  const Cycle stride = proto.lockstep_stride;
+  Cycle half = base.lockstep_cycles / 2 / stride * stride;
+  if (half == 0) half = stride;
+  ScenarioSpec clamped = proto;
+  clamped.max_cycles = half;
+  ScenarioEngine saver(std::move(clamped));
+  saver.checkpoint_every(half, path);
+  (void)saver.run();  // One complete snapshot now sits at `path`.
+
+  // The crash: a later checkpoint dies mid-write. Its torn bytes only ever
+  // exist under the .tmp name — the rename never happened.
+  Bytes torn;
+  {
+    std::ifstream f(path, std::ios::binary);
+    ASSERT_TRUE(f);
+    torn.assign((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  }
+  torn.resize(torn.size() / 3);
+  {
+    std::ofstream f(path + ".tmp", std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(torn.data()),
+            static_cast<std::streamsize>(torn.size()));
+  }
+
+  // The torn bytes are rejected with a typed snapshot error...
+  EXPECT_THROW(sim::snap::Reader r(std::move(torn)), sim::snap::SnapshotError);
+
+  // ...and recovery from the published path reproduces the uninterrupted run.
+  ScenarioEngine resumer(proto);
+  resumer.resume(path);
+  const FleetStats resumed = resumer.run();
+  EXPECT_EQ(resumed.full_digest(), base.full_digest());
+  EXPECT_EQ(resumed.report(), base.report());
+
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
 
 }  // namespace
 }  // namespace drmp

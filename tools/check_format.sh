@@ -45,6 +45,9 @@ FILES=(
   src/sim/scheduler.hpp
   src/sim/scheduler.cpp
   src/common/arena.hpp
+  src/sim/checkpoint.hpp
+  src/sim/checkpoint.cpp
+  tests/checkpoint_test.cpp
   tests/alloc_test.cpp
   tests/wheel_test.cpp
   tests/net_test.cpp
