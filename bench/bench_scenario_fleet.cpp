@@ -26,7 +26,7 @@
 //
 //   --json writes the machine-readable record (cycles, wall seconds,
 //   cycles/sec, skip ratio, digests) to BENCH_fleet.json (or PATH).
-//   --devices appends the scaling sweep (default points 64,256,1024) to the
+//   --devices appends the scaling sweep (default points 64,256,1024,4096) to the
 //   table and the JSON record as sweep_cpsd_<N> keys.
 #include <algorithm>
 #include <chrono>
@@ -48,7 +48,7 @@ using drmp::scenario::ScenarioEngine;
 using drmp::scenario::ScenarioSpec;
 
 /// Consumes a `--devices` / `--devices=N1,N2,...` argument (anywhere in
-/// argv). Returns the sweep points — the 64/256/1k defaults for the bare
+/// argv). Returns the sweep points — the 64/256/1k/4k defaults for the bare
 /// flag, empty when absent (no sweep).
 std::vector<std::size_t> take_devices_flag(int& argc, char** argv) {
   bool present = false;
@@ -67,7 +67,7 @@ std::vector<std::size_t> take_devices_flag(int& argc, char** argv) {
   }
   argc = w;
   if (!present) return {};
-  if (list.empty()) return {64, 256, 1024};
+  if (list.empty()) return {64, 256, 1024, 4096};
   std::vector<std::size_t> out;
   for (std::size_t pos = 0; pos < list.size();) {
     const std::size_t comma = std::min(list.find(',', pos), list.size());

@@ -78,7 +78,7 @@ Bytes TrafficGen::make_payload() {
 
 void TrafficGen::tick() {
   const Cycle t = now_++;
-  if (!spec_.enabled || exhausted() || t < next_event_) return;
+  if (!spec_.enabled || gated_ || exhausted() || t < next_event_) return;
   next_event_ = t + interval_cycles_;
   const u32 want = spec_.pattern == TrafficPattern::kCsmaBursts ? spec_.burst_len : 1;
   const u32 inflight = offered_ - completed_;

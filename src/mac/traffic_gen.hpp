@@ -56,14 +56,26 @@ class TrafficGen : public sim::Clockable {
   /// Call from the device's on_tx_complete for this mode.
   void notify_tx_complete() noexcept { ++completed_; }
 
+  /// Association gate (mac::LinkMgr): while closed, arrival events are held
+  /// — the overdue event fires on the first tick after the gate opens, then
+  /// the normal interval cadence resumes from there. Toggling wakes the
+  /// generator's lane, so a sleeping gated generator re-arms correctly.
+  void set_gated(bool gated) {
+    if (gated_ == gated) return;
+    gated_ = gated;
+    wake_self();
+  }
+  bool gated() const noexcept { return gated_; }
+
   void tick() override;
 
   // ---- Quiescence contract (sim/scheduler.hpp) ----
   /// A generator ticks for real only at its arrival events; everything in
   /// between (and everything after exhaustion) is a pure clock increment.
   /// Completions change nothing before the next event, so no wake is needed.
+  /// A gated generator is a no-op until set_gated(false) wakes it.
   Cycle quiescent_for() const override {
-    if (!spec_.enabled || exhausted()) return kIdleForever;
+    if (!spec_.enabled || exhausted() || gated_) return kIdleForever;
     return next_event_ > now_ ? next_event_ - now_ : 0;
   }
   void skip_idle(Cycle n) override { now_ += n; }
@@ -103,6 +115,10 @@ class TrafficGen : public sim::Clockable {
   u32 completed_ = 0;
   u64 offered_bytes_ = 0;
   u64 rng_state_;
+  /// Not persisted: derived from the owning link manager's state, which the
+  /// cell re-applies after a checkpoint load — keeping the pre-existing
+  /// generator record layout (and the committed golden snapshot) intact.
+  bool gated_ = false;
 };
 
 }  // namespace drmp::mac

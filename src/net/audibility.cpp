@@ -4,16 +4,28 @@
 
 namespace drmp::net {
 
-bool AudibilityMatrix::all_ones() const noexcept {
-  for (u8 b : bits) {
-    if (b == 0) return false;
-  }
-  return true;
+namespace {
+
+[[noreturn]] void throw_index(const char* what, std::size_t idx, std::size_t n) {
+  throw AudibilityError(std::string("AudibilityMatrix: ") + what + " index " +
+                        std::to_string(idx) + " out of range for n=" +
+                        std::to_string(n));
 }
 
+}  // namespace
+
 void AudibilityMatrix::set(std::size_t listener, std::size_t transmitter, bool v) {
-  if (listener >= n || transmitter >= n) return;
-  bits[listener * n + transmitter] = v ? 1 : 0;
+  if (listener >= n) throw_index("listener", listener, n);
+  if (transmitter >= n) throw_index("transmitter", transmitter, n);
+  u8& slot = bits[listener * n + transmitter];
+  const u8 next = v ? 1 : 0;
+  if (slot == next) return;
+  if (next == 0) {
+    ++zero_bits_;
+  } else {
+    --zero_bits_;
+  }
+  slot = next;
 }
 
 void AudibilityMatrix::hide_pair(std::size_t a, std::size_t b) {
@@ -25,11 +37,33 @@ AudibilityMatrix AudibilityMatrix::full(std::size_t n) {
   AudibilityMatrix m;
   m.n = n;
   m.bits.assign(n * n, 1);
+  m.zero_bits_ = 0;
+  return m;
+}
+
+AudibilityMatrix AudibilityMatrix::from_bits(std::size_t n, std::vector<u8> bits) {
+  if (bits.size() != n * n) {
+    throw AudibilityError("AudibilityMatrix: from_bits size " +
+                          std::to_string(bits.size()) + " != n*n for n=" +
+                          std::to_string(n));
+  }
+  AudibilityMatrix m;
+  m.n = n;
+  m.bits = std::move(bits);
+  m.zero_bits_ = 0;
+  for (u8& b : m.bits) {
+    b = b ? 1 : 0;
+    if (b == 0) ++m.zero_bits_;
+  }
   return m;
 }
 
 AudibilityMatrix AudibilityMatrix::hidden_pair(std::size_t n, std::size_t a,
                                                std::size_t b) {
+  if (a == b) {
+    throw AudibilityError("AudibilityMatrix: hidden_pair requires a != b (got " +
+                          std::to_string(a) + ")");
+  }
   AudibilityMatrix m = full(n);
   m.hide_pair(a, b);
   return m;
@@ -37,8 +71,13 @@ AudibilityMatrix AudibilityMatrix::hidden_pair(std::size_t n, std::size_t a,
 
 AudibilityMatrix AudibilityMatrix::asymmetric_pair(std::size_t n, std::size_t heard,
                                                    std::size_t deaf) {
+  if (heard == deaf) {
+    throw AudibilityError(
+        "AudibilityMatrix: asymmetric_pair requires heard != deaf (got " +
+        std::to_string(heard) + ")");
+  }
   AudibilityMatrix m = full(n);
-  if (heard != deaf) m.set(deaf, heard, false);  // deaf does not hear heard.
+  m.set(deaf, heard, false);  // deaf does not hear heard.
   return m;
 }
 

@@ -21,19 +21,37 @@
 // two mutually-deaf stations both reach the AP. The diagonal must stay 1: a
 // station always "hears" its own past transmissions (its perceived-carrier
 // tail), and the half-duplex transmit gates rely on that.
+//
+// Mutation contract: all writes go through set()/hide_pair() (or the
+// factories), which keep the cached zero-bit count coherent so all_ones()
+// is O(1). Out-of-range indices in set()/hide_pair() and the factories
+// throw AudibilityError — a silently-ignored bad index produces a topology
+// that looks valid but is not the one the scenario asked for.
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace drmp::net {
 
+/// Typed error for malformed audibility topologies (bad indices, size
+/// mismatches). scenario::ScenarioSpec validation surfaces these with cell
+/// context attached.
+class AudibilityError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
 struct AudibilityMatrix {
   /// Stations covered; 0 = trivial (all-ones, zero-overhead fast path).
   std::size_t n = 0;
   /// Row-major n*n: bits[i*n + j] != 0 means listener i hears transmitter j.
+  /// Read-only outside this struct: mutate through set()/hide_pair() so the
+  /// cached all_ones() count stays coherent.
   std::vector<u8> bits;
 
   bool trivial() const noexcept { return n == 0; }
@@ -43,10 +61,12 @@ struct AudibilityMatrix {
     return bits[listener * n + transmitter] != 0;
   }
   /// True when every in-range pair hears each other (explicit all-ones).
-  bool all_ones() const noexcept;
+  /// O(1): the zero-bit count is maintained at construction/mutation time.
+  bool all_ones() const noexcept { return zero_bits_ == 0; }
 
+  /// Throws AudibilityError when listener or transmitter is out of range.
   void set(std::size_t listener, std::size_t transmitter, bool v);
-  /// Symmetric helper: neither station hears the other.
+  /// Symmetric helper: neither station hears the other. Validates like set().
   void hide_pair(std::size_t a, std::size_t b);
 
   bool operator==(const AudibilityMatrix&) const = default;
@@ -54,19 +74,29 @@ struct AudibilityMatrix {
   /// Explicit all-ones over n stations (behaves like trivial(), but through
   /// the per-listener code paths — the digest-equivalence pin).
   static AudibilityMatrix full(std::size_t n);
+  /// Rebuild a matrix from persisted/derived row-major bits (recounts the
+  /// all_ones() cache). Throws AudibilityError on a size mismatch.
+  static AudibilityMatrix from_bits(std::size_t n, std::vector<u8> bits);
   /// The textbook hidden-node topology: a clique except stations a and b,
   /// which cannot hear each other (both still reach the omnidirectional AP).
+  /// Throws AudibilityError when a or b is out of range or a == b.
   static AudibilityMatrix hidden_pair(std::size_t n, std::size_t a, std::size_t b);
   /// The asymmetric-audibility gap: a clique except that station `deaf`
   /// cannot hear station `heard` — while `heard` still hears `deaf` (a
   /// one-way power/antenna asymmetry, not a mutual hidden pair). The deaf
   /// side's CCA runs straight through `heard`'s frames and collides with
   /// them; the hearing side defers correctly, so the damage is one-sided.
+  /// Throws AudibilityError when heard or deaf is out of range or equal.
   static AudibilityMatrix asymmetric_pair(std::size_t n, std::size_t heard,
                                           std::size_t deaf);
   /// A line: station i hears only stations j with |i - j| <= 1. Every
   /// non-adjacent pair is mutually hidden.
   static AudibilityMatrix chain(std::size_t n);
+
+ private:
+  /// Count of zero bits; all_ones() is zero_bits_ == 0 (trivially true for
+  /// the default-constructed matrix, matching the old scan semantics).
+  std::size_t zero_bits_ = 0;
 };
 
 }  // namespace drmp::net

@@ -55,6 +55,29 @@ Cell::Cell(const scenario::CellSpec& spec,
     }
   }
 
+  if (spec_.mobility.enabled) {
+    // Mobility replaces the static matrix: the driver derives audibility and
+    // owns every later revision, so the two configuration paths exclude each
+    // other (ScenarioSpec::validate enforces the same for engine-built
+    // fleets; standalone cells get the check here).
+    if (!shared() || !spec_.access_point) {
+      throw std::invalid_argument(
+          "net::Cell: mobility requires a shared-medium cell with an access "
+          "point");
+    }
+    if (!spec_.contention.audibility.trivial()) {
+      throw std::invalid_argument(
+          "net::Cell: mobility and an explicit audibility matrix are "
+          "mutually exclusive");
+    }
+    if (spec_.contention.capture_preamble_us > 0.0) {
+      throw std::invalid_argument(
+          "net::Cell: mobility requires capture off (audibility revisions "
+          "re-mask in-flight frames; capture state cannot be re-derived)");
+    }
+    spec_.mobility.validate(spec_.stations.size());
+  }
+
   if (external_sched != nullptr) {
     sched_ = external_sched;
   } else {
@@ -69,9 +92,25 @@ Cell::Cell(const scenario::CellSpec& spec,
       sched_->set_observer(sched_rec_.get());
     }
   }
+  if (spec_.mobility.enabled) {
+    driver_ = std::make_unique<TopologyDriver>(
+        spec_.mobility, sim::TimeBase(spec_.stations[0].cfg.arch_freq_hz));
+  }
   build_media(fleet_channel, scenario_seed);
+  if (driver_) {
+    // Registered after the media, so within kStageMedium a published matrix
+    // revision lands after every band's current-cycle tick — the first
+    // deliveries evaluated under the new epoch are next cycle's, on both
+    // execution paths.
+    sched_->add(*driver_, "topology", sim::Scheduler::kStageMedium);
+  }
   for (std::size_t s = 0; s < spec_.stations.size(); ++s) {
     build_station(s, scenario_seed);
+  }
+  if (driver_) {
+    driver_->on_handoff = [this](std::size_t s, u32 target_cell) {
+      if (stations_[s]->link) stations_[s]->link->handoff(target_cell);
+    };
   }
 
   // Shared-cell access point: one scripted far end per mode, ACKing data and
@@ -131,8 +170,12 @@ void Cell::build_media(const std::array<scenario::ChannelSpec, kNumModes>& fleet
       p.cca_latency_us = spec_.contention.cca_latency_us;
       p.capture_preamble_us = spec_.contention.capture_preamble_us;
       p.deliver_garbled = spec_.contention.deliver_garbled;
-      p.audibility = spec_.contention.audibility;
+      // Mobility cells take the driver's cycle-0 derived matrix; revisions
+      // arrive through apply_audibility() at topology-event edges.
+      p.audibility =
+          driver_ ? driver_->matrix() : spec_.contention.audibility;
       auto cm = std::make_unique<ContendedMedium>(proto, tb, p);
+      if (driver_) driver_->attach(*cm);
       // Matrix rows are the cell's local station indices; station ids (the
       // begin_tx source id space) are fleet-global and contiguous here.
       for (std::size_t s = 0; s < spec_.stations.size(); ++s) {
@@ -250,6 +293,30 @@ void Cell::build_station(std::size_t local_index, u64 scenario_seed) {
     }
   }
 
+  // Link manager (mobility cells with association flows): probes/assocs go
+  // through the ordinary Mode A host_send path; its FIFO completion router
+  // needs to see every Mode A traffic submission too, so it is built before
+  // the generators whose send lambdas record into it.
+  if (driver_ && spec_.mobility.associate) {
+    mac::LinkMgr::Params lp;
+    lp.station_id = station_id;
+    lp.start_us = spec_.mobility.assoc_start_us +
+                  spec_.mobility.assoc_spacing_us *
+                      static_cast<double>(local_index);
+    lp.probe_bytes = spec_.mobility.probe_bytes;
+    lp.assoc_bytes = spec_.mobility.assoc_bytes;
+    lp.adapt_rate = spec_.mobility.adapt_rate;
+    lp.rate_down_after = spec_.mobility.rate_down_after;
+    lp.rate_up_after = spec_.mobility.rate_up_after;
+    lp.rate_steps = spec_.mobility.rate_steps;
+    st->link =
+        std::make_unique<mac::LinkMgr>(lp, st->device->timebase(), *sched_);
+    if (recorder_) st->link->set_recorder(recorder_.get(), st->track);
+    DrmpDevice* dev = st->device.get();
+    st->link->send = [dev](Bytes b) { dev->host_send(Mode::A, std::move(b)); };
+    sched_->add(*st->link, "link");
+  }
+
   // Traffic generators, one per enabled mode with an enabled traffic spec,
   // seeded per (scenario seed, global station id, mode).
   for (std::size_t m = 0; m < kNumModes; ++m) {
@@ -263,12 +330,22 @@ void Cell::build_station(std::size_t local_index, u64 scenario_seed) {
     obs::FlightRecorder* rec = recorder_.get();
     const u16 track = st->track;
     const sim::Scheduler* sc = sched_;
-    st->gens[m]->send = [dev, mode, rec, track, sc](Bytes b) {
+    mac::LinkMgr* link = mode == Mode::A ? st->link.get() : nullptr;
+    st->gens[m]->send = [dev, mode, rec, track, sc, link](Bytes b) {
+      if (link) link->note_traffic_submit();
       DRMP_OBS(rec, sc->now(), obs::EventKind::kOffered, track,
                static_cast<i64>(b.size()), static_cast<i64>(index(mode)));
       dev->host_send(mode, std::move(b));
     };
     sched_->add(*st->gens[m], "traffic." + std::string(to_string(mode)));
+  }
+
+  // Associating stations start gated: no traffic until the probe/assoc
+  // exchange completes (and again none mid-reassociation after a handoff).
+  if (st->link && st->gens[index(Mode::A)]) {
+    mac::TrafficGen* gen = st->gens[index(Mode::A)].get();
+    st->link->gate = [gen](bool open) { gen->set_gated(!open); };
+    gen->set_gated(true);
   }
 
   Station* s = st.get();
@@ -281,7 +358,13 @@ void Cell::build_station(std::size_t local_index, u64 scenario_seed) {
     s->retries[i] += retry_count;
     DRMP_OBS(rec, sc->now(), obs::EventKind::kComplete, s->track,
              ok ? 1 : 0, static_cast<i64>(retry_count));
-    if (s->gens[i]) s->gens[i]->notify_tx_complete();
+    // Mode A completions are FIFO with submissions; the link manager pops
+    // its submission-kind deque to tell management frames (which it owns)
+    // from traffic (forwarded to the generator as before).
+    const bool mgmt = (m == Mode::A && s->link)
+                          ? s->link->notify_complete(ok, retry_count)
+                          : false;
+    if (!mgmt && s->gens[i]) s->gens[i]->notify_tx_complete();
   };
 
   stations_.push_back(std::move(st));
@@ -309,6 +392,20 @@ void Cell::persist_cell(Ar& ar) {
   }
   sim::snap::close_record(ar);
 
+  // Mobility record — written only when the cell has a driver, so static
+  // cells keep their historic snapshot layout (the committed golden snapshot
+  // stays loadable without a version bump).
+  if (driver_) {
+    sim::snap::open_record(ar, "mobility");
+    driver_->persist(ar);
+    sim::snap::close_record(ar);
+    if constexpr (Ar::kLoading) {
+      // Re-install the restored matrix + epoch into every attached medium
+      // (their construction-time matrix is the cycle-0 derivation).
+      driver_->after_load();
+    }
+  }
+
   for (auto& st : stations_) {
     sim::snap::open_record(ar, "station" + std::to_string(st->station_id));
     ar.io(st->completed);
@@ -325,6 +422,16 @@ void Cell::persist_cell(Ar& ar) {
     } else {
       st->device->save_state(ar);
     }
+    if (st->link) {
+      st->link->persist(ar);
+      if constexpr (Ar::kLoading) {
+        // The generator gate is derived state the link re-applies: it is not
+        // in the generator's (pre-existing) record layout.
+        if (st->gens[index(Mode::A)]) {
+          st->gens[index(Mode::A)]->set_gated(!st->link->gate_open());
+        }
+      }
+    }
     sim::snap::close_record(ar);
   }
 }
@@ -334,6 +441,9 @@ void Cell::load_state(sim::snap::Reader& r) { persist_cell(r); }
 
 bool Cell::drained() const {
   for (const auto& st : stations_) {
+    // A lane is not drained while a (re)association exchange is in flight —
+    // the management completion is still owed.
+    if (st->link && !st->link->settled()) return false;
     for (const auto& gen : st->gens) {
       if (gen && !gen->drained()) return false;
     }
@@ -376,6 +486,21 @@ scenario::DevicePower Cell::estimate_station_power(const Station& st) const {
   pw.dvfs_mw =
       est::estimate_power(design, process, f, activity, kDefaultActivity, dvfs)
           .total_mw();
+
+  // Rate adaptation folds into the report as a re-estimate with the measured
+  // activities scaled by the duty-weighted rate fraction — a lower effective
+  // rate means proportionally less switching in the datapath blocks.
+  pw.adapted_mw = pw.gated_mw;
+  if (st.link) {
+    pw.rate_scale = st.link->rate_scale(sched_->now());
+    if (pw.rate_scale != 1.0) {
+      for (auto& kv : activity) kv.second *= pw.rate_scale;
+      pw.adapted_mw =
+          est::estimate_power(design, process, f, activity, kDefaultActivity,
+                              gated)
+              .total_mw();
+    }
+  }
   return pw;
 }
 
@@ -433,6 +558,14 @@ void Cell::collect(std::vector<scenario::DeviceStats>& devices,
         ds.cts_received = wifi->cts_received;
       }
     }
+    if (st->link) {
+      ds.reassociations = st->link->reassociations();
+      ds.handoffs = st->link->handoffs();
+      ds.rate_shifts = st->link->rate_shifts();
+      ds.link_loss_drops = st->link->link_loss_drops();
+      ds.rate_index = st->link->rate_index();
+      ds.handoff_latency = st->link->handoff_latency_total();
+    }
     ds.power = estimate_station_power(*st);
     devices.push_back(std::move(ds));
   }
@@ -450,6 +583,7 @@ void Cell::collect(std::vector<scenario::DeviceStats>& devices,
     cs.tampered[m] = cm->tampered_frames();
     cs.busy_cycles[m] = cm->busy_cycles();
     cs.collided_airtime[m] = cm->collided_airtime();
+    cs.topology_epochs[m] = cm->topology_epoch();
     if (ap_[m]) {
       cs.ap_rx[m] = static_cast<u32>(ap_[m]->received_data_frames().size());
       cs.ap_acks[m] = ap_[m]->acks_sent();
@@ -484,6 +618,12 @@ void Cell::export_metrics(obs::MetricsRegistry& fleet, bool per_station) const {
     dev.add("mac/nav_resets", resets);
     dev.add("phy/frames_expired", expired);
     if (shared()) dev.add("medium/collisions", collisions);
+    if (st->link) {
+      dev.add("mac/reassociations", st->link->reassociations());
+      dev.add("mac/handoffs", st->link->handoffs());
+      dev.add("mac/rate_shifts", st->link->rate_shifts());
+      dev.add("mac/link_loss_drops", st->link->link_loss_drops());
+    }
     // Twice on purpose: namespaced for the breakdown, unprefixed so the
     // fleet registry accumulates totals under the same names.
     if (per_station) {
@@ -502,6 +642,9 @@ void Cell::export_metrics(obs::MetricsRegistry& fleet, bool per_station) const {
       med.add("medium." + band + "/capture_wins", cm->capture_wins());
       med.add("medium." + band + "/busy_cycles", cm->busy_cycles());
       med.add("medium." + band + "/collided_airtime", cm->collided_airtime());
+      if (driver_) {
+        med.add("medium." + band + "/topology_epochs", cm->topology_epoch());
+      }
       cell_reg.merge_from(med);
       fleet.merge_from(med);
     }

@@ -30,8 +30,10 @@
 #include <vector>
 
 #include "drmp/device.hpp"
+#include "mac/link_mgr.hpp"
 #include "mac/traffic_gen.hpp"
 #include "net/contended_medium.hpp"
+#include "net/topology_driver.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sched_recorder.hpp"
@@ -93,6 +95,9 @@ class Cell {
   /// The cell's flight recorder; null unless constructed with tracing on.
   const obs::FlightRecorder* recorder() const noexcept { return recorder_.get(); }
 
+  /// The cell's mobility driver; null unless CellSpec::mobility is enabled.
+  const TopologyDriver* topology() const noexcept { return driver_.get(); }
+
   // ---- Checkpoint support (sim/checkpoint.hpp) ----
   /// Serializes the cell's mutable state: the channel-corruption PRNGs, the
   /// per-mode media (virtual dispatch covers the contended backend), the
@@ -110,6 +115,9 @@ class Cell {
     std::unique_ptr<DrmpDevice> device;
     std::array<std::unique_ptr<phy::ScriptedPeer>, kNumModes> peers{};
     std::array<std::unique_ptr<mac::TrafficGen>, kNumModes> gens{};
+    /// Association/roaming/rate-adaptation manager (mobility cells with
+    /// MobilitySpec::associate; null otherwise). Routes Mode A completions.
+    std::unique_ptr<mac::LinkMgr> link;
     // Completion counters fed by the device callbacks.
     std::array<u32, kNumModes> completed{};
     std::array<u32, kNumModes> tx_ok{};
@@ -138,6 +146,9 @@ class Cell {
   // attribution would be ambiguous.
   std::unique_ptr<obs::FlightRecorder> recorder_;
   std::unique_ptr<obs::SchedRecorder> sched_rec_;
+  /// Mobility driver (CellSpec::mobility). Built before the media so they
+  /// take its cycle-0 derived matrix as their audibility at construction.
+  std::unique_ptr<TopologyDriver> driver_;
   std::array<std::unique_ptr<phy::Medium>, kNumModes> media_{};
   std::array<u64, kNumModes> channel_rng_{};
   std::array<std::unique_ptr<phy::ScriptedPeer>, kNumModes> ap_{};

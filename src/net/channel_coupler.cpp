@@ -1,5 +1,6 @@
 #include "net/channel_coupler.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace drmp::net {
@@ -43,6 +44,21 @@ void ChannelCoupler::forward(const Port& from, Cycle start, Cycle end,
                                source);
     ++forwarded_;
   }
+}
+
+void ChannelCoupler::set_reach(const AudibilityMatrix& reach) {
+  if (!reach.trivial()) {
+    std::size_t members = 0;
+    for (const Port& p : ports_) members = std::max(members, p.member + 1);
+    if (reach.n < members) {
+      throw std::invalid_argument(
+          "net::ChannelCoupler::set_reach: the reach matrix must cover every "
+          "attached member cell");
+    }
+  }
+  if (reach == params_.reach) return;
+  params_.reach = reach;
+  ++reach_epoch_;
 }
 
 void ChannelCoupler::exchange() {

@@ -85,6 +85,17 @@ class ChannelCoupler {
   /// at the edge; the no-op in immediate mode keeps one engine code path.
   void exchange();
 
+  /// Replaces the cell-granular reach matrix (CouplingSpec::reach_script).
+  /// Legal only at a lockstep round edge, *after* exchange() has drained the
+  /// outboxes: forward() reads the reach at delivery time, so with revisions
+  /// pinned to edges the reach is constant across each round and the lax
+  /// (drain-at-edge) and immediate (forward-at-generation) paths read the
+  /// same matrix for every event — digest equality survives the revision.
+  /// No-op (not an epoch) when the matrix is unchanged.
+  void set_reach(const AudibilityMatrix& reach);
+  /// Reach revisions applied so far.
+  u64 reach_epoch() const noexcept { return reach_epoch_; }
+
   /// The lax-sync lookahead horizon (== Params::latency).
   Cycle horizon() const noexcept { return params_.latency; }
   std::size_t port_count() const noexcept { return ports_.size(); }
@@ -120,6 +131,9 @@ class ChannelCoupler {
   Params params_;
   std::vector<Port> ports_;
   u64 forwarded_ = 0;
+  /// Not persisted: the engine re-applies due reach revisions on resume, so
+  /// counter and matrix re-derive and coupler snapshot layouts stay stable.
+  u64 reach_epoch_ = 0;
 };
 
 }  // namespace drmp::net

@@ -41,6 +41,65 @@ void ContendedMedium::map_station(int source_id, std::size_t matrix_index) {
   station_idx_[source_id] = matrix_index;
 }
 
+void ContendedMedium::apply_audibility(const AudibilityMatrix& m) {
+  if (trivial() || m.n != params_.audibility.n) {
+    throw std::invalid_argument(
+        "net::ContendedMedium::apply_audibility: revisions must cover the "
+        "same station set as the construction-time matrix");
+  }
+  if (capture_cycles_ > 0) {
+    throw std::logic_error(
+        "net::ContendedMedium::apply_audibility: the capture effect is "
+        "incompatible with topology revisions (verdicts taken under an "
+        "earlier epoch cannot be re-litigated)");
+  }
+  for (std::size_t i = 0; i < m.n; ++i) {
+    if (!m.hears(i, i)) {
+      throw std::invalid_argument(
+          "net::ContendedMedium::apply_audibility: the audibility diagonal "
+          "must stay 1");
+    }
+  }
+  if (m == params_.audibility) return;  // No change: not an epoch.
+  params_.audibility = m;
+  ++topology_epoch_;
+  // Re-mask in-flight frames against the new epoch. Rebuild every
+  // undelivered local entry's jam mask from scratch by pairwise interval
+  // overlap: this is exactly the accumulation begin_tx/begin_remote_tx
+  // performed (liveness at begin time == interval overlap, since local
+  // starts are never in the past), evaluated under the new matrix. Delivered
+  // entries are history — only their perception windows remain live — and
+  // remote images carry no verdict of their own.
+  for (Tx& t : on_air_) {
+    if (!t.remote && !t.delivered) t.jam_mask = 0;
+  }
+  for (std::size_t a = 0; a + 1 < on_air_.size(); ++a) {
+    for (std::size_t b = a + 1; b < on_air_.size(); ++b) {
+      Tx& x = on_air_[a];
+      Tx& y = on_air_[b];
+      if (x.end <= y.start || y.end <= x.start) continue;  // No air overlap.
+      const u64 both = hearers_of(x.src_idx) & hearers_of(y.src_idx);
+      if (!x.remote && !x.delivered) x.jam_mask |= both;
+      if (!y.remote && !y.delivered) y.jam_mask |= both;
+    }
+  }
+  DRMP_OBS(rec_, now_, obs::EventKind::kTopologyEpoch, rec_track_,
+           static_cast<int>(topology_epoch_), static_cast<i64>(m.n));
+  // Sleeping transmit gates must re-read their carrier bounds under the new
+  // footprints, and a skipped lane must be dispatched again.
+  wake_subscribers();
+  wake_self();
+}
+
+void ContendedMedium::restore_audibility(const AudibilityMatrix& m, u64 epoch) {
+  if (trivial() || m.n != params_.audibility.n) {
+    throw std::invalid_argument(
+        "net::ContendedMedium::restore_audibility: matrix size mismatch");
+  }
+  params_.audibility = m;
+  topology_epoch_ = epoch;
+}
+
 bool ContendedMedium::listener_deaf_at(int listener, Cycle end) const noexcept {
   // The receive-quality records ask about the delivery moment `end` (the
   // arriving frame's last air cycle is end - 1): a station whose own

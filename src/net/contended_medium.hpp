@@ -112,6 +112,28 @@ class ContendedMedium final : public phy::Medium {
   /// a non-trivial matrix; unmapped ids stay omnidirectional.
   void map_station(int source_id, std::size_t matrix_index);
 
+  /// Publishes a new topology epoch (net::TopologyDriver): swaps the
+  /// audibility matrix and re-masks every undelivered local transmission
+  /// against it — pairwise interval arithmetic over the live entries, which
+  /// reproduces exactly the masks begin_tx accumulated whenever the matrix
+  /// is unchanged. The omni `collided` flag and the collision counters are
+  /// matrix-independent (any overlap collides at an omnidirectional
+  /// receiver) and are not touched; CCA views, delivery partitioning and
+  /// retirement consult the matrix lazily at evaluation time, so in-flight
+  /// frames are judged against the epoch active at their delivery
+  /// evaluation, as the dynamic-topology contract requires. Station count
+  /// must match the current matrix (no trivial<->non-trivial transitions)
+  /// and the capture effect must be off — a capture verdict taken under an
+  /// earlier epoch cannot be re-litigated. A revision equal to the current
+  /// matrix is a no-op (not an epoch). Wakes carrier subscribers and the
+  /// medium's own lane so sleeping gates re-evaluate.
+  void apply_audibility(const AudibilityMatrix& m);
+  /// Checkpoint-load path: installs a restored matrix + epoch counter
+  /// without re-masking (Tx jam masks are persisted) and without waking.
+  void restore_audibility(const AudibilityMatrix& m, u64 epoch);
+  /// Revisions applied so far (0 = the construction-time matrix).
+  u64 topology_epoch() const noexcept { return topology_epoch_; }
+
   Cycle begin_tx(Bytes frame, int source) override;
 
   /// Foreign-carrier image from a co-channel neighbour cell (see
@@ -277,6 +299,10 @@ class ContendedMedium final : public phy::Medium {
   bool cca_busy_ = false;
   Cycle last_cca_busy_ = 0;
 
+  /// Audibility revisions applied (not persisted: the TopologyDriver owns
+  /// the epoch and re-installs it on checkpoint load, keeping the committed
+  /// static-cell snapshot layout untouched).
+  u64 topology_epoch_ = 0;
   u64 collided_frames_ = 0;
   u64 dropped_frames_ = 0;
   u64 garbled_frames_ = 0;

@@ -1,0 +1,292 @@
+#include "net/topology_driver.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "net/contended_medium.hpp"
+
+namespace drmp::net {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Crossing roots at or below this offset (us) are "already happened":
+/// sub-nanosecond, far below cycle resolution at any supported clock.
+constexpr double kRootEps = 1e-9;
+
+double dist2(double ax, double ay, double bx, double by) {
+  const double dx = ax - bx, dy = ay - by;
+  return dx * dx + dy * dy;
+}
+
+/// First time offset r > kRootEps (us) at which |d0 + v*r| == radius, given
+/// relative position d0 and relative velocity v; kInf when the quadratic
+/// has no future root. Tangent grazes shorter than a cycle are below model
+/// resolution and may be skipped by rounding — the matrix is always
+/// re-derived from actual positions, never integrated, so a skipped graze
+/// cannot desynchronise anything.
+double crossing_root(double dx, double dy, double dvx, double dvy,
+                     double radius) {
+  const double a = dvx * dvx + dvy * dvy;
+  if (a <= 0.0) return kInf;  // No relative motion on this segment.
+  const double b = 2.0 * (dx * dvx + dy * dvy);
+  const double c = dx * dx + dy * dy - radius * radius;
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return kInf;
+  const double sq = std::sqrt(disc);
+  const double r1 = (-b - sq) / (2.0 * a);
+  const double r2 = (-b + sq) / (2.0 * a);
+  if (r1 > kRootEps) return r1;
+  if (r2 > kRootEps) return r2;
+  return kInf;
+}
+
+}  // namespace
+
+void MobilitySpec::validate(std::size_t station_count) const {
+  if (!enabled) return;
+  if (stations.size() != station_count) {
+    throw AudibilityError("MobilitySpec: " + std::to_string(stations.size()) +
+                          " tracks for " + std::to_string(station_count) +
+                          " stations");
+  }
+  if (station_count > ContendedMedium::kMaxMatrixListeners) {
+    throw AudibilityError(
+        "MobilitySpec: derived matrices cover at most 64 stations");
+  }
+  if (!(range_m > 0.0)) {
+    throw AudibilityError("MobilitySpec: range_m must be > 0");
+  }
+  if (roam_out_m < 0.0) {
+    throw AudibilityError("MobilitySpec: roam_out_m must be >= 0");
+  }
+  for (std::size_t s = 0; s < stations.size(); ++s) {
+    double prev = 0.0;
+    for (const Waypoint& w : stations[s].waypoints) {
+      if (!(w.at_us > prev)) {
+        throw AudibilityError("MobilitySpec: station " + std::to_string(s) +
+                              " waypoint times must strictly ascend");
+      }
+      prev = w.at_us;
+    }
+  }
+  if (adapt_rate && !associate) {
+    throw AudibilityError(
+        "MobilitySpec: rate adaptation requires association (the link "
+        "manager hosts it)");
+  }
+  if (associate && (probe_bytes == 0 || assoc_bytes == 0)) {
+    throw AudibilityError("MobilitySpec: management frames must be non-empty");
+  }
+  if (adapt_rate && (rate_steps < 2 || rate_steps > 16)) {
+    throw AudibilityError("MobilitySpec: rate_steps must be in [2, 16]");
+  }
+}
+
+TopologyDriver::TopologyDriver(MobilitySpec spec, const sim::TimeBase& tb)
+    : spec_(std::move(spec)), tb_(tb) {
+  spec_.validate(spec_.stations.size());  // Caller re-validates cell sizes.
+  serving_.assign(spec_.stations.size(), kHomeCell);
+  matrix_ = derive(0);
+  next_event_ = compute_next_event(0);
+}
+
+TopologyDriver::Segment TopologyDriver::segment_at(std::size_t s,
+                                                   double t_us) const {
+  const MobilityPath& p = spec_.stations[s];
+  double x0 = p.x_m, y0 = p.y_m, t0 = 0.0;
+  for (const Waypoint& w : p.waypoints) {
+    // Strict: at a waypoint boundary the *next* segment is current, so the
+    // crossing search at a boundary wake runs with the new velocities (the
+    // closing segment's position is identical; only motion differs).
+    if (t_us < w.at_us) {
+      const double span = w.at_us - t0;
+      const double f = span > 0.0 ? (t_us - t0) / span : 1.0;
+      Segment seg;
+      seg.x = x0 + (w.x_m - x0) * f;
+      seg.y = y0 + (w.y_m - y0) * f;
+      seg.vx = span > 0.0 ? (w.x_m - x0) / span : 0.0;
+      seg.vy = span > 0.0 ? (w.y_m - y0) / span : 0.0;
+      seg.end_us = w.at_us;
+      return seg;
+    }
+    x0 = w.x_m;
+    y0 = w.y_m;
+    t0 = w.at_us;
+  }
+  return Segment{x0, y0, 0.0, 0.0, kInf};  // Past the final waypoint: rest.
+}
+
+void TopologyDriver::positions_at(double t_us, std::vector<double>& xs,
+                                  std::vector<double>& ys) const {
+  const std::size_t n = spec_.stations.size();
+  xs.resize(n);
+  ys.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const Segment seg = segment_at(s, t_us);
+    xs[s] = seg.x;
+    ys[s] = seg.y;
+  }
+}
+
+AudibilityMatrix TopologyDriver::derive(Cycle c) const {
+  const double t_us = tb_.cycles_to_us(c);
+  positions_at(t_us, xs_, ys_);
+  const std::size_t n = spec_.stations.size();
+  AudibilityMatrix m = AudibilityMatrix::full(n);
+  const double r2 = spec_.range_m * spec_.range_m;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (dist2(xs_[i], ys_[i], xs_[j], ys_[j]) > r2) m.hide_pair(i, j);
+    }
+  }
+  return m;
+}
+
+void TopologyDriver::evaluate_roaming(Cycle c) {
+  if (spec_.roam_out_m <= 0.0) return;
+  const double t_us = tb_.cycles_to_us(c);
+  positions_at(t_us, xs_, ys_);
+  const double out2 = spec_.roam_out_m * spec_.roam_out_m;
+  for (std::size_t s = 0; s < spec_.stations.size(); ++s) {
+    auto ap_pos = [&](u32 id, double& ax, double& ay) {
+      if (id == kHomeCell) {
+        ax = spec_.ap_x_m;
+        ay = spec_.ap_y_m;
+        return;
+      }
+      for (const NeighborAp& nb : spec_.neighbor_aps) {
+        if (nb.cell == id) {
+          ax = nb.x_m;
+          ay = nb.y_m;
+          return;
+        }
+      }
+      ax = spec_.ap_x_m;
+      ay = spec_.ap_y_m;
+    };
+    double ax, ay;
+    ap_pos(serving_[s], ax, ay);
+    const double d_serv = dist2(xs_[s], ys_[s], ax, ay);
+    if (d_serv <= out2) continue;  // Serving link still inside threshold.
+    // Pick the closest candidate; hand off only when strictly closer than
+    // the serving AP (hysteresis against threshold-straddling flapping).
+    u32 best = serving_[s];
+    double best_d = d_serv;
+    const double dh = dist2(xs_[s], ys_[s], spec_.ap_x_m, spec_.ap_y_m);
+    if (dh < best_d) {
+      best = kHomeCell;
+      best_d = dh;
+    }
+    for (const NeighborAp& nb : spec_.neighbor_aps) {
+      const double d = dist2(xs_[s], ys_[s], nb.x_m, nb.y_m);
+      if (d < best_d) {
+        best = nb.cell;
+        best_d = d;
+      }
+    }
+    if (best == serving_[s]) continue;  // Nothing strictly closer.
+    serving_[s] = best;
+    if (on_handoff) on_handoff(s, best);
+  }
+}
+
+Cycle TopologyDriver::compute_next_event(Cycle c) const {
+  const double t_us = tb_.cycles_to_us(c);
+  double best = kInf;
+  const std::size_t n = spec_.stations.size();
+  // Waypoint boundaries: velocity changes re-open the crossing search.
+  for (const MobilityPath& p : spec_.stations) {
+    for (const Waypoint& w : p.waypoints) {
+      if (w.at_us > t_us) {
+        best = std::min(best, w.at_us);
+        break;  // at_us strictly ascends.
+      }
+    }
+  }
+  // Crossing wakes are nudged one cycle past the root: all trigger
+  // conditions are strict inequalities, so a wake landing exactly on a
+  // crossing instant (an on-grid root) would observe the boundary state,
+  // change nothing, and find the root already in the past — silently
+  // sleeping to the next waypoint. One cycle later the inequality is
+  // strict whenever the segment has motion. Still a pure function of the
+  // script, so every execution policy wakes on the same cycle.
+  const double nudge = tb_.cycles_to_us(1);
+  // Pair-range crossings on the current motion segments. Roots beyond a
+  // segment boundary are ignored — the boundary event re-evaluates with the
+  // new velocities.
+  const double r = spec_.range_m;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Segment a = segment_at(i, t_us);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Segment b = segment_at(j, t_us);
+      const double root = crossing_root(a.x - b.x, a.y - b.y, a.vx - b.vx,
+                                        a.vy - b.vy, r);
+      if (root == kInf) continue;
+      const double at = t_us + root;
+      if (at <= std::min(a.end_us, b.end_us)) best = std::min(best, at + nudge);
+    }
+    if (spec_.roam_out_m > 0.0) {
+      // Roam-threshold crossings against every candidate AP (a superset of
+      // the serving-link trigger: spurious wakes are no-ops).
+      auto roam_root = [&](double ax, double ay) {
+        const double root =
+            crossing_root(a.x - ax, a.y - ay, a.vx, a.vy, spec_.roam_out_m);
+        if (root == kInf) return;
+        const double at = t_us + root;
+        if (at <= a.end_us) best = std::min(best, at + nudge);
+      };
+      roam_root(spec_.ap_x_m, spec_.ap_y_m);
+      for (const NeighborAp& nb : spec_.neighbor_aps) roam_root(nb.x_m, nb.y_m);
+      // Equidistance (midline) crossings between candidate AP pairs: the
+      // handoff hysteresis flips the moment a strictly-closer candidate
+      // appears, which need not coincide with a threshold crossing.
+      // |p-A|^2 - |p-B|^2 is linear in t along a segment.
+      auto midline_root = [&](double ax, double ay, double bx, double by) {
+        const double f0 = dist2(a.x, a.y, ax, ay) - dist2(a.x, a.y, bx, by);
+        const double f1 = 2.0 * (a.vx * (bx - ax) + a.vy * (by - ay));
+        if (f1 == 0.0) return;
+        const double root = -f0 / f1;
+        if (root <= kRootEps) return;
+        const double at = t_us + root;
+        if (at <= a.end_us) best = std::min(best, at + nudge);
+      };
+      for (std::size_t u = 0; u < spec_.neighbor_aps.size(); ++u) {
+        const NeighborAp& nu = spec_.neighbor_aps[u];
+        midline_root(spec_.ap_x_m, spec_.ap_y_m, nu.x_m, nu.y_m);
+        for (std::size_t v = u + 1; v < spec_.neighbor_aps.size(); ++v) {
+          const NeighborAp& nv = spec_.neighbor_aps[v];
+          midline_root(nu.x_m, nu.y_m, nv.x_m, nv.y_m);
+        }
+      }
+    }
+  }
+  if (best == kInf) return kIdleForever;
+  const Cycle e = tb_.us_to_cycles(best);
+  return e > c ? e : c + 1;
+}
+
+void TopologyDriver::tick() {
+  const Cycle t = now_++;
+  if (t < next_event_) return;
+  AudibilityMatrix m = derive(t);
+  if (!(m == matrix_)) {
+    matrix_ = std::move(m);
+    ++epoch_;
+    for (ContendedMedium* cm : media_) cm->apply_audibility(matrix_);
+  }
+  evaluate_roaming(t);
+  next_event_ = compute_next_event(t);
+}
+
+Cycle TopologyDriver::quiescent_for() const {
+  if (next_event_ == kIdleForever) return kIdleForever;
+  return next_event_ > now_ ? next_event_ - now_ : 0;
+}
+
+void TopologyDriver::after_load() {
+  for (ContendedMedium* cm : media_) cm->restore_audibility(matrix_, epoch_);
+}
+
+}  // namespace drmp::net

@@ -1,0 +1,200 @@
+// TopologyDriver — scripted waypoint mobility publishing audibility epochs.
+//
+// Every layer below this one treats a cell's topology as frozen: the
+// AudibilityMatrix is fixed at construction and stations are associated by
+// fiat. Credible MAC evaluation needs links that appear, degrade and vanish
+// while the protocol machinery reacts (cf. the traffic-aware adaptation
+// literature, arXiv:1809.07862, and the hidden-terminal context analysis,
+// arXiv:1806.06294). The driver owns per-station positions advanced along
+// piecewise-linear waypoint segments, re-derives audibility from a distance
+// threshold, and publishes epoch-stamped matrix revisions to every attached
+// ContendedMedium via apply_audibility().
+//
+// Quiescence discipline: a matrix change is a carrier-visible event, so it
+// must enter through the quiescence contract — never per-cycle polling. The
+// driver's quiescent_for() bounds to the next *topology event*: a waypoint
+// boundary (velocity change), a pair-range crossing, or a roam-threshold
+// crossing, all solved in closed form on the current motion segments
+// (dist^2(t) - R^2 is quadratic per segment). Float/cycle rounding may land
+// a wake one cycle early; the tick then observes an unchanged derived
+// matrix, publishes nothing, and re-arms one cycle out — a bounded number
+// of no-op wakes, never a missed edge. Event cycles are a pure function of
+// the script, so they are identical across worker_threads x idle_skip, and
+// a frozen script (no waypoints) reports kIdleForever forever: the driver
+// is inert and the cell keeps the static-matrix digests bit-for-bit.
+//
+// Roaming: when a station's distance to its serving access point exceeds
+// roam_out_m and a strictly closer candidate exists, the driver retargets
+// the serving AP and fires on_handoff. The handoff is serving-AP
+// bookkeeping plus a reassociation exchange on the home medium (mac::
+// LinkMgr); the station stays in its home cell's clock domain, which is
+// what keeps lax-sync and reference coupling digest-identical through a
+// handoff.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "net/audibility.hpp"
+#include "sim/clock.hpp"
+#include "sim/scheduler.hpp"
+
+namespace drmp::net {
+
+class ContendedMedium;
+
+/// One scripted waypoint: arrive at (x, y) at time at_us; the segment from
+/// the previous waypoint interpolates linearly (constant velocity).
+struct Waypoint {
+  double x_m = 0.0;
+  double y_m = 0.0;
+  double at_us = 0.0;
+};
+
+/// A station's scripted track: initial position plus waypoints with
+/// strictly ascending arrival times. Past the final waypoint the station
+/// rests. No waypoints = frozen in place.
+struct MobilityPath {
+  double x_m = 0.0;
+  double y_m = 0.0;
+  std::vector<Waypoint> waypoints;
+};
+
+/// A neighbour cell's access point, as a roaming handoff candidate.
+struct NeighborAp {
+  u32 cell = 0;  ///< Coupling-group member cell index (handoff target id).
+  double x_m = 0.0;
+  double y_m = 0.0;
+};
+
+/// Mobility profile for one cell (scenario::CellSpec::mobility). Enabling
+/// it replaces the cell's static audibility matrix with the driver-derived
+/// one; the two are mutually exclusive.
+struct MobilitySpec {
+  bool enabled = false;
+  /// Station-to-station audibility radius: listener i hears transmitter j
+  /// iff their distance is <= range_m. Symmetric by construction.
+  double range_m = 100.0;
+  /// One track per station, in station order (size must match the cell).
+  std::vector<MobilityPath> stations;
+
+  // ---- Roaming (inter-cell handoff) ----
+  double ap_x_m = 0.0;  ///< Serving (home) AP position.
+  double ap_y_m = 0.0;
+  /// > 0 enables roaming: a station farther than this from its serving AP
+  /// hands off to the closest strictly-closer candidate AP.
+  double roam_out_m = 0.0;
+  std::vector<NeighborAp> neighbor_aps;
+
+  // ---- Association / adaptation flows (mac::LinkMgr) ----
+  /// Require a probe/assoc exchange before a station may source traffic.
+  /// Off by default: a frozen driver with association off is exactly the
+  /// static cell, which is what the digest-equivalence pin relies on.
+  bool associate = false;
+  double assoc_start_us = 50.0;    ///< First station's probe launch time.
+  double assoc_spacing_us = 30.0;  ///< Stagger between stations' probes.
+  u32 probe_bytes = 32;
+  u32 assoc_bytes = 48;
+  /// Rate adaptation: step the ModeIdentity-level rate index down after
+  /// `rate_down_after` consecutive lossy completions, back up after
+  /// `rate_up_after` clean ones. Requires associate (the LinkMgr hosts it).
+  bool adapt_rate = false;
+  u32 rate_down_after = 2;
+  u32 rate_up_after = 4;
+  u32 rate_steps = 4;
+
+  /// True when no track ever moves: the driver never publishes an epoch.
+  bool frozen() const noexcept {
+    for (const MobilityPath& p : stations) {
+      if (!p.waypoints.empty()) return false;
+    }
+    return true;
+  }
+
+  /// Structural validation (throws AudibilityError): track count matches
+  /// the cell's station count, waypoint times strictly ascend, thresholds
+  /// are positive, the matrix fits kMaxMatrixListeners.
+  void validate(std::size_t station_count) const;
+};
+
+class TopologyDriver final : public sim::Clockable {
+ public:
+  /// Sentinel serving-cell id: the home (own-cell) access point.
+  static constexpr u32 kHomeCell = 0xFFFFFFFFu;
+
+  TopologyDriver(MobilitySpec spec, const sim::TimeBase& tb);
+
+  /// Registers a medium to receive matrix revisions (one per enabled band).
+  void attach(ContendedMedium& medium) { media_.push_back(&medium); }
+
+  /// Fired on a roaming handoff: (station local index, target cell id —
+  /// kHomeCell when roaming back home). Runs inside the driver's tick.
+  std::function<void(std::size_t, u32)> on_handoff;
+
+  /// The currently-published matrix (construction: derived at cycle 0).
+  const AudibilityMatrix& matrix() const noexcept { return matrix_; }
+  /// Revisions published so far (mirrored by every attached medium).
+  u64 epoch() const noexcept { return epoch_; }
+  /// Serving AP of a station: kHomeCell or a NeighborAp::cell id.
+  u32 serving(std::size_t station) const { return serving_[station]; }
+
+  void tick() override;
+  Cycle quiescent_for() const override;
+  void skip_idle(Cycle n) override { now_ += n; }
+
+  /// Checkpoint state: clock, epoch, serving table and the published
+  /// matrix. Written only for mobility-enabled cells, so static-cell
+  /// snapshot layouts (and the committed golden snapshot) are untouched.
+  template <class Ar>
+  void persist(Ar& ar) {
+    ar.io(now_);
+    ar.io(next_event_);
+    ar.io(epoch_);
+    ar.io(serving_);
+    u64 n = static_cast<u64>(matrix_.n);
+    std::vector<u8> bits = matrix_.bits;
+    ar.io(n);
+    ar.io(bits);
+    if constexpr (Ar::kLoading) {
+      matrix_ = AudibilityMatrix::from_bits(static_cast<std::size_t>(n),
+                                            std::move(bits));
+    }
+  }
+  /// Checkpoint-load epilogue: re-installs the restored matrix + epoch into
+  /// every attached medium (jam masks were persisted; no re-masking).
+  void after_load();
+
+ private:
+  struct Segment {
+    double x, y;    ///< Position at t_us.
+    double vx, vy;  ///< Velocity in m/us on [t_us, end_us).
+    double end_us;  ///< Segment end (waypoint arrival), or +inf at rest.
+  };
+
+  Segment segment_at(std::size_t s, double t_us) const;
+  void positions_at(double t_us, std::vector<double>& xs,
+                    std::vector<double>& ys) const;
+  AudibilityMatrix derive(Cycle c) const;
+  /// Serving-AP retargeting at cycle c; fires on_handoff per change.
+  void evaluate_roaming(Cycle c);
+  /// Earliest topology event strictly after cycle c (kIdleForever = none):
+  /// waypoint boundaries, pair-range crossings, roam-threshold crossings.
+  Cycle compute_next_event(Cycle c) const;
+
+  MobilitySpec spec_;
+  sim::TimeBase tb_;
+  std::vector<ContendedMedium*> media_;
+
+  Cycle now_ = 0;
+  Cycle next_event_ = kIdleForever;
+  u64 epoch_ = 0;
+  AudibilityMatrix matrix_;
+  std::vector<u32> serving_;
+
+  // Tick-path scratch (capacity retained).
+  mutable std::vector<double> xs_;
+  mutable std::vector<double> ys_;
+};
+
+}  // namespace drmp::net

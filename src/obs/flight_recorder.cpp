@@ -23,6 +23,11 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kNavDefer: return "nav_defer";
     case EventKind::kEifsWait: return "eifs_wait";
     case EventKind::kRemoteCarrier: return "remote_carrier";
+    case EventKind::kTopologyEpoch: return "topology_epoch";
+    case EventKind::kAssociate: return "associate";
+    case EventKind::kReassociate: return "reassociate";
+    case EventKind::kHandoff: return "handoff";
+    case EventKind::kRateChange: return "rate_change";
     case EventKind::kSkipSpan: return "skip_span";
     case EventKind::kFastForward: return "fast_forward";
   }

@@ -47,6 +47,11 @@ enum class EventKind : u8 {
   kNavDefer,        // backoff deferred on virtual carrier only
   kEifsWait,        // IFS stretched to EIFS after a garbled reception
   kRemoteCarrier,   // a = remote source id, b = image cycles (span)
+  kTopologyEpoch,   // a = new epoch number, b = matrix station count
+  kAssociate,       // a = station id, b = serving cell (-1 = home AP)
+  kReassociate,     // a = station id, b = serving cell after the handoff
+  kHandoff,         // a = station id, b = target cell
+  kRateChange,      // a = new rate index, b = +1 step-up / -1 step-down
   // ---- Execution domain: engine introspection, varies with skip/workers --
   kSkipSpan,        // b = skipped cycles (span)
   kFastForward,     // b = globally-quiescent cycles (span)

@@ -114,6 +114,53 @@ u64 FleetStats::total_frames_expired() const {
   return n;
 }
 
+u64 FleetStats::total_reassociations() const {
+  if (const auto v = metrics.counter("mac/reassociations")) return *v;
+  u64 n = 0;
+  for (const DeviceStats& ds : devices) n += ds.reassociations;
+  return n;
+}
+
+u64 FleetStats::total_handoffs() const {
+  if (const auto v = metrics.counter("mac/handoffs")) return *v;
+  u64 n = 0;
+  for (const DeviceStats& ds : devices) n += ds.handoffs;
+  return n;
+}
+
+u64 FleetStats::total_rate_shifts() const {
+  if (const auto v = metrics.counter("mac/rate_shifts")) return *v;
+  u64 n = 0;
+  for (const DeviceStats& ds : devices) n += ds.rate_shifts;
+  return n;
+}
+
+u64 FleetStats::total_link_loss_drops() const {
+  if (const auto v = metrics.counter("mac/link_loss_drops")) return *v;
+  u64 n = 0;
+  for (const DeviceStats& ds : devices) n += ds.link_loss_drops;
+  return n;
+}
+
+u64 FleetStats::total_topology_epochs() const {
+  u64 n = 0;
+  for (const CellStats& cs : cells) {
+    for (std::size_t i = 0; i < kNumModes; ++i) n += cs.topology_epochs[i];
+  }
+  return n;
+}
+
+double FleetStats::mean_handoff_latency_cycles() const {
+  u64 count = 0;
+  Cycle total = 0;
+  for (const DeviceStats& ds : devices) {
+    count += ds.reassociations;
+    total += ds.handoff_latency;
+  }
+  return count == 0 ? 0.0
+                    : static_cast<double>(total) / static_cast<double>(count);
+}
+
 u64 FleetStats::completion_digest() const {
   sim::Digest d = folded_devices ? sim::Digest(folded_completion) : sim::Digest();
   for (const DeviceStats& ds : devices) ds.mix_completion(d);

@@ -34,6 +34,13 @@ struct DevicePower {
   double dvfs_mw = 0.0;   ///< Gating + PSO + half-rate DVFS.
   double cpu_activity = 0.0;  ///< Measured CPU busy fraction.
   double bus_activity = 0.0;  ///< Measured packet-bus busy fraction.
+  /// Duty-weighted mean rate fraction from mac::LinkMgr rate adaptation
+  /// (1.0 = full rate, or no adaptation).
+  double rate_scale = 1.0;
+  /// gated_mw re-estimated with measured activity scaled by rate_scale —
+  /// the adaptation-aware est::estimate_power report. Equals gated_mw when
+  /// rate_scale is 1.0.
+  double adapted_mw = 0.0;
 };
 
 struct DeviceStats {
@@ -72,6 +79,17 @@ struct DeviceStats {
   u64 expired_ctss = 0;       ///< ... of which SIFS CTSs.
   u64 expired_sifs_data = 0;  ///< ... of which SIFS-anchored data.
   u64 eifs_waits = 0;         ///< Pre-contention waits stretched to EIFS.
+  // Mobility / link-management counters (mac::LinkMgr; zero on static
+  // cells). Same digest exemption as the NAV set — the digest composition
+  // stays frozen at its PR-3 shape, which is also what lets a frozen
+  // mobility driver reproduce static-cell digests bit-for-bit.
+  u64 reassociations = 0;  ///< Completed post-handoff re-exchanges.
+  u64 handoffs = 0;        ///< Serving-AP retargets (TopologyDriver).
+  u64 rate_shifts = 0;     ///< Rate-adaptation steps taken (both ways).
+  u64 link_loss_drops = 0; ///< Traffic MSDUs lost to retry exhaustion.
+  u32 rate_index = 0;      ///< Final rate-ladder position (0 = full rate).
+  /// Summed handoff-to-reassociated latency over completed handoffs.
+  Cycle handoff_latency = 0;
   Cycle cycles_run = 0;
   DevicePower power;
 
@@ -94,6 +112,9 @@ struct CellStats {
   std::array<u32, kNumModes> ap_rx{};    ///< Data frames the AP accepted.
   std::array<u64, kNumModes> ap_acks{};  ///< ACKs the AP sent.
   u64 ap_ctss = 0;                       ///< CTS responses the AP sent.
+  /// Audibility revisions each band's medium applied (outside both digests,
+  /// like the NAV counters; zero on static cells).
+  std::array<u64, kNumModes> topology_epochs{};
 
   void mix_full(sim::Digest& d) const;
 };
@@ -171,6 +192,15 @@ struct FleetStats {
   u64 total_eifs_waits() const;
   /// Perishable responses abandoned past latest_start fleet-wide.
   u64 total_frames_expired() const;
+  // ---- Mobility totals (same metrics-view-with-fallback idiom) ----
+  u64 total_reassociations() const;
+  u64 total_handoffs() const;
+  u64 total_rate_shifts() const;
+  u64 total_link_loss_drops() const;
+  /// Audibility revisions applied fleet-wide (sum over cells and bands).
+  u64 total_topology_epochs() const;
+  /// Mean handoff-to-reassociated latency in cycles (0 when none).
+  double mean_handoff_latency_cycles() const;
 
   u64 completion_digest() const;
   u64 full_digest() const;

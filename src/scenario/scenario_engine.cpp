@@ -44,6 +44,13 @@ void ScenarioEngine::resolve_couplings() {
           "ScenarioEngine: the inter-cell reach matrix must cover exactly the "
           "group's member cells");
     }
+    for (const CouplingSpec::ReachRevision& rr : cs.reach_script) {
+      if (!rr.reach.trivial() && rr.reach.n != group.members.size()) {
+        throw std::invalid_argument(
+            "ScenarioEngine: every scripted reach revision must cover exactly "
+            "the group's member cells");
+      }
+    }
     const double freq =
         spec_.cells[group.members[0]].stations[0].cfg.arch_freq_hz;
     for (const std::size_t i : group.members) {
@@ -54,7 +61,14 @@ void ScenarioEngine::resolve_couplings() {
       }
     }
     group.connected = cs.connected(group.members.size());
-    if (!group.connected) continue;  // Full spatial reuse: stays isolated.
+    if (!group.connected) {
+      if (!cs.reach_script.empty()) {
+        throw std::invalid_argument(
+            "ScenarioEngine: a reach script needs an initially-connected "
+            "coupling group (isolated groups never build a coupler)");
+      }
+      continue;  // Full spatial reuse: stays isolated.
+    }
     for (const std::size_t i : group.members) {
       if (spec_.cells[i].contention.capture_preamble_us > 0.0) {
         throw std::invalid_argument(
@@ -96,6 +110,7 @@ void ScenarioEngine::build_couplers() {
 }
 
 ScenarioEngine::ScenarioEngine(ScenarioSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
   resolve_couplings();
 
   // Reference coupling: every connected group becomes one clock domain.
@@ -123,6 +138,28 @@ ScenarioEngine::ScenarioEngine(ScenarioSpec spec) : spec_(std::move(spec)) {
   }
 
   build_couplers();
+
+  // Scripted reach revisions, quantized *up* to lockstep round edges and
+  // sorted: with the reach piecewise-constant per round, the lax path
+  // (drain at the edge) and the immediate reference path (forward at
+  // generation time) judge every event under the same matrix.
+  const Cycle stride = effective_stride();
+  std::size_t coupler_idx = 0;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (!groups_[g].connected) continue;
+    const sim::TimeBase tb(
+        spec_.cells[groups_[g].members[0]].stations[0].cfg.arch_freq_hz);
+    for (const CouplingSpec::ReachRevision& rr : spec_.couplings[g].reach_script) {
+      const Cycle raw = tb.us_to_cycles(rr.at_us);
+      const Cycle edge = (raw + stride - 1) / stride * stride;
+      reach_events_.push_back(ReachEvent{edge, coupler_idx, rr.reach});
+    }
+    ++coupler_idx;
+  }
+  std::stable_sort(reach_events_.begin(), reach_events_.end(),
+                   [](const ReachEvent& a, const ReachEvent& b) {
+                     return a.edge < b.edge;
+                   });
 }
 
 ScenarioEngine::~ScenarioEngine() = default;
@@ -282,9 +319,32 @@ FleetStats ScenarioEngine::run(Path path) {
         multi.add(c->scheduler(), [c] { return c->drained(); });
       }
     }
-    if (!couplers_.empty() && !spec_.coupled_reference) {
-      multi.set_round_hook([this] {
+    // Fast-forward reach revisions a resumed run already lived through (the
+    // reach itself is not persisted — re-application re-derives it and the
+    // coupler epoch deterministically).
+    hook_edge_ = resume_base_;
+    while (reach_applied_ < reach_events_.size() &&
+           reach_events_[reach_applied_].edge <= resume_base_) {
+      const ReachEvent& ev = reach_events_[reach_applied_++];
+      couplers_[ev.coupler]->set_reach(ev.reach);
+    }
+    // The round hook drains lax outboxes (a no-op under immediate reference
+    // injection) and then applies reach revisions due at this edge — after
+    // the drain, so the drained round's events were judged under the reach
+    // live when the round began, exactly like the immediate path's
+    // generation-time reads. Reference mode installs it only when a reach
+    // script actually needs edge processing.
+    if (!couplers_.empty() &&
+        (!spec_.coupled_reference || !reach_events_.empty())) {
+      const Cycle stride = effective_stride();
+      multi.set_round_hook([this, stride] {
         for (const auto& coupler : couplers_) coupler->exchange();
+        hook_edge_ += stride;
+        while (reach_applied_ < reach_events_.size() &&
+               reach_events_[reach_applied_].edge <= hook_edge_) {
+          const ReachEvent& ev = reach_events_[reach_applied_++];
+          couplers_[ev.coupler]->set_reach(ev.reach);
+        }
       });
     }
     if (checkpoint_every_ != 0) {

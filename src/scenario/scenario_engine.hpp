@@ -126,9 +126,19 @@ class ScenarioEngine {
     Cycle lane_stall_cycles = 0;
   };
 
+  /// One scripted reach revision, quantized up to a lockstep round edge.
+  struct ReachEvent {
+    Cycle edge = 0;
+    std::size_t coupler = 0;  ///< Index into couplers_.
+    net::AudibilityMatrix reach;
+  };
+
   ScenarioSpec spec_;
   std::vector<Group> groups_;
   RunProfile run_profile_;
+  std::vector<ReachEvent> reach_events_;  ///< Sorted by edge.
+  std::size_t reach_applied_ = 0;
+  Cycle hook_edge_ = 0;  ///< Last round edge the round hook processed.
   /// Reference-mode shared clock domains, one per connected group (null
   /// otherwise). Declared before cells_: components die before their clock.
   std::vector<std::unique_ptr<sim::Scheduler>> group_scheds_;

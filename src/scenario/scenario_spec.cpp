@@ -1,6 +1,67 @@
 #include "scenario/scenario_spec.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace drmp::scenario {
+
+void ScenarioSpec::validate() const {
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    const CellSpec& cell = cells[ci];
+    const std::string where = "cell " + std::to_string(ci) + ": ";
+    const net::AudibilityMatrix& m = cell.contention.audibility;
+    if (!m.trivial()) {
+      if (cell.topology != Topology::kSharedMedium) {
+        throw net::AudibilityError(
+            where + "audibility matrices require a shared-medium cell");
+      }
+      if (m.n != cell.stations.size()) {
+        throw net::AudibilityError(
+            where + "audibility matrix covers " + std::to_string(m.n) +
+            " stations, cell has " + std::to_string(cell.stations.size()));
+      }
+      for (std::size_t i = 0; i < m.n; ++i) {
+        if (!m.hears(i, i)) {
+          throw net::AudibilityError(where +
+                                     "audibility diagonal must stay 1");
+        }
+      }
+    }
+    if (cell.mobility.enabled) {
+      if (cell.topology != Topology::kSharedMedium || !cell.access_point) {
+        throw net::AudibilityError(
+            where + "mobility requires a shared-medium cell with an AP");
+      }
+      if (!m.trivial()) {
+        throw net::AudibilityError(
+            where +
+            "mobility and an explicit audibility matrix are mutually "
+            "exclusive (the driver derives the matrix)");
+      }
+      if (cell.contention.capture_preamble_us > 0.0) {
+        throw net::AudibilityError(
+            where + "mobility is incompatible with the capture effect");
+      }
+      try {
+        cell.mobility.validate(cell.stations.size());
+      } catch (const net::AudibilityError& e) {
+        throw net::AudibilityError(where + e.what());
+      }
+    }
+  }
+  for (std::size_t g = 0; g < couplings.size(); ++g) {
+    const CouplingSpec& c = couplings[g];
+    double prev = -1.0;
+    for (const CouplingSpec::ReachRevision& rev : c.reach_script) {
+      if (!(rev.at_us > prev)) {
+        throw std::invalid_argument(
+            "coupling group " + std::to_string(g) +
+            ": reach_script times must strictly ascend");
+      }
+      prev = rev.at_us;
+    }
+  }
+}
 
 std::size_t ScenarioSpec::station_count() const {
   std::size_t n = 0;
@@ -167,6 +228,95 @@ ScenarioSpec ScenarioSpec::coupled_wifi_cells(std::size_t n_cells,
     one.cells[0].coupling_group = 0;
     spec.cells.push_back(std::move(one.cells[0]));
   }
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::mobile_wifi_cell(std::size_t n_stations, bool frozen,
+                                            bool associate, u64 seed,
+                                            u32 msdus_per_station,
+                                            u32 rts_threshold) {
+  // The topology-family cell (long aligned MSDU rounds, NAV on), with the
+  // static matrix replaced by driver-derived audibility.
+  ScenarioSpec spec = contended_wifi_topology(n_stations, Reach::kFull, seed,
+                                              msdus_per_station, rts_threshold);
+  spec.name = "mobile-wifi-" + std::to_string(n_stations) +
+              (frozen ? "-frozen" : "") + (associate ? "-assoc" : "");
+  CellSpec& cell = spec.cells[0];
+  cell.contention.audibility = net::AudibilityMatrix{};  // Driver-derived.
+  net::MobilitySpec& mob = cell.mobility;
+  mob.enabled = true;
+  mob.range_m = 100.0;
+  mob.stations.resize(n_stations);
+  // Geometry: station 0 at (30,0), station 1 far left at (-60,0) — their
+  // distance is 90 m, inside range. Stations 2..n cluster at ((j-2)*6, 12),
+  // within range of both (n <= 9 keeps station 1 connected to the whole
+  // cluster). The walk takes station 0 to (48,0): only the (0,1) distance
+  // crosses 100 m (at x = 40), everyone still reaches the omni AP — the
+  // walk-behind-a-wall shape.
+  if (n_stations > 0) mob.stations[0] = net::MobilityPath{30.0, 0.0, {}};
+  if (n_stations > 1) mob.stations[1] = net::MobilityPath{-60.0, 0.0, {}};
+  for (std::size_t j = 2; j < n_stations; ++j) {
+    mob.stations[j] =
+        net::MobilityPath{static_cast<double>(j - 2) * 6.0, 12.0, {}};
+  }
+  if (!frozen && n_stations > 0) {
+    mob.stations[0].waypoints = {
+        net::Waypoint{30.0, 0.0, 5'000.0},   // Hold, then
+        net::Waypoint{48.0, 0.0, 30'000.0},  // walk out (hidden from ~19 ms),
+        net::Waypoint{48.0, 0.0, 45'000.0},  // linger behind the wall,
+        net::Waypoint{30.0, 0.0, 70'000.0},  // and walk back (~56 ms reheal).
+    };
+  }
+  mob.ap_x_m = 0.0;
+  mob.ap_y_m = 6.0;
+  if (associate) {
+    mob.associate = true;
+    mob.adapt_rate = true;
+  }
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::roaming_wifi_cells(std::size_t stations_per_cell,
+                                              u64 seed, u32 msdus_per_station) {
+  ScenarioSpec spec;
+  spec.name = "roaming-wifi-2x" + std::to_string(stations_per_cell);
+  spec.seed = seed;
+  spec.max_cycles = 120'000'000;
+  CouplingSpec coupling;  // Trivial reach: both cells hear each other.
+  spec.couplings.push_back(std::move(coupling));
+  for (std::size_t c = 0; c < 2; ++c) {
+    ScenarioSpec one = contended_wifi_topology(stations_per_cell, Reach::kFull,
+                                               seed, msdus_per_station);
+    one.cells[0].coupling_group = 0;
+    spec.cells.push_back(std::move(one.cells[0]));
+  }
+  // Cell 0 roams; cell 1 stays a static co-channel neighbour.
+  CellSpec& cell = spec.cells[0];
+  cell.contention.audibility = net::AudibilityMatrix{};  // Driver-derived.
+  net::MobilitySpec& mob = cell.mobility;
+  mob.enabled = true;
+  // Wide station-to-station range: intra-cell audibility stays full for the
+  // whole walk, so the run isolates the handoff/reassociation flow (zero
+  // topology epochs, pinned by tests).
+  mob.range_m = 1000.0;
+  mob.stations.resize(stations_per_cell);
+  if (stations_per_cell > 0) {
+    mob.stations[0] = net::MobilityPath{
+        20.0,
+        0.0,
+        {net::Waypoint{20.0, 0.0, 5'000.0},
+         net::Waypoint{280.0, 0.0, 45'000.0}},  // Crosses 150 m at ~25 ms.
+    };
+  }
+  for (std::size_t j = 1; j < stations_per_cell; ++j) {
+    mob.stations[j] =
+        net::MobilityPath{static_cast<double>(j) * 5.0, 10.0, {}};
+  }
+  mob.ap_x_m = 0.0;
+  mob.ap_y_m = 0.0;
+  mob.roam_out_m = 150.0;
+  mob.neighbor_aps = {net::NeighborAp{1, 300.0, 0.0}};
+  mob.associate = true;
   return spec;
 }
 

@@ -54,6 +54,7 @@
 #include "drmp/device.hpp"
 #include "mac/traffic_gen.hpp"
 #include "net/audibility.hpp"
+#include "net/topology_driver.hpp"
 #include "sim/multi_scheduler.hpp"
 
 namespace drmp::scenario {
@@ -106,6 +107,20 @@ struct CouplingSpec {
   /// cells (bit-identical digests, pinned).
   net::AudibilityMatrix reach;
 
+  /// A scripted cell-granular reach revision: at `at_us` the group's reach
+  /// becomes `reach` (same member coverage as the base matrix).
+  struct ReachRevision {
+    double at_us = 0.0;
+    net::AudibilityMatrix reach;
+  };
+  /// Scripted reach revisions in strictly ascending at_us order. The engine
+  /// applies each at the first lockstep round edge at or after its time —
+  /// reach is piecewise-constant per round, which is what keeps lax-sync
+  /// and immediate-injection reference digests identical through a
+  /// revision (events generated during a round are judged under the reach
+  /// that was live when the round began, on both paths).
+  std::vector<ReachRevision> reach_script;
+
   /// True when any member can hear any other (the group actually couples).
   bool connected(std::size_t members) const {
     if (reach.trivial()) return members > 1;
@@ -135,6 +150,11 @@ struct CellSpec {
   /// Coupled cells must be kSharedMedium, share one arch_freq_hz across the
   /// group and run without the capture effect.
   int coupling_group = -1;
+  /// Scripted waypoint mobility (net/topology_driver.hpp). Enabling it
+  /// replaces ContentionSpec::audibility (which must stay trivial) with the
+  /// driver-derived matrix and registers a TopologyDriver on the cell's
+  /// scheduler; kSharedMedium with an access point only, capture off.
+  net::MobilitySpec mobility;
 };
 
 /// Flight-recorder opt-in (src/obs/). Off by default: recorder-off runs are
@@ -192,6 +212,15 @@ struct ScenarioSpec {
   std::size_t station_count() const;
   /// Appends a single-station point-to-point cell (the PR-1 fleet shape).
   void add_station(DeviceSpec d);
+
+  /// Structural validation, run by the engine before any cell is built:
+  /// per-cell audibility matrices must cover exactly the cell's station
+  /// count with an intact diagonal, mobility specs must be coherent
+  /// (net::MobilitySpec::validate) and must not compete with an explicit
+  /// matrix, and coupling reach scripts must cover their groups with
+  /// strictly ascending times. Throws net::AudibilityError with cell
+  /// context for topology shape errors, std::invalid_argument otherwise.
+  void validate() const;
 
   /// The canonical point-to-point fleet workload: n devices, each in its own
   /// cell, with heterogeneous traffic mixes over all three prototype
@@ -257,6 +286,31 @@ struct ScenarioSpec {
                                          std::size_t stations_per_cell,
                                          u64 seed = 1, u32 msdus_per_station = 3,
                                          net::AudibilityMatrix reach = {});
+
+  /// The mobility workload: the contended_wifi_topology cell (long aligned
+  /// MSDU rounds, NAV on) with scripted waypoint mobility instead of a
+  /// static matrix. Station 1 sits far left, the rest cluster near the
+  /// origin, and station 0 — unless `frozen` — walks away until the (0,1)
+  /// link crosses the audibility range mid-run (the walk-behind-a-wall
+  /// shape), then returns. `frozen` drops the waypoints: every position
+  /// holds, the derived matrix is full connectivity, and the run must
+  /// reproduce the static Reach::kFull digests bit-for-bit (pinned).
+  /// `associate` gates traffic behind the probe/assoc exchange and enables
+  /// rate adaptation. Supports up to 9 stations (cluster geometry).
+  static ScenarioSpec mobile_wifi_cell(std::size_t n_stations, bool frozen,
+                                       bool associate, u64 seed = 1,
+                                       u32 msdus_per_station = 3,
+                                       u32 rts_threshold = 0);
+
+  /// The roaming workload: two coupled co-channel cells; cell 0's station 0
+  /// walks from its home AP at (0,0) toward cell 1's AP at (300,0),
+  /// crossing the 150 m roam-out threshold mid-run and handing off. The
+  /// station-to-station range is wide, so intra-cell audibility stays full
+  /// — the run isolates the handoff/reassociation flow. Association is on
+  /// in cell 0; cell 1 is a static contended cell.
+  static ScenarioSpec roaming_wifi_cells(std::size_t stations_per_cell,
+                                         u64 seed = 1,
+                                         u32 msdus_per_station = 3);
 };
 
 }  // namespace drmp::scenario

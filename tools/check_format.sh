@@ -16,6 +16,8 @@ if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
 fi
 
 FILES=(
+  src/mac/link_mgr.hpp
+  src/mac/link_mgr.cpp
   src/mac/nav.hpp
   src/mac/traffic_gen.hpp
   src/mac/traffic_gen.cpp
@@ -27,6 +29,8 @@ FILES=(
   src/net/channel_coupler.cpp
   src/net/contended_medium.hpp
   src/net/contended_medium.cpp
+  src/net/topology_driver.hpp
+  src/net/topology_driver.cpp
   src/obs/flight_recorder.hpp
   src/obs/flight_recorder.cpp
   src/obs/metrics.hpp
@@ -52,9 +56,11 @@ FILES=(
   tests/wheel_test.cpp
   tests/net_test.cpp
   tests/obs_test.cpp
+  tests/mobility_test.cpp
   tests/multicell_test.cpp
   tests/scenario_test.cpp
   bench/bench_net_contention.cpp
+  bench/bench_net_mobility.cpp
   bench/bench_net_multicell.cpp
   bench/bench_net_rtscts_sweep.cpp
   bench/bench_scenario_fleet.cpp

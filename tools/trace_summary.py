@@ -75,7 +75,11 @@ def main():
     airtime = collections.Counter()
     collisions = collections.Counter()
     defers = collections.Counter()
+    mobility = collections.Counter()
     kinds = collections.Counter()
+    mobility_kinds = (
+        "topology_epoch", "associate", "reassociate", "handoff", "rate_change",
+    )
     span = [min(r["ts"] for r in rows), max(r["ts"] + r["dur"] for r in rows)]
     for r in rows:
         kinds[r["name"]] += 1
@@ -88,6 +92,13 @@ def main():
             collisions["station{}".format(r["args"].get("a", "?"))] += 1
         elif r["name"] in ("cca_defer", "nav_defer", "eifs_wait"):
             defers[r["track"]] += 1
+        elif r["name"] in mobility_kinds:
+            # topology_epoch carries no station id; per-station kinds do (a).
+            if r["name"] == "topology_epoch":
+                mobility["{}:{}".format(r["track"], r["name"])] += 1
+            else:
+                mobility["station{}:{}".format(
+                    r["args"].get("a", "?"), r["name"])] += 1
 
     print("{}: {} events on [{}, {}] cycles".format(
         args.trace, len(rows), span[0], span[1]))
@@ -99,6 +110,8 @@ def main():
     top_table("airtime by transmitter", "cycles", airtime, args.top)
     top_table("collisions by transmitter", "frames", collisions, args.top)
     top_table("defers by track (cca/nav/eifs)", "events", defers, args.top)
+    top_table("mobility (epoch/assoc/handoff/rate)", "events", mobility,
+              args.top)
     return 0
 
 
